@@ -1,0 +1,41 @@
+//! Microbenchmarks for the DRAM device model and the timing checker.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsmc_dram::command::TimedCommand;
+use fsmc_dram::geometry::{BankId, ColId, RankId, RowId};
+use fsmc_dram::{Command, DramDevice, Geometry, TimingChecker, TimingParams};
+
+/// A steady stream of row-miss reads round-robining the ranks.
+fn read_stream(n: usize) -> Vec<TimedCommand> {
+    let mut dev = DramDevice::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+    dev.record_commands();
+    let mut cycle = 0;
+    for i in 0..n as u64 {
+        let rank = RankId((i % 8) as u8);
+        let bank = BankId(((i / 8) % 8) as u8);
+        let act = Command::activate(rank, bank, RowId((i % 1024) as u32));
+        cycle = dev.earliest_issue(&act, cycle, 2000).expect("stream fits");
+        dev.issue(&act, cycle).unwrap();
+        let rd = Command::read_ap(rank, bank, RowId((i % 1024) as u32), ColId(0));
+        let c = dev.earliest_issue(&rd, cycle, 2000).expect("stream fits");
+        dev.issue(&rd, c).unwrap();
+    }
+    dev.take_log()
+}
+
+fn bench_device(c: &mut Criterion) {
+    c.bench_function("device/issue_1k_reads", |b| {
+        b.iter(|| black_box(read_stream(500)))
+    });
+    let log = read_stream(500);
+    let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+    c.bench_function("checker/replay_1k_commands", |b| {
+        b.iter(|| {
+            let v = checker.check(black_box(&log));
+            assert!(v.is_empty());
+        })
+    });
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

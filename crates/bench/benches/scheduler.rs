@@ -1,0 +1,26 @@
+//! Macrobenchmarks: simulated DRAM cycles per second for each policy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsmc_core::sched::SchedulerKind as K;
+use fsmc_sim::{System, SystemConfig};
+use fsmc_workload::BenchProfile;
+
+fn bench_policies(c: &mut Criterion) {
+    for kind in [
+        K::Baseline,
+        K::FsRankPartitioned,
+        K::FsTripleAlternation,
+        K::TpBankPartitioned { turn: 60 },
+    ] {
+        c.bench_function(&format!("simulate_5k_cycles/{kind}"), |b| {
+            b.iter(|| {
+                let cfg = SystemConfig::paper_default(kind);
+                let mut sys = System::homogeneous(&cfg, BenchProfile::milc(), 7);
+                black_box(sys.run_cycles(5_000))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmarks for the pipeline constraint solver and schedule
+//! materialisation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsmc_core::solver::{
+    build_constraints, solve, solve_best, Anchor, PartitionLevel, ReorderedBpSchedule, SlotSchedule,
+};
+use fsmc_dram::TimingParams;
+
+fn bench_solver(c: &mut Criterion) {
+    let t = TimingParams::ddr3_1600();
+    c.bench_function("solve/rank/data", |b| {
+        b.iter(|| solve(black_box(&t), Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap())
+    });
+    c.bench_function("solve/none/ras", |b| {
+        b.iter(|| solve(black_box(&t), Anchor::FixedPeriodicRas, PartitionLevel::None).unwrap())
+    });
+    c.bench_function("solve_best/all-levels", |b| {
+        b.iter(|| {
+            for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {
+                solve_best(black_box(&t), level).unwrap();
+            }
+        })
+    });
+    c.bench_function("build_constraints/none", |b| {
+        b.iter(|| build_constraints(black_box(&t), Anchor::FixedPeriodicRas, 1, 1))
+    });
+    let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
+    let sched = SlotSchedule::uniform(sol, 8);
+    c.bench_function("schedule/plan", |b| {
+        let mut g = 0u64;
+        b.iter(|| {
+            g += 1;
+            black_box(sched.plan(g))
+        })
+    });
+    let rbp = ReorderedBpSchedule::new(&t, 8);
+    c.bench_function("schedule/reordered_slot_times", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(rbp.slot_times(k, (k % 8) as u8, k % 2 == 0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: the Section 3.1 "fixed periodic commands" design choice.
+//! Anchoring the *data* transfer gives l = 7 under rank partitioning;
+//! anchoring the Activate (RAS) or the column command (CAS) gives
+//! l = 12. This binary runs all three through the same FS scheduler to
+//! quantify the end-to-end cost of the wrong anchor.
+
+use fsmc_bench::{run_cycles, seed};
+use fsmc_core::sched::fs::{EnergyOptions, FsScheduler, FsVariant};
+use fsmc_core::sched::SchedulerKind;
+use fsmc_core::solver::{solve, Anchor, PartitionLevel};
+use fsmc_cpu::trace::TraceSource;
+use fsmc_dram::TimingParams;
+use fsmc_sim::{System, SystemConfig};
+use fsmc_workload::{SyntheticTrace, WorkloadMix};
+
+fn main() {
+    let cycles = run_cycles();
+    let sd = seed();
+    let t = TimingParams::ddr3_1600();
+    let suite = WorkloadMix::suite(8);
+    println!("Anchor ablation under rank-partitioned FS (sum of weighted IPCs)\n");
+    println!("{:<24} {:>4} {:>10} {:>12}", "anchor", "l", "peak util", "AM wIPC");
+    for anchor in Anchor::all() {
+        let sol = solve(&t, anchor, PartitionLevel::Rank).expect("solves");
+        let mut sum = 0.0;
+        for mix in &suite {
+            let cfg = SystemConfig::paper_default(SchedulerKind::FsRankPartitioned);
+            let base = {
+                let bcfg = SystemConfig::paper_default(SchedulerKind::Baseline);
+                let mut sys = System::from_mix(&bcfg, mix, sd);
+                sys.run_cycles(cycles).ipcs()
+            };
+            let controller = Box::new(FsScheduler::with_pipeline(
+                cfg.geometry,
+                cfg.timing,
+                8,
+                FsVariant::RankPartitioned,
+                sol,
+                EnergyOptions::default(),
+            ));
+            let traces: Vec<Box<dyn TraceSource>> = mix
+                .profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Box::new(SyntheticTrace::new(*p, sd + i as u64)) as Box<dyn TraceSource>)
+                .collect();
+            let mut sys = System::with_controller(&cfg, traces, controller);
+            sum += sys.run_cycles(cycles).weighted_ipc_vs(&base);
+        }
+        println!(
+            "{:<24} {:>4} {:>9.1}% {:>12.3}",
+            format!("{anchor:?}"),
+            sol.l,
+            100.0 * sol.peak_data_utilization(&t),
+            sum / suite.len() as f64
+        );
+    }
+    println!("\nThe paper's choice (fixed periodic data) buys ~1.7x the slot rate of");
+    println!("the command-anchored pipelines — the whole FS_RP advantage over basic");
+    println!("bank-partitioned designs comes from this asymmetry.");
+}

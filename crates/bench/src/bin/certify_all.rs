@@ -1,0 +1,52 @@
+//! Certifies every FS pipeline: the mechanised form of the paper's
+//! zero-conflict theorem. Each schedule is exhausted over all slot
+//! pairs, direction combinations and worst-case rank/bank sharing, and
+//! each case is replayed through the independent DDR3 rule checker.
+
+use fsmc_core::solver::{
+    certify_reordered, certify_uniform, solve, solve_for_threads, Anchor, PartitionLevel,
+    ReorderedBpSchedule, SlotSchedule,
+};
+use fsmc_dram::TimingParams;
+
+fn main() {
+    let t = TimingParams::ddr3_1600();
+    println!("Certifying FS pipelines (pairwise-exhaustive, independent checker)\n");
+
+    let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
+    let s = SlotSchedule::uniform(sol, 8);
+    let r = certify_uniform(&s, PartitionLevel::Rank, &t, 4);
+    report("FS rank-partitioned (l=7)", &r);
+
+    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8).unwrap();
+    let s = SlotSchedule::uniform(sol, 8);
+    let r = certify_uniform(&s, PartitionLevel::Bank, &t, 4);
+    report("FS bank-partitioned (l=15)", &r);
+
+    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8).unwrap();
+    let s = SlotSchedule::uniform(sol, 8);
+    let r = certify_uniform(&s, PartitionLevel::None, &t, 4);
+    report("FS no-partitioning naive (l=43)", &r);
+
+    let s = SlotSchedule::triple_alternation(&t, 8).unwrap();
+    let r = certify_uniform(&s, PartitionLevel::None, &t, 3);
+    report("FS triple alternation (l=15, groups)", &r);
+
+    let s = ReorderedBpSchedule::new(&t, 8);
+    let r = certify_reordered(&s, &t, 3);
+    report("FS reordered bank-partitioned (Q=63)", &r);
+
+    println!("\nEvery schedule is conflict-free for every read/write mix — the paper's");
+    println!("zero-leakage precondition, checked rather than assumed.");
+}
+
+fn report(name: &str, r: &fsmc_core::solver::CertifyReport) {
+    println!(
+        "{name:<40} {:>8} cases   {}",
+        r.cases,
+        if r.certified() { "CERTIFIED" } else { "FAILED" }
+    );
+    if let Some(v) = r.violations.first() {
+        println!("    first violation: {v}");
+    }
+}

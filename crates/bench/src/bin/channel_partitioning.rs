@@ -1,0 +1,32 @@
+//! Section 4.1's first design point: with thread count <= channel count,
+//! channel partitioning is "most efficient ... there are no timing
+//! channels". This binary quantifies it: 4 domains on 4 private channels
+//! versus the same domains sharing one secure FS channel.
+
+use fsmc_bench::{run_cycles, seed};
+use fsmc_core::sched::SchedulerKind as K;
+use fsmc_sim::{System, SystemConfig};
+use fsmc_workload::WorkloadMix;
+
+fn main() {
+    let cycles = run_cycles();
+    let sd = seed();
+    let suite = [
+        WorkloadMix::mix1_for(4),
+        WorkloadMix::mix2_for(4),
+    ];
+    println!("Channel partitioning vs shared-channel policies (4 domains)\n");
+    println!("{:<10} {:>20} {:>14} {:>10}", "mix", "Channel_Partitioned", "FS_RP", "Baseline");
+    for mix in &suite {
+        let mut row = Vec::new();
+        for kind in [K::ChannelPartitioned, K::FsRankPartitioned, K::Baseline] {
+            let cfg = SystemConfig::with_cores(kind, 4);
+            let mut sys = System::from_mix(&cfg, mix, sd);
+            row.push(sys.run_cycles(cycles).ipc_sum());
+        }
+        println!("{:<10} {:>20.3} {:>14.3} {:>10.3}", mix.name, row[0], row[1], row[2]);
+    }
+    println!("\nPrivate channels beat even the shared non-secure baseline (4x the");
+    println!("aggregate bandwidth) while being non-interfering by construction —");
+    println!("the paper's recommendation whenever thread count <= channel count.");
+}

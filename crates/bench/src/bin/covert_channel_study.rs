@@ -1,0 +1,35 @@
+//! The covert-channel experiment behind Section 2.2's motivation: a
+//! sender modulates memory intensity, a receiver decodes its own read
+//! latencies. Real-hardware attacks reach 100+ Kbps; FS collapses the
+//! channel.
+
+use fsmc_core::sched::SchedulerKind as K;
+use fsmc_security::run_covert_channel;
+
+fn main() {
+    let bits = vec![true, false, true, true, false, false, true, false];
+    println!("Covert channel: sender modulates its memory intensity with a secret;");
+    println!("receiver decodes from its own latencies (window = 2500 DRAM cycles)\n");
+    println!(
+        "{:<28} {:>8} {:>12} {:>14}",
+        "scheduler", "BER", "MI (bits)", "capacity"
+    );
+    for kind in [
+        K::Baseline,
+        K::TpBankPartitioned { turn: 60 },
+        K::FsRankPartitioned,
+        K::FsTripleAlternation,
+    ] {
+        let r = run_covert_channel(kind, &bits, 2500, 100);
+        println!(
+            "{:<28} {:>8.3} {:>12.3} {:>11.0} bps",
+            kind.label(),
+            r.ber,
+            r.mutual_information_bits,
+            r.capacity_bps
+        );
+    }
+    println!("\nPaper context: Wu et al. demonstrate ~100 bps cross-core channels on EC2;");
+    println!("Hunger et al. reach >100 Kbps with synchronised endpoints. FS reduces the");
+    println!("mutual information to ~0: the receiver's latencies are co-runner-independent.");
+}

@@ -1,0 +1,18 @@
+//! Figure 1: the 8-thread rank-partitioned pipeline, six reads and two
+//! writes, rendered cycle by cycle and verified conflict-free.
+
+use fsmc_core::solver::diagram::render_uniform;
+use fsmc_core::solver::{solve_best, PartitionLevel, SlotSchedule};
+use fsmc_dram::TimingParams;
+
+fn main() {
+    let t = TimingParams::ddr3_1600();
+    let sol = solve_best(&t, PartitionLevel::Rank).expect("rank pipeline solves");
+    let s = SlotSchedule::uniform(sol, 8);
+    println!("Figure 1: fixed-periodic-data pipeline, l = {}, Q = {}", sol.l, s.q());
+    println!("Mix: RD RD RD RD RD WR WR RD (threads T0..T7 on ranks R0..R7)\n");
+    let mix = [false, false, false, false, false, true, true, false];
+    print!("{}", render_uniform(&s, &t, &mix, 16));
+    println!("\nEach digit is a thread id; '.' is an idle cycle on that resource.");
+    println!("Any mix of reads and writes from 8 threads completes every 56 cycles.");
+}

@@ -1,0 +1,33 @@
+//! Figure 3: summary of the design points — normalised throughput of
+//! every secure policy against the non-secure baseline.
+
+use fsmc_bench::{run_cycles, seed, weighted_ipc_suite};
+use fsmc_core::sched::SchedulerKind as K;
+
+fn main() {
+    let kinds = [
+        K::FsRankPartitioned,
+        K::FsReorderedBankPartitioned,
+        K::TpBankPartitioned { turn: 60 },
+        K::FsTripleAlternation,
+        K::TpNoPartition { turn: 172 },
+    ];
+    let table = weighted_ipc_suite(&kinds, run_cycles(), seed());
+    fsmc_bench::save_result("fig3_summary.csv", &table.to_csv());
+    let means = table.arithmetic_means();
+    println!("Figure 3: design-point summary (throughput normalised to baseline = 1.0)\n");
+    println!("{:<28} {:>10} {:>10}", "design point", "measured", "paper");
+    println!("{:<28} {:>10.3} {:>10}", "Non-secure baseline", 1.0, "1.00");
+    for (k, m) in kinds.iter().zip(&means) {
+        let paper = match k {
+            K::FsRankPartitioned => "0.74",
+            K::FsReorderedBankPartitioned => "0.48",
+            K::TpBankPartitioned { .. } => "0.43",
+            K::FsTripleAlternation => "0.40",
+            K::TpNoPartition { .. } => "0.20",
+            _ => "-",
+        };
+        println!("{:<28} {:>10.3} {:>10}", k.label(), m / 8.0, paper);
+    }
+    println!("\nPer-workload weighted-IPC sums (baseline = 8):\n{}", table.render("sum of weighted IPCs"));
+}

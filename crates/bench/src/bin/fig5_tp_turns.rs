@@ -1,0 +1,25 @@
+//! Figure 5: TP sensitivity to turn length (bank-partitioned 60/100/156,
+//! non-partitioned 172/212/268 DRAM cycles).
+
+use fsmc_bench::{run_cycles, seed, weighted_ipc_suite};
+use fsmc_core::sched::SchedulerKind as K;
+
+fn main() {
+    let kinds = [
+        K::TpBankPartitioned { turn: 60 },
+        K::TpBankPartitioned { turn: 100 },
+        K::TpBankPartitioned { turn: 156 },
+        K::TpNoPartition { turn: 172 },
+        K::TpNoPartition { turn: 212 },
+        K::TpNoPartition { turn: 268 },
+    ];
+    let table = weighted_ipc_suite(&kinds, run_cycles(), seed());
+    fsmc_bench::save_result("fig5_tp_turns.csv", &table.to_csv());
+    println!("Figure 5: TP with varying turn lengths, 8 threads");
+    println!("(non-secure baseline scores 8.0 on this metric)\n");
+    print!("{}", table.render("sum of weighted IPCs"));
+    let m = table.arithmetic_means();
+    println!("\nPaper finding: minimum turn lengths are best (wait time dominates).");
+    println!("Measured: BP {:.2} / {:.2} / {:.2} — NP {:.2} / {:.2} / {:.2}",
+        m[0], m[1], m[2], m[3], m[4], m[5]);
+}

@@ -1,0 +1,24 @@
+//! Figure 6: per-workload performance of the FS design points against
+//! the best TP variants, 8 cores.
+
+use fsmc_bench::{run_cycles, seed, weighted_ipc_suite};
+use fsmc_core::sched::SchedulerKind as K;
+
+fn main() {
+    let kinds = [
+        K::FsRankPartitioned,
+        K::FsReorderedBankPartitioned,
+        K::TpBankPartitioned { turn: 60 },
+        K::FsTripleAlternation,
+        K::TpNoPartition { turn: 172 },
+    ];
+    let table = weighted_ipc_suite(&kinds, run_cycles(), seed());
+    fsmc_bench::save_result("fig6_fs_tp.csv", &table.to_csv());
+    println!("Figure 6: performance for 8-core FS and TP\n");
+    print!("{}", table.render("sum of weighted IPCs; baseline = 8"));
+    let m = table.arithmetic_means();
+    println!("\nKey ratios (paper): FS_RP / TP_BP = {:.2} (1.69);", m[0] / m[2]);
+    println!("                    FS_ReBP / TP_BP = {:.2} (1.11);", m[1] / m[2]);
+    println!("                    FS_NP_Opt / TP_NP = {:.2} (2.0)", m[3] / m[4]);
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,43 @@
+//! Figure 7: the sandbox-prefetch optimisation — baseline with prefetch,
+//! FS_RP with prefetch (dummy slots become prefetches), plain FS_RP.
+
+use fsmc_bench::{run_cycles, seed, suite_results};
+use fsmc_core::sched::SchedulerKind as K;
+
+fn main() {
+    let kinds = [K::BaselinePrefetch, K::FsRankPartitionedPrefetch, K::FsRankPartitioned];
+    let rows = suite_results(&kinds, run_cycles(), seed());
+    println!("Figure 7: FS with 8 threads and rank partitioning, with and without prefetch\n");
+    println!(
+        "{:<12} {:>18} {:>18} {:>18}",
+        "workload", "Baseline_Prefetch", "FS_RP-Prefetch", "FS_RP"
+    );
+    let mut sums = [0.0f64; 3];
+    let mut pf_issued = 0u64;
+    let mut pf_useful = 0u64;
+    let n = rows.len();
+    for (name, base, runs) in &rows {
+        let mut vals = [0.0f64; 3];
+        for (i, r) in runs.iter().enumerate() {
+            vals[i] = r.weighted_ipc_vs(base);
+            sums[i] += vals[i];
+        }
+        pf_issued += runs[1].stats.mc.domains().iter().map(|d| d.prefetches).sum::<u64>();
+        pf_useful += runs[1].stats.useful_prefetches;
+        println!("{name:<12} {:>18.3} {:>18.3} {:>18.3}", vals[0], vals[1], vals[2]);
+    }
+    println!(
+        "{:<12} {:>18.3} {:>18.3} {:>18.3}",
+        "AM",
+        sums[0] / n as f64,
+        sums[1] / n as f64,
+        sums[2] / n as f64
+    );
+    println!("\nFS prefetch improvement: {:.1}% (paper: 11%)", 100.0 * (sums[1] / sums[2] - 1.0));
+    if pf_issued > 0 {
+        println!(
+            "FS prefetches issued: {pf_issued}; useful: {pf_useful} ({:.1}%; paper: 43.7%)",
+            100.0 * pf_useful as f64 / pf_issued as f64
+        );
+    }
+}

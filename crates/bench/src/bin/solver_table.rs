@@ -1,0 +1,30 @@
+//! The Section 3.1 / 4.2 / 4.3 pipeline table: minimum slot pitch `l`
+//! for every anchor x partition combination, with Q and peak data-bus
+//! utilization for 8 threads.
+
+use fsmc_core::solver::{solve, Anchor, PartitionLevel};
+use fsmc_dram::TimingParams;
+
+fn main() {
+    let t = TimingParams::ddr3_1600();
+    println!("Pipeline solver results (DDR3-1600, Table 1 parameters)");
+    println!("{:<8} {:<22} {:>4} {:>8} {:>10}", "part.", "anchor", "l", "Q(8thr)", "peak util");
+    for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {
+        for anchor in Anchor::all() {
+            match solve(&t, anchor, level) {
+                Ok(s) => println!(
+                    "{:<8} {:<22} {:>4} {:>8} {:>9.1}%",
+                    format!("{level:?}"),
+                    format!("{anchor:?}"),
+                    s.l,
+                    s.interval_q(8),
+                    100.0 * s.peak_data_utilization(&t)
+                ),
+                Err(e) => println!("{level:?} {anchor:?}: {e}"),
+            }
+        }
+    }
+    println!();
+    println!("Paper checkpoints: Rank/Data=7, Rank/RAS=12, Rank/CAS=12,");
+    println!("                   Bank/Data=21, Bank/RAS=15, None/RAS=43");
+}

@@ -1,0 +1,28 @@
+//! Table 1: simulator and DRAM parameters.
+
+use fsmc_sim::SystemConfig;
+use fsmc_core::sched::SchedulerKind;
+
+fn main() {
+    let c = SystemConfig::paper_default(SchedulerKind::Baseline);
+    let t = c.timing;
+    let g = c.geometry;
+    println!("Table 1: Simulator and DRAM parameters");
+    println!("=======================================");
+    println!("Processor");
+    println!("  CMP size and core freq     {}-core, 3.2 GHz (x{} DRAM bus ratio)", c.cores, t.cpu_ratio);
+    println!("  ROB size per core          {} entries", c.core.rob_size);
+    println!("  Fetch/retire width         {} per cycle", c.core.width);
+    println!("DRAM");
+    println!("  Channels/ranks/banks       1 ch, {} ranks/ch, {} banks/rank", g.ranks_per_channel(), g.banks_per_rank());
+    println!("  Capacity                   {} GiB", g.capacity_bytes() >> 30);
+    println!("DRAM timing (DRAM bus cycles @ 800 MHz)");
+    println!("  tRC={}, tRCD={}, tRAS={}, tFAW={}", t.t_rc, t.t_rcd, t.t_ras, t.t_faw);
+    println!("  tWR={}, tRP={}, tRTRS={}, tCAS={}", t.t_wr, t.t_rp, t.t_rtrs, t.t_cas);
+    println!("  tRTP={}, tBURST={}, tCCD={}, tWTR={}", t.t_rtp, t.t_burst, t.t_ccd, t.t_wtr);
+    println!("  tRRD={}, tREFI={}, tRFC={}, tCWD={}", t.t_rrd, t.t_refi, t.t_rfc, t.t_cwd);
+    println!("Derived turnarounds");
+    println!("  Rd2Wr = tCAS+tBURST-tCWD = {}", t.rd_to_wr_same_rank());
+    println!("  Wr2Rd = tCWD+tBURST+tWTR = {}", t.wr_to_rd_same_rank());
+    println!("  same-bank write turnaround = {}", t.same_bank_wr_turnaround());
+}

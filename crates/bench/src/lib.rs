@@ -1,0 +1,163 @@
+//! # fsmc-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! Criterion microbenchmarks (see `benches/`). This library holds the
+//! shared experiment plumbing: run-length configuration, the workload
+//! suite sweep, and plain-text/CSV table printing.
+//!
+//! Every binary accepts its run length from the `FSMC_CYCLES` environment
+//! variable (DRAM cycles per simulation; default 60 000, which finishes
+//! in seconds and already shows the paper's shapes — raise it for
+//! tighter numbers) and the seed from `FSMC_SEED`.
+
+use fsmc_core::sched::SchedulerKind;
+use fsmc_sim::runner::{run_mix, run_mix_suite, RunResult};
+use fsmc_workload::WorkloadMix;
+
+/// Simulation length in DRAM cycles, from `FSMC_CYCLES` (default 60 000).
+pub fn run_cycles() -> u64 {
+    std::env::var("FSMC_CYCLES").ok().and_then(|v| v.parse().ok()).unwrap_or(60_000)
+}
+
+/// Workload seed, from `FSMC_SEED` (default 42).
+pub fn seed() -> u64 {
+    std::env::var("FSMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// A results table: one row per workload, one column per scheduler.
+#[derive(Debug, Clone)]
+pub struct SuiteTable {
+    pub columns: Vec<SchedulerKind>,
+    /// (workload name, value per column).
+    pub rows: Vec<(&'static str, Vec<f64>)>,
+}
+
+impl SuiteTable {
+    /// Arithmetic mean across workloads per column (the paper's AM bars).
+    pub fn arithmetic_means(&self) -> Vec<f64> {
+        let n = self.rows.len().max(1) as f64;
+        (0..self.columns.len())
+            .map(|c| self.rows.iter().map(|(_, v)| v[c]).sum::<f64>() / n)
+            .collect()
+    }
+
+    /// Renders the table.
+    pub fn render(&self, metric: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<12}", "workload"));
+        for c in &self.columns {
+            out.push_str(&format!(" {:>18}", c.label()));
+        }
+        out.push('\n');
+        for (name, vals) in &self.rows {
+            out.push_str(&format!("{name:<12}"));
+            for v in vals {
+                out.push_str(&format!(" {v:>18.3}"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<12}", "AM"));
+        for m in self.arithmetic_means() {
+            out.push_str(&format!(" {m:>18.3}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("({metric})\n"));
+        out
+    }
+
+    /// CSV form for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.label());
+        }
+        out.push('\n');
+        for (name, vals) in &self.rows {
+            out.push_str(name);
+            for v in vals {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the 12-workload suite under each scheduler, reporting the paper's
+/// sum-of-weighted-IPC metric (normalised per workload against the
+/// non-secure baseline with identical seeds).
+pub fn weighted_ipc_suite(kinds: &[SchedulerKind], cycles: u64, seed: u64) -> SuiteTable {
+    let suite = WorkloadMix::suite(8);
+    let mut rows = Vec::with_capacity(suite.len());
+    for mix in &suite {
+        let (base, runs) = run_mix_suite(mix, kinds, cycles, seed);
+        let vals = runs.iter().map(|r| r.weighted_ipc_vs(&base)).collect();
+        rows.push((mix.name, vals));
+    }
+    SuiteTable { columns: kinds.to_vec(), rows }
+}
+
+/// Runs the suite and returns raw [`RunResult`]s per workload per kind
+/// (the baseline result is returned separately per row).
+pub fn suite_results(
+    kinds: &[SchedulerKind],
+    cycles: u64,
+    seed: u64,
+) -> Vec<(&'static str, RunResult, Vec<RunResult>)> {
+    WorkloadMix::suite(8)
+        .iter()
+        .map(|mix| {
+            let (base, runs) = run_mix_suite(mix, kinds, cycles, seed);
+            (mix.name, base, runs)
+        })
+        .collect()
+}
+
+/// Convenience single run.
+pub fn single(mix: &WorkloadMix, kind: SchedulerKind, cycles: u64, seed: u64) -> RunResult {
+    run_mix(mix, kind, cycles, seed)
+}
+
+/// Writes an experiment artefact into `results/<name>` (creating the
+/// directory), so every figure binary leaves a plotting-ready file
+/// behind. Failures are reported but not fatal — the console output is
+/// the primary artefact.
+pub fn save_result(name: &str, contents: &str) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => eprintln!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_means_and_csv() {
+        let t = SuiteTable {
+            columns: vec![SchedulerKind::Baseline, SchedulerKind::FsRankPartitioned],
+            rows: vec![("a", vec![8.0, 6.0]), ("b", vec![8.0, 4.0])],
+        };
+        let m = t.arithmetic_means();
+        assert!((m[0] - 8.0).abs() < 1e-12 && (m[1] - 5.0).abs() < 1e-12);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("workload,Baseline,FS_RP"));
+        assert!(csv.contains("a,8.0000,6.0000"));
+        let txt = t.render("weighted IPC");
+        assert!(txt.contains("AM"));
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert!(run_cycles() >= 1000);
+        let _ = seed();
+    }
+}

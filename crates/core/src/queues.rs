@@ -1,0 +1,175 @@
+//! Per-domain transaction queues (the proposed microarchitecture keeps
+//! one physical queue per security domain, Section 5.1).
+
+use crate::domain::DomainId;
+use crate::txn::{Transaction, TxnId};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a queue is at capacity; the producer must apply
+/// back-pressure (stall the core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    pub domain: DomainId,
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction queue for {} is full", self.domain)
+    }
+}
+
+impl Error for QueueFull {}
+
+/// A bounded FIFO of transactions for one security domain, with
+/// store-to-load forwarding metadata.
+#[derive(Debug, Clone)]
+pub struct TransactionQueue {
+    domain: DomainId,
+    capacity: usize,
+    entries: VecDeque<Transaction>,
+    /// Peak occupancy, for statistics.
+    high_water: usize,
+}
+
+impl TransactionQueue {
+    pub fn new(domain: DomainId, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        TransactionQueue { domain, capacity, entries: VecDeque::with_capacity(capacity), high_water: 0 }
+    }
+
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Enqueues a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when at capacity; the transaction is not
+    /// enqueued.
+    pub fn push(&mut self, txn: Transaction) -> Result<(), QueueFull> {
+        if self.is_full() {
+            return Err(QueueFull { domain: self.domain });
+        }
+        debug_assert_eq!(txn.domain, self.domain, "transaction routed to wrong domain queue");
+        self.entries.push_back(txn);
+        self.high_water = self.high_water.max(self.entries.len());
+        Ok(())
+    }
+
+    /// The oldest transaction, if any.
+    pub fn front(&self) -> Option<&Transaction> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest transaction.
+    pub fn pop(&mut self) -> Option<Transaction> {
+        self.entries.pop_front()
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.entries.iter()
+    }
+
+    /// Finds the oldest transaction satisfying `pred` and removes it
+    /// (the FS scheduler "scans a few bits in one queue to look for a
+    /// transaction that meets specific criteria").
+    pub fn take_first<F>(&mut self, pred: F) -> Option<Transaction>
+    where
+        F: FnMut(&Transaction) -> bool,
+    {
+        let mut pred = pred;
+        let idx = self.entries.iter().position(|t| pred(t))?;
+        self.entries.remove(idx)
+    }
+
+    /// Removes a transaction by id (used when a store is squashed by
+    /// forwarding).
+    pub fn remove(&mut self, id: TxnId) -> Option<Transaction> {
+        let idx = self.entries.iter().position(|t| t.id == id)?;
+        self.entries.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmc_dram::geometry::{BankId, ChannelId, ColId, Location, RankId, RowId};
+
+    fn loc(bank: u8) -> Location {
+        Location {
+            channel: ChannelId(0),
+            rank: RankId(0),
+            bank: BankId(bank),
+            row: RowId(0),
+            col: ColId(0),
+        }
+    }
+
+    fn txn(id: u64, bank: u8) -> Transaction {
+        Transaction::read(TxnId(id), DomainId(0), loc(bank), 0)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = TransactionQueue::new(DomainId(0), 4);
+        q.push(txn(1, 0)).unwrap();
+        q.push(txn(2, 1)).unwrap();
+        assert_eq!(q.pop().unwrap().id, TxnId(1));
+        assert_eq!(q.pop().unwrap().id, TxnId(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = TransactionQueue::new(DomainId(0), 2);
+        q.push(txn(1, 0)).unwrap();
+        q.push(txn(2, 0)).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push(txn(3, 0)), Err(QueueFull { domain: DomainId(0) }));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn take_first_respects_order_and_predicate() {
+        let mut q = TransactionQueue::new(DomainId(0), 8);
+        for (id, bank) in [(1, 0), (2, 1), (3, 0), (4, 2)] {
+            q.push(txn(id, bank)).unwrap();
+        }
+        let got = q.take_first(|t| t.loc.bank == BankId(0)).unwrap();
+        assert_eq!(got.id, TxnId(1));
+        let got = q.take_first(|t| t.loc.bank == BankId(0)).unwrap();
+        assert_eq!(got.id, TxnId(3));
+        assert_eq!(q.len(), 2);
+        assert!(q.take_first(|t| t.loc.bank == BankId(7)).is_none());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = TransactionQueue::new(DomainId(0), 8);
+        q.push(txn(1, 0)).unwrap();
+        q.push(txn(2, 0)).unwrap();
+        q.pop();
+        q.push(txn(3, 0)).unwrap();
+        assert_eq!(q.high_water(), 2);
+    }
+}

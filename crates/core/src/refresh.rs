@@ -1,0 +1,182 @@
+//! Deterministic refresh management shared by every scheduling policy.
+//!
+//! Refresh windows are a fixed function of wall-clock time — never of any
+//! domain's behaviour — so they carry zero information. Every `tREFI`
+//! cycles a window opens: the controller stops issuing transaction
+//! commands early enough that all banks are idle at the window start,
+//! then issues one `REF` per rank (staggered one cycle apart on the
+//! command bus) and resumes `tRFC` later.
+
+use fsmc_dram::command::Command;
+use fsmc_dram::geometry::RankId;
+use fsmc_dram::{Cycle, TimingParams};
+
+/// Fixed-schedule refresh controller for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshManager {
+    t_refi: Cycle,
+    t_rfc: Cycle,
+    ranks: u8,
+    /// Worst-case tail of a transaction issued at cycle `c`: its bank can
+    /// stay busy until `c + lead` (write ACT through auto-precharge).
+    lead: Cycle,
+    enabled: bool,
+}
+
+impl RefreshManager {
+    pub fn new(t: &TimingParams, ranks: u8) -> Self {
+        RefreshManager {
+            t_refi: t.t_refi as Cycle,
+            t_rfc: t.t_rfc as Cycle,
+            ranks,
+            // Worst in-flight tail from a transaction's *first* command:
+            // ACT (possibly skewed from the decision point), a CAS that
+            // turnaround delays can push out by up to wr->rd = 15 cycles,
+            // write recovery, the auto-precharge, plus slack for the
+            // pre-window precharge-all sweep across ranks.
+            lead: (t.t_rcd
+                + t.wr_to_rd_same_rank()
+                + t.write_ap_pre_offset()
+                + t.t_rp
+                + t.t_rtrs
+                + t.t_burst
+                + 16) as Cycle,
+            enabled: true,
+        }
+    }
+
+    /// A manager that never refreshes (for microbenchmarks isolating the
+    /// scheduling pipelines; real runs keep refresh on).
+    pub fn disabled(t: &TimingParams, ranks: u8) -> Self {
+        RefreshManager { enabled: false, ..RefreshManager::new(t, ranks) }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Duration of one window: staggered REF issue plus tRFC.
+    pub fn window_duration(&self) -> Cycle {
+        self.ranks as Cycle + self.t_rfc
+    }
+
+    /// The window covering or after `cycle`, as `(start, end)`; `None` if
+    /// refresh is disabled. Windows start at multiples of tREFI (k >= 1).
+    pub fn next_window(&self, cycle: Cycle) -> Option<(Cycle, Cycle)> {
+        if !self.enabled {
+            return None;
+        }
+        // Window k covers [k*tREFI, k*tREFI + duration), k >= 1.
+        let mut k = (cycle / self.t_refi).max(1);
+        if cycle >= k * self.t_refi + self.window_duration() {
+            k += 1;
+        }
+        let start = k * self.t_refi;
+        Some((start, start + self.window_duration()))
+    }
+
+    /// True while `cycle` is inside a refresh window (no transaction
+    /// commands may issue).
+    pub fn in_window(&self, cycle: Cycle) -> bool {
+        if !self.enabled || cycle < self.t_refi {
+            return false;
+        }
+        cycle % self.t_refi < self.window_duration() && cycle / self.t_refi >= 1
+    }
+
+    /// True if a transaction issuing its first command at `cycle` is safe:
+    /// its worst-case bank activity (`cycle + lead`) ends before the next
+    /// window opens, and `cycle` is outside any window.
+    pub fn allows_transaction(&self, cycle: Cycle) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        if self.in_window(cycle) {
+            return false;
+        }
+        match self.next_window(cycle) {
+            Some((start, _)) => cycle + self.lead <= start,
+            None => true,
+        }
+    }
+
+    /// The refresh command (if any) to put on the command bus at `cycle`:
+    /// rank `i` is refreshed at window start + `i`.
+    pub fn command_at(&self, cycle: Cycle) -> Option<Command> {
+        if !self.enabled || cycle < self.t_refi {
+            return None;
+        }
+        let offset = cycle % self.t_refi;
+        if offset < self.ranks as Cycle {
+            Some(Command::refresh(RankId(offset as u8)))
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of time lost to refresh windows (identical for every
+    /// policy and domain).
+    pub fn overhead(&self) -> f64 {
+        if !self.enabled {
+            0.0
+        } else {
+            self.window_duration() as f64 / self.t_refi as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> RefreshManager {
+        RefreshManager::new(&TimingParams::ddr3_1600(), 8)
+    }
+
+    #[test]
+    fn window_geometry() {
+        let m = mgr();
+        assert_eq!(m.window_duration(), 8 + 208);
+        assert!(!m.in_window(0));
+        assert!(!m.in_window(6239));
+        assert!(m.in_window(6240));
+        assert!(m.in_window(6240 + 215));
+        assert!(!m.in_window(6240 + 216));
+    }
+
+    #[test]
+    fn commands_staggered_one_per_rank() {
+        let m = mgr();
+        for i in 0..8u64 {
+            let c = m.command_at(6240 + i).unwrap();
+            assert_eq!(c.rank, RankId(i as u8));
+        }
+        assert!(m.command_at(6240 + 8).is_none());
+        assert!(m.command_at(100).is_none());
+    }
+
+    #[test]
+    fn transactions_blocked_close_to_window() {
+        let m = mgr();
+        // lead = 11 + 15 + 21 + 11 + 2 + 4 + 16 = 80.
+        assert!(m.allows_transaction(6240 - 80));
+        assert!(!m.allows_transaction(6240 - 79));
+        assert!(!m.allows_transaction(6240 + 10));
+        assert!(m.allows_transaction(6240 + 216));
+    }
+
+    #[test]
+    fn disabled_manager_never_blocks() {
+        let m = RefreshManager::disabled(&TimingParams::ddr3_1600(), 8);
+        assert!(m.allows_transaction(6240));
+        assert!(!m.in_window(6240));
+        assert!(m.command_at(6240).is_none());
+        assert_eq!(m.overhead(), 0.0);
+    }
+
+    #[test]
+    fn overhead_is_a_few_percent() {
+        let m = mgr();
+        assert!(m.overhead() > 0.03 && m.overhead() < 0.04);
+    }
+}

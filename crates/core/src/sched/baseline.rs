@@ -1,0 +1,444 @@
+//! The non-secure baseline: FR-FCFS open-page scheduling with
+//! watermark-driven write draining and optional sandbox prefetching.
+//!
+//! This is the normalisation denominator for every figure in the paper.
+//! (The paper uses the MSC-2012 winner; FR-FCFS open-page with write
+//! drain is the same class of aggressive row-hit-first scheduler — see
+//! DESIGN.md for the substitution note.)
+
+use crate::domain::{DomainId, PartitionPolicy};
+use crate::prefetch::SandboxPrefetcher;
+use crate::queues::QueueFull;
+use crate::refresh::RefreshManager;
+use crate::sched::{Completion, McStats, MemoryController, SchedulerKind};
+use crate::txn::{Transaction, TxnId, TxnKind};
+use fsmc_dram::command::{Command, TimedCommand};
+use fsmc_dram::geometry::{BankId, Geometry, LineAddr, RankId};
+use fsmc_dram::{Cycle, DramDevice, TimingParams};
+
+/// One queued transaction and its command progress.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    txn: Transaction,
+    issued_act: bool,
+}
+
+/// FR-FCFS open-page controller for one channel.
+#[derive(Debug)]
+pub struct BaselineScheduler {
+    device: DramDevice,
+    t: TimingParams,
+    refresh: RefreshManager,
+    stats: McStats,
+    kind: SchedulerKind,
+    reads: Vec<Pending>,
+    writes: Vec<Pending>,
+    read_capacity: usize,
+    write_capacity: usize,
+    drain_hi: usize,
+    drain_lo: usize,
+    draining: bool,
+    prefetchers: Vec<SandboxPrefetcher>,
+    next_prefetch_id: u64,
+    domains: u8,
+}
+
+impl BaselineScheduler {
+    /// Creates a baseline controller; `prefetch` enables the sandbox
+    /// prefetcher (the `Baseline_Prefetch` design point of Figure 7).
+    pub fn new(geom: Geometry, t: TimingParams, domains: u8, prefetch: bool) -> Self {
+        let device = DramDevice::new(geom, t);
+        let refresh = RefreshManager::new(&t, geom.ranks_per_channel());
+        BaselineScheduler {
+            device,
+            t,
+            refresh,
+            stats: McStats::new(domains as usize),
+            kind: if prefetch { SchedulerKind::BaselinePrefetch } else { SchedulerKind::Baseline },
+            reads: Vec::new(),
+            writes: Vec::new(),
+            read_capacity: 64,
+            write_capacity: 64,
+            drain_hi: 40,
+            drain_lo: 16,
+            draining: false,
+            prefetchers: (0..domains).map(|_| SandboxPrefetcher::new()).collect(),
+            next_prefetch_id: 1 << 62,
+            domains,
+        }
+    }
+
+    fn prefetch_enabled(&self) -> bool {
+        matches!(self.kind, SchedulerKind::BaselinePrefetch)
+    }
+
+    /// Generate prefetch transactions while there is queue headroom.
+    fn pump_prefetches(&mut self, now: Cycle) {
+        if !self.prefetch_enabled() {
+            return;
+        }
+        let geom = *self.device.geometry();
+        // Prefetches only ride on an otherwise lightly-loaded read queue;
+        // under load they would steal bandwidth from demand misses.
+        for d in 0..self.domains {
+            while self.reads.len() < self.domains as usize {
+                let Some(local) = self.prefetchers[d as usize].next_prefetch() else { break };
+                let loc = PartitionPolicy::None.map(&geom, DomainId(d), local);
+                let txn = Transaction {
+                    id: TxnId(self.next_prefetch_id),
+                    domain: DomainId(d),
+                    loc,
+                    local_addr: local,
+                    is_write: false,
+                    arrival: now,
+                    kind: TxnKind::Prefetch,
+                };
+                self.next_prefetch_id += 1;
+                self.reads.push(Pending { txn, issued_act: false });
+                self.stats.domain_mut(DomainId(d)).prefetches += 1;
+            }
+        }
+    }
+
+    /// During the pre-refresh quiesce, close banks that are still open so
+    /// the refresh window starts with every bank precharged.
+    fn quiesce_precharge(&mut self, now: Cycle) {
+        let Some((start, _)) = self.refresh.next_window(now) else { return };
+        if now + self.t.t_rp as Cycle > start {
+            return; // too late for a precharge to recover before the REF
+        }
+        let geom = *self.device.geometry();
+        for r in 0..geom.ranks_per_channel() {
+            let any_open = (0..geom.banks_per_rank())
+                .any(|b| self.device.open_row(RankId(r), BankId(b)).is_some());
+            if any_open {
+                let pre = Command::precharge_all(RankId(r));
+                if self.device.can_issue(&pre, now).is_ok() {
+                    self.device.issue(&pre, now).expect("validated precharge-all");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Attempts FR-FCFS issue from `queue`; returns a completion if a CAS
+    /// retired a transaction. At most one command is issued.
+    fn try_issue(
+        &mut self,
+        is_write_queue: bool,
+        now: Cycle,
+        act_allowed: bool,
+    ) -> (bool, Option<Completion>) {
+        // Pass 1: row hits, oldest first.
+        let queue = if is_write_queue { &self.writes } else { &self.reads };
+        let mut cas_idx = None;
+        for (i, p) in queue.iter().enumerate() {
+            let open = self.device.open_row(p.txn.loc.rank, p.txn.loc.bank);
+            if open == Some(p.txn.loc.row) {
+                let cas = if p.txn.is_write {
+                    Command::write(p.txn.loc.rank, p.txn.loc.bank, p.txn.loc.row, p.txn.loc.col)
+                } else {
+                    Command::read(p.txn.loc.rank, p.txn.loc.bank, p.txn.loc.row, p.txn.loc.col)
+                };
+                if self.device.can_issue(&cas, now).is_ok() {
+                    cas_idx = Some((i, cas));
+                    break;
+                }
+            }
+        }
+        if let Some((i, cas)) = cas_idx {
+            let p = if is_write_queue { self.writes.remove(i) } else { self.reads.remove(i) };
+            let out = self.device.issue(&cas, now).expect("validated CAS");
+            if p.issued_act {
+                self.stats.row_misses += 1;
+            } else {
+                self.stats.row_hits += 1;
+            }
+            let finish = out.data_done.expect("CAS produces data");
+            if !p.txn.is_write && p.txn.kind == TxnKind::Demand {
+                let ds = self.stats.domain_mut(p.txn.domain);
+                ds.read_latency_sum += finish.saturating_sub(p.txn.arrival);
+                ds.reads_completed += 1;
+            }
+            // Writes complete too: the producer uses this to retire its
+            // store-to-load forwarding window.
+            return (true, Some(Completion { txn: p.txn, finish }));
+        }
+
+        // Pass 2: oldest transaction whose next command (PRE or ACT) can
+        // issue. Never precharge a row some pending transaction still hits.
+        let (queue_len, ranks) = if is_write_queue {
+            (self.writes.len(), ())
+        } else {
+            (self.reads.len(), ())
+        };
+        let _ = ranks;
+        for i in 0..queue_len {
+            let p = if is_write_queue { self.writes[i] } else { self.reads[i] };
+            let loc = p.txn.loc;
+            match self.device.open_row(loc.rank, loc.bank) {
+                Some(r) if r == loc.row => { /* covered by pass 1; bus busy */ }
+                Some(open_row) => {
+                    let someone_hits = self
+                        .reads
+                        .iter()
+                        .chain(self.writes.iter())
+                        .any(|q| q.txn.loc.rank == loc.rank && q.txn.loc.bank == loc.bank && q.txn.loc.row == open_row);
+                    if !someone_hits {
+                        let pre = Command::precharge(loc.rank, loc.bank);
+                        if self.device.can_issue(&pre, now).is_ok() {
+                            self.device.issue(&pre, now).expect("validated precharge");
+                            return (true, None);
+                        }
+                    }
+                }
+                None => {
+                    if act_allowed {
+                        let act = Command::activate(loc.rank, loc.bank, loc.row);
+                        if self.device.can_issue(&act, now).is_ok() {
+                            self.device.issue(&act, now).expect("validated activate");
+                            if is_write_queue {
+                                self.writes[i].issued_act = true;
+                            } else {
+                                self.reads[i].issued_act = true;
+                            }
+                            return (true, None);
+                        }
+                    }
+                }
+            }
+        }
+        (false, None)
+    }
+}
+
+impl MemoryController for BaselineScheduler {
+    fn can_accept(&self, _domain: DomainId) -> bool {
+        self.reads.len() < self.read_capacity && self.writes.len() < self.write_capacity
+    }
+
+    fn enqueue(&mut self, txn: Transaction) -> Result<(), QueueFull> {
+        let queue_full = if txn.is_write {
+            self.writes.len() >= self.write_capacity
+        } else {
+            self.reads.len() >= self.read_capacity
+        };
+        if queue_full {
+            return Err(QueueFull { domain: txn.domain });
+        }
+        let ds = self.stats.domain_mut(txn.domain);
+        if txn.is_write {
+            ds.demand_writes += 1;
+        } else {
+            ds.demand_reads += 1;
+            if self.prefetch_enabled() {
+                self.prefetchers[txn.domain.0 as usize].on_access(txn.local_addr);
+            }
+        }
+        let pending = Pending { txn, issued_act: false };
+        if txn.is_write {
+            self.writes.push(pending);
+        } else {
+            self.reads.push(pending);
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        // Refresh window handling (identical across policies).
+        if let Some(cmd) = self.refresh.command_at(now) {
+            self.device.issue(&cmd, now).expect("refresh must be legal after quiesce");
+            return Vec::new();
+        }
+        if self.refresh.in_window(now) {
+            return Vec::new();
+        }
+        let act_allowed = self.refresh.allows_transaction(now);
+        if !act_allowed {
+            self.quiesce_precharge(now);
+            // CAS to already-open rows could run past the window; stop
+            // everything except the precharges above.
+            return Vec::new();
+        }
+
+        self.pump_prefetches(now);
+
+        // Write-drain hysteresis.
+        if self.writes.len() >= self.drain_hi {
+            self.draining = true;
+        } else if self.writes.len() <= self.drain_lo {
+            self.draining = false;
+        }
+        let drain = self.draining || self.reads.is_empty();
+
+        let mut completions = Vec::new();
+        let (issued, c) = self.try_issue(drain, now, act_allowed);
+        if let Some(c) = c {
+            completions.push(c);
+        }
+        if !issued {
+            // Opportunistic issue from the other queue.
+            let (_, c2) = self.try_issue(!drain, now, act_allowed);
+            if let Some(c2) = c2 {
+                completions.push(c2);
+            }
+        }
+        completions
+    }
+
+    fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    fn finish(&mut self, now: Cycle) {
+        self.device.finish(now);
+    }
+
+    fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    fn record_commands(&mut self) {
+        self.device.record_commands();
+    }
+
+    fn take_command_log(&mut self) -> Vec<TimedCommand> {
+        self.device.take_log()
+    }
+}
+
+/// Convenience: map a domain-local address for this controller's
+/// (unpartitioned) address space.
+pub fn map_local(geom: &Geometry, domain: DomainId, local: LineAddr) -> fsmc_dram::Location {
+    PartitionPolicy::None.map(geom, domain, local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmc_dram::TimingChecker;
+
+    fn mk() -> BaselineScheduler {
+        BaselineScheduler::new(Geometry::paper_default(), TimingParams::ddr3_1600(), 8, false)
+    }
+
+    fn txn(id: u64, domain: u8, local: u64, write: bool) -> Transaction {
+        let geom = Geometry::paper_default();
+        let loc = PartitionPolicy::None.map(&geom, DomainId(domain), LineAddr(local));
+        if write {
+            Transaction::write(TxnId(id), DomainId(domain), loc, 0)
+        } else {
+            Transaction::read(TxnId(id), DomainId(domain), loc, 0).with_local_addr(LineAddr(local))
+        }
+    }
+
+    fn run(mc: &mut BaselineScheduler, cycles: u64) -> Vec<Completion> {
+        let mut all = Vec::new();
+        for c in 0..cycles {
+            all.extend(mc.tick(c));
+        }
+        all
+    }
+
+    #[test]
+    fn single_read_completes_with_act_plus_cas_latency() {
+        let mut mc = mk();
+        mc.enqueue(txn(1, 0, 100, false)).unwrap();
+        let done = run(&mut mc, 60);
+        assert_eq!(done.len(), 1);
+        // ACT at 0, CAS at 11, data done at 11 + 11 + 4 = 26.
+        assert_eq!(done[0].finish, 26);
+        assert_eq!(mc.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn second_read_to_same_row_is_a_row_hit() {
+        let mut mc = mk();
+        mc.enqueue(txn(1, 0, 100, false)).unwrap();
+        mc.enqueue(txn(2, 0, 101, false)).unwrap();
+        let done = run(&mut mc, 80);
+        assert_eq!(done.len(), 2);
+        assert_eq!(mc.stats().row_hits, 1);
+        assert_eq!(mc.stats().row_misses, 1);
+        // The hit's CAS follows tCCD after the first CAS.
+        assert_eq!(done[1].finish - done[0].finish, 4);
+    }
+
+    #[test]
+    fn writes_drain_when_reads_are_absent() {
+        let mut mc = mk();
+        for i in 0..4 {
+            mc.enqueue(txn(i, 0, i * 1000, true)).unwrap();
+        }
+        run(&mut mc, 400);
+        let w: u64 = mc.device().counters().total_writes();
+        assert_eq!(w, 4);
+    }
+
+    #[test]
+    fn command_stream_is_legal() {
+        let mut mc = mk();
+        mc.record_commands();
+        for i in 0..32u64 {
+            mc.enqueue(txn(i, (i % 8) as u8, i * 37, i % 3 == 0)).unwrap();
+        }
+        run(&mut mc, 3000);
+        let log = mc.take_command_log();
+        assert!(log.len() >= 32);
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let violations = checker.check(&log);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn refresh_windows_interleave_without_violations() {
+        let mut mc = mk();
+        mc.record_commands();
+        let mut id = 0;
+        let mut completions = 0;
+        for c in 0..14_000u64 {
+            if c % 50 == 0 && mc.can_accept(DomainId(0)) {
+                mc.enqueue(txn(id, (id % 8) as u8, id * 53, false)).unwrap();
+                id += 1;
+            }
+            completions += mc.tick(c).len();
+        }
+        assert!(completions > 100);
+        // Two refresh windows elapsed; all 8 ranks refreshed in each.
+        assert_eq!(mc.device().counters().total_refreshes(), 16);
+        let log = mc.take_command_log();
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let violations = checker.check(&log);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn backpressure_on_full_read_queue() {
+        let mut mc = mk();
+        for i in 0..64 {
+            mc.enqueue(txn(i, 0, i, false)).unwrap();
+        }
+        assert!(!mc.can_accept(DomainId(0)));
+        assert!(mc.enqueue(txn(99, 0, 99, false)).is_err());
+    }
+
+    #[test]
+    fn prefetcher_injects_prefetch_reads_on_streaming_pattern() {
+        let mut mc =
+            BaselineScheduler::new(Geometry::paper_default(), TimingParams::ddr3_1600(), 8, true);
+        let mut cycle = 0u64;
+        for i in 0..600u64 {
+            mc.enqueue(txn(i, 0, i, false)).unwrap();
+            for _ in 0..12 {
+                mc.tick(cycle);
+                cycle += 1;
+            }
+        }
+        let pf = mc.stats().domain(DomainId(0)).prefetches;
+        assert!(pf > 0, "sandbox prefetcher never activated");
+    }
+}

@@ -1,0 +1,1219 @@
+//! The Fixed Service (FS) memory controller — the paper's contribution.
+//!
+//! Every security domain is *shaped* to one memory transaction per
+//! `Q = n * l` cycles (a dummy is inserted when the domain has nothing
+//! pending), and the solved slot schedule guarantees the resulting
+//! command stream is free of resource conflicts. A domain's observable
+//! timing is therefore a function of its own requests only — the
+//! executable form of the paper's non-interference proof, which the
+//! `fsmc-security` crate verifies end to end.
+//!
+//! Variants: rank partitioning (l = 7), basic bank partitioning (l = 15),
+//! reordered bank partitioning (Q = 63, reads before writes, en-masse
+//! read release), naive no-partitioning (l = 43) and triple alternation
+//! (l = 15 with rotating bank-group masks). Optional features: sandbox
+//! prefetching into dummy slots, suppressed dummies, row-hit energy
+//! boosting, and rank power-down (energy optimisations 1–3).
+
+use crate::domain::{DomainId, PartitionPolicy};
+use crate::prefetch::SandboxPrefetcher;
+use crate::queues::{QueueFull, TransactionQueue};
+use crate::refresh::RefreshManager;
+use crate::sched::{Completion, McStats, MemoryController, SchedulerKind};
+use crate::solver::{
+    solve, solve_for_threads, Anchor, PartitionLevel, ReorderedBpSchedule, SlotSchedule,
+};
+use crate::txn::{Transaction, TxnId, TxnKind};
+use fsmc_dram::command::{Command, TimedCommand};
+use fsmc_dram::geometry::{BankId, Geometry, LineAddr, Location, RankId, RowId};
+use fsmc_dram::{Cycle, DramDevice, TimingParams};
+use std::collections::HashMap;
+
+/// FS design points (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsVariant {
+    RankPartitioned,
+    BankPartitioned,
+    ReorderedBankPartitioned,
+    NoPartitionNaive,
+    TripleAlternation,
+}
+
+impl FsVariant {
+    /// The spatial partition each variant assumes.
+    pub fn partition_policy(&self) -> PartitionPolicy {
+        match self {
+            FsVariant::RankPartitioned => PartitionPolicy::Rank,
+            FsVariant::BankPartitioned | FsVariant::ReorderedBankPartitioned => {
+                PartitionPolicy::BankStriped
+            }
+            FsVariant::NoPartitionNaive | FsVariant::TripleAlternation => PartitionPolicy::None,
+        }
+    }
+}
+
+/// The energy optimisations of Section 5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnergyOptions {
+    /// Optimisation 1: dummy operations update timing state but do not
+    /// spend DRAM array/bus energy.
+    pub suppress_dummies: bool,
+    /// Optimisation 2: skip activate/precharge energy when the slot's row
+    /// matches the previous access to that bank.
+    pub row_hit_boost: bool,
+    /// Optimisation 3: power a rank down instead of issuing a dummy
+    /// (rank-partitioned only).
+    pub power_down: bool,
+}
+
+impl EnergyOptions {
+    /// All three optimisations enabled.
+    pub fn all() -> Self {
+        EnergyOptions { suppress_dummies: true, row_hit_boost: true, power_down: true }
+    }
+}
+
+/// Tracks *committed* (possibly not yet issued) activates and column
+/// commands per rank, so slot decisions can detect same-rank timing
+/// hazards that the solved pitch does not cover — the Section 7
+/// phenomenon at low thread counts, where a thread revisits its own rank
+/// sooner than the worst-case turnarounds allow.
+///
+/// Under rank partitioning a rank is touched by exactly one domain, so
+/// consulting this tracker depends only on that domain's own history:
+/// rejecting a slot (different transaction, or a bubble) leaks nothing.
+#[derive(Debug, Clone)]
+struct RankHazardTracker {
+    /// Last four committed activate cycles per rank, oldest first.
+    acts: Vec<Vec<Cycle>>,
+    /// Last committed CAS per rank: (cycle, is_write).
+    last_cas: Vec<Option<(Cycle, bool)>>,
+}
+
+impl RankHazardTracker {
+    fn new(ranks: usize) -> Self {
+        RankHazardTracker { acts: vec![Vec::new(); ranks], last_cas: vec![None; ranks] }
+    }
+
+    /// Would an activate at `act` violate tRRD/tFAW against committed
+    /// activates to this rank?
+    fn act_ok(&self, rank: RankId, act: Cycle, t: &TimingParams) -> bool {
+        let acts = &self.acts[rank.0 as usize];
+        if let Some(&last) = acts.last() {
+            if act < last + t.t_rrd as Cycle {
+                return false;
+            }
+        }
+        if acts.len() == 4 && act < acts[0] + t.t_faw as Cycle {
+            return false;
+        }
+        true
+    }
+
+    /// Would a CAS at `cas` violate tCCD or a read/write turnaround
+    /// against the last committed CAS to this rank?
+    fn cas_ok(&self, rank: RankId, cas: Cycle, is_write: bool, t: &TimingParams) -> bool {
+        match self.last_cas[rank.0 as usize] {
+            None => true,
+            Some((prev, prev_write)) => {
+                let gap = match (prev_write, is_write) {
+                    (false, false) | (true, true) => t.t_ccd,
+                    (false, true) => t.rd_to_wr_same_rank(),
+                    (true, false) => t.wr_to_rd_same_rank(),
+                };
+                cas >= prev + gap as Cycle
+            }
+        }
+    }
+
+    fn commit(&mut self, rank: RankId, act: Cycle, cas: Cycle, is_write: bool) {
+        let acts = &mut self.acts[rank.0 as usize];
+        if acts.len() == 4 {
+            acts.remove(0);
+        }
+        acts.push(act);
+        self.last_cas[rank.0 as usize] = Some((cas, is_write));
+    }
+}
+
+/// A command scheduled for a future cycle.
+#[derive(Debug, Clone, Copy)]
+struct CmdEvent {
+    cycle: Cycle,
+    cmd: Command,
+    suppressed: bool,
+    /// Completion to emit once the command issues (reads only).
+    completion: Option<Completion>,
+}
+
+/// The Fixed Service scheduler for one channel.
+///
+/// ```
+/// use fsmc_core::domain::{DomainId, PartitionPolicy};
+/// use fsmc_core::sched::fs::{EnergyOptions, FsScheduler, FsVariant};
+/// use fsmc_core::sched::MemoryController;
+/// use fsmc_core::txn::{Transaction, TxnId};
+/// use fsmc_dram::geometry::LineAddr;
+/// use fsmc_dram::{Geometry, TimingParams};
+///
+/// let geom = Geometry::paper_default();
+/// let mut mc = FsScheduler::new(
+///     geom,
+///     TimingParams::ddr3_1600(),
+///     8,
+///     FsVariant::RankPartitioned,
+///     false,
+///     EnergyOptions::default(),
+/// );
+/// assert_eq!(mc.interval_q(), 56); // one slot per domain every Q cycles
+/// let loc = PartitionPolicy::Rank.map(&geom, DomainId(0), LineAddr(42));
+/// mc.enqueue(Transaction::read(TxnId(1), DomainId(0), loc, 0)).unwrap();
+/// let mut done = Vec::new();
+/// for cycle in 0..120 {
+///     done.extend(mc.tick(cycle));
+/// }
+/// assert_eq!(done.len(), 1, "the read is served in its domain's slot");
+/// ```
+#[derive(Debug)]
+pub struct FsScheduler {
+    device: DramDevice,
+    t: TimingParams,
+    refresh: RefreshManager,
+    stats: McStats,
+    variant: FsVariant,
+    policy: PartitionPolicy,
+    queues: Vec<TransactionQueue>,
+    prefetchers: Option<Vec<SandboxPrefetcher>>,
+    energy: EnergyOptions,
+    schedule: Option<SlotSchedule>,
+    reordered: Option<ReorderedBpSchedule>,
+    next_slot: u64,
+    next_interval: u64,
+    events: Vec<CmdEvent>,
+    dummy_rotor: Vec<u64>,
+    last_row: HashMap<(RankId, BankId), RowId>,
+    rank_powered_down: Vec<bool>,
+    hazards: RankHazardTracker,
+    /// Slot ownership pattern (length = total SLA slots per interval).
+    slot_pattern: Vec<DomainId>,
+    /// Free command-bus phases (mod `l`) usable for power-down commands.
+    free_phases: Vec<u64>,
+    next_synth_id: u64,
+    domains: u8,
+}
+
+impl FsScheduler {
+    /// Creates an FS controller for `domains` equally-served domains.
+    ///
+    /// `prefetch` enables the sandbox prefetcher in dummy slots
+    /// (`FS_RP-Prefetch`); `energy` selects the Section 5.2 optimisations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is zero or the pipeline cannot be solved for
+    /// the given timing parameters.
+    pub fn new(
+        geom: Geometry,
+        t: TimingParams,
+        domains: u8,
+        variant: FsVariant,
+        prefetch: bool,
+        energy: EnergyOptions,
+    ) -> Self {
+        assert!(domains > 0, "domains must be non-zero");
+        FsScheduler::with_slot_weights(geom, t, &vec![1u8; domains as usize], variant, prefetch, energy)
+    }
+
+    /// Creates an FS controller with a per-domain SLA: domain *d*
+    /// receives `weights[d]` issue slots per interval (Section 5.1 —
+    /// "each transaction queue receives a fixed level of service, as
+    /// determined by the OS and a service-level agreement"). Slots are
+    /// spread through the interval with a smooth weighted round-robin so
+    /// a multi-slot domain's accesses are maximally separated.
+    ///
+    /// The slot *pattern* is fixed at construction by the SLA alone, so
+    /// weighted service leaks nothing: every slot still carries exactly
+    /// one (possibly dummy) transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, any weight is zero, or the pipeline
+    /// cannot be solved.
+    pub fn with_slot_weights(
+        geom: Geometry,
+        t: TimingParams,
+        weights: &[u8],
+        variant: FsVariant,
+        prefetch: bool,
+        energy: EnergyOptions,
+    ) -> Self {
+        assert!(!weights.is_empty(), "at least one domain required");
+        assert!(weights.iter().all(|&w| w > 0), "every domain needs at least one slot");
+        let domains = weights.len() as u8;
+        let total_slots: u16 = weights.iter().map(|&w| w as u16).sum();
+        assert!(total_slots <= 255, "slot pattern too long");
+        let slot_pattern = smooth_weighted_round_robin(weights);
+        let device = DramDevice::new(geom, t);
+        let refresh = RefreshManager::new(&t, geom.ranks_per_channel());
+        let (schedule, reordered) = match variant {
+            FsVariant::RankPartitioned => {
+                // The pitch stays at the idealised l = 7 for *any* thread
+                // count; same-rank hazards at low thread counts (the
+                // Section 7 phenomenon) are handled dynamically by the
+                // rank-hazard tracker: the scheduler picks a different
+                // transaction or inserts a bubble, based only on the
+                // domain's own history.
+                let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank)
+                    .expect("rank-partitioned pipeline must solve");
+                (Some(SlotSchedule::uniform(sol, total_slots as u8)), None)
+            }
+            FsVariant::BankPartitioned => {
+                let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, total_slots as u8)
+                    .expect("bank-partitioned pipeline must solve");
+                (Some(SlotSchedule::uniform(sol, total_slots as u8)), None)
+            }
+            FsVariant::NoPartitionNaive => {
+                let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, total_slots as u8)
+                    .expect("no-partition pipeline must solve");
+                (Some(SlotSchedule::uniform(sol, total_slots as u8)), None)
+            }
+            FsVariant::TripleAlternation => (
+                Some(
+                    SlotSchedule::triple_alternation(&t, total_slots as u8)
+                        .expect("triple-alternation pipeline must solve"),
+                ),
+                None,
+            ),
+            FsVariant::ReorderedBankPartitioned => {
+                assert!(
+                    weights.iter().all(|&w| w == 1),
+                    "reordered bank partitioning supports equal service only"
+                );
+                (None, Some(ReorderedBpSchedule::new(&t, domains)))
+            }
+        };
+        let free_phases = schedule.map(|s| Self::compute_free_phases(&s)).unwrap_or_default();
+        FsScheduler {
+            device,
+            t,
+            refresh,
+            stats: McStats::new(domains as usize),
+            variant,
+            policy: variant.partition_policy(),
+            queues: (0..domains).map(|d| TransactionQueue::new(DomainId(d), 16)).collect(),
+            prefetchers: prefetch.then(|| (0..domains).map(|_| SandboxPrefetcher::new()).collect()),
+            energy,
+            schedule,
+            reordered,
+            next_slot: 0,
+            next_interval: 0,
+            events: Vec::new(),
+            dummy_rotor: vec![0; domains as usize],
+            last_row: HashMap::new(),
+            rank_powered_down: vec![false; geom.ranks_per_channel() as usize],
+            hazards: RankHazardTracker::new(geom.ranks_per_channel() as usize),
+            slot_pattern,
+            free_phases,
+            next_synth_id: 1 << 61,
+            domains,
+        }
+    }
+
+    /// Creates an FS controller from per-domain [`DomainConfig`]s (the
+    /// OS/SLA view of Section 5.1): slot weights and queue depths are
+    /// taken from the configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, ids are not dense `0..n`, or any
+    /// slot weight is zero.
+    pub fn from_domain_configs(
+        geom: Geometry,
+        t: TimingParams,
+        configs: &[crate::domain::DomainConfig],
+        variant: FsVariant,
+        prefetch: bool,
+        energy: EnergyOptions,
+    ) -> Self {
+        assert!(!configs.is_empty(), "at least one domain required");
+        for (i, c) in configs.iter().enumerate() {
+            assert_eq!(c.id.0 as usize, i, "domain ids must be dense and ordered");
+        }
+        let weights: Vec<u8> = configs.iter().map(|c| c.slots_per_interval).collect();
+        let mut mc = FsScheduler::with_slot_weights(geom, t, &weights, variant, prefetch, energy);
+        mc.queues = configs
+            .iter()
+            .map(|c| TransactionQueue::new(c.id, c.queue_capacity))
+            .collect();
+        mc
+    }
+
+    /// Creates an FS controller around a caller-supplied pipeline
+    /// solution — the ablation hook for comparing anchor disciplines or
+    /// custom pitches under the same scheduler machinery. The partition
+    /// policy is taken from `variant`; the solution's pitch must have
+    /// been produced (or certified) for a compatible partition level, or
+    /// command issue will panic at runtime when the pipeline math is
+    /// violated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is zero.
+    pub fn with_pipeline(
+        geom: Geometry,
+        t: TimingParams,
+        domains: u8,
+        variant: FsVariant,
+        solution: crate::solver::PipelineSolution,
+        energy: EnergyOptions,
+    ) -> Self {
+        assert!(domains > 0, "domains must be non-zero");
+        let mut mc = FsScheduler::new(geom, t, domains, variant, false, energy);
+        let schedule = SlotSchedule::uniform(solution, domains);
+        mc.free_phases = Self::compute_free_phases(&schedule);
+        mc.schedule = Some(schedule);
+        mc.reordered = None;
+        mc
+    }
+
+    /// The slot schedule (uniform variants), for inspection/diagrams.
+    pub fn schedule(&self) -> Option<&SlotSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// The per-thread guaranteed service interval Q in DRAM cycles.
+    pub fn interval_q(&self) -> u64 {
+        match (&self.schedule, &self.reordered) {
+            (Some(s), _) => s.q(),
+            (_, Some(r)) => r.q(),
+            _ => unreachable!("one schedule form always exists"),
+        }
+    }
+
+    fn compute_free_phases(s: &SlotSchedule) -> Vec<u64> {
+        let l = s.slot_pitch() as u64;
+        let p0 = s.plan(0);
+        let occupied: Vec<u64> = [p0.read_act, p0.read_cas, p0.write_act, p0.write_cas]
+            .iter()
+            .map(|c| c % l)
+            .collect();
+        (0..l).filter(|ph| !occupied.contains(ph)).collect()
+    }
+
+    fn fresh_synth_id(&mut self) -> TxnId {
+        let id = TxnId(self.next_synth_id);
+        self.next_synth_id += 1;
+        id
+    }
+
+    /// A dummy read inside `domain`'s partition, to a bank that is ready
+    /// for an activate at `act_cycle` (and in `class` if given). Returns
+    /// `None` when no bank is ready — the slot becomes a bubble.
+    fn make_dummy(
+        &mut self,
+        domain: DomainId,
+        act_cycle: Cycle,
+        class: Option<u8>,
+        now: Cycle,
+    ) -> Option<Transaction> {
+        let geom = *self.device.geometry();
+        let banks = self.policy.banks_of(&geom, domain);
+        let n = banks.len() as u64;
+        let start = self.dummy_rotor[domain.0 as usize];
+        for i in 0..n {
+            let (rank, bank) = banks[((start + i) % n) as usize];
+            if let Some(c) = class {
+                if bank.0 % 3 != c {
+                    continue;
+                }
+            }
+            if !self.device.rank_bank_ready(rank, bank, act_cycle) {
+                continue;
+            }
+            if !self.hazards.act_ok(rank, act_cycle, &self.t)
+                || !self.hazards.cas_ok(rank, act_cycle + self.t.t_rcd as Cycle, false, &self.t)
+            {
+                continue;
+            }
+            self.dummy_rotor[domain.0 as usize] = start + i + 1;
+            // Rotate rows so dummies do not accidentally enjoy row hits.
+            let row = RowId((start as u32).wrapping_mul(2654435761) % geom.rows_per_bank());
+            let loc = Location { channel: Default::default(), rank, bank, row, col: Default::default() };
+            return Some(Transaction {
+                id: self.fresh_synth_id(),
+                domain,
+                loc,
+                local_addr: LineAddr(0),
+                is_write: false,
+                arrival: now,
+                kind: TxnKind::Dummy,
+            });
+        }
+        None
+    }
+
+    /// A prefetch transaction for `domain` if the prefetcher has a ready,
+    /// bank-eligible target.
+    fn make_prefetch(
+        &mut self,
+        domain: DomainId,
+        act_cycle: Cycle,
+        class: Option<u8>,
+        now: Cycle,
+    ) -> Option<Transaction> {
+        let geom = *self.device.geometry();
+        let local = {
+            let p = self.prefetchers.as_mut()?.get_mut(domain.0 as usize)?;
+            if !p.has_prefetch() {
+                return None;
+            }
+            p.next_prefetch()?
+        };
+        let loc = self.policy.map(&geom, domain, local);
+        if let Some(c) = class {
+            if loc.bank.0 % 3 != c {
+                return None;
+            }
+        }
+        if !self.device.rank_bank_ready(loc.rank, loc.bank, act_cycle)
+            || !self.hazards.act_ok(loc.rank, act_cycle, &self.t)
+            || !self.hazards.cas_ok(loc.rank, act_cycle + self.t.t_rcd as Cycle, false, &self.t)
+        {
+            return None;
+        }
+        Some(Transaction {
+            id: self.fresh_synth_id(),
+            domain,
+            loc,
+            local_addr: local,
+            is_write: false,
+            arrival: now,
+            kind: TxnKind::Prefetch,
+        })
+    }
+
+    /// Schedules the ACT/CAS events for `txn` in a uniform-slot plan.
+    fn commit_uniform(&mut self, txn: Transaction, plan: &crate::solver::SlotPlan) {
+        let (act_cycle, cas_cycle, data_cycle) = if txn.is_write {
+            (plan.write_act, plan.write_cas, plan.write_data)
+        } else {
+            (plan.read_act, plan.read_cas, plan.read_data)
+        };
+        self.commit_commands(txn, act_cycle, cas_cycle, data_cycle, None);
+    }
+
+    /// Schedules ACT + CAS-with-auto-precharge, tagging the read
+    /// completion (released at `release_override` if given — the
+    /// reordered-BP en-masse rule).
+    fn commit_commands(
+        &mut self,
+        txn: Transaction,
+        act_cycle: Cycle,
+        cas_cycle: Cycle,
+        data_cycle: Cycle,
+        release_override: Option<Cycle>,
+    ) {
+        let suppressed = self.energy.suppress_dummies && txn.kind == TxnKind::Dummy;
+        if self.energy.row_hit_boost {
+            let key = (txn.loc.rank, txn.loc.bank);
+            if self.last_row.get(&key) == Some(&txn.loc.row) {
+                self.stats.boosted_row_hits += 1;
+            }
+            self.last_row.insert(key, txn.loc.row);
+        }
+        let act = Command::activate(txn.loc.rank, txn.loc.bank, txn.loc.row);
+        self.events.push(CmdEvent { cycle: act_cycle, cmd: act, suppressed, completion: None });
+        let cas = if txn.is_write {
+            Command::write_ap(txn.loc.rank, txn.loc.bank, txn.loc.row, txn.loc.col)
+        } else {
+            Command::read_ap(txn.loc.rank, txn.loc.bank, txn.loc.row, txn.loc.col)
+        };
+        let completion = (txn.kind != TxnKind::Dummy).then(|| {
+            let data_done = data_cycle + self.t.t_burst as Cycle;
+            // Reads may be held for en-masse release (reordered BP);
+            // write completions are producer bookkeeping only.
+            let finish = if txn.is_write { data_done } else { release_override.unwrap_or(data_done) };
+            Completion { txn, finish }
+        });
+        self.events.push(CmdEvent { cycle: cas_cycle, cmd: cas, suppressed, completion });
+        self.hazards.commit(txn.loc.rank, act_cycle, cas_cycle, txn.is_write);
+        match txn.kind {
+            TxnKind::Dummy => self.stats.domain_mut(txn.domain).dummies += 1,
+            TxnKind::Prefetch => self.stats.domain_mut(txn.domain).prefetches += 1,
+            TxnKind::Demand => {}
+        }
+    }
+
+    /// Picks the transaction for a slot: demand first (oldest eligible),
+    /// then prefetch, then power-down (if enabled), then dummy.
+    /// Returns `true` if the slot issued anything but a bubble.
+    fn fill_slot(&mut self, plan: crate::solver::SlotPlan, now: Cycle) -> bool {
+        let domain = plan.domain;
+        let class = plan.bank_class;
+        // Demand pick: oldest queued transaction whose bank is ready at
+        // its direction's ACT cycle and matches the class mask. Bank
+        // readiness depends only on this domain's own past accesses (and
+        // class-mates under triple alternation, whose schedule is fixed),
+        // so the choice leaks nothing about other domains.
+        let device = &self.device;
+        let hazards = &self.hazards;
+        let timing = self.t;
+        let (read_act, write_act) = (plan.read_act, plan.write_act);
+        let (read_cas, write_cas) = (plan.read_cas, plan.write_cas);
+        let picked = self.queues[domain.0 as usize].take_first(|t| {
+            let (act_cycle, cas_cycle) =
+                if t.is_write { (write_act, write_cas) } else { (read_act, read_cas) };
+            if let Some(c) = class {
+                if t.loc.bank.0 % 3 != c {
+                    return false;
+                }
+            }
+            device.rank_bank_ready(t.loc.rank, t.loc.bank, act_cycle)
+                && hazards.act_ok(t.loc.rank, act_cycle, &timing)
+                && hazards.cas_ok(t.loc.rank, cas_cycle, t.is_write, &timing)
+        });
+        if let Some(txn) = picked {
+            self.commit_uniform(txn, &plan);
+            return true;
+        }
+        if let Some(pf) = self.make_prefetch(domain, plan.read_act, class, now) {
+            self.commit_uniform(pf, &plan);
+            return true;
+        }
+        if self.energy.power_down
+            && self.variant == FsVariant::RankPartitioned
+            && self.try_power_down(domain, &plan, now)
+        {
+            return true;
+        }
+        if let Some(dummy) = self.make_dummy(domain, plan.read_act, class, now) {
+            self.commit_uniform(dummy, &plan);
+            return true;
+        }
+        self.stats.bubbles += 1;
+        false
+    }
+
+    /// Energy optimisation 3: if the domain's rank is idle for the whole
+    /// interval, power it down now and wake it just in time for the
+    /// domain's next slot. Commands are placed on command-bus phases the
+    /// slot schedule provably never uses.
+    fn try_power_down(&mut self, domain: DomainId, plan: &crate::solver::SlotPlan, now: Cycle) -> bool {
+        let Some(schedule) = self.schedule else { return false };
+        if self.free_phases.len() < 2 {
+            return false;
+        }
+        let geom = *self.device.geometry();
+        let rank = RankId(domain.0 % geom.ranks_per_channel());
+        if self.rank_powered_down[rank.0 as usize] {
+            return false;
+        }
+        if !self.device.rank_idle(rank, plan.read_act) {
+            return false;
+        }
+        // The domain's next slot under the SLA pattern (a full interval
+        // when it has a single slot).
+        let len = self.slot_pattern.len() as u64;
+        let pos = plan.slot % len;
+        let gap_slots = (1..=len)
+            .find(|d| self.slot_pattern[((pos + d) % len) as usize] == domain)
+            .unwrap_or(len);
+        let next_decision = plan.decision_cycle + gap_slots * schedule.slot_pitch() as u64;
+        // Never straddle a refresh window with a powered-down rank.
+        if let Some((wstart, _)) = self.refresh.next_window(now) {
+            if next_decision + self.t.t_xp as Cycle >= wstart {
+                return false;
+            }
+        }
+        let l = schedule.slot_pitch() as u64;
+        let pde_phase = self.free_phases[0];
+        let pdx_phase = self.free_phases[1];
+        let pde_cycle = next_multiple_with_phase(plan.read_act.max(now + 1), pde_phase, l);
+        let wake_deadline = next_decision.saturating_sub(self.t.t_xp as Cycle);
+        let pdx_cycle = prev_multiple_with_phase(wake_deadline, pdx_phase, l);
+        if pdx_cycle <= pde_cycle {
+            return false;
+        }
+        self.events.push(CmdEvent {
+            cycle: pde_cycle,
+            cmd: Command::power_down(rank),
+            suppressed: false,
+            completion: None,
+        });
+        self.events.push(CmdEvent {
+            cycle: pdx_cycle,
+            cmd: Command::power_up(rank),
+            suppressed: false,
+            completion: None,
+        });
+        self.rank_powered_down[rank.0 as usize] = true;
+        self.stats.power_downs += 1;
+        // Shaping note: the power-down pair replaces the dummy; it is
+        // still a fixed function of this domain's own queue emptiness.
+        self.stats.domain_mut(domain).dummies += 1;
+        true
+    }
+
+    /// Reordered-BP interval commit: snapshot one transaction (or dummy)
+    /// per domain, order reads before writes, release read data en masse.
+    fn fill_interval(&mut self, k: u64, now: Cycle) {
+        let r = self.reordered.expect("reordered schedule");
+        let ready_by = {
+            let (act0, _, _) = r.slot_times(k, 0, false);
+            act0
+        };
+        let mut chosen: Vec<Transaction> = Vec::with_capacity(self.domains as usize);
+        for d in 0..self.domains {
+            let domain = DomainId(d);
+            let device = &self.device;
+            let picked = self.queues[d as usize].take_first(|t| {
+                device.rank_bank_ready(t.loc.rank, t.loc.bank, ready_by)
+            });
+            let txn = match picked {
+                Some(t) => t,
+                None => match self.make_dummy(domain, ready_by, None, now) {
+                    Some(dummy) => dummy,
+                    None => {
+                        self.stats.bubbles += 1;
+                        continue;
+                    }
+                },
+            };
+            chosen.push(txn);
+        }
+        // Reads first (domain order), then writes (domain order).
+        let release = r.release_cycle(k);
+        let mut slot = 0u8;
+        for &txn in chosen.iter().filter(|t| !t.is_write) {
+            let (act, cas, data) = r.slot_times(k, slot, false);
+            self.commit_commands(txn, act, cas, data, Some(release));
+            slot += 1;
+        }
+        for &txn in chosen.iter().filter(|t| t.is_write) {
+            let (act, cas, data) = r.slot_times(k, slot, true);
+            self.commit_commands(txn, act, cas, data, None);
+            slot += 1;
+        }
+    }
+
+    /// Issues every event due at `now`; returns completions.
+    fn pump_events(&mut self, now: Cycle, completions: &mut Vec<Completion>) {
+        let mut i = 0;
+        while i < self.events.len() {
+            if self.events[i].cycle != now {
+                i += 1;
+                continue;
+            }
+            let ev = self.events.remove(i);
+            let result = match ev.cmd.kind {
+                fsmc_dram::CommandKind::PowerDownExit => {
+                    self.rank_powered_down[ev.cmd.rank.0 as usize] = false;
+                    self.device.issue(&ev.cmd, now)
+                }
+                _ if ev.suppressed => self.device.issue_suppressed(&ev.cmd, now),
+                _ => self.device.issue(&ev.cmd, now),
+            };
+            let outcome = result.unwrap_or_else(|v| {
+                panic!("FS schedule produced an illegal command — pipeline math violated: {v}")
+            });
+            let _ = outcome;
+            if let Some(c) = ev.completion {
+                if c.txn.kind == TxnKind::Demand {
+                    let ds = self.stats.domain_mut(c.txn.domain);
+                    ds.read_latency_sum += c.finish.saturating_sub(c.txn.arrival);
+                    ds.reads_completed += 1;
+                }
+                completions.push(c);
+            }
+        }
+    }
+}
+
+/// First cycle >= `from` congruent to `phase` (mod `l`).
+fn next_multiple_with_phase(from: Cycle, phase: u64, l: u64) -> Cycle {
+    let rem = from % l;
+    if rem <= phase {
+        from + (phase - rem)
+    } else {
+        from + (l - rem) + phase
+    }
+}
+
+/// Spreads weighted slots through an interval so a domain with k slots
+/// sees them ~evenly spaced: domains are placed heaviest-first at their
+/// ideal stride positions, bumping forward (wrapping) on collisions.
+/// Weights [2,1,1] yield [0,1,0,2].
+fn smooth_weighted_round_robin(weights: &[u8]) -> Vec<DomainId> {
+    let total: usize = weights.iter().map(|&w| w as usize).sum();
+    let mut pattern: Vec<Option<DomainId>> = vec![None; total];
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&d| std::cmp::Reverse(weights[d]));
+    for d in order {
+        let w = weights[d] as usize;
+        for i in 0..w {
+            let ideal = i * total / w;
+            let mut pos = ideal;
+            while pattern[pos].is_some() {
+                pos = (pos + 1) % total;
+            }
+            pattern[pos] = Some(DomainId(d as u8));
+        }
+    }
+    pattern.into_iter().map(|p| p.expect("all slots filled")).collect()
+}
+
+/// Last cycle <= `until` congruent to `phase` (mod `l`); 0 if none.
+fn prev_multiple_with_phase(until: Cycle, phase: u64, l: u64) -> Cycle {
+    let rem = until % l;
+    if rem >= phase {
+        until - (rem - phase)
+    } else {
+        (until - rem).saturating_sub(l) + phase
+    }
+}
+
+impl MemoryController for FsScheduler {
+    fn can_accept(&self, domain: DomainId) -> bool {
+        !self.queues[domain.0 as usize].is_full()
+    }
+
+    fn enqueue(&mut self, txn: Transaction) -> Result<(), QueueFull> {
+        {
+            let ds = self.stats.domain_mut(txn.domain);
+            if txn.is_write {
+                ds.demand_writes += 1;
+            } else {
+                ds.demand_reads += 1;
+            }
+        }
+        if !txn.is_write {
+            if let Some(p) = &mut self.prefetchers {
+                p[txn.domain.0 as usize].on_access(txn.local_addr);
+            }
+        }
+        self.queues[txn.domain.0 as usize].push(txn)
+    }
+
+    fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        if let Some(cmd) = self.refresh.command_at(now) {
+            self.device.issue(&cmd, now).expect("refresh must be legal after quiesce");
+            return completions;
+        }
+        // Slot/interval decisions.
+        if let Some(schedule) = self.schedule {
+            loop {
+                let mut plan = schedule.plan(self.next_slot);
+                // SLA slot ownership: the schedule indexes virtual slots;
+                // the fixed pattern maps them to domains.
+                plan.domain = self.slot_pattern
+                    [(self.next_slot % self.slot_pattern.len() as u64) as usize];
+                if plan.decision_cycle > now {
+                    break;
+                }
+                if plan.decision_cycle == now && self.refresh.allows_transaction(now) {
+                    self.fill_slot(plan, now);
+                } else if plan.decision_cycle == now {
+                    self.stats.bubbles += 1;
+                }
+                self.next_slot += 1;
+            }
+        } else if let Some(r) = self.reordered {
+            loop {
+                let dec = r.decision_cycle(self.next_interval);
+                if dec > now {
+                    break;
+                }
+                if dec == now && self.refresh.allows_transaction(now + r.q()) && self.refresh.allows_transaction(now)
+                {
+                    self.fill_interval(self.next_interval, now);
+                } else if dec == now {
+                    self.stats.bubbles += self.domains as u64;
+                }
+                self.next_interval += 1;
+            }
+        }
+        self.pump_events(now, &mut completions);
+        completions
+    }
+
+    fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    fn finish(&mut self, now: Cycle) {
+        self.device.finish(now);
+    }
+
+    fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        match (self.variant, self.prefetchers.is_some()) {
+            (FsVariant::RankPartitioned, false) => SchedulerKind::FsRankPartitioned,
+            (FsVariant::RankPartitioned, true) => SchedulerKind::FsRankPartitionedPrefetch,
+            (FsVariant::BankPartitioned, _) => SchedulerKind::FsBankPartitioned,
+            (FsVariant::ReorderedBankPartitioned, _) => SchedulerKind::FsReorderedBankPartitioned,
+            (FsVariant::NoPartitionNaive, _) => SchedulerKind::FsNoPartitionNaive,
+            (FsVariant::TripleAlternation, _) => SchedulerKind::FsTripleAlternation,
+        }
+    }
+
+    fn record_commands(&mut self) {
+        self.device.record_commands();
+    }
+
+    fn take_command_log(&mut self) -> Vec<TimedCommand> {
+        self.device.take_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmc_dram::TimingChecker;
+
+    fn mk(variant: FsVariant) -> FsScheduler {
+        FsScheduler::new(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            8,
+            variant,
+            false,
+            EnergyOptions::default(),
+        )
+    }
+
+    fn txn(id: u64, domain: u8, local: u64, write: bool, policy: PartitionPolicy) -> Transaction {
+        let geom = Geometry::paper_default();
+        let loc = policy.map(&geom, DomainId(domain), LineAddr(local));
+        let t = if write {
+            Transaction::write(TxnId(id), DomainId(domain), loc, 0)
+        } else {
+            Transaction::read(TxnId(id), DomainId(domain), loc, 0)
+        };
+        t.with_local_addr(LineAddr(local))
+    }
+
+    fn run(mc: &mut FsScheduler, cycles: u64) -> Vec<Completion> {
+        let mut all = Vec::new();
+        for c in 0..cycles {
+            all.extend(mc.tick(c));
+        }
+        all
+    }
+
+    #[test]
+    fn rank_partitioned_serves_every_domain_every_q() {
+        let mut mc = mk(FsVariant::RankPartitioned);
+        assert_eq!(mc.interval_q(), 56);
+        for d in 0..8u8 {
+            mc.enqueue(txn(d as u64, d, 0, false, PartitionPolicy::Rank)).unwrap();
+        }
+        let done = run(&mut mc, 200);
+        assert_eq!(done.len(), 8);
+        // One read per slot, 7 cycles apart on the data bus.
+        for w in done.windows(2) {
+            assert_eq!(w[1].finish - w[0].finish, 7);
+        }
+    }
+
+    #[test]
+    fn dummies_fill_idle_slots() {
+        let mut mc = mk(FsVariant::RankPartitioned);
+        run(&mut mc, 56 * 4);
+        // ~4 intervals x 8 slots, all dummies (no demand traffic).
+        let dummies: u64 = (0..8).map(|d| mc.stats().domain(DomainId(d)).dummies).sum();
+        assert!(dummies >= 24, "only {dummies} dummies");
+        assert!(mc.stats().dummy_fraction() > 0.99);
+    }
+
+    #[test]
+    fn rank_partitioned_stream_is_conflict_free_for_any_mix() {
+        let mut mc = mk(FsVariant::RankPartitioned);
+        mc.record_commands();
+        for i in 0..64u64 {
+            mc.enqueue(txn(i, (i % 8) as u8, i * 17, i % 3 == 0, PartitionPolicy::Rank)).unwrap();
+        }
+        run(&mut mc, 1500);
+        let log = mc.take_command_log();
+        assert!(log.len() > 100);
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&log);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn bank_partitioned_and_naive_np_streams_are_conflict_free() {
+        for (variant, policy) in [
+            (FsVariant::BankPartitioned, PartitionPolicy::BankStriped),
+            (FsVariant::NoPartitionNaive, PartitionPolicy::None),
+        ] {
+            let mut mc = mk(variant);
+            mc.record_commands();
+            for i in 0..48u64 {
+                mc.enqueue(txn(i, (i % 8) as u8, i * 17, i % 3 == 0, policy)).unwrap();
+            }
+            run(&mut mc, 4000);
+            let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+            let v = checker.check(&mc.take_command_log());
+            assert!(v.is_empty(), "{variant:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn triple_alternation_stream_is_conflict_free() {
+        let mut mc = mk(FsVariant::TripleAlternation);
+        mc.record_commands();
+        for i in 0..64u64 {
+            mc.enqueue(txn(i, (i % 8) as u8, i * 31, i % 4 == 0, PartitionPolicy::None)).unwrap();
+        }
+        run(&mut mc, 3000);
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&mc.take_command_log());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn reordered_bp_releases_reads_en_masse() {
+        let mut mc = mk(FsVariant::ReorderedBankPartitioned);
+        assert_eq!(mc.interval_q(), 63);
+        for d in 0..4u8 {
+            mc.enqueue(txn(d as u64, d, 0, false, PartitionPolicy::BankStriped)).unwrap();
+        }
+        let done = run(&mut mc, 300);
+        assert_eq!(done.len(), 4);
+        // All reads of an interval complete at the same cycle.
+        let f0 = done[0].finish;
+        assert!(done.iter().all(|c| c.finish == f0), "{done:?}");
+    }
+
+    #[test]
+    fn reordered_bp_stream_is_conflict_free() {
+        let mut mc = mk(FsVariant::ReorderedBankPartitioned);
+        mc.record_commands();
+        for i in 0..64u64 {
+            mc.enqueue(txn(i, (i % 8) as u8, i * 13, i % 2 == 0, PartitionPolicy::BankStriped))
+                .unwrap();
+        }
+        run(&mut mc, 2000);
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&mc.take_command_log());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn refresh_windows_do_not_break_the_pipeline() {
+        let mut mc = mk(FsVariant::RankPartitioned);
+        mc.record_commands();
+        let mut id = 0u64;
+        for c in 0..13_000u64 {
+            if c % 40 == 0 && mc.can_accept(DomainId((id % 8) as u8)) {
+                mc.enqueue(txn(id, (id % 8) as u8, id * 11, false, PartitionPolicy::Rank)).unwrap();
+                id += 1;
+            }
+            mc.tick(c);
+        }
+        assert!(mc.device().counters().total_refreshes() >= 16);
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&mc.take_command_log());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn suppressed_dummies_do_not_count_as_array_activity() {
+        let mut mc = FsScheduler::new(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            8,
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions { suppress_dummies: true, ..Default::default() },
+        );
+        run(&mut mc, 56 * 4);
+        let c = mc.device().counters();
+        assert_eq!(c.total_reads(), 0, "dummy reads must be suppressed");
+        let suppressed: u64 = (0..8).map(|r| c.rank(r).suppressed).sum();
+        assert!(suppressed > 16);
+    }
+
+    #[test]
+    fn power_down_engages_on_idle_ranks_and_stream_stays_legal() {
+        let mut mc = FsScheduler::new(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            8,
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions { power_down: true, ..Default::default() },
+        );
+        mc.record_commands();
+        run(&mut mc, 2000);
+        assert!(mc.stats().power_downs > 0);
+        mc.finish(2000);
+        let pd: u64 = (0..8).map(|r| mc.device().counters().rank(r).powered_down_cycles).sum();
+        assert!(pd > 0, "no powered-down cycles recorded");
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&mc.take_command_log());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn row_hit_boost_detects_repeated_rows() {
+        let mut mc = FsScheduler::new(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            8,
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions { row_hit_boost: true, ..Default::default() },
+        );
+        // Two reads to the same row of domain 0.
+        mc.enqueue(txn(1, 0, 5, false, PartitionPolicy::Rank)).unwrap();
+        mc.enqueue(txn(2, 0, 6, false, PartitionPolicy::Rank)).unwrap();
+        run(&mut mc, 300);
+        assert!(mc.stats().boosted_row_hits >= 1);
+    }
+
+    #[test]
+    fn two_domain_rank_partitioning_keeps_l7_with_dynamic_hazard_avoidance() {
+        // Section 7: below ~6 ranks the 43-cycle same-rank worst case (and
+        // the 15-cycle write-to-read turnaround) bite; the scheduler must
+        // pick different transactions or insert bubbles rather than
+        // violate timing. The stream must stay legal for a write-heavy mix.
+        let mut mc = FsScheduler::new(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            2,
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions::default(),
+        );
+        assert_eq!(mc.schedule().unwrap().slot_pitch(), 7);
+        mc.record_commands();
+        for i in 0..24u64 {
+            mc.enqueue(txn(i, (i % 2) as u8, i * 17, i % 2 == 0, PartitionPolicy::Rank)).unwrap();
+        }
+        let done = run(&mut mc, 4000);
+        assert!(done.len() >= 10, "served {} reads", done.len());
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&mc.take_command_log());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn weighted_sla_gives_proportional_service() {
+        // Section 5.1: a domain's SLA decides its issue slots. Domain 0
+        // gets 3 slots per interval, domains 1 and 2 get 1 each.
+        let mut mc = FsScheduler::with_slot_weights(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            &[3, 1, 1],
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions::default(),
+        );
+        mc.record_commands();
+        // Saturate every domain.
+        let mut done = vec![0u64; 3];
+        let mut id = 0u64;
+        for c in 0..6000u64 {
+            for d in 0..3u8 {
+                if mc.can_accept(DomainId(d)) {
+                    mc.enqueue(txn(id, d, id * 997, false, PartitionPolicy::Rank)).unwrap();
+                    id += 1;
+                }
+            }
+            for comp in mc.tick(c) {
+                done[comp.txn.domain.0 as usize] += 1;
+            }
+        }
+        // Domain 0 should see ~3x the service of domain 1.
+        let ratio = done[0] as f64 / done[1].max(1) as f64;
+        assert!(
+            (2.2..=3.8).contains(&ratio),
+            "service {done:?} (ratio {ratio:.2}) not ~3:1:1"
+        );
+        // And the stream stays legal.
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&mc.take_command_log());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn domain_configs_drive_slots_and_queue_depths() {
+        use crate::domain::DomainConfig;
+        let configs = [
+            DomainConfig { id: DomainId(0), slots_per_interval: 2, queue_capacity: 4 },
+            DomainConfig::equal_service(DomainId(1)),
+        ];
+        let mut mc = FsScheduler::from_domain_configs(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            &configs,
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions::default(),
+        );
+        assert_eq!(mc.slot_pattern.len(), 3);
+        // Queue capacity of domain 0 is 4: the fifth enqueue back-pressures.
+        for i in 0..4 {
+            mc.enqueue(txn(i, 0, i * 997, false, PartitionPolicy::Rank)).unwrap();
+        }
+        assert!(!mc.can_accept(DomainId(0)));
+        assert!(mc.can_accept(DomainId(1)));
+    }
+
+    #[test]
+    fn weighted_sla_slots_are_spread_not_clumped() {
+        let mc = FsScheduler::with_slot_weights(
+            Geometry::paper_default(),
+            TimingParams::ddr3_1600(),
+            &[2, 1, 1],
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions::default(),
+        );
+        let p = &mc.slot_pattern;
+        assert_eq!(p.len(), 4);
+        // Domain 0's two slots must not be adjacent (smooth WRR).
+        let positions: Vec<usize> =
+            p.iter().enumerate().filter(|(_, d)| d.0 == 0).map(|(i, _)| i).collect();
+        assert_eq!(positions.len(), 2);
+        let gap = positions[1] - positions[0];
+        assert!(gap == 2, "pattern {p:?} clumps domain 0");
+    }
+
+    #[test]
+    fn service_is_independent_of_other_domains_load() {
+        // The executable non-interference core: domain 0's completion
+        // times must be identical whether co-runners are idle or flooding.
+        let run_domain0 = |others_busy: bool| -> Vec<Cycle> {
+            let mut mc = mk(FsVariant::RankPartitioned);
+            let mut id = 100;
+            for i in 0..8u64 {
+                mc.enqueue(txn(i, 0, i * 3, false, PartitionPolicy::Rank)).unwrap();
+            }
+            let mut finishes = Vec::new();
+            for c in 0..2000u64 {
+                if others_busy {
+                    for d in 1..8u8 {
+                        if c % 8 == d as u64 && mc.can_accept(DomainId(d)) {
+                            mc.enqueue(txn(id, d, id * 7, id % 2 == 0, PartitionPolicy::Rank))
+                                .unwrap();
+                            id += 1;
+                        }
+                    }
+                }
+                for comp in mc.tick(c) {
+                    if comp.txn.domain == DomainId(0) {
+                        finishes.push(comp.finish);
+                    }
+                }
+            }
+            finishes
+        };
+        assert_eq!(run_domain0(false), run_domain0(true));
+    }
+}

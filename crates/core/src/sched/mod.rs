@@ -1,0 +1,315 @@
+//! Memory-controller scheduling policies behind one trait.
+//!
+//! Three families are implemented:
+//!
+//! * [`baseline::BaselineScheduler`] — non-secure FR-FCFS open-page with
+//!   watermark-driven write drain (the normalisation denominator of every
+//!   figure in the paper).
+//! * [`tp::TpScheduler`] — Temporal Partitioning (Wang et al., HPCA 2014),
+//!   the prior secure scheme, in bank-partitioned and non-partitioned
+//!   forms with configurable turn lengths.
+//! * [`fs::FsScheduler`] — the paper's Fixed Service policies: rank
+//!   partitioning, bank partitioning, reordered bank partitioning, naive
+//!   no-partitioning and triple alternation, plus the prefetch and energy
+//!   optimisations.
+
+pub mod baseline;
+pub mod channel_part;
+pub mod fs;
+pub mod multi_channel;
+pub mod tp;
+
+use crate::domain::{DomainId, PartitionPolicy};
+use crate::queues::QueueFull;
+use crate::txn::Transaction;
+use fsmc_dram::{Cycle, DramDevice};
+use std::fmt;
+
+/// Identifies a scheduling policy and its configuration (the design
+/// points of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Non-secure FR-FCFS baseline.
+    Baseline,
+    /// Non-secure baseline with the sandbox prefetcher enabled.
+    BaselinePrefetch,
+    /// TP with bank partitioning at the given turn length (cycles).
+    TpBankPartitioned { turn: u32 },
+    /// TP with no spatial partitioning at the given turn length (cycles).
+    TpNoPartition { turn: u32 },
+    /// FS with rank partitioning (fixed periodic data, l = 7).
+    FsRankPartitioned,
+    /// FS rank partitioning with the sandbox prefetcher in dummy slots.
+    FsRankPartitionedPrefetch,
+    /// FS with basic bank partitioning (fixed periodic RAS, l = 15).
+    FsBankPartitioned,
+    /// FS with reordered bank partitioning (reads first, Q = 63).
+    FsReorderedBankPartitioned,
+    /// FS without spatial partitioning, naive pipeline (l = 43).
+    FsNoPartitionNaive,
+    /// FS without spatial partitioning, triple alternation.
+    FsTripleAlternation,
+    /// Channel partitioning: one private channel per domain (Section 4.1;
+    /// the no-sharing case — secure by isolation, not scheduling).
+    ChannelPartitioned,
+    /// Rank-partitioned FS sharded across multiple channels (the paper's
+    /// 32-core, 4-channel target system).
+    FsMultiChannel { channels: u8 },
+}
+
+impl SchedulerKind {
+    /// The spatial partition the OS must configure for this policy.
+    pub fn partition_policy(&self) -> PartitionPolicy {
+        match self {
+            SchedulerKind::Baseline | SchedulerKind::BaselinePrefetch => PartitionPolicy::None,
+            SchedulerKind::TpBankPartitioned { .. } => PartitionPolicy::BankStriped,
+            SchedulerKind::TpNoPartition { .. } => PartitionPolicy::None,
+            SchedulerKind::FsRankPartitioned | SchedulerKind::FsRankPartitionedPrefetch => {
+                PartitionPolicy::Rank
+            }
+            SchedulerKind::FsBankPartitioned | SchedulerKind::FsReorderedBankPartitioned => {
+                PartitionPolicy::BankStriped
+            }
+            SchedulerKind::FsNoPartitionNaive | SchedulerKind::FsTripleAlternation => {
+                PartitionPolicy::None
+            }
+            // Within its private channel a domain owns everything; the
+            // unpartitioned mapping maximises its bank parallelism.
+            SchedulerKind::ChannelPartitioned => PartitionPolicy::None,
+            SchedulerKind::FsMultiChannel { .. } => PartitionPolicy::Rank,
+        }
+    }
+
+    /// True for the policies that close the memory timing channel.
+    pub fn is_secure(&self) -> bool {
+        !matches!(self, SchedulerKind::Baseline | SchedulerKind::BaselinePrefetch)
+    }
+
+    /// Short label used in result tables (matches the paper's legends).
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerKind::Baseline => "Baseline".into(),
+            SchedulerKind::BaselinePrefetch => "Baseline_Prefetch".into(),
+            SchedulerKind::TpBankPartitioned { turn } => format!("TP_BP_{turn}"),
+            SchedulerKind::TpNoPartition { turn } => format!("TP_NP_{turn}"),
+            SchedulerKind::FsRankPartitioned => "FS_RP".into(),
+            SchedulerKind::FsRankPartitionedPrefetch => "FS_RP-Prefetch".into(),
+            SchedulerKind::FsBankPartitioned => "FS_BP".into(),
+            SchedulerKind::FsReorderedBankPartitioned => "FS_Reordered_BP".into(),
+            SchedulerKind::FsNoPartitionNaive => "FS_NP".into(),
+            SchedulerKind::FsTripleAlternation => "FS_NP_Optimized".into(),
+            SchedulerKind::ChannelPartitioned => "Channel_Partitioned".into(),
+            SchedulerKind::FsMultiChannel { channels } => format!("FS_RP_{channels}ch"),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A finished memory transaction: delivered to the producer at `finish`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    pub txn: Transaction,
+    /// DRAM cycle at which the data is available to the core (reads) or
+    /// the write has been transmitted.
+    pub finish: Cycle,
+}
+
+/// Per-domain scheduling statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DomainStats {
+    pub demand_reads: u64,
+    pub demand_writes: u64,
+    pub dummies: u64,
+    pub prefetches: u64,
+    /// Sum of (finish - arrival) over completed demand reads.
+    pub read_latency_sum: u64,
+    pub reads_completed: u64,
+}
+
+impl DomainStats {
+    /// Average demand-read latency in DRAM cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_completed as f64
+        }
+    }
+}
+
+/// Whole-controller statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct McStats {
+    domains: Vec<DomainStats>,
+    /// CAS commands that hit an already-open row (baseline open-page).
+    pub row_hits: u64,
+    /// CAS commands that required an activate.
+    pub row_misses: u64,
+    /// FS energy optimisation 2: dummy/demand pairs whose activate energy
+    /// is avoided because the row matches the previous access.
+    pub boosted_row_hits: u64,
+    /// Slots skipped entirely (refresh quiesce or no ready bank).
+    pub bubbles: u64,
+    /// Power-down entries issued (energy optimisation 3).
+    pub power_downs: u64,
+}
+
+impl McStats {
+    pub fn new(domains: usize) -> Self {
+        McStats { domains: vec![DomainStats::default(); domains], ..Default::default() }
+    }
+
+    pub fn domain(&self, d: DomainId) -> &DomainStats {
+        &self.domains[d.0 as usize]
+    }
+
+    pub fn domain_mut(&mut self, d: DomainId) -> &mut DomainStats {
+        &mut self.domains[d.0 as usize]
+    }
+
+    pub fn domains(&self) -> &[DomainStats] {
+        &self.domains
+    }
+
+    /// Fraction of issued transactions that were dummies.
+    pub fn dummy_fraction(&self) -> f64 {
+        let dummies: u64 = self.domains.iter().map(|d| d.dummies).sum();
+        let total: u64 = self
+            .domains
+            .iter()
+            .map(|d| d.demand_reads + d.demand_writes + d.dummies + d.prefetches)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            dummies as f64 / total as f64
+        }
+    }
+
+    /// Row-buffer hit rate over demand CAS commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Average demand-read latency across domains.
+    pub fn avg_read_latency(&self) -> f64 {
+        let sum: u64 = self.domains.iter().map(|d| d.read_latency_sum).sum();
+        let n: u64 = self.domains.iter().map(|d| d.reads_completed).sum();
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+/// The interface every scheduling policy implements.
+///
+/// A controller owns one channel's [`DramDevice`]; the system simulator
+/// drives `tick` once per DRAM cycle and routes [`Completion`]s back to
+/// the cores.
+pub trait MemoryController {
+    /// Whether `domain` may enqueue another transaction (back-pressure).
+    fn can_accept(&self, domain: DomainId) -> bool;
+
+    /// Enqueues a demand transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] if the domain's queue is at capacity.
+    fn enqueue(&mut self, txn: Transaction) -> Result<(), QueueFull>;
+
+    /// Advances one DRAM cycle, issuing commands as the policy dictates.
+    /// Completions may carry `finish` cycles in the future.
+    fn tick(&mut self, now: Cycle) -> Vec<Completion>;
+
+    /// The device this controller drives (counters, open-row state).
+    /// Multi-channel controllers return their first channel here; use
+    /// [`MemoryController::aggregate_counters`] for whole-system tallies.
+    fn device(&self) -> &DramDevice;
+
+    /// Activity counters aggregated over every channel this controller
+    /// drives (identical to the device's counters for single-channel
+    /// policies).
+    fn aggregate_counters(&self) -> fsmc_dram::ActivityCounters {
+        self.device().counters().clone()
+    }
+
+    /// Finalises counters at the end of simulation.
+    fn finish(&mut self, now: Cycle);
+
+    /// Scheduling statistics.
+    fn stats(&self) -> &McStats;
+
+    /// The policy this controller implements.
+    fn kind(&self) -> SchedulerKind;
+
+    /// Enables command-stream recording on the underlying device so the
+    /// log can later be replayed through the timing checker.
+    fn record_commands(&mut self);
+
+    /// Takes the recorded command log (empty unless recording was enabled
+    /// on the device).
+    fn take_command_log(&mut self) -> Vec<fsmc_dram::command::TimedCommand>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(SchedulerKind::FsRankPartitioned.label(), "FS_RP");
+        assert_eq!(SchedulerKind::FsTripleAlternation.label(), "FS_NP_Optimized");
+        assert_eq!(SchedulerKind::TpBankPartitioned { turn: 60 }.label(), "TP_BP_60");
+    }
+
+    #[test]
+    fn security_classification() {
+        assert!(!SchedulerKind::Baseline.is_secure());
+        assert!(!SchedulerKind::BaselinePrefetch.is_secure());
+        assert!(SchedulerKind::FsRankPartitioned.is_secure());
+        assert!(SchedulerKind::TpNoPartition { turn: 172 }.is_secure());
+    }
+
+    #[test]
+    fn partition_policies() {
+        assert_eq!(SchedulerKind::FsRankPartitioned.partition_policy(), PartitionPolicy::Rank);
+        assert_eq!(
+            SchedulerKind::FsReorderedBankPartitioned.partition_policy(),
+            PartitionPolicy::BankStriped
+        );
+        assert_eq!(SchedulerKind::FsTripleAlternation.partition_policy(), PartitionPolicy::None);
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let mut s = McStats::new(2);
+        s.domain_mut(DomainId(0)).demand_reads = 6;
+        s.domain_mut(DomainId(0)).dummies = 2;
+        s.domain_mut(DomainId(1)).demand_writes = 2;
+        assert!((s.dummy_fraction() - 0.2).abs() < 1e-12);
+        s.row_hits = 3;
+        s.row_misses = 1;
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_averages() {
+        let mut d = DomainStats::default();
+        assert_eq!(d.avg_read_latency(), 0.0);
+        d.read_latency_sum = 300;
+        d.reads_completed = 10;
+        assert!((d.avg_read_latency() - 30.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! ASCII rendering of FS pipelines — the reproduction of the paper's
+//! Figure 1 (rank-partitioned timing diagram) and Figure 2 (triple
+//! alternation).
+
+use super::schedule::{ScheduleVariant, SlotSchedule};
+use fsmc_dram::TimingParams;
+
+/// Renders the per-cycle command-bus and data-bus occupancy of `slots`
+/// consecutive slots of a uniform schedule, with the given read/write
+/// mix (`mix[i]` = slot *i* is a write; the mix wraps).
+///
+/// Each row is one resource; each column one DRAM cycle; the character is
+/// the slot's thread id (hex). This is the textual analogue of Figure 1:
+/// with the paper's parameters, eight slots of any mix occupy exactly 56
+/// cycles with no column carrying two commands.
+pub fn render_uniform(schedule: &SlotSchedule, t: &TimingParams, mix: &[bool], slots: u64) -> String {
+    assert!(!mix.is_empty(), "mix must be non-empty");
+    let mut acts: Vec<(u64, u8)> = Vec::new();
+    let mut rds: Vec<(u64, u8)> = Vec::new();
+    let mut wrs: Vec<(u64, u8)> = Vec::new();
+    let mut data: Vec<(u64, u64, u8)> = Vec::new();
+    let mut horizon = 0u64;
+    for g in 0..slots {
+        let p = schedule.plan(g);
+        let thread = (g % schedule.threads() as u64) as u8;
+        let is_write = mix[(g as usize) % mix.len()];
+        if is_write {
+            acts.push((p.write_act, thread));
+            wrs.push((p.write_cas, thread));
+            data.push((p.write_data, p.write_data + t.t_burst as u64, thread));
+            horizon = horizon.max(p.write_data + t.t_burst as u64);
+        } else {
+            acts.push((p.read_act, thread));
+            rds.push((p.read_cas, thread));
+            data.push((p.read_data, p.read_data + t.t_burst as u64, thread));
+            horizon = horizon.max(p.read_data + t.t_burst as u64);
+        }
+    }
+    let width = horizon as usize + 1;
+    let mut rows = vec![vec![b'.'; width]; 4];
+    let digit = |t: u8| -> u8 { b"0123456789ABCDEF"[(t & 0xF) as usize] };
+    for &(c, th) in &acts {
+        rows[0][c as usize] = digit(th);
+    }
+    for &(c, th) in &rds {
+        rows[1][c as usize] = digit(th);
+    }
+    for &(c, th) in &wrs {
+        rows[2][c as usize] = digit(th);
+    }
+    for &(s, e, th) in &data {
+        for c in s..e {
+            rows[3][c as usize] = digit(th);
+        }
+    }
+    let labels = ["Activate  ", "Column-Rd ", "Column-Wr ", "Data bus  "];
+    let mut out = String::new();
+    // Cycle ruler every 10 cycles.
+    out.push_str("cycle     ");
+    for c in 0..width {
+        out.push(if c % 10 == 0 { '|' } else { ' ' });
+    }
+    out.push('\n');
+    for (label, row) in labels.iter().zip(rows) {
+        out.push_str(label);
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a slot table for a schedule (used for the Figure 2 triple
+/// alternation view): one line per slot with its thread, command cycles
+/// and, under triple alternation, the permitted bank group.
+pub fn render_slot_table(schedule: &SlotSchedule, slots: u64) -> String {
+    let mut out = String::new();
+    out.push_str("slot thread sub-interval bank-group  read(ACT/CAS/data)  write(ACT/CAS/data)\n");
+    for g in 0..slots {
+        let p = schedule.plan(g);
+        let sub = match schedule.variant() {
+            ScheduleVariant::TripleAlternation => {
+                format!("{}", (g / schedule.threads() as u64) % 3)
+            }
+            ScheduleVariant::Uniform => "-".to_string(),
+        };
+        let class = match p.bank_class {
+            Some(c) => format!("bank%3=={c}"),
+            None => "any".to_string(),
+        };
+        out.push_str(&format!(
+            "{:>4} T{:<5} {:>12} {:>10}  {:>5}/{:<5}/{:<6} {:>5}/{:<5}/{:<6}\n",
+            g,
+            p.domain.0,
+            sub,
+            class,
+            p.read_act,
+            p.read_cas,
+            p.read_data,
+            p.write_act,
+            p.write_cas,
+            p.write_data,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_best, PartitionLevel};
+
+    #[test]
+    fn figure_1_diagram_has_no_command_collisions() {
+        let t = TimingParams::ddr3_1600();
+        let sol = solve_best(&t, PartitionLevel::Rank).unwrap();
+        let s = SlotSchedule::uniform(sol, 8);
+        // Figure 1's mix: six reads and two writes.
+        let mix = [false, false, false, false, false, true, true, false];
+        let art = render_uniform(&s, &t, &mix, 8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // No column may hold two command characters across the three
+        // command rows (rows 1..=3 after the ruler).
+        let width = lines[1].len() - 10;
+        for c in 0..width {
+            let busy = (1..4)
+                .filter(|&r| {
+                    let row = lines[r].as_bytes();
+                    row.get(10 + c).is_some_and(|&b| b != b'.')
+                })
+                .count();
+            assert!(busy <= 1, "command-bus collision at column {c}\n{art}");
+        }
+    }
+
+    #[test]
+    fn figure_1_eight_slots_span_56_cycles_on_the_data_bus() {
+        let t = TimingParams::ddr3_1600();
+        let sol = solve_best(&t, PartitionLevel::Rank).unwrap();
+        let s = SlotSchedule::uniform(sol, 8);
+        let p0 = s.plan(0);
+        let p8 = s.plan(8);
+        assert_eq!(p8.read_data - p0.read_data, 56);
+    }
+
+    #[test]
+    fn slot_table_mentions_bank_groups_for_ta() {
+        let t = TimingParams::ddr3_1600();
+        let s = SlotSchedule::triple_alternation(&t, 8).unwrap();
+        let table = render_slot_table(&s, 24);
+        assert!(table.contains("bank%3==0"));
+        assert!(table.contains("bank%3==2"));
+    }
+}

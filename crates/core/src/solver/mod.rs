@@ -1,0 +1,35 @@
+//! The pipeline constraint solver: Sections 3.1, 4.2 and 4.3 of the paper.
+//!
+//! Every FS pipeline is described by a *slot pitch* `l`: one memory
+//! transaction slot begins every `l` DRAM cycles, and slot `k`'s commands
+//! sit at fixed offsets from `k*l` determined by the chosen *anchor*
+//! (fixed periodic data, RAS or CAS). The solver encodes the paper's
+//! inequalities — command-bus collision freedom (Equation 1), tRRD/tFAW
+//! (Equations 2–3), read/write turnarounds (Equation 4) and the same-bank
+//! worst case of Section 4.3 — and finds the minimum feasible `l`.
+//!
+//! With the paper's DDR3-1600 parameters the solver reproduces every
+//! number in the text:
+//!
+//! | partition | anchor | `l` |
+//! |---|---|---|
+//! | rank | fixed periodic data | **7** |
+//! | rank | fixed periodic RAS/CAS | 12 |
+//! | bank | fixed periodic data | 21 |
+//! | bank | fixed periodic RAS | **15** |
+//! | none | fixed periodic RAS | **43** |
+
+pub mod burst;
+pub mod certify;
+mod constraints;
+pub mod diagram;
+mod offsets;
+mod schedule;
+mod solve;
+
+pub use burst::{burst_speedup, solve_burst, BurstSolution};
+pub use certify::{certify_reordered, certify_uniform, CertifyReport};
+pub use constraints::{build_constraints, Constraint, PartitionLevel};
+pub use offsets::{Anchor, SlotOffsets};
+pub use schedule::{ReorderedBpSchedule, ScheduleVariant, SlotPlan, SlotSchedule};
+pub use solve::{solve, solve_best, solve_for_threads, PipelineSolution, SolveError};

@@ -1,0 +1,131 @@
+//! Command-time offsets for the three anchor disciplines.
+
+use fsmc_dram::TimingParams;
+
+/// Which event of a transaction recurs with fixed period `l`.
+///
+/// Section 3.1 ("Fixed periodic commands"): anchoring the *data* transfer
+/// yields the most efficient rank-partitioned pipeline (l = 7), while
+/// anchoring the Activate (RAS) wins under bank partitioning (l = 15) and
+/// no partitioning (l = 43). The asymmetry comes from the different
+/// command sequences of reads and writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Anchor {
+    /// Slot `k`'s data-bus transfer begins exactly at `k*l`.
+    FixedPeriodicData,
+    /// Slot `k`'s Activate is issued exactly at `k*l`.
+    FixedPeriodicRas,
+    /// Slot `k`'s column command is issued exactly at `k*l`.
+    FixedPeriodicCas,
+}
+
+impl Anchor {
+    /// All three anchors, for exhaustive search.
+    pub fn all() -> [Anchor; 3] {
+        [Anchor::FixedPeriodicData, Anchor::FixedPeriodicRas, Anchor::FixedPeriodicCas]
+    }
+}
+
+/// Signed command/data offsets (in cycles) relative to a slot's anchor
+/// point `k*l`, for both transaction directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOffsets {
+    pub read_act: i64,
+    pub read_cas: i64,
+    pub read_data: i64,
+    pub write_act: i64,
+    pub write_cas: i64,
+    pub write_data: i64,
+}
+
+impl SlotOffsets {
+    /// Computes the offsets for `anchor` under timing parameters `t`.
+    pub fn for_anchor(anchor: Anchor, t: &TimingParams) -> Self {
+        let rcd = t.t_rcd as i64;
+        let cas = t.t_cas as i64;
+        let cwd = t.t_cwd as i64;
+        match anchor {
+            Anchor::FixedPeriodicData => SlotOffsets {
+                read_act: -(cas + rcd),
+                read_cas: -cas,
+                read_data: 0,
+                write_act: -(cwd + rcd),
+                write_cas: -cwd,
+                write_data: 0,
+            },
+            Anchor::FixedPeriodicRas => SlotOffsets {
+                read_act: 0,
+                read_cas: rcd,
+                read_data: rcd + cas,
+                write_act: 0,
+                write_cas: rcd,
+                write_data: rcd + cwd,
+            },
+            Anchor::FixedPeriodicCas => SlotOffsets {
+                read_act: -rcd,
+                read_cas: 0,
+                read_data: cas,
+                write_act: -rcd,
+                write_cas: 0,
+                write_data: cwd,
+            },
+        }
+    }
+
+    /// The distinct command-bus occupancy offsets (Activate and CAS times
+    /// for both directions, deduplicated).
+    pub fn command_offsets(&self) -> Vec<i64> {
+        let mut v = vec![self.read_act, self.read_cas, self.write_act, self.write_cas];
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The most negative offset — schedules shift everything by this much
+    /// so absolute command times are non-negative.
+    pub fn min_offset(&self) -> i64 {
+        [self.read_act, self.read_cas, self.write_act, self.write_cas, self.read_data, self.write_data]
+            .into_iter()
+            .min()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_periodic_data_offsets_match_paper() {
+        // Section 3.1: "The preceding Column-Rd is in cycle kl-11. The
+        // preceding Column-Wr is in cycle kl-5. The preceding Activate
+        // (read) is in cycle kl-22 / (write) kl-16."
+        let o = SlotOffsets::for_anchor(Anchor::FixedPeriodicData, &TimingParams::ddr3_1600());
+        assert_eq!(o.read_cas, -11);
+        assert_eq!(o.write_cas, -5);
+        assert_eq!(o.read_act, -22);
+        assert_eq!(o.write_act, -16);
+        assert_eq!(o.command_offsets(), vec![-22, -16, -11, -5]);
+        assert_eq!(o.min_offset(), -22);
+    }
+
+    #[test]
+    fn fixed_periodic_ras_offsets() {
+        let o = SlotOffsets::for_anchor(Anchor::FixedPeriodicRas, &TimingParams::ddr3_1600());
+        assert_eq!(o.read_act, 0);
+        assert_eq!(o.read_cas, 11);
+        assert_eq!(o.read_data, 22);
+        assert_eq!(o.write_data, 16);
+        // Read and write CAS coincide, so only two command offsets remain.
+        assert_eq!(o.command_offsets(), vec![0, 11]);
+    }
+
+    #[test]
+    fn fixed_periodic_cas_offsets() {
+        let o = SlotOffsets::for_anchor(Anchor::FixedPeriodicCas, &TimingParams::ddr3_1600());
+        assert_eq!(o.read_act, -11);
+        assert_eq!(o.read_cas, 0);
+        assert_eq!(o.read_data, 11);
+        assert_eq!(o.write_data, 5);
+    }
+}

@@ -1,0 +1,386 @@
+//! Concrete slot schedules materialised from pipeline solutions.
+//!
+//! A [`SlotSchedule`] turns the solved pitch `l` into absolute command
+//! cycles: slot `g` (global, increasing forever) belongs to thread
+//! `g % n` and its Activate/CAS/data times are fixed offsets from
+//! `g * l`. The triple-alternation variant (Section 4.3, Figure 2)
+//! additionally constrains which bank group each slot may touch. The
+//! reordered bank-partitioned pipeline (Section 4.2) is interval-based
+//! and gets its own type, [`ReorderedBpSchedule`].
+
+use super::offsets::{Anchor, SlotOffsets};
+use super::solve::{solve, PipelineSolution, SolveError};
+use super::PartitionLevel;
+use crate::domain::DomainId;
+use fsmc_dram::{Cycle, TimingParams};
+
+/// Which slot discipline a [`SlotSchedule`] implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleVariant {
+    /// One slot per `l` cycles, round-robin across threads (rank
+    /// partitioning, basic bank partitioning, naive no-partitioning).
+    Uniform,
+    /// Three sub-intervals per interval with rotating bank-group masks
+    /// (the paper's triple alternation for no partitioning).
+    TripleAlternation,
+}
+
+/// The fully resolved timing of one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotPlan {
+    /// Global slot index.
+    pub slot: u64,
+    /// The thread/domain this slot serves.
+    pub domain: DomainId,
+    /// Cycle at which the controller must commit to a transaction (the
+    /// earliest command time across both directions).
+    pub decision_cycle: Cycle,
+    pub read_act: Cycle,
+    pub read_cas: Cycle,
+    pub read_data: Cycle,
+    pub write_act: Cycle,
+    pub write_cas: Cycle,
+    pub write_data: Cycle,
+    /// Triple alternation only: the slot may touch only banks with
+    /// `bank_id % 3 == class`.
+    pub bank_class: Option<u8>,
+}
+
+/// A steady-state slot schedule for `n` threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotSchedule {
+    solution: PipelineSolution,
+    threads: u8,
+    variant: ScheduleVariant,
+    /// Shift applied to all absolute times so no command lands before 0.
+    base: Cycle,
+}
+
+impl SlotSchedule {
+    /// A uniform schedule from a solved pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn uniform(solution: PipelineSolution, threads: u8) -> Self {
+        assert!(threads > 0, "threads must be non-zero");
+        let base = (-solution.offsets.min_offset()).max(0) as Cycle;
+        SlotSchedule { solution, threads, variant: ScheduleVariant::Uniform, base }
+    }
+
+    /// The triple-alternation schedule for no partitioning: bank-group
+    /// rotation lets slots sit only `l_bank = 15` cycles apart while
+    /// same-bank reuse stays `3 * l >= 45 >= 43` cycles apart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`SolveError`] if the bank-level pipeline cannot be
+    /// solved for these timing parameters, or if the timing parameters
+    /// break the `3 * l >= same-bank turnaround` guarantee that makes the
+    /// rotation safe.
+    pub fn triple_alternation(t: &TimingParams, threads: u8) -> Result<Self, SolveError> {
+        assert!(threads > 0, "threads must be non-zero");
+        let sol = solve(t, Anchor::FixedPeriodicRas, PartitionLevel::Bank)?;
+        // Safety argument of Section 4.3: slots that may share a bank are
+        // at least 3 slots apart (same class appears every 3 slot groups).
+        if 3 * sol.l < t.same_bank_wr_turnaround().max(t.t_rc) {
+            return Err(SolveError { anchor: Anchor::FixedPeriodicRas, level: PartitionLevel::None });
+        }
+        let base = (-sol.offsets.min_offset()).max(0) as Cycle;
+        Ok(SlotSchedule {
+            solution: PipelineSolution { level: PartitionLevel::None, ..sol },
+            threads,
+            variant: ScheduleVariant::TripleAlternation,
+            base,
+        })
+    }
+
+    pub fn variant(&self) -> ScheduleVariant {
+        self.variant
+    }
+
+    pub fn threads(&self) -> u8 {
+        self.threads
+    }
+
+    pub fn slot_pitch(&self) -> u32 {
+        self.solution.l
+    }
+
+    pub fn solution(&self) -> &PipelineSolution {
+        &self.solution
+    }
+
+    /// The guaranteed per-thread service interval: `n * l` for uniform
+    /// schedules, `3 * n * l` for triple alternation (a thread is
+    /// guaranteed one slot per sub-interval triple but may serve up to
+    /// three requests in it).
+    pub fn q(&self) -> u64 {
+        match self.variant {
+            ScheduleVariant::Uniform => self.threads as u64 * self.solution.l as u64,
+            ScheduleVariant::TripleAlternation => 3 * self.threads as u64 * self.solution.l as u64,
+        }
+    }
+
+    /// Resolves slot `g` into absolute command times.
+    pub fn plan(&self, slot: u64) -> SlotPlan {
+        let o = &self.solution.offsets;
+        let anchor_time = self.base as i64 + slot as i64 * self.solution.l as i64;
+        let abs = |off: i64| (anchor_time + off) as Cycle;
+        let domain = DomainId((slot % self.threads as u64) as u8);
+        let bank_class = match self.variant {
+            ScheduleVariant::Uniform => None,
+            ScheduleVariant::TripleAlternation => {
+                let thread = (slot % self.threads as u64) as i64;
+                let sub = ((slot / self.threads as u64) % 3) as i64;
+                Some((thread - sub).rem_euclid(3) as u8)
+            }
+        };
+        SlotPlan {
+            slot,
+            domain,
+            decision_cycle: abs(o.read_act.min(o.write_act)),
+            read_act: abs(o.read_act),
+            read_cas: abs(o.read_cas),
+            read_data: abs(o.read_data),
+            write_act: abs(o.write_act),
+            write_cas: abs(o.write_cas),
+            write_data: abs(o.write_data),
+            bank_class,
+        }
+    }
+
+    /// The first slot whose decision cycle is at or after `cycle`.
+    pub fn first_slot_from(&self, cycle: Cycle) -> u64 {
+        let o = &self.solution.offsets;
+        let dec0 = self.base as i64 + o.read_act.min(o.write_act);
+        if (cycle as i64) <= dec0 {
+            return 0;
+        }
+        let delta = cycle as i64 - dec0;
+        let l = self.solution.l as i64;
+        ((delta + l - 1) / l) as u64
+    }
+}
+
+/// The reordered bank-partitioned schedule (Section 4.2): within each
+/// `Q`-cycle interval all reads go first, then all writes, with data
+/// transfers every `tBURST + tRTRS = 6` cycles and one write-to-read tail
+/// gap before the next interval. Read results are released *en masse* at
+/// interval end so co-runners' read/write ratios stay hidden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderedBpSchedule {
+    threads: u8,
+    offsets: SlotOffsets,
+    /// Start-to-start pitch of data transfers inside an interval.
+    data_pitch: u32,
+    /// Extra tail after the last data slot so the write-to-read turnaround
+    /// is covered across the interval boundary.
+    tail: u32,
+    base: Cycle,
+}
+
+impl ReorderedBpSchedule {
+    /// Builds the schedule for `threads` domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(t: &TimingParams, threads: u8) -> Self {
+        assert!(threads > 0, "threads must be non-zero");
+        let offsets = SlotOffsets::for_anchor(Anchor::FixedPeriodicData, t);
+        let data_pitch = t.t_burst + t.t_rtrs;
+        // The write-to-read CAS turnaround must hold from the last write
+        // CAS of interval k (data at Q - tail - data_pitch, CAS 5 earlier)
+        // to the first read CAS of interval k+1 (data at Q, CAS 11
+        // earlier): gap = tail + data_pitch - 6 >= wr2rd = 15, so with
+        // data_pitch = 6 the tail is exactly wr2rd. Q = 6n + 15 = 63 for
+        // the paper's 8-thread system.
+        let tail = t.wr_to_rd_same_rank();
+        let base = (-offsets.min_offset()).max(0) as Cycle;
+        ReorderedBpSchedule { threads, offsets, data_pitch, tail, base }
+    }
+
+    pub fn threads(&self) -> u8 {
+        self.threads
+    }
+
+    /// Interval length `Q = data_pitch * n + tail` (63 cycles for the
+    /// paper's 8-thread DDR3-1600 system).
+    pub fn q(&self) -> u64 {
+        self.data_pitch as u64 * self.threads as u64 + self.tail as u64
+    }
+
+    /// Peak data-bus utilization `n * tBURST / Q` (~51% for 8 threads).
+    pub fn peak_data_utilization(&self, t: &TimingParams) -> f64 {
+        self.threads as f64 * t.t_burst as f64 / self.q() as f64
+    }
+
+    /// Start cycle of interval `k` (anchor of data slot 0).
+    pub fn interval_anchor(&self, k: u64) -> Cycle {
+        self.base + k * self.q()
+    }
+
+    /// Cycle at which the controller must have collected and ordered the
+    /// interval's transactions (first possible command of the interval).
+    pub fn decision_cycle(&self, k: u64) -> Cycle {
+        let anchor = self.interval_anchor(k) as i64;
+        (anchor + self.offsets.read_act.min(self.offsets.write_act)) as Cycle
+    }
+
+    /// The interval index whose decision cycle is at or after `cycle`.
+    pub fn first_interval_from(&self, cycle: Cycle) -> u64 {
+        let dec0 = self.decision_cycle(0) as i64;
+        if (cycle as i64) <= dec0 {
+            return 0;
+        }
+        let q = self.q() as i64;
+        (((cycle as i64) - dec0 + q - 1) / q) as u64
+    }
+
+    /// Cycle when all read data of interval `k` is released to the cores
+    /// (the interval's end).
+    pub fn release_cycle(&self, k: u64) -> Cycle {
+        self.interval_anchor(k) + self.q()
+    }
+
+    /// Command times for data slot `j` of interval `k`, given direction.
+    pub fn slot_times(&self, k: u64, j: u8, is_write: bool) -> (Cycle, Cycle, Cycle) {
+        assert!(j < self.threads);
+        let data = self.interval_anchor(k) as i64 + j as i64 * self.data_pitch as i64;
+        if is_write {
+            ((data + self.offsets.write_act) as Cycle, (data + self.offsets.write_cas) as Cycle, data as Cycle)
+        } else {
+            ((data + self.offsets.read_act) as Cycle, (data + self.offsets.read_cas) as Cycle, data as Cycle)
+        }
+    }
+
+    pub fn offsets(&self) -> &SlotOffsets {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve_best;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    #[test]
+    fn uniform_rank_schedule_matches_figure_1() {
+        let sol = solve_best(&t(), PartitionLevel::Rank).unwrap();
+        let s = SlotSchedule::uniform(sol, 8);
+        assert_eq!(s.q(), 56);
+        let p0 = s.plan(0);
+        // Base shift is 22, so slot 0's data transfer is at cycle 22 and
+        // its read Activate at cycle 0.
+        assert_eq!(p0.read_act, 0);
+        assert_eq!(p0.read_cas, 11);
+        assert_eq!(p0.read_data, 22);
+        assert_eq!(p0.write_act, 6);
+        assert_eq!(p0.write_cas, 17);
+        assert_eq!(p0.domain, DomainId(0));
+        let p1 = s.plan(1);
+        assert_eq!(p1.read_data - p0.read_data, 7);
+        assert_eq!(p1.domain, DomainId(1));
+        // Slot 8 wraps to thread 0, 56 cycles later.
+        let p8 = s.plan(8);
+        assert_eq!(p8.domain, DomainId(0));
+        assert_eq!(p8.read_data - p0.read_data, 56);
+    }
+
+    #[test]
+    fn decision_precedes_all_commands() {
+        let sol = solve_best(&t(), PartitionLevel::Rank).unwrap();
+        let s = SlotSchedule::uniform(sol, 8);
+        for g in 0..64 {
+            let p = s.plan(g);
+            assert!(p.decision_cycle <= p.read_act);
+            assert!(p.decision_cycle <= p.write_act);
+            assert!(p.read_act < p.read_cas && p.read_cas < p.read_data);
+            assert!(p.write_act < p.write_cas && p.write_cas < p.write_data);
+        }
+    }
+
+    #[test]
+    fn first_slot_from_is_consistent_with_plan() {
+        let sol = solve_best(&t(), PartitionLevel::Rank).unwrap();
+        let s = SlotSchedule::uniform(sol, 8);
+        for cycle in 0..200u64 {
+            let g = s.first_slot_from(cycle);
+            assert!(s.plan(g).decision_cycle >= cycle, "cycle {cycle} slot {g}");
+            if g > 0 {
+                assert!(s.plan(g - 1).decision_cycle < cycle);
+            }
+        }
+    }
+
+    #[test]
+    fn triple_alternation_classes_rotate_per_sub_interval() {
+        let s = SlotSchedule::triple_alternation(&t(), 8).unwrap();
+        assert_eq!(s.slot_pitch(), 15);
+        assert_eq!(s.q(), 360);
+        // Sub-interval 0: thread i gets class i % 3 (threads 0,3,6 ->
+        // multiples of three, per Figure 2).
+        for i in 0..8u64 {
+            assert_eq!(s.plan(i).bank_class, Some((i % 3) as u8));
+        }
+        // Sub-interval 1: thread 0's class becomes 2 ("multiples of three
+        // plus two").
+        assert_eq!(s.plan(8).bank_class, Some(2));
+        assert_eq!(s.plan(9).bank_class, Some(0));
+        // Sub-interval 3 wraps back to the initial assignment.
+        for i in 0..8u64 {
+            assert_eq!(s.plan(24 + i).bank_class, s.plan(i).bank_class);
+        }
+    }
+
+    #[test]
+    fn triple_alternation_same_class_slots_are_43_plus_apart() {
+        let s = SlotSchedule::triple_alternation(&t(), 8).unwrap();
+        let turn = t().same_bank_wr_turnaround() as i64;
+        let plans: Vec<SlotPlan> = (0..96).map(|g| s.plan(g)).collect();
+        for (i, a) in plans.iter().enumerate() {
+            for b in plans.iter().skip(i + 1) {
+                if a.bank_class == b.bank_class {
+                    let gap = b.read_act as i64 - a.write_act as i64;
+                    assert!(gap >= turn, "slots {} and {} only {} apart", a.slot, b.slot, gap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_bp_matches_paper_q_and_utilization() {
+        let s = ReorderedBpSchedule::new(&t(), 8);
+        assert_eq!(s.q(), 63); // Section 4.2: "The value of Q is therefore 63"
+        let u = s.peak_data_utilization(&t());
+        assert!((u - 32.0 / 63.0).abs() < 1e-12); // ~51%
+    }
+
+    #[test]
+    fn reordered_bp_write_to_read_tail_holds_across_intervals() {
+        let timing = t();
+        let s = ReorderedBpSchedule::new(&timing, 8);
+        // Worst case: slot 7 of interval 0 is a write, slot 0 of interval
+        // 1 is a read.
+        let (_, wcas, _) = s.slot_times(0, 7, true);
+        let (_, rcas, _) = s.slot_times(1, 0, false);
+        assert!(
+            rcas >= wcas + timing.wr_to_rd_same_rank() as Cycle,
+            "write CAS {wcas} -> read CAS {rcas}"
+        );
+    }
+
+    #[test]
+    fn reordered_bp_interval_iteration() {
+        let s = ReorderedBpSchedule::new(&t(), 8);
+        let k = s.first_interval_from(500);
+        assert!(s.decision_cycle(k) >= 500);
+        assert!(k == 0 || s.decision_cycle(k - 1) < 500);
+        assert_eq!(s.release_cycle(0), s.interval_anchor(0) + 63);
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimum-pitch search over the constraint sets.
+
+use super::constraints::{build_constraints, Constraint, PartitionLevel};
+use super::offsets::{Anchor, SlotOffsets};
+use fsmc_dram::TimingParams;
+use std::error::Error;
+use std::fmt;
+
+/// Upper bound on the pitch search; anything above this means the
+/// constraint set is inconsistent (no real DDR3 pipeline needs more).
+const MAX_PITCH: u32 = 512;
+
+/// No feasible pitch was found below [`MAX_PITCH`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveError {
+    pub anchor: Anchor,
+    pub level: PartitionLevel,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no feasible slot pitch below {MAX_PITCH} for {:?}/{:?}", self.anchor, self.level)
+    }
+}
+
+impl Error for SolveError {}
+
+/// A solved pipeline: the minimum slot pitch and everything needed to
+/// materialise a schedule from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSolution {
+    /// Slot pitch in DRAM cycles: one transaction slot every `l` cycles.
+    pub l: u32,
+    pub anchor: Anchor,
+    pub level: PartitionLevel,
+    pub offsets: SlotOffsets,
+}
+
+impl PipelineSolution {
+    /// The per-thread service interval `Q = n * l` (Section 3.1).
+    pub fn interval_q(&self, threads: u8) -> u64 {
+        threads as u64 * self.l as u64
+    }
+
+    /// Theoretical peak data-bus utilization: `tBURST / l`.
+    pub fn peak_data_utilization(&self, t: &TimingParams) -> f64 {
+        t.t_burst as f64 / self.l as f64
+    }
+}
+
+fn partition_distances(level: PartitionLevel, same_rank_from: u32) -> (u32, u32) {
+    match level {
+        // Rank partitioning: slots share a rank only every `n` slots (the
+        // paper's idealised analysis passes u32::MAX, i.e. never nearby).
+        PartitionLevel::Rank => (same_rank_from, u32::MAX),
+        // Bank partitioning: any two slots may share a rank, never a bank.
+        PartitionLevel::Bank => (1, u32::MAX),
+        // No partitioning: any two slots may share a bank.
+        PartitionLevel::None => (1, 1),
+    }
+}
+
+/// Solves for the minimum pitch with the paper's idealised partition
+/// assumptions (rank partitioning with "enough" threads).
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if no pitch below an internal bound satisfies
+/// the constraints (indicates inconsistent timing parameters).
+pub fn solve(
+    t: &TimingParams,
+    anchor: Anchor,
+    level: PartitionLevel,
+) -> Result<PipelineSolution, SolveError> {
+    let (srf, sbf) = partition_distances(level, u32::MAX);
+    solve_raw(t, anchor, level, srf, sbf)
+}
+
+/// Solves for the minimum pitch for an `n`-thread system, additionally
+/// enforcing the same-rank constraints at slot distance `n` under rank
+/// partitioning (the paper's Section 7 sensitivity discussion: with six
+/// or fewer ranks a thread's consecutive accesses to its own rank start
+/// violating the 43-cycle worst case).
+pub fn solve_for_threads(
+    t: &TimingParams,
+    anchor: Anchor,
+    level: PartitionLevel,
+    threads: u8,
+) -> Result<PipelineSolution, SolveError> {
+    assert!(threads > 0, "threads must be non-zero");
+    let (srf, sbf) = partition_distances(level, threads as u32);
+    solve_raw(t, anchor, level, srf, sbf)
+}
+
+fn solve_raw(
+    t: &TimingParams,
+    anchor: Anchor,
+    level: PartitionLevel,
+    same_rank_from: u32,
+    same_bank_from: u32,
+) -> Result<PipelineSolution, SolveError> {
+    let cs = build_constraints(t, anchor, same_rank_from, same_bank_from);
+    match minimum_pitch(&cs) {
+        Some(l) => Ok(PipelineSolution {
+            l,
+            anchor,
+            level,
+            offsets: SlotOffsets::for_anchor(anchor, t),
+        }),
+        None => Err(SolveError { anchor, level }),
+    }
+}
+
+/// Searches all anchors and returns the solution with the smallest pitch
+/// (ties break toward fixed periodic data, matching the paper's choice).
+pub fn solve_best(t: &TimingParams, level: PartitionLevel) -> Result<PipelineSolution, SolveError> {
+    Anchor::all()
+        .into_iter()
+        .filter_map(|a| solve(t, a, level).ok())
+        .min_by_key(|s| s.l)
+        .ok_or(SolveError { anchor: Anchor::FixedPeriodicData, level })
+}
+
+fn minimum_pitch(cs: &[Constraint]) -> Option<u32> {
+    (1..=MAX_PITCH).find(|&l| cs.iter().all(|c| c.satisfied_by(l)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    #[test]
+    fn rank_partitioned_data_anchor_is_7() {
+        // Section 3.1 "Bottomline": the smallest l >= 6 fulfilling the
+        // equations is 7.
+        let s = solve(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
+        assert_eq!(s.l, 7);
+        assert_eq!(s.interval_q(8), 56);
+        assert!((s.peak_data_utilization(&t()) - 4.0 / 7.0).abs() < 1e-12); // 57%
+    }
+
+    #[test]
+    fn rank_partitioned_ras_and_cas_anchors_are_12() {
+        // Section 3.1 "Fixed periodic commands": "we would have arrived at
+        // an l = 12" for either alternative anchor.
+        for a in [Anchor::FixedPeriodicRas, Anchor::FixedPeriodicCas] {
+            let s = solve(&t(), a, PartitionLevel::Rank).unwrap();
+            assert_eq!(s.l, 12, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn bank_partitioned_data_anchor_is_21() {
+        // Section 4.2: "to fulfil these many equations, l >= 21".
+        let s = solve(&t(), Anchor::FixedPeriodicData, PartitionLevel::Bank).unwrap();
+        assert_eq!(s.l, 21);
+    }
+
+    #[test]
+    fn bank_partitioned_ras_anchor_is_15() {
+        // Section 4.2: "with fixed periodic RAS ... l >= 15 and we arrive
+        // at a more efficient pipeline", Q = 120 for 8 threads, 27% peak.
+        let s = solve(&t(), Anchor::FixedPeriodicRas, PartitionLevel::Bank).unwrap();
+        assert_eq!(s.l, 15);
+        assert_eq!(s.interval_q(8), 120);
+        assert!((s.peak_data_utilization(&t()) - 4.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_partitioning_best_is_43() {
+        // Section 4.3: "With fixed periodic RAS, this gives us the best
+        // l = 43 cycles", 344-cycle interval, 9% utilization.
+        let s = solve_best(&t(), PartitionLevel::None).unwrap();
+        assert_eq!(s.l, 43);
+        assert_eq!(s.anchor, Anchor::FixedPeriodicRas);
+        assert_eq!(s.interval_q(8), 344);
+        assert!(s.peak_data_utilization(&t()) < 0.10);
+    }
+
+    #[test]
+    fn best_rank_pipeline_uses_data_anchor() {
+        let s = solve_best(&t(), PartitionLevel::Rank).unwrap();
+        assert_eq!((s.l, s.anchor), (7, Anchor::FixedPeriodicData));
+    }
+
+    #[test]
+    fn best_bank_pipeline_uses_ras_anchor() {
+        let s = solve_best(&t(), PartitionLevel::Bank).unwrap();
+        assert_eq!((s.l, s.anchor), (15, Anchor::FixedPeriodicRas));
+    }
+
+    #[test]
+    fn few_threads_need_longer_pitch_under_rank_partitioning() {
+        // With 2 threads, a thread revisits its rank every 2 slots; the
+        // write-to-read turnaround then forces l > 7.
+        let s8 = solve_for_threads(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank, 8).unwrap();
+        assert_eq!(s8.l, 7); // 8 threads: same-rank distance 8 is harmless
+        let s2 = solve_for_threads(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank, 2).unwrap();
+        assert!(s2.l > 7, "2-thread pitch {} should exceed 7", s2.l);
+    }
+
+    #[test]
+    fn pitch_monotone_in_constraint_strength() {
+        let rank = solve_best(&t(), PartitionLevel::Rank).unwrap().l;
+        let bank = solve_best(&t(), PartitionLevel::Bank).unwrap().l;
+        let none = solve_best(&t(), PartitionLevel::None).unwrap().l;
+        assert!(rank <= bank && bank <= none);
+    }
+}

@@ -1,0 +1,119 @@
+//! Memory transactions as seen by the memory controller.
+
+use crate::domain::DomainId;
+use fsmc_dram::geometry::LineAddr;
+use fsmc_dram::{Cycle, Location};
+use std::fmt;
+
+/// Unique transaction identifier, assigned by the producer (core/sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Why a transaction exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// A demand read or write from a core.
+    Demand,
+    /// A controller-inserted dummy operation (FS shaping).
+    Dummy,
+    /// A prefetch issued in a slot that would otherwise be a dummy.
+    Prefetch,
+}
+
+/// One read or write memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transaction {
+    pub id: TxnId,
+    pub domain: DomainId,
+    pub loc: Location,
+    /// The domain-local line address the location was mapped from (fed to
+    /// the per-domain prefetcher; zero for controller-generated traffic).
+    pub local_addr: LineAddr,
+    pub is_write: bool,
+    /// DRAM cycle at which the transaction reached the controller.
+    pub arrival: Cycle,
+    pub kind: TxnKind,
+}
+
+impl Transaction {
+    /// A demand read.
+    pub fn read(id: TxnId, domain: DomainId, loc: Location, arrival: Cycle) -> Self {
+        Transaction {
+            id,
+            domain,
+            loc,
+            local_addr: LineAddr(0),
+            is_write: false,
+            arrival,
+            kind: TxnKind::Demand,
+        }
+    }
+
+    /// A demand write.
+    pub fn write(id: TxnId, domain: DomainId, loc: Location, arrival: Cycle) -> Self {
+        Transaction {
+            id,
+            domain,
+            loc,
+            local_addr: LineAddr(0),
+            is_write: true,
+            arrival,
+            kind: TxnKind::Demand,
+        }
+    }
+
+    /// Attaches the domain-local address the location was mapped from.
+    pub fn with_local_addr(mut self, local: LineAddr) -> Self {
+        self.local_addr = local;
+        self
+    }
+
+    /// True for controller-generated traffic (dummy or prefetch).
+    pub fn is_synthetic(&self) -> bool {
+        self.kind != TxnKind::Demand
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} d{} {} {} ({:?})",
+            self.id,
+            self.domain.0,
+            if self.is_write { "W" } else { "R" },
+            self.loc,
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmc_dram::geometry::{BankId, ChannelId, ColId, RankId, RowId};
+
+    #[test]
+    fn constructors_and_predicates() {
+        let loc = Location {
+            channel: ChannelId(0),
+            rank: RankId(1),
+            bank: BankId(2),
+            row: RowId(3),
+            col: ColId(4),
+        };
+        let r = Transaction::read(TxnId(1), DomainId(0), loc, 10);
+        assert!(!r.is_write);
+        assert!(!r.is_synthetic());
+        let w = Transaction::write(TxnId(2), DomainId(1), loc, 11);
+        assert!(w.is_write);
+        let d = Transaction { kind: TxnKind::Dummy, ..r };
+        assert!(d.is_synthetic());
+    }
+}

@@ -1,0 +1,254 @@
+//! Set-associative caches with LRU replacement.
+//!
+//! The simulator's traces are post-LLC (Table 1's cache hierarchy has
+//! already filtered them), but the cache model is a first-class substrate:
+//! workload generation can pass raw address streams through a modelled
+//! L1/L2 to derive realistic miss streams, and the `cache_filtering`
+//! example demonstrates exactly that.
+
+use fsmc_dram::geometry::LineAddr;
+
+/// Cache shape: capacity, associativity, line size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    pub size_bytes: u64,
+    pub ways: u32,
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Table 1 L1: 32 KB, 2-way.
+    pub fn paper_l1() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, ways: 2, line_bytes: 64 }
+    }
+
+    /// Table 1 L2 (shared LLC): 4 MB, 8-way.
+    pub fn paper_l2() -> Self {
+        CacheConfig { size_bytes: 4 * 1024 * 1024, ways: 8, line_bytes: 64 }
+    }
+
+    fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: larger is more recent.
+    used: u64,
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    pub hit: bool,
+    /// A dirty line evicted by this access (writeback traffic).
+    pub writeback: Option<LineAddr>,
+}
+
+/// One set-associative cache level with LRU replacement and
+/// write-allocate, write-back policy.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl Cache {
+    /// # Panics
+    ///
+    /// Panics unless sets and ways are non-zero powers of two.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.ways > 0, "associativity must be non-zero");
+        Cache {
+            cfg,
+            sets: vec![vec![Line { tag: 0, valid: false, dirty: false, used: 0 }; cfg.ways as usize]; sets as usize],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accesses `addr` (a line address); allocates on miss.
+    pub fn access(&mut self, addr: LineAddr, is_write: bool) -> AccessResult {
+        self.clock += 1;
+        let set_count = self.sets.len() as u64;
+        let set_idx = (addr.0 % set_count) as usize;
+        let tag = addr.0 / set_count;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.used = self.clock;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return AccessResult { hit: true, writeback: None };
+        }
+        self.misses += 1;
+        // Victim: invalid first, else LRU.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.used + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("non-zero associativity");
+        let old = set[victim];
+        let writeback = (old.valid && old.dirty)
+            .then(|| LineAddr(old.tag * set_count + set_idx as u64));
+        set[victim] = Line { tag, valid: true, dirty: is_write, used: self.clock };
+        AccessResult { hit: false, writeback }
+    }
+
+    /// Hit rate over all accesses so far.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A two-level hierarchy: private L1 in front of a (logically shared) L2.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    pub l1: Cache,
+    pub l2: Cache,
+}
+
+/// What a hierarchy access produced at the memory boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyResult {
+    /// The demand access missed all levels (a memory read is needed).
+    pub memory_read: Option<LineAddr>,
+    /// An L2 dirty eviction produced a memory write.
+    pub memory_write: Option<LineAddr>,
+}
+
+impl Hierarchy {
+    pub fn paper_default() -> Self {
+        Hierarchy { l1: Cache::new(CacheConfig::paper_l1()), l2: Cache::new(CacheConfig::paper_l2()) }
+    }
+
+    /// Runs one demand access through L1 then L2, returning any memory
+    /// traffic it generates.
+    pub fn access(&mut self, addr: LineAddr, is_write: bool) -> HierarchyResult {
+        let r1 = self.l1.access(addr, is_write);
+        let mut result = HierarchyResult { memory_read: None, memory_write: None };
+        if r1.hit {
+            // L1 writebacks go to L2 below on eviction; nothing else to do.
+            return result;
+        }
+        // L1 victim writeback lands in L2.
+        if let Some(wb) = r1.writeback {
+            let r2 = self.l2.access(wb, true);
+            if let Some(mem_wb) = r2.writeback {
+                result.memory_write = Some(mem_wb);
+            }
+        }
+        let r2 = self.l2.access(addr, false);
+        if !r2.hit {
+            result.memory_read = Some(addr);
+        }
+        if let Some(mem_wb) = r2.writeback {
+            result.memory_write = Some(mem_wb);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_access_hits() {
+        let mut c = Cache::new(CacheConfig::paper_l1());
+        assert!(!c.access(LineAddr(5), false).hit);
+        assert!(c.access(LineAddr(5), false).hit);
+        assert_eq!((c.hits, c.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Tiny 2-way cache with 2 sets: lines 0,2,4 map to set 0.
+        let cfg = CacheConfig { size_bytes: 4 * 64, ways: 2, line_bytes: 64 };
+        let mut c = Cache::new(cfg);
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(2), false);
+        c.access(LineAddr(0), false); // refresh 0
+        c.access(LineAddr(4), false); // evicts 2
+        assert!(c.access(LineAddr(0), false).hit);
+        assert!(!c.access(LineAddr(2), false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let cfg = CacheConfig { size_bytes: 2 * 64, ways: 1, line_bytes: 64 };
+        let mut c = Cache::new(cfg);
+        c.access(LineAddr(0), true);
+        let r = c.access(LineAddr(2), false); // same set, evicts dirty 0
+        assert_eq!(r.writeback, Some(LineAddr(0)));
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let cfg = CacheConfig { size_bytes: 2 * 64, ways: 1, line_bytes: 64 };
+        let mut c = Cache::new(cfg);
+        c.access(LineAddr(0), false);
+        let r = c.access(LineAddr(2), false);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn streaming_working_set_larger_than_cache_misses() {
+        let mut h = Hierarchy::paper_default();
+        let llc_lines = CacheConfig::paper_l2().size_bytes / 64;
+        let mut mem_reads = 0;
+        for a in 0..llc_lines * 2 {
+            if h.access(LineAddr(a), false).memory_read.is_some() {
+                mem_reads += 1;
+            }
+        }
+        assert_eq!(mem_reads, llc_lines * 2, "cold streaming misses everywhere");
+    }
+
+    #[test]
+    fn small_working_set_lives_in_l1() {
+        let mut h = Hierarchy::paper_default();
+        for round in 0..10 {
+            for a in 0..64u64 {
+                let r = h.access(LineAddr(a), false);
+                if round > 0 {
+                    assert_eq!(r.memory_read, None);
+                }
+            }
+        }
+        assert!(h.l1.hit_rate() > 0.85);
+    }
+
+    #[test]
+    fn dirty_l2_evictions_reach_memory() {
+        let mut h = Hierarchy::paper_default();
+        let llc_lines = CacheConfig::paper_l2().size_bytes / 64;
+        let mut mem_writes = 0;
+        for a in 0..llc_lines * 3 {
+            let r = h.access(LineAddr(a), true);
+            if r.memory_write.is_some() {
+                mem_writes += 1;
+            }
+        }
+        assert!(mem_writes > 0, "dirty working set must spill writebacks");
+    }
+}

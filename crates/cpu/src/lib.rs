@@ -1,0 +1,35 @@
+//! # fsmc-cpu — trace-driven out-of-order core model
+//!
+//! The CPU substrate of the reproduction: a USIMM-style timing-first core
+//! model (the paper pairs Simics functional simulation with USIMM's
+//! timing model; the memory-controller study only needs the core's
+//! memory-level parallelism and retirement-stall behaviour, which this
+//! captures).
+//!
+//! * [`trace`] — the post-LLC trace format ("N non-memory instructions,
+//!   then a read/write to line X") and the [`trace::TraceSource`] trait
+//!   workload generators implement.
+//! * [`core`] — the out-of-order core: 64-entry ROB, 4-wide fetch and
+//!   retire, posted writes, reads blocking retirement until data returns.
+//! * [`cache`] — a set-associative write-allocate cache hierarchy used by
+//!   trace generation paths and examples.
+//! * [`mshr`] — miss-status holding registers that merge duplicate
+//!   outstanding reads.
+//! * [`prefetch_buffer`] — the small per-core buffer that holds
+//!   prefetched lines until a demand access consumes them.
+//! * [`trace_file`] — USIMM-format trace file I/O, for driving the
+//!   simulator with captured traces or exporting synthetic ones.
+
+pub mod cache;
+pub mod core;
+pub mod mshr;
+pub mod prefetch_buffer;
+pub mod trace;
+pub mod trace_file;
+
+pub use crate::core::{CoreConfig, CoreStats, OooCore, SubmitResult};
+pub use cache::{Cache, CacheConfig};
+pub use mshr::{MshrFile, MshrOutcome};
+pub use prefetch_buffer::PrefetchBuffer;
+pub use trace::{MemOp, TraceOp, TraceSource};
+pub use trace_file::{record_trace, write_trace, FileTrace};

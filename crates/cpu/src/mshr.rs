@@ -1,0 +1,93 @@
+//! Miss-status holding registers: merge duplicate outstanding reads so a
+//! line is fetched from memory once no matter how many instructions wait
+//! on it.
+
+use fsmc_dram::geometry::LineAddr;
+use std::collections::HashMap;
+
+/// Outcome of registering a read miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss to this line: send a memory transaction.
+    Primary,
+    /// The line is already in flight: just wait.
+    Secondary,
+    /// No MSHR available: the core must stall and retry.
+    Full,
+}
+
+/// A bounded MSHR file keyed by line address; each entry collects the
+/// waiter tags to wake when the line returns.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: HashMap<LineAddr, Vec<u64>>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile { entries: HashMap::with_capacity(capacity), capacity }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registers `tag` as waiting on `addr`.
+    pub fn alloc(&mut self, addr: LineAddr, tag: u64) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&addr) {
+            waiters.push(tag);
+            return MshrOutcome::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(addr, vec![tag]);
+        MshrOutcome::Primary
+    }
+
+    /// The line has arrived; returns every waiter tag to wake.
+    pub fn complete(&mut self, addr: LineAddr) -> Vec<u64> {
+        self.entries.remove(&addr).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary_then_wake_all() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.alloc(LineAddr(9), 1), MshrOutcome::Primary);
+        assert_eq!(m.alloc(LineAddr(9), 2), MshrOutcome::Secondary);
+        assert_eq!(m.alloc(LineAddr(8), 3), MshrOutcome::Primary);
+        let woken = m.complete(LineAddr(9));
+        assert_eq!(woken, vec![1, 2]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_limits_distinct_lines_not_waiters() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.alloc(LineAddr(1), 1), MshrOutcome::Primary);
+        assert_eq!(m.alloc(LineAddr(2), 2), MshrOutcome::Primary);
+        assert_eq!(m.alloc(LineAddr(3), 3), MshrOutcome::Full);
+        // Secondary misses still merge at capacity.
+        assert_eq!(m.alloc(LineAddr(1), 4), MshrOutcome::Secondary);
+    }
+
+    #[test]
+    fn completing_unknown_line_is_empty() {
+        let mut m = MshrFile::new(2);
+        assert!(m.complete(LineAddr(77)).is_empty());
+    }
+}

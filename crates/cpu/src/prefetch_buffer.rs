@@ -1,0 +1,92 @@
+//! The per-core prefetch buffer: completed prefetches park here until a
+//! demand access consumes them (or FIFO pressure evicts them).
+
+use fsmc_dram::geometry::LineAddr;
+use std::collections::VecDeque;
+
+/// A small FIFO buffer of prefetched lines.
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    lines: VecDeque<LineAddr>,
+    capacity: usize,
+    pub useful: u64,
+    pub inserted: u64,
+}
+
+impl PrefetchBuffer {
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer capacity must be non-zero");
+        PrefetchBuffer { lines: VecDeque::with_capacity(capacity), capacity, useful: 0, inserted: 0 }
+    }
+
+    /// Inserts a completed prefetch, evicting the oldest line if full.
+    pub fn insert(&mut self, addr: LineAddr) {
+        if self.lines.contains(&addr) {
+            return;
+        }
+        if self.lines.len() >= self.capacity {
+            self.lines.pop_front();
+        }
+        self.lines.push_back(addr);
+        self.inserted += 1;
+    }
+
+    /// A demand access checks the buffer; a hit consumes the line.
+    pub fn take(&mut self, addr: LineAddr) -> bool {
+        if let Some(i) = self.lines.iter().position(|&a| a == addr) {
+            self.lines.remove(i);
+            self.useful += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fraction of inserted prefetches that a demand access consumed.
+    pub fn usefulness(&self) -> f64 {
+        if self.inserted == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.inserted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_consumes_line() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(LineAddr(5));
+        assert!(b.take(LineAddr(5)));
+        assert!(!b.take(LineAddr(5)));
+        assert_eq!(b.useful, 1);
+    }
+
+    #[test]
+    fn fifo_eviction_when_full() {
+        let mut b = PrefetchBuffer::new(2);
+        b.insert(LineAddr(1));
+        b.insert(LineAddr(2));
+        b.insert(LineAddr(3)); // evicts 1
+        assert!(!b.take(LineAddr(1)));
+        assert!(b.take(LineAddr(2)));
+        assert!(b.take(LineAddr(3)));
+    }
+
+    #[test]
+    fn duplicate_inserts_ignored() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(LineAddr(9));
+        b.insert(LineAddr(9));
+        assert_eq!(b.inserted, 1);
+        assert!((b.usefulness() - 0.0).abs() < f64::EPSILON);
+        b.take(LineAddr(9));
+        assert!((b.usefulness() - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,113 @@
+//! The post-LLC trace format consumed by the core model.
+//!
+//! A trace is an infinite instruction stream summarised as "run `nonmem`
+//! non-memory instructions, then perform this memory operation". This is
+//! the USIMM trace abstraction: caches have already filtered the stream,
+//! so every [`MemOp`] is a last-level-cache miss or writeback.
+
+use fsmc_dram::geometry::LineAddr;
+
+/// One memory operation in a core's local address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOp {
+    /// Domain-local line address (the controller's partition policy maps
+    /// it to a physical DRAM location).
+    pub addr: LineAddr,
+    pub is_write: bool,
+}
+
+impl MemOp {
+    pub fn read(addr: u64) -> Self {
+        MemOp { addr: LineAddr(addr), is_write: false }
+    }
+
+    pub fn write(addr: u64) -> Self {
+        MemOp { addr: LineAddr(addr), is_write: true }
+    }
+}
+
+/// A batch of instructions: `nonmem` ALU/branch instructions followed by
+/// an optional memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    pub nonmem: u32,
+    pub mem: Option<MemOp>,
+}
+
+impl TraceOp {
+    /// Only non-memory work.
+    pub fn compute(nonmem: u32) -> Self {
+        TraceOp { nonmem, mem: None }
+    }
+
+    /// `nonmem` instructions then one memory access.
+    pub fn with_mem(nonmem: u32, mem: MemOp) -> Self {
+        TraceOp { nonmem, mem: Some(mem) }
+    }
+
+    /// Total instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        self.nonmem as u64 + self.mem.is_some() as u64
+    }
+}
+
+/// An endless instruction stream feeding one core.
+///
+/// Implementations must be deterministic given their construction
+/// parameters — determinism is what makes the non-interference harness
+/// in `fsmc-security` meaningful.
+pub trait TraceSource {
+    /// Produces the next batch. Streams never end; benchmarks that run
+    /// out should loop.
+    fn next_op(&mut self) -> TraceOp;
+}
+
+/// Replays a fixed vector of ops in a loop — handy in tests.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(ops: Vec<TraceOp>) -> Self {
+        assert!(!ops.is_empty(), "trace must contain at least one op");
+        VecTrace { ops, pos: 0 }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_op_instruction_counting() {
+        assert_eq!(TraceOp::compute(5).instructions(), 5);
+        assert_eq!(TraceOp::with_mem(5, MemOp::read(1)).instructions(), 6);
+    }
+
+    #[test]
+    fn vec_trace_loops() {
+        let mut t = VecTrace::new(vec![TraceOp::compute(1), TraceOp::compute(2)]);
+        assert_eq!(t.next_op().nonmem, 1);
+        assert_eq!(t.next_op().nonmem, 2);
+        assert_eq!(t.next_op().nonmem, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_vec_trace_rejected() {
+        VecTrace::new(Vec::new());
+    }
+}

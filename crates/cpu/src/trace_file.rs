@@ -1,0 +1,243 @@
+//! Trace file I/O in the USIMM text format, so real captured traces can
+//! drive the simulator and synthetic traces can be exported for other
+//! tools.
+//!
+//! Format: one memory operation per line,
+//!
+//! ```text
+//! <gap> R <line-address-hex>
+//! <gap> W <line-address-hex>
+//! ```
+//!
+//! where `<gap>` is the number of non-memory instructions preceding the
+//! operation (USIMM's lead field) and the address is a cache-line
+//! address in hex (with or without a `0x` prefix). Blank lines and lines
+//! starting with `#` are ignored.
+
+use crate::trace::{MemOp, TraceOp, TraceSource};
+use fsmc_dram::geometry::LineAddr;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A parse failure with its line number.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl From<ParseTraceError> for io::Error {
+    fn from(e: ParseTraceError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// An in-memory trace loaded from a file; replays in a loop (benchmarks
+/// that run out restart, as in the paper's rate-mode methodology).
+#[derive(Debug, Clone)]
+pub struct FileTrace {
+    ops: Vec<TraceOp>,
+    pos: usize,
+}
+
+impl FileTrace {
+    /// Loads a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`ParseTraceError`] (wrapped in `io::Error`) for
+    /// malformed lines or an empty trace.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        FileTrace::from_reader(File::open(path)?)
+    }
+
+    /// Parses a trace from any reader.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileTrace::load`].
+    pub fn from_reader<R: Read>(reader: R) -> io::Result<Self> {
+        let mut ops = Vec::new();
+        for (idx, line) in BufReader::new(reader).lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            ops.push(parse_line(trimmed).map_err(|message| ParseTraceError {
+                line: idx + 1,
+                message,
+            })?);
+        }
+        if ops.is_empty() {
+            return Err(ParseTraceError { line: 0, message: "empty trace".into() }.into());
+        }
+        Ok(FileTrace { ops, pos: 0 })
+    }
+
+    /// Number of memory operations in the trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+fn parse_line(line: &str) -> Result<TraceOp, String> {
+    let mut parts = line.split_whitespace();
+    let gap: u32 = parts
+        .next()
+        .ok_or("missing gap field")?
+        .parse()
+        .map_err(|e| format!("bad gap: {e}"))?;
+    let dir = parts.next().ok_or("missing R/W field")?;
+    let is_write = match dir {
+        "R" | "r" => false,
+        "W" | "w" => true,
+        other => return Err(format!("expected R or W, got {other:?}")),
+    };
+    let addr_str = parts.next().ok_or("missing address field")?;
+    let addr_str = addr_str.strip_prefix("0x").unwrap_or(addr_str);
+    let addr = u64::from_str_radix(addr_str, 16).map_err(|e| format!("bad address: {e}"))?;
+    if parts.next().is_some() {
+        return Err("trailing fields".into());
+    }
+    Ok(TraceOp::with_mem(gap, MemOp { addr: LineAddr(addr), is_write }))
+}
+
+impl TraceSource for FileTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.ops[self.pos];
+        self.pos = (self.pos + 1) % self.ops.len();
+        op
+    }
+}
+
+/// Records `ops` memory operations from `source` into the text format.
+///
+/// Compute-only trace ops are folded into the next memory op's gap, so
+/// the file round-trips to an equivalent miss stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write, S: TraceSource + ?Sized>(
+    source: &mut S,
+    ops: usize,
+    writer: W,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# fsmc trace: <gap> <R|W> <line-address-hex>")?;
+    let mut written = 0;
+    let mut gap_acc: u64 = 0;
+    while written < ops {
+        let op = source.next_op();
+        gap_acc += op.nonmem as u64;
+        if let Some(m) = op.mem {
+            writeln!(
+                w,
+                "{} {} {:x}",
+                gap_acc.min(u32::MAX as u64),
+                if m.is_write { 'W' } else { 'R' },
+                m.addr.0
+            )?;
+            gap_acc = 0;
+            written += 1;
+        }
+        if gap_acc > 100_000_000 {
+            break; // source never produces memory ops; stop gracefully
+        }
+    }
+    w.flush()
+}
+
+/// Records a trace to a file path.
+///
+/// # Errors
+///
+/// As for [`write_trace`].
+pub fn record_trace<P: AsRef<Path>, S: TraceSource + ?Sized>(
+    source: &mut S,
+    ops: usize,
+    path: P,
+) -> io::Result<()> {
+    write_trace(source, ops, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecTrace;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "# comment\n10 R 1a2b\n0 W 0xff\n\n3 r 0\n";
+        let mut t = FileTrace::from_reader(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        let a = t.next_op();
+        assert_eq!(a.nonmem, 10);
+        assert_eq!(a.mem, Some(MemOp::read(0x1a2b)));
+        let b = t.next_op();
+        assert_eq!(b.mem, Some(MemOp::write(0xff)));
+        let c = t.next_op();
+        assert_eq!(c.nonmem, 3);
+        // Loops.
+        assert_eq!(t.next_op().nonmem, 10);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_location() {
+        for (text, needle) in [
+            ("R 10\n", "bad gap"),
+            ("5 X 10\n", "expected R or W"),
+            ("5 R zz\n", "bad address"),
+            ("5 R 10 extra\n", "trailing"),
+            ("", "empty trace"),
+        ] {
+            let err = FileTrace::from_reader(text.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{text:?}: {msg}");
+        }
+    }
+
+    #[test]
+    fn write_then_read_preserves_the_stream() {
+        let mut src = VecTrace::new(vec![
+            TraceOp::compute(7),
+            TraceOp::with_mem(3, MemOp::read(0x100)),
+            TraceOp::with_mem(0, MemOp::write(0x200)),
+        ]);
+        let mut buf = Vec::new();
+        write_trace(&mut src, 4, &mut buf).unwrap();
+        let mut rt = FileTrace::from_reader(buf.as_slice()).unwrap();
+        // First memory op carries the folded compute gap: 7 + 3 = 10.
+        let a = rt.next_op();
+        assert_eq!(a.nonmem, 10);
+        assert_eq!(a.mem, Some(MemOp::read(0x100)));
+        let b = rt.next_op();
+        assert_eq!(b.nonmem, 0);
+        assert_eq!(b.mem, Some(MemOp::write(0x200)));
+    }
+
+    #[test]
+    fn record_to_file_and_load() {
+        let path = std::env::temp_dir().join("fsmc_test_trace.txt");
+        let mut src = VecTrace::new(vec![TraceOp::with_mem(2, MemOp::read(42))]);
+        record_trace(&mut src, 5, &path).unwrap();
+        let t = FileTrace::load(&path).unwrap();
+        assert_eq!(t.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

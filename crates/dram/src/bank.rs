@@ -1,0 +1,276 @@
+//! Per-bank DRAM state machine: row-buffer state and bank-local timing.
+
+use crate::checker::Violation;
+use crate::command::{Command, CommandKind};
+use crate::geometry::RowId;
+use crate::timing::TimingParams;
+use crate::Cycle;
+
+/// The state of one DRAM bank: which row (if any) its row buffer holds and
+/// the earliest cycles at which each command class may next be issued.
+///
+/// The bank does not know about rank-level constraints (tRRD, tFAW, CAS
+/// turnarounds) — those live in [`crate::rank::RankState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankState {
+    open_row: Option<RowId>,
+    /// Earliest legal `Activate`.
+    next_activate: Cycle,
+    /// Earliest legal CAS to the open row (tRCD-gated).
+    next_cas: Cycle,
+    /// Earliest legal `Precharge` (tRAS / tRTP / write-recovery gated).
+    next_precharge: Cycle,
+    /// Cycle of the most recent `Activate`, for tRC accounting.
+    last_activate: Cycle,
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        BankState::new()
+    }
+}
+
+impl BankState {
+    /// A closed, immediately-usable bank.
+    pub fn new() -> Self {
+        BankState {
+            open_row: None,
+            next_activate: 0,
+            next_cas: 0,
+            next_precharge: 0,
+            last_activate: 0,
+        }
+    }
+
+    /// The row currently held in the row buffer, if any.
+    pub fn open_row(&self) -> Option<RowId> {
+        self.open_row
+    }
+
+    /// Earliest cycle at which an `Activate` is legal.
+    pub fn next_activate_at(&self) -> Cycle {
+        self.next_activate
+    }
+
+    /// Earliest cycle at which a CAS to the open row is legal.
+    pub fn next_cas_at(&self) -> Cycle {
+        self.next_cas
+    }
+
+    /// Earliest cycle at which a `Precharge` is legal.
+    pub fn next_precharge_at(&self) -> Cycle {
+        self.next_precharge
+    }
+
+    /// True if the bank is precharged and past its recovery window, i.e. a
+    /// refresh or activate could start at `cycle`.
+    pub fn idle_at(&self, cycle: Cycle) -> bool {
+        self.open_row.is_none() && cycle >= self.next_activate
+    }
+
+    /// Checks bank-local legality of `cmd` at `cycle`.
+    pub fn can_issue(&self, cmd: &Command, cycle: Cycle, _t: &TimingParams) -> Result<(), Violation> {
+        match cmd.kind {
+            CommandKind::Activate => {
+                if self.open_row.is_some() {
+                    return Err(Violation::state(*cmd, cycle, "activate while a row is open"));
+                }
+                Violation::check_earliest(*cmd, cycle, self.next_activate, "tRC/tRP")
+            }
+            k if k.is_cas() => {
+                match self.open_row {
+                    None => return Err(Violation::state(*cmd, cycle, "CAS on a closed bank")),
+                    Some(r) if r != cmd.row => {
+                        return Err(Violation::state(*cmd, cycle, "CAS to a row that is not open"))
+                    }
+                    Some(_) => {}
+                }
+                Violation::check_earliest(*cmd, cycle, self.next_cas, "tRCD")
+            }
+            CommandKind::Precharge | CommandKind::PrechargeAll => {
+                if self.open_row.is_none() {
+                    // Precharging an already-precharged bank is a legal NOP.
+                    return Ok(());
+                }
+                Violation::check_earliest(*cmd, cycle, self.next_precharge, "tRAS/tRTP/tWR")
+            }
+            CommandKind::Refresh => {
+                if self.open_row.is_some() {
+                    return Err(Violation::state(*cmd, cycle, "refresh with a row open"));
+                }
+                Violation::check_earliest(*cmd, cycle, self.next_activate, "tRP before REF")
+            }
+            // Power-down legality is rank-level.
+            _ => Ok(()),
+        }
+    }
+
+    /// Applies `cmd` at `cycle`, updating row state and earliest-issue
+    /// times. Caller must have validated with [`BankState::can_issue`].
+    pub fn apply(&mut self, cmd: &Command, cycle: Cycle, t: &TimingParams) {
+        match cmd.kind {
+            CommandKind::Activate => {
+                self.open_row = Some(cmd.row);
+                self.last_activate = cycle;
+                self.next_cas = cycle + t.t_rcd as Cycle;
+                self.next_precharge = cycle + t.t_ras as Cycle;
+                self.next_activate = cycle + t.t_rc as Cycle;
+            }
+            CommandKind::Read | CommandKind::ReadAp => {
+                self.next_precharge = self.next_precharge.max(cycle + t.t_rtp as Cycle);
+                if cmd.kind == CommandKind::ReadAp {
+                    self.auto_precharge(t);
+                }
+            }
+            CommandKind::Write | CommandKind::WriteAp => {
+                self.next_precharge =
+                    self.next_precharge.max(cycle + t.write_ap_pre_offset() as Cycle);
+                if cmd.kind == CommandKind::WriteAp {
+                    self.auto_precharge(t);
+                }
+            }
+            CommandKind::Precharge | CommandKind::PrechargeAll => {
+                if self.open_row.is_some() {
+                    let pre_start = cycle.max(self.next_precharge);
+                    self.close(pre_start, t);
+                }
+            }
+            CommandKind::Refresh => {
+                self.next_activate = self.next_activate.max(cycle + t.t_rfc as Cycle);
+            }
+            CommandKind::PowerDownEnter | CommandKind::PowerDownExit => {}
+        }
+    }
+
+    /// Internal precharge triggered by a `ReadAp`/`WriteAp`: the DRAM closes
+    /// the row as soon as tRAS and the CAS recovery window both allow.
+    fn auto_precharge(&mut self, t: &TimingParams) {
+        let pre_start = self.next_precharge;
+        self.close(pre_start, t);
+    }
+
+    fn close(&mut self, pre_start: Cycle, t: &TimingParams) {
+        self.open_row = None;
+        self.next_activate = self.next_activate.max(pre_start + t.t_rp as Cycle);
+        // No CAS is legal until the next activate re-opens a row.
+        self.next_cas = Cycle::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{BankId, ColId, RankId};
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    fn act(row: u32) -> Command {
+        Command::activate(RankId(0), BankId(0), RowId(row))
+    }
+    fn rda(row: u32) -> Command {
+        Command::read_ap(RankId(0), BankId(0), RowId(row), ColId(0))
+    }
+    fn wra(row: u32) -> Command {
+        Command::write_ap(RankId(0), BankId(0), RowId(row), ColId(0))
+    }
+
+    #[test]
+    fn fresh_bank_accepts_activate() {
+        let b = BankState::new();
+        assert!(b.can_issue(&act(1), 0, &t()).is_ok());
+        assert!(b.idle_at(0));
+    }
+
+    #[test]
+    fn cas_requires_trcd() {
+        let timing = t();
+        let mut b = BankState::new();
+        b.apply(&act(1), 100, &timing);
+        assert!(b.can_issue(&rda(1), 110, &timing).is_err());
+        assert!(b.can_issue(&rda(1), 111, &timing).is_ok());
+    }
+
+    #[test]
+    fn cas_to_wrong_row_rejected() {
+        let timing = t();
+        let mut b = BankState::new();
+        b.apply(&act(1), 0, &timing);
+        let err = b.can_issue(&rda(2), 50, &timing).unwrap_err();
+        assert!(err.to_string().contains("not open"));
+    }
+
+    #[test]
+    fn read_ap_closes_row_and_respects_trp() {
+        let timing = t();
+        let mut b = BankState::new();
+        b.apply(&act(1), 0, &timing);
+        b.apply(&rda(1), 11, &timing);
+        assert_eq!(b.open_row(), None);
+        // pre starts at max(tRAS=28, 11+tRTP=17) = 28; +tRP=11 => 39 = tRC.
+        assert_eq!(b.next_activate_at(), 39);
+        assert!(b.can_issue(&act(2), 38, &timing).is_err());
+        assert!(b.can_issue(&act(2), 39, &timing).is_ok());
+    }
+
+    #[test]
+    fn write_ap_turnaround_is_43_from_activate() {
+        let timing = t();
+        let mut b = BankState::new();
+        b.apply(&act(1), 0, &timing);
+        b.apply(&wra(1), 11, &timing);
+        // pre at 11 + (tCWD+tBURST+tWR)=21 => 32; +tRP => 43. The paper's
+        // same-bank write turnaround.
+        assert_eq!(b.next_activate_at(), 43);
+    }
+
+    #[test]
+    fn explicit_precharge_then_activate() {
+        let timing = t();
+        let mut b = BankState::new();
+        b.apply(&act(1), 0, &timing);
+        let pre = Command::precharge(RankId(0), BankId(0));
+        // tRAS = 28 gates the precharge.
+        assert!(b.can_issue(&pre, 27, &timing).is_err());
+        assert!(b.can_issue(&pre, 28, &timing).is_ok());
+        b.apply(&pre, 28, &timing);
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.next_activate_at(), 39); // max(tRC, 28 + tRP)
+    }
+
+    #[test]
+    fn activate_while_open_rejected() {
+        let timing = t();
+        let mut b = BankState::new();
+        b.apply(&act(1), 0, &timing);
+        assert!(b.can_issue(&act(2), 100, &timing).is_err());
+    }
+
+    #[test]
+    fn cas_on_closed_bank_rejected() {
+        let b = BankState::new();
+        assert!(b.can_issue(&rda(1), 0, &t()).is_err());
+    }
+
+    #[test]
+    fn precharge_on_closed_bank_is_nop() {
+        let timing = t();
+        let mut b = BankState::new();
+        let pre = Command::precharge(RankId(0), BankId(0));
+        assert!(b.can_issue(&pre, 5, &timing).is_ok());
+        b.apply(&pre, 5, &timing);
+        assert!(b.can_issue(&act(1), 5, &timing).is_ok());
+    }
+
+    #[test]
+    fn refresh_needs_all_closed_and_blocks_activate() {
+        let timing = t();
+        let mut b = BankState::new();
+        let refr = Command::refresh(RankId(0));
+        assert!(b.can_issue(&refr, 0, &timing).is_ok());
+        b.apply(&refr, 0, &timing);
+        assert!(b.can_issue(&act(1), timing.t_rfc as u64 - 1, &timing).is_err());
+        assert!(b.can_issue(&act(1), timing.t_rfc as u64, &timing).is_ok());
+    }
+}

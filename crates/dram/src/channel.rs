@@ -1,0 +1,157 @@
+//! Shared per-channel resources: the command bus (one command per cycle)
+//! and the data bus (burst occupancy plus the rank-to-rank switch gap).
+
+use crate::checker::Violation;
+use crate::command::Command;
+use crate::geometry::RankId;
+use crate::timing::TimingParams;
+use crate::Cycle;
+
+/// One scheduled data-bus burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Transfer {
+    start: Cycle,
+    end: Cycle,
+    rank: RankId,
+}
+
+/// Occupancy state of one channel's command and data buses.
+///
+/// Data transfers are *scheduled into the future* at CAS-issue time (a read
+/// CAS at cycle `c` occupies the bus at `[c + tCAS, c + tCAS + tBURST)`),
+/// so the bus model keeps a short horizon of upcoming transfers and checks
+/// each new CAS against all of them, not just the latest — a later-issued
+/// write burst can start *before* an earlier-issued read burst.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelState {
+    last_cmd_cycle: Option<Cycle>,
+    transfers: Vec<Transfer>,
+    busy_cycles: Cycle,
+}
+
+impl ChannelState {
+    pub fn new() -> Self {
+        ChannelState::default()
+    }
+
+    /// Total data-bus busy cycles so far (for utilization statistics).
+    pub fn data_bus_busy_cycles(&self) -> Cycle {
+        self.busy_cycles
+    }
+
+    /// Checks that the command bus is free at `cycle` and, for CAS
+    /// commands, that the implied data burst fits on the data bus.
+    pub fn can_issue(&self, cmd: &Command, cycle: Cycle, t: &TimingParams) -> Result<(), Violation> {
+        if self.last_cmd_cycle == Some(cycle) {
+            return Err(Violation::state(*cmd, cycle, "command-bus collision"));
+        }
+        if let Some(prev) = self.last_cmd_cycle {
+            if cycle < prev {
+                return Err(Violation::state(*cmd, cycle, "commands issued out of order"));
+            }
+        }
+        if cmd.kind.is_cas() {
+            let (start, end) = self.burst_window(cmd, cycle, t);
+            for tr in &self.transfers {
+                if start < tr.end && tr.start < end {
+                    return Err(Violation::state(*cmd, cycle, "data-bus overlap"));
+                }
+                if tr.rank != cmd.rank {
+                    // Enforce the tRTRS gap on both sides of the new burst.
+                    let gap = t.t_rtrs as Cycle;
+                    if start < tr.end + gap && tr.start < end + gap {
+                        return Err(Violation::state(*cmd, cycle, "tRTRS rank-to-rank data gap"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records `cmd` at `cycle`. Caller must have validated legality.
+    pub fn apply(&mut self, cmd: &Command, cycle: Cycle, t: &TimingParams) {
+        self.last_cmd_cycle = Some(cycle);
+        if cmd.kind.is_cas() {
+            let (start, end) = self.burst_window(cmd, cycle, t);
+            self.transfers.push(Transfer { start, end, rank: cmd.rank });
+            self.busy_cycles += end - start;
+            // Prune bursts that can no longer interact with new CAS
+            // commands (anything ending well before the current cycle).
+            let horizon = cycle.saturating_sub(4 * t.t_cas as Cycle);
+            self.transfers.retain(|tr| tr.end + t.t_rtrs as Cycle >= horizon);
+        }
+    }
+
+    fn burst_window(&self, cmd: &Command, cycle: Cycle, t: &TimingParams) -> (Cycle, Cycle) {
+        let lat = if cmd.kind.is_read() { t.t_cas } else { t.t_cwd };
+        let start = cycle + lat as Cycle;
+        (start, start + t.t_burst as Cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{BankId, ColId, RowId};
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    fn rd(rank: u8) -> Command {
+        Command::read_ap(RankId(rank), BankId(0), RowId(0), ColId(0))
+    }
+    fn wr(rank: u8) -> Command {
+        Command::write_ap(RankId(rank), BankId(0), RowId(0), ColId(0))
+    }
+
+    #[test]
+    fn command_bus_one_per_cycle() {
+        let timing = t();
+        let mut ch = ChannelState::new();
+        ch.apply(&rd(0), 10, &timing);
+        assert!(ch.can_issue(&rd(1), 10, &timing).is_err());
+        // Only the bus constraint applies here: 11 is fine for the command
+        // bus even though data would conflict (checked separately below).
+        assert!(ch.can_issue(&Command::activate(RankId(1), BankId(0), RowId(0)), 11, &timing).is_ok());
+    }
+
+    #[test]
+    fn same_rank_bursts_may_be_contiguous() {
+        let timing = t();
+        let mut ch = ChannelState::new();
+        ch.apply(&rd(0), 0, &timing); // data [11,15)
+        assert!(ch.can_issue(&rd(0), 4, &timing).is_ok()); // data [15,19)
+    }
+
+    #[test]
+    fn cross_rank_bursts_need_trtrs() {
+        let timing = t();
+        let mut ch = ChannelState::new();
+        ch.apply(&rd(0), 0, &timing); // data [11,15)
+        assert!(ch.can_issue(&rd(1), 4, &timing).is_err()); // [15,19): gap 0
+        assert!(ch.can_issue(&rd(1), 5, &timing).is_err()); // [16,20): gap 1
+        assert!(ch.can_issue(&rd(1), 6, &timing).is_ok()); // [17,21): gap 2
+    }
+
+    #[test]
+    fn later_write_burst_before_earlier_read_burst_detected() {
+        let timing = t();
+        let mut ch = ChannelState::new();
+        ch.apply(&rd(0), 0, &timing); // read data [11,15)
+        // A write CAS at cycle 4 puts data at [9,13): overlaps the read.
+        assert!(ch.can_issue(&wr(0), 4, &timing).is_err());
+        // A write CAS at cycle 10 puts data at [15,19): same rank, legal
+        // at bus level.
+        assert!(ch.can_issue(&wr(0), 10, &timing).is_ok());
+    }
+
+    #[test]
+    fn busy_cycle_accounting() {
+        let timing = t();
+        let mut ch = ChannelState::new();
+        ch.apply(&rd(0), 0, &timing);
+        ch.apply(&rd(0), 4, &timing);
+        assert_eq!(ch.data_bus_busy_cycles(), 8);
+    }
+}

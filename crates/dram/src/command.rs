@@ -1,0 +1,212 @@
+//! DRAM commands: the vocabulary the memory controller speaks to a channel.
+
+use crate::geometry::{BankId, ColId, RankId, RowId};
+use crate::Cycle;
+use std::fmt;
+
+/// The kind of a DRAM command.
+///
+/// `ReadAp`/`WriteAp` carry an automatic precharge that closes the row once
+/// the column access completes — the FS policies issue *only* these CAS
+/// variants so that every transaction has an identical footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Open a row into the bank's row buffer.
+    Activate,
+    /// Column read from the open row (row stays open).
+    Read,
+    /// Column read with auto-precharge.
+    ReadAp,
+    /// Column write into the open row (row stays open).
+    Write,
+    /// Column write with auto-precharge.
+    WriteAp,
+    /// Close the open row of one bank.
+    Precharge,
+    /// Close all open rows of a rank.
+    PrechargeAll,
+    /// Refresh a rank (all banks must be precharged).
+    Refresh,
+    /// Enter a light power-down state on a rank.
+    PowerDownEnter,
+    /// Exit power-down; the rank accepts commands `t_xp` later.
+    PowerDownExit,
+}
+
+impl CommandKind {
+    /// True for `Read` and `ReadAp`.
+    pub fn is_read(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::ReadAp)
+    }
+
+    /// True for `Write` and `WriteAp`.
+    pub fn is_write(self) -> bool {
+        matches!(self, CommandKind::Write | CommandKind::WriteAp)
+    }
+
+    /// True for any column access (read or write, with or without AP).
+    pub fn is_cas(self) -> bool {
+        self.is_read() || self.is_write()
+    }
+
+    /// True if this CAS carries an auto-precharge.
+    pub fn has_auto_precharge(self) -> bool {
+        matches!(self, CommandKind::ReadAp | CommandKind::WriteAp)
+    }
+
+    /// True if this command occupies a slot on the command bus.
+    ///
+    /// Everything the controller transmits does; this exists so that the
+    /// checker can treat internally-generated events uniformly.
+    pub fn uses_command_bus(self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Read => "RD",
+            CommandKind::ReadAp => "RDA",
+            CommandKind::Write => "WR",
+            CommandKind::WriteAp => "WRA",
+            CommandKind::Precharge => "PRE",
+            CommandKind::PrechargeAll => "PREA",
+            CommandKind::Refresh => "REF",
+            CommandKind::PowerDownEnter => "PDE",
+            CommandKind::PowerDownExit => "PDX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One DRAM command addressed to a rank (and possibly bank/row/column).
+///
+/// Channel selection is implicit: a [`crate::device::DramDevice`] models a
+/// single channel, mirroring the per-channel controllers of real parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Command {
+    pub kind: CommandKind,
+    pub rank: RankId,
+    /// Bank within the rank; ignored for rank-level commands
+    /// (`PrechargeAll`, `Refresh`, power-down).
+    pub bank: BankId,
+    /// Row being activated; only meaningful for `Activate`.
+    pub row: RowId,
+    /// Column being accessed; only meaningful for CAS commands.
+    pub col: ColId,
+}
+
+impl Command {
+    /// An `Activate` opening `row` in `rank`/`bank`.
+    pub fn activate(rank: RankId, bank: BankId, row: RowId) -> Self {
+        Command { kind: CommandKind::Activate, rank, bank, row, col: ColId(0) }
+    }
+
+    /// A plain column read (row remains open).
+    pub fn read(rank: RankId, bank: BankId, row: RowId, col: ColId) -> Self {
+        Command { kind: CommandKind::Read, rank, bank, row, col }
+    }
+
+    /// A column read with auto-precharge.
+    pub fn read_ap(rank: RankId, bank: BankId, row: RowId, col: ColId) -> Self {
+        Command { kind: CommandKind::ReadAp, rank, bank, row, col }
+    }
+
+    /// A plain column write (row remains open).
+    pub fn write(rank: RankId, bank: BankId, row: RowId, col: ColId) -> Self {
+        Command { kind: CommandKind::Write, rank, bank, row, col }
+    }
+
+    /// A column write with auto-precharge.
+    pub fn write_ap(rank: RankId, bank: BankId, row: RowId, col: ColId) -> Self {
+        Command { kind: CommandKind::WriteAp, rank, bank, row, col }
+    }
+
+    /// A precharge closing `rank`/`bank`.
+    pub fn precharge(rank: RankId, bank: BankId) -> Self {
+        Command { kind: CommandKind::Precharge, rank, bank, row: RowId(0), col: ColId(0) }
+    }
+
+    /// A precharge-all for `rank`.
+    pub fn precharge_all(rank: RankId) -> Self {
+        Command { kind: CommandKind::PrechargeAll, rank, bank: BankId(0), row: RowId(0), col: ColId(0) }
+    }
+
+    /// A refresh for `rank`.
+    pub fn refresh(rank: RankId) -> Self {
+        Command { kind: CommandKind::Refresh, rank, bank: BankId(0), row: RowId(0), col: ColId(0) }
+    }
+
+    /// Enter light power-down on `rank`.
+    pub fn power_down(rank: RankId) -> Self {
+        Command { kind: CommandKind::PowerDownEnter, rank, bank: BankId(0), row: RowId(0), col: ColId(0) }
+    }
+
+    /// Exit power-down on `rank`.
+    pub fn power_up(rank: RankId) -> Self {
+        Command { kind: CommandKind::PowerDownExit, rank, bank: BankId(0), row: RowId(0), col: ColId(0) }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            CommandKind::Activate => {
+                write!(f, "ACT {} {} row{}", self.rank, self.bank, self.row.0)
+            }
+            k if k.is_cas() => {
+                write!(f, "{} {} {} col{}", k, self.rank, self.bank, self.col.0)
+            }
+            CommandKind::Precharge => write!(f, "PRE {} {}", self.rank, self.bank),
+            k => write!(f, "{} {}", k, self.rank),
+        }
+    }
+}
+
+/// A command together with the cycle it was placed on the command bus.
+///
+/// This is the record type consumed by [`crate::checker::TimingChecker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimedCommand {
+    pub cmd: Command,
+    pub cycle: Cycle,
+}
+
+impl TimedCommand {
+    pub fn new(cmd: Command, cycle: Cycle) -> Self {
+        TimedCommand { cmd, cycle }
+    }
+}
+
+impl fmt::Display for TimedCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {}", self.cycle, self.cmd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(CommandKind::ReadAp.is_read());
+        assert!(CommandKind::ReadAp.is_cas());
+        assert!(CommandKind::ReadAp.has_auto_precharge());
+        assert!(CommandKind::WriteAp.is_write());
+        assert!(!CommandKind::Read.has_auto_precharge());
+        assert!(!CommandKind::Activate.is_cas());
+        assert!(!CommandKind::Precharge.is_read());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let c = Command::read_ap(RankId(3), BankId(5), RowId(7), ColId(9));
+        let s = format!("{c}");
+        assert!(s.contains("RDA") && s.contains("r3") && s.contains("b5"));
+        let t = TimedCommand::new(c, 120);
+        assert!(format!("{t}").starts_with("@120"));
+    }
+}

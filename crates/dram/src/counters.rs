@@ -1,0 +1,114 @@
+//! Activity counters consumed by the energy model and the statistics
+//! reports.
+
+use crate::Cycle;
+
+/// Per-rank activity tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankCounters {
+    pub activates: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub precharges: u64,
+    pub refreshes: u64,
+    /// Reads/writes whose DRAM activity was suppressed (FS energy
+    /// optimisation 1) — they appear in no other counter.
+    pub suppressed: u64,
+    /// Cycles spent in light power-down.
+    pub powered_down_cycles: Cycle,
+}
+
+/// Whole-channel activity counters, aggregated from command issue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActivityCounters {
+    ranks: Vec<RankCounters>,
+    /// Data-bus busy cycles across the channel.
+    pub data_bus_busy: Cycle,
+    /// Total elapsed cycles (set by the owner at end of simulation).
+    pub elapsed_cycles: Cycle,
+}
+
+impl ActivityCounters {
+    pub fn new(ranks: usize) -> Self {
+        ActivityCounters { ranks: vec![RankCounters::default(); ranks], ..Default::default() }
+    }
+
+    pub fn rank(&self, rank: usize) -> &RankCounters {
+        &self.ranks[rank]
+    }
+
+    pub fn rank_mut(&mut self, rank: usize) -> &mut RankCounters {
+        &mut self.ranks[rank]
+    }
+
+    pub fn ranks(&self) -> &[RankCounters] {
+        &self.ranks
+    }
+
+    /// Sum of activates across ranks.
+    pub fn total_activates(&self) -> u64 {
+        self.ranks.iter().map(|r| r.activates).sum()
+    }
+
+    /// Sum of column reads across ranks.
+    pub fn total_reads(&self) -> u64 {
+        self.ranks.iter().map(|r| r.reads).sum()
+    }
+
+    /// Sum of column writes across ranks.
+    pub fn total_writes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.writes).sum()
+    }
+
+    /// Sum of refresh commands across ranks.
+    pub fn total_refreshes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.refreshes).sum()
+    }
+
+    /// Merges another channel's counters into this one: rank tallies are
+    /// appended, bus-busy cycles summed, elapsed cycles taken as the max
+    /// (channels run in lockstep). Used by multi-channel systems.
+    pub fn merge(&mut self, other: &ActivityCounters) {
+        self.ranks.extend(other.ranks.iter().copied());
+        self.data_bus_busy += other.data_bus_busy;
+        self.elapsed_cycles = self.elapsed_cycles.max(other.elapsed_cycles);
+    }
+
+    /// Fraction of elapsed cycles the data bus was busy, in [0, 1] for a
+    /// single channel (an aggregate over N merged channels can reach N).
+    ///
+    /// Returns 0 when no cycles have elapsed.
+    pub fn data_bus_utilization(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.data_bus_busy as f64 / self.elapsed_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let mut c = ActivityCounters::new(2);
+        c.rank_mut(0).activates = 3;
+        c.rank_mut(1).activates = 4;
+        c.rank_mut(0).reads = 2;
+        c.rank_mut(1).writes = 5;
+        assert_eq!(c.total_activates(), 7);
+        assert_eq!(c.total_reads(), 2);
+        assert_eq!(c.total_writes(), 5);
+    }
+
+    #[test]
+    fn utilization_handles_zero_cycles() {
+        let mut c = ActivityCounters::new(1);
+        assert_eq!(c.data_bus_utilization(), 0.0);
+        c.data_bus_busy = 32;
+        c.elapsed_cycles = 56;
+        assert!((c.data_bus_utilization() - 32.0 / 56.0).abs() < 1e-12);
+    }
+}

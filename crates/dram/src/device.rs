@@ -1,0 +1,319 @@
+//! The incremental single-channel DRAM device model that a memory
+//! controller drives command by command.
+
+use crate::channel::ChannelState;
+use crate::checker::Violation;
+use crate::command::{Command, CommandKind, TimedCommand};
+use crate::counters::ActivityCounters;
+use crate::geometry::{BankId, Geometry, RankId, RowId};
+use crate::rank::{PowerState, RankState};
+use crate::timing::TimingParams;
+use crate::Cycle;
+
+/// What issuing a command produced, in the time domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueOutcome {
+    /// For reads: the cycle at which the full line has arrived at the
+    /// controller (`CAS + tCAS + tBURST`). For writes: the cycle at which
+    /// the burst has been transmitted. `None` for non-CAS commands.
+    pub data_done: Option<Cycle>,
+}
+
+/// Cycle-accurate model of one DDR3 channel and its ranks/banks.
+///
+/// Every command must be validated with [`DramDevice::can_issue`] (or
+/// issued through [`DramDevice::issue`], which validates internally and
+/// returns an error on illegal issue). Issued commands are optionally
+/// recorded so a [`crate::checker::TimingChecker`] can re-validate the
+/// whole stream independently.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    geom: Geometry,
+    t: TimingParams,
+    ranks: Vec<RankState>,
+    channel: ChannelState,
+    counters: ActivityCounters,
+    log: Option<Vec<TimedCommand>>,
+    last_issue: Option<Cycle>,
+}
+
+impl DramDevice {
+    /// A fresh device for one channel of `geom`.
+    pub fn new(geom: Geometry, t: TimingParams) -> Self {
+        let ranks = (0..geom.ranks_per_channel()).map(|_| RankState::new(geom.banks_per_rank())).collect();
+        DramDevice {
+            geom,
+            t,
+            ranks,
+            channel: ChannelState::new(),
+            counters: ActivityCounters::new(geom.ranks_per_channel() as usize),
+            log: None,
+            last_issue: None,
+        }
+    }
+
+    /// Enables command-stream recording for later replay through the
+    /// checker.
+    pub fn record_commands(&mut self) {
+        if self.log.is_none() {
+            self.log = Some(Vec::new());
+        }
+    }
+
+    /// Takes the recorded command stream, leaving recording enabled.
+    pub fn take_log(&mut self) -> Vec<TimedCommand> {
+        match &mut self.log {
+            Some(l) => std::mem::take(l),
+            None => Vec::new(),
+        }
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    pub fn timing(&self) -> &TimingParams {
+        &self.t
+    }
+
+    pub fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    /// Records the end-of-simulation cycle so utilization figures are
+    /// meaningful, and folds in live power-down tallies.
+    pub fn finish(&mut self, now: Cycle) {
+        self.counters.elapsed_cycles = now;
+        self.counters.data_bus_busy = self.channel.data_bus_busy_cycles();
+        for (i, r) in self.ranks.iter().enumerate() {
+            self.counters.rank_mut(i).powered_down_cycles = r.powered_down_cycles_at(now);
+        }
+    }
+
+    /// The row currently open in `rank`/`bank`, if any.
+    pub fn open_row(&self, rank: RankId, bank: BankId) -> Option<RowId> {
+        self.ranks[rank.0 as usize].bank(bank.0 as usize).open_row()
+    }
+
+    /// Whether `rank` is currently powered down.
+    pub fn is_powered_down(&self, rank: RankId) -> bool {
+        matches!(self.ranks[rank.0 as usize].power_state(), PowerState::PoweredDown { .. })
+    }
+
+    /// True if every bank of `rank` is precharged and recovered at `cycle`.
+    pub fn rank_idle(&self, rank: RankId, cycle: Cycle) -> bool {
+        self.ranks[rank.0 as usize].all_banks_idle(cycle)
+    }
+
+    /// True if `rank`/`bank` could accept an `Activate` at `cycle`
+    /// (bank idle, rank awake and not refreshing). Rank activation
+    /// windows (tRRD/tFAW) and bus state are not checked — callers with
+    /// precomputed schedules already guarantee those.
+    pub fn rank_bank_ready(&self, rank: RankId, bank: BankId, cycle: Cycle) -> bool {
+        self.ranks[rank.0 as usize].bank_ready(bank.0 as usize, cycle)
+    }
+
+    /// Earliest cycle at which `rank` accepts a column command of the
+    /// given direction (tCCD / read-write turnaround windows). Schedulers
+    /// use this to predict whether a transaction's CAS will issue on time.
+    pub fn rank_next_cas_at(&self, rank: RankId, is_read: bool) -> Cycle {
+        self.ranks[rank.0 as usize].next_cas_at(is_read)
+    }
+
+    /// Validates `cmd` at `cycle` against bank, rank and channel rules.
+    pub fn can_issue(&self, cmd: &Command, cycle: Cycle) -> Result<(), Violation> {
+        if cmd.rank.0 >= self.geom.ranks_per_channel() {
+            return Err(Violation::state(*cmd, cycle, "rank out of range"));
+        }
+        if cmd.kind.is_cas() || cmd.kind == CommandKind::Activate {
+            if cmd.bank.0 >= self.geom.banks_per_rank() {
+                return Err(Violation::state(*cmd, cycle, "bank out of range"));
+            }
+        }
+        if let Some(last) = self.last_issue {
+            if cycle < last {
+                return Err(Violation::state(*cmd, cycle, "commands issued out of order"));
+            }
+        }
+        let rank = &self.ranks[cmd.rank.0 as usize];
+        rank.can_issue(cmd, cycle, &self.t)?;
+        if cmd.kind.is_cas() || cmd.kind == CommandKind::Activate {
+            rank.bank(cmd.bank.0 as usize).can_issue(cmd, cycle, &self.t)?;
+        } else if matches!(cmd.kind, CommandKind::Precharge) {
+            rank.bank(cmd.bank.0 as usize).can_issue(cmd, cycle, &self.t)?;
+        } else if matches!(cmd.kind, CommandKind::PrechargeAll | CommandKind::Refresh) {
+            for b in rank.banks() {
+                b.can_issue(cmd, cycle, &self.t)?;
+            }
+        }
+        self.channel.can_issue(cmd, cycle, &self.t)
+    }
+
+    /// Issues `cmd` at `cycle`, validating first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] if the command is illegal; the
+    /// device state is unchanged in that case.
+    pub fn issue(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, Violation> {
+        self.can_issue(cmd, cycle)?;
+        self.apply_unchecked(cmd, cycle)
+    }
+
+    /// Applies a command *without* legality checks and *without* touching
+    /// DRAM array activity counters beyond timing state.
+    ///
+    /// This implements FS energy optimisation 1 ("suppressed
+    /// reads/writes"): the controller updates timing state *as if* the
+    /// dummy command had issued, but the device does not spend array or
+    /// bus energy. The command is still checked (a suppressed command
+    /// must still be legal, or the pipeline math is wrong) and still
+    /// recorded in the log, because the *schedule* is what security
+    /// verification replays.
+    pub fn issue_suppressed(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, Violation> {
+        self.can_issue(cmd, cycle)?;
+        let rank_idx = cmd.rank.0 as usize;
+        self.ranks[rank_idx].apply(cmd, cycle, &self.t);
+        self.channel.apply(cmd, cycle, &self.t);
+        self.last_issue = Some(cycle);
+        if let Some(l) = &mut self.log {
+            l.push(TimedCommand::new(*cmd, cycle));
+        }
+        if cmd.kind.is_cas() {
+            self.counters.rank_mut(rank_idx).suppressed += 1;
+        }
+        Ok(self.outcome(cmd, cycle))
+    }
+
+    fn apply_unchecked(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, Violation> {
+        let rank_idx = cmd.rank.0 as usize;
+        self.ranks[rank_idx].apply(cmd, cycle, &self.t);
+        self.channel.apply(cmd, cycle, &self.t);
+        self.last_issue = Some(cycle);
+        let rc = self.counters.rank_mut(rank_idx);
+        match cmd.kind {
+            CommandKind::Activate => rc.activates += 1,
+            CommandKind::Read | CommandKind::ReadAp => rc.reads += 1,
+            CommandKind::Write | CommandKind::WriteAp => rc.writes += 1,
+            CommandKind::Precharge | CommandKind::PrechargeAll => rc.precharges += 1,
+            CommandKind::Refresh => rc.refreshes += 1,
+            _ => {}
+        }
+        if let Some(l) = &mut self.log {
+            l.push(TimedCommand::new(*cmd, cycle));
+        }
+        Ok(self.outcome(cmd, cycle))
+    }
+
+    fn outcome(&self, cmd: &Command, cycle: Cycle) -> IssueOutcome {
+        let data_done = if cmd.kind.is_read() {
+            Some(cycle + (self.t.t_cas + self.t.t_burst) as Cycle)
+        } else if cmd.kind.is_write() {
+            Some(cycle + (self.t.t_cwd + self.t.t_burst) as Cycle)
+        } else {
+            None
+        };
+        IssueOutcome { data_done }
+    }
+
+    /// Earliest cycle >= `from` at which `cmd` becomes legal, found by
+    /// linear scan up to `limit` cycles ahead (schedulers use this for
+    /// planning; FS never needs it because its schedule is precomputed).
+    pub fn earliest_issue(&self, cmd: &Command, from: Cycle, limit: Cycle) -> Option<Cycle> {
+        (from..from + limit).find(|&c| self.can_issue(cmd, c).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::TimingChecker;
+    use crate::geometry::ColId;
+
+    fn dev() -> DramDevice {
+        DramDevice::new(Geometry::paper_default(), TimingParams::ddr3_1600())
+    }
+
+    #[test]
+    fn read_transaction_data_timing() {
+        let mut d = dev();
+        d.issue(&Command::activate(RankId(0), BankId(0), RowId(1)), 0).unwrap();
+        let out = d.issue(&Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0)), 11).unwrap();
+        assert_eq!(out.data_done, Some(11 + 11 + 4));
+    }
+
+    #[test]
+    fn illegal_issue_leaves_state_unchanged() {
+        let mut d = dev();
+        d.issue(&Command::activate(RankId(0), BankId(0), RowId(1)), 0).unwrap();
+        let early = Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0));
+        assert!(d.issue(&early, 5).is_err());
+        // Still legal at the proper time: the failed issue did not corrupt
+        // bank state.
+        assert!(d.issue(&early, 11).is_ok());
+    }
+
+    #[test]
+    fn recorded_log_passes_checker() {
+        let mut d = dev();
+        d.record_commands();
+        let mut c = 0;
+        for i in 0..8u8 {
+            let act = Command::activate(RankId(i), BankId(0), RowId(1));
+            c = d.earliest_issue(&act, c, 1000).unwrap();
+            d.issue(&act, c).unwrap();
+            let rd = Command::read_ap(RankId(i), BankId(0), RowId(1), ColId(0));
+            c = d.earliest_issue(&rd, c, 1000).unwrap();
+            d.issue(&rd, c).unwrap();
+        }
+        let log = d.take_log();
+        assert_eq!(log.len(), 16);
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        assert!(checker.verify(&log).is_ok(), "{:?}", checker.check(&log));
+    }
+
+    #[test]
+    fn counters_track_commands() {
+        let mut d = dev();
+        d.issue(&Command::activate(RankId(2), BankId(0), RowId(1)), 0).unwrap();
+        d.issue(&Command::write_ap(RankId(2), BankId(0), RowId(1), ColId(0)), 11).unwrap();
+        assert_eq!(d.counters().rank(2).activates, 1);
+        assert_eq!(d.counters().rank(2).writes, 1);
+        assert_eq!(d.counters().total_reads(), 0);
+    }
+
+    #[test]
+    fn suppressed_issue_counts_separately_but_blocks_timing() {
+        let mut d = dev();
+        d.issue(&Command::activate(RankId(0), BankId(0), RowId(1)), 0).unwrap();
+        d.issue_suppressed(&Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0)), 11).unwrap();
+        assert_eq!(d.counters().rank(0).reads, 0);
+        assert_eq!(d.counters().rank(0).suppressed, 1);
+        // Timing state advanced: the bank is auto-precharging, so an
+        // activate at cycle 12 is illegal exactly as for a real read.
+        assert!(d.can_issue(&Command::activate(RankId(0), BankId(0), RowId(2)), 12).is_err());
+    }
+
+    #[test]
+    fn out_of_order_issue_rejected() {
+        let mut d = dev();
+        d.issue(&Command::activate(RankId(0), BankId(0), RowId(1)), 50).unwrap();
+        let v = d.issue(&Command::activate(RankId(1), BankId(0), RowId(1)), 49).unwrap_err();
+        assert!(v.to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn rank_out_of_range_rejected() {
+        let d = dev();
+        let cmd = Command::activate(RankId(8), BankId(0), RowId(0));
+        assert!(d.can_issue(&cmd, 0).is_err());
+    }
+
+    #[test]
+    fn earliest_issue_finds_trcd_boundary() {
+        let mut d = dev();
+        d.issue(&Command::activate(RankId(0), BankId(0), RowId(1)), 0).unwrap();
+        let rd = Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0));
+        assert_eq!(d.earliest_issue(&rd, 0, 100), Some(11));
+    }
+}

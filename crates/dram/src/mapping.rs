@@ -1,0 +1,238 @@
+//! Physical-address-to-DRAM-location mapping policies.
+//!
+//! The paper notes that "various page mapping policies can impact the
+//! throughput of our secure memory system": the baseline open-page
+//! controller wants consecutive lines to land in the same row (row-buffer
+//! hits), FS with rank partitioning wants a security domain's pages pinned
+//! to its own rank, and close-page interleaving wants consecutive lines
+//! spread across banks. All three are implemented here as pure bijections
+//! between [`LineAddr`] and [`Location`].
+
+use crate::geometry::{BankId, ChannelId, ColId, Geometry, LineAddr, Location, RankId, RowId};
+
+/// The available address-mapping schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingScheme {
+    /// Open-page locality mapping: `row : rank : bank : col` (column bits
+    /// lowest), so a streaming access pattern stays in one row.
+    OpenPageLocality,
+    /// Close-page interleave: `row : col : rank : bank` (bank bits lowest),
+    /// so consecutive lines rotate across banks and ranks.
+    ClosePageInterleave,
+    /// Rank-partitioned: the *top* bits select the rank so each rank is one
+    /// contiguous region that the OS can hand to a single security domain;
+    /// within a rank the layout is open-page (`rank : row : bank : col`).
+    RankPartitioned,
+    /// Bank-partitioned: top bits select (rank, bank) so each bank is one
+    /// contiguous region (`rank : bank : row : col`).
+    BankPartitioned,
+}
+
+/// A concrete mapping: a scheme bound to a geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    geom: Geometry,
+    scheme: MappingScheme,
+}
+
+impl AddressMapping {
+    pub fn new(geom: Geometry, scheme: MappingScheme) -> Self {
+        AddressMapping { geom, scheme }
+    }
+
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Decodes a line address into a DRAM location.
+    ///
+    /// Addresses beyond the geometry's capacity wrap (the top bits are
+    /// masked), which lets synthetic workloads draw from a full 64-bit
+    /// space.
+    pub fn decode(&self, addr: LineAddr) -> Location {
+        let g = &self.geom;
+        let cols = g.cols_per_row() as u64;
+        let banks = g.banks_per_rank() as u64;
+        let ranks = g.ranks_per_channel() as u64;
+        let chans = g.channels() as u64;
+        let rows = g.rows_per_bank() as u64;
+        let mut a = addr.0 % g.total_lines();
+        let mut take = |n: u64| {
+            let v = a % n;
+            a /= n;
+            v
+        };
+        match self.scheme {
+            MappingScheme::OpenPageLocality => {
+                let col = take(cols);
+                let chan = take(chans);
+                let bank = take(banks);
+                let rank = take(ranks);
+                let row = take(rows);
+                self.loc(chan, rank, bank, row, col)
+            }
+            MappingScheme::ClosePageInterleave => {
+                let chan = take(chans);
+                let bank = take(banks);
+                let rank = take(ranks);
+                let col = take(cols);
+                let row = take(rows);
+                self.loc(chan, rank, bank, row, col)
+            }
+            MappingScheme::RankPartitioned => {
+                let col = take(cols);
+                let bank = take(banks);
+                let row = take(rows);
+                let chan = take(chans);
+                let rank = take(ranks);
+                self.loc(chan, rank, bank, row, col)
+            }
+            MappingScheme::BankPartitioned => {
+                let col = take(cols);
+                let row = take(rows);
+                let chan = take(chans);
+                let bank = take(banks);
+                let rank = take(ranks);
+                self.loc(chan, rank, bank, row, col)
+            }
+        }
+    }
+
+    /// Encodes a DRAM location back into its line address (the inverse of
+    /// [`AddressMapping::decode`]). Used to synthesise dummy-request
+    /// addresses inside a given partition.
+    pub fn encode(&self, loc: &Location) -> LineAddr {
+        let g = &self.geom;
+        let cols = g.cols_per_row() as u64;
+        let banks = g.banks_per_rank() as u64;
+        let ranks = g.ranks_per_channel() as u64;
+        let chans = g.channels() as u64;
+        let rows = g.rows_per_bank() as u64;
+        let fields: [(u64, u64); 5] = match self.scheme {
+            MappingScheme::OpenPageLocality => [
+                (loc.col.0 as u64, cols),
+                (loc.channel.0 as u64, chans),
+                (loc.bank.0 as u64, banks),
+                (loc.rank.0 as u64, ranks),
+                (loc.row.0 as u64, rows),
+            ],
+            MappingScheme::ClosePageInterleave => [
+                (loc.channel.0 as u64, chans),
+                (loc.bank.0 as u64, banks),
+                (loc.rank.0 as u64, ranks),
+                (loc.col.0 as u64, cols),
+                (loc.row.0 as u64, rows),
+            ],
+            MappingScheme::RankPartitioned => [
+                (loc.col.0 as u64, cols),
+                (loc.bank.0 as u64, banks),
+                (loc.row.0 as u64, rows),
+                (loc.channel.0 as u64, chans),
+                (loc.rank.0 as u64, ranks),
+            ],
+            MappingScheme::BankPartitioned => [
+                (loc.col.0 as u64, cols),
+                (loc.row.0 as u64, rows),
+                (loc.channel.0 as u64, chans),
+                (loc.bank.0 as u64, banks),
+                (loc.rank.0 as u64, ranks),
+            ],
+        };
+        let mut addr = 0u64;
+        for &(v, n) in fields.iter().rev() {
+            addr = addr * n + v;
+        }
+        LineAddr(addr)
+    }
+
+    fn loc(&self, chan: u64, rank: u64, bank: u64, row: u64, col: u64) -> Location {
+        Location {
+            channel: ChannelId(chan as u8),
+            rank: RankId(rank as u8),
+            bank: BankId(bank as u8),
+            row: RowId(row as u32),
+            col: ColId(col as u16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_schemes() -> [MappingScheme; 4] {
+        [
+            MappingScheme::OpenPageLocality,
+            MappingScheme::ClosePageInterleave,
+            MappingScheme::RankPartitioned,
+            MappingScheme::BankPartitioned,
+        ]
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let g = Geometry::tiny();
+        for scheme in all_schemes() {
+            let m = AddressMapping::new(g, scheme);
+            for a in 0..g.total_lines() {
+                let loc = m.decode(LineAddr(a));
+                assert!(g.contains(&loc), "{scheme:?} produced out-of-range {loc}");
+                assert_eq!(m.encode(&loc), LineAddr(a), "{scheme:?} not a bijection at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_page_keeps_consecutive_lines_in_one_row() {
+        let m = AddressMapping::new(Geometry::paper_default(), MappingScheme::OpenPageLocality);
+        let a = m.decode(LineAddr(0));
+        let b = m.decode(LineAddr(1));
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(b.col.0, a.col.0 + 1);
+    }
+
+    #[test]
+    fn close_page_rotates_banks_first() {
+        let m = AddressMapping::new(Geometry::paper_default(), MappingScheme::ClosePageInterleave);
+        let a = m.decode(LineAddr(0));
+        let b = m.decode(LineAddr(1));
+        assert_ne!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn rank_partitioned_pins_contiguous_regions_to_ranks() {
+        let g = Geometry::paper_default();
+        let m = AddressMapping::new(g, MappingScheme::RankPartitioned);
+        let lines_per_rank = g.total_lines() / g.ranks_per_channel() as u64;
+        // Every address inside the first rank-sized region decodes to rank 0.
+        for probe in [0, 1, lines_per_rank / 2, lines_per_rank - 1] {
+            assert_eq!(m.decode(LineAddr(probe)).rank, RankId(0));
+        }
+        assert_eq!(m.decode(LineAddr(lines_per_rank)).rank, RankId(1));
+    }
+
+    #[test]
+    fn bank_partitioned_pins_contiguous_regions_to_banks() {
+        let g = Geometry::paper_default();
+        let m = AddressMapping::new(g, MappingScheme::BankPartitioned);
+        let lines_per_bank = g.total_lines() / g.total_banks() as u64;
+        let a = m.decode(LineAddr(0));
+        let b = m.decode(LineAddr(lines_per_bank - 1));
+        assert_eq!((a.rank, a.bank), (b.rank, b.bank));
+        let c = m.decode(LineAddr(lines_per_bank));
+        assert_ne!((a.rank, a.bank), (c.rank, c.bank));
+    }
+
+    #[test]
+    fn addresses_beyond_capacity_wrap() {
+        let g = Geometry::tiny();
+        let m = AddressMapping::new(g, MappingScheme::OpenPageLocality);
+        assert_eq!(m.decode(LineAddr(g.total_lines() + 5)), m.decode(LineAddr(5)));
+    }
+}

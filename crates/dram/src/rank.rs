@@ -1,0 +1,288 @@
+//! Per-rank DRAM state: activation windows, CAS turnarounds, refresh and
+//! power-down, plus the rank's banks.
+
+use crate::bank::BankState;
+use crate::checker::Violation;
+use crate::command::{Command, CommandKind};
+use crate::timing::TimingParams;
+use crate::Cycle;
+
+/// Power state of a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// Normal operation.
+    Active,
+    /// Light (fast-exit) power-down entered at the recorded cycle.
+    PoweredDown { since: Cycle },
+}
+
+/// The state of one rank: its banks plus the rank-wide timing windows
+/// (tRRD, tFAW, CAS-to-CAS turnarounds, refresh, power-down).
+#[derive(Debug, Clone)]
+pub struct RankState {
+    banks: Vec<BankState>,
+    /// The last four activate cycles, oldest first, for tFAW.
+    act_window: Vec<Cycle>,
+    /// Earliest next activate due to tRRD.
+    next_activate: Cycle,
+    /// Earliest next column read due to tCCD / write-to-read turnaround.
+    next_read: Cycle,
+    /// Earliest next column write due to tCCD / read-to-write turnaround.
+    next_write: Cycle,
+    /// Rank unusable until this cycle (refresh in progress).
+    refresh_until: Cycle,
+    /// Earliest cycle a command is accepted after a power-down exit.
+    wake_at: Cycle,
+    power: PowerState,
+    /// Total cycles spent powered down (for the energy model).
+    powered_down_cycles: Cycle,
+}
+
+impl RankState {
+    /// A fresh rank with `banks` closed banks.
+    pub fn new(banks: u8) -> Self {
+        RankState {
+            banks: vec![BankState::new(); banks as usize],
+            act_window: Vec::with_capacity(4),
+            next_activate: 0,
+            next_read: 0,
+            next_write: 0,
+            refresh_until: 0,
+            wake_at: 0,
+            power: PowerState::Active,
+            powered_down_cycles: 0,
+        }
+    }
+
+    pub fn bank(&self, bank: usize) -> &BankState {
+        &self.banks[bank]
+    }
+
+    pub fn banks(&self) -> &[BankState] {
+        &self.banks
+    }
+
+    pub fn power_state(&self) -> PowerState {
+        self.power
+    }
+
+    /// Cumulative cycles this rank has spent in power-down (updated on
+    /// power-up; call [`RankState::powered_down_cycles_at`] for a live
+    /// figure that includes a still-open power-down interval).
+    pub fn powered_down_cycles_at(&self, now: Cycle) -> Cycle {
+        match self.power {
+            PowerState::Active => self.powered_down_cycles,
+            PowerState::PoweredDown { since } => {
+                self.powered_down_cycles + now.saturating_sub(since)
+            }
+        }
+    }
+
+    /// True if every bank is precharged and past recovery at `cycle`.
+    pub fn all_banks_idle(&self, cycle: Cycle) -> bool {
+        self.banks.iter().all(|b| b.idle_at(cycle))
+    }
+
+    /// True if `bank` could accept an `Activate` at `cycle` as far as
+    /// bank-local state, refresh, and power state are concerned (rank
+    /// activation windows like tRRD/tFAW are *not* checked — precomputed
+    /// schedules guarantee those).
+    pub fn bank_ready(&self, bank: usize, cycle: Cycle) -> bool {
+        matches!(self.power, PowerState::Active)
+            && cycle >= self.wake_at
+            && cycle >= self.refresh_until
+            && self.banks[bank].idle_at(cycle)
+    }
+
+    /// Checks rank-level legality of `cmd` at `cycle` (bank-level checks
+    /// are separate; see [`crate::device::DramDevice::can_issue`]).
+    pub fn can_issue(&self, cmd: &Command, cycle: Cycle, t: &TimingParams) -> Result<(), Violation> {
+        if let PowerState::PoweredDown { .. } = self.power {
+            if cmd.kind != CommandKind::PowerDownExit {
+                return Err(Violation::state(*cmd, cycle, "command to a powered-down rank"));
+            }
+            return Ok(());
+        }
+        Violation::check_earliest(*cmd, cycle, self.refresh_until, "tRFC refresh in progress")?;
+        Violation::check_earliest(*cmd, cycle, self.wake_at, "tXP power-down exit")?;
+        match cmd.kind {
+            CommandKind::Activate => {
+                Violation::check_earliest(*cmd, cycle, self.next_activate, "tRRD")?;
+                if self.act_window.len() == 4 {
+                    let faw_end = self.act_window[0] + t.t_faw as Cycle;
+                    Violation::check_earliest(*cmd, cycle, faw_end, "tFAW")?;
+                }
+                Ok(())
+            }
+            k if k.is_read() => Violation::check_earliest(*cmd, cycle, self.next_read, "CAS gap (read)"),
+            k if k.is_write() => {
+                Violation::check_earliest(*cmd, cycle, self.next_write, "CAS gap (write)")
+            }
+            CommandKind::Refresh => {
+                if !self.all_banks_idle(cycle) {
+                    return Err(Violation::state(*cmd, cycle, "refresh with banks busy"));
+                }
+                Ok(())
+            }
+            CommandKind::PowerDownEnter => {
+                if !self.all_banks_idle(cycle) {
+                    return Err(Violation::state(*cmd, cycle, "power-down with banks busy"));
+                }
+                Ok(())
+            }
+            CommandKind::PowerDownExit => {
+                Err(Violation::state(*cmd, cycle, "power-up of an active rank"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Applies `cmd` at `cycle` to the rank-level windows and the addressed
+    /// bank. Caller must have validated legality first.
+    pub fn apply(&mut self, cmd: &Command, cycle: Cycle, t: &TimingParams) {
+        match cmd.kind {
+            CommandKind::Activate => {
+                self.next_activate = cycle + t.t_rrd as Cycle;
+                if self.act_window.len() == 4 {
+                    self.act_window.remove(0);
+                }
+                self.act_window.push(cycle);
+                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+            }
+            k if k.is_read() => {
+                self.next_read = self.next_read.max(cycle + t.t_ccd as Cycle);
+                self.next_write = self.next_write.max(cycle + t.rd_to_wr_same_rank() as Cycle);
+                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+            }
+            k if k.is_write() => {
+                self.next_write = self.next_write.max(cycle + t.t_ccd as Cycle);
+                self.next_read = self.next_read.max(cycle + t.wr_to_rd_same_rank() as Cycle);
+                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+            }
+            CommandKind::Precharge => {
+                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+            }
+            CommandKind::PrechargeAll => {
+                for b in &mut self.banks {
+                    b.apply(cmd, cycle, t);
+                }
+            }
+            CommandKind::Refresh => {
+                self.refresh_until = cycle + t.t_rfc as Cycle;
+                for b in &mut self.banks {
+                    b.apply(cmd, cycle, t);
+                }
+            }
+            CommandKind::PowerDownEnter => {
+                self.power = PowerState::PoweredDown { since: cycle };
+            }
+            CommandKind::PowerDownExit => {
+                if let PowerState::PoweredDown { since } = self.power {
+                    self.powered_down_cycles += cycle.saturating_sub(since);
+                }
+                self.power = PowerState::Active;
+                self.wake_at = cycle + t.t_xp as Cycle;
+            }
+            _ => {}
+        }
+    }
+
+    /// Earliest cycle at which *some* CAS of the given direction is legal
+    /// at rank level (used by schedulers for planning).
+    pub fn next_cas_at(&self, is_read: bool) -> Cycle {
+        if is_read {
+            self.next_read
+        } else {
+            self.next_write
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{BankId, ColId, RankId, RowId};
+
+    fn t() -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    fn act(bank: u8) -> Command {
+        Command::activate(RankId(0), BankId(bank), RowId(1))
+    }
+
+    #[test]
+    fn trrd_between_activates() {
+        let timing = t();
+        let mut r = RankState::new(8);
+        r.apply(&act(0), 0, &timing);
+        assert!(r.can_issue(&act(1), 4, &timing).is_err());
+        assert!(r.can_issue(&act(1), 5, &timing).is_ok());
+    }
+
+    #[test]
+    fn tfaw_limits_fifth_activate() {
+        let timing = t();
+        let mut r = RankState::new(8);
+        for i in 0..4u8 {
+            let c = i as Cycle * timing.t_rrd as Cycle;
+            assert!(r.can_issue(&act(i), c, &timing).is_ok());
+            r.apply(&act(i), c, &timing);
+        }
+        // Fifth activate: tRRD would allow cycle 20, tFAW requires 24.
+        assert!(r.can_issue(&act(4), 20, &timing).is_err());
+        assert!(r.can_issue(&act(4), 24, &timing).is_ok());
+    }
+
+    #[test]
+    fn write_to_read_rank_turnaround() {
+        let timing = t();
+        let mut r = RankState::new(8);
+        r.apply(&act(0), 0, &timing);
+        r.apply(&act(1), 5, &timing);
+        let wr = Command::write_ap(RankId(0), BankId(0), RowId(1), ColId(0));
+        r.apply(&wr, 16, &timing);
+        let rd = Command::read_ap(RankId(0), BankId(1), RowId(1), ColId(0));
+        // Wr2Rd = 15 cycles after the write CAS.
+        assert!(r.can_issue(&rd, 30, &timing).is_err());
+        assert!(r.can_issue(&rd, 31, &timing).is_ok());
+    }
+
+    #[test]
+    fn power_down_round_trip_tracks_cycles() {
+        let timing = t();
+        let mut r = RankState::new(8);
+        let pde = Command::power_down(RankId(0));
+        let pdx = Command::power_up(RankId(0));
+        assert!(r.can_issue(&pde, 10, &timing).is_ok());
+        r.apply(&pde, 10, &timing);
+        // No commands accepted while down.
+        assert!(r.can_issue(&act(0), 20, &timing).is_err());
+        assert!(r.can_issue(&pdx, 50, &timing).is_ok());
+        r.apply(&pdx, 50, &timing);
+        assert_eq!(r.powered_down_cycles_at(50), 40);
+        // tXP gates the first command after wake-up.
+        assert!(r.can_issue(&act(0), 59, &timing).is_err());
+        assert!(r.can_issue(&act(0), 60, &timing).is_ok());
+    }
+
+    #[test]
+    fn refresh_blocks_everything_for_trfc() {
+        let timing = t();
+        let mut r = RankState::new(8);
+        let refr = Command::refresh(RankId(0));
+        assert!(r.can_issue(&refr, 0, &timing).is_ok());
+        r.apply(&refr, 0, &timing);
+        assert!(r.can_issue(&act(0), 207, &timing).is_err());
+        assert!(r.can_issue(&act(0), 208, &timing).is_ok());
+    }
+
+    #[test]
+    fn refresh_rejected_with_open_bank() {
+        let timing = t();
+        let mut r = RankState::new(8);
+        r.apply(&act(0), 0, &timing);
+        let refr = Command::refresh(RankId(0));
+        assert!(r.can_issue(&refr, 100, &timing).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! DDR3 timing parameters (the paper's Table 1) and derived delays.
+//!
+//! All values are in DRAM bus cycles (800 MHz bus for DDR3-1600). The
+//! derived read/write turnaround helpers reproduce the exact constants the
+//! paper plugs into its pipeline equations:
+//!
+//! * `Rd2Wr delay = tCAS + tBURST - tCWD = 10` (CAS-to-CAS, same rank)
+//! * `Wr2Rd delay = tCWD + tBURST + tWTR = 15` (CAS-to-CAS, same rank)
+
+/// The full DDR3 timing-parameter set used by the device model, the
+/// constraint solver and the legality checker.
+///
+/// Field names follow the JEDEC convention with a `t_` prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// ACT-to-ACT, same bank (row cycle time).
+    pub t_rc: u32,
+    /// ACT-to-CAS, same bank (RAS-to-CAS delay).
+    pub t_rcd: u32,
+    /// ACT-to-PRE, same bank (row active time).
+    pub t_ras: u32,
+    /// Four-activate window per rank.
+    pub t_faw: u32,
+    /// Write recovery: end of write data to PRE, same bank.
+    pub t_wr: u32,
+    /// PRE-to-ACT, same bank (row precharge time).
+    pub t_rp: u32,
+    /// Rank-to-rank data-bus switching delay.
+    pub t_rtrs: u32,
+    /// CAS read latency (column read to first data beat).
+    pub t_cas: u32,
+    /// CAS write latency (column write to first data beat).
+    pub t_cwd: u32,
+    /// Read-to-PRE, same bank.
+    pub t_rtp: u32,
+    /// Data burst length on the bus (cycles for one 64 B line).
+    pub t_burst: u32,
+    /// CAS-to-CAS, same rank.
+    pub t_ccd: u32,
+    /// Write-to-read turnaround: end of write data to column read, same rank.
+    pub t_wtr: u32,
+    /// ACT-to-ACT, different banks of the same rank.
+    pub t_rrd: u32,
+    /// Average refresh interval.
+    pub t_refi: u32,
+    /// Refresh cycle time (rank busy after REF).
+    pub t_rfc: u32,
+    /// Power-down exit latency (light / fast-exit mode; paper cites ~10
+    /// memory cycles for the lighter modes).
+    pub t_xp: u32,
+    /// CPU core cycles per DRAM bus cycle (3.2 GHz / 800 MHz = 4).
+    pub cpu_ratio: u32,
+}
+
+impl TimingParams {
+    /// The DDR3-1600 parameters of the paper's Table 1.
+    ///
+    /// tREFI = 7.8 us and tRFC = 260 ns converted at 800 MHz.
+    pub fn ddr3_1600() -> Self {
+        TimingParams {
+            t_rc: 39,
+            t_rcd: 11,
+            t_ras: 28,
+            t_faw: 24,
+            t_wr: 12,
+            t_rp: 11,
+            t_rtrs: 2,
+            t_cas: 11,
+            t_cwd: 5,
+            t_rtp: 6,
+            t_burst: 4,
+            t_ccd: 4,
+            t_wtr: 6,
+            t_rrd: 5,
+            t_refi: 6240,
+            t_rfc: 208,
+            t_xp: 10,
+            cpu_ratio: 4,
+        }
+    }
+
+    /// A DDR4-2400 parameter set (JESD79-4, the standard the paper's
+    /// Table 1 cites), in 1200 MHz bus cycles: tRCD/tCAS/tRP = 16,
+    /// tRAS = 39, tRC = 55, tCWD = 12, tRRD_L = 6, tFAW = 26, tWTR_L = 9,
+    /// tWR = 18, tRTP = 9, tCCD_L = 6, tREFI = 7.8 us, tRFC = 350 ns.
+    /// The CPU ratio stays at 4 (a ~4.8 GHz core clock) so cross-part
+    /// comparisons keep the same core.
+    pub fn ddr4_2400() -> Self {
+        TimingParams {
+            t_rc: 55,
+            t_rcd: 16,
+            t_ras: 39,
+            t_faw: 26,
+            t_wr: 18,
+            t_rp: 16,
+            t_rtrs: 3,
+            t_cas: 16,
+            t_cwd: 12,
+            t_rtp: 9,
+            t_burst: 4,
+            t_ccd: 6,
+            t_wtr: 9,
+            t_rrd: 6,
+            t_refi: 9360,
+            t_rfc: 420,
+            t_xp: 8,
+            cpu_ratio: 4,
+        }
+    }
+
+    /// CAS-to-CAS delay for a read followed by a write to the *same rank*.
+    ///
+    /// The write burst must not collide with the read burst on the data
+    /// bus: `tCAS + tBURST - tCWD`.
+    pub fn rd_to_wr_same_rank(&self) -> u32 {
+        self.t_cas + self.t_burst - self.t_cwd
+    }
+
+    /// CAS-to-CAS delay for a read followed by a write to a *different
+    /// rank* on the same channel (adds the bus-switch gap).
+    pub fn rd_to_wr_diff_rank(&self) -> u32 {
+        self.rd_to_wr_same_rank() + self.t_rtrs
+    }
+
+    /// CAS-to-CAS delay for a write followed by a read to the *same rank*:
+    /// `tCWD + tBURST + tWTR`.
+    pub fn wr_to_rd_same_rank(&self) -> u32 {
+        self.t_cwd + self.t_burst + self.t_wtr
+    }
+
+    /// CAS-to-CAS delay for a write followed by a read to a *different
+    /// rank*: only the shared data bus constrains this,
+    /// `tCWD + tBURST + tRTRS - tCAS` (clamped at zero).
+    pub fn wr_to_rd_diff_rank(&self) -> u32 {
+        (self.t_cwd + self.t_burst + self.t_rtrs).saturating_sub(self.t_cas)
+    }
+
+    /// Cycle at which the precharge implied by a `ReadAp` begins, relative
+    /// to the column-read command (bounded below by tRAS via the device).
+    pub fn read_ap_pre_offset(&self) -> u32 {
+        self.t_rtp
+    }
+
+    /// Cycle at which the precharge implied by a `WriteAp` begins, relative
+    /// to the column-write command.
+    pub fn write_ap_pre_offset(&self) -> u32 {
+        self.t_cwd + self.t_burst + self.t_wr
+    }
+
+    /// Worst-case gap between two transactions to *different rows of the
+    /// same bank* when the first is a write: ACT-to-ACT spacing
+    /// `tRCD + write_ap_pre_offset + tRP`.
+    ///
+    /// For Table-1 parameters this is the paper's `l = 43`.
+    pub fn same_bank_wr_turnaround(&self) -> u32 {
+        self.t_rcd + self.write_ap_pre_offset() + self.t_rp
+    }
+
+    /// Converts a CPU-cycle count to DRAM bus cycles (rounding up).
+    pub fn cpu_to_dram(&self, cpu_cycles: u64) -> u64 {
+        cpu_cycles.div_ceil(self.cpu_ratio as u64)
+    }
+
+    /// Converts DRAM bus cycles to CPU cycles.
+    pub fn dram_to_cpu(&self, dram_cycles: u64) -> u64 {
+        dram_cycles * self.cpu_ratio as u64
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_turnaround_constants() {
+        let t = TimingParams::ddr3_1600();
+        // Constants quoted verbatim in Section 4.2 of the paper.
+        assert_eq!(t.rd_to_wr_same_rank(), 10);
+        assert_eq!(t.wr_to_rd_same_rank(), 15);
+    }
+
+    #[test]
+    fn same_bank_write_turnaround_is_43() {
+        let t = TimingParams::ddr3_1600();
+        // Section 4.3: "the largest gap ... a write followed by a read to
+        // different rows in the same bank ... l = 43 cycles".
+        assert_eq!(t.same_bank_wr_turnaround(), 43);
+    }
+
+    #[test]
+    fn write_ap_offset() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.write_ap_pre_offset(), 5 + 4 + 12);
+    }
+
+    #[test]
+    fn ddr4_parameters_are_self_consistent() {
+        let t = TimingParams::ddr4_2400();
+        assert!(t.t_rc >= t.t_ras + t.t_rp);
+        assert!(t.t_cas > t.t_cwd - 8);
+        assert!(t.wr_to_rd_same_rank() > t.rd_to_wr_same_rank());
+        assert!(t.same_bank_wr_turnaround() > t.t_rc);
+    }
+
+    #[test]
+    fn clock_ratio_conversions() {
+        let t = TimingParams::ddr3_1600();
+        assert_eq!(t.dram_to_cpu(56), 224); // the paper's Q for 8 threads
+        assert_eq!(t.cpu_to_dram(224), 56);
+        assert_eq!(t.cpu_to_dram(225), 57);
+    }
+}

@@ -1,0 +1,274 @@
+//! Failure injection: for every DDR3 rule the checker enforces, construct
+//! a minimal stream that violates exactly that rule and assert the
+//! checker names it — and that the *boundary* case (one cycle later)
+//! passes. This pins the semantics of each constraint.
+
+use fsmc_dram::command::{Command, TimedCommand};
+use fsmc_dram::geometry::{BankId, ColId, Geometry, RankId, RowId};
+use fsmc_dram::{TimingChecker, TimingParams};
+
+fn checker() -> TimingChecker {
+    TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600())
+}
+
+fn tc(cmd: Command, cycle: u64) -> TimedCommand {
+    TimedCommand::new(cmd, cycle)
+}
+
+fn act(rank: u8, bank: u8, row: u32) -> Command {
+    Command::activate(RankId(rank), BankId(bank), RowId(row))
+}
+fn rda(rank: u8, bank: u8, row: u32) -> Command {
+    Command::read_ap(RankId(rank), BankId(bank), RowId(row), ColId(0))
+}
+fn wra(rank: u8, bank: u8, row: u32) -> Command {
+    Command::write_ap(RankId(rank), BankId(bank), RowId(row), ColId(0))
+}
+
+/// Asserts that `bad` trips `constraint` and `good` is clean.
+fn check_boundary(bad: &[TimedCommand], good: &[TimedCommand], constraint: &str) {
+    let vs = checker().check(bad);
+    assert!(
+        vs.iter().any(|v| v.constraint.contains(constraint)),
+        "expected a {constraint:?} violation, got {vs:?}"
+    );
+    let vs = checker().check(good);
+    assert!(vs.is_empty(), "boundary case for {constraint:?} should pass: {vs:?}");
+}
+
+#[test]
+fn trcd_boundary() {
+    check_boundary(
+        &[tc(act(0, 0, 1), 0), tc(rda(0, 0, 1), 10)],
+        &[tc(act(0, 0, 1), 0), tc(rda(0, 0, 1), 11)],
+        "tRCD",
+    );
+}
+
+#[test]
+fn trc_boundary() {
+    // Read + auto-precharge completes at 39 = tRC; a second activate at
+    // 38 violates both tRC and the precharge recovery.
+    check_boundary(
+        &[tc(act(0, 0, 1), 0), tc(rda(0, 0, 1), 11), tc(act(0, 0, 2), 38)],
+        &[tc(act(0, 0, 1), 0), tc(rda(0, 0, 1), 11), tc(act(0, 0, 2), 39)],
+        "tR", // tRC or tRP, both are row-cycle violations here
+    );
+}
+
+#[test]
+fn write_recovery_boundary() {
+    // WRA at 11: precharge starts at 11+21 = 32, recovered at 43.
+    check_boundary(
+        &[tc(act(0, 0, 1), 0), tc(wra(0, 0, 1), 11), tc(act(0, 0, 2), 42)],
+        &[tc(act(0, 0, 1), 0), tc(wra(0, 0, 1), 11), tc(act(0, 0, 2), 43)],
+        "tRP",
+    );
+}
+
+#[test]
+fn tras_boundary_for_explicit_precharge() {
+    let pre = Command::precharge(RankId(0), BankId(0));
+    check_boundary(
+        &[tc(act(0, 0, 1), 0), tc(pre, 27)],
+        &[tc(act(0, 0, 1), 0), tc(pre, 28)],
+        "tRAS",
+    );
+}
+
+#[test]
+fn trtp_boundary() {
+    let pre = Command::precharge(RankId(0), BankId(0));
+    // Plain read at 25: its tRTP bound (31) exceeds the tRAS bound (28),
+    // so a precharge at 30 violates exactly tRTP.
+    let rd = Command::read(RankId(0), BankId(0), RowId(1), ColId(0));
+    check_boundary(
+        &[tc(act(0, 0, 1), 0), tc(rd, 25), tc(pre, 30), tc(act(0, 0, 2), 60)],
+        &[tc(act(0, 0, 1), 0), tc(rd, 25), tc(pre, 31), tc(act(0, 0, 2), 60)],
+        "tRTP",
+    );
+}
+
+#[test]
+fn trrd_boundary() {
+    check_boundary(
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 4)],
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 5)],
+        "tRRD",
+    );
+}
+
+#[test]
+fn tfaw_boundary() {
+    let base: Vec<TimedCommand> =
+        (0..4).map(|i| tc(act(0, i, 1), i as u64 * 6)).collect();
+    let mut bad = base.clone();
+    bad.push(tc(act(0, 4, 1), 23));
+    let mut good = base;
+    good.push(tc(act(0, 4, 1), 24));
+    check_boundary(&bad, &good, "tFAW");
+}
+
+#[test]
+fn tccd_boundary() {
+    check_boundary(
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(0, 1, 1), 5),
+            tc(rda(0, 0, 1), 16),
+            tc(rda(0, 1, 1), 19),
+        ],
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(0, 1, 1), 5),
+            tc(rda(0, 0, 1), 16),
+            tc(rda(0, 1, 1), 20),
+        ],
+        "tCCD",
+    );
+}
+
+#[test]
+fn write_to_read_turnaround_boundary() {
+    check_boundary(
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(0, 1, 1), 5),
+            tc(wra(0, 0, 1), 16),
+            tc(rda(0, 1, 1), 30),
+        ],
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(0, 1, 1), 5),
+            tc(wra(0, 0, 1), 16),
+            tc(rda(0, 1, 1), 31),
+        ],
+        "tWTR",
+    );
+}
+
+#[test]
+fn read_to_write_turnaround_boundary() {
+    check_boundary(
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(0, 1, 1), 5),
+            tc(rda(0, 0, 1), 16),
+            tc(wra(0, 1, 1), 25),
+        ],
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(0, 1, 1), 5),
+            tc(rda(0, 0, 1), 16),
+            tc(wra(0, 1, 1), 26),
+        ],
+        "read-to-write",
+    );
+}
+
+#[test]
+fn trtrs_data_gap_boundary() {
+    check_boundary(
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(1, 0, 1), 5),
+            tc(rda(0, 0, 1), 16),
+            tc(rda(1, 0, 1), 21),
+        ],
+        &[
+            tc(act(0, 0, 1), 0),
+            tc(act(1, 0, 1), 5),
+            tc(rda(0, 0, 1), 16),
+            tc(rda(1, 0, 1), 22),
+        ],
+        "tRTRS",
+    );
+}
+
+#[test]
+fn data_bus_overlap_detected() {
+    // Same rank: read at 16 (data 27..31), second read at 18 (data 29..33).
+    let vs = checker().check(&[
+        tc(act(0, 0, 1), 0),
+        tc(act(0, 1, 1), 5),
+        tc(rda(0, 0, 1), 16),
+        tc(rda(0, 1, 1), 18),
+    ]);
+    assert!(
+        vs.iter().any(|v| v.constraint.contains("data-bus overlap") || v.constraint.contains("tCCD")),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn command_bus_collision_detected() {
+    let vs = checker().check(&[tc(act(0, 0, 1), 7), tc(act(1, 0, 1), 7)]);
+    assert!(vs.iter().any(|v| v.constraint.contains("command-bus")), "{vs:?}");
+}
+
+#[test]
+fn cas_without_activate_detected() {
+    let vs = checker().check(&[tc(rda(0, 0, 1), 5)]);
+    assert!(vs.iter().any(|v| v.constraint.contains("closed bank")), "{vs:?}");
+}
+
+#[test]
+fn cas_to_wrong_row_detected() {
+    let vs = checker().check(&[tc(act(0, 0, 1), 0), tc(rda(0, 0, 2), 11)]);
+    assert!(vs.iter().any(|v| v.constraint.contains("not open")), "{vs:?}");
+}
+
+#[test]
+fn double_activate_detected() {
+    let vs = checker().check(&[tc(act(0, 0, 1), 0), tc(act(0, 0, 2), 50)]);
+    assert!(vs.iter().any(|v| v.constraint.contains("row is open")), "{vs:?}");
+}
+
+#[test]
+fn refresh_with_open_row_detected() {
+    let vs = checker().check(&[tc(act(0, 0, 1), 0), tc(Command::refresh(RankId(0)), 100)]);
+    assert!(vs.iter().any(|v| v.constraint.contains("refresh with a row open")), "{vs:?}");
+}
+
+#[test]
+fn trfc_boundary() {
+    check_boundary(
+        &[tc(Command::refresh(RankId(0)), 0), tc(Command::refresh(RankId(0)), 207)],
+        &[tc(Command::refresh(RankId(0)), 0), tc(Command::refresh(RankId(0)), 208)],
+        "tRFC",
+    );
+}
+
+#[test]
+fn power_down_rules_detected() {
+    let vs = checker().check(&[
+        tc(Command::power_down(RankId(0)), 0),
+        tc(act(0, 0, 1), 5),
+    ]);
+    assert!(vs.iter().any(|v| v.constraint.contains("powered-down")), "{vs:?}");
+    // Double power-down and spurious power-up.
+    let vs = checker().check(&[
+        tc(Command::power_down(RankId(0)), 0),
+        tc(Command::power_down(RankId(0)), 5),
+    ]);
+    assert!(vs.iter().any(|v| v.constraint.contains("already powered down")), "{vs:?}");
+    let vs = checker().check(&[tc(Command::power_up(RankId(0)), 3)]);
+    assert!(vs.iter().any(|v| v.constraint.contains("power-up of an active rank")), "{vs:?}");
+}
+
+#[test]
+fn txp_boundary() {
+    check_boundary(
+        &[
+            tc(Command::power_down(RankId(0)), 0),
+            tc(Command::power_up(RankId(0)), 20),
+            tc(act(0, 0, 1), 29),
+        ],
+        &[
+            tc(Command::power_down(RankId(0)), 0),
+            tc(Command::power_up(RankId(0)), 20),
+            tc(act(0, 0, 1), 30),
+        ],
+        "tXP",
+    );
+}

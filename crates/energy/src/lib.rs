@@ -1,0 +1,34 @@
+//! # fsmc-energy — Micron-style DDR3 power and energy model
+//!
+//! Computes memory energy from the activity counters collected by
+//! [`fsmc_dram::DramDevice`], following the methodology of the Micron
+//! DDR3 power calculator (TN-41-01): per-event energies for
+//! activate/precharge pairs, read/write bursts and refreshes, plus
+//! time-proportional background power with a reduced power-down rate.
+//!
+//! Absolute joules are calibrated to a 4 Gb x8 DDR3-1600 rank; the
+//! paper's energy figures (Figures 8 and 9) are *normalised*, so what
+//! matters for reproduction is the ratio structure: background power is
+//! proportional to execution time (this is why FS beats TP despite
+//! issuing ~37% more accesses), dummy suppression removes array energy,
+//! row-hit boosting removes ACT/PRE energy, and power-down cuts
+//! background power on idle ranks.
+//!
+//! ```
+//! use fsmc_energy::{EnergyModel, PowerParams};
+//! use fsmc_dram::ActivityCounters;
+//!
+//! let mut counters = ActivityCounters::new(1);
+//! counters.rank_mut(0).activates = 1000;
+//! counters.rank_mut(0).reads = 1000;
+//! counters.elapsed_cycles = 100_000;
+//! let model = EnergyModel::new(PowerParams::ddr3_4gb());
+//! let breakdown = model.evaluate(&counters, 0);
+//! assert!(breakdown.total_nj() > 0.0);
+//! ```
+
+pub mod model;
+pub mod params;
+
+pub use model::{EnergyBreakdown, EnergyModel};
+pub use params::PowerParams;

@@ -1,0 +1,155 @@
+//! Energy evaluation over activity counters.
+
+use crate::params::PowerParams;
+use fsmc_dram::ActivityCounters;
+
+/// Memory energy decomposed by source, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    pub act_pre_nj: f64,
+    pub read_nj: f64,
+    pub write_nj: f64,
+    pub refresh_nj: f64,
+    pub background_nj: f64,
+    /// Energy saved by row-hit boosting (already excluded from
+    /// `act_pre_nj`; reported for visibility).
+    pub boost_saved_nj: f64,
+    /// Background energy saved by power-down (already reflected in
+    /// `background_nj`).
+    pub powerdown_saved_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total memory energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.act_pre_nj + self.read_nj + self.write_nj + self.refresh_nj + self.background_nj
+    }
+
+    /// Total in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_nj() * 1e-6
+    }
+}
+
+/// Evaluates energy from [`ActivityCounters`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyModel {
+    params: PowerParams,
+}
+
+impl EnergyModel {
+    pub fn new(params: PowerParams) -> Self {
+        EnergyModel { params }
+    }
+
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Computes the breakdown. `boosted_row_hits` is the scheduler's count
+    /// of accesses whose ACT/PRE energy was avoided (FS energy
+    /// optimisation 2); suppressed dummies are already excluded because
+    /// the device counts them separately.
+    pub fn evaluate(&self, counters: &ActivityCounters, boosted_row_hits: u64) -> EnergyBreakdown {
+        let p = &self.params;
+        let acts = counters.total_activates();
+        let effective_acts = acts.saturating_sub(boosted_row_hits);
+        let act_pre_nj = effective_acts as f64 * p.e_act_pre_nj;
+        let boost_saved_nj = boosted_row_hits.min(acts) as f64 * p.e_act_pre_nj;
+        let read_nj = counters.total_reads() as f64 * p.e_read_nj;
+        let write_nj = counters.total_writes() as f64 * p.e_write_nj;
+        let refresh_nj = counters.total_refreshes() as f64 * p.e_refresh_nj;
+
+        let mut background_nj = 0.0;
+        let mut powerdown_saved_nj = 0.0;
+        for rc in counters.ranks() {
+            let pd = rc.powered_down_cycles.min(counters.elapsed_cycles) as f64;
+            let up = counters.elapsed_cycles as f64 - pd;
+            // mW * ns = pJ; divide by 1000 for nJ.
+            background_nj += (up * p.p_standby_mw + pd * p.p_powerdown_mw) * p.cycle_ns / 1000.0;
+            powerdown_saved_nj += pd * (p.p_standby_mw - p.p_powerdown_mw) * p.cycle_ns / 1000.0;
+        }
+        EnergyBreakdown {
+            act_pre_nj,
+            read_nj,
+            write_nj,
+            refresh_nj,
+            background_nj,
+            boost_saved_nj,
+            powerdown_saved_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(ranks: usize) -> ActivityCounters {
+        ActivityCounters::new(ranks)
+    }
+
+    #[test]
+    fn event_energy_scales_with_counts() {
+        let m = EnergyModel::new(PowerParams::ddr3_4gb());
+        let mut c = counters(1);
+        c.rank_mut(0).activates = 10;
+        c.rank_mut(0).reads = 10;
+        let e1 = m.evaluate(&c, 0);
+        c.rank_mut(0).activates = 20;
+        c.rank_mut(0).reads = 20;
+        let e2 = m.evaluate(&c, 0);
+        assert!((e2.act_pre_nj - 2.0 * e1.act_pre_nj).abs() < 1e-9);
+        assert!((e2.read_nj - 2.0 * e1.read_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_dominates_long_idle_runs() {
+        let m = EnergyModel::new(PowerParams::ddr3_4gb());
+        let mut c = counters(8);
+        c.rank_mut(0).activates = 5;
+        c.elapsed_cycles = 10_000_000;
+        let e = m.evaluate(&c, 0);
+        assert!(e.background_nj > 100.0 * e.act_pre_nj);
+    }
+
+    #[test]
+    fn boosted_hits_reduce_act_energy() {
+        let m = EnergyModel::new(PowerParams::ddr3_4gb());
+        let mut c = counters(1);
+        c.rank_mut(0).activates = 100;
+        let plain = m.evaluate(&c, 0);
+        let boosted = m.evaluate(&c, 40);
+        assert!(boosted.act_pre_nj < plain.act_pre_nj);
+        assert!((boosted.act_pre_nj + boosted.boost_saved_nj - plain.act_pre_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn powerdown_reduces_background() {
+        let m = EnergyModel::new(PowerParams::ddr3_4gb());
+        let mut c = counters(1);
+        c.elapsed_cycles = 1_000_000;
+        let up = m.evaluate(&c, 0);
+        c.rank_mut(0).powered_down_cycles = 500_000;
+        let down = m.evaluate(&c, 0);
+        assert!(down.background_nj < up.background_nj);
+        assert!(down.powerdown_saved_nj > 0.0);
+        assert!(
+            (up.background_nj - down.background_nj - down.powerdown_saved_nj).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let m = EnergyModel::new(PowerParams::ddr3_4gb());
+        let mut c = counters(2);
+        c.rank_mut(0).activates = 3;
+        c.rank_mut(1).writes = 4;
+        c.rank_mut(0).refreshes = 2;
+        c.elapsed_cycles = 1000;
+        let e = m.evaluate(&c, 0);
+        let sum = e.act_pre_nj + e.read_nj + e.write_nj + e.refresh_nj + e.background_nj;
+        assert!((e.total_nj() - sum).abs() < 1e-9);
+        assert!((e.total_mj() - sum * 1e-6).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,64 @@
+//! Power-model parameters for a DDR3 rank.
+
+/// Per-rank energy/power constants, in the style of the Micron DDR3
+/// power calculator. A "rank" here is the set of chips serving one
+/// 64-byte line (eight x8 4 Gb devices for the paper's system).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Energy of one Activate + Precharge pair (nJ per rank).
+    pub e_act_pre_nj: f64,
+    /// Energy of one 64-byte read burst, array + I/O (nJ).
+    pub e_read_nj: f64,
+    /// Energy of one 64-byte write burst, array + ODT (nJ).
+    pub e_write_nj: f64,
+    /// Energy of one REF command (nJ per rank).
+    pub e_refresh_nj: f64,
+    /// Background (standby) power of an idle, powered-up rank (mW).
+    pub p_standby_mw: f64,
+    /// Background power in light power-down (mW).
+    pub p_powerdown_mw: f64,
+    /// DRAM bus cycle time (ns); 1.25 ns for DDR3-1600.
+    pub cycle_ns: f64,
+}
+
+impl PowerParams {
+    /// Constants for a rank of eight 4 Gb x8 DDR3-1600 devices, derived
+    /// from Micron datasheet IDD values at 1.5 V:
+    ///
+    /// * ACT+PRE: ~(IDD0 - IDD3N) charge over tRC, ~2.8 nJ/device.
+    /// * Read: (IDD4R - IDD3N) over the burst plus I/O, ~1.5 nJ/device.
+    /// * Write: slightly higher than read due to ODT.
+    /// * Refresh: (IDD5 - IDD3N) over tRFC, ~30 nJ/device.
+    /// * Standby: IDD3N/IDD2N blend, ~45 mW/device.
+    /// * Power-down: IDD2P (fast exit), ~12 mW/device.
+    pub fn ddr3_4gb() -> Self {
+        PowerParams {
+            e_act_pre_nj: 22.4,
+            e_read_nj: 12.0,
+            e_write_nj: 13.2,
+            e_refresh_nj: 240.0,
+            p_standby_mw: 360.0,
+            p_powerdown_mw: 96.0,
+            cycle_ns: 1.25,
+        }
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams::ddr3_4gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_ddr3() {
+        let p = PowerParams::default();
+        assert_eq!(p, PowerParams::ddr3_4gb());
+        assert!(p.p_powerdown_mw < p.p_standby_mw);
+        assert!(p.e_act_pre_nj > p.e_read_nj);
+    }
+}

@@ -1,0 +1,112 @@
+//! Information-theoretic leakage estimators.
+
+/// Binary entropy in bits.
+fn h2(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        0.0
+    } else {
+        -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+    }
+}
+
+/// Capacity of a binary symmetric channel with error probability `ber`,
+/// in bits per symbol: `1 - H2(ber)`.
+pub fn binary_channel_capacity(ber: f64) -> f64 {
+    1.0 - h2(ber.clamp(0.0, 1.0))
+}
+
+/// Histogram estimate of the mutual information (bits) between a
+/// continuous observation and a binary secret.
+///
+/// Observations are bucketed into `bins` equal-width bins over their
+/// range; MI is computed from the joint histogram. Returns 0 for
+/// degenerate inputs (empty, constant observations, or single-class
+/// secrets).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `bins` is zero.
+pub fn mutual_information(observations: &[f64], secret: &[bool], bins: usize) -> f64 {
+    assert_eq!(observations.len(), secret.len(), "paired samples required");
+    assert!(bins > 0, "bins must be non-zero");
+    let n = observations.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let lo = observations.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = observations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(hi > lo) {
+        return 0.0; // constant observations carry no information
+    }
+    let width = (hi - lo) / bins as f64;
+    // joint[bin][secret]
+    let mut joint = vec![[0usize; 2]; bins];
+    for (&x, &s) in observations.iter().zip(secret) {
+        let b = (((x - lo) / width) as usize).min(bins - 1);
+        joint[b][s as usize] += 1;
+    }
+    let p_s1 = secret.iter().filter(|&&s| s).count() as f64 / n as f64;
+    let p_s = [1.0 - p_s1, p_s1];
+    let mut mi = 0.0;
+    for row in &joint {
+        let p_x = (row[0] + row[1]) as f64 / n as f64;
+        if p_x == 0.0 {
+            continue;
+        }
+        for s in 0..2 {
+            let p_xs = row[s] as f64 / n as f64;
+            if p_xs > 0.0 && p_s[s] > 0.0 {
+                mi += p_xs * (p_xs / (p_x * p_s[s])).log2();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_endpoints() {
+        assert!((binary_channel_capacity(0.0) - 1.0).abs() < 1e-12);
+        assert!(binary_channel_capacity(0.5) < 1e-12);
+        assert!((binary_channel_capacity(1.0) - 1.0).abs() < 1e-12); // inverted but perfect
+    }
+
+    #[test]
+    fn perfectly_correlated_observation_has_one_bit() {
+        let obs: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 10.0 } else { 20.0 }).collect();
+        let secret: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        let mi = mutual_information(&obs, &secret, 16);
+        assert!(mi > 0.99, "mi = {mi}");
+    }
+
+    #[test]
+    fn independent_observation_has_near_zero_mi() {
+        // Observation alternates with period 2; secret with period 4 but
+        // balanced across observation values.
+        let obs: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        let secret: Vec<bool> = (0..1000).map(|i| (i / 2) % 2 == 0).collect();
+        let mi = mutual_information(&obs, &secret, 8);
+        assert!(mi < 0.02, "mi = {mi}");
+    }
+
+    #[test]
+    fn constant_observation_is_zero() {
+        let obs = vec![5.0; 100];
+        let secret: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        assert_eq!(mutual_information(&obs, &secret, 8), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mutual_information(&[], &[], 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn mismatched_lengths_panic() {
+        mutual_information(&[1.0], &[], 8);
+    }
+}

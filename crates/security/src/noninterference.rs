@@ -1,0 +1,117 @@
+//! The non-interference harness: does a thread's timing depend on its
+//! co-runners?
+
+use crate::profile::ExecutionProfile;
+use fsmc_core::sched::SchedulerKind;
+use fsmc_cpu::trace::TraceSource;
+use fsmc_sim::{System, SystemConfig};
+use fsmc_workload::{BenchProfile, FloodTrace, IdleTrace, SyntheticTrace};
+
+/// What the attacker thread ran against (Figure 4's two environments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoRunners {
+    /// "Synthetic threads that make no memory accesses."
+    Idle,
+    /// "Highly memory-intensive" synthetic threads.
+    MemoryIntensive,
+}
+
+/// Outcome of a non-interference check.
+#[derive(Debug, Clone)]
+pub struct NonInterferenceReport {
+    pub scheduler: SchedulerKind,
+    pub idle_profile: ExecutionProfile,
+    pub intensive_profile: ExecutionProfile,
+}
+
+impl NonInterferenceReport {
+    /// Zero leakage: the two profiles are bit-identical.
+    pub fn is_non_interfering(&self) -> bool {
+        self.idle_profile.identical(&self.intensive_profile)
+    }
+
+    /// Worst-case timing divergence between environments, in CPU cycles.
+    pub fn max_divergence(&self) -> u64 {
+        self.idle_profile.max_divergence(&self.intensive_profile)
+    }
+}
+
+/// Measures the execution profile of an mcf-like attacker on core 0 under
+/// `scheduler`, co-scheduled with seven `co` threads.
+pub fn execution_profile(
+    scheduler: SchedulerKind,
+    co: CoRunners,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> ExecutionProfile {
+    let cfg = SystemConfig::paper_default(scheduler);
+    let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(cfg.cores as usize);
+    // The attacker (the paper uses mcf) always uses the same seed, so its
+    // own instruction stream is identical across environments.
+    traces.push(Box::new(SyntheticTrace::new(BenchProfile::mcf(), 0xA77AC)));
+    for _ in 1..cfg.cores {
+        match co {
+            CoRunners::Idle => traces.push(Box::new(IdleTrace)),
+            CoRunners::MemoryIntensive => traces.push(Box::new(FloodTrace::new())),
+        }
+    }
+    let mut sys = System::new(&cfg, traces);
+    ExecutionProfile::new(sys.run_profile(0, bucket_instrs, buckets), bucket_instrs)
+}
+
+/// Runs the attacker under both environments and reports.
+///
+/// ```no_run
+/// use fsmc_core::sched::SchedulerKind;
+/// use fsmc_security::check_noninterference;
+///
+/// let report = check_noninterference(SchedulerKind::FsRankPartitioned, 10_000, 20);
+/// assert!(report.is_non_interfering()); // divergence is exactly zero
+/// ```
+pub fn check_noninterference(
+    scheduler: SchedulerKind,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> NonInterferenceReport {
+    NonInterferenceReport {
+        scheduler,
+        idle_profile: execution_profile(scheduler, CoRunners::Idle, bucket_instrs, buckets),
+        intensive_profile: execution_profile(
+            scheduler,
+            CoRunners::MemoryIntensive,
+            bucket_instrs,
+            buckets,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_rank_partitioned_is_non_interfering() {
+        let r = check_noninterference(SchedulerKind::FsRankPartitioned, 2000, 10);
+        assert!(
+            r.is_non_interfering(),
+            "FS leaked: divergence {} cycles",
+            r.max_divergence()
+        );
+    }
+
+    #[test]
+    fn fs_triple_alternation_is_non_interfering() {
+        let r = check_noninterference(SchedulerKind::FsTripleAlternation, 1000, 5);
+        assert!(r.is_non_interfering(), "divergence {}", r.max_divergence());
+    }
+
+    #[test]
+    fn baseline_leaks_co_runner_intensity() {
+        let r = check_noninterference(SchedulerKind::Baseline, 2000, 10);
+        assert!(!r.is_non_interfering(), "baseline unexpectedly non-interfering");
+        // The divergence is large: flooding co-runners slow the attacker
+        // substantially (the visible gap of Figure 4).
+        assert!(r.max_divergence() > 1000, "divergence only {}", r.max_divergence());
+        assert!(r.idle_profile.final_slowdown(&r.intensive_profile) > 1.2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Execution profiles: the Figure 4 measurement primitive.
+
+/// The CPU cycles at which a thread completed each successive block of
+/// instructions ("every point on the X-axis represents 10K instructions
+/// and the Y-axis represents the time taken to complete that many
+/// instructions").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionProfile {
+    /// Cycle of each bucket boundary, monotonically non-decreasing.
+    pub boundaries: Vec<u64>,
+    /// Instructions per bucket.
+    pub bucket_instrs: u64,
+}
+
+impl ExecutionProfile {
+    pub fn new(boundaries: Vec<u64>, bucket_instrs: u64) -> Self {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "profile must be monotone");
+        ExecutionProfile { boundaries, bucket_instrs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.boundaries.is_empty()
+    }
+
+    /// True if the two profiles are exactly the same measurement — the
+    /// zero-leakage condition.
+    pub fn identical(&self, other: &ExecutionProfile) -> bool {
+        self == other
+    }
+
+    /// Largest absolute difference in completion time at any shared
+    /// bucket boundary, in cycles.
+    pub fn max_divergence(&self, other: &ExecutionProfile) -> u64 {
+        self.boundaries
+            .iter()
+            .zip(&other.boundaries)
+            .map(|(a, b)| a.abs_diff(*b))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Relative slowdown of `other` vs `self` at the final shared bucket.
+    pub fn final_slowdown(&self, other: &ExecutionProfile) -> f64 {
+        match (self.boundaries.last(), other.boundaries.last()) {
+            (Some(&a), Some(&b)) if a > 0 => b as f64 / a as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_detects_equality() {
+        let a = ExecutionProfile::new(vec![10, 20, 30], 100);
+        let b = ExecutionProfile::new(vec![10, 20, 30], 100);
+        let c = ExecutionProfile::new(vec![10, 21, 30], 100);
+        assert!(a.identical(&b));
+        assert!(!a.identical(&c));
+    }
+
+    #[test]
+    fn divergence_measures_worst_bucket() {
+        let a = ExecutionProfile::new(vec![10, 20, 30], 100);
+        let c = ExecutionProfile::new(vec![10, 25, 31], 100);
+        assert_eq!(a.max_divergence(&c), 5);
+        assert_eq!(a.max_divergence(&a), 0);
+    }
+
+    #[test]
+    fn slowdown_uses_final_boundary() {
+        let a = ExecutionProfile::new(vec![10, 100], 100);
+        let b = ExecutionProfile::new(vec![12, 150], 100);
+        assert!((a.final_slowdown(&b) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profiles_are_benign() {
+        let a = ExecutionProfile::new(vec![], 100);
+        assert!(a.is_empty());
+        assert_eq!(a.max_divergence(&a), 0);
+        assert_eq!(a.final_slowdown(&a), 1.0);
+    }
+}

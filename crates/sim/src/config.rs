@@ -1,0 +1,70 @@
+//! System configuration (the paper's Table 1).
+
+use fsmc_core::sched::fs::EnergyOptions;
+use fsmc_core::sched::SchedulerKind;
+use fsmc_cpu::CoreConfig;
+use fsmc_dram::{Geometry, TimingParams};
+
+/// Everything needed to build a [`crate::System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    pub geometry: Geometry,
+    pub timing: TimingParams,
+    pub core: CoreConfig,
+    pub scheduler: SchedulerKind,
+    /// Cores = security domains (the paper's experiments are 1:1).
+    pub cores: u8,
+    /// Per-core MSHR entries (merging duplicate outstanding reads).
+    pub mshr_capacity: usize,
+    /// Per-core prefetch-buffer lines.
+    pub prefetch_buffer: usize,
+    /// FS energy optimisations (ignored by other schedulers).
+    pub energy_options: EnergyOptions,
+    /// Record the command stream for post-hoc legality checking.
+    pub record_commands: bool,
+}
+
+impl SystemConfig {
+    /// Table 1: 8 cores at 3.2 GHz, one DDR3-1600 channel with 8 ranks of
+    /// 8 banks.
+    pub fn paper_default(scheduler: SchedulerKind) -> Self {
+        SystemConfig {
+            geometry: Geometry::paper_default(),
+            timing: TimingParams::ddr3_1600(),
+            core: CoreConfig::paper_default(),
+            scheduler,
+            cores: 8,
+            mshr_capacity: 32,
+            prefetch_buffer: 32,
+            energy_options: EnergyOptions::default(),
+            record_commands: false,
+        }
+    }
+
+    /// The paper-default system resized to `cores` domains (Figure 10).
+    pub fn with_cores(scheduler: SchedulerKind, cores: u8) -> Self {
+        SystemConfig { cores, ..SystemConfig::paper_default(scheduler) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_1() {
+        let c = SystemConfig::paper_default(SchedulerKind::Baseline);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.core.rob_size, 64);
+        assert_eq!(c.core.width, 4);
+        assert_eq!(c.geometry.ranks_per_channel(), 8);
+        assert_eq!(c.geometry.banks_per_rank(), 8);
+        assert_eq!(c.timing.cpu_ratio, 4);
+    }
+
+    #[test]
+    fn with_cores_resizes() {
+        let c = SystemConfig::with_cores(SchedulerKind::FsRankPartitioned, 2);
+        assert_eq!(c.cores, 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # fsmc-sim — the full-system simulator
+//!
+//! Wires the substrates together: out-of-order cores ([`fsmc_cpu`])
+//! driven by synthetic traces ([`fsmc_workload`]) issue memory requests
+//! through per-core MSHRs into a memory controller ([`fsmc_core`]) that
+//! drives a cycle-accurate DDR3 channel ([`fsmc_dram`]); activity
+//! counters feed the energy model ([`fsmc_energy`]).
+//!
+//! The CPU runs four cycles per DRAM bus cycle (3.2 GHz vs 800 MHz,
+//! Table 1).
+//!
+//! * [`config`] — [`config::SystemConfig`], defaulting to the paper's
+//!   Table 1 system.
+//! * [`system`] — [`system::System`], the cycle loop.
+//! * [`stats`] — run statistics and weighted-IPC helpers.
+//! * [`runner`] — experiment orchestration: run a workload mix under the
+//!   baseline to obtain normalisation IPCs, then under each policy.
+
+pub mod config;
+pub mod runner;
+pub mod stats;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use runner::{run_mix, RunResult};
+pub use stats::SystemStats;
+pub use system::System;

@@ -1,0 +1,98 @@
+//! Experiment orchestration: run a workload mix under a policy, with the
+//! baseline run supplying the normalisation IPCs for the paper's
+//! weighted-IPC metric.
+
+use crate::config::SystemConfig;
+use crate::stats::SystemStats;
+use crate::system::System;
+use fsmc_core::sched::SchedulerKind;
+use fsmc_workload::WorkloadMix;
+
+/// The result of running one mix under one scheduler.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub mix_name: &'static str,
+    pub scheduler: SchedulerKind,
+    pub stats: SystemStats,
+    /// Per-core IPCs of this run.
+    pub ipcs: Vec<f64>,
+}
+
+impl RunResult {
+    /// The paper's metric: sum over cores of (IPC / baseline IPC).
+    pub fn weighted_ipc_vs(&self, baseline: &RunResult) -> f64 {
+        self.stats.weighted_ipc_vs(&baseline.ipcs)
+    }
+}
+
+/// Runs `mix` under `scheduler` for `cycles` DRAM cycles with a fixed
+/// seed, so policy comparisons see identical instruction streams.
+///
+/// ```no_run
+/// use fsmc_sim::runner::run_mix;
+/// use fsmc_core::sched::SchedulerKind;
+/// use fsmc_workload::WorkloadMix;
+///
+/// let mix = WorkloadMix::mix1();
+/// let base = run_mix(&mix, SchedulerKind::Baseline, 60_000, 42);
+/// let fs = run_mix(&mix, SchedulerKind::FsRankPartitioned, 60_000, 42);
+/// println!("weighted IPC: {:.2}", fs.weighted_ipc_vs(&base));
+/// ```
+pub fn run_mix(mix: &WorkloadMix, scheduler: SchedulerKind, cycles: u64, seed: u64) -> RunResult {
+    let cfg = SystemConfig::with_cores(scheduler, mix.cores() as u8);
+    let mut sys = System::from_mix(&cfg, mix, seed);
+    let stats = sys.run_cycles(cycles);
+    RunResult { mix_name: mix.name, scheduler, ipcs: stats.ipcs(), stats }
+}
+
+/// Runs the baseline plus each listed policy on one mix, returning
+/// `(baseline, runs)`; weighted IPCs come from
+/// [`RunResult::weighted_ipc_vs`] against the baseline element.
+pub fn run_mix_suite(
+    mix: &WorkloadMix,
+    schedulers: &[SchedulerKind],
+    cycles: u64,
+    seed: u64,
+) -> (RunResult, Vec<RunResult>) {
+    let baseline = run_mix(mix, SchedulerKind::Baseline, cycles, seed);
+    let runs = schedulers.iter().map(|&k| run_mix(mix, k, cycles, seed)).collect();
+    (baseline, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmc_workload::BenchProfile;
+
+    #[test]
+    fn baseline_normalises_to_core_count() {
+        let mix = WorkloadMix::rate(BenchProfile::zeusmp(), 4);
+        let base = run_mix(&mix, SchedulerKind::Baseline, 15_000, 11);
+        let w = base.weighted_ipc_vs(&base);
+        assert!((w - 4.0).abs() < 1e-9, "baseline weighted IPC = {w}");
+    }
+
+    #[test]
+    fn secure_policies_score_below_baseline() {
+        let mix = WorkloadMix::rate(BenchProfile::milc(), 8);
+        let (base, runs) = run_mix_suite(
+            &mix,
+            &[SchedulerKind::FsRankPartitioned, SchedulerKind::TpBankPartitioned { turn: 60 }],
+            20_000,
+            13,
+        );
+        for r in &runs {
+            let w = r.weighted_ipc_vs(&base);
+            assert!(w < 8.0, "{} scored {w} >= 8", r.scheduler);
+            assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_seed_gives_identical_results() {
+        let mix = WorkloadMix::rate(BenchProfile::astar(), 2);
+        let a = run_mix(&mix, SchedulerKind::FsRankPartitioned, 8_000, 5);
+        let b = run_mix(&mix, SchedulerKind::FsRankPartitioned, 8_000, 5);
+        assert_eq!(a.ipcs, b.ipcs);
+    }
+}

@@ -1,0 +1,92 @@
+//! Run statistics.
+
+use fsmc_core::sched::McStats;
+use fsmc_cpu::CoreStats;
+use fsmc_energy::EnergyBreakdown;
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    pub cores: Vec<CoreStats>,
+    pub mc: McStats,
+    pub energy: EnergyBreakdown,
+    /// Elapsed DRAM bus cycles.
+    pub dram_cycles: u64,
+    /// Data-bus utilization over the run, in [0, 1].
+    pub bus_utilization: f64,
+    /// Demand reads completed (the paper terminates runs on this).
+    pub reads_completed: u64,
+    /// Prefetch-buffer hits (useful prefetches).
+    pub useful_prefetches: u64,
+    /// Reads served by store-to-load forwarding (never reached DRAM).
+    pub forwarded_reads: u64,
+}
+
+impl SystemStats {
+    /// Per-core IPCs.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(|c| c.ipc()).collect()
+    }
+
+    /// Raw sum of IPCs (not normalised).
+    pub fn ipc_sum(&self) -> f64 {
+        self.ipcs().iter().sum()
+    }
+
+    /// Sum of per-core IPCs normalised against reference IPCs (the
+    /// paper's "sum of weighted IPCs"; the reference is the same mix on
+    /// the non-secure baseline, so the baseline scores `cores`).
+    pub fn weighted_ipc_vs(&self, reference: &[f64]) -> f64 {
+        assert_eq!(reference.len(), self.cores.len(), "reference IPC count mismatch");
+        self.ipcs()
+            .iter()
+            .zip(reference)
+            .map(|(ipc, base)| if *base > 0.0 { ipc / base } else { 0.0 })
+            .sum()
+    }
+
+    /// Raw IPC sum — exposed under the paper's metric name for
+    /// convenience when no reference is involved.
+    pub fn weighted_ipc_sum(&self) -> f64 {
+        self.ipc_sum()
+    }
+
+    /// Average demand-read latency in DRAM cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        self.mc.avg_read_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_ipc_normalises() {
+        let mut s = SystemStats::default();
+        s.cores = vec![
+            CoreStats { instructions_retired: 200, cpu_cycles: 100, ..Default::default() },
+            CoreStats { instructions_retired: 50, cpu_cycles: 100, ..Default::default() },
+        ];
+        // IPCs: 2.0 and 0.5; reference 2.0 and 1.0 -> 1.0 + 0.5.
+        let w = s.weighted_ipc_vs(&[2.0, 1.0]);
+        assert!((w - 1.5).abs() < 1e-12);
+        assert!((s.ipc_sum() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn weighted_ipc_checks_length() {
+        let s = SystemStats { cores: vec![CoreStats::default()], ..Default::default() };
+        s.weighted_ipc_vs(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_reference_contributes_zero() {
+        let s = SystemStats {
+            cores: vec![CoreStats { instructions_retired: 10, cpu_cycles: 10, ..Default::default() }],
+            ..Default::default()
+        };
+        assert_eq!(s.weighted_ipc_vs(&[0.0]), 0.0);
+    }
+}

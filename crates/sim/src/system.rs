@@ -1,0 +1,554 @@
+//! The system simulator: cores + MSHRs + controller + DRAM in one loop.
+
+use crate::config::SystemConfig;
+use crate::stats::SystemStats;
+use fsmc_core::domain::{DomainId, PartitionPolicy};
+use fsmc_core::sched::baseline::BaselineScheduler;
+use fsmc_core::sched::fs::{FsScheduler, FsVariant};
+use fsmc_core::sched::tp::TpScheduler;
+use fsmc_core::sched::{Completion, MemoryController, SchedulerKind};
+use fsmc_core::txn::{Transaction, TxnId, TxnKind};
+use fsmc_cpu::trace::TraceSource;
+use fsmc_cpu::{MshrFile, MshrOutcome, OooCore, PrefetchBuffer, SubmitResult};
+use fsmc_dram::command::TimedCommand;
+use fsmc_dram::geometry::LineAddr;
+use fsmc_energy::{EnergyModel, PowerParams};
+use fsmc_workload::{BenchProfile, SyntheticTrace, WorkloadMix};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A completion waiting for its delivery cycle, ordered by finish time.
+#[derive(Debug, Clone, Copy)]
+struct PendingDelivery {
+    finish: u64,
+    seq: u64,
+    completion: Completion,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        (self.finish, self.seq) == (other.finish, other.seq)
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.finish, self.seq).cmp(&(other.finish, other.seq))
+    }
+}
+
+/// A complete simulated machine: one memory channel and its cores.
+///
+/// ```
+/// use fsmc_sim::{System, SystemConfig};
+/// use fsmc_core::sched::SchedulerKind;
+/// use fsmc_workload::BenchProfile;
+///
+/// let cfg = SystemConfig::paper_default(SchedulerKind::FsRankPartitioned);
+/// let mut system = System::homogeneous(&cfg, BenchProfile::zeusmp(), 1);
+/// let stats = system.run_cycles(2_000);
+/// assert!(stats.ipc_sum() > 0.0);
+/// ```
+pub struct System {
+    cfg: SystemConfig,
+    mc: Box<dyn MemoryController>,
+    cores: Vec<OooCore>,
+    mshrs: Vec<MshrFile>,
+    pf_buffers: Vec<PrefetchBuffer>,
+    /// Metadata for in-flight demand reads: core index and local line.
+    txn_meta: HashMap<TxnId, (usize, LineAddr)>,
+    deliveries: BinaryHeap<Reverse<PendingDelivery>>,
+    dram_cycle: u64,
+    next_txn_seq: u64,
+    delivery_seq: u64,
+    policy: PartitionPolicy,
+    reads_completed: u64,
+    /// Per-core lines with writes still queued in the controller: demand
+    /// reads to these lines forward from the store (Section 5.1's
+    /// "bypassing from stores to loads").
+    pending_writes: Vec<HashMap<LineAddr, u32>>,
+    /// Reads served by store-to-load forwarding.
+    forwarded_reads: u64,
+    /// Domain whose demand-read completions are being recorded.
+    observe_domain: Option<u8>,
+    /// (finish cycle, latency) pairs for the observed domain.
+    observations: Vec<(u64, u64)>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("scheduler", &self.cfg.scheduler)
+            .field("cores", &self.cores.len())
+            .field("dram_cycle", &self.dram_cycle)
+            .finish()
+    }
+}
+
+fn build_controller(cfg: &SystemConfig) -> Box<dyn MemoryController> {
+    let g = cfg.geometry;
+    let t = cfg.timing;
+    let n = cfg.cores;
+    match cfg.scheduler {
+        SchedulerKind::Baseline => Box::new(BaselineScheduler::new(g, t, n, false)),
+        SchedulerKind::BaselinePrefetch => Box::new(BaselineScheduler::new(g, t, n, true)),
+        SchedulerKind::TpBankPartitioned { turn } => {
+            Box::new(TpScheduler::new(g, t, n, true, turn))
+        }
+        SchedulerKind::TpNoPartition { turn } => Box::new(TpScheduler::new(g, t, n, false, turn)),
+        SchedulerKind::FsRankPartitioned => Box::new(FsScheduler::new(
+            g,
+            t,
+            n,
+            FsVariant::RankPartitioned,
+            false,
+            cfg.energy_options,
+        )),
+        SchedulerKind::FsRankPartitionedPrefetch => Box::new(FsScheduler::new(
+            g,
+            t,
+            n,
+            FsVariant::RankPartitioned,
+            true,
+            cfg.energy_options,
+        )),
+        SchedulerKind::FsBankPartitioned => Box::new(FsScheduler::new(
+            g,
+            t,
+            n,
+            FsVariant::BankPartitioned,
+            false,
+            cfg.energy_options,
+        )),
+        SchedulerKind::FsReorderedBankPartitioned => Box::new(FsScheduler::new(
+            g,
+            t,
+            n,
+            FsVariant::ReorderedBankPartitioned,
+            false,
+            cfg.energy_options,
+        )),
+        SchedulerKind::FsNoPartitionNaive => Box::new(FsScheduler::new(
+            g,
+            t,
+            n,
+            FsVariant::NoPartitionNaive,
+            false,
+            cfg.energy_options,
+        )),
+        SchedulerKind::FsTripleAlternation => Box::new(FsScheduler::new(
+            g,
+            t,
+            n,
+            FsVariant::TripleAlternation,
+            false,
+            cfg.energy_options,
+        )),
+        SchedulerKind::ChannelPartitioned => {
+            Box::new(fsmc_core::sched::channel_part::ChannelPartitionedController::new(g, t, n))
+        }
+        SchedulerKind::FsMultiChannel { channels } => {
+            Box::new(fsmc_core::sched::multi_channel::MultiChannelFs::new(
+                g,
+                t,
+                n,
+                channels,
+                FsVariant::RankPartitioned,
+                cfg.energy_options,
+            ))
+        }
+    }
+}
+
+impl System {
+    /// Builds a system with one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != cfg.cores`.
+    pub fn new(cfg: &SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        let mc = build_controller(cfg);
+        System::with_controller(cfg, traces, mc)
+    }
+
+    /// Builds a system around a caller-supplied controller — e.g. an
+    /// [`FsScheduler`] with a weighted SLA
+    /// ([`FsScheduler::with_slot_weights`]), or a custom policy
+    /// implementing [`MemoryController`]. `cfg.scheduler` should still
+    /// describe the controller so address mapping matches its partition
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != cfg.cores`.
+    pub fn with_controller(
+        cfg: &SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        controller: Box<dyn MemoryController>,
+    ) -> Self {
+        assert_eq!(traces.len(), cfg.cores as usize, "one trace per core required");
+        let mut mc = controller;
+        if cfg.record_commands {
+            mc.record_commands();
+        }
+        System {
+            cfg: *cfg,
+            mc,
+            cores: traces.into_iter().map(|t| OooCore::new(cfg.core, t)).collect(),
+            mshrs: (0..cfg.cores).map(|_| MshrFile::new(cfg.mshr_capacity)).collect(),
+            pf_buffers: (0..cfg.cores).map(|_| PrefetchBuffer::new(cfg.prefetch_buffer)).collect(),
+            txn_meta: HashMap::new(),
+            deliveries: BinaryHeap::new(),
+            dram_cycle: 0,
+            next_txn_seq: 1,
+            delivery_seq: 0,
+            policy: cfg.scheduler.partition_policy(),
+            reads_completed: 0,
+            pending_writes: (0..cfg.cores).map(|_| HashMap::new()).collect(),
+            forwarded_reads: 0,
+            observe_domain: None,
+            observations: Vec::new(),
+        }
+    }
+
+    /// `cores` copies of one benchmark (the paper's rate mode).
+    pub fn homogeneous(cfg: &SystemConfig, profile: BenchProfile, seed: u64) -> Self {
+        let traces: Vec<Box<dyn TraceSource>> = (0..cfg.cores)
+            .map(|i| {
+                Box::new(SyntheticTrace::new(profile, seed + i as u64)) as Box<dyn TraceSource>
+            })
+            .collect();
+        System::new(cfg, traces)
+    }
+
+    /// One core per profile in the mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix size differs from `cfg.cores`.
+    pub fn from_mix(cfg: &SystemConfig, mix: &WorkloadMix, seed: u64) -> Self {
+        assert_eq!(mix.cores(), cfg.cores as usize, "mix size must match core count");
+        let traces: Vec<Box<dyn TraceSource>> = mix
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Box::new(SyntheticTrace::new(*p, seed + i as u64)) as Box<dyn TraceSource>)
+            .collect();
+        System::new(cfg, traces)
+    }
+
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    pub fn dram_cycle(&self) -> u64 {
+        self.dram_cycle
+    }
+
+    pub fn controller(&self) -> &dyn MemoryController {
+        self.mc.as_ref()
+    }
+
+    /// Takes the recorded command log (empty unless recording enabled).
+    pub fn take_command_log(&mut self) -> Vec<TimedCommand> {
+        self.mc.take_command_log()
+    }
+
+    /// Advances one DRAM bus cycle (and the corresponding CPU cycles).
+    pub fn step(&mut self) {
+        let c = self.dram_cycle;
+        // 1. Controller tick; stage completions.
+        for completion in self.mc.tick(c) {
+            self.delivery_seq += 1;
+            self.deliveries.push(Reverse(PendingDelivery {
+                finish: completion.finish.max(c),
+                seq: self.delivery_seq,
+                completion,
+            }));
+        }
+        // 2. Deliver data whose time has come.
+        while let Some(Reverse(d)) = self.deliveries.peek().copied() {
+            if d.finish > c {
+                break;
+            }
+            self.deliveries.pop();
+            self.deliver(d.completion);
+        }
+        // 3. CPU cycles.
+        let ratio = self.cfg.timing.cpu_ratio as u64;
+        for sub in 0..ratio {
+            let cpu_now = c * ratio + sub;
+            self.cpu_cycle(cpu_now);
+        }
+        self.dram_cycle += 1;
+    }
+
+    fn deliver(&mut self, completion: Completion) {
+        let txn = completion.txn;
+        if txn.is_write {
+            // The write has been transmitted: close its forwarding window.
+            let core_idx = txn.domain.0 as usize;
+            if let Some(count) = self.pending_writes[core_idx].get_mut(&txn.local_addr) {
+                *count -= 1;
+                if *count == 0 {
+                    self.pending_writes[core_idx].remove(&txn.local_addr);
+                }
+            }
+            return;
+        }
+        match txn.kind {
+            TxnKind::Demand => {
+                if self.observe_domain == Some(txn.domain.0) && !txn.is_write {
+                    self.observations
+                        .push((completion.finish, completion.finish.saturating_sub(txn.arrival)));
+                }
+                if let Some((core_idx, local)) = self.txn_meta.remove(&txn.id) {
+                    for tag in self.mshrs[core_idx].complete(local) {
+                        self.cores[core_idx].complete_read(tag);
+                    }
+                    self.reads_completed += 1;
+                }
+            }
+            TxnKind::Prefetch => {
+                let core_idx = txn.domain.0 as usize;
+                self.pf_buffers[core_idx].insert(txn.local_addr);
+            }
+            TxnKind::Dummy => {}
+        }
+    }
+
+    fn cpu_cycle(&mut self, cpu_now: u64) {
+        let System {
+            cfg,
+            mc,
+            cores,
+            mshrs,
+            pf_buffers,
+            txn_meta,
+            next_txn_seq,
+            dram_cycle,
+            policy,
+            pending_writes,
+            forwarded_reads,
+            ..
+        } = self;
+        let geom = cfg.geometry;
+        for (i, core) in cores.iter_mut().enumerate() {
+            let domain = DomainId(i as u8);
+            let mshr = &mut mshrs[i];
+            let pf = &mut pf_buffers[i];
+            let pending = &mut pending_writes[i];
+            core.cycle(cpu_now, |op, tag| {
+                if op.is_write {
+                    if !mc.can_accept(domain) {
+                        return SubmitResult::Rejected;
+                    }
+                    let loc = policy.map(&geom, domain, op.addr);
+                    let id = TxnId(*next_txn_seq);
+                    *next_txn_seq += 1;
+                    let txn = Transaction::write(id, domain, loc, *dram_cycle)
+                        .with_local_addr(op.addr);
+                    mc.enqueue(txn).expect("can_accept was checked");
+                    *pending.entry(op.addr).or_insert(0) += 1;
+                    return SubmitResult::Accepted { tag };
+                }
+                // Reads: store-to-load forwarding, then the prefetch
+                // buffer, then MSHR merge, then a new memory transaction.
+                if pending.contains_key(&op.addr) {
+                    *forwarded_reads += 1;
+                    return SubmitResult::Hit;
+                }
+                if pf.take(op.addr) {
+                    return SubmitResult::Hit;
+                }
+                if !mc.can_accept(domain) {
+                    return SubmitResult::Rejected;
+                }
+                match mshr.alloc(op.addr, tag) {
+                    MshrOutcome::Secondary => SubmitResult::Accepted { tag },
+                    MshrOutcome::Full => SubmitResult::Rejected,
+                    MshrOutcome::Primary => {
+                        let loc = policy.map(&geom, domain, op.addr);
+                        let id = TxnId(*next_txn_seq);
+                        *next_txn_seq += 1;
+                        let txn = Transaction::read(id, domain, loc, *dram_cycle)
+                            .with_local_addr(op.addr);
+                        mc.enqueue(txn).expect("can_accept was checked");
+                        txn_meta.insert(id, (i, op.addr));
+                        SubmitResult::Accepted { tag }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Runs for `cycles` DRAM cycles.
+    pub fn run_cycles(&mut self, cycles: u64) -> SystemStats {
+        for _ in 0..cycles {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Runs until `reads` demand reads have completed (the paper's
+    /// termination criterion), bounded by `max_cycles`.
+    pub fn run_reads(&mut self, reads: u64) -> SystemStats {
+        let max_cycles = self.dram_cycle + 400 * reads + 100_000;
+        while self.reads_completed < reads && self.dram_cycle < max_cycles {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Runs until core `core_idx` has retired `buckets * bucket_instrs`
+    /// instructions, returning the CPU cycle at which each bucket
+    /// boundary was crossed — the execution profile of Figure 4.
+    pub fn run_profile(&mut self, core_idx: usize, bucket_instrs: u64, buckets: usize) -> Vec<u64> {
+        let mut boundaries = Vec::with_capacity(buckets);
+        let mut next_target = bucket_instrs;
+        let hard_stop = self.dram_cycle + 80_000_000;
+        while boundaries.len() < buckets && self.dram_cycle < hard_stop {
+            self.step();
+            while boundaries.len() < buckets
+                && self.cores[core_idx].stats().instructions_retired >= next_target
+            {
+                boundaries.push(self.dram_cycle * self.cfg.timing.cpu_ratio as u64);
+                next_target += bucket_instrs;
+            }
+        }
+        boundaries
+    }
+
+    /// Starts recording (finish, latency) pairs for `domain`'s demand
+    /// reads — the attacker's view of the memory system.
+    pub fn observe(&mut self, domain: u8) {
+        self.observe_domain = Some(domain);
+    }
+
+    /// Takes the recorded observations.
+    pub fn take_observations(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// Per-core statistics snapshot without finalising the run.
+    pub fn core_stats(&self, core: usize) -> fsmc_cpu::CoreStats {
+        *self.cores[core].stats()
+    }
+
+    /// Current statistics snapshot (also finalises device counters).
+    pub fn stats(&mut self) -> SystemStats {
+        self.mc.finish(self.dram_cycle);
+        let counters = self.mc.aggregate_counters();
+        let energy = EnergyModel::new(PowerParams::ddr3_4gb())
+            .evaluate(&counters, self.mc.stats().boosted_row_hits);
+        SystemStats {
+            cores: self.cores.iter().map(|c| *c.stats()).collect(),
+            mc: self.mc.stats().clone(),
+            energy,
+            dram_cycles: self.dram_cycle,
+            bus_utilization: counters.data_bus_utilization(),
+            reads_completed: self.reads_completed,
+            useful_prefetches: self.pf_buffers.iter().map(|b| b.useful).sum(),
+            forwarded_reads: self.forwarded_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: SchedulerKind) -> SystemStats {
+        let cfg = SystemConfig::paper_default(kind);
+        let mut sys = System::homogeneous(&cfg, BenchProfile::milc(), 3);
+        sys.run_cycles(30_000)
+    }
+
+    #[test]
+    fn baseline_makes_progress_on_all_cores() {
+        let s = quick(SchedulerKind::Baseline);
+        assert!(s.reads_completed > 500, "reads {}", s.reads_completed);
+        for (i, c) in s.cores.iter().enumerate() {
+            assert!(c.ipc() > 0.05, "core {i} ipc {}", c.ipc());
+        }
+    }
+
+    #[test]
+    fn fs_rank_partitioned_runs_and_inserts_dummies() {
+        let s = quick(SchedulerKind::FsRankPartitioned);
+        assert!(s.reads_completed > 100);
+        assert!(s.mc.dummy_fraction() > 0.0);
+    }
+
+    #[test]
+    fn baseline_outperforms_fs_which_outperforms_tp() {
+        let base = quick(SchedulerKind::Baseline).ipc_sum();
+        let fs = quick(SchedulerKind::FsRankPartitioned).ipc_sum();
+        let tp = quick(SchedulerKind::TpBankPartitioned { turn: 60 }).ipc_sum();
+        assert!(base > fs, "baseline {base} <= fs {fs}");
+        assert!(fs > tp, "fs {fs} <= tp {tp}");
+    }
+
+    #[test]
+    fn memory_intensity_orders_latency() {
+        // mcf sees much higher queueing under TP than baseline.
+        let cfg = SystemConfig::paper_default(SchedulerKind::Baseline);
+        let mut sys = System::homogeneous(&cfg, BenchProfile::mcf(), 1);
+        let base = sys.run_cycles(20_000);
+        let cfg = SystemConfig::paper_default(SchedulerKind::TpBankPartitioned { turn: 60 });
+        let mut sys = System::homogeneous(&cfg, BenchProfile::mcf(), 1);
+        let tp = sys.run_cycles(20_000);
+        assert!(tp.avg_read_latency() > base.avg_read_latency());
+    }
+
+    #[test]
+    fn profile_recording_is_monotone() {
+        let cfg = SystemConfig::paper_default(SchedulerKind::FsRankPartitioned);
+        let mut sys = System::homogeneous(&cfg, BenchProfile::zeusmp(), 5);
+        let profile = sys.run_profile(0, 1000, 20);
+        assert_eq!(profile.len(), 20);
+        assert!(profile.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stores_forward_to_subsequent_loads() {
+        use fsmc_cpu::trace::{MemOp, TraceOp, VecTrace};
+        // Each iteration writes a line then immediately reads it back:
+        // the read must forward from the queued store, not go to DRAM.
+        let cfg = SystemConfig::paper_default(SchedulerKind::FsRankPartitioned);
+        let mut traces: Vec<Box<dyn TraceSource>> = Vec::new();
+        for i in 0..cfg.cores {
+            let base = i as u64 * 10;
+            traces.push(Box::new(VecTrace::new(vec![
+                TraceOp::with_mem(8, MemOp::write(base)),
+                TraceOp::with_mem(2, MemOp::read(base)),
+                TraceOp::compute(50),
+            ])));
+        }
+        let mut sys = System::new(&cfg, traces);
+        let stats = sys.run_cycles(20_000);
+        assert!(stats.forwarded_reads > 50, "only {} forwarded", stats.forwarded_reads);
+        // Forwarded reads never became memory transactions.
+        let demand_reads: u64 = stats.mc.domains().iter().map(|d| d.demand_reads).sum();
+        assert!(
+            demand_reads < stats.forwarded_reads / 2,
+            "demand reads {} vs forwarded {}",
+            demand_reads,
+            stats.forwarded_reads
+        );
+    }
+
+    #[test]
+    fn mix_construction_respects_core_count() {
+        let cfg = SystemConfig::paper_default(SchedulerKind::Baseline);
+        let mix = WorkloadMix::mix1();
+        let mut sys = System::from_mix(&cfg, &mix, 9);
+        let s = sys.run_cycles(5_000);
+        assert_eq!(s.cores.len(), 8);
+    }
+}

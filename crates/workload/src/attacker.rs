@@ -1,0 +1,229 @@
+//! Attacker/victim traces for the security experiments.
+//!
+//! Figure 4 co-schedules the attacker (mcf) with "synthetic threads that
+//! make no memory accesses" or "highly memory-intensive" ones; the
+//! covert-channel study needs a sender that modulates its intensity with
+//! a secret bit string and a receiver that probes at a fixed rate.
+
+use fsmc_cpu::trace::{MemOp, TraceOp, TraceSource};
+
+/// A purely compute-bound thread: zero memory accesses.
+#[derive(Debug, Clone, Default)]
+pub struct IdleTrace;
+
+impl TraceSource for IdleTrace {
+    fn next_op(&mut self) -> TraceOp {
+        TraceOp::compute(64)
+    }
+}
+
+/// A maximally memory-intensive thread: back-to-back row-missing reads.
+#[derive(Debug, Clone)]
+pub struct FloodTrace {
+    pos: u64,
+    footprint: u64,
+    stride_rows: u64,
+}
+
+impl Default for FloodTrace {
+    fn default() -> Self {
+        FloodTrace::new()
+    }
+}
+
+impl FloodTrace {
+    pub fn new() -> Self {
+        // Stride by whole rows (128 lines) so every access is a row miss.
+        FloodTrace { pos: 0, footprint: 1 << 22, stride_rows: 1 }
+    }
+}
+
+impl TraceSource for FloodTrace {
+    fn next_op(&mut self) -> TraceOp {
+        self.pos = (self.pos + self.stride_rows * 128) % self.footprint;
+        TraceOp::with_mem(0, MemOp::read(self.pos))
+    }
+}
+
+/// A covert-channel *sender*: memory-intensive while transmitting a 1,
+/// idle while transmitting a 0.
+///
+/// One-bits and zero-bits get separate instruction budgets so both
+/// phases occupy comparable wall-clock time (memory-bound one-bits
+/// progress far slower per instruction than compute-bound zero-bits).
+#[derive(Debug, Clone)]
+pub struct ModulatedTrace {
+    bits: Vec<bool>,
+    one_instrs: u64,
+    zero_instrs: u64,
+    instrs_done: u64,
+    pos: u64,
+}
+
+impl ModulatedTrace {
+    /// Equal instruction budgets for both bit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or `bit_instrs` is zero.
+    pub fn new(bits: Vec<bool>, bit_instrs: u64) -> Self {
+        ModulatedTrace::with_periods(bits, bit_instrs, bit_instrs)
+    }
+
+    /// Separate instruction budgets for one-bits and zero-bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or either budget is zero.
+    pub fn with_periods(bits: Vec<bool>, one_instrs: u64, zero_instrs: u64) -> Self {
+        assert!(!bits.is_empty(), "need at least one bit");
+        assert!(one_instrs > 0 && zero_instrs > 0, "bit periods must be non-zero");
+        ModulatedTrace { bits, one_instrs, zero_instrs, instrs_done: 0, pos: 0 }
+    }
+
+    /// The index into the bit string that instruction `instrs` falls in —
+    /// the ground truth a synchronised receiver decodes against.
+    pub fn bit_index_at(&self, instrs: u64) -> usize {
+        let mut remaining = instrs;
+        let mut idx = 0usize;
+        loop {
+            let len = if self.bits[idx % self.bits.len()] { self.one_instrs } else { self.zero_instrs };
+            if remaining < len {
+                return idx % self.bits.len();
+            }
+            remaining -= len;
+            idx += 1;
+        }
+    }
+
+    /// The bit value at instruction `instrs`.
+    pub fn bit_at(&self, instrs: u64) -> bool {
+        self.bits[self.bit_index_at(instrs)]
+    }
+
+    /// A monotone "which transmission slot" counter at instruction
+    /// `instrs` (unlike [`ModulatedTrace::bit_index_at`], this does not
+    /// wrap, so callers can detect bit transitions).
+    pub fn slot_at(&self, instrs: u64) -> u64 {
+        let mut remaining = instrs;
+        let mut idx = 0u64;
+        loop {
+            let len = if self.bits[(idx as usize) % self.bits.len()] {
+                self.one_instrs
+            } else {
+                self.zero_instrs
+            };
+            if remaining < len {
+                return idx;
+            }
+            remaining -= len;
+            idx += 1;
+        }
+    }
+
+    fn current_bit(&self) -> bool {
+        self.bit_at(self.instrs_done)
+    }
+}
+
+impl TraceSource for ModulatedTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let op = if self.current_bit() {
+            self.pos = self.pos.wrapping_add(128) % (1 << 22);
+            TraceOp::with_mem(1, MemOp::read(self.pos))
+        } else {
+            TraceOp::compute(16)
+        };
+        self.instrs_done += op.instructions();
+        op
+    }
+}
+
+/// A covert-channel *receiver* / timing probe: a steady, fixed rate of
+/// dependent reads whose completion times reveal memory contention.
+#[derive(Debug, Clone)]
+pub struct ProbeTrace {
+    gap: u32,
+    pos: u64,
+    footprint: u64,
+}
+
+impl ProbeTrace {
+    /// One probing read per `gap + 1` instructions.
+    pub fn new(gap: u32) -> Self {
+        ProbeTrace { gap, pos: 0, footprint: 1 << 20 }
+    }
+}
+
+impl TraceSource for ProbeTrace {
+    fn next_op(&mut self) -> TraceOp {
+        self.pos = (self.pos + 128) % self.footprint;
+        TraceOp::with_mem(self.gap, MemOp::read(self.pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_trace_never_touches_memory() {
+        let mut t = IdleTrace;
+        for _ in 0..100 {
+            assert!(t.next_op().mem.is_none());
+        }
+    }
+
+    #[test]
+    fn flood_trace_is_all_row_misses() {
+        let mut t = FloodTrace::new();
+        let mut last_row = u64::MAX;
+        for _ in 0..100 {
+            let m = t.next_op().mem.unwrap();
+            let row = m.addr.0 / 128;
+            assert_ne!(row, last_row, "flood must not reuse a row consecutively");
+            last_row = row;
+        }
+    }
+
+    #[test]
+    fn modulated_trace_follows_bits() {
+        let mut t = ModulatedTrace::new(vec![true, false], 100);
+        let mut first_phase_mem = 0;
+        let mut instrs = 0;
+        while instrs < 100 {
+            let op = t.next_op();
+            instrs += op.instructions();
+            if op.mem.is_some() {
+                first_phase_mem += 1;
+            }
+        }
+        assert!(first_phase_mem > 10, "bit=1 phase should be memory-heavy");
+        let mut second_phase_mem = 0;
+        let start = instrs;
+        while instrs < start + 100 {
+            let op = t.next_op();
+            instrs += op.instructions();
+            if op.mem.is_some() {
+                second_phase_mem += 1;
+            }
+        }
+        assert_eq!(second_phase_mem, 0, "bit=0 phase must be silent");
+    }
+
+    #[test]
+    fn probe_trace_has_fixed_rate() {
+        let mut t = ProbeTrace::new(9);
+        for _ in 0..50 {
+            let op = t.next_op();
+            assert_eq!(op.nonmem, 9);
+            assert!(op.mem.is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn modulated_rejects_empty_bits() {
+        ModulatedTrace::new(vec![], 10);
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic synthetic trace generation from a benchmark profile.
+
+use crate::profile::{AccessPattern, BenchProfile};
+use fsmc_cpu::trace::{MemOp, TraceOp, TraceSource};
+use fsmc_dram::geometry::LineAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lines per DRAM row in the reference geometry (128 x 64 B = 8 KB row).
+const LINES_PER_ROW: u64 = 128;
+
+/// A seeded, deterministic trace realising a [`BenchProfile`].
+///
+/// ```
+/// use fsmc_cpu::trace::TraceSource;
+/// use fsmc_workload::{BenchProfile, SyntheticTrace};
+///
+/// let mut trace = SyntheticTrace::new(BenchProfile::mcf(), 42);
+/// let op = trace.next_op();
+/// assert!(op.instructions() > 0);
+/// ```
+///
+/// Structure: memory accesses arrive in bursts of geometric size (mean
+/// `profile.burst`) separated by compute gaps sized so the long-run read
+/// rate matches `read_mpki`. Within a burst, each access stays in the
+/// current row with probability `row_locality` (walking consecutive
+/// lines) or jumps to a new row chosen by the profile's access pattern.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    profile: BenchProfile,
+    rng: StdRng,
+    /// Current row base (line address of the row's first line).
+    row_base: u64,
+    /// Next line offset within the row.
+    row_pos: u64,
+    /// Memory ops remaining in the current burst.
+    burst_left: u32,
+}
+
+impl SyntheticTrace {
+    pub fn new(profile: BenchProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f00d);
+        let rows = (profile.footprint_lines / LINES_PER_ROW).max(1);
+        let row_base = (rng.gen_range(0..rows)) * LINES_PER_ROW;
+        SyntheticTrace { profile, rng, row_base, row_pos: 0, burst_left: 0 }
+    }
+
+    pub fn profile(&self) -> &BenchProfile {
+        &self.profile
+    }
+
+    fn next_addr(&mut self) -> LineAddr {
+        let p = &self.profile;
+        let rows = (p.footprint_lines / LINES_PER_ROW).max(1);
+        let stay = self.rng.gen_bool(p.row_locality.clamp(0.0, 1.0)) && self.row_pos < LINES_PER_ROW;
+        if !stay {
+            let current_row = self.row_base / LINES_PER_ROW;
+            let new_row = match p.pattern {
+                AccessPattern::Streaming => (current_row + 1) % rows,
+                AccessPattern::PointerChase => self.rng.gen_range(0..rows),
+                AccessPattern::Mixed => {
+                    if self.rng.gen_bool(0.5) {
+                        (current_row + 1) % rows
+                    } else {
+                        self.rng.gen_range(0..rows)
+                    }
+                }
+            };
+            self.row_base = new_row * LINES_PER_ROW;
+            self.row_pos = 0;
+        }
+        let addr = self.row_base + self.row_pos;
+        self.row_pos += 1;
+        LineAddr(addr % p.footprint_lines.max(1))
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let p = self.profile;
+        if self.burst_left == 0 {
+            // Start a new burst. Gap before it restores the target MPKI:
+            // average instructions per read times burst size, spent here.
+            let burst = 1 + self.rng.gen_range(0.0..2.0 * (p.burst - 1.0).max(0.0)).round() as u32;
+            self.burst_left = burst;
+            let gap = (p.instrs_per_read() * burst as f64).round() as u32;
+            // The burst's ops each carry ~1 leading instruction, so shave
+            // that off the gap (floor at 0 for very intense profiles).
+            let gap = gap.saturating_sub(burst);
+            self.burst_left -= 1;
+            let addr = self.next_addr();
+            let is_write = self.rng.gen_bool((p.write_ratio / (1.0 + p.write_ratio)).clamp(0.0, 1.0));
+            return TraceOp::with_mem(gap, MemOp { addr, is_write });
+        }
+        self.burst_left -= 1;
+        let addr = self.next_addr();
+        let is_write = self.rng.gen_bool((p.write_ratio / (1.0 + p.write_ratio)).clamp(0.0, 1.0));
+        TraceOp::with_mem(1, MemOp { addr, is_write })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BenchProfile;
+
+    fn measure(profile: BenchProfile, ops: usize) -> (f64, f64, f64) {
+        let mut t = SyntheticTrace::new(profile, 7);
+        let mut instrs = 0u64;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let mut same_row = 0u64;
+        let mut mem_ops = 0u64;
+        let mut last_row = u64::MAX;
+        for _ in 0..ops {
+            let op = t.next_op();
+            instrs += op.instructions();
+            if let Some(m) = op.mem {
+                mem_ops += 1;
+                if m.is_write {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+                let row = m.addr.0 / LINES_PER_ROW;
+                if row == last_row {
+                    same_row += 1;
+                }
+                last_row = row;
+            }
+        }
+        let mpki = reads as f64 * 1000.0 / instrs as f64;
+        let wr = writes as f64 / reads.max(1) as f64;
+        let loc = same_row as f64 / mem_ops.max(1) as f64;
+        (mpki, wr, loc)
+    }
+
+    #[test]
+    fn mpki_calibration_holds() {
+        for (p, tol) in [
+            (BenchProfile::mcf(), 0.35),
+            (BenchProfile::libquantum(), 0.35),
+            (BenchProfile::xalancbmk(), 0.35),
+        ] {
+            let (mpki, _, _) = measure(p, 60_000);
+            let target = p.read_mpki;
+            assert!(
+                (mpki - target).abs() / target < tol,
+                "{}: measured {mpki:.1} vs target {target}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn write_ratio_approximately_respected() {
+        let (_, wr, _) = measure(BenchProfile::lbm(), 50_000);
+        assert!((wr - 0.45).abs() < 0.15, "write ratio {wr}");
+    }
+
+    #[test]
+    fn streaming_profile_has_more_locality_than_pointer_chase() {
+        let (_, _, loc_stream) = measure(BenchProfile::libquantum(), 50_000);
+        let (_, _, loc_chase) = measure(BenchProfile::mcf(), 50_000);
+        assert!(
+            loc_stream > loc_chase + 0.2,
+            "streaming {loc_stream} vs chase {loc_chase}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = SyntheticTrace::new(BenchProfile::milc(), 42);
+        let mut b = SyntheticTrace::new(BenchProfile::milc(), 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = SyntheticTrace::new(BenchProfile::milc(), 43);
+        let differs = (0..1000).any(|_| a.next_op() != c.next_op());
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let p = BenchProfile::xalancbmk();
+        let mut t = SyntheticTrace::new(p, 1);
+        for _ in 0..10_000 {
+            if let Some(m) = t.next_op().mem {
+                assert!(m.addr.0 < p.footprint_lines);
+            }
+        }
+    }
+}

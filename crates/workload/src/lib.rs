@@ -1,0 +1,29 @@
+//! # fsmc-workload — synthetic SPEC2k6/NPB-like workload generators
+//!
+//! The paper drives its evaluation with SPEC CPU2006 and NAS Parallel
+//! Benchmark traces captured under Simics. Those traces are not
+//! redistributable, so this crate provides *parameterised synthetic
+//! generators* calibrated to the published post-LLC memory behaviour of
+//! each benchmark: memory intensity (MPKI), read/write mix, row-buffer
+//! locality, footprint and burstiness. The evaluation's relative results
+//! are driven by exactly these knobs, so the figure *shapes* survive the
+//! substitution (see DESIGN.md).
+//!
+//! * [`profile`] — per-benchmark parameter sets ([`BenchProfile::mcf`],
+//!   [`BenchProfile::libquantum`], ...).
+//! * [`generator`] — [`SyntheticTrace`], a deterministic seeded
+//!   [`fsmc_cpu::TraceSource`] realising a profile.
+//! * [`mix`] — the paper's 12-workload suite (rate-mode benchmarks plus
+//!   mix1/mix2).
+//! * [`attacker`] — idle / flooding / modulated traces for the security
+//!   experiments (Figure 4 and the covert-channel study).
+
+pub mod attacker;
+pub mod generator;
+pub mod mix;
+pub mod profile;
+
+pub use attacker::{FloodTrace, IdleTrace, ModulatedTrace, ProbeTrace};
+pub use generator::SyntheticTrace;
+pub use mix::WorkloadMix;
+pub use profile::{AccessPattern, BenchProfile};

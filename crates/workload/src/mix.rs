@@ -1,0 +1,126 @@
+//! The paper's multiprogrammed workload suite (Section 6).
+
+use crate::profile::BenchProfile;
+
+/// A named assignment of one profile per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    pub name: &'static str,
+    pub profiles: Vec<BenchProfile>,
+}
+
+impl WorkloadMix {
+    /// Rate mode: `cores` copies of one benchmark (the paper runs eight).
+    pub fn rate(profile: BenchProfile, cores: usize) -> Self {
+        WorkloadMix { name: profile.name, profiles: vec![profile; cores] }
+    }
+
+    /// Mix1: two copies each of xalancbmk, soplex, mcf and omnetpp.
+    pub fn mix1() -> Self {
+        let mut profiles = Vec::new();
+        for p in [
+            BenchProfile::xalancbmk(),
+            BenchProfile::soplex(),
+            BenchProfile::mcf(),
+            BenchProfile::omnetpp(),
+        ] {
+            profiles.push(p);
+            profiles.push(p);
+        }
+        WorkloadMix { name: "mix1", profiles }
+    }
+
+    /// Mix2: two copies each of milc, lbm, xalancbmk and zeusmp.
+    pub fn mix2() -> Self {
+        let mut profiles = Vec::new();
+        for p in [
+            BenchProfile::milc(),
+            BenchProfile::lbm(),
+            BenchProfile::xalancbmk(),
+            BenchProfile::zeusmp(),
+        ] {
+            profiles.push(p);
+            profiles.push(p);
+        }
+        WorkloadMix { name: "mix2", profiles }
+    }
+
+    /// The full 12-workload suite of Figures 6-9, in the paper's order:
+    /// mix1, mix2, CG, SP, astar, lbm, libquantum, mcf, milc, zeusmp,
+    /// GemsFDTD, xalancbmk.
+    pub fn suite(cores: usize) -> Vec<WorkloadMix> {
+        vec![
+            WorkloadMix::mix1_for(cores),
+            WorkloadMix::mix2_for(cores),
+            WorkloadMix::rate(BenchProfile::cg(), cores),
+            WorkloadMix::rate(BenchProfile::sp(), cores),
+            WorkloadMix::rate(BenchProfile::astar(), cores),
+            WorkloadMix::rate(BenchProfile::lbm(), cores),
+            WorkloadMix::rate(BenchProfile::libquantum(), cores),
+            WorkloadMix::rate(BenchProfile::mcf(), cores),
+            WorkloadMix::rate(BenchProfile::milc(), cores),
+            WorkloadMix::rate(BenchProfile::zeusmp(), cores),
+            WorkloadMix::rate(BenchProfile::gems_fdtd(), cores),
+            WorkloadMix::rate(BenchProfile::xalancbmk(), cores),
+        ]
+    }
+
+    /// Mix1 truncated/extended to `cores` entries (for the scaling study).
+    pub fn mix1_for(cores: usize) -> Self {
+        let base = WorkloadMix::mix1();
+        WorkloadMix {
+            name: "mix1",
+            profiles: base.profiles.iter().cycle().take(cores).copied().collect(),
+        }
+    }
+
+    /// Mix2 truncated/extended to `cores` entries.
+    pub fn mix2_for(cores: usize) -> Self {
+        let base = WorkloadMix::mix2();
+        WorkloadMix {
+            name: "mix2",
+            profiles: base.profiles.iter().cycle().take(cores).copied().collect(),
+        }
+    }
+
+    pub fn cores(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_workloads_of_eight_cores() {
+        let suite = WorkloadMix::suite(8);
+        assert_eq!(suite.len(), 12);
+        for w in &suite {
+            assert_eq!(w.cores(), 8, "{}", w.name);
+        }
+        assert_eq!(suite[0].name, "mix1");
+        assert_eq!(suite[11].name, "xalancbmk");
+    }
+
+    #[test]
+    fn mixes_contain_two_copies_of_each_component() {
+        let m = WorkloadMix::mix1();
+        assert_eq!(m.cores(), 8);
+        let mcf_count = m.profiles.iter().filter(|p| p.name == "mcf").count();
+        assert_eq!(mcf_count, 2);
+    }
+
+    #[test]
+    fn rate_mode_replicates_profile() {
+        let r = WorkloadMix::rate(BenchProfile::mcf(), 4);
+        assert_eq!(r.cores(), 4);
+        assert!(r.profiles.iter().all(|p| p.name == "mcf"));
+    }
+
+    #[test]
+    fn scaling_variants_resize() {
+        assert_eq!(WorkloadMix::mix1_for(2).cores(), 2);
+        assert_eq!(WorkloadMix::mix2_for(16).cores(), 16);
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-benchmark memory-behaviour profiles.
+//!
+//! Parameters are calibrated to published SPEC CPU2006 / NPB
+//! characterisations (post-LLC, 4 MB shared cache class of machines):
+//! memory intensity in misses per kilo-instruction, write (writeback)
+//! fraction, row-buffer locality of the miss stream, footprint, and the
+//! burstiness that determines achievable memory-level parallelism.
+
+/// The spatial structure of a profile's miss stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Sequential walks over large arrays (libquantum, lbm, SP).
+    Streaming,
+    /// Dependent pointer walks with poor locality (mcf, omnetpp, astar).
+    PointerChase,
+    /// A blend of structured and irregular accesses.
+    Mixed,
+}
+
+/// A synthetic benchmark's memory personality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    pub name: &'static str,
+    /// Demand read misses per 1000 instructions.
+    pub read_mpki: f64,
+    /// Writebacks per demand read (0.0-1.0ish).
+    pub write_ratio: f64,
+    /// Probability the next miss falls in the currently open row.
+    pub row_locality: f64,
+    /// Working-set size in cache lines (per core).
+    pub footprint_lines: u64,
+    /// Average number of misses arriving back-to-back (MLP burst size).
+    pub burst: f64,
+    pub pattern: AccessPattern,
+}
+
+impl BenchProfile {
+    /// `libquantum`: extremely streaming, high intensity, high locality.
+    pub fn libquantum() -> Self {
+        BenchProfile {
+            name: "libquantum",
+            read_mpki: 27.0,
+            write_ratio: 0.22,
+            row_locality: 0.88,
+            footprint_lines: 1 << 20,
+            burst: 6.0,
+            pattern: AccessPattern::Streaming,
+        }
+    }
+
+    /// `mcf`: the paper's attacker stand-in — very memory-intensive
+    /// pointer chasing with poor locality.
+    pub fn mcf() -> Self {
+        BenchProfile {
+            name: "mcf",
+            read_mpki: 55.0,
+            write_ratio: 0.18,
+            row_locality: 0.18,
+            footprint_lines: 1 << 22,
+            burst: 4.0,
+            pattern: AccessPattern::PointerChase,
+        }
+    }
+
+    /// `milc`: lattice QCD, moderately streaming.
+    pub fn milc() -> Self {
+        BenchProfile {
+            name: "milc",
+            read_mpki: 18.0,
+            write_ratio: 0.30,
+            row_locality: 0.55,
+            footprint_lines: 1 << 21,
+            burst: 3.0,
+            pattern: AccessPattern::Mixed,
+        }
+    }
+
+    /// `lbm`: fluid dynamics, streaming and write-heavy.
+    pub fn lbm() -> Self {
+        BenchProfile {
+            name: "lbm",
+            read_mpki: 28.0,
+            write_ratio: 0.45,
+            row_locality: 0.80,
+            footprint_lines: 1 << 21,
+            burst: 5.0,
+            pattern: AccessPattern::Streaming,
+        }
+    }
+
+    /// `GemsFDTD`: electromagnetics, moderate intensity.
+    pub fn gems_fdtd() -> Self {
+        BenchProfile {
+            name: "GemsFDTD",
+            read_mpki: 15.0,
+            write_ratio: 0.32,
+            row_locality: 0.65,
+            footprint_lines: 1 << 21,
+            burst: 3.5,
+            pattern: AccessPattern::Mixed,
+        }
+    }
+
+    /// `astar`: path-finding, low intensity, dependent accesses.
+    pub fn astar() -> Self {
+        BenchProfile {
+            name: "astar",
+            read_mpki: 2.5,
+            write_ratio: 0.25,
+            row_locality: 0.30,
+            footprint_lines: 1 << 19,
+            burst: 1.5,
+            pattern: AccessPattern::PointerChase,
+        }
+    }
+
+    /// `zeusmp`: CFD, light-moderate intensity.
+    pub fn zeusmp() -> Self {
+        BenchProfile {
+            name: "zeusmp",
+            read_mpki: 5.0,
+            write_ratio: 0.30,
+            row_locality: 0.60,
+            footprint_lines: 1 << 20,
+            burst: 2.0,
+            pattern: AccessPattern::Mixed,
+        }
+    }
+
+    /// `xalancbmk`: XML processing, cache-friendly (87% of its FS slots
+    /// end up as dummies in the paper).
+    pub fn xalancbmk() -> Self {
+        BenchProfile {
+            name: "xalancbmk",
+            read_mpki: 0.8,
+            write_ratio: 0.20,
+            row_locality: 0.50,
+            footprint_lines: 1 << 18,
+            burst: 1.2,
+            pattern: AccessPattern::Mixed,
+        }
+    }
+
+    /// `soplex`: LP solver (used in mix1).
+    pub fn soplex() -> Self {
+        BenchProfile {
+            name: "soplex",
+            read_mpki: 25.0,
+            write_ratio: 0.20,
+            row_locality: 0.50,
+            footprint_lines: 1 << 21,
+            burst: 3.0,
+            pattern: AccessPattern::Mixed,
+        }
+    }
+
+    /// `omnetpp`: discrete-event simulation (used in mix1).
+    pub fn omnetpp() -> Self {
+        BenchProfile {
+            name: "omnetpp",
+            read_mpki: 20.0,
+            write_ratio: 0.30,
+            row_locality: 0.25,
+            footprint_lines: 1 << 21,
+            burst: 2.0,
+            pattern: AccessPattern::PointerChase,
+        }
+    }
+
+    /// NPB `CG`: conjugate gradient, irregular sparse accesses.
+    pub fn cg() -> Self {
+        BenchProfile {
+            name: "CG",
+            read_mpki: 14.0,
+            write_ratio: 0.15,
+            row_locality: 0.40,
+            footprint_lines: 1 << 21,
+            burst: 3.0,
+            pattern: AccessPattern::PointerChase,
+        }
+    }
+
+    /// NPB `SP`: scalar penta-diagonal solver, streaming.
+    pub fn sp() -> Self {
+        BenchProfile {
+            name: "SP",
+            read_mpki: 20.0,
+            write_ratio: 0.40,
+            row_locality: 0.70,
+            footprint_lines: 1 << 21,
+            burst: 4.0,
+            pattern: AccessPattern::Streaming,
+        }
+    }
+
+    /// Average instructions between demand read misses.
+    pub fn instrs_per_read(&self) -> f64 {
+        1000.0 / self.read_mpki
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<BenchProfile> {
+        vec![
+            BenchProfile::libquantum(),
+            BenchProfile::mcf(),
+            BenchProfile::milc(),
+            BenchProfile::lbm(),
+            BenchProfile::gems_fdtd(),
+            BenchProfile::astar(),
+            BenchProfile::zeusmp(),
+            BenchProfile::xalancbmk(),
+            BenchProfile::soplex(),
+            BenchProfile::omnetpp(),
+            BenchProfile::cg(),
+            BenchProfile::sp(),
+        ]
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in all() {
+            assert!(p.read_mpki > 0.0, "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.write_ratio), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.row_locality), "{}", p.name);
+            assert!(p.footprint_lines > 0);
+            assert!(p.burst >= 1.0);
+            assert!(p.instrs_per_read() > 0.0);
+        }
+    }
+
+    #[test]
+    fn intensity_ordering_matches_literature() {
+        // mcf is the most memory-intensive; xalancbmk the least.
+        assert!(BenchProfile::mcf().read_mpki > BenchProfile::libquantum().read_mpki);
+        assert!(BenchProfile::xalancbmk().read_mpki < BenchProfile::astar().read_mpki);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+}

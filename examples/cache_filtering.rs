@@ -1,0 +1,85 @@
+//! Demonstrates the cache substrate: a raw (pre-cache) address stream is
+//! filtered through the paper's L1/L2 hierarchy to produce the post-LLC
+//! miss stream that actually reaches the memory controller.
+//!
+//! Run with: `cargo run --release --example cache_filtering`
+
+use fsmc::cpu::cache::Hierarchy;
+use fsmc::cpu::trace::{MemOp, TraceOp, TraceSource};
+use fsmc::dram::geometry::LineAddr;
+
+/// A toy program: streams over a 16 MB array while hammering a hot 16 KB
+/// region — classic "streaming + working set" behaviour.
+struct RawProgram {
+    i: u64,
+}
+
+impl RawProgram {
+    fn next_access(&mut self) -> (LineAddr, bool) {
+        self.i += 1;
+        if self.i % 4 == 0 {
+            (LineAddr(self.i % 256), false) // hot region: 256 lines = 16 KB
+        } else {
+            (LineAddr(4096 + self.i % (1 << 18)), self.i % 16 == 1) // stream
+        }
+    }
+}
+
+/// Adapts the raw program into a post-LLC [`TraceSource`]: only cache
+/// misses (and dirty writebacks) become memory operations.
+struct FilteredTrace {
+    program: RawProgram,
+    hierarchy: Hierarchy,
+    pending_writeback: Option<LineAddr>,
+}
+
+impl TraceSource for FilteredTrace {
+    fn next_op(&mut self) -> TraceOp {
+        if let Some(wb) = self.pending_writeback.take() {
+            return TraceOp::with_mem(0, MemOp { addr: wb, is_write: true });
+        }
+        let mut nonmem = 0u32;
+        loop {
+            let (addr, is_write) = self.program.next_access();
+            let r = self.hierarchy.access(addr, is_write);
+            nonmem += 2; // a couple of ALU ops per access
+            if let Some(wb) = r.memory_write {
+                self.pending_writeback = Some(wb);
+            }
+            if let Some(miss) = r.memory_read {
+                return TraceOp::with_mem(nonmem, MemOp { addr: miss, is_write: false });
+            }
+            if nonmem > 4096 {
+                return TraceOp::compute(nonmem);
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut trace = FilteredTrace {
+        program: RawProgram { i: 0 },
+        hierarchy: Hierarchy::paper_default(),
+        pending_writeback: None,
+    };
+    let mut mem_reads = 0u64;
+    let mut mem_writes = 0u64;
+    let mut instrs = 0u64;
+    for _ in 0..200_000 {
+        let op = trace.next_op();
+        instrs += op.instructions();
+        match op.mem {
+            Some(m) if m.is_write => mem_writes += 1,
+            Some(_) => mem_reads += 1,
+            None => {}
+        }
+    }
+    println!("Raw accesses filtered through 32 KB L1 + 4 MB L2:");
+    println!("  L1 hit rate      {:.1}%", 100.0 * trace.hierarchy.l1.hit_rate());
+    println!("  L2 hit rate      {:.1}%", 100.0 * trace.hierarchy.l2.hit_rate());
+    println!("  miss MPKI        {:.2}", 1000.0 * mem_reads as f64 / instrs as f64);
+    println!("  writeback ratio  {:.2}", mem_writes as f64 / mem_reads.max(1) as f64);
+    println!();
+    println!("The hot region lives in L1; the stream misses everywhere — exactly the");
+    println!("post-LLC shape the synthetic BenchProfiles model directly.");
+}

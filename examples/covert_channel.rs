@@ -1,0 +1,30 @@
+//! An end-to-end covert channel: a firewalled sender leaks a secret to a
+//! colluding receiver purely through memory contention — until FS closes
+//! the channel.
+//!
+//! Run with: `cargo run --release --example covert_channel`
+
+use fsmc::core::sched::SchedulerKind;
+use fsmc::security::{binary_channel_capacity, run_covert_channel};
+
+fn main() {
+    // The secret byte the sender tries to exfiltrate.
+    let secret = [true, false, true, true, false, false, true, false];
+    println!("Sender (domain 1) modulates memory intensity with the secret bits;");
+    println!("receiver (domain 0) watches its own read latencies.\n");
+    for kind in [SchedulerKind::Baseline, SchedulerKind::FsRankPartitioned] {
+        let r = run_covert_channel(kind, &secret, 2_500, 100);
+        println!("--- {kind} ---");
+        println!("  usable windows          {}", r.windows.len());
+        println!("  bit error rate          {:.3}", r.ber);
+        println!("  mutual information      {:.3} bits/window", r.mutual_information_bits);
+        println!("  est. channel capacity   {:.0} bits/second", r.capacity_bps);
+        println!(
+            "  (BSC capacity at this BER: {:.3} bits/symbol)\n",
+            binary_channel_capacity(r.ber)
+        );
+    }
+    println!("Context: Wu et al. built ~100 bps channels on EC2; Hunger et al. exceed");
+    println!("100 Kbps with synchronised endpoints. FS makes the receiver's latencies");
+    println!("independent of the sender, so the decoded stream is pure noise.");
+}

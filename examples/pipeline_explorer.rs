@@ -1,0 +1,43 @@
+//! Explore the pipeline mathematics: solve for the minimum slot pitch
+//! under different timing parameters and render the resulting pipelines.
+//!
+//! Run with: `cargo run --release --example pipeline_explorer`
+
+use fsmc::core::solver::diagram::render_uniform;
+use fsmc::core::solver::{solve, solve_best, Anchor, PartitionLevel, SlotSchedule};
+use fsmc::dram::TimingParams;
+
+fn main() {
+    let ddr3 = TimingParams::ddr3_1600();
+    println!("DDR3-1600 (the paper's part):");
+    table(&ddr3);
+
+    // A hypothetical faster part: tighter turnarounds shrink the pitch.
+    let fast = TimingParams { t_rtrs: 1, t_wtr: 4, ..ddr3 };
+    println!("\nHypothetical low-turnaround part (tRTRS=1, tWTR=4):");
+    table(&fast);
+
+    // Render the paper's Figure-1 pipeline for an all-write interval —
+    // the math guarantees conflict freedom for *any* mix.
+    let sol = solve_best(&ddr3, PartitionLevel::Rank).unwrap();
+    let sched = SlotSchedule::uniform(sol, 8);
+    println!("\nAll-writes interval on the rank-partitioned pipeline (l = {}):\n", sol.l);
+    print!("{}", render_uniform(&sched, &ddr3, &[true], 8));
+}
+
+fn table(t: &TimingParams) {
+    println!("{:<8} {:<22} {:>4} {:>9}", "part.", "anchor", "l", "peak util");
+    for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {
+        for anchor in Anchor::all() {
+            if let Ok(s) = solve(t, anchor, level) {
+                println!(
+                    "{:<8} {:<22} {:>4} {:>8.1}%",
+                    format!("{level:?}"),
+                    format!("{anchor:?}"),
+                    s.l,
+                    100.0 * s.peak_data_utilization(t)
+                );
+            }
+        }
+    }
+}

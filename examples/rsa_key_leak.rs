@@ -1,0 +1,37 @@
+//! The paper's motivating side channel (Section 2.2, after Wang et al.):
+//! an RSA victim's square-and-multiply loop touches memory harder while
+//! processing the 1-bits of its private key. A co-scheduled attacker
+//! watches nothing but *its own* read latencies — and recovers the key.
+//!
+//! Run with: `cargo run --release --example rsa_key_leak`
+
+use fsmc::core::sched::SchedulerKind;
+use fsmc::security::run_covert_channel;
+
+fn main() {
+    // The victim's 48-bit private key. Each 1-bit triggers the extra
+    // "multiply" pass with its memory traffic; 0-bits are compute-only.
+    let key: Vec<bool> = (0..48u64).map(|i| (0xB1E55ED_C0FFEEu64 >> i) & 1 == 1).collect();
+    let weight = key.iter().filter(|&&b| b).count();
+    println!("victim private key: {} bits, Hamming weight {weight}", key.len());
+    println!("attacker: fixed-rate probe on another core, observing only its own latencies\n");
+
+    for kind in [SchedulerKind::Baseline, SchedulerKind::FsRankPartitioned] {
+        // The "covert channel" machinery doubles as the side channel: the
+        // victim is an unwitting sender, modulated by its own key.
+        let r = run_covert_channel(kind, &key, 2_500, 260);
+        let recovered = 1.0 - r.ber;
+        println!("--- {kind} ---");
+        println!("  key bits recovered      {:.1}%", 100.0 * recovered);
+        println!("  mutual information      {:.3} bits/observation", r.mutual_information_bits);
+        if recovered > 0.7 {
+            println!("  => the attacker reads most key bits from memory contention\n");
+        } else {
+            println!("  => observations are key-independent; the search space is untouched\n");
+        }
+    }
+    println!("The paper: \"the victim RSA's memory accesses are correlated with the");
+    println!("number of 1s in its private key. The attacker can gauge the victim");
+    println!("thread's memory traffic ... and thus narrow the search space.\" FS");
+    println!("removes the correlation entirely.");
+}

@@ -1,0 +1,244 @@
+//! `fsmc` — command-line front end to the library.
+//!
+//! ```text
+//! fsmc solve                         solver table for all anchors/partitions
+//! fsmc certify                       certify every FS pipeline
+//! fsmc diagram [--mix RRRWWRRR]      render the Figure-1 pipeline
+//! fsmc simulate [--scheduler K] [--workload NAME] [--cycles N]
+//!               [--cores N] [--seed S]
+//! fsmc attack [--scheduler K]        non-interference measurement
+//! fsmc record --workload NAME --ops N --out FILE
+//! ```
+
+use fsmc::core::sched::SchedulerKind;
+use fsmc::core::solver::diagram::render_uniform;
+use fsmc::core::solver::{
+    certify_reordered, certify_uniform, solve, solve_best, solve_for_threads, Anchor,
+    PartitionLevel, ReorderedBpSchedule, SlotSchedule,
+};
+use fsmc::cpu::trace_file::record_trace;
+use fsmc::dram::TimingParams;
+use fsmc::security::noninterference::check_noninterference;
+use fsmc::sim::{System, SystemConfig};
+use fsmc::workload::{BenchProfile, SyntheticTrace, WorkloadMix};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "solve" => cmd_solve(),
+        "certify" => cmd_certify(),
+        "diagram" => cmd_diagram(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "attack" => cmd_attack(&opts),
+        "record" => cmd_record(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+fsmc — Fixed-Service memory controllers (MICRO'15 reproduction)
+
+USAGE:
+  fsmc solve                          minimum-pitch table (Sec. 3.1/4.2/4.3)
+  fsmc certify                        certify every FS pipeline conflict-free
+  fsmc diagram [--mix RRRRRWWR]       render the pipeline timing diagram
+  fsmc simulate [--scheduler KIND] [--workload NAME] [--cycles N]
+                [--cores N] [--seed S]
+  fsmc attack [--scheduler KIND]      measure co-runner interference
+  fsmc record --workload NAME --ops N --out FILE   export a USIMM trace
+
+SCHEDULERS: baseline, baseline-prefetch, fs-rp, fs-rp-prefetch, fs-bp,
+            fs-reordered-bp, fs-np, fs-ta, tp-bp, tp-np, channel-part
+WORKLOADS:  mix1 mix2 CG SP astar lbm libquantum mcf milc zeusmp
+            GemsFDTD xalancbmk";
+
+/// Parses `--key value` pairs.
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let key = k.strip_prefix("--").ok_or_else(|| format!("expected --option, got {k:?}"))?;
+        let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        out.insert(key.to_string(), v.clone());
+    }
+    Ok(out)
+}
+
+fn scheduler_kind(name: &str) -> Result<SchedulerKind, String> {
+    Ok(match name {
+        "baseline" => SchedulerKind::Baseline,
+        "baseline-prefetch" => SchedulerKind::BaselinePrefetch,
+        "fs-rp" => SchedulerKind::FsRankPartitioned,
+        "fs-rp-prefetch" => SchedulerKind::FsRankPartitionedPrefetch,
+        "fs-bp" => SchedulerKind::FsBankPartitioned,
+        "fs-reordered-bp" => SchedulerKind::FsReorderedBankPartitioned,
+        "fs-np" => SchedulerKind::FsNoPartitionNaive,
+        "fs-ta" => SchedulerKind::FsTripleAlternation,
+        "tp-bp" => SchedulerKind::TpBankPartitioned { turn: 60 },
+        "tp-np" => SchedulerKind::TpNoPartition { turn: 172 },
+        "channel-part" => SchedulerKind::ChannelPartitioned,
+        other => return Err(format!("unknown scheduler {other:?}")),
+    })
+}
+
+fn profile(name: &str) -> Result<BenchProfile, String> {
+    Ok(match name {
+        "libquantum" => BenchProfile::libquantum(),
+        "mcf" => BenchProfile::mcf(),
+        "milc" => BenchProfile::milc(),
+        "lbm" => BenchProfile::lbm(),
+        "GemsFDTD" | "gemsfdtd" => BenchProfile::gems_fdtd(),
+        "astar" => BenchProfile::astar(),
+        "zeusmp" => BenchProfile::zeusmp(),
+        "xalancbmk" => BenchProfile::xalancbmk(),
+        "soplex" => BenchProfile::soplex(),
+        "omnetpp" => BenchProfile::omnetpp(),
+        "CG" | "cg" => BenchProfile::cg(),
+        "SP" | "sp" => BenchProfile::sp(),
+        other => return Err(format!("unknown workload {other:?}")),
+    })
+}
+
+fn get_u64(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+    }
+}
+
+fn cmd_solve() -> Result<(), String> {
+    let t = TimingParams::ddr3_1600();
+    println!("{:<8} {:<22} {:>4} {:>8} {:>10}", "part.", "anchor", "l", "Q(8thr)", "peak util");
+    for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {
+        for anchor in Anchor::all() {
+            let s = solve(&t, anchor, level).map_err(|e| e.to_string())?;
+            println!(
+                "{:<8} {:<22} {:>4} {:>8} {:>9.1}%",
+                format!("{level:?}"),
+                format!("{anchor:?}"),
+                s.l,
+                s.interval_q(8),
+                100.0 * s.peak_data_utilization(&t)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_certify() -> Result<(), String> {
+    let t = TimingParams::ddr3_1600();
+    let mut all_ok = true;
+    let mut show = |name: &str, r: &fsmc::core::solver::CertifyReport| {
+        println!("{name:<42} {:>7} cases  {}", r.cases, if r.certified() { "CERTIFIED" } else { "FAILED" });
+        all_ok &= r.certified();
+    };
+    let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).map_err(|e| e.to_string())?;
+    show("rank-partitioned (l=7)", &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Rank, &t, 4));
+    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8).map_err(|e| e.to_string())?;
+    show("bank-partitioned (l=15)", &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Bank, &t, 4));
+    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8).map_err(|e| e.to_string())?;
+    show("no-partitioning naive (l=43)", &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::None, &t, 4));
+    let ta = SlotSchedule::triple_alternation(&t, 8).map_err(|e| e.to_string())?;
+    show("triple alternation", &certify_uniform(&ta, PartitionLevel::None, &t, 3));
+    show("reordered bank-partitioned (Q=63)", &certify_reordered(&ReorderedBpSchedule::new(&t, 8), &t, 3));
+    if all_ok {
+        Ok(())
+    } else {
+        Err("certification failed".into())
+    }
+}
+
+fn cmd_diagram(opts: &HashMap<String, String>) -> Result<(), String> {
+    let t = TimingParams::ddr3_1600();
+    let mix_str = opts.get("mix").map(String::as_str).unwrap_or("RRRRRWWR");
+    let mix: Vec<bool> = mix_str
+        .chars()
+        .map(|c| match c {
+            'R' | 'r' => Ok(false),
+            'W' | 'w' => Ok(true),
+            other => Err(format!("mix must be R/W characters, got {other:?}")),
+        })
+        .collect::<Result<_, _>>()?;
+    let sol = solve_best(&t, PartitionLevel::Rank).map_err(|e| e.to_string())?;
+    let s = SlotSchedule::uniform(sol, 8);
+    println!("rank-partitioned pipeline, l = {}, Q = {}, mix = {mix_str}\n", sol.l, s.q());
+    print!("{}", render_uniform(&s, &t, &mix, 16));
+    Ok(())
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = scheduler_kind(opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp"))?;
+    let cycles = get_u64(opts, "cycles", 60_000)?;
+    let seed = get_u64(opts, "seed", 42)?;
+    let cores = get_u64(opts, "cores", 8)? as usize;
+    let wl = opts.get("workload").map(String::as_str).unwrap_or("mix1");
+    let mix = match wl {
+        "mix1" => WorkloadMix::mix1_for(cores),
+        "mix2" => WorkloadMix::mix2_for(cores),
+        name => WorkloadMix::rate(profile(name)?, cores),
+    };
+    let cfg = SystemConfig::with_cores(kind, cores as u8);
+    let mut sys = System::from_mix(&cfg, &mix, seed);
+    let stats = sys.run_cycles(cycles);
+    println!("scheduler        {kind}");
+    println!("workload         {} x{} cores", mix.name, cores);
+    println!("DRAM cycles      {cycles}");
+    println!("IPC sum          {:.3}", stats.ipc_sum());
+    println!("reads completed  {}", stats.reads_completed);
+    println!("avg read latency {:.0} DRAM cycles", stats.avg_read_latency());
+    println!("bus utilization  {:.1}%", 100.0 * stats.bus_utilization);
+    println!("dummy fraction   {:.1}%", 100.0 * stats.mc.dummy_fraction());
+    println!("row-hit rate     {:.1}%", 100.0 * stats.mc.row_hit_rate());
+    println!("forwarded reads  {}", stats.forwarded_reads);
+    println!("memory energy    {:.3} mJ", stats.energy.total_mj());
+    Ok(())
+}
+
+fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = scheduler_kind(opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp"))?;
+    let report = check_noninterference(kind, 2_000, 10);
+    println!("scheduler                   {kind}");
+    println!("attacker with idle peers    {:>12} CPU cycles", report.idle_profile.boundaries.last().copied().unwrap_or(0));
+    println!("attacker with flooding peers{:>12} CPU cycles", report.intensive_profile.boundaries.last().copied().unwrap_or(0));
+    println!("max divergence              {:>12} CPU cycles", report.max_divergence());
+    println!(
+        "verdict                     {}",
+        if report.is_non_interfering() { "NON-INTERFERING (zero leakage)" } else { "LEAKS" }
+    );
+    Ok(())
+}
+
+fn cmd_record(opts: &HashMap<String, String>) -> Result<(), String> {
+    let name = opts.get("workload").ok_or("--workload is required")?;
+    let out = opts.get("out").ok_or("--out is required")?;
+    let ops = get_u64(opts, "ops", 100_000)? as usize;
+    let seed = get_u64(opts, "seed", 42)?;
+    let mut src = SyntheticTrace::new(profile(name)?, seed);
+    record_trace(&mut src, ops, out).map_err(|e| e.to_string())?;
+    println!("wrote {ops} memory operations of {name} to {out}");
+    Ok(())
+}

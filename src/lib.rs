@@ -1,0 +1,38 @@
+//! # fsmc — Fixed-Service memory controllers
+//!
+//! Facade crate re-exporting the whole workspace: a from-scratch Rust
+//! reproduction of *"Avoiding Information Leakage in the Memory Controller
+//! with Fixed Service Policies"* (MICRO-48, 2015).
+//!
+//! The crates compose bottom-up:
+//!
+//! * [`dram`] — cycle-accurate DDR3 device model and timing checker
+//! * [`core`] — the paper's contribution: FS pipelines, the constraint
+//!   solver, TP and the non-secure baseline
+//! * [`cpu`] — trace-driven out-of-order core model
+//! * [`workload`] — synthetic SPEC-like workload generators
+//! * [`energy`] — Micron-style DDR3 power model
+//! * [`sim`] — full-system simulator and statistics
+//! * [`security`] — leakage measurement and non-interference harness
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fsmc::sim::config::SystemConfig;
+//! use fsmc::sim::system::System;
+//! use fsmc::core::sched::SchedulerKind;
+//! use fsmc::workload::profile::BenchProfile;
+//!
+//! let config = SystemConfig::paper_default(SchedulerKind::FsRankPartitioned);
+//! let mut system = System::homogeneous(&config, BenchProfile::mcf(), 42);
+//! let stats = system.run_reads(2_000);
+//! assert!(stats.weighted_ipc_sum() > 0.0);
+//! ```
+
+pub use fsmc_core as core;
+pub use fsmc_cpu as cpu;
+pub use fsmc_dram as dram;
+pub use fsmc_energy as energy;
+pub use fsmc_security as security;
+pub use fsmc_sim as sim;
+pub use fsmc_workload as workload;

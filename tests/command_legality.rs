@@ -1,0 +1,92 @@
+//! Every scheduling policy, driven end-to-end through the full system
+//! (cores + MSHRs + controller + refresh), must emit a DDR3-legal
+//! command stream. The replay checker is an independent implementation
+//! of the JEDEC rules, so this cross-validates the whole stack.
+
+use fsmc::core::sched::SchedulerKind as K;
+use fsmc::dram::{Geometry, TimingChecker, TimingParams};
+use fsmc::sim::{System, SystemConfig};
+use fsmc::workload::{BenchProfile, WorkloadMix};
+
+fn assert_legal(kind: K, cycles: u64) {
+    let mut cfg = SystemConfig::paper_default(kind);
+    cfg.record_commands = true;
+    let mix = WorkloadMix::mix1();
+    let mut sys = System::from_mix(&cfg, &mix, 99);
+    sys.run_cycles(cycles);
+    let log = sys.take_command_log();
+    assert!(log.len() > 100, "{kind}: only {} commands issued", log.len());
+    let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+    let violations = checker.check(&log);
+    assert!(
+        violations.is_empty(),
+        "{kind}: {} violations, first: {}",
+        violations.len(),
+        violations[0]
+    );
+}
+
+#[test]
+fn baseline_stream_is_legal() {
+    assert_legal(K::Baseline, 15_000);
+}
+
+#[test]
+fn baseline_prefetch_stream_is_legal() {
+    assert_legal(K::BaselinePrefetch, 15_000);
+}
+
+#[test]
+fn fs_rank_partitioned_stream_is_legal() {
+    assert_legal(K::FsRankPartitioned, 15_000);
+}
+
+#[test]
+fn fs_rank_partitioned_prefetch_stream_is_legal() {
+    assert_legal(K::FsRankPartitionedPrefetch, 15_000);
+}
+
+#[test]
+fn fs_bank_partitioned_stream_is_legal() {
+    assert_legal(K::FsBankPartitioned, 15_000);
+}
+
+#[test]
+fn fs_reordered_bp_stream_is_legal() {
+    assert_legal(K::FsReorderedBankPartitioned, 15_000);
+}
+
+#[test]
+fn fs_np_naive_stream_is_legal() {
+    assert_legal(K::FsNoPartitionNaive, 15_000);
+}
+
+#[test]
+fn fs_triple_alternation_stream_is_legal() {
+    assert_legal(K::FsTripleAlternation, 15_000);
+}
+
+#[test]
+fn tp_bank_partitioned_stream_is_legal() {
+    assert_legal(K::TpBankPartitioned { turn: 60 }, 15_000);
+}
+
+#[test]
+fn tp_no_partition_stream_is_legal() {
+    assert_legal(K::TpNoPartition { turn: 172 }, 15_000);
+}
+
+#[test]
+fn fs_with_all_energy_options_is_legal_across_refresh_windows() {
+    use fsmc::core::sched::fs::EnergyOptions;
+    let mut cfg = SystemConfig::paper_default(K::FsRankPartitioned);
+    cfg.record_commands = true;
+    cfg.energy_options = EnergyOptions::all();
+    // Long enough to cross two refresh windows with power-down active.
+    let mut sys = System::homogeneous(&cfg, BenchProfile::xalancbmk(), 5);
+    sys.run_cycles(14_000);
+    let log = sys.take_command_log();
+    let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+    let violations = checker.check(&log);
+    assert!(violations.is_empty(), "first: {}", violations[0]);
+}

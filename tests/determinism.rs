@@ -1,0 +1,40 @@
+//! Determinism: simulations are exactly reproducible given a seed — the
+//! property that makes the non-interference comparisons meaningful.
+
+use fsmc::core::sched::SchedulerKind as K;
+use fsmc::sim::{System, SystemConfig};
+use fsmc::workload::WorkloadMix;
+
+fn fingerprint(kind: K, seed: u64) -> (Vec<f64>, u64, u64) {
+    let cfg = SystemConfig::paper_default(kind);
+    let mix = WorkloadMix::mix2();
+    let mut sys = System::from_mix(&cfg, &mix, seed);
+    let stats = sys.run_cycles(10_000);
+    (
+        stats.ipcs(),
+        stats.reads_completed,
+        stats.mc.row_hits + stats.mc.row_misses,
+    )
+}
+
+#[test]
+fn all_policies_are_bit_deterministic() {
+    for kind in [
+        K::Baseline,
+        K::BaselinePrefetch,
+        K::FsRankPartitioned,
+        K::FsReorderedBankPartitioned,
+        K::FsTripleAlternation,
+        K::TpBankPartitioned { turn: 60 },
+        K::TpNoPartition { turn: 172 },
+    ] {
+        assert_eq!(fingerprint(kind, 3), fingerprint(kind, 3), "{kind} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(K::Baseline, 3);
+    let b = fingerprint(K::Baseline, 4);
+    assert_ne!(a, b, "seeds should change the workload");
+}

@@ -1,0 +1,82 @@
+//! End-to-end checks of the paper's headline claims, wired through the
+//! public facade crate.
+
+use fsmc::core::sched::SchedulerKind as K;
+use fsmc::core::solver::{solve, solve_best, Anchor, PartitionLevel, ReorderedBpSchedule, SlotSchedule};
+use fsmc::dram::TimingParams;
+use fsmc::sim::runner::run_mix_suite;
+use fsmc::workload::{BenchProfile, WorkloadMix};
+
+#[test]
+fn section_3_and_4_pipeline_constants() {
+    let t = TimingParams::ddr3_1600();
+    // Section 3.1.
+    assert_eq!(solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap().l, 7);
+    assert_eq!(solve(&t, Anchor::FixedPeriodicRas, PartitionLevel::Rank).unwrap().l, 12);
+    assert_eq!(solve(&t, Anchor::FixedPeriodicCas, PartitionLevel::Rank).unwrap().l, 12);
+    // Section 4.2.
+    assert_eq!(solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Bank).unwrap().l, 21);
+    assert_eq!(solve(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank).unwrap().l, 15);
+    // Section 4.3.
+    let np = solve_best(&t, PartitionLevel::None).unwrap();
+    assert_eq!((np.l, np.anchor), (43, Anchor::FixedPeriodicRas));
+}
+
+#[test]
+fn interval_lengths_and_peak_utilizations() {
+    let t = TimingParams::ddr3_1600();
+    let rank = solve_best(&t, PartitionLevel::Rank).unwrap();
+    assert_eq!(rank.interval_q(8), 56);
+    assert!((rank.peak_data_utilization(&t) - 0.571).abs() < 0.001);
+    let bank = solve_best(&t, PartitionLevel::Bank).unwrap();
+    assert_eq!(bank.interval_q(8), 120);
+    assert!((bank.peak_data_utilization(&t) - 0.267).abs() < 0.001);
+    let rbp = ReorderedBpSchedule::new(&t, 8);
+    assert_eq!(rbp.q(), 63);
+    assert!((rbp.peak_data_utilization(&t) - 0.508).abs() < 0.001);
+    let ta = SlotSchedule::triple_alternation(&t, 8).unwrap();
+    assert_eq!(ta.q(), 360);
+}
+
+#[test]
+fn figure_3_ordering_holds_on_a_short_run() {
+    // The paper's throughput order: baseline > FS_RP > FS_ReBP > TP_BP >
+    // FS_NP_Optimized and TP_NP last among these.
+    let mix = WorkloadMix::rate(BenchProfile::milc(), 8);
+    let kinds = [
+        K::FsRankPartitioned,
+        K::FsReorderedBankPartitioned,
+        K::TpBankPartitioned { turn: 60 },
+        K::TpNoPartition { turn: 172 },
+    ];
+    let (base, runs) = run_mix_suite(&mix, &kinds, 25_000, 42);
+    let w: Vec<f64> = runs.iter().map(|r| r.weighted_ipc_vs(&base)).collect();
+    assert!(w[0] < 8.0, "FS_RP {} must trail the baseline", w[0]);
+    assert!(w[0] > w[1], "FS_RP {} must beat FS_ReBP {}", w[0], w[1]);
+    assert!(w[1] > w[2], "FS_ReBP {} must beat TP_BP {}", w[1], w[2]);
+    assert!(w[2] > w[3], "TP_BP {} must beat TP_NP {}", w[2], w[3]);
+}
+
+#[test]
+fn fs_dummy_fractions_span_the_intensity_range() {
+    use fsmc::sim::{System, SystemConfig};
+    // libquantum saturates its slots (paper: 2.3% dummies) while
+    // xalancbmk wastes most of them (paper: 87%).
+    let cfg = SystemConfig::paper_default(K::FsRankPartitioned);
+    let mut busy = System::homogeneous(&cfg, BenchProfile::libquantum(), 7);
+    let busy_frac = busy.run_cycles(30_000).mc.dummy_fraction();
+    let mut idle = System::homogeneous(&cfg, BenchProfile::xalancbmk(), 7);
+    let idle_frac = idle.run_cycles(30_000).mc.dummy_fraction();
+    assert!(busy_frac < 0.10, "libquantum dummy fraction {busy_frac}");
+    assert!(idle_frac > 0.40, "xalancbmk dummy fraction {idle_frac}");
+}
+
+#[test]
+fn tp_prefers_minimum_turn_lengths_with_bank_partitioning() {
+    let mix = WorkloadMix::rate(BenchProfile::mcf(), 8);
+    let kinds = [K::TpBankPartitioned { turn: 60 }, K::TpBankPartitioned { turn: 156 }];
+    let (base, runs) = run_mix_suite(&mix, &kinds, 25_000, 42);
+    let short = runs[0].weighted_ipc_vs(&base);
+    let long = runs[1].weighted_ipc_vs(&base);
+    assert!(short > long, "turn 60 ({short}) should beat turn 156 ({long})");
+}
