@@ -24,9 +24,7 @@ fn read_stream(n: usize) -> Vec<TimedCommand> {
 }
 
 fn bench_device(c: &mut Criterion) {
-    c.bench_function("device/issue_1k_reads", |b| {
-        b.iter(|| black_box(read_stream(500)))
-    });
+    c.bench_function("device/issue_1k_reads", |b| b.iter(|| black_box(read_stream(500))));
     let log = read_stream(500);
     let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
     c.bench_function("checker/replay_1k_commands", |b| {

@@ -42,7 +42,9 @@ fn main() {
                 .profiles
                 .iter()
                 .enumerate()
-                .map(|(i, p)| Box::new(SyntheticTrace::new(*p, sd + i as u64)) as Box<dyn TraceSource>)
+                .map(|(i, p)| {
+                    Box::new(SyntheticTrace::new(*p, sd + i as u64)) as Box<dyn TraceSource>
+                })
                 .collect();
             let mut sys = System::with_controller(&cfg, traces, controller);
             sum += sys.run_cycles(cycles).weighted_ipc_vs(&base);

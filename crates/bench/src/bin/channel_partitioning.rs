@@ -11,10 +11,7 @@ use fsmc_workload::WorkloadMix;
 fn main() {
     let cycles = run_cycles();
     let sd = seed();
-    let suite = [
-        WorkloadMix::mix1_for(4),
-        WorkloadMix::mix2_for(4),
-    ];
+    let suite = [WorkloadMix::mix1_for(4), WorkloadMix::mix2_for(4)];
     println!("Channel partitioning vs shared-channel policies (4 domains)\n");
     println!("{:<10} {:>20} {:>14} {:>10}", "mix", "Channel_Partitioned", "FS_RP", "Baseline");
     for mix in &suite {

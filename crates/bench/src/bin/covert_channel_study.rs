@@ -10,10 +10,7 @@ fn main() {
     let bits = vec![true, false, true, true, false, false, true, false];
     println!("Covert channel: sender modulates its memory intensity with a secret;");
     println!("receiver decodes from its own latencies (window = 2500 DRAM cycles)\n");
-    println!(
-        "{:<28} {:>8} {:>12} {:>14}",
-        "scheduler", "BER", "MI (bits)", "capacity"
-    );
+    println!("{:<28} {:>8} {:>12} {:>14}", "scheduler", "BER", "MI (bits)", "capacity");
     for kind in [
         K::Baseline,
         K::TpBankPartitioned { turn: 60 },

@@ -3,13 +3,13 @@
 //! binary re-derives every pipeline for a DDR4-2400 part (JESD79-4, the
 //! standard Table 1 cites) and certifies them — no DDR3-specific magic.
 
-use fsmc_core::solver::{
-    certify_uniform, solve, Anchor, PartitionLevel, SlotSchedule,
-};
+use fsmc_core::solver::{certify_uniform, solve, Anchor, PartitionLevel, SlotSchedule};
 use fsmc_dram::TimingParams;
 
 fn main() {
-    for (name, t) in [("DDR3-1600", TimingParams::ddr3_1600()), ("DDR4-2400", TimingParams::ddr4_2400())] {
+    for (name, t) in
+        [("DDR3-1600", TimingParams::ddr3_1600()), ("DDR4-2400", TimingParams::ddr4_2400())]
+    {
         println!("=== {name} ===");
         println!("{:<8} {:<22} {:>4} {:>8} {:>10}", "part.", "anchor", "l", "Q(8thr)", "peak util");
         for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {

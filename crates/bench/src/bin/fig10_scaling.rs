@@ -47,13 +47,7 @@ fn main() {
             }
         }
         let n = suite.len() as f64;
-        println!(
-            "{:<8} {:>14.3} {:>18.3} {:>10.3}",
-            cores,
-            sums[0] / n,
-            sums[1] / n,
-            sums[2] / n
-        );
+        println!("{:<8} {:>14.3} {:>18.3} {:>10.3}", cores, sums[0] / n, sums[1] / n, sums[2] / n);
     }
     println!("\nPaper: FS outperforms TP by 85% at 4 cores and 18% at 2 cores; at low");
     println!("core counts FS_RP needs a longer pitch (the 43-cycle same-rank hazard),");

@@ -9,13 +9,21 @@ fn main() {
     let t = TimingParams::ddr3_1600();
     let naive = solve(&t, Anchor::FixedPeriodicRas, PartitionLevel::None).expect("NP solves");
     println!("(a) Naive no-partitioning pipeline: l = {} cycles between consecutive", naive.l);
-    println!("    requests; interval for 8 threads = {} cycles; peak util {:.0}%\n",
-        naive.interval_q(8), 100.0 * naive.peak_data_utilization(&t));
+    println!(
+        "    requests; interval for 8 threads = {} cycles; peak util {:.0}%\n",
+        naive.interval_q(8),
+        100.0 * naive.peak_data_utilization(&t)
+    );
     let ta = SlotSchedule::triple_alternation(&t, 8).expect("TA solves");
-    println!("(b) Triple alternation: l = {} cycles; guaranteed service interval = {}",
-        ta.slot_pitch(), ta.q());
-    println!("    cycles (up to 3 requests per thread per interval); peak util {:.0}%\n",
-        100.0 * 4.0 / ta.slot_pitch() as f64);
+    println!(
+        "(b) Triple alternation: l = {} cycles; guaranteed service interval = {}",
+        ta.slot_pitch(),
+        ta.q()
+    );
+    println!(
+        "    cycles (up to 3 requests per thread per interval); peak util {:.0}%\n",
+        100.0 * 4.0 / ta.slot_pitch() as f64
+    );
     print!("{}", render_slot_table(&ta, 24));
     println!("\nConsecutive slots always touch different bank groups; the same group");
     println!("repeats only 3 slots (45 >= 43 cycles) later, so same-bank reuse is safe.");

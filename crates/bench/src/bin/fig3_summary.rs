@@ -29,5 +29,8 @@ fn main() {
         };
         println!("{:<28} {:>10.3} {:>10}", k.label(), m / 8.0, paper);
     }
-    println!("\nPer-workload weighted-IPC sums (baseline = 8):\n{}", table.render("sum of weighted IPCs"));
+    println!(
+        "\nPer-workload weighted-IPC sums (baseline = 8):\n{}",
+        table.render("sum of weighted IPCs")
+    );
 }

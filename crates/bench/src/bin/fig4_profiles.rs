@@ -6,14 +6,20 @@ use fsmc_core::sched::SchedulerKind as K;
 use fsmc_security::noninterference::{execution_profile, CoRunners};
 
 fn main() {
-    let bucket = std::env::var("FSMC_BUCKET").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000u64);
-    let buckets = std::env::var("FSMC_BUCKETS").ok().and_then(|v| v.parse().ok()).unwrap_or(20usize);
+    let bucket =
+        std::env::var("FSMC_BUCKET").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000u64);
+    let buckets =
+        std::env::var("FSMC_BUCKETS").ok().and_then(|v| v.parse().ok()).unwrap_or(20usize);
     println!("Figure 4: time (CPU cycles) to complete each {bucket}-instruction block for mcf\n");
     let base_idle = execution_profile(K::Baseline, CoRunners::Idle, bucket, buckets);
     let base_mem = execution_profile(K::Baseline, CoRunners::MemoryIntensive, bucket, buckets);
     let fs_idle = execution_profile(K::FsRankPartitioned, CoRunners::Idle, bucket, buckets);
-    let fs_mem = execution_profile(K::FsRankPartitioned, CoRunners::MemoryIntensive, bucket, buckets);
-    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "block", "base+idle", "base+intensive", "FS+idle", "FS+intensive");
+    let fs_mem =
+        execution_profile(K::FsRankPartitioned, CoRunners::MemoryIntensive, bucket, buckets);
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "block", "base+idle", "base+intensive", "FS+idle", "FS+intensive"
+    );
     for i in 0..buckets {
         println!(
             "{:>6} {:>14} {:>14} {:>14} {:>14}",

@@ -20,6 +20,8 @@ fn main() {
     print!("{}", table.render("sum of weighted IPCs"));
     let m = table.arithmetic_means();
     println!("\nPaper finding: minimum turn lengths are best (wait time dominates).");
-    println!("Measured: BP {:.2} / {:.2} / {:.2} — NP {:.2} / {:.2} / {:.2}",
-        m[0], m[1], m[2], m[3], m[4], m[5]);
+    println!(
+        "Measured: BP {:.2} / {:.2} / {:.2} — NP {:.2} / {:.2} / {:.2}",
+        m[0], m[1], m[2], m[3], m[4], m[5]
+    );
 }

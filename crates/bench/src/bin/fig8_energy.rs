@@ -34,5 +34,8 @@ fn main() {
     print!("{}", table.render("normalised memory energy"));
     let m = table.arithmetic_means();
     println!("\nPaper findings: FS beats TP on energy (lower execution time outweighs");
-    println!("the ~37% extra dummy accesses). Measured FS_RP/TP_BP energy ratio: {:.2}", m[0] / m[2]);
+    println!(
+        "the ~37% extra dummy accesses). Measured FS_RP/TP_BP energy ratio: {:.2}",
+        m[0] / m[2]
+    );
 }

@@ -1,7 +1,7 @@
 //! Table 1: simulator and DRAM parameters.
 
-use fsmc_sim::SystemConfig;
 use fsmc_core::sched::SchedulerKind;
+use fsmc_sim::SystemConfig;
 
 fn main() {
     let c = SystemConfig::paper_default(SchedulerKind::Baseline);
@@ -10,11 +10,18 @@ fn main() {
     println!("Table 1: Simulator and DRAM parameters");
     println!("=======================================");
     println!("Processor");
-    println!("  CMP size and core freq     {}-core, 3.2 GHz (x{} DRAM bus ratio)", c.cores, t.cpu_ratio);
+    println!(
+        "  CMP size and core freq     {}-core, 3.2 GHz (x{} DRAM bus ratio)",
+        c.cores, t.cpu_ratio
+    );
     println!("  ROB size per core          {} entries", c.core.rob_size);
     println!("  Fetch/retire width         {} per cycle", c.core.width);
     println!("DRAM");
-    println!("  Channels/ranks/banks       1 ch, {} ranks/ch, {} banks/rank", g.ranks_per_channel(), g.banks_per_rank());
+    println!(
+        "  Channels/ranks/banks       1 ch, {} ranks/ch, {} banks/rank",
+        g.ranks_per_channel(),
+        g.banks_per_rank()
+    );
     println!("  Capacity                   {} GiB", g.capacity_bytes() >> 30);
     println!("DRAM timing (DRAM bus cycles @ 800 MHz)");
     println!("  tRC={}, tRCD={}, tRAS={}, tFAW={}", t.t_rc, t.t_rcd, t.t_ras, t.t_faw);

@@ -13,12 +13,8 @@ fn main() {
     let sd = seed();
     // 32 cores: the 12-profile suite cycled across cores.
     let base = WorkloadMix::suite(8);
-    let profiles: Vec<_> = base
-        .iter()
-        .flat_map(|m| m.profiles.iter().copied())
-        .cycle()
-        .take(32)
-        .collect();
+    let profiles: Vec<_> =
+        base.iter().flat_map(|m| m.profiles.iter().copied()).cycle().take(32).collect();
     let mix = WorkloadMix { name: "suite32", profiles };
 
     println!("Target system: 32 cores, 4 channels x 8 ranks, FS_RP per channel\n");

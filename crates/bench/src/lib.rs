@@ -91,7 +91,7 @@ pub fn weighted_ipc_suite(kinds: &[SchedulerKind], cycles: u64, seed: u64) -> Su
     let suite = WorkloadMix::suite(8);
     let mut rows = Vec::with_capacity(suite.len());
     for mix in &suite {
-        let (base, runs) = run_mix_suite(mix, kinds, cycles, seed);
+        let (base, runs) = run_mix_suite(mix, kinds, cycles, seed).expect_ok();
         let vals = runs.iter().map(|r| r.weighted_ipc_vs(&base)).collect();
         rows.push((mix.name, vals));
     }
@@ -108,15 +108,16 @@ pub fn suite_results(
     WorkloadMix::suite(8)
         .iter()
         .map(|mix| {
-            let (base, runs) = run_mix_suite(mix, kinds, cycles, seed);
+            let (base, runs) = run_mix_suite(mix, kinds, cycles, seed).expect_ok();
             (mix.name, base, runs)
         })
         .collect()
 }
 
-/// Convenience single run.
+/// Convenience single run; panics with the structured error on failure
+/// (the figure binaries run known-good configurations).
 pub fn single(mix: &WorkloadMix, kind: SchedulerKind, cycles: u64, seed: u64) -> RunResult {
-    run_mix(mix, kind, cycles, seed)
+    run_mix(mix, kind, cycles, seed).unwrap_or_else(|e| panic!("{}: {kind} failed: {e}", mix.name))
 }
 
 /// Writes an experiment artefact into `results/<name>` (creating the

@@ -106,9 +106,7 @@ impl PartitionPolicy {
     /// True if `loc` lies inside `domain`'s partition.
     pub fn owns(&self, geom: &Geometry, domain: DomainId, loc: &Location) -> bool {
         match self {
-            PartitionPolicy::Rank => {
-                loc.rank.0 == domain.0 % geom.ranks_per_channel()
-            }
+            PartitionPolicy::Rank => loc.rank.0 == domain.0 % geom.ranks_per_channel(),
             PartitionPolicy::BankStriped => loc.bank.0 == domain.0 % geom.banks_per_rank(),
             PartitionPolicy::None => true,
         }

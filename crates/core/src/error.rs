@@ -1,0 +1,97 @@
+//! Typed errors for controller construction and pipeline solving.
+//!
+//! Construction-time problems split into two kinds: a [`ConfigError`]
+//! means the caller asked for something structurally impossible (zero
+//! domains, an over-long slot pattern), while a propagated
+//! [`SolveError`] means the timing parameters admit no conflict-free
+//! pipeline below the solver's search bound. Both are recoverable —
+//! callers can fall back to [`crate::solver::conservative_pipeline`] or
+//! surface the error — which is why the fallible `try_*` constructors
+//! return [`CoreError`] instead of panicking.
+
+use crate::solver::SolveError;
+use std::error::Error;
+use std::fmt;
+
+/// A structurally invalid controller configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub message: String,
+}
+
+impl ConfigError {
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid controller configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Any error the core scheduling layer can produce at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// No conflict-free pipeline exists for the requested variant (and,
+    /// where attempted, the conservative fallback also failed to solve).
+    Solve(SolveError),
+    /// The requested configuration is structurally invalid.
+    Config(ConfigError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Solve(e) => write!(f, "{e}"),
+            CoreError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Solve(e) => Some(e),
+            CoreError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<SolveError> for CoreError {
+    fn from(e: SolveError) -> Self {
+        CoreError::Solve(e)
+    }
+}
+
+impl From<ConfigError> for CoreError {
+    fn from(e: ConfigError) -> Self {
+        CoreError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Anchor, PartitionLevel};
+
+    #[test]
+    fn display_forms_name_the_cause() {
+        let c = CoreError::from(ConfigError::new("zero domains"));
+        assert!(c.to_string().contains("zero domains"));
+        let s = CoreError::from(SolveError {
+            anchor: Anchor::FixedPeriodicData,
+            level: PartitionLevel::Rank,
+        });
+        assert!(s.to_string().contains("no feasible slot pitch"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let c = CoreError::from(ConfigError::new("x"));
+        assert!(c.source().is_some());
+    }
+}

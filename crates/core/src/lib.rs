@@ -35,6 +35,7 @@
 //! ```
 
 pub mod domain;
+pub mod error;
 pub mod prefetch;
 pub mod queues;
 pub mod refresh;
@@ -43,5 +44,6 @@ pub mod solver;
 pub mod txn;
 
 pub use domain::{DomainConfig, DomainId, PartitionPolicy};
+pub use error::{ConfigError, CoreError};
 pub use sched::{Completion, MemoryController, SchedulerKind};
 pub use txn::{Transaction, TxnId, TxnKind};

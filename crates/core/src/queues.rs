@@ -36,7 +36,12 @@ pub struct TransactionQueue {
 impl TransactionQueue {
     pub fn new(domain: DomainId, capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be non-zero");
-        TransactionQueue { domain, capacity, entries: VecDeque::with_capacity(capacity), high_water: 0 }
+        TransactionQueue {
+            domain,
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            high_water: 0,
+        }
     }
 
     pub fn domain(&self) -> DomainId {
@@ -97,8 +102,8 @@ impl TransactionQueue {
     where
         F: FnMut(&Transaction) -> bool,
     {
-        let mut pred = pred;
-        let idx = self.entries.iter().position(|t| pred(t))?;
+        let pred = pred;
+        let idx = self.entries.iter().position(pred)?;
         self.entries.remove(idx)
     }
 

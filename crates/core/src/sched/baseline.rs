@@ -167,23 +167,18 @@ impl BaselineScheduler {
 
         // Pass 2: oldest transaction whose next command (PRE or ACT) can
         // issue. Never precharge a row some pending transaction still hits.
-        let (queue_len, ranks) = if is_write_queue {
-            (self.writes.len(), ())
-        } else {
-            (self.reads.len(), ())
-        };
-        let _ = ranks;
+        let queue_len = if is_write_queue { self.writes.len() } else { self.reads.len() };
         for i in 0..queue_len {
             let p = if is_write_queue { self.writes[i] } else { self.reads[i] };
             let loc = p.txn.loc;
             match self.device.open_row(loc.rank, loc.bank) {
                 Some(r) if r == loc.row => { /* covered by pass 1; bus busy */ }
                 Some(open_row) => {
-                    let someone_hits = self
-                        .reads
-                        .iter()
-                        .chain(self.writes.iter())
-                        .any(|q| q.txn.loc.rank == loc.rank && q.txn.loc.bank == loc.bank && q.txn.loc.row == open_row);
+                    let someone_hits = self.reads.iter().chain(self.writes.iter()).any(|q| {
+                        q.txn.loc.rank == loc.rank
+                            && q.txn.loc.bank == loc.bank
+                            && q.txn.loc.row == open_row
+                    });
                     if !someone_hits {
                         let pre = Command::precharge(loc.rank, loc.bank);
                         if self.device.can_issue(&pre, now).is_ok() {

@@ -182,8 +182,7 @@ mod tests {
                     id += 1;
                 }
                 if flood && mc.can_accept(DomainId(1)) {
-                    mc.enqueue(Transaction { arrival: c, ..txn(100_000 + id, 1, id * 7) })
-                        .unwrap();
+                    mc.enqueue(Transaction { arrival: c, ..txn(100_000 + id, 1, id * 7) }).unwrap();
                 }
                 for comp in mc.tick(c) {
                     if comp.txn.domain == DomainId(0) && !comp.txn.is_write {

@@ -16,14 +16,17 @@
 //! boosting, and rank power-down (energy optimisations 1–3).
 
 use crate::domain::{DomainId, PartitionPolicy};
+use crate::error::{ConfigError, CoreError};
 use crate::prefetch::SandboxPrefetcher;
 use crate::queues::{QueueFull, TransactionQueue};
 use crate::refresh::RefreshManager;
-use crate::sched::{Completion, McStats, MemoryController, SchedulerKind};
+use crate::sched::{CmdFaultSpec, Completion, McStats, MemoryController, SchedulerKind};
 use crate::solver::{
-    solve, solve_for_threads, Anchor, PartitionLevel, ReorderedBpSchedule, SlotSchedule,
+    conservative_pipeline, solve, solve_for_threads, Anchor, PartitionLevel, PipelineSolution,
+    ReorderedBpSchedule, SlotSchedule, SolveError,
 };
 use crate::txn::{Transaction, TxnId, TxnKind};
+use fsmc_dram::checker::Violation;
 use fsmc_dram::command::{Command, TimedCommand};
 use fsmc_dram::geometry::{BankId, Geometry, LineAddr, Location, RankId, RowId};
 use fsmc_dram::{Cycle, DramDevice, TimingParams};
@@ -200,6 +203,47 @@ pub struct FsScheduler {
     free_phases: Vec<u64>,
     next_synth_id: u64,
     domains: u8,
+    /// Running on the conservative fallback pipeline (after a runtime
+    /// timing violation, or because the requested variant did not solve).
+    degraded: bool,
+    /// Set when degradation itself failed: the controller is poisoned and
+    /// issues nothing further. Surfaced via [`MemoryController::fault`].
+    fault: Option<Violation>,
+    /// Deterministic command-fault injector, if armed.
+    cmd_faults: Option<CmdFaultTracker>,
+}
+
+/// What the fault injector decides for one committed transaction.
+enum CmdFault {
+    None,
+    Drop,
+    Delay(u64),
+}
+
+/// Deterministic per-transaction fault schedule driven by [`CmdFaultSpec`].
+#[derive(Debug, Clone, Copy, Default)]
+struct CmdFaultTracker {
+    spec: CmdFaultSpec,
+    committed: u64,
+    injected: u64,
+}
+
+impl CmdFaultTracker {
+    fn next(&mut self) -> CmdFault {
+        self.committed += 1;
+        if self.spec.max_faults > 0 && self.injected >= self.spec.max_faults {
+            return CmdFault::None;
+        }
+        if self.spec.drop_period > 0 && self.committed.is_multiple_of(self.spec.drop_period) {
+            self.injected += 1;
+            return CmdFault::Drop;
+        }
+        if self.spec.delay_period > 0 && self.committed.is_multiple_of(self.spec.delay_period) {
+            self.injected += 1;
+            return CmdFault::Delay(self.spec.delay_cycles);
+        }
+        CmdFault::None
+    }
 }
 
 impl FsScheduler {
@@ -210,8 +254,9 @@ impl FsScheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `domains` is zero or the pipeline cannot be solved for
-    /// the given timing parameters.
+    /// Panics if `domains` is zero or not even the conservative fallback
+    /// pipeline solves for the given timing parameters (see
+    /// [`FsScheduler::try_new`]).
     pub fn new(
         geom: Geometry,
         t: TimingParams,
@@ -220,8 +265,39 @@ impl FsScheduler {
         prefetch: bool,
         energy: EnergyOptions,
     ) -> Self {
-        assert!(domains > 0, "domains must be non-zero");
-        FsScheduler::with_slot_weights(geom, t, &vec![1u8; domains as usize], variant, prefetch, energy)
+        FsScheduler::try_new(geom, t, domains, variant, prefetch, energy)
+            .unwrap_or_else(|e| panic!("FS controller construction failed: {e}"))
+    }
+
+    /// Fallible form of [`FsScheduler::new`]. If the requested variant's
+    /// pipeline does not solve, the controller falls back to the
+    /// conservative pipeline and starts degraded (recorded in
+    /// [`McStats::solver_fallbacks`]); only when even that fails is a
+    /// [`CoreError::Solve`] returned.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for invalid arguments, [`CoreError::Solve`]
+    /// when no pipeline (including the fallback) solves.
+    pub fn try_new(
+        geom: Geometry,
+        t: TimingParams,
+        domains: u8,
+        variant: FsVariant,
+        prefetch: bool,
+        energy: EnergyOptions,
+    ) -> Result<Self, CoreError> {
+        if domains == 0 {
+            return Err(ConfigError::new("domains must be non-zero").into());
+        }
+        FsScheduler::try_with_slot_weights(
+            geom,
+            t,
+            &vec![1u8; domains as usize],
+            variant,
+            prefetch,
+            energy,
+        )
     }
 
     /// Creates an FS controller with a per-domain SLA: domain *d*
@@ -237,8 +313,8 @@ impl FsScheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `weights` is empty, any weight is zero, or the pipeline
-    /// cannot be solved.
+    /// Panics if `weights` is empty, any weight is zero, or no pipeline
+    /// (including the conservative fallback) can be solved.
     pub fn with_slot_weights(
         geom: Geometry,
         t: TimingParams,
@@ -247,14 +323,58 @@ impl FsScheduler {
         prefetch: bool,
         energy: EnergyOptions,
     ) -> Self {
-        assert!(!weights.is_empty(), "at least one domain required");
-        assert!(weights.iter().all(|&w| w > 0), "every domain needs at least one slot");
+        FsScheduler::try_with_slot_weights(geom, t, weights, variant, prefetch, energy)
+            .unwrap_or_else(|e| panic!("FS controller construction failed: {e}"))
+    }
+
+    /// Either the variant's solved schedule, or the conservative fallback
+    /// when the variant is infeasible for these timing parameters.
+    fn schedule_or_fallback(
+        sol: Result<PipelineSolution, SolveError>,
+        t: &TimingParams,
+        slots: u8,
+        fell_back: &mut bool,
+    ) -> Result<SlotSchedule, CoreError> {
+        let sol = match sol {
+            Ok(s) => s,
+            Err(_) => {
+                *fell_back = true;
+                conservative_pipeline(t, slots)?
+            }
+        };
+        Ok(SlotSchedule::uniform(sol, slots))
+    }
+
+    /// Fallible form of [`FsScheduler::with_slot_weights`], with the same
+    /// degraded-start fallback as [`FsScheduler::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] for invalid arguments, [`CoreError::Solve`]
+    /// when no pipeline (including the fallback) solves.
+    pub fn try_with_slot_weights(
+        geom: Geometry,
+        t: TimingParams,
+        weights: &[u8],
+        variant: FsVariant,
+        prefetch: bool,
+        energy: EnergyOptions,
+    ) -> Result<Self, CoreError> {
+        if weights.is_empty() {
+            return Err(ConfigError::new("at least one domain required").into());
+        }
+        if weights.contains(&0) {
+            return Err(ConfigError::new("every domain needs at least one slot").into());
+        }
         let domains = weights.len() as u8;
         let total_slots: u16 = weights.iter().map(|&w| w as u16).sum();
-        assert!(total_slots <= 255, "slot pattern too long");
+        if total_slots > 255 {
+            return Err(ConfigError::new("slot pattern too long (more than 255 slots)").into());
+        }
         let slot_pattern = smooth_weighted_round_robin(weights);
         let device = DramDevice::new(geom, t);
         let refresh = RefreshManager::new(&t, geom.ranks_per_channel());
+        let mut fell_back = false;
         let (schedule, reordered) = match variant {
             FsVariant::RankPartitioned => {
                 // The pitch stays at the idealised l = 7 for *any* thread
@@ -263,41 +383,70 @@ impl FsScheduler {
                 // rank-hazard tracker: the scheduler picks a different
                 // transaction or inserts a bubble, based only on the
                 // domain's own history.
-                let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank)
-                    .expect("rank-partitioned pipeline must solve");
-                (Some(SlotSchedule::uniform(sol, total_slots as u8)), None)
+                let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank);
+                (
+                    Some(Self::schedule_or_fallback(sol, &t, total_slots as u8, &mut fell_back)?),
+                    None,
+                )
             }
             FsVariant::BankPartitioned => {
-                let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, total_slots as u8)
-                    .expect("bank-partitioned pipeline must solve");
-                (Some(SlotSchedule::uniform(sol, total_slots as u8)), None)
+                let sol = solve_for_threads(
+                    &t,
+                    Anchor::FixedPeriodicRas,
+                    PartitionLevel::Bank,
+                    total_slots as u8,
+                );
+                (
+                    Some(Self::schedule_or_fallback(sol, &t, total_slots as u8, &mut fell_back)?),
+                    None,
+                )
             }
             FsVariant::NoPartitionNaive => {
-                let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, total_slots as u8)
-                    .expect("no-partition pipeline must solve");
-                (Some(SlotSchedule::uniform(sol, total_slots as u8)), None)
-            }
-            FsVariant::TripleAlternation => (
-                Some(
-                    SlotSchedule::triple_alternation(&t, total_slots as u8)
-                        .expect("triple-alternation pipeline must solve"),
-                ),
-                None,
-            ),
-            FsVariant::ReorderedBankPartitioned => {
-                assert!(
-                    weights.iter().all(|&w| w == 1),
-                    "reordered bank partitioning supports equal service only"
+                let sol = solve_for_threads(
+                    &t,
+                    Anchor::FixedPeriodicRas,
+                    PartitionLevel::None,
+                    total_slots as u8,
                 );
+                (
+                    Some(Self::schedule_or_fallback(sol, &t, total_slots as u8, &mut fell_back)?),
+                    None,
+                )
+            }
+            FsVariant::TripleAlternation => {
+                let schedule = match SlotSchedule::triple_alternation(&t, total_slots as u8) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        fell_back = true;
+                        SlotSchedule::uniform(
+                            conservative_pipeline(&t, total_slots as u8)?,
+                            total_slots as u8,
+                        )
+                    }
+                };
+                (Some(schedule), None)
+            }
+            FsVariant::ReorderedBankPartitioned => {
+                if weights.iter().any(|&w| w != 1) {
+                    return Err(ConfigError::new(
+                        "reordered bank partitioning supports equal service only",
+                    )
+                    .into());
+                }
                 (None, Some(ReorderedBpSchedule::new(&t, domains)))
             }
         };
         let free_phases = schedule.map(|s| Self::compute_free_phases(&s)).unwrap_or_default();
-        FsScheduler {
+        let mut stats = McStats::new(domains as usize);
+        if fell_back {
+            stats.solver_fallbacks += 1;
+            stats.degraded = true;
+        }
+        Ok(FsScheduler {
             device,
             t,
             refresh,
-            stats: McStats::new(domains as usize),
+            stats,
             variant,
             policy: variant.partition_policy(),
             queues: (0..domains).map(|d| TransactionQueue::new(DomainId(d), 16)).collect(),
@@ -316,7 +465,10 @@ impl FsScheduler {
             free_phases,
             next_synth_id: 1 << 61,
             domains,
-        }
+            degraded: fell_back,
+            fault: None,
+            cmd_faults: None,
+        })
     }
 
     /// Creates an FS controller from per-domain [`DomainConfig`]s (the
@@ -341,10 +493,7 @@ impl FsScheduler {
         }
         let weights: Vec<u8> = configs.iter().map(|c| c.slots_per_interval).collect();
         let mut mc = FsScheduler::with_slot_weights(geom, t, &weights, variant, prefetch, energy);
-        mc.queues = configs
-            .iter()
-            .map(|c| TransactionQueue::new(c.id, c.queue_capacity))
-            .collect();
+        mc.queues = configs.iter().map(|c| TransactionQueue::new(c.id, c.queue_capacity)).collect();
         mc
     }
 
@@ -393,10 +542,8 @@ impl FsScheduler {
     fn compute_free_phases(s: &SlotSchedule) -> Vec<u64> {
         let l = s.slot_pitch() as u64;
         let p0 = s.plan(0);
-        let occupied: Vec<u64> = [p0.read_act, p0.read_cas, p0.write_act, p0.write_cas]
-            .iter()
-            .map(|c| c % l)
-            .collect();
+        let occupied: Vec<u64> =
+            [p0.read_act, p0.read_cas, p0.write_act, p0.write_cas].iter().map(|c| c % l).collect();
         (0..l).filter(|ph| !occupied.contains(ph)).collect()
     }
 
@@ -438,7 +585,8 @@ impl FsScheduler {
             self.dummy_rotor[domain.0 as usize] = start + i + 1;
             // Rotate rows so dummies do not accidentally enjoy row hits.
             let row = RowId((start as u32).wrapping_mul(2654435761) % geom.rows_per_bank());
-            let loc = Location { channel: Default::default(), rank, bank, row, col: Default::default() };
+            let loc =
+                Location { channel: Default::default(), rank, bank, row, col: Default::default() };
             return Some(Transaction {
                 id: self.fresh_synth_id(),
                 domain,
@@ -513,6 +661,29 @@ impl FsScheduler {
         data_cycle: Cycle,
         release_override: Option<Cycle>,
     ) {
+        let (mut act_cycle, mut cas_cycle) = (act_cycle, cas_cycle);
+        if let Some(inj) = &mut self.cmd_faults {
+            match inj.next() {
+                CmdFault::None => {}
+                CmdFault::Drop => {
+                    // The commands never reach the command bus: a demand
+                    // transaction's completion is silently lost, which the
+                    // simulation watchdog is expected to catch.
+                    self.stats.injected_faults += 1;
+                    if txn.kind == TxnKind::Demand {
+                        self.stats.dropped_txns += 1;
+                    }
+                    return;
+                }
+                CmdFault::Delay(d) => {
+                    // Late silicon: both commands slip by `d` cycles, so
+                    // they land outside the certified pipeline phases.
+                    self.stats.injected_faults += 1;
+                    act_cycle += d;
+                    cas_cycle += d;
+                }
+            }
+        }
         let suppressed = self.energy.suppress_dummies && txn.kind == TxnKind::Dummy;
         if self.energy.row_hit_boost {
             let key = (txn.loc.rank, txn.loc.bank);
@@ -532,7 +703,8 @@ impl FsScheduler {
             let data_done = data_cycle + self.t.t_burst as Cycle;
             // Reads may be held for en-masse release (reordered BP);
             // write completions are producer bookkeeping only.
-            let finish = if txn.is_write { data_done } else { release_override.unwrap_or(data_done) };
+            let finish =
+                if txn.is_write { data_done } else { release_override.unwrap_or(data_done) };
             Completion { txn, finish }
         });
         self.events.push(CmdEvent { cycle: cas_cycle, cmd: cas, suppressed, completion });
@@ -598,7 +770,12 @@ impl FsScheduler {
     /// interval, power it down now and wake it just in time for the
     /// domain's next slot. Commands are placed on command-bus phases the
     /// slot schedule provably never uses.
-    fn try_power_down(&mut self, domain: DomainId, plan: &crate::solver::SlotPlan, now: Cycle) -> bool {
+    fn try_power_down(
+        &mut self,
+        domain: DomainId,
+        plan: &crate::solver::SlotPlan,
+        now: Cycle,
+    ) -> bool {
         let Some(schedule) = self.schedule else { return false };
         if self.free_phases.len() < 2 {
             return false;
@@ -666,9 +843,8 @@ impl FsScheduler {
         for d in 0..self.domains {
             let domain = DomainId(d);
             let device = &self.device;
-            let picked = self.queues[d as usize].take_first(|t| {
-                device.rank_bank_ready(t.loc.rank, t.loc.bank, ready_by)
-            });
+            let picked = self.queues[d as usize]
+                .take_first(|t| device.rank_bank_ready(t.loc.rank, t.loc.bank, ready_by));
             let txn = match picked {
                 Some(t) => t,
                 None => match self.make_dummy(domain, ready_by, None, now) {
@@ -707,16 +883,29 @@ impl FsScheduler {
             let ev = self.events.remove(i);
             let result = match ev.cmd.kind {
                 fsmc_dram::CommandKind::PowerDownExit => {
-                    self.rank_powered_down[ev.cmd.rank.0 as usize] = false;
-                    self.device.issue(&ev.cmd, now)
+                    let r = self.device.issue(&ev.cmd, now);
+                    if r.is_ok() {
+                        self.rank_powered_down[ev.cmd.rank.0 as usize] = false;
+                    }
+                    r
                 }
                 _ if ev.suppressed => self.device.issue_suppressed(&ev.cmd, now),
                 _ => self.device.issue(&ev.cmd, now),
             };
-            let outcome = result.unwrap_or_else(|v| {
-                panic!("FS schedule produced an illegal command — pipeline math violated: {v}")
-            });
-            let _ = outcome;
+            match result {
+                Ok(_) => {}
+                Err(v) => {
+                    // The schedule produced an illegal command — pipeline
+                    // math violated (faulty silicon, injected fault, or a
+                    // mis-certified custom pipeline). Degrade instead of
+                    // panicking; a second violation poisons the controller.
+                    // The event goes back first so its transaction is
+                    // requeued along with the rest of the in-flight work.
+                    self.events.push(ev);
+                    self.on_violation(now, v);
+                    return;
+                }
+            }
             if let Some(c) = ev.completion {
                 if c.txn.kind == TxnKind::Demand {
                     let ds = self.stats.domain_mut(c.txn.domain);
@@ -726,6 +915,84 @@ impl FsScheduler {
                 completions.push(c);
             }
         }
+    }
+
+    /// Handles a runtime timing violation. The first one triggers
+    /// graceful degradation onto the conservative pipeline; a second one
+    /// (or a failed degradation) poisons the controller: `fault()` then
+    /// reports the violation and `tick` issues nothing further.
+    fn on_violation(&mut self, now: Cycle, v: Violation) {
+        self.stats.timing_faults += 1;
+        if self.degraded || !self.enter_degraded(now) {
+            self.fault = Some(v);
+            self.events.clear();
+        }
+    }
+
+    /// Switches to the conservative fallback pipeline: in-flight demand
+    /// transactions are requeued, powered-down ranks get wake-up commands,
+    /// and slot issue resumes on the wide pitch after a quiesce margin
+    /// that clears every in-flight bank/bus state. Returns `false` when
+    /// even the conservative pipeline cannot be solved.
+    fn enter_degraded(&mut self, now: Cycle) -> bool {
+        let total_slots = self.slot_pattern.len() as u8;
+        let Ok(sol) = conservative_pipeline(&self.t, total_slots) else { return false };
+        self.degraded = true;
+        self.stats.degraded = true;
+        self.stats.solver_fallbacks += 1;
+        // Requeue in-flight demand transactions so their completions are
+        // not silently lost; anything that no longer fits is dropped.
+        let events = std::mem::take(&mut self.events);
+        for ev in events {
+            if let Some(c) = ev.completion {
+                if c.txn.kind == TxnKind::Demand
+                    && self.queues[c.txn.domain.0 as usize].push(c.txn).is_err()
+                {
+                    self.stats.dropped_txns += 1;
+                }
+            }
+        }
+        // Quiesce margin: long enough for any in-flight refresh, bank
+        // cycle or turnaround to drain before the new pipeline starts.
+        let margin = (self.t.t_rfc + self.t.t_rc + 64) as Cycle;
+        let ranks = self.device.geometry().ranks_per_channel();
+        for r in 0..ranks {
+            if self.rank_powered_down[r as usize] {
+                self.events.push(CmdEvent {
+                    cycle: now + margin + r as Cycle,
+                    cmd: Command::power_up(RankId(r)),
+                    suppressed: false,
+                    completion: None,
+                });
+            }
+        }
+        // A violation can orphan an open row (its ACT issued, its CAS was
+        // rejected, so nothing auto-precharges): close every bank before
+        // the new pipeline (and the next refresh window) runs.
+        let prea_at = now + margin + (ranks as Cycle) + self.t.t_xp as Cycle;
+        for r in 0..ranks {
+            self.events.push(CmdEvent {
+                cycle: prea_at + r as Cycle,
+                cmd: Command::precharge_all(RankId(r)),
+                suppressed: false,
+                completion: None,
+            });
+        }
+        let schedule = SlotSchedule::uniform(sol, total_slots);
+        self.next_slot = schedule.first_slot_from(prea_at + ranks as Cycle + self.t.t_rp as Cycle);
+        self.free_phases = Self::compute_free_phases(&schedule);
+        self.schedule = Some(schedule);
+        self.reordered = None;
+        // Power-down interacts with slot phases solved for the old pitch;
+        // keep degraded mode simple and certified.
+        self.energy.power_down = false;
+        true
+    }
+
+    /// Whether the controller is running on the conservative fallback
+    /// pipeline (either from construction or after a runtime violation).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 }
 
@@ -796,8 +1063,15 @@ impl MemoryController for FsScheduler {
 
     fn tick(&mut self, now: Cycle) -> Vec<Completion> {
         let mut completions = Vec::new();
+        if self.fault.is_some() {
+            // Poisoned: degradation failed too. Nothing issues; the
+            // simulation layer surfaces the stored violation.
+            return completions;
+        }
         if let Some(cmd) = self.refresh.command_at(now) {
-            self.device.issue(&cmd, now).expect("refresh must be legal after quiesce");
+            if let Err(v) = self.device.issue(&cmd, now) {
+                self.on_violation(now, v);
+            }
             return completions;
         }
         // Slot/interval decisions.
@@ -806,8 +1080,8 @@ impl MemoryController for FsScheduler {
                 let mut plan = schedule.plan(self.next_slot);
                 // SLA slot ownership: the schedule indexes virtual slots;
                 // the fixed pattern maps them to domains.
-                plan.domain = self.slot_pattern
-                    [(self.next_slot % self.slot_pattern.len() as u64) as usize];
+                plan.domain =
+                    self.slot_pattern[(self.next_slot % self.slot_pattern.len() as u64) as usize];
                 if plan.decision_cycle > now {
                     break;
                 }
@@ -824,7 +1098,9 @@ impl MemoryController for FsScheduler {
                 if dec > now {
                     break;
                 }
-                if dec == now && self.refresh.allows_transaction(now + r.q()) && self.refresh.allows_transaction(now)
+                if dec == now
+                    && self.refresh.allows_transaction(now + r.q())
+                    && self.refresh.allows_transaction(now)
                 {
                     self.fill_interval(self.next_interval, now);
                 } else if dec == now {
@@ -866,6 +1142,26 @@ impl MemoryController for FsScheduler {
 
     fn take_command_log(&mut self) -> Vec<TimedCommand> {
         self.device.take_log()
+    }
+
+    fn fault(&self) -> Option<Violation> {
+        self.fault
+    }
+
+    fn inject_command_faults(&mut self, spec: CmdFaultSpec) {
+        self.cmd_faults = spec.is_enabled().then(|| CmdFaultTracker { spec, ..Default::default() });
+    }
+
+    fn set_device_timing(&mut self, t: TimingParams) {
+        // Only the *device* changes; the solved schedule and refresh
+        // cadence keep the nominal parameters, modelling silicon that is
+        // slower than the pipeline was certified for. Mismatches surface
+        // as runtime violations and drive the degradation machinery.
+        let recording = self.device.is_recording();
+        self.device = DramDevice::new(*self.device.geometry(), t);
+        if recording {
+            self.device.record_commands();
+        }
     }
 }
 
@@ -1131,10 +1427,7 @@ mod tests {
         }
         // Domain 0 should see ~3x the service of domain 1.
         let ratio = done[0] as f64 / done[1].max(1) as f64;
-        assert!(
-            (2.2..=3.8).contains(&ratio),
-            "service {done:?} (ratio {ratio:.2}) not ~3:1:1"
-        );
+        assert!((2.2..=3.8).contains(&ratio), "service {done:?} (ratio {ratio:.2}) not ~3:1:1");
         // And the stream stays legal.
         let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
         let v = checker.check(&mc.take_command_log());
@@ -1215,5 +1508,240 @@ mod tests {
             finishes
         };
         assert_eq!(run_domain0(false), run_domain0(true));
+    }
+
+    #[test]
+    fn injected_delay_degrades_but_keeps_serving() {
+        // One delayed command knocks the pipeline off its certified
+        // phases: the controller must degrade (not panic), requeue the
+        // in-flight work and keep serving on the conservative pitch.
+        let mut mc = mk(FsVariant::RankPartitioned);
+        // l = 7 and tBURST = 4: a 5-cycle slip leaves only 2 cycles to the
+        // next slot's data burst, an overlap the device must reject.
+        mc.inject_command_faults(CmdFaultSpec {
+            delay_period: 5,
+            delay_cycles: 5,
+            max_faults: 1,
+            ..Default::default()
+        });
+        let mut id = 0u64;
+        let mut done = 0usize;
+        for c in 0..30_000u64 {
+            if c % 25 == 0 && mc.can_accept(DomainId((id % 8) as u8)) {
+                mc.enqueue(txn(id, (id % 8) as u8, id * 11, false, PartitionPolicy::Rank)).unwrap();
+                id += 1;
+            }
+            done += mc.tick(c).len();
+        }
+        assert!(mc.is_degraded(), "a 3-cycle slip must trigger degradation");
+        assert!(mc.fault().is_none(), "one violation must not poison the controller");
+        assert_eq!(mc.stats().injected_faults, 1);
+        assert!(mc.stats().timing_faults >= 1);
+        assert!(mc.stats().solver_fallbacks >= 1);
+        assert!(mc.stats().degraded);
+        // Demand service continues after the downgrade.
+        assert!(done > id as usize / 2, "served {done} of {id} reads");
+    }
+
+    #[test]
+    fn degraded_stream_stays_legal_after_the_violation() {
+        // Post-downgrade the emitted command stream must again be
+        // conflict-free (commands up to the violation are legal by
+        // construction; the checker sees the whole log minus the one
+        // rejected command, which the device never applied).
+        let mut mc = mk(FsVariant::BankPartitioned);
+        mc.record_commands();
+        // l = 15: a 13-cycle slip lands the burst 2 cycles before the next
+        // slot's, violating the data bus.
+        mc.inject_command_faults(CmdFaultSpec {
+            delay_period: 3,
+            delay_cycles: 13,
+            max_faults: 1,
+            ..Default::default()
+        });
+        let mut id = 0u64;
+        for c in 0..20_000u64 {
+            if c % 30 == 0 && mc.can_accept(DomainId((id % 8) as u8)) {
+                mc.enqueue(txn(
+                    id,
+                    (id % 8) as u8,
+                    id * 17,
+                    id.is_multiple_of(3),
+                    PartitionPolicy::BankStriped,
+                ))
+                .unwrap();
+                id += 1;
+            }
+            mc.tick(c);
+        }
+        assert!(mc.is_degraded());
+        let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+        let v = checker.check(&mc.take_command_log());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn second_violation_poisons_the_controller() {
+        // Unbounded injected delays keep violating even on the
+        // conservative pipeline: after the single repair attempt the
+        // controller must stop and expose the violation.
+        let mut mc = mk(FsVariant::RankPartitioned);
+        // A 40-cycle slip violates even the conservative 43-cycle pitch
+        // (the burst lands 3 cycles before the next slot's), so the repair
+        // attempt cannot hold.
+        mc.inject_command_faults(CmdFaultSpec {
+            delay_period: 4,
+            delay_cycles: 40,
+            max_faults: 0, // unbounded
+            ..Default::default()
+        });
+        let mut id = 0u64;
+        for c in 0..60_000u64 {
+            if c % 20 == 0 && mc.can_accept(DomainId((id % 8) as u8)) {
+                mc.enqueue(txn(id, (id % 8) as u8, id * 13, false, PartitionPolicy::Rank)).unwrap();
+                id += 1;
+            }
+            mc.tick(c);
+            if mc.fault().is_some() {
+                break;
+            }
+        }
+        let v = mc.fault().expect("persistent faults must poison the controller");
+        assert!(mc.stats().timing_faults >= 2);
+        assert!(!v.constraint.is_empty());
+        // Poisoned controllers issue nothing.
+        assert!(mc.tick(100_000).is_empty());
+    }
+
+    #[test]
+    fn unsolvable_variant_falls_back_to_conservative_pipeline() {
+        // A huge tRC breaks triple alternation's distance-3 same-bank
+        // argument (3l >= tRC fails at the bank-partitioned pitch), but
+        // the conservative pipeline just widens its pitch past tRC.
+        // Construction must fall back, not fail.
+        let mut t = TimingParams::ddr3_1600();
+        t.t_rc = 200;
+        let mc = FsScheduler::try_new(
+            Geometry::paper_default(),
+            t,
+            8,
+            FsVariant::TripleAlternation,
+            false,
+            EnergyOptions::default(),
+        )
+        .expect("conservative fallback should solve for a stretched tRC");
+        assert!(mc.is_degraded());
+        assert_eq!(mc.stats().solver_fallbacks, 1);
+        assert!(mc.stats().degraded);
+        assert!(mc.schedule().unwrap().slot_pitch() >= 200);
+    }
+
+    #[test]
+    fn invalid_configs_are_reported_not_panicked() {
+        let geom = Geometry::paper_default();
+        let t = TimingParams::ddr3_1600();
+        let e = FsScheduler::try_new(
+            geom,
+            t,
+            0,
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CoreError::Config(_)), "{e}");
+        let e = FsScheduler::try_with_slot_weights(
+            geom,
+            t,
+            &[1, 0],
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CoreError::Config(_)), "{e}");
+        let e = FsScheduler::try_with_slot_weights(
+            geom,
+            t,
+            &[2, 1],
+            FsVariant::ReorderedBankPartitioned,
+            false,
+            EnergyOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, CoreError::Config(_)), "{e}");
+    }
+
+    #[test]
+    fn moderately_stretched_device_trfc_is_absorbed_without_violations() {
+        // Device refreshes take twice as long as certified. The slot
+        // filler's bank-readiness guard sees the slow device directly, so
+        // the overrun costs bubbles, not violations.
+        let mut mc = mk(FsVariant::RankPartitioned);
+        let mut slow = TimingParams::ddr3_1600();
+        slow.t_rfc *= 2;
+        mc.set_device_timing(slow);
+        let mut id = 0u64;
+        let mut done = 0usize;
+        for c in 0..20_000u64 {
+            if c % 20 == 0 && mc.can_accept(DomainId((id % 8) as u8)) {
+                mc.enqueue(txn(id, (id % 8) as u8, id * 7, false, PartitionPolicy::Rank)).unwrap();
+                id += 1;
+            }
+            done += mc.tick(c).len();
+        }
+        assert!(mc.fault().is_none());
+        assert!(!mc.is_degraded(), "a 2x tRFC must be absorbed, not degrade");
+        assert!(done > 100, "served only {done} reads");
+    }
+
+    #[test]
+    fn extreme_device_trfc_stretch_degrades_then_poisons() {
+        // The acceptance scenario's core: tRFC stretched past tREFI means
+        // the next window's REF arrives while the previous refresh is
+        // still in progress. The first collision degrades; refresh cadence
+        // is unchanged in degraded mode, so the next REF poisons.
+        let mut mc = mk(FsVariant::RankPartitioned);
+        let mut slow = TimingParams::ddr3_1600();
+        slow.t_rfc *= 40;
+        mc.set_device_timing(slow);
+        let mut id = 0u64;
+        for c in 0..40_000u64 {
+            if c % 20 == 0 && mc.can_accept(DomainId((id % 8) as u8)) {
+                mc.enqueue(txn(id, (id % 8) as u8, id * 7, false, PartitionPolicy::Rank)).unwrap();
+                id += 1;
+            }
+            mc.tick(c);
+            if mc.fault().is_some() {
+                break;
+            }
+        }
+        assert!(mc.stats().degraded, "first REF collision must degrade");
+        assert!(mc.fault().is_some(), "persistent REF collisions must poison");
+        assert!(mc.stats().timing_faults >= 2);
+    }
+
+    #[test]
+    fn stretched_device_trtrs_degrades_and_recovers_on_the_wide_pitch() {
+        // Slow rank-to-rank bus switching: the certified 7-cycle pitch
+        // leaves a 3-cycle gap between bursts of different ranks, so a
+        // tRTRS of 20 violates immediately — but the conservative 43-cycle
+        // pitch leaves 39, so the degraded controller keeps serving.
+        let mut mc = mk(FsVariant::RankPartitioned);
+        let mut slow = TimingParams::ddr3_1600();
+        slow.t_rtrs = 20;
+        mc.set_device_timing(slow);
+        let mut id = 0u64;
+        let mut done = 0usize;
+        for c in 0..30_000u64 {
+            if c % 25 == 0 && mc.can_accept(DomainId((id % 8) as u8)) {
+                mc.enqueue(txn(id, (id % 8) as u8, id * 7, false, PartitionPolicy::Rank)).unwrap();
+                id += 1;
+            }
+            done += mc.tick(c).len();
+        }
+        assert!(mc.is_degraded());
+        assert!(mc.fault().is_none(), "the wide pitch must hold: {:?}", mc.fault());
+        assert!(done > 100, "served only {done} reads after the downgrade");
     }
 }

@@ -22,8 +22,34 @@ pub mod tp;
 use crate::domain::{DomainId, PartitionPolicy};
 use crate::queues::QueueFull;
 use crate::txn::Transaction;
-use fsmc_dram::{Cycle, DramDevice};
+use fsmc_dram::checker::Violation;
+use fsmc_dram::{Cycle, DramDevice, TimingParams};
 use std::fmt;
+
+/// Deterministic command-stream fault injection, applied by controllers
+/// that support it (currently [`fs::FsScheduler`]) as transactions are
+/// committed to command slots. Periods count committed transactions;
+/// the same spec against the same workload/seed reproduces the same
+/// faulty stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CmdFaultSpec {
+    /// Every `delay_period`-th committed transaction has its commands
+    /// shifted `delay_cycles` later (0 disables). A shifted command
+    /// breaks the solved pipeline and is caught as a timing violation.
+    pub delay_period: u64,
+    pub delay_cycles: u64,
+    /// Every `drop_period`-th committed transaction is silently dropped:
+    /// no commands issue and no completion is ever delivered (0 disables).
+    pub drop_period: u64,
+    /// Stop injecting after this many faults (0 = unlimited).
+    pub max_faults: u64,
+}
+
+impl CmdFaultSpec {
+    pub fn is_enabled(&self) -> bool {
+        self.delay_period > 0 || self.drop_period > 0
+    }
+}
 
 /// Identifies a scheduling policy and its configuration (the design
 /// points of Figure 3).
@@ -157,6 +183,21 @@ pub struct McStats {
     pub bubbles: u64,
     /// Power-down entries issued (energy optimisation 3).
     pub power_downs: u64,
+    /// Timing violations observed at command issue (each triggers either
+    /// the conservative-pipeline fallback or, if already degraded,
+    /// poisons the controller).
+    pub timing_faults: u64,
+    /// Construction-time fallbacks: the requested pipeline variant did
+    /// not solve and the conservative pipeline was used instead.
+    pub solver_fallbacks: u64,
+    /// Demand transactions lost to injected faults or a full queue during
+    /// degraded-mode requeue.
+    pub dropped_txns: u64,
+    /// Faults injected by an active [`CmdFaultSpec`].
+    pub injected_faults: u64,
+    /// True once the controller is running the conservative fallback
+    /// pipeline instead of the variant it was built for.
+    pub degraded: bool,
 }
 
 impl McStats {
@@ -261,6 +302,25 @@ pub trait MemoryController {
     /// Takes the recorded command log (empty unless recording was enabled
     /// on the device).
     fn take_command_log(&mut self) -> Vec<fsmc_dram::command::TimedCommand>;
+
+    /// The violation that poisoned this controller, if a timing fault was
+    /// observed after the one permitted degradation. A poisoned
+    /// controller stops issuing commands; the simulator surfaces this as
+    /// a structured error instead of a panic.
+    fn fault(&self) -> Option<Violation> {
+        None
+    }
+
+    /// Arms deterministic command-stream fault injection. Controllers
+    /// without fault support ignore the spec (the default).
+    fn inject_command_faults(&mut self, _spec: CmdFaultSpec) {}
+
+    /// Replaces the device's timing parameters while the *schedule* keeps
+    /// the parameters it was solved for — the hook fault injection uses
+    /// to model silicon that is slower than the controller believes
+    /// (e.g. a stretched tRFC). No-op by default; must be called before
+    /// the first tick. Controllers without fault support ignore it.
+    fn set_device_timing(&mut self, _t: TimingParams) {}
 }
 
 #[cfg(test)]

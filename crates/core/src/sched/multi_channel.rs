@@ -46,7 +46,7 @@ impl MultiChannelFs {
     ) -> Self {
         assert!(channels > 0, "channels must be non-zero");
         assert!(
-            domains % channels == 0 && domains >= channels,
+            domains.is_multiple_of(channels) && domains >= channels,
             "domains ({domains}) must be a positive multiple of channels ({channels})"
         );
         let dpc = domains / channels;

@@ -146,8 +146,12 @@ impl TpScheduler {
             // private); non-partitioned turns auto-precharge so the bank
             // returns to the next owner closed.
             let cas = match (txn.is_write, self.bank_partitioned) {
-                (true, true) => Command::write(txn.loc.rank, txn.loc.bank, txn.loc.row, txn.loc.col),
-                (false, true) => Command::read(txn.loc.rank, txn.loc.bank, txn.loc.row, txn.loc.col),
+                (true, true) => {
+                    Command::write(txn.loc.rank, txn.loc.bank, txn.loc.row, txn.loc.col)
+                }
+                (false, true) => {
+                    Command::read(txn.loc.rank, txn.loc.bank, txn.loc.row, txn.loc.col)
+                }
                 (true, false) => {
                     Command::write_ap(txn.loc.rank, txn.loc.bank, txn.loc.row, txn.loc.col)
                 }
@@ -189,8 +193,7 @@ impl TpScheduler {
         // serialisation is what keeps the auto-precharge tail inside the
         // dead time.
         let cap = if self.bank_partitioned { 8 } else { 1 };
-        let owner_in_flight =
-            self.in_flight.iter().filter(|p| p.txn.domain == owner).count();
+        let owner_in_flight = self.in_flight.iter().filter(|p| p.txn.domain == owner).count();
         if owner_in_flight >= cap || (!self.bank_partitioned && !self.in_flight.is_empty()) {
             return false;
         }

@@ -135,7 +135,7 @@ pub fn solve_burst(t: &TimingParams, anchor: Anchor, n: u32) -> Option<BurstSolu
         for l_inter in 1..=128u32 {
             if feasible(t, &o, n, l_intra, l_inter) {
                 let cand = BurstSolution { n, l_intra, l_inter, anchor };
-                if best.map_or(true, |b| cand.burst_span() < b.burst_span()) {
+                if best.is_none_or(|b| cand.burst_span() < b.burst_span()) {
                     best = Some(cand);
                 }
             }

@@ -110,7 +110,8 @@ pub fn certify_uniform(
                     let ri = RankId((i % n) as u8 % 8);
                     let rj = RankId((j % n) as u8 % 8);
                     // Same thread: same rank, scheduler picks distinct banks.
-                    let (bi, bj) = if same_thread { (BankId(0), BankId(1)) } else { (BankId(0), BankId(0)) };
+                    let (bi, bj) =
+                        if same_thread { (BankId(0), BankId(1)) } else { (BankId(0), BankId(0)) };
                     (ri, rj, bi, bj, true)
                 }
                 PartitionLevel::Bank => {
@@ -133,10 +134,16 @@ pub fn certify_uniform(
             }
             for dir_i in [false, true] {
                 for dir_j in [false, true] {
-                    let (act_i, cas_i) =
-                        if dir_i { (pi.write_act, pi.write_cas) } else { (pi.read_act, pi.read_cas) };
-                    let (act_j, cas_j) =
-                        if dir_j { (pj.write_act, pj.write_cas) } else { (pj.read_act, pj.read_cas) };
+                    let (act_i, cas_i) = if dir_i {
+                        (pi.write_act, pi.write_cas)
+                    } else {
+                        (pi.read_act, pi.read_cas)
+                    };
+                    let (act_j, cas_j) = if dir_j {
+                        (pj.write_act, pj.write_cas)
+                    } else {
+                        (pj.read_act, pj.read_cas)
+                    };
                     two_transaction_case(
                         &checker,
                         &mut report,
@@ -181,14 +188,14 @@ pub fn certify_reordered(
                             // bank has recovered (its readiness check is
                             // part of the design, Section 7) — certify
                             // exactly the pairs it can emit.
-                            let min_gap = if w1 {
-                                t.same_bank_wr_turnaround()
-                            } else {
-                                t.t_rc
-                            } as u64;
+                            let min_gap =
+                                if w1 { t.same_bank_wr_turnaround() } else { t.t_rc } as u64;
                             let same_bank = k1 != k2 && a2 >= a1 + min_gap;
-                            let (b1, b2) =
-                                if same_bank { (BankId(2), BankId(2)) } else { (BankId(1), BankId(2)) };
+                            let (b1, b2) = if same_bank {
+                                (BankId(2), BankId(2))
+                            } else {
+                                (BankId(1), BankId(2))
+                            };
                             two_transaction_case(
                                 &checker,
                                 &mut report,
@@ -224,7 +231,8 @@ mod tests {
 
     #[test]
     fn bank_partitioned_schedule_certifies() {
-        let sol = solve_for_threads(&t(), Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8).unwrap();
+        let sol =
+            solve_for_threads(&t(), Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8).unwrap();
         let s = SlotSchedule::uniform(sol, 8);
         let r = certify_uniform(&s, PartitionLevel::Bank, &t(), 3);
         assert!(r.certified(), "{:?}", r.violations.first());
@@ -259,7 +267,8 @@ mod tests {
 
     #[test]
     fn naive_np_schedule_certifies_single_bank_worst_case() {
-        let sol = solve_for_threads(&t(), Anchor::FixedPeriodicRas, PartitionLevel::None, 8).unwrap();
+        let sol =
+            solve_for_threads(&t(), Anchor::FixedPeriodicRas, PartitionLevel::None, 8).unwrap();
         let s = SlotSchedule::uniform(sol, 8);
         let r = certify_uniform(&s, PartitionLevel::None, &t(), 2);
         assert!(r.certified(), "{:?}", r.violations.first());

@@ -33,9 +33,7 @@ impl Constraint {
     pub fn satisfied_by(&self, l: u32) -> bool {
         match *self {
             Constraint::ForbiddenMultiple { diff, .. } => diff == 0 || diff % l as u64 != 0,
-            Constraint::MinGap { slots_apart, min, .. } => {
-                (slots_apart as i64) * (l as i64) >= min
-            }
+            Constraint::MinGap { slots_apart, min, .. } => (slots_apart as i64) * (l as i64) >= min,
         }
     }
 
@@ -60,9 +58,12 @@ impl fmt::Display for Constraint {
     }
 }
 
+/// The (ACT, CAS, data) offsets of one slot direction.
+type DirOffsets = (i64, i64, i64);
+
 /// All (earlier, later) direction pairs for two slots; earlier offsets
 /// first in the tuple.
-fn direction_pairs(o: &SlotOffsets) -> [((i64, i64, i64), (i64, i64, i64), &'static str); 4] {
+fn direction_pairs(o: &SlotOffsets) -> [(DirOffsets, DirOffsets, &'static str); 4] {
     let r = (o.read_act, o.read_cas, o.read_data);
     let w = (o.write_act, o.write_cas, o.write_data);
     [
@@ -97,7 +98,10 @@ pub fn build_constraints(
         for &b in &cmd {
             let diff = (a - b).unsigned_abs();
             if diff != 0 {
-                cs.push(Constraint::ForbiddenMultiple { diff, why: "command-bus conflict (Eq. 1)" });
+                cs.push(Constraint::ForbiddenMultiple {
+                    diff,
+                    why: "command-bus conflict (Eq. 1)",
+                });
             }
         }
     }
@@ -110,7 +114,11 @@ pub fn build_constraints(
         for (prev, next, _why) in direction_pairs(&o) {
             let shift = prev.2 - next.2; // earlier slot's data offset minus later's
             let min_overlap = burst + shift;
-            cs.push(Constraint::MinGap { slots_apart: s, min: min_overlap, why: "data-bus overlap" });
+            cs.push(Constraint::MinGap {
+                slots_apart: s,
+                min: min_overlap,
+                why: "data-bus overlap",
+            });
             // Nearby slots can always belong to different ranks (round-robin
             // rank partitioning guarantees it; other levels permit it), so
             // the tRTRS switch gap applies at every small distance.
@@ -173,8 +181,11 @@ pub fn build_constraints(
                 let was_write = why.starts_with("write then");
                 let turnaround = if was_write {
                     // Previous access was a write: ACT-to-ACT must cover
-                    // tRCD + write recovery + tRP = 43.
-                    t.same_bank_wr_turnaround() as i64
+                    // tRCD + write recovery + tRP = 43 — but never less
+                    // than tRC, since the auto-precharge also waits for
+                    // tRAS (the write-recovery path only dominates when
+                    // tWR is long relative to tRAS).
+                    t.same_bank_wr_turnaround().max(t.t_rc) as i64
                 } else {
                     t.t_rc as i64
                 };
@@ -232,7 +243,11 @@ mod tests {
 
     #[test]
     fn display_mentions_reason() {
-        let c = Constraint::MinGap { slots_apart: 1, min: 21, why: "write-to-read turnaround (Eq. 4b)" };
+        let c = Constraint::MinGap {
+            slots_apart: 1,
+            min: 21,
+            why: "write-to-read turnaround (Eq. 4b)",
+        };
         assert!(c.to_string().contains("Eq. 4b"));
     }
 }

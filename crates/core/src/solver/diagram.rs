@@ -13,7 +13,12 @@ use fsmc_dram::TimingParams;
 /// the slot's thread id (hex). This is the textual analogue of Figure 1:
 /// with the paper's parameters, eight slots of any mix occupy exactly 56
 /// cycles with no column carrying two commands.
-pub fn render_uniform(schedule: &SlotSchedule, t: &TimingParams, mix: &[bool], slots: u64) -> String {
+pub fn render_uniform(
+    schedule: &SlotSchedule,
+    t: &TimingParams,
+    mix: &[bool],
+    slots: u64,
+) -> String {
     assert!(!mix.is_empty(), "mix must be non-empty");
     let mut acts: Vec<(u64, u8)> = Vec::new();
     let mut rds: Vec<(u64, u8)> = Vec::new();

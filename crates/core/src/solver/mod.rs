@@ -32,4 +32,6 @@ pub use certify::{certify_reordered, certify_uniform, CertifyReport};
 pub use constraints::{build_constraints, Constraint, PartitionLevel};
 pub use offsets::{Anchor, SlotOffsets};
 pub use schedule::{ReorderedBpSchedule, ScheduleVariant, SlotPlan, SlotSchedule};
-pub use solve::{solve, solve_best, solve_for_threads, PipelineSolution, SolveError};
+pub use solve::{
+    conservative_pipeline, solve, solve_best, solve_for_threads, PipelineSolution, SolveError,
+};

@@ -84,10 +84,17 @@ impl SlotOffsets {
     /// The most negative offset — schedules shift everything by this much
     /// so absolute command times are non-negative.
     pub fn min_offset(&self) -> i64 {
-        [self.read_act, self.read_cas, self.write_act, self.write_cas, self.read_data, self.write_data]
-            .into_iter()
-            .min()
-            .unwrap()
+        [
+            self.read_act,
+            self.read_cas,
+            self.write_act,
+            self.write_cas,
+            self.read_data,
+            self.write_data,
+        ]
+        .into_iter()
+        .min()
+        .unwrap()
     }
 }
 

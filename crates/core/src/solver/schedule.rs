@@ -84,7 +84,10 @@ impl SlotSchedule {
         // Safety argument of Section 4.3: slots that may share a bank are
         // at least 3 slots apart (same class appears every 3 slot groups).
         if 3 * sol.l < t.same_bank_wr_turnaround().max(t.t_rc) {
-            return Err(SolveError { anchor: Anchor::FixedPeriodicRas, level: PartitionLevel::None });
+            return Err(SolveError {
+                anchor: Anchor::FixedPeriodicRas,
+                level: PartitionLevel::None,
+            });
         }
         let base = (-sol.offsets.min_offset()).max(0) as Cycle;
         Ok(SlotSchedule {
@@ -249,9 +252,17 @@ impl ReorderedBpSchedule {
         assert!(j < self.threads);
         let data = self.interval_anchor(k) as i64 + j as i64 * self.data_pitch as i64;
         if is_write {
-            ((data + self.offsets.write_act) as Cycle, (data + self.offsets.write_cas) as Cycle, data as Cycle)
+            (
+                (data + self.offsets.write_act) as Cycle,
+                (data + self.offsets.write_cas) as Cycle,
+                data as Cycle,
+            )
         } else {
-            ((data + self.offsets.read_act) as Cycle, (data + self.offsets.read_cas) as Cycle, data as Cycle)
+            (
+                (data + self.offsets.read_act) as Cycle,
+                (data + self.offsets.read_cas) as Cycle,
+                data as Cycle,
+            )
         }
     }
 

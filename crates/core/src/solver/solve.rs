@@ -101,12 +101,9 @@ fn solve_raw(
 ) -> Result<PipelineSolution, SolveError> {
     let cs = build_constraints(t, anchor, same_rank_from, same_bank_from);
     match minimum_pitch(&cs) {
-        Some(l) => Ok(PipelineSolution {
-            l,
-            anchor,
-            level,
-            offsets: SlotOffsets::for_anchor(anchor, t),
-        }),
+        Some(l) => {
+            Ok(PipelineSolution { l, anchor, level, offsets: SlotOffsets::for_anchor(anchor, t) })
+        }
         None => Err(SolveError { anchor, level }),
     }
 }
@@ -119,6 +116,29 @@ pub fn solve_best(t: &TimingParams, level: PartitionLevel) -> Result<PipelineSol
         .filter_map(|a| solve(t, a, level).ok())
         .min_by_key(|s| s.l)
         .ok_or(SolveError { anchor: Anchor::FixedPeriodicData, level })
+}
+
+/// The degraded-mode pipeline: the widest-assumption schedule the
+/// scheduler falls back to after a runtime timing violation (or when the
+/// requested variant fails to solve). Adjacent slots are assumed to hit
+/// the *same bank*, so the pitch covers every same-bank, same-rank and
+/// channel turnaround regardless of the spatial partition actually in
+/// force — any transaction mix is certified, at the cost of throughput.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if even these constraints admit no pitch below
+/// the search bound (the timing parameters are internally inconsistent).
+pub fn conservative_pipeline(
+    t: &TimingParams,
+    threads: u8,
+) -> Result<PipelineSolution, SolveError> {
+    assert!(threads > 0, "threads must be non-zero");
+    Anchor::all()
+        .into_iter()
+        .filter_map(|a| solve_raw(t, a, PartitionLevel::None, 1, 1).ok())
+        .min_by_key(|s| s.l)
+        .ok_or(SolveError { anchor: Anchor::FixedPeriodicRas, level: PartitionLevel::None })
 }
 
 fn minimum_pitch(cs: &[Constraint]) -> Option<u32> {
@@ -197,10 +217,22 @@ mod tests {
     fn few_threads_need_longer_pitch_under_rank_partitioning() {
         // With 2 threads, a thread revisits its rank every 2 slots; the
         // write-to-read turnaround then forces l > 7.
-        let s8 = solve_for_threads(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank, 8).unwrap();
+        let s8 =
+            solve_for_threads(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank, 8).unwrap();
         assert_eq!(s8.l, 7); // 8 threads: same-rank distance 8 is harmless
-        let s2 = solve_for_threads(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank, 2).unwrap();
+        let s2 =
+            solve_for_threads(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank, 2).unwrap();
         assert!(s2.l > 7, "2-thread pitch {} should exceed 7", s2.l);
+    }
+
+    #[test]
+    fn conservative_pipeline_is_the_widest_uniform_pitch() {
+        // Same-bank-adjacent assumptions coincide with the best
+        // no-partitioning pipeline for the paper's parameters.
+        let c = conservative_pipeline(&t(), 8).unwrap();
+        assert_eq!(c.l, 43);
+        let best_np = solve_best(&t(), PartitionLevel::None).unwrap();
+        assert!(c.l >= best_np.l);
     }
 
     #[test]

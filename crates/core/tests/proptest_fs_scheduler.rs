@@ -55,7 +55,8 @@ fn drive(mc: &mut FsScheduler, arrivals: &[Arrival], cycles: u64) -> Vec<(u64, C
                 let _ = mc.enqueue(txn);
             }
             next += 1;
-            next_at = c.saturating_add(arrivals.get(next).map(|a| a.gap as Cycle).unwrap_or(u64::MAX));
+            next_at =
+                c.saturating_add(arrivals.get(next).map(|a| a.gap as Cycle).unwrap_or(u64::MAX));
         }
         for comp in mc.tick(c) {
             completions.push((comp.txn.id.0, comp.finish));

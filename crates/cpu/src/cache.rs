@@ -70,7 +70,10 @@ impl Cache {
         assert!(cfg.ways > 0, "associativity must be non-zero");
         Cache {
             cfg,
-            sets: vec![vec![Line { tag: 0, valid: false, dirty: false, used: 0 }; cfg.ways as usize]; sets as usize],
+            sets: vec![
+                vec![Line { tag: 0, valid: false, dirty: false, used: 0 }; cfg.ways as usize];
+                sets as usize
+            ],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -103,8 +106,8 @@ impl Cache {
             .map(|(i, _)| i)
             .expect("non-zero associativity");
         let old = set[victim];
-        let writeback = (old.valid && old.dirty)
-            .then(|| LineAddr(old.tag * set_count + set_idx as u64));
+        let writeback =
+            (old.valid && old.dirty).then(|| LineAddr(old.tag * set_count + set_idx as u64));
         set[victim] = Line { tag, valid: true, dirty: is_write, used: self.clock };
         AccessResult { hit: false, writeback }
     }
@@ -138,7 +141,10 @@ pub struct HierarchyResult {
 
 impl Hierarchy {
     pub fn paper_default() -> Self {
-        Hierarchy { l1: Cache::new(CacheConfig::paper_l1()), l2: Cache::new(CacheConfig::paper_l2()) }
+        Hierarchy {
+            l1: Cache::new(CacheConfig::paper_l1()),
+            l2: Cache::new(CacheConfig::paper_l2()),
+        }
     }
 
     /// Runs one demand access through L1 then L2, returning any memory

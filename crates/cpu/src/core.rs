@@ -194,7 +194,8 @@ impl OooCore {
                             });
                         } else {
                             self.stats.reads_issued += 1;
-                            self.rob.push_back(RobEntry { retire_at: now_cpu, waiting_on: Some(tag) });
+                            self.rob
+                                .push_back(RobEntry { retire_at: now_cpu, waiting_on: Some(tag) });
                         }
                         self.pending_mem = None;
                         fetched += 1;
@@ -246,7 +247,8 @@ mod tests {
 
     #[test]
     fn read_blocks_retirement_until_completion() {
-        let trace = VecTrace::new(vec![TraceOp::with_mem(0, MemOp::read(1)), TraceOp::compute(200)]);
+        let trace =
+            VecTrace::new(vec![TraceOp::with_mem(0, MemOp::read(1)), TraceOp::compute(200)]);
         let mut core = OooCore::new(CoreConfig::paper_default(), Box::new(trace));
         let issued = Rc::new(RefCell::new(Vec::new()));
         let issued2 = issued.clone();

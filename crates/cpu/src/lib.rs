@@ -32,4 +32,4 @@ pub use cache::{Cache, CacheConfig};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use prefetch_buffer::PrefetchBuffer;
 pub use trace::{MemOp, TraceOp, TraceSource};
-pub use trace_file::{record_trace, write_trace, FileTrace};
+pub use trace_file::{record_trace, write_trace, FileTrace, TraceError};

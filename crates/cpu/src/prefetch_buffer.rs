@@ -19,7 +19,12 @@ impl PrefetchBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "prefetch buffer capacity must be non-zero");
-        PrefetchBuffer { lines: VecDeque::with_capacity(capacity), capacity, useful: 0, inserted: 0 }
+        PrefetchBuffer {
+            lines: VecDeque::with_capacity(capacity),
+            capacity,
+            useful: 0,
+            inserted: 0,
+        }
     }
 
     /// Inserts a completed prefetch, evicting the oldest line if full.

@@ -21,24 +21,51 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// A parse failure with its line number.
+/// Why a trace could not be loaded.
 #[derive(Debug)]
-pub struct ParseTraceError {
-    pub line: usize,
-    pub message: String,
+pub enum TraceError {
+    /// The underlying reader failed (including invalid UTF-8 bytes).
+    Io(io::Error),
+    /// A record did not parse; carries its 1-based line number and the
+    /// offending text so the operator can find and fix it.
+    Parse { line: usize, record: String, message: String },
+    /// The trace contains no memory operations at all.
+    Empty,
 }
 
-impl fmt::Display for ParseTraceError {
+impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        match self {
+            TraceError::Io(e) => write!(f, "trace read error: {e}"),
+            TraceError::Parse { line, record, message } => {
+                write!(f, "trace parse error at line {line} ({record:?}): {message}")
+            }
+            TraceError::Empty => write!(f, "empty trace"),
+        }
     }
 }
 
-impl std::error::Error for ParseTraceError {}
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<ParseTraceError> for io::Error {
-    fn from(e: ParseTraceError) -> Self {
-        io::Error::new(io::ErrorKind::InvalidData, e)
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
     }
 }
 
@@ -55,9 +82,10 @@ impl FileTrace {
     ///
     /// # Errors
     ///
-    /// I/O errors, or [`ParseTraceError`] (wrapped in `io::Error`) for
-    /// malformed lines or an empty trace.
-    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+    /// [`TraceError::Io`] for I/O failures, [`TraceError::Parse`] for a
+    /// malformed record (with line number and the offending text),
+    /// [`TraceError::Empty`] when no memory operations were found.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, TraceError> {
         FileTrace::from_reader(File::open(path)?)
     }
 
@@ -66,7 +94,7 @@ impl FileTrace {
     /// # Errors
     ///
     /// As for [`FileTrace::load`].
-    pub fn from_reader<R: Read>(reader: R) -> io::Result<Self> {
+    pub fn from_reader<R: Read>(reader: R) -> Result<Self, TraceError> {
         let mut ops = Vec::new();
         for (idx, line) in BufReader::new(reader).lines().enumerate() {
             let line = line?;
@@ -74,13 +102,14 @@ impl FileTrace {
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            ops.push(parse_line(trimmed).map_err(|message| ParseTraceError {
+            ops.push(parse_line(trimmed).map_err(|message| TraceError::Parse {
                 line: idx + 1,
+                record: trimmed.to_string(),
                 message,
             })?);
         }
         if ops.is_empty() {
-            return Err(ParseTraceError { line: 0, message: "empty trace".into() }.into());
+            return Err(TraceError::Empty);
         }
         Ok(FileTrace { ops, pos: 0 })
     }
@@ -97,11 +126,8 @@ impl FileTrace {
 
 fn parse_line(line: &str) -> Result<TraceOp, String> {
     let mut parts = line.split_whitespace();
-    let gap: u32 = parts
-        .next()
-        .ok_or("missing gap field")?
-        .parse()
-        .map_err(|e| format!("bad gap: {e}"))?;
+    let gap: u32 =
+        parts.next().ok_or("missing gap field")?.parse().map_err(|e| format!("bad gap: {e}"))?;
     let dir = parts.next().ok_or("missing R/W field")?;
     let is_write = match dir {
         "R" | "r" => false,
@@ -210,6 +236,40 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{text:?}: {msg}");
         }
+    }
+
+    #[test]
+    fn truncated_record_reports_line_and_offending_text() {
+        let text = "# header\n3 R 10\n5 R\n";
+        let err = FileTrace::from_reader(text.as_bytes()).unwrap_err();
+        match &err {
+            TraceError::Parse { line, record, message } => {
+                assert_eq!(*line, 3);
+                assert_eq!(record, "5 R");
+                assert!(message.contains("missing address"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn garbage_bytes_surface_as_io_errors() {
+        // Invalid UTF-8 in the byte stream is an I/O-level failure, not a
+        // parse failure of any particular record.
+        let bytes: &[u8] = b"3 R 10\n\xff\xfe\xfd\n";
+        let err = FileTrace::from_reader(bytes).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)), "{err:?}");
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn trace_errors_convert_to_io_errors_for_legacy_callers() {
+        let err = FileTrace::from_reader("bogus R 10\n".as_bytes()).unwrap_err();
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("bad gap"), "{io_err}");
     }
 
     #[test]

@@ -69,7 +69,12 @@ impl BankState {
     }
 
     /// Checks bank-local legality of `cmd` at `cycle`.
-    pub fn can_issue(&self, cmd: &Command, cycle: Cycle, _t: &TimingParams) -> Result<(), Violation> {
+    pub fn can_issue(
+        &self,
+        cmd: &Command,
+        cycle: Cycle,
+        _t: &TimingParams,
+    ) -> Result<(), Violation> {
         match cmd.kind {
             CommandKind::Activate => {
                 if self.open_row.is_some() {

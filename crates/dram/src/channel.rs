@@ -41,7 +41,12 @@ impl ChannelState {
 
     /// Checks that the command bus is free at `cycle` and, for CAS
     /// commands, that the implied data burst fits on the data bus.
-    pub fn can_issue(&self, cmd: &Command, cycle: Cycle, t: &TimingParams) -> Result<(), Violation> {
+    pub fn can_issue(
+        &self,
+        cmd: &Command,
+        cycle: Cycle,
+        t: &TimingParams,
+    ) -> Result<(), Violation> {
         if self.last_cmd_cycle == Some(cycle) {
             return Err(Violation::state(*cmd, cycle, "command-bus collision"));
         }
@@ -113,7 +118,9 @@ mod tests {
         assert!(ch.can_issue(&rd(1), 10, &timing).is_err());
         // Only the bus constraint applies here: 11 is fine for the command
         // bus even though data would conflict (checked separately below).
-        assert!(ch.can_issue(&Command::activate(RankId(1), BankId(0), RowId(0)), 11, &timing).is_ok());
+        assert!(ch
+            .can_issue(&Command::activate(RankId(1), BankId(0), RowId(0)), 11, &timing)
+            .is_ok());
     }
 
     #[test]
@@ -139,7 +146,7 @@ mod tests {
         let timing = t();
         let mut ch = ChannelState::new();
         ch.apply(&rd(0), 0, &timing); // read data [11,15)
-        // A write CAS at cycle 4 puts data at [9,13): overlaps the read.
+                                      // A write CAS at cycle 4 puts data at [9,13): overlaps the read.
         assert!(ch.can_issue(&wr(0), 4, &timing).is_err());
         // A write CAS at cycle 10 puts data at [15,19): same rank, legal
         // at bus level.

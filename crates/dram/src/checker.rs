@@ -31,7 +31,12 @@ pub struct Violation {
 
 impl Violation {
     /// A command issued before its earliest legal cycle.
-    pub fn too_early(cmd: Command, cycle: Cycle, earliest: Cycle, constraint: &'static str) -> Self {
+    pub fn too_early(
+        cmd: Command,
+        cycle: Cycle,
+        earliest: Cycle,
+        constraint: &'static str,
+    ) -> Self {
         Violation { cmd, cycle, earliest: Some(earliest), constraint }
     }
 
@@ -254,7 +259,12 @@ impl TimingChecker {
                         }
                         let a = b.act_at.unwrap_or(0);
                         if c < a + self.t.t_ras as Cycle {
-                            out.push(Violation::too_early(cmd, c, a + self.t.t_ras as Cycle, "tRAS"));
+                            out.push(Violation::too_early(
+                                cmd,
+                                c,
+                                a + self.t.t_ras as Cycle,
+                                "tRAS",
+                            ));
                         }
                         if let Some(r) = b.last_read {
                             if c < r + self.t.t_rtp as Cycle {
@@ -493,7 +503,9 @@ mod tests {
         // 5 activates to one rank, 5 cycles apart: tRRD satisfied but the
         // fifth lands at cycle 20 < tFAW = 24.
         let cmds: Vec<TimedCommand> = (0..5)
-            .map(|i| tc(Command::activate(RankId(0), BankId(i), RowId(1)), i as Cycle * t.t_rrd as Cycle))
+            .map(|i| {
+                tc(Command::activate(RankId(0), BankId(i), RowId(1)), i as Cycle * t.t_rrd as Cycle)
+            })
             .collect();
         let vs = checker().check(&cmds);
         assert!(vs.iter().any(|v| v.constraint == "tFAW"));

@@ -131,7 +131,13 @@ impl Command {
 
     /// A precharge-all for `rank`.
     pub fn precharge_all(rank: RankId) -> Self {
-        Command { kind: CommandKind::PrechargeAll, rank, bank: BankId(0), row: RowId(0), col: ColId(0) }
+        Command {
+            kind: CommandKind::PrechargeAll,
+            rank,
+            bank: BankId(0),
+            row: RowId(0),
+            col: ColId(0),
+        }
     }
 
     /// A refresh for `rank`.
@@ -141,12 +147,24 @@ impl Command {
 
     /// Enter light power-down on `rank`.
     pub fn power_down(rank: RankId) -> Self {
-        Command { kind: CommandKind::PowerDownEnter, rank, bank: BankId(0), row: RowId(0), col: ColId(0) }
+        Command {
+            kind: CommandKind::PowerDownEnter,
+            rank,
+            bank: BankId(0),
+            row: RowId(0),
+            col: ColId(0),
+        }
     }
 
     /// Exit power-down on `rank`.
     pub fn power_up(rank: RankId) -> Self {
-        Command { kind: CommandKind::PowerDownExit, rank, bank: BankId(0), row: RowId(0), col: ColId(0) }
+        Command {
+            kind: CommandKind::PowerDownExit,
+            rank,
+            bank: BankId(0),
+            row: RowId(0),
+            col: ColId(0),
+        }
     }
 }
 

@@ -40,7 +40,8 @@ pub struct DramDevice {
 impl DramDevice {
     /// A fresh device for one channel of `geom`.
     pub fn new(geom: Geometry, t: TimingParams) -> Self {
-        let ranks = (0..geom.ranks_per_channel()).map(|_| RankState::new(geom.banks_per_rank())).collect();
+        let ranks =
+            (0..geom.ranks_per_channel()).map(|_| RankState::new(geom.banks_per_rank())).collect();
         DramDevice {
             geom,
             t,
@@ -58,6 +59,11 @@ impl DramDevice {
         if self.log.is_none() {
             self.log = Some(Vec::new());
         }
+    }
+
+    /// Whether command-stream recording is enabled.
+    pub fn is_recording(&self) -> bool {
+        self.log.is_some()
     }
 
     /// Takes the recorded command stream, leaving recording enabled.
@@ -125,10 +131,10 @@ impl DramDevice {
         if cmd.rank.0 >= self.geom.ranks_per_channel() {
             return Err(Violation::state(*cmd, cycle, "rank out of range"));
         }
-        if cmd.kind.is_cas() || cmd.kind == CommandKind::Activate {
-            if cmd.bank.0 >= self.geom.banks_per_rank() {
-                return Err(Violation::state(*cmd, cycle, "bank out of range"));
-            }
+        if (cmd.kind.is_cas() || cmd.kind == CommandKind::Activate)
+            && cmd.bank.0 >= self.geom.banks_per_rank()
+        {
+            return Err(Violation::state(*cmd, cycle, "bank out of range"));
         }
         if let Some(last) = self.last_issue {
             if cycle < last {
@@ -137,9 +143,7 @@ impl DramDevice {
         }
         let rank = &self.ranks[cmd.rank.0 as usize];
         rank.can_issue(cmd, cycle, &self.t)?;
-        if cmd.kind.is_cas() || cmd.kind == CommandKind::Activate {
-            rank.bank(cmd.bank.0 as usize).can_issue(cmd, cycle, &self.t)?;
-        } else if matches!(cmd.kind, CommandKind::Precharge) {
+        if cmd.kind.is_cas() || matches!(cmd.kind, CommandKind::Activate | CommandKind::Precharge) {
             rank.bank(cmd.bank.0 as usize).can_issue(cmd, cycle, &self.t)?;
         } else if matches!(cmd.kind, CommandKind::PrechargeAll | CommandKind::Refresh) {
             for b in rank.banks() {
@@ -170,7 +174,11 @@ impl DramDevice {
     /// must still be legal, or the pipeline math is wrong) and still
     /// recorded in the log, because the *schedule* is what security
     /// verification replays.
-    pub fn issue_suppressed(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, Violation> {
+    pub fn issue_suppressed(
+        &mut self,
+        cmd: &Command,
+        cycle: Cycle,
+    ) -> Result<IssueOutcome, Violation> {
         self.can_issue(cmd, cycle)?;
         let rank_idx = cmd.rank.0 as usize;
         self.ranks[rank_idx].apply(cmd, cycle, &self.t);
@@ -286,7 +294,8 @@ mod tests {
     fn suppressed_issue_counts_separately_but_blocks_timing() {
         let mut d = dev();
         d.issue(&Command::activate(RankId(0), BankId(0), RowId(1)), 0).unwrap();
-        d.issue_suppressed(&Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0)), 11).unwrap();
+        d.issue_suppressed(&Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0)), 11)
+            .unwrap();
         assert_eq!(d.counters().rank(0).reads, 0);
         assert_eq!(d.counters().rank(0).suppressed, 1);
         // Timing state advanced: the bank is auto-precharging, so an

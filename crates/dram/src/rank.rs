@@ -96,7 +96,12 @@ impl RankState {
 
     /// Checks rank-level legality of `cmd` at `cycle` (bank-level checks
     /// are separate; see [`crate::device::DramDevice::can_issue`]).
-    pub fn can_issue(&self, cmd: &Command, cycle: Cycle, t: &TimingParams) -> Result<(), Violation> {
+    pub fn can_issue(
+        &self,
+        cmd: &Command,
+        cycle: Cycle,
+        t: &TimingParams,
+    ) -> Result<(), Violation> {
         if let PowerState::PoweredDown { .. } = self.power {
             if cmd.kind != CommandKind::PowerDownExit {
                 return Err(Violation::state(*cmd, cycle, "command to a powered-down rank"));
@@ -114,7 +119,9 @@ impl RankState {
                 }
                 Ok(())
             }
-            k if k.is_read() => Violation::check_earliest(*cmd, cycle, self.next_read, "CAS gap (read)"),
+            k if k.is_read() => {
+                Violation::check_earliest(*cmd, cycle, self.next_read, "CAS gap (read)")
+            }
             k if k.is_write() => {
                 Violation::check_earliest(*cmd, cycle, self.next_write, "CAS gap (write)")
             }

@@ -100,8 +100,7 @@ fn trrd_boundary() {
 
 #[test]
 fn tfaw_boundary() {
-    let base: Vec<TimedCommand> =
-        (0..4).map(|i| tc(act(0, i, 1), i as u64 * 6)).collect();
+    let base: Vec<TimedCommand> = (0..4).map(|i| tc(act(0, i, 1), i as u64 * 6)).collect();
     let mut bad = base.clone();
     bad.push(tc(act(0, 4, 1), 23));
     let mut good = base;
@@ -112,18 +111,8 @@ fn tfaw_boundary() {
 #[test]
 fn tccd_boundary() {
     check_boundary(
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(0, 1, 1), 5),
-            tc(rda(0, 0, 1), 16),
-            tc(rda(0, 1, 1), 19),
-        ],
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(0, 1, 1), 5),
-            tc(rda(0, 0, 1), 16),
-            tc(rda(0, 1, 1), 20),
-        ],
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 5), tc(rda(0, 0, 1), 16), tc(rda(0, 1, 1), 19)],
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 5), tc(rda(0, 0, 1), 16), tc(rda(0, 1, 1), 20)],
         "tCCD",
     );
 }
@@ -131,18 +120,8 @@ fn tccd_boundary() {
 #[test]
 fn write_to_read_turnaround_boundary() {
     check_boundary(
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(0, 1, 1), 5),
-            tc(wra(0, 0, 1), 16),
-            tc(rda(0, 1, 1), 30),
-        ],
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(0, 1, 1), 5),
-            tc(wra(0, 0, 1), 16),
-            tc(rda(0, 1, 1), 31),
-        ],
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 5), tc(wra(0, 0, 1), 16), tc(rda(0, 1, 1), 30)],
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 5), tc(wra(0, 0, 1), 16), tc(rda(0, 1, 1), 31)],
         "tWTR",
     );
 }
@@ -150,18 +129,8 @@ fn write_to_read_turnaround_boundary() {
 #[test]
 fn read_to_write_turnaround_boundary() {
     check_boundary(
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(0, 1, 1), 5),
-            tc(rda(0, 0, 1), 16),
-            tc(wra(0, 1, 1), 25),
-        ],
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(0, 1, 1), 5),
-            tc(rda(0, 0, 1), 16),
-            tc(wra(0, 1, 1), 26),
-        ],
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 5), tc(rda(0, 0, 1), 16), tc(wra(0, 1, 1), 25)],
+        &[tc(act(0, 0, 1), 0), tc(act(0, 1, 1), 5), tc(rda(0, 0, 1), 16), tc(wra(0, 1, 1), 26)],
         "read-to-write",
     );
 }
@@ -169,18 +138,8 @@ fn read_to_write_turnaround_boundary() {
 #[test]
 fn trtrs_data_gap_boundary() {
     check_boundary(
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(1, 0, 1), 5),
-            tc(rda(0, 0, 1), 16),
-            tc(rda(1, 0, 1), 21),
-        ],
-        &[
-            tc(act(0, 0, 1), 0),
-            tc(act(1, 0, 1), 5),
-            tc(rda(0, 0, 1), 16),
-            tc(rda(1, 0, 1), 22),
-        ],
+        &[tc(act(0, 0, 1), 0), tc(act(1, 0, 1), 5), tc(rda(0, 0, 1), 16), tc(rda(1, 0, 1), 21)],
+        &[tc(act(0, 0, 1), 0), tc(act(1, 0, 1), 5), tc(rda(0, 0, 1), 16), tc(rda(1, 0, 1), 22)],
         "tRTRS",
     );
 }
@@ -195,7 +154,8 @@ fn data_bus_overlap_detected() {
         tc(rda(0, 1, 1), 18),
     ]);
     assert!(
-        vs.iter().any(|v| v.constraint.contains("data-bus overlap") || v.constraint.contains("tCCD")),
+        vs.iter()
+            .any(|v| v.constraint.contains("data-bus overlap") || v.constraint.contains("tCCD")),
         "{vs:?}"
     );
 }
@@ -241,16 +201,11 @@ fn trfc_boundary() {
 
 #[test]
 fn power_down_rules_detected() {
-    let vs = checker().check(&[
-        tc(Command::power_down(RankId(0)), 0),
-        tc(act(0, 0, 1), 5),
-    ]);
+    let vs = checker().check(&[tc(Command::power_down(RankId(0)), 0), tc(act(0, 0, 1), 5)]);
     assert!(vs.iter().any(|v| v.constraint.contains("powered-down")), "{vs:?}");
     // Double power-down and spurious power-up.
-    let vs = checker().check(&[
-        tc(Command::power_down(RankId(0)), 0),
-        tc(Command::power_down(RankId(0)), 5),
-    ]);
+    let vs = checker()
+        .check(&[tc(Command::power_down(RankId(0)), 0), tc(Command::power_down(RankId(0)), 5)]);
     assert!(vs.iter().any(|v| v.constraint.contains("already powered down")), "{vs:?}");
     let vs = checker().check(&[tc(Command::power_up(RankId(0)), 3)]);
     assert!(vs.iter().any(|v| v.constraint.contains("power-up of an active rank")), "{vs:?}");

@@ -18,8 +18,12 @@ struct Req {
 }
 
 fn req_strategy() -> impl Strategy<Value = Req> {
-    (0u8..8, 0u8..8, 0u32..64, any::<bool>())
-        .prop_map(|(rank, bank, row, is_write)| Req { rank, bank, row, is_write })
+    (0u8..8, 0u8..8, 0u32..64, any::<bool>()).prop_map(|(rank, bank, row, is_write)| Req {
+        rank,
+        bank,
+        row,
+        is_write,
+    })
 }
 
 proptest! {

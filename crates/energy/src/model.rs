@@ -134,9 +134,7 @@ mod tests {
         let down = m.evaluate(&c, 0);
         assert!(down.background_nj < up.background_nj);
         assert!(down.powerdown_saved_nj > 0.0);
-        assert!(
-            (up.background_nj - down.background_nj - down.powerdown_saved_nj).abs() < 1e-6
-        );
+        assert!((up.background_nj - down.background_nj - down.powerdown_saved_nj).abs() < 1e-6);
     }
 
     #[test]

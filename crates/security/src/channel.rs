@@ -78,10 +78,7 @@ pub fn run_covert_channel(
     let mut lats: Vec<f64> = window_data.iter().map(|&(_, l)| l).collect();
     lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let threshold = if lats.is_empty() { 0.0 } else { lats[lats.len() / 2] };
-    let errors = window_data
-        .iter()
-        .filter(|&&(bit, lat)| (lat > threshold) != bit)
-        .count();
+    let errors = window_data.iter().filter(|&&(bit, lat)| (lat > threshold) != bit).count();
     let ber = if window_data.is_empty() {
         0.5
     } else {

@@ -35,7 +35,7 @@ pub fn mutual_information(observations: &[f64], secret: &[bool], bins: usize) ->
     }
     let lo = observations.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = observations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if !(hi > lo) {
+    if hi <= lo {
         return 0.0; // constant observations carry no information
     }
     let width = (hi - lo) / bins as f64;

@@ -92,11 +92,7 @@ mod tests {
     #[test]
     fn fs_rank_partitioned_is_non_interfering() {
         let r = check_noninterference(SchedulerKind::FsRankPartitioned, 2000, 10);
-        assert!(
-            r.is_non_interfering(),
-            "FS leaked: divergence {} cycles",
-            r.max_divergence()
-        );
+        assert!(r.is_non_interfering(), "FS leaked: divergence {} cycles", r.max_divergence());
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct SystemConfig {
     pub energy_options: EnergyOptions,
     /// Record the command stream for post-hoc legality checking.
     pub record_commands: bool,
+    /// Starvation watchdog: if no demand read retires for this many DRAM
+    /// cycles while reads are outstanding, [`crate::System::try_run_cycles`]
+    /// aborts with a [`crate::error::FsmcError::Watchdog`] diagnosis.
+    /// Zero disables the watchdog.
+    pub watchdog_cycles: u64,
 }
 
 impl SystemConfig {
@@ -38,6 +43,7 @@ impl SystemConfig {
             prefetch_buffer: 32,
             energy_options: EnergyOptions::default(),
             record_commands: false,
+            watchdog_cycles: 20_000,
         }
     }
 

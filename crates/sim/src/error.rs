@@ -1,0 +1,172 @@
+//! The simulation-level error hierarchy.
+//!
+//! Everything that can go wrong across a run funnels into [`FsmcError`]:
+//! solver infeasibility and bad configuration bubble up from
+//! [`fsmc_core`], trace problems from [`fsmc_cpu`], runtime timing
+//! violations from the degradation machinery, and starvation from the
+//! simulation watchdog. One failing policy run therefore yields a
+//! structured error value instead of killing a whole suite.
+
+use fsmc_core::error::{ConfigError, CoreError};
+use fsmc_core::sched::SchedulerKind;
+use fsmc_core::solver::SolveError;
+use fsmc_core::txn::TxnId;
+use fsmc_cpu::trace_file::TraceError;
+use fsmc_dram::checker::Violation;
+use std::fmt;
+
+/// A runtime timing violation that survived the controller's single
+/// repair attempt (the controller is poisoned).
+#[derive(Debug, Clone, Copy)]
+pub struct TimingFault {
+    /// The policy that was running when the pipeline failed.
+    pub scheduler: SchedulerKind,
+    /// The command the device rejected.
+    pub violation: Violation,
+}
+
+impl fmt::Display for TimingFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} poisoned by timing violation: {}", self.scheduler, self.violation)
+    }
+}
+
+/// The watchdog's diagnosis of a starved or deadlocked simulation: which
+/// domain is stuck, where its oldest outstanding read maps, and for how
+/// long nothing has retired.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogReport {
+    /// DRAM cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// DRAM cycles since the last demand read completed.
+    pub stalled_for: u64,
+    /// Domain owning the oldest outstanding read.
+    pub domain: u8,
+    /// Rank / bank the oldest outstanding read maps to.
+    pub rank: u8,
+    pub bank: u8,
+    /// The oldest outstanding demand read.
+    pub oldest: TxnId,
+    /// Total outstanding demand reads.
+    pub outstanding: usize,
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "watchdog: no read retired for {} cycles (now {}); oldest txn {:?} of domain {} \
+             (rank {}, bank {}), {} outstanding",
+            self.stalled_for,
+            self.cycle,
+            self.oldest,
+            self.domain,
+            self.rank,
+            self.bank,
+            self.outstanding
+        )
+    }
+}
+
+/// Any failure a simulation run can surface.
+#[derive(Debug)]
+pub enum FsmcError {
+    /// No feasible pipeline, not even the conservative fallback.
+    Solve(SolveError),
+    /// Invalid controller or system configuration.
+    Config(ConfigError),
+    /// A timing violation poisoned the controller at runtime.
+    Timing(TimingFault),
+    /// The input trace could not be loaded.
+    Trace(TraceError),
+    /// The simulation stopped making progress.
+    Watchdog(WatchdogReport),
+}
+
+impl fmt::Display for FsmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmcError::Solve(e) => write!(f, "{e}"),
+            FsmcError::Config(e) => write!(f, "{e}"),
+            FsmcError::Timing(e) => write!(f, "{e}"),
+            FsmcError::Trace(e) => write!(f, "{e}"),
+            FsmcError::Watchdog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsmcError::Solve(e) => Some(e),
+            FsmcError::Config(e) => Some(e),
+            FsmcError::Trace(e) => Some(e),
+            FsmcError::Timing(_) | FsmcError::Watchdog(_) => None,
+        }
+    }
+}
+
+impl From<SolveError> for FsmcError {
+    fn from(e: SolveError) -> Self {
+        FsmcError::Solve(e)
+    }
+}
+
+impl From<ConfigError> for FsmcError {
+    fn from(e: ConfigError) -> Self {
+        FsmcError::Config(e)
+    }
+}
+
+impl From<CoreError> for FsmcError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Solve(e) => FsmcError::Solve(e),
+            CoreError::Config(e) => FsmcError::Config(e),
+        }
+    }
+}
+
+impl From<TraceError> for FsmcError {
+    fn from(e: TraceError) -> Self {
+        FsmcError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmc_core::solver::{Anchor, PartitionLevel};
+
+    #[test]
+    fn displays_name_the_failing_layer() {
+        let solve: FsmcError =
+            SolveError { anchor: Anchor::FixedPeriodicRas, level: PartitionLevel::None }.into();
+        assert!(solve.to_string().contains("no feasible slot pitch"));
+        let cfg: FsmcError = ConfigError::new("zero domains").into();
+        assert!(cfg.to_string().contains("zero domains"));
+        let wd = FsmcError::Watchdog(WatchdogReport {
+            cycle: 50_000,
+            stalled_for: 20_001,
+            domain: 3,
+            rank: 3,
+            bank: 0,
+            oldest: TxnId(17),
+            outstanding: 9,
+        });
+        let msg = wd.to_string();
+        assert!(msg.contains("domain 3") && msg.contains("20001 cycles"), "{msg}");
+    }
+
+    #[test]
+    fn core_errors_map_onto_sim_variants() {
+        let e: FsmcError = CoreError::Config(ConfigError::new("bad")).into();
+        assert!(matches!(e, FsmcError::Config(_)));
+        let e: FsmcError = CoreError::Solve(SolveError {
+            anchor: Anchor::FixedPeriodicData,
+            level: PartitionLevel::Rank,
+        })
+        .into();
+        assert!(matches!(e, FsmcError::Solve(_)));
+    }
+}

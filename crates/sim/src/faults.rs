@@ -1,0 +1,223 @@
+//! Deterministic fault injection for robustness experiments.
+//!
+//! A [`FaultPlan`] describes *what* to break in a run — command-level
+//! faults in the controller, a device slower than the certified pipeline,
+//! perturbed solver inputs, or corrupted trace records. The plan is pure
+//! data and fully deterministic (the `seed` picks corruption shapes, the
+//! periods count events), so a faulted run reproduces exactly.
+//!
+//! The runner applies each kind at the right layer:
+//!
+//! * [`FaultKind::PerturbTiming`] edits the *configured* timing before
+//!   construction (solver and device agree — exercises the construction
+//!   fallback path).
+//! * [`FaultKind::StretchRefresh`] slows only the *device* (schedule and
+//!   refresh cadence stay nominal — exercises runtime degradation).
+//! * [`FaultKind::DelayCommand`] / [`FaultKind::DropCommand`] arm the
+//!   controller's command-fault injector ([`CmdFaultSpec`]).
+//! * [`FaultKind::CorruptTrace`] mangles trace records, exercising the
+//!   typed trace-error path.
+
+use fsmc_core::sched::CmdFaultSpec;
+use fsmc_dram::TimingParams;
+
+/// A DRAM timing parameter a fault can perturb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingField {
+    TRc,
+    TRcd,
+    TRas,
+    TFaw,
+    TRtrs,
+    TRfc,
+    TWtr,
+}
+
+impl TimingField {
+    /// Applies `delta` to the field in `t`, saturating at zero.
+    pub fn apply(&self, t: &mut TimingParams, delta: i32) {
+        let f = match self {
+            TimingField::TRc => &mut t.t_rc,
+            TimingField::TRcd => &mut t.t_rcd,
+            TimingField::TRas => &mut t.t_ras,
+            TimingField::TFaw => &mut t.t_faw,
+            TimingField::TRtrs => &mut t.t_rtrs,
+            TimingField::TRfc => &mut t.t_rfc,
+            TimingField::TWtr => &mut t.t_wtr,
+        };
+        *f = f.saturating_add_signed(delta);
+    }
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Every `period`-th committed transaction's ACT/CAS slip by `delay`
+    /// cycles (at most `max` times; 0 = unbounded). Models late silicon.
+    DelayCommand { period: u64, delay: u64, max: u64 },
+    /// Every `period`-th committed transaction's commands vanish (at most
+    /// `max` times; 0 = unbounded). Models lost commands; the watchdog is
+    /// expected to notice the missing completions.
+    DropCommand { period: u64, max: u64 },
+    /// The device's refresh takes `factor` times the certified tRFC while
+    /// the controller's schedule and refresh cadence stay nominal.
+    StretchRefresh { factor: u32 },
+    /// Perturbs a configured timing parameter *before* construction, so
+    /// solver and device agree on the (possibly infeasible) value.
+    PerturbTiming { field: TimingField, delta: i32 },
+    /// Corrupts every `period`-th record of `core`'s input trace.
+    CorruptTrace { core: usize, period: usize },
+}
+
+/// A deterministic, seedable set of faults for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Selects corruption shapes; two plans with the same faults and seed
+    /// produce byte-identical failures.
+    pub seed: u64,
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Builder-style: adds one fault.
+    #[must_use]
+    pub fn with(mut self, fault: FaultKind) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Applies every [`FaultKind::PerturbTiming`] to `t` (the configured
+    /// timing both solver and device will see).
+    pub fn perturb_timing(&self, t: &mut TimingParams) {
+        for f in &self.faults {
+            if let FaultKind::PerturbTiming { field, delta } = f {
+                field.apply(t, *delta);
+            }
+        }
+    }
+
+    /// The device-only timing (slower silicon), if any fault calls for it.
+    pub fn device_timing(&self, nominal: &TimingParams) -> Option<TimingParams> {
+        let mut t = *nominal;
+        let mut changed = false;
+        for f in &self.faults {
+            if let FaultKind::StretchRefresh { factor } = f {
+                t.t_rfc = t.t_rfc.saturating_mul((*factor).max(1));
+                changed = true;
+            }
+        }
+        changed.then_some(t)
+    }
+
+    /// The combined command-fault spec for the controller's injector.
+    pub fn cmd_fault_spec(&self) -> Option<CmdFaultSpec> {
+        let mut spec = CmdFaultSpec::default();
+        for f in &self.faults {
+            match f {
+                FaultKind::DelayCommand { period, delay, max } => {
+                    spec.delay_period = *period;
+                    spec.delay_cycles = *delay;
+                    spec.max_faults = spec.max_faults.max(*max);
+                }
+                FaultKind::DropCommand { period, max } => {
+                    spec.drop_period = *period;
+                    spec.max_faults = spec.max_faults.max(*max);
+                }
+                _ => {}
+            }
+        }
+        spec.is_enabled().then_some(spec)
+    }
+
+    /// The corruption period for `core`'s trace, if any.
+    pub fn trace_corruption(&self, core: usize) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::CorruptTrace { core: c, period } if *c == core => Some((*period).max(1)),
+            _ => None,
+        })
+    }
+
+    /// Corrupts every `period`-th record line of a text-format trace. The
+    /// corruption shape is chosen by the plan's seed: a non-numeric gap, a
+    /// bogus direction letter, or a non-hex address.
+    pub fn corrupt_trace_text(&self, text: &str, period: usize) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut record = 0usize;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                out.push_str(line);
+                out.push('\n');
+                continue;
+            }
+            record += 1;
+            if record.is_multiple_of(period) {
+                let fields: Vec<&str> = trimmed.split_whitespace().collect();
+                let corrupted = match self.seed % 3 {
+                    0 => format!("x{} {} {}", fields[0], fields[1], fields[2]),
+                    1 => format!("{} Q {}", fields[0], fields[2]),
+                    _ => format!("{} {} zz!", fields[0], fields[1]),
+                };
+                out.push_str(&corrupted);
+            } else {
+                out.push_str(line);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbation_edits_the_named_field_only() {
+        let nominal = TimingParams::ddr3_1600();
+        let mut t = nominal;
+        let plan = FaultPlan::new(1)
+            .with(FaultKind::PerturbTiming { field: TimingField::TRc, delta: 100 });
+        plan.perturb_timing(&mut t);
+        assert_eq!(t.t_rc, nominal.t_rc + 100);
+        assert_eq!(t.t_rcd, nominal.t_rcd);
+    }
+
+    #[test]
+    fn device_timing_only_set_when_a_device_fault_exists() {
+        let nominal = TimingParams::ddr3_1600();
+        assert!(FaultPlan::new(0).device_timing(&nominal).is_none());
+        let plan = FaultPlan::new(0).with(FaultKind::StretchRefresh { factor: 2 });
+        let t = plan.device_timing(&nominal).unwrap();
+        assert_eq!(t.t_rfc, 2 * nominal.t_rfc);
+        assert_eq!(t.t_rc, nominal.t_rc);
+    }
+
+    #[test]
+    fn cmd_spec_combines_delay_and_drop() {
+        let plan = FaultPlan::new(0)
+            .with(FaultKind::DelayCommand { period: 7, delay: 5, max: 1 })
+            .with(FaultKind::DropCommand { period: 11, max: 3 });
+        let spec = plan.cmd_fault_spec().unwrap();
+        assert_eq!((spec.delay_period, spec.delay_cycles), (7, 5));
+        assert_eq!(spec.drop_period, 11);
+        assert_eq!(spec.max_faults, 3);
+        assert!(FaultPlan::new(0).cmd_fault_spec().is_none());
+    }
+
+    #[test]
+    fn corruption_is_periodic_and_seed_deterministic() {
+        let text = "# h\n1 R 10\n2 W 20\n3 R 30\n4 W 40\n";
+        let plan = FaultPlan::new(2); // seed 2 -> bad address
+        let out = plan.corrupt_trace_text(text, 2);
+        assert_eq!(out, plan.corrupt_trace_text(text, 2));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[1], "1 R 10");
+        assert_eq!(lines[2], "2 W zz!");
+        assert_eq!(lines[4], "4 W zz!");
+    }
+}

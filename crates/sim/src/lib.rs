@@ -15,13 +15,24 @@
 //! * [`stats`] — run statistics and weighted-IPC helpers.
 //! * [`runner`] — experiment orchestration: run a workload mix under the
 //!   baseline to obtain normalisation IPCs, then under each policy.
+//! * [`error`] — the typed failure hierarchy ([`error::FsmcError`]):
+//!   solver infeasibility, bad configuration, runtime timing poisoning,
+//!   trace corruption and watchdog-detected starvation.
+//! * [`faults`] — deterministic, seedable fault injection
+//!   ([`faults::FaultPlan`]) for robustness experiments.
 
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod runner;
 pub mod stats;
 pub mod system;
 
 pub use config::SystemConfig;
-pub use runner::{run_mix, RunResult};
+pub use error::{FsmcError, TimingFault, WatchdogReport};
+pub use faults::{FaultKind, FaultPlan, TimingField};
+pub use runner::{
+    run_mix, run_mix_faulted, run_mix_suite, run_mix_suite_faulted, RunResult, SuiteResult,
+};
 pub use stats::SystemStats;
 pub use system::System;

@@ -1,12 +1,21 @@
 //! Experiment orchestration: run a workload mix under a policy, with the
 //! baseline run supplying the normalisation IPCs for the paper's
 //! weighted-IPC metric.
+//!
+//! Runs return `Result<RunResult, FsmcError>`, so one infeasible or
+//! faulted policy yields a structured error in its slot of a
+//! [`SuiteResult`] instead of killing the whole suite. The `_faulted`
+//! variants additionally apply a [`FaultPlan`] to one scheduler's run.
 
 use crate::config::SystemConfig;
+use crate::error::FsmcError;
+use crate::faults::FaultPlan;
 use crate::stats::SystemStats;
 use crate::system::System;
 use fsmc_core::sched::SchedulerKind;
-use fsmc_workload::WorkloadMix;
+use fsmc_cpu::trace::TraceSource;
+use fsmc_cpu::{write_trace, FileTrace, TraceError};
+use fsmc_workload::{SyntheticTrace, WorkloadMix};
 
 /// The result of running one mix under one scheduler.
 #[derive(Debug, Clone)]
@@ -25,8 +34,70 @@ impl RunResult {
     }
 }
 
+/// The outcome of a whole suite: the baseline plus one slot per policy,
+/// each of which may independently have failed.
+#[derive(Debug)]
+pub struct SuiteResult {
+    pub mix_name: &'static str,
+    pub baseline: Result<RunResult, FsmcError>,
+    /// One `(policy, outcome)` pair per requested scheduler, in order.
+    pub runs: Vec<(SchedulerKind, Result<RunResult, FsmcError>)>,
+}
+
+impl SuiteResult {
+    /// Unwraps a suite where every run is expected to have succeeded,
+    /// returning `(baseline, runs)` as the pre-fault-injection API did.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the structured error if any run failed.
+    pub fn expect_ok(self) -> (RunResult, Vec<RunResult>) {
+        let mix = self.mix_name;
+        let base = self.baseline.unwrap_or_else(|e| panic!("{mix}: baseline failed: {e}"));
+        let runs = self
+            .runs
+            .into_iter()
+            .map(|(k, r)| r.unwrap_or_else(|e| panic!("{mix}: {k} failed: {e}")))
+            .collect();
+        (base, runs)
+    }
+
+    /// The failed runs, if any, as `(policy, error)` pairs.
+    pub fn failures(&self) -> Vec<(SchedulerKind, &FsmcError)> {
+        self.runs.iter().filter_map(|(k, r)| r.as_ref().err().map(|e| (*k, e))).collect()
+    }
+}
+
+/// Builds the per-core trace sources, routing any trace the plan corrupts
+/// through the text format so the corruption hits the real parser.
+fn build_traces(
+    mix: &WorkloadMix,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<Vec<Box<dyn TraceSource>>, FsmcError> {
+    let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(mix.cores());
+    for (i, p) in mix.profiles.iter().enumerate() {
+        let mut synth = SyntheticTrace::new(*p, seed + i as u64);
+        if let Some(period) = plan.trace_corruption(i) {
+            let mut buf = Vec::new();
+            write_trace(&mut synth, 256, &mut buf).map_err(TraceError::from)?;
+            let text = String::from_utf8_lossy(&buf);
+            let corrupted = plan.corrupt_trace_text(&text, period);
+            traces.push(Box::new(FileTrace::from_reader(corrupted.as_bytes())?));
+        } else {
+            traces.push(Box::new(synth));
+        }
+    }
+    Ok(traces)
+}
+
 /// Runs `mix` under `scheduler` for `cycles` DRAM cycles with a fixed
 /// seed, so policy comparisons see identical instruction streams.
+///
+/// # Errors
+///
+/// Any [`FsmcError`]: infeasible pipeline, bad configuration, runtime
+/// timing poisoning, or a watchdog-detected stall.
 ///
 /// ```no_run
 /// use fsmc_sim::runner::run_mix;
@@ -34,29 +105,80 @@ impl RunResult {
 /// use fsmc_workload::WorkloadMix;
 ///
 /// let mix = WorkloadMix::mix1();
-/// let base = run_mix(&mix, SchedulerKind::Baseline, 60_000, 42);
-/// let fs = run_mix(&mix, SchedulerKind::FsRankPartitioned, 60_000, 42);
+/// let base = run_mix(&mix, SchedulerKind::Baseline, 60_000, 42).unwrap();
+/// let fs = run_mix(&mix, SchedulerKind::FsRankPartitioned, 60_000, 42).unwrap();
 /// println!("weighted IPC: {:.2}", fs.weighted_ipc_vs(&base));
 /// ```
-pub fn run_mix(mix: &WorkloadMix, scheduler: SchedulerKind, cycles: u64, seed: u64) -> RunResult {
-    let cfg = SystemConfig::with_cores(scheduler, mix.cores() as u8);
-    let mut sys = System::from_mix(&cfg, mix, seed);
-    let stats = sys.run_cycles(cycles);
-    RunResult { mix_name: mix.name, scheduler, ipcs: stats.ipcs(), stats }
+pub fn run_mix(
+    mix: &WorkloadMix,
+    scheduler: SchedulerKind,
+    cycles: u64,
+    seed: u64,
+) -> Result<RunResult, FsmcError> {
+    run_mix_faulted(mix, scheduler, cycles, seed, &FaultPlan::default())
 }
 
-/// Runs the baseline plus each listed policy on one mix, returning
-/// `(baseline, runs)`; weighted IPCs come from
-/// [`RunResult::weighted_ipc_vs`] against the baseline element.
+/// [`run_mix`] with a [`FaultPlan`] applied: configured-timing
+/// perturbations before construction, trace corruption during workload
+/// setup, and command faults / device-timing skew armed on the built
+/// controller before the first cycle.
+///
+/// # Errors
+///
+/// As for [`run_mix`], plus whatever the injected faults provoke (e.g.
+/// [`FsmcError::Trace`] from a corrupted record, [`FsmcError::Timing`]
+/// once a stretched device poisons the pipeline).
+pub fn run_mix_faulted(
+    mix: &WorkloadMix,
+    scheduler: SchedulerKind,
+    cycles: u64,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<RunResult, FsmcError> {
+    let mut cfg = SystemConfig::with_cores(scheduler, mix.cores() as u8);
+    plan.perturb_timing(&mut cfg.timing);
+    let traces = build_traces(mix, seed, plan)?;
+    let mut sys = System::try_new(&cfg, traces)?;
+    if let Some(spec) = plan.cmd_fault_spec() {
+        sys.controller_mut().inject_command_faults(spec);
+    }
+    if let Some(t) = plan.device_timing(&cfg.timing) {
+        sys.controller_mut().set_device_timing(t);
+    }
+    let stats = sys.try_run_cycles(cycles)?;
+    Ok(RunResult { mix_name: mix.name, scheduler, ipcs: stats.ipcs(), stats })
+}
+
+/// Runs the baseline plus each listed policy on one mix. Failures stay
+/// in their slot of the [`SuiteResult`]; the other runs complete.
 pub fn run_mix_suite(
     mix: &WorkloadMix,
     schedulers: &[SchedulerKind],
     cycles: u64,
     seed: u64,
-) -> (RunResult, Vec<RunResult>) {
+) -> SuiteResult {
+    run_mix_suite_faulted(mix, schedulers, cycles, seed, &[])
+}
+
+/// [`run_mix_suite`] with per-scheduler fault plans: each `(policy,
+/// plan)` pair in `faults` applies that plan to that policy's run. The
+/// baseline is never faulted (it supplies the normalisation IPCs).
+pub fn run_mix_suite_faulted(
+    mix: &WorkloadMix,
+    schedulers: &[SchedulerKind],
+    cycles: u64,
+    seed: u64,
+    faults: &[(SchedulerKind, FaultPlan)],
+) -> SuiteResult {
+    let clean = FaultPlan::default();
+    let plan_for =
+        |k: SchedulerKind| faults.iter().find(|(fk, _)| *fk == k).map(|(_, p)| p).unwrap_or(&clean);
     let baseline = run_mix(mix, SchedulerKind::Baseline, cycles, seed);
-    let runs = schedulers.iter().map(|&k| run_mix(mix, k, cycles, seed)).collect();
-    (baseline, runs)
+    let runs = schedulers
+        .iter()
+        .map(|&k| (k, run_mix_faulted(mix, k, cycles, seed, plan_for(k))))
+        .collect();
+    SuiteResult { mix_name: mix.name, baseline, runs }
 }
 
 #[cfg(test)]
@@ -67,7 +189,7 @@ mod tests {
     #[test]
     fn baseline_normalises_to_core_count() {
         let mix = WorkloadMix::rate(BenchProfile::zeusmp(), 4);
-        let base = run_mix(&mix, SchedulerKind::Baseline, 15_000, 11);
+        let base = run_mix(&mix, SchedulerKind::Baseline, 15_000, 11).unwrap();
         let w = base.weighted_ipc_vs(&base);
         assert!((w - 4.0).abs() < 1e-9, "baseline weighted IPC = {w}");
     }
@@ -80,7 +202,8 @@ mod tests {
             &[SchedulerKind::FsRankPartitioned, SchedulerKind::TpBankPartitioned { turn: 60 }],
             20_000,
             13,
-        );
+        )
+        .expect_ok();
         for r in &runs {
             let w = r.weighted_ipc_vs(&base);
             assert!(w < 8.0, "{} scored {w} >= 8", r.scheduler);
@@ -91,8 +214,8 @@ mod tests {
     #[test]
     fn identical_seed_gives_identical_results() {
         let mix = WorkloadMix::rate(BenchProfile::astar(), 2);
-        let a = run_mix(&mix, SchedulerKind::FsRankPartitioned, 8_000, 5);
-        let b = run_mix(&mix, SchedulerKind::FsRankPartitioned, 8_000, 5);
+        let a = run_mix(&mix, SchedulerKind::FsRankPartitioned, 8_000, 5).unwrap();
+        let b = run_mix(&mix, SchedulerKind::FsRankPartitioned, 8_000, 5).unwrap();
         assert_eq!(a.ipcs, b.ipcs);
     }
 }

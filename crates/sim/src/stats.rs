@@ -63,11 +63,13 @@ mod tests {
 
     #[test]
     fn weighted_ipc_normalises() {
-        let mut s = SystemStats::default();
-        s.cores = vec![
-            CoreStats { instructions_retired: 200, cpu_cycles: 100, ..Default::default() },
-            CoreStats { instructions_retired: 50, cpu_cycles: 100, ..Default::default() },
-        ];
+        let s = SystemStats {
+            cores: vec![
+                CoreStats { instructions_retired: 200, cpu_cycles: 100, ..Default::default() },
+                CoreStats { instructions_retired: 50, cpu_cycles: 100, ..Default::default() },
+            ],
+            ..Default::default()
+        };
         // IPCs: 2.0 and 0.5; reference 2.0 and 1.0 -> 1.0 + 0.5.
         let w = s.weighted_ipc_vs(&[2.0, 1.0]);
         assert!((w - 1.5).abs() < 1e-12);
@@ -84,7 +86,11 @@ mod tests {
     #[test]
     fn zero_reference_contributes_zero() {
         let s = SystemStats {
-            cores: vec![CoreStats { instructions_retired: 10, cpu_cycles: 10, ..Default::default() }],
+            cores: vec![CoreStats {
+                instructions_retired: 10,
+                cpu_cycles: 10,
+                ..Default::default()
+            }],
             ..Default::default()
         };
         assert_eq!(s.weighted_ipc_vs(&[0.0]), 0.0);

@@ -1,8 +1,10 @@
 //! The system simulator: cores + MSHRs + controller + DRAM in one loop.
 
 use crate::config::SystemConfig;
+use crate::error::{FsmcError, TimingFault, WatchdogReport};
 use crate::stats::SystemStats;
 use fsmc_core::domain::{DomainId, PartitionPolicy};
+use fsmc_core::error::ConfigError;
 use fsmc_core::sched::baseline::BaselineScheduler;
 use fsmc_core::sched::fs::{FsScheduler, FsVariant};
 use fsmc_core::sched::tp::TpScheduler;
@@ -68,6 +70,9 @@ pub struct System {
     delivery_seq: u64,
     policy: PartitionPolicy,
     reads_completed: u64,
+    /// Last DRAM cycle at which a demand read retired (or the pipeline
+    /// was verifiably idle) — the watchdog's progress marker.
+    last_progress: u64,
     /// Per-core lines with writes still queued in the controller: demand
     /// reads to these lines forward from the store (Section 5.1's
     /// "bypassing from stores to loads").
@@ -90,65 +95,32 @@ impl std::fmt::Debug for System {
     }
 }
 
-fn build_controller(cfg: &SystemConfig) -> Box<dyn MemoryController> {
+/// Builds the controller `cfg` describes; FS variants report solver or
+/// configuration failures instead of panicking.
+pub fn try_build_controller(cfg: &SystemConfig) -> Result<Box<dyn MemoryController>, FsmcError> {
     let g = cfg.geometry;
     let t = cfg.timing;
     let n = cfg.cores;
-    match cfg.scheduler {
+    let fs = |variant, prefetch| {
+        FsScheduler::try_new(g, t, n, variant, prefetch, cfg.energy_options)
+            .map(|s| Box::new(s) as Box<dyn MemoryController>)
+            .map_err(FsmcError::from)
+    };
+    Ok(match cfg.scheduler {
         SchedulerKind::Baseline => Box::new(BaselineScheduler::new(g, t, n, false)),
         SchedulerKind::BaselinePrefetch => Box::new(BaselineScheduler::new(g, t, n, true)),
         SchedulerKind::TpBankPartitioned { turn } => {
             Box::new(TpScheduler::new(g, t, n, true, turn))
         }
         SchedulerKind::TpNoPartition { turn } => Box::new(TpScheduler::new(g, t, n, false, turn)),
-        SchedulerKind::FsRankPartitioned => Box::new(FsScheduler::new(
-            g,
-            t,
-            n,
-            FsVariant::RankPartitioned,
-            false,
-            cfg.energy_options,
-        )),
-        SchedulerKind::FsRankPartitionedPrefetch => Box::new(FsScheduler::new(
-            g,
-            t,
-            n,
-            FsVariant::RankPartitioned,
-            true,
-            cfg.energy_options,
-        )),
-        SchedulerKind::FsBankPartitioned => Box::new(FsScheduler::new(
-            g,
-            t,
-            n,
-            FsVariant::BankPartitioned,
-            false,
-            cfg.energy_options,
-        )),
-        SchedulerKind::FsReorderedBankPartitioned => Box::new(FsScheduler::new(
-            g,
-            t,
-            n,
-            FsVariant::ReorderedBankPartitioned,
-            false,
-            cfg.energy_options,
-        )),
-        SchedulerKind::FsNoPartitionNaive => Box::new(FsScheduler::new(
-            g,
-            t,
-            n,
-            FsVariant::NoPartitionNaive,
-            false,
-            cfg.energy_options,
-        )),
-        SchedulerKind::FsTripleAlternation => Box::new(FsScheduler::new(
-            g,
-            t,
-            n,
-            FsVariant::TripleAlternation,
-            false,
-            cfg.energy_options,
-        )),
+        SchedulerKind::FsRankPartitioned => fs(FsVariant::RankPartitioned, false)?,
+        SchedulerKind::FsRankPartitionedPrefetch => fs(FsVariant::RankPartitioned, true)?,
+        SchedulerKind::FsBankPartitioned => fs(FsVariant::BankPartitioned, false)?,
+        SchedulerKind::FsReorderedBankPartitioned => {
+            fs(FsVariant::ReorderedBankPartitioned, false)?
+        }
+        SchedulerKind::FsNoPartitionNaive => fs(FsVariant::NoPartitionNaive, false)?,
+        SchedulerKind::FsTripleAlternation => fs(FsVariant::TripleAlternation, false)?,
         SchedulerKind::ChannelPartitioned => {
             Box::new(fsmc_core::sched::channel_part::ChannelPartitionedController::new(g, t, n))
         }
@@ -162,7 +134,11 @@ fn build_controller(cfg: &SystemConfig) -> Box<dyn MemoryController> {
                 cfg.energy_options,
             ))
         }
-    }
+    })
+}
+
+fn build_controller(cfg: &SystemConfig) -> Box<dyn MemoryController> {
+    try_build_controller(cfg).unwrap_or_else(|e| panic!("controller construction failed: {e}"))
 }
 
 impl System {
@@ -174,6 +150,51 @@ impl System {
     pub fn new(cfg: &SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
         let mc = build_controller(cfg);
         System::with_controller(cfg, traces, mc)
+    }
+
+    /// Fallible [`System::new`]: solver and configuration failures come
+    /// back as [`FsmcError`] values instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmcError::Config`] for a trace/core-count mismatch,
+    /// [`FsmcError::Solve`] when no pipeline (not even the conservative
+    /// fallback) is feasible for the configured timing.
+    pub fn try_new(
+        cfg: &SystemConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+    ) -> Result<Self, FsmcError> {
+        if traces.len() != cfg.cores as usize {
+            return Err(ConfigError::new(format!(
+                "one trace per core required: {} traces for {} cores",
+                traces.len(),
+                cfg.cores
+            ))
+            .into());
+        }
+        let mc = try_build_controller(cfg)?;
+        Ok(System::with_controller(cfg, traces, mc))
+    }
+
+    /// Fallible [`System::from_mix`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`System::try_new`].
+    pub fn try_from_mix(
+        cfg: &SystemConfig,
+        mix: &WorkloadMix,
+        seed: u64,
+    ) -> Result<Self, FsmcError> {
+        let traces: Vec<Box<dyn TraceSource>> = mix
+            .profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Box::new(SyntheticTrace::new(*p, seed + i as u64)) as Box<dyn TraceSource>
+            })
+            .collect();
+        System::try_new(cfg, traces)
     }
 
     /// Builds a system around a caller-supplied controller — e.g. an
@@ -209,6 +230,7 @@ impl System {
             delivery_seq: 0,
             policy: cfg.scheduler.partition_policy(),
             reads_completed: 0,
+            last_progress: 0,
             pending_writes: (0..cfg.cores).map(|_| HashMap::new()).collect(),
             forwarded_reads: 0,
             observe_domain: None,
@@ -237,7 +259,9 @@ impl System {
             .profiles
             .iter()
             .enumerate()
-            .map(|(i, p)| Box::new(SyntheticTrace::new(*p, seed + i as u64)) as Box<dyn TraceSource>)
+            .map(|(i, p)| {
+                Box::new(SyntheticTrace::new(*p, seed + i as u64)) as Box<dyn TraceSource>
+            })
             .collect();
         System::new(cfg, traces)
     }
@@ -252,6 +276,13 @@ impl System {
 
     pub fn controller(&self) -> &dyn MemoryController {
         self.mc.as_ref()
+    }
+
+    /// Mutable controller access, e.g. to arm fault injection
+    /// ([`MemoryController::inject_command_faults`]) or model slow
+    /// silicon ([`MemoryController::set_device_timing`]) before a run.
+    pub fn controller_mut(&mut self) -> &mut dyn MemoryController {
+        self.mc.as_mut()
     }
 
     /// Takes the recorded command log (empty unless recording enabled).
@@ -312,6 +343,7 @@ impl System {
                         self.cores[core_idx].complete_read(tag);
                     }
                     self.reads_completed += 1;
+                    self.last_progress = self.dram_cycle;
                 }
             }
             TxnKind::Prefetch => {
@@ -351,8 +383,8 @@ impl System {
                     let loc = policy.map(&geom, domain, op.addr);
                     let id = TxnId(*next_txn_seq);
                     *next_txn_seq += 1;
-                    let txn = Transaction::write(id, domain, loc, *dram_cycle)
-                        .with_local_addr(op.addr);
+                    let txn =
+                        Transaction::write(id, domain, loc, *dram_cycle).with_local_addr(op.addr);
                     mc.enqueue(txn).expect("can_accept was checked");
                     *pending.entry(op.addr).or_insert(0) += 1;
                     return SubmitResult::Accepted { tag };
@@ -393,6 +425,55 @@ impl System {
             self.step();
         }
         self.stats()
+    }
+
+    /// Runs for `cycles` DRAM cycles with health monitoring: aborts with
+    /// a structured error if the controller poisons itself on a timing
+    /// violation, or if the starvation watchdog sees no demand read
+    /// retire for [`SystemConfig::watchdog_cycles`] while reads are
+    /// outstanding.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmcError::Timing`] carrying the poisoning violation, or
+    /// [`FsmcError::Watchdog`] with a diagnosis naming the stuck domain,
+    /// rank, bank and oldest outstanding read.
+    pub fn try_run_cycles(&mut self, cycles: u64) -> Result<SystemStats, FsmcError> {
+        let end = self.dram_cycle + cycles;
+        while self.dram_cycle < end {
+            self.step();
+            if let Some(violation) = self.mc.fault() {
+                return Err(FsmcError::Timing(TimingFault {
+                    scheduler: self.cfg.scheduler,
+                    violation,
+                }));
+            }
+            if self.txn_meta.is_empty() {
+                // Idle pipelines are healthy: restart the stall clock.
+                self.last_progress = self.dram_cycle;
+            } else if self.cfg.watchdog_cycles > 0
+                && self.dram_cycle - self.last_progress > self.cfg.watchdog_cycles
+            {
+                return Err(FsmcError::Watchdog(self.diagnose_stall()));
+            }
+        }
+        Ok(self.stats())
+    }
+
+    /// Builds the watchdog's diagnosis from the oldest outstanding read.
+    fn diagnose_stall(&self) -> WatchdogReport {
+        let (&oldest, &(core, local)) =
+            self.txn_meta.iter().min_by_key(|(id, _)| *id).expect("stall implies outstanding");
+        let loc = self.policy.map(&self.cfg.geometry, DomainId(core as u8), local);
+        WatchdogReport {
+            cycle: self.dram_cycle,
+            stalled_for: self.dram_cycle - self.last_progress,
+            domain: core as u8,
+            rank: loc.rank.0,
+            bank: loc.bank.0,
+            oldest,
+            outstanding: self.txn_meta.len(),
+        }
     }
 
     /// Runs until `reads` demand reads have completed (the paper's

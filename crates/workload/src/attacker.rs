@@ -87,7 +87,8 @@ impl ModulatedTrace {
         let mut remaining = instrs;
         let mut idx = 0usize;
         loop {
-            let len = if self.bits[idx % self.bits.len()] { self.one_instrs } else { self.zero_instrs };
+            let len =
+                if self.bits[idx % self.bits.len()] { self.one_instrs } else { self.zero_instrs };
             if remaining < len {
                 return idx % self.bits.len();
             }

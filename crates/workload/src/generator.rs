@@ -52,7 +52,8 @@ impl SyntheticTrace {
     fn next_addr(&mut self) -> LineAddr {
         let p = &self.profile;
         let rows = (p.footprint_lines / LINES_PER_ROW).max(1);
-        let stay = self.rng.gen_bool(p.row_locality.clamp(0.0, 1.0)) && self.row_pos < LINES_PER_ROW;
+        let stay =
+            self.rng.gen_bool(p.row_locality.clamp(0.0, 1.0)) && self.row_pos < LINES_PER_ROW;
         if !stay {
             let current_row = self.row_base / LINES_PER_ROW;
             let new_row = match p.pattern {
@@ -89,7 +90,8 @@ impl TraceSource for SyntheticTrace {
             let gap = gap.saturating_sub(burst);
             self.burst_left -= 1;
             let addr = self.next_addr();
-            let is_write = self.rng.gen_bool((p.write_ratio / (1.0 + p.write_ratio)).clamp(0.0, 1.0));
+            let is_write =
+                self.rng.gen_bool((p.write_ratio / (1.0 + p.write_ratio)).clamp(0.0, 1.0));
             return TraceOp::with_mem(gap, MemOp { addr, is_write });
         }
         self.burst_left -= 1;
@@ -162,10 +164,7 @@ mod tests {
     fn streaming_profile_has_more_locality_than_pointer_chase() {
         let (_, _, loc_stream) = measure(BenchProfile::libquantum(), 50_000);
         let (_, _, loc_chase) = measure(BenchProfile::mcf(), 50_000);
-        assert!(
-            loc_stream > loc_chase + 0.2,
-            "streaming {loc_stream} vs chase {loc_chase}"
-        );
+        assert!(loc_stream > loc_chase + 0.2, "streaming {loc_stream} vs chase {loc_chase}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ struct RawProgram {
 impl RawProgram {
     fn next_access(&mut self) -> (LineAddr, bool) {
         self.i += 1;
-        if self.i % 4 == 0 {
+        if self.i.is_multiple_of(4) {
             (LineAddr(self.i % 256), false) // hot region: 256 lines = 16 KB
         } else {
             (LineAddr(4096 + self.i % (1 << 18)), self.i % 16 == 1) // stream

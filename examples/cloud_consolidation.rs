@@ -53,10 +53,7 @@ fn main() {
 
     println!("Secure consolidation: 8 vCPUs, 8 ranks, FS rank partitioning");
     println!("SLA slot weights {weights:?} — the database tenant gets 2x bandwidth.\n");
-    println!(
-        "{:<12} {:>8} {:>12} {:>12} {:>10}",
-        "tenant", "vCPU", "IPC", "avg lat", "dummies"
-    );
+    println!("{:<12} {:>8} {:>12} {:>12} {:>10}", "tenant", "vCPU", "IPC", "avg lat", "dummies");
     for (i, core) in stats.cores.iter().enumerate() {
         let (name, _) = tenants[i / 2];
         let d = &stats.mc.domains()[i];

@@ -11,7 +11,7 @@ use fsmc::security::run_covert_channel;
 fn main() {
     // The victim's 48-bit private key. Each 1-bit triggers the extra
     // "multiply" pass with its memory traffic; 0-bits are compute-only.
-    let key: Vec<bool> = (0..48u64).map(|i| (0xB1E55ED_C0FFEEu64 >> i) & 1 == 1).collect();
+    let key: Vec<bool> = (0..48u64).map(|i| (0xB1E55EDC0FFEE_u64 >> i) & 1 == 1).collect();
     let weight = key.iter().filter(|&&b| b).count();
     println!("victim private key: {} bits, Hamming weight {weight}", key.len());
     println!("attacker: fixed-rate probe on another core, observing only its own latencies\n");

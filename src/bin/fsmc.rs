@@ -153,18 +153,37 @@ fn cmd_certify() -> Result<(), String> {
     let t = TimingParams::ddr3_1600();
     let mut all_ok = true;
     let mut show = |name: &str, r: &fsmc::core::solver::CertifyReport| {
-        println!("{name:<42} {:>7} cases  {}", r.cases, if r.certified() { "CERTIFIED" } else { "FAILED" });
+        println!(
+            "{name:<42} {:>7} cases  {}",
+            r.cases,
+            if r.certified() { "CERTIFIED" } else { "FAILED" }
+        );
         all_ok &= r.certified();
     };
-    let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).map_err(|e| e.to_string())?;
-    show("rank-partitioned (l=7)", &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Rank, &t, 4));
-    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8).map_err(|e| e.to_string())?;
-    show("bank-partitioned (l=15)", &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Bank, &t, 4));
-    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8).map_err(|e| e.to_string())?;
-    show("no-partitioning naive (l=43)", &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::None, &t, 4));
+    let sol =
+        solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).map_err(|e| e.to_string())?;
+    show(
+        "rank-partitioned (l=7)",
+        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Rank, &t, 4),
+    );
+    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8)
+        .map_err(|e| e.to_string())?;
+    show(
+        "bank-partitioned (l=15)",
+        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Bank, &t, 4),
+    );
+    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8)
+        .map_err(|e| e.to_string())?;
+    show(
+        "no-partitioning naive (l=43)",
+        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::None, &t, 4),
+    );
     let ta = SlotSchedule::triple_alternation(&t, 8).map_err(|e| e.to_string())?;
     show("triple alternation", &certify_uniform(&ta, PartitionLevel::None, &t, 3));
-    show("reordered bank-partitioned (Q=63)", &certify_reordered(&ReorderedBpSchedule::new(&t, 8), &t, 3));
+    show(
+        "reordered bank-partitioned (Q=63)",
+        &certify_reordered(&ReorderedBpSchedule::new(&t, 8), &t, 3),
+    );
     if all_ok {
         Ok(())
     } else {
@@ -222,8 +241,14 @@ fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
     let kind = scheduler_kind(opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp"))?;
     let report = check_noninterference(kind, 2_000, 10);
     println!("scheduler                   {kind}");
-    println!("attacker with idle peers    {:>12} CPU cycles", report.idle_profile.boundaries.last().copied().unwrap_or(0));
-    println!("attacker with flooding peers{:>12} CPU cycles", report.intensive_profile.boundaries.last().copied().unwrap_or(0));
+    println!(
+        "attacker with idle peers    {:>12} CPU cycles",
+        report.idle_profile.boundaries.last().copied().unwrap_or(0)
+    );
+    println!(
+        "attacker with flooding peers{:>12} CPU cycles",
+        report.intensive_profile.boundaries.last().copied().unwrap_or(0)
+    );
     println!("max divergence              {:>12} CPU cycles", report.max_divergence());
     println!(
         "verdict                     {}",

@@ -10,11 +10,7 @@ fn fingerprint(kind: K, seed: u64) -> (Vec<f64>, u64, u64) {
     let mix = WorkloadMix::mix2();
     let mut sys = System::from_mix(&cfg, &mix, seed);
     let stats = sys.run_cycles(10_000);
-    (
-        stats.ipcs(),
-        stats.reads_completed,
-        stats.mc.row_hits + stats.mc.row_misses,
-    )
+    (stats.ipcs(), stats.reads_completed, stats.mc.row_hits + stats.mc.row_misses)
 }
 
 #[test]

@@ -2,7 +2,9 @@
 //! public facade crate.
 
 use fsmc::core::sched::SchedulerKind as K;
-use fsmc::core::solver::{solve, solve_best, Anchor, PartitionLevel, ReorderedBpSchedule, SlotSchedule};
+use fsmc::core::solver::{
+    solve, solve_best, Anchor, PartitionLevel, ReorderedBpSchedule, SlotSchedule,
+};
 use fsmc::dram::TimingParams;
 use fsmc::sim::runner::run_mix_suite;
 use fsmc::workload::{BenchProfile, WorkloadMix};
@@ -49,7 +51,7 @@ fn figure_3_ordering_holds_on_a_short_run() {
         K::TpBankPartitioned { turn: 60 },
         K::TpNoPartition { turn: 172 },
     ];
-    let (base, runs) = run_mix_suite(&mix, &kinds, 25_000, 42);
+    let (base, runs) = run_mix_suite(&mix, &kinds, 25_000, 42).expect_ok();
     let w: Vec<f64> = runs.iter().map(|r| r.weighted_ipc_vs(&base)).collect();
     assert!(w[0] < 8.0, "FS_RP {} must trail the baseline", w[0]);
     assert!(w[0] > w[1], "FS_RP {} must beat FS_ReBP {}", w[0], w[1]);
@@ -75,7 +77,7 @@ fn fs_dummy_fractions_span_the_intensity_range() {
 fn tp_prefers_minimum_turn_lengths_with_bank_partitioning() {
     let mix = WorkloadMix::rate(BenchProfile::mcf(), 8);
     let kinds = [K::TpBankPartitioned { turn: 60 }, K::TpBankPartitioned { turn: 156 }];
-    let (base, runs) = run_mix_suite(&mix, &kinds, 25_000, 42);
+    let (base, runs) = run_mix_suite(&mix, &kinds, 25_000, 42).expect_ok();
     let short = runs[0].weighted_ipc_vs(&base);
     let long = runs[1].weighted_ipc_vs(&base);
     assert!(short > long, "turn 60 ({short}) should beat turn 156 ({long})");

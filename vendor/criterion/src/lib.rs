@@ -1,0 +1,98 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of the criterion 0.5 API its benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple calibrated loop reporting mean wall-clock time per iteration —
+//! enough to compare hot paths locally, with none of upstream's
+//! statistics, plotting or baseline persistence.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (same role as criterion's).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`: warms up briefly, then runs enough iterations to fill
+    /// the measurement window and records the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly the measurement window.
+        let calib_start = Instant::now();
+        black_box(f());
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let window = Duration::from_millis(200);
+        let iters = (window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Benchmark harness entry point (subset of upstream `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0, iters: 0 };
+        f(&mut b);
+        let (value, unit) = if b.mean_ns >= 1_000_000.0 {
+            (b.mean_ns / 1_000_000.0, "ms")
+        } else if b.mean_ns >= 1_000.0 {
+            (b.mean_ns / 1_000.0, "us")
+        } else {
+            (b.mean_ns, "ns")
+        };
+        println!("{name:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns_self() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)))
+            .bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+}
