@@ -2,51 +2,79 @@
 //! zero-conflict theorem. Each schedule is exhausted over all slot
 //! pairs, direction combinations and worst-case rank/bank sharing, and
 //! each case is replayed through the independent DDR3 rule checker.
+//! The five certifications run concurrently on the experiment engine;
+//! a solver failure becomes a diagnostic instead of a panic.
 
 use fsmc_core::solver::{
-    certify_reordered, certify_uniform, solve, solve_for_threads, Anchor, PartitionLevel,
-    ReorderedBpSchedule, SlotSchedule,
+    certify_reordered, certify_uniform, solve, solve_for_threads, Anchor, CertifyReport,
+    PartitionLevel, ReorderedBpSchedule, SlotSchedule,
 };
 use fsmc_dram::TimingParams;
+use fsmc_sim::Engine;
+use std::process::ExitCode;
 
-fn main() {
+const CASES: [&str; 5] = [
+    "FS rank-partitioned (l=7)",
+    "FS bank-partitioned (l=15)",
+    "FS no-partitioning naive (l=43)",
+    "FS triple alternation (l=15, groups)",
+    "FS reordered bank-partitioned (Q=63)",
+];
+
+fn certify_case(idx: usize, t: &TimingParams) -> Result<CertifyReport, String> {
+    let err = |e| format!("{e}");
+    Ok(match idx {
+        0 => {
+            let sol = solve(t, Anchor::FixedPeriodicData, PartitionLevel::Rank).map_err(err)?;
+            certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Rank, t, 4)
+        }
+        1 => {
+            let sol = solve_for_threads(t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8)
+                .map_err(err)?;
+            certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Bank, t, 4)
+        }
+        2 => {
+            let sol = solve_for_threads(t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8)
+                .map_err(err)?;
+            certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::None, t, 4)
+        }
+        3 => {
+            let s = SlotSchedule::triple_alternation(t, 8).map_err(err)?;
+            certify_uniform(&s, PartitionLevel::None, t, 3)
+        }
+        _ => certify_reordered(&ReorderedBpSchedule::new(t, 8), t, 3),
+    })
+}
+
+fn main() -> ExitCode {
     let t = TimingParams::ddr3_1600();
     println!("Certifying FS pipelines (pairwise-exhaustive, independent checker)\n");
 
-    let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
-    let s = SlotSchedule::uniform(sol, 8);
-    let r = certify_uniform(&s, PartitionLevel::Rank, &t, 4);
-    report("FS rank-partitioned (l=7)", &r);
-
-    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8).unwrap();
-    let s = SlotSchedule::uniform(sol, 8);
-    let r = certify_uniform(&s, PartitionLevel::Bank, &t, 4);
-    report("FS bank-partitioned (l=15)", &r);
-
-    let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8).unwrap();
-    let s = SlotSchedule::uniform(sol, 8);
-    let r = certify_uniform(&s, PartitionLevel::None, &t, 4);
-    report("FS no-partitioning naive (l=43)", &r);
-
-    let s = SlotSchedule::triple_alternation(&t, 8).unwrap();
-    let r = certify_uniform(&s, PartitionLevel::None, &t, 3);
-    report("FS triple alternation (l=15, groups)", &r);
-
-    let s = ReorderedBpSchedule::new(&t, 8);
-    let r = certify_reordered(&s, &t, 3);
-    report("FS reordered bank-partitioned (Q=63)", &r);
+    let indices: Vec<usize> = (0..CASES.len()).collect();
+    let reports = Engine::from_env().map(&indices, |_, &i| certify_case(i, &t));
+    let mut any_ok = false;
+    for (name, report) in CASES.iter().zip(&reports) {
+        match report {
+            Ok(r) => {
+                any_ok = true;
+                println!(
+                    "{name:<40} {:>8} cases   {}",
+                    r.cases,
+                    if r.certified() { "CERTIFIED" } else { "FAILED" }
+                );
+                if let Some(v) = r.violations.first() {
+                    println!("    first violation: {v}");
+                }
+            }
+            Err(e) => println!("{name:<40} {:>8}          diagnostic: {e}", "-"),
+        }
+    }
 
     println!("\nEvery schedule is conflict-free for every read/write mix — the paper's");
     println!("zero-leakage precondition, checked rather than assumed.");
-}
-
-fn report(name: &str, r: &fsmc_core::solver::CertifyReport) {
-    println!(
-        "{name:<40} {:>8} cases   {}",
-        r.cases,
-        if r.certified() { "CERTIFIED" } else { "FAILED" }
-    );
-    if let Some(v) = r.violations.first() {
-        println!("    first violation: {v}");
+    if any_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,23 +1,26 @@
 //! The covert-channel experiment behind Section 2.2's motivation: a
 //! sender modulates memory intensity, a receiver decodes its own read
 //! latencies. Real-hardware attacks reach 100+ Kbps; FS collapses the
-//! channel.
+//! channel. The four scheduler trials run concurrently on the engine.
 
 use fsmc_core::sched::SchedulerKind as K;
 use fsmc_security::run_covert_channel;
+use fsmc_sim::Engine;
 
 fn main() {
     let bits = vec![true, false, true, true, false, false, true, false];
     println!("Covert channel: sender modulates its memory intensity with a secret;");
     println!("receiver decodes from its own latencies (window = 2500 DRAM cycles)\n");
     println!("{:<28} {:>8} {:>12} {:>14}", "scheduler", "BER", "MI (bits)", "capacity");
-    for kind in [
+    let kinds = [
         K::Baseline,
         K::TpBankPartitioned { turn: 60 },
         K::FsRankPartitioned,
         K::FsTripleAlternation,
-    ] {
-        let r = run_covert_channel(kind, &bits, 2500, 100);
+    ];
+    let results =
+        Engine::from_env().map(&kinds, |_, &kind| run_covert_channel(kind, &bits, 2500, 100));
+    for (kind, r) in kinds.iter().zip(&results) {
         println!(
             "{:<28} {:>8.3} {:>12.3} {:>11.0} bps",
             kind.label(),

@@ -2,49 +2,83 @@
 //! constructing deterministic high-throughput memory pipelines". This
 //! binary re-derives every pipeline for a DDR4-2400 part (JESD79-4, the
 //! standard Table 1 cites) and certifies them — no DDR3-specific magic.
+//! The two parts are analysed concurrently on the experiment engine and
+//! their reports printed in declaration order.
 
 use fsmc_core::solver::{certify_uniform, solve, Anchor, PartitionLevel, SlotSchedule};
 use fsmc_dram::TimingParams;
+use fsmc_sim::Engine;
+use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    for (name, t) in
-        [("DDR3-1600", TimingParams::ddr3_1600()), ("DDR4-2400", TimingParams::ddr4_2400())]
-    {
-        println!("=== {name} ===");
-        println!("{:<8} {:<22} {:>4} {:>8} {:>10}", "part.", "anchor", "l", "Q(8thr)", "peak util");
-        for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {
-            for anchor in Anchor::all() {
-                if let Ok(s) = solve(&t, anchor, level) {
-                    println!(
-                        "{:<8} {:<22} {:>4} {:>8} {:>9.1}%",
-                        format!("{level:?}"),
-                        format!("{anchor:?}"),
-                        s.l,
-                        s.interval_q(8),
-                        100.0 * s.peak_data_utilization(&t)
-                    );
-                }
+fn part_report(name: &str, t: &TimingParams) -> Result<String, String> {
+    let mut out = String::new();
+    writeln!(out, "=== {name} ===").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:<22} {:>4} {:>8} {:>10}",
+        "part.", "anchor", "l", "Q(8thr)", "peak util"
+    )
+    .unwrap();
+    for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {
+        for anchor in Anchor::all() {
+            if let Ok(s) = solve(t, anchor, level) {
+                writeln!(
+                    out,
+                    "{:<8} {:<22} {:>4} {:>8} {:>9.1}%",
+                    format!("{level:?}"),
+                    format!("{anchor:?}"),
+                    s.l,
+                    s.interval_q(8),
+                    100.0 * s.peak_data_utilization(t)
+                )
+                .unwrap();
             }
         }
-        // Certify the best rank pipeline for this part.
-        let best = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
-        let sched = SlotSchedule::uniform(best, 8);
-        let r = certify_uniform(&sched, PartitionLevel::Rank, &t, 3);
-        println!(
-            "rank pipeline (l={}) certification: {} ({} cases)",
-            best.l,
-            if r.certified() { "CERTIFIED" } else { "FAILED" },
-            r.cases
-        );
-        // Burst analysis (Section 3.1 "Improving bandwidth") per part.
-        print!("burst speedups N=2..5:");
-        for n in 2..=5 {
-            if let Some(sp) = fsmc_core::solver::burst_speedup(&t, n) {
-                print!(" {sp:.2}x");
-            }
+    }
+    // Certify the best rank pipeline for this part.
+    let best = solve(t, Anchor::FixedPeriodicData, PartitionLevel::Rank)
+        .map_err(|e| format!("{name}: no rank pipeline: {e}"))?;
+    let sched = SlotSchedule::uniform(best, 8);
+    let r = certify_uniform(&sched, PartitionLevel::Rank, t, 3);
+    writeln!(
+        out,
+        "rank pipeline (l={}) certification: {} ({} cases)",
+        best.l,
+        if r.certified() { "CERTIFIED" } else { "FAILED" },
+        r.cases
+    )
+    .unwrap();
+    // Burst analysis (Section 3.1 "Improving bandwidth") per part.
+    write!(out, "burst speedups N=2..5:").unwrap();
+    for n in 2..=5 {
+        if let Some(sp) = fsmc_core::solver::burst_speedup(t, n) {
+            write!(out, " {sp:.2}x").unwrap();
         }
-        println!("\n");
+    }
+    writeln!(out, "\n").unwrap();
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let parts =
+        [("DDR3-1600", TimingParams::ddr3_1600()), ("DDR4-2400", TimingParams::ddr4_2400())];
+    let reports = Engine::from_env().map(&parts, |_, (name, t)| part_report(name, t));
+    let mut any_ok = false;
+    for report in &reports {
+        match report {
+            Ok(text) => {
+                any_ok = true;
+                print!("{text}");
+            }
+            Err(e) => println!("  diagnostic: {e}"),
+        }
     }
     println!("The framework re-derives conflict-free pipelines for any JEDEC part;");
     println!("only the timing-parameter table changes.");
+    if any_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

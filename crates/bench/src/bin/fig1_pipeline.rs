@@ -4,10 +4,17 @@
 use fsmc_core::solver::diagram::render_uniform;
 use fsmc_core::solver::{solve_best, PartitionLevel, SlotSchedule};
 use fsmc_dram::TimingParams;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let t = TimingParams::ddr3_1600();
-    let sol = solve_best(&t, PartitionLevel::Rank).expect("rank pipeline solves");
+    let sol = match solve_best(&t, PartitionLevel::Rank) {
+        Ok(sol) => sol,
+        Err(e) => {
+            eprintln!("error: rank pipeline does not solve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let s = SlotSchedule::uniform(sol, 8);
     println!("Figure 1: fixed-periodic-data pipeline, l = {}, Q = {}", sol.l, s.q());
     println!("Mix: RD RD RD RD RD WR WR RD (threads T0..T7 on ranks R0..R7)\n");
@@ -15,4 +22,5 @@ fn main() {
     print!("{}", render_uniform(&s, &t, &mix, 16));
     println!("\nEach digit is a thread id; '.' is an idle cycle on that resource.");
     println!("Any mix of reads and writes from 8 threads completes every 56 cycles.");
+    ExitCode::SUCCESS
 }

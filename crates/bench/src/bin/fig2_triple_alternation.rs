@@ -4,17 +4,30 @@
 use fsmc_core::solver::diagram::render_slot_table;
 use fsmc_core::solver::{solve, Anchor, PartitionLevel, SlotSchedule};
 use fsmc_dram::TimingParams;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let t = TimingParams::ddr3_1600();
-    let naive = solve(&t, Anchor::FixedPeriodicRas, PartitionLevel::None).expect("NP solves");
+    let naive = match solve(&t, Anchor::FixedPeriodicRas, PartitionLevel::None) {
+        Ok(sol) => sol,
+        Err(e) => {
+            eprintln!("error: naive no-partitioning pipeline does not solve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!("(a) Naive no-partitioning pipeline: l = {} cycles between consecutive", naive.l);
     println!(
         "    requests; interval for 8 threads = {} cycles; peak util {:.0}%\n",
         naive.interval_q(8),
         100.0 * naive.peak_data_utilization(&t)
     );
-    let ta = SlotSchedule::triple_alternation(&t, 8).expect("TA solves");
+    let ta = match SlotSchedule::triple_alternation(&t, 8) {
+        Ok(ta) => ta,
+        Err(e) => {
+            eprintln!("error: triple alternation does not solve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "(b) Triple alternation: l = {} cycles; guaranteed service interval = {}",
         ta.slot_pitch(),
@@ -27,4 +40,5 @@ fn main() {
     print!("{}", render_slot_table(&ta, 24));
     println!("\nConsecutive slots always touch different bank groups; the same group");
     println!("repeats only 3 slots (45 >= 43 cycles) later, so same-bank reuse is safe.");
+    ExitCode::SUCCESS
 }

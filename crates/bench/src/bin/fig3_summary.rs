@@ -1,10 +1,12 @@
 //! Figure 3: summary of the design points — normalised throughput of
-//! every secure policy against the non-secure baseline.
+//! every secure policy against the non-secure baseline. Runs on the
+//! experiment engine (`FSMC_THREADS` workers, deterministic output).
 
 use fsmc_bench::{run_cycles, seed, weighted_ipc_suite};
 use fsmc_core::sched::SchedulerKind as K;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let kinds = [
         K::FsRankPartitioned,
         K::FsReorderedBankPartitioned,
@@ -33,4 +35,5 @@ fn main() {
         "\nPer-workload weighted-IPC sums (baseline = 8):\n{}",
         table.render("sum of weighted IPCs")
     );
+    table.exit_code()
 }

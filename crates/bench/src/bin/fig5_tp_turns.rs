@@ -3,8 +3,9 @@
 
 use fsmc_bench::{run_cycles, seed, weighted_ipc_suite};
 use fsmc_core::sched::SchedulerKind as K;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let kinds = [
         K::TpBankPartitioned { turn: 60 },
         K::TpBankPartitioned { turn: 100 },
@@ -24,4 +25,5 @@ fn main() {
         "Measured: BP {:.2} / {:.2} / {:.2} — NP {:.2} / {:.2} / {:.2}",
         m[0], m[1], m[2], m[3], m[4], m[5]
     );
+    table.exit_code()
 }

@@ -3,8 +3,9 @@
 
 use fsmc_bench::{run_cycles, seed, weighted_ipc_suite};
 use fsmc_core::sched::SchedulerKind as K;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let kinds = [
         K::FsRankPartitioned,
         K::FsReorderedBankPartitioned,
@@ -21,4 +22,5 @@ fn main() {
     println!("                    FS_ReBP / TP_BP = {:.2} (1.11);", m[1] / m[2]);
     println!("                    FS_NP_Opt / TP_NP = {:.2} (2.0)", m[3] / m[4]);
     println!("CSV:\n{}", table.to_csv());
+    table.exit_code()
 }

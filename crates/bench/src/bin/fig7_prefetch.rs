@@ -1,10 +1,13 @@
 //! Figure 7: the sandbox-prefetch optimisation — baseline with prefetch,
 //! FS_RP with prefetch (dummy slots become prefetches), plain FS_RP.
+//! Runs on the experiment engine; a failed slot renders as FAILED
+//! instead of killing the figure.
 
-use fsmc_bench::{run_cycles, seed, suite_results};
+use fsmc_bench::{run_cycles, seed, suite_exit_code, suite_results};
 use fsmc_core::sched::SchedulerKind as K;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let kinds = [K::BaselinePrefetch, K::FsRankPartitionedPrefetch, K::FsRankPartitioned];
     let rows = suite_results(&kinds, run_cycles(), seed());
     println!("Figure 7: FS with 8 threads and rank partitioning, with and without prefetch\n");
@@ -13,31 +16,57 @@ fn main() {
         "workload", "Baseline_Prefetch", "FS_RP-Prefetch", "FS_RP"
     );
     let mut sums = [0.0f64; 3];
+    let mut counts = [0usize; 3];
     let mut pf_issued = 0u64;
     let mut pf_useful = 0u64;
-    let n = rows.len();
-    for (name, base, runs) in &rows {
-        let mut vals = [0.0f64; 3];
-        for (i, r) in runs.iter().enumerate() {
-            vals[i] = r.weighted_ipc_vs(base);
-            sums[i] += vals[i];
+    let mut diagnostics = Vec::new();
+    for suite in &rows {
+        print!("{:<12}", suite.mix_name);
+        for (i, (kind, run)) in suite.runs.iter().enumerate() {
+            match (&suite.baseline, run) {
+                (Ok(base), Ok(r)) => {
+                    let v = r.weighted_ipc_vs(base);
+                    sums[i] += v;
+                    counts[i] += 1;
+                    print!(" {v:>18.3}");
+                    if *kind == K::FsRankPartitionedPrefetch {
+                        pf_issued += r.stats.mc.domains().iter().map(|d| d.prefetches).sum::<u64>();
+                        pf_useful += r.stats.useful_prefetches;
+                    }
+                }
+                (Err(e), _) => {
+                    print!(" {:>18}", "FAILED");
+                    diagnostics.push(format!("{}/baseline: {e}", suite.mix_name));
+                }
+                (Ok(_), Err(e)) => {
+                    print!(" {:>18}", "FAILED");
+                    diagnostics.push(format!("{}/{kind}: {e}", suite.mix_name));
+                }
+            }
         }
-        pf_issued += runs[1].stats.mc.domains().iter().map(|d| d.prefetches).sum::<u64>();
-        pf_useful += runs[1].stats.useful_prefetches;
-        println!("{name:<12} {:>18.3} {:>18.3} {:>18.3}", vals[0], vals[1], vals[2]);
+        println!();
     }
-    println!(
-        "{:<12} {:>18.3} {:>18.3} {:>18.3}",
-        "AM",
-        sums[0] / n as f64,
-        sums[1] / n as f64,
-        sums[2] / n as f64
-    );
-    println!("\nFS prefetch improvement: {:.1}% (paper: 11%)", 100.0 * (sums[1] / sums[2] - 1.0));
+    print!("{:<12}", "AM");
+    for (s, n) in sums.iter().zip(&counts) {
+        print!(" {:>18.3}", s / (*n).max(1) as f64);
+    }
+    println!();
+    diagnostics.sort();
+    diagnostics.dedup();
+    for d in &diagnostics {
+        println!("  diagnostic: {d}");
+    }
+    if counts[1] > 0 && counts[2] > 0 {
+        println!(
+            "\nFS prefetch improvement: {:.1}% (paper: 11%)",
+            100.0 * ((sums[1] / counts[1] as f64) / (sums[2] / counts[2] as f64) - 1.0)
+        );
+    }
     if pf_issued > 0 {
         println!(
             "FS prefetches issued: {pf_issued}; useful: {pf_useful} ({:.1}%; paper: 43.7%)",
             100.0 * pf_useful as f64 / pf_issued as f64
         );
     }
+    suite_exit_code(&rows)
 }

@@ -1,10 +1,13 @@
 //! Figure 8: memory energy of the FS and TP schemes, normalised to the
-//! non-secure baseline.
+//! non-secure baseline. Runs on the experiment engine; a failed slot
+//! becomes a diagnostic cell instead of killing the figure.
 
-use fsmc_bench::{run_cycles, seed, suite_results, SuiteTable};
+use fsmc_bench::{run_cycles, seed, suite_exit_code, suite_results, Cell, SuiteTable};
 use fsmc_core::sched::SchedulerKind as K;
+use fsmc_sim::runner::RunResult;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let kinds = [
         K::FsRankPartitioned,
         K::FsReorderedBankPartitioned,
@@ -16,20 +19,29 @@ fn main() {
     // Energy for the *same work*: normalise per completed demand access so
     // slower policies pay for their longer execution (background energy)
     // and extra traffic (dummies), as in the paper's equal-work runs.
+    let per_access = |r: &RunResult| {
+        let work = r.stats.reads_completed.max(1) as f64;
+        r.stats.energy.total_nj() / work
+    };
     let table = SuiteTable {
         columns: kinds.to_vec(),
         rows: rows
             .iter()
-            .map(|(name, base, runs)| {
-                let per_access = |r: &fsmc_sim::runner::RunResult| {
-                    let work = r.stats.reads_completed.max(1) as f64;
-                    r.stats.energy.total_nj() / work
-                };
-                let b = per_access(base);
-                (*name, runs.iter().map(|r| per_access(r) / b).collect::<Vec<f64>>())
+            .map(|suite| {
+                let cells = suite
+                    .runs
+                    .iter()
+                    .map(|(_, run)| match (&suite.baseline, run) {
+                        (Ok(base), Ok(r)) => Cell::Value(per_access(r) / per_access(base)),
+                        (Err(e), _) => Cell::Failed(format!("baseline failed: {e}")),
+                        (Ok(_), Err(e)) => Cell::Failed(e.to_string()),
+                    })
+                    .collect();
+                (suite.mix_name, cells)
             })
             .collect(),
     };
+    fsmc_bench::save_result("fig8_energy.csv", &table.to_csv());
     println!("Figure 8: memory energy normalised to the non-secure baseline (per access)\n");
     print!("{}", table.render("normalised memory energy"));
     let m = table.arithmetic_means();
@@ -38,4 +50,5 @@ fn main() {
         "the ~37% extra dummy accesses). Measured FS_RP/TP_BP energy ratio: {:.2}",
         m[0] / m[2]
     );
+    suite_exit_code(&rows)
 }

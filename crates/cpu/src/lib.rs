@@ -31,5 +31,5 @@ pub use crate::core::{CoreConfig, CoreStats, OooCore, SubmitResult};
 pub use cache::{Cache, CacheConfig};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use prefetch_buffer::PrefetchBuffer;
-pub use trace::{MemOp, TraceOp, TraceSource};
+pub use trace::{MemOp, SharedTape, TapeReader, TraceOp, TraceSource};
 pub use trace_file::{record_trace, write_trace, FileTrace, TraceError};

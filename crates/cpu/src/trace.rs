@@ -6,6 +6,7 @@
 //! so every [`MemOp`] is a last-level-cache miss or writeback.
 
 use fsmc_dram::geometry::LineAddr;
+use std::sync::{Arc, Mutex};
 
 /// One memory operation in a core's local address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,8 +56,9 @@ impl TraceOp {
 ///
 /// Implementations must be deterministic given their construction
 /// parameters — determinism is what makes the non-interference harness
-/// in `fsmc-security` meaningful.
-pub trait TraceSource {
+/// in `fsmc-security` meaningful. Sources are `Send` so the experiment
+/// engine can construct and drive them from worker threads.
+pub trait TraceSource: Send {
     /// Produces the next batch. Streams never end; benchmarks that run
     /// out should loop.
     fn next_op(&mut self) -> TraceOp;
@@ -87,6 +89,98 @@ impl TraceSource for VecTrace {
     }
 }
 
+/// Ops generated per locked extension of a [`SharedTape`]. Large enough
+/// that readers almost never contend on the tape mutex, small enough
+/// that short runs don't over-synthesize.
+const TAPE_CHUNK_OPS: usize = 1024;
+
+struct TapeInner {
+    source: Box<dyn TraceSource>,
+    chunks: Vec<Arc<[TraceOp]>>,
+}
+
+/// A lazily materialised, immutable recording of a trace stream that
+/// many concurrent readers can replay.
+///
+/// The underlying source is consumed exactly once, in chunk order, under
+/// a mutex — so every [`TapeReader`] observes the identical op sequence
+/// the bare source would have produced, regardless of how many readers
+/// exist or which thread first demands a chunk. This is what lets the
+/// experiment engine synthesize each `(profile, seed)` workload once and
+/// replay it across the N policy runs that share the stream.
+pub struct SharedTape {
+    inner: Mutex<TapeInner>,
+}
+
+impl std::fmt::Debug for SharedTape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTape").field("recorded_ops", &self.recorded_ops()).finish()
+    }
+}
+
+impl SharedTape {
+    pub fn new(source: Box<dyn TraceSource>) -> Self {
+        SharedTape { inner: Mutex::new(TapeInner { source, chunks: Vec::new() }) }
+    }
+
+    /// Convenience: record `source` behind an [`Arc`] ready for
+    /// [`SharedTape::reader`].
+    pub fn record(source: impl TraceSource + 'static) -> Arc<Self> {
+        Arc::new(SharedTape::new(Box::new(source)))
+    }
+
+    /// Ops materialised so far (grows monotonically as readers advance).
+    pub fn recorded_ops(&self) -> usize {
+        self.inner.lock().expect("tape poisoned").chunks.len() * TAPE_CHUNK_OPS
+    }
+
+    /// Returns chunk `idx`, extending the recording as needed. Chunks are
+    /// always generated sequentially, so the source's state advances
+    /// identically no matter which reader triggers the extension.
+    fn chunk(&self, idx: usize) -> Arc<[TraceOp]> {
+        let mut inner = self.inner.lock().expect("tape poisoned");
+        let TapeInner { source, chunks } = &mut *inner;
+        while chunks.len() <= idx {
+            let mut ops = Vec::with_capacity(TAPE_CHUNK_OPS);
+            for _ in 0..TAPE_CHUNK_OPS {
+                ops.push(source.next_op());
+            }
+            chunks.push(ops.into());
+        }
+        chunks[idx].clone()
+    }
+
+    /// A fresh cursor over the recording, starting at op 0.
+    pub fn reader(self: &Arc<Self>) -> TapeReader {
+        TapeReader { chunk: self.chunk(0), tape: Arc::clone(self), chunk_idx: 0, pos: 0 }
+    }
+}
+
+/// A [`TraceSource`] replaying a [`SharedTape`] from the beginning.
+///
+/// Readers cache the current chunk locally, so steady-state replay is
+/// lock-free; the tape mutex is touched only at chunk boundaries.
+#[derive(Debug)]
+pub struct TapeReader {
+    tape: Arc<SharedTape>,
+    chunk: Arc<[TraceOp]>,
+    chunk_idx: usize,
+    pos: usize,
+}
+
+impl TraceSource for TapeReader {
+    fn next_op(&mut self) -> TraceOp {
+        if self.pos == self.chunk.len() {
+            self.chunk_idx += 1;
+            self.chunk = self.tape.chunk(self.chunk_idx);
+            self.pos = 0;
+        }
+        let op = self.chunk[self.pos];
+        self.pos += 1;
+        op
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +203,49 @@ mod tests {
     #[should_panic(expected = "at least one op")]
     fn empty_vec_trace_rejected() {
         VecTrace::new(Vec::new());
+    }
+
+    /// A deterministic endless counter stream for tape tests.
+    #[derive(Default)]
+    struct Counter(u32);
+
+    impl TraceSource for Counter {
+        fn next_op(&mut self) -> TraceOp {
+            self.0 += 1;
+            TraceOp::compute(self.0)
+        }
+    }
+
+    #[test]
+    fn tape_readers_replay_the_source_exactly() {
+        let tape = SharedTape::record(Counter::default());
+        let mut fresh = Counter::default();
+        let mut a = tape.reader();
+        let mut b = tape.reader();
+        // Interleave two readers across several chunk boundaries: both
+        // must see what the bare source would have produced.
+        for _ in 0..3 * TAPE_CHUNK_OPS {
+            let expect = fresh.next_op();
+            assert_eq!(a.next_op(), expect);
+        }
+        let mut fresh = Counter::default();
+        for _ in 0..3 * TAPE_CHUNK_OPS {
+            assert_eq!(b.next_op(), fresh.next_op());
+        }
+    }
+
+    #[test]
+    fn tape_extends_lazily_from_concurrent_readers() {
+        let tape = SharedTape::record(Counter::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let mut r = tape.reader();
+                std::thread::spawn(move || {
+                    (0..2 * TAPE_CHUNK_OPS).map(|_| r.next_op().nonmem as u64).sum::<u64>()
+                })
+            })
+            .collect();
+        let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]), "readers diverged: {sums:?}");
     }
 }

@@ -15,6 +15,11 @@
 //! * [`stats`] — run statistics and weighted-IPC helpers.
 //! * [`runner`] — experiment orchestration: run a workload mix under the
 //!   baseline to obtain normalisation IPCs, then under each policy.
+//! * [`engine`] — the deterministic parallel experiment engine:
+//!   declare a grid of independent jobs as an [`engine::ExperimentPlan`],
+//!   execute them on an `FSMC_THREADS`-sized worker pool with memoized
+//!   trace synthesis, and read byte-identical per-slot results at any
+//!   thread count.
 //! * [`error`] — the typed failure hierarchy ([`error::FsmcError`]):
 //!   solver infeasibility, bad configuration, runtime timing poisoning,
 //!   trace corruption and watchdog-detected starvation.
@@ -22,6 +27,7 @@
 //!   ([`faults::FaultPlan`]) for robustness experiments.
 
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod runner;
@@ -29,6 +35,7 @@ pub mod stats;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use engine::{ControllerFactory, Engine, ExperimentJob, ExperimentPlan};
 pub use error::{FsmcError, TimingFault, WatchdogReport};
 pub use faults::{FaultKind, FaultPlan, TimingField};
 pub use runner::{

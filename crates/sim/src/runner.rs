@@ -6,16 +6,21 @@
 //! faulted policy yields a structured error in its slot of a
 //! [`SuiteResult`] instead of killing the whole suite. The `_faulted`
 //! variants additionally apply a [`FaultPlan`] to one scheduler's run.
+//!
+//! These helpers are thin wrappers over the [`crate::engine`] layer:
+//! [`run_mix_suite`] declares one [`ExperimentPlan`] (baseline + each
+//! policy) and executes it on the `FSMC_THREADS`-sized worker pool with
+//! a shared, memoized trace cache. Larger grids should build their own
+//! plan and hand it to [`Engine::run`] directly.
 
-use crate::config::SystemConfig;
+use crate::engine::{Engine, ExperimentJob, ExperimentPlan};
 use crate::error::FsmcError;
 use crate::faults::FaultPlan;
 use crate::stats::SystemStats;
-use crate::system::System;
 use fsmc_core::sched::SchedulerKind;
 use fsmc_cpu::trace::TraceSource;
 use fsmc_cpu::{write_trace, FileTrace, TraceError};
-use fsmc_workload::{SyntheticTrace, WorkloadMix};
+use fsmc_workload::{SyntheticTrace, TraceCache, WorkloadMix};
 
 /// The result of running one mix under one scheduler.
 #[derive(Debug, Clone)]
@@ -70,22 +75,32 @@ impl SuiteResult {
 
 /// Builds the per-core trace sources, routing any trace the plan corrupts
 /// through the text format so the corruption hits the real parser.
-fn build_traces(
+///
+/// With a [`TraceCache`], uncorrupted streams replay the memoized tape
+/// for `(profile, seed + core)` — op-for-op identical to fresh synthesis
+/// — so the N policy runs sharing a mix synthesize each stream once.
+/// Corrupted streams always bypass the cache: the corruption is specific
+/// to this run's fault plan.
+pub(crate) fn build_traces(
     mix: &WorkloadMix,
     seed: u64,
     plan: &FaultPlan,
+    cache: Option<&TraceCache>,
 ) -> Result<Vec<Box<dyn TraceSource>>, FsmcError> {
     let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(mix.cores());
     for (i, p) in mix.profiles.iter().enumerate() {
-        let mut synth = SyntheticTrace::new(*p, seed + i as u64);
+        let core_seed = seed + i as u64;
         if let Some(period) = plan.trace_corruption(i) {
+            let mut synth = SyntheticTrace::new(*p, core_seed);
             let mut buf = Vec::new();
             write_trace(&mut synth, 256, &mut buf).map_err(TraceError::from)?;
             let text = String::from_utf8_lossy(&buf);
             let corrupted = plan.corrupt_trace_text(&text, period);
             traces.push(Box::new(FileTrace::from_reader(corrupted.as_bytes())?));
+        } else if let Some(cache) = cache {
+            traces.push(Box::new(cache.source(*p, core_seed)));
         } else {
-            traces.push(Box::new(synth));
+            traces.push(Box::new(SyntheticTrace::new(*p, core_seed)));
         }
     }
     Ok(traces)
@@ -135,18 +150,7 @@ pub fn run_mix_faulted(
     seed: u64,
     plan: &FaultPlan,
 ) -> Result<RunResult, FsmcError> {
-    let mut cfg = SystemConfig::with_cores(scheduler, mix.cores() as u8);
-    plan.perturb_timing(&mut cfg.timing);
-    let traces = build_traces(mix, seed, plan)?;
-    let mut sys = System::try_new(&cfg, traces)?;
-    if let Some(spec) = plan.cmd_fault_spec() {
-        sys.controller_mut().inject_command_faults(spec);
-    }
-    if let Some(t) = plan.device_timing(&cfg.timing) {
-        sys.controller_mut().set_device_timing(t);
-    }
-    let stats = sys.try_run_cycles(cycles)?;
-    Ok(RunResult { mix_name: mix.name, scheduler, ipcs: stats.ipcs(), stats })
+    ExperimentJob::new(mix.clone(), scheduler, cycles, seed).with_faults(plan.clone()).run()
 }
 
 /// Runs the baseline plus each listed policy on one mix. Failures stay
@@ -163,6 +167,10 @@ pub fn run_mix_suite(
 /// [`run_mix_suite`] with per-scheduler fault plans: each `(policy,
 /// plan)` pair in `faults` applies that plan to that policy's run. The
 /// baseline is never faulted (it supplies the normalisation IPCs).
+///
+/// Runs execute on the [`Engine`] (worker pool sized by `FSMC_THREADS`)
+/// against one shared [`TraceCache`]; results are identical to the old
+/// serial loop at any thread count.
 pub fn run_mix_suite_faulted(
     mix: &WorkloadMix,
     schedulers: &[SchedulerKind],
@@ -170,14 +178,17 @@ pub fn run_mix_suite_faulted(
     seed: u64,
     faults: &[(SchedulerKind, FaultPlan)],
 ) -> SuiteResult {
-    let clean = FaultPlan::default();
-    let plan_for =
-        |k: SchedulerKind| faults.iter().find(|(fk, _)| *fk == k).map(|(_, p)| p).unwrap_or(&clean);
-    let baseline = run_mix(mix, SchedulerKind::Baseline, cycles, seed);
-    let runs = schedulers
-        .iter()
-        .map(|&k| (k, run_mix_faulted(mix, k, cycles, seed, plan_for(k))))
-        .collect();
+    let plan_for = |k: SchedulerKind| {
+        faults.iter().find(|(fk, _)| *fk == k).map(|(_, p)| p.clone()).unwrap_or_default()
+    };
+    let mut plan = ExperimentPlan::new();
+    plan.push(ExperimentJob::new(mix.clone(), SchedulerKind::Baseline, cycles, seed));
+    for &k in schedulers {
+        plan.push(ExperimentJob::new(mix.clone(), k, cycles, seed).with_faults(plan_for(k)));
+    }
+    let mut results = Engine::from_env().run(&plan).into_iter();
+    let baseline = results.next().expect("baseline slot declared");
+    let runs = schedulers.iter().copied().zip(results).collect();
     SuiteResult { mix_name: mix.name, baseline, runs }
 }
 

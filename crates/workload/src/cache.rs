@@ -1,0 +1,93 @@
+//! Memoized synthetic-trace materialisation.
+//!
+//! Every policy run over the same `(profile, seed)` pair replays the
+//! identical instruction stream — that is what makes the paper's policy
+//! comparisons apples-to-apples. The experiment engine therefore
+//! synthesizes each stream once into a shared [`SharedTape`] and hands
+//! every run its own [`TapeReader`] cursor, instead of re-running the
+//! generator's RNG for each of the N policies that share a mix.
+
+use crate::generator::SyntheticTrace;
+use crate::profile::BenchProfile;
+use fsmc_cpu::trace::{SharedTape, TapeReader};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A concurrent memo table of materialised synthetic traces, keyed by
+/// `(profile name, seed)`.
+///
+/// Profiles are identified by name: every [`BenchProfile`] constructor
+/// is a fixed parameter set, so the name fully determines the generator.
+/// The cache is `Sync`; worker threads of one engine run share it.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    tapes: Mutex<HashMap<(&'static str, u64), Arc<SharedTape>>>,
+}
+
+impl TraceCache {
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The shared tape for `(profile, seed)`, recording it on first use.
+    pub fn tape(&self, profile: BenchProfile, seed: u64) -> Arc<SharedTape> {
+        self.tapes
+            .lock()
+            .expect("trace cache poisoned")
+            .entry((profile.name, seed))
+            .or_insert_with(|| SharedTape::record(SyntheticTrace::new(profile, seed)))
+            .clone()
+    }
+
+    /// A fresh replay cursor over the memoized `(profile, seed)` stream —
+    /// op-for-op identical to `SyntheticTrace::new(profile, seed)`.
+    pub fn source(&self, profile: BenchProfile, seed: u64) -> TapeReader {
+        self.tape(profile, seed).reader()
+    }
+
+    /// Distinct `(profile, seed)` streams materialised so far.
+    pub fn len(&self) -> usize {
+        self.tapes.lock().expect("trace cache poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsmc_cpu::trace::TraceSource;
+
+    #[test]
+    fn memoized_stream_matches_fresh_synthesis() {
+        let cache = TraceCache::new();
+        let mut fresh = SyntheticTrace::new(BenchProfile::mcf(), 42);
+        let mut replay = cache.source(BenchProfile::mcf(), 42);
+        for i in 0..5000 {
+            assert_eq!(replay.next_op(), fresh.next_op(), "op {i} diverged");
+        }
+    }
+
+    #[test]
+    fn same_key_shares_one_tape() {
+        let cache = TraceCache::new();
+        let a = cache.tape(BenchProfile::milc(), 7);
+        let b = cache.tape(BenchProfile::milc(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        let _ = cache.tape(BenchProfile::milc(), 8);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_readers_see_identical_records() {
+        let cache = TraceCache::new();
+        let mut a = cache.source(BenchProfile::lbm(), 3);
+        let mut b = cache.source(BenchProfile::lbm(), 3);
+        for _ in 0..3000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+}

@@ -17,13 +17,18 @@
 //!   mix1/mix2).
 //! * [`attacker`] — idle / flooding / modulated traces for the security
 //!   experiments (Figure 4 and the covert-channel study).
+//! * [`cache`] — [`TraceCache`], memoized `Arc`-backed materialisation
+//!   of the synthetic streams so the experiment engine synthesizes each
+//!   `(profile, seed)` workload once across all policy runs.
 
 pub mod attacker;
+pub mod cache;
 pub mod generator;
 pub mod mix;
 pub mod profile;
 
 pub use attacker::{FloodTrace, IdleTrace, ModulatedTrace, ProbeTrace};
+pub use cache::TraceCache;
 pub use generator::SyntheticTrace;
 pub use mix::WorkloadMix;
 pub use profile::{AccessPattern, BenchProfile};

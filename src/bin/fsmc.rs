@@ -6,10 +6,12 @@
 //! fsmc diagram [--mix RRRWWRRR]      render the Figure-1 pipeline
 //! fsmc simulate [--scheduler K] [--workload NAME] [--cycles N]
 //!               [--cores N] [--seed S]
+//! fsmc suite    [--schedulers K,K,..] [--cycles N] [--seed S]
 //! fsmc attack [--scheduler K]        non-interference measurement
 //! fsmc record --workload NAME --ops N --out FILE
 //! ```
 
+use fsmc::bench::weighted_ipc_suite_with;
 use fsmc::core::sched::SchedulerKind;
 use fsmc::core::solver::diagram::render_uniform;
 use fsmc::core::solver::{
@@ -19,7 +21,7 @@ use fsmc::core::solver::{
 use fsmc::cpu::trace_file::record_trace;
 use fsmc::dram::TimingParams;
 use fsmc::security::noninterference::check_noninterference;
-use fsmc::sim::{System, SystemConfig};
+use fsmc::sim::{Engine, ExperimentJob, SystemConfig};
 use fsmc::workload::{BenchProfile, SyntheticTrace, WorkloadMix};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "certify" => cmd_certify(),
         "diagram" => cmd_diagram(&opts),
         "simulate" => cmd_simulate(&opts),
+        "suite" => cmd_suite(&opts),
         "attack" => cmd_attack(&opts),
         "record" => cmd_record(&opts),
         "help" | "--help" | "-h" => {
@@ -68,13 +71,19 @@ USAGE:
   fsmc diagram [--mix RRRRRWWR]       render the pipeline timing diagram
   fsmc simulate [--scheduler KIND] [--workload NAME] [--cycles N]
                 [--cores N] [--seed S]
+  fsmc suite [--schedulers K,K,..] [--cycles N] [--seed S]
+                                      weighted-IPC table over the 12-mix suite
   fsmc attack [--scheduler KIND]      measure co-runner interference
   fsmc record --workload NAME --ops N --out FILE   export a USIMM trace
 
 SCHEDULERS: baseline, baseline-prefetch, fs-rp, fs-rp-prefetch, fs-bp,
             fs-reordered-bp, fs-np, fs-ta, tp-bp, tp-np, channel-part
 WORKLOADS:  mix1 mix2 CG SP astar lbm libquantum mcf milc zeusmp
-            GemsFDTD xalancbmk";
+            GemsFDTD xalancbmk
+ENV:        FSMC_THREADS   worker threads for suite runs (default: all cores;
+                           results are identical at any thread count)
+            FSMC_CYCLES / FSMC_SEED   defaults for the figure binaries
+            FSMC_RESULTS_DIR          where figure binaries write CSVs";
 
 /// Parses `--key value` pairs.
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -221,8 +230,8 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         name => WorkloadMix::rate(profile(name)?, cores),
     };
     let cfg = SystemConfig::with_cores(kind, cores as u8);
-    let mut sys = System::from_mix(&cfg, &mix, seed);
-    let stats = sys.run_cycles(cycles);
+    let job = ExperimentJob::new(mix.clone(), kind, cycles, seed).with_config(cfg);
+    let stats = job.run().map_err(|e| e.to_string())?.stats;
     println!("scheduler        {kind}");
     println!("workload         {} x{} cores", mix.name, cores);
     println!("DRAM cycles      {cycles}");
@@ -234,6 +243,32 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("row-hit rate     {:.1}%", 100.0 * stats.mc.row_hit_rate());
     println!("forwarded reads  {}", stats.forwarded_reads);
     println!("memory energy    {:.3} mJ", stats.energy.total_mj());
+    Ok(())
+}
+
+fn cmd_suite(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kinds: Vec<SchedulerKind> = opts
+        .get("schedulers")
+        .map(String::as_str)
+        .unwrap_or("fs-rp,fs-reordered-bp,tp-bp")
+        .split(',')
+        .map(scheduler_kind)
+        .collect::<Result<_, _>>()?;
+    let cycles = get_u64(opts, "cycles", 60_000)?;
+    let seed = get_u64(opts, "seed", 42)?;
+    let table = weighted_ipc_suite_with(
+        &Engine::from_env(),
+        &WorkloadMix::suite(8),
+        &kinds,
+        cycles,
+        seed,
+        &[],
+    );
+    println!("Sum of weighted IPCs vs the non-secure baseline ({cycles} DRAM cycles)\n");
+    print!("{}", table.render("weighted IPC"));
+    if table.all_failed() {
+        return Err("every run in the suite failed".into());
+    }
     Ok(())
 }
 

@@ -12,8 +12,10 @@
 //! * [`cpu`] — trace-driven out-of-order core model
 //! * [`workload`] — synthetic SPEC-like workload generators
 //! * [`energy`] — Micron-style DDR3 power model
-//! * [`sim`] — full-system simulator and statistics
+//! * [`sim`] — full-system simulator, statistics and the deterministic
+//!   parallel experiment engine
 //! * [`security`] — leakage measurement and non-interference harness
+//! * [`bench`] — figure/table suites built on the engine
 //!
 //! ## Quickstart
 //!
@@ -29,6 +31,7 @@
 //! assert!(stats.weighted_ipc_sum() > 0.0);
 //! ```
 
+pub use fsmc_bench as bench;
 pub use fsmc_core as core;
 pub use fsmc_cpu as cpu;
 pub use fsmc_dram as dram;

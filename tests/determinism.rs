@@ -1,8 +1,9 @@
 //! Determinism: simulations are exactly reproducible given a seed — the
 //! property that makes the non-interference comparisons meaningful.
 
+use fsmc::bench::weighted_ipc_suite_with;
 use fsmc::core::sched::SchedulerKind as K;
-use fsmc::sim::{System, SystemConfig};
+use fsmc::sim::{Engine, System, SystemConfig};
 use fsmc::workload::WorkloadMix;
 
 fn fingerprint(kind: K, seed: u64) -> (Vec<f64>, u64, u64) {
@@ -33,4 +34,16 @@ fn different_seeds_differ() {
     let a = fingerprint(K::Baseline, 3);
     let b = fingerprint(K::Baseline, 4);
     assert_ne!(a, b, "seeds should change the workload");
+}
+
+/// The tentpole guarantee: the parallel experiment engine produces
+/// byte-identical rendered tables and CSVs at any worker count.
+#[test]
+fn suite_output_is_byte_identical_across_thread_counts() {
+    let mixes = [WorkloadMix::mix1(), WorkloadMix::mix2()];
+    let kinds = [K::FsRankPartitioned, K::TpBankPartitioned { turn: 60 }];
+    let t1 = weighted_ipc_suite_with(&Engine::with_threads(1), &mixes, &kinds, 4_000, 11, &[]);
+    let t8 = weighted_ipc_suite_with(&Engine::with_threads(8), &mixes, &kinds, 4_000, 11, &[]);
+    assert_eq!(t1.render("weighted IPC"), t8.render("weighted IPC"));
+    assert_eq!(t1.to_csv(), t8.to_csv());
 }
