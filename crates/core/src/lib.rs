@@ -45,5 +45,5 @@ pub mod txn;
 
 pub use domain::{DomainConfig, DomainId, PartitionPolicy};
 pub use error::{ConfigError, CoreError};
-pub use sched::{Completion, MemoryController, SchedulerKind};
+pub use sched::{CadenceSpec, Completion, MemoryController, SchedulerKind};
 pub use txn::{Transaction, TxnId, TxnKind};

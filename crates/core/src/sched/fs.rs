@@ -20,7 +20,9 @@ use crate::error::{ConfigError, CoreError};
 use crate::prefetch::SandboxPrefetcher;
 use crate::queues::{QueueFull, TransactionQueue};
 use crate::refresh::RefreshManager;
-use crate::sched::{CmdFaultSpec, Completion, McStats, MemoryController, SchedulerKind};
+use crate::sched::{
+    CadenceSpec, CmdFaultSpec, Completion, McStats, MemoryController, SchedulerKind,
+};
 use crate::solver::{
     conservative_pipeline, solve, solve_for_threads, Anchor, PartitionLevel, PipelineSolution,
     ReorderedBpSchedule, SlotSchedule, SolveError,
@@ -1163,11 +1165,34 @@ impl MemoryController for FsScheduler {
             self.device.record_commands();
         }
     }
+
+    fn cadence_spec(&self) -> Option<CadenceSpec> {
+        // The reordered-BP variant runs an interval discipline with no
+        // per-slot anchors, and a poisoned controller issues nothing
+        // worth monitoring; both report no cadence.
+        let s = self.schedule.as_ref()?;
+        if self.fault.is_some() {
+            return None;
+        }
+        let p0 = s.plan(0);
+        let ranks = self.device.geometry().ranks_per_channel();
+        let owners = (self.policy == PartitionPolicy::Rank)
+            .then(|| self.slot_pattern.iter().map(|d| d.0 % ranks).collect());
+        Some(CadenceSpec {
+            slot_pitch: s.slot_pitch() as Cycle,
+            read_act_anchor: p0.read_act,
+            write_act_anchor: p0.write_act,
+            read_cas_anchor: p0.read_cas,
+            write_cas_anchor: p0.write_cas,
+            slot_owner_ranks: owners,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fsmc_dram::geometry::ColId;
     use fsmc_dram::TimingChecker;
 
     fn mk(variant: FsVariant) -> FsScheduler {
@@ -1743,5 +1768,65 @@ mod tests {
         assert!(mc.is_degraded());
         assert!(mc.fault().is_none(), "the wide pitch must hold: {:?}", mc.fault());
         assert!(done > 100, "served only {done} reads after the downgrade");
+    }
+
+    #[test]
+    fn cadence_spec_accepts_every_recorded_command() {
+        // The advertised cadence must describe the controller's actual
+        // issue behaviour: an un-faulted run may not contain a single
+        // command the spec rejects, across every slot-shaped variant.
+        for variant in [
+            FsVariant::RankPartitioned,
+            FsVariant::BankPartitioned,
+            FsVariant::NoPartitionNaive,
+            FsVariant::TripleAlternation,
+        ] {
+            let mut mc = mk(variant);
+            let policy = variant.partition_policy();
+            mc.record_commands();
+            let spec = MemoryController::cadence_spec(&mc)
+                .expect("slot-shaped FS variants advertise a cadence");
+            if variant == FsVariant::RankPartitioned {
+                assert!(spec.slot_owner_ranks.is_some(), "RP must carry slot ownership");
+            }
+            let mut id = 0u64;
+            for c in 0..8_000u64 {
+                if c.is_multiple_of(9) && mc.can_accept(DomainId((id % 8) as u8)) {
+                    mc.enqueue(txn(id, (id % 8) as u8, id * 13, id.is_multiple_of(3), policy))
+                        .unwrap();
+                    id += 1;
+                }
+                mc.tick(c);
+            }
+            assert!(mc.fault().is_none(), "{variant:?} faulted: {:?}", mc.fault());
+            let log = MemoryController::take_command_log(&mut mc);
+            assert!(log.iter().any(|tc| tc.cmd.kind.is_cas()), "{variant:?}: empty log");
+            for tc in &log {
+                if let Err(name) = spec.check(tc) {
+                    panic!("{variant:?}: {tc} rejected by its own cadence: {name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cadence_spec_flags_off_phase_and_foreign_slot() {
+        let mc = mk(FsVariant::RankPartitioned);
+        let spec = MemoryController::cadence_spec(&mc).unwrap();
+        // A read CAS one cycle off its anchor phase is rejected.
+        let on = TimedCommand::new(
+            Command::read_ap(RankId(0), BankId(0), RowId(0), ColId(0)),
+            spec.read_cas_anchor,
+        );
+        assert!(spec.check(&on).is_ok());
+        let off = TimedCommand::new(on.cmd, spec.read_cas_anchor + 1);
+        assert_eq!(spec.check(&off), Err("FS cadence: read CAS off its slot phase"));
+        // Slot 0 belongs to domain 0 (rank 0); the same phase one slot
+        // later belongs to domain 1, so rank 0 there is slot theft.
+        let theft = TimedCommand::new(on.cmd, spec.read_cas_anchor + spec.slot_pitch);
+        assert_eq!(spec.check(&theft), Err("FS cadence: read CAS in another domain's slot"));
+        // Refresh is exempt at any cycle.
+        let refresh = TimedCommand::new(Command::refresh(RankId(3)), 12345);
+        assert!(spec.check(&refresh).is_ok());
     }
 }

@@ -51,6 +51,95 @@ impl CmdFaultSpec {
     }
 }
 
+/// The externally observable issue discipline of a solved Fixed-Service
+/// pipeline: every ACT and CAS lands on a fixed phase of the slot pitch
+/// `l`, and (under rank partitioning) the slot at a given index may only
+/// touch its owning domain's rank.
+///
+/// An online monitor holding the spec can verify *schedule integrity* —
+/// not just device-timing legality — command by command: a command that is
+/// perfectly legal for the DRAM part but off its solved phase (or in
+/// another domain's slot) is exactly the kind of silent drift that opens a
+/// timing channel, and is invisible to a pure Table-1 checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CadenceSpec {
+    /// Slot pitch `l` of the solved pipeline (cycles between slots).
+    pub slot_pitch: Cycle,
+    /// Absolute cycle of slot 0's read ACT; slot `g`'s read ACT is
+    /// `read_act_anchor + g * slot_pitch`. Likewise for the other anchors.
+    pub read_act_anchor: Cycle,
+    pub write_act_anchor: Cycle,
+    pub read_cas_anchor: Cycle,
+    pub write_cas_anchor: Cycle,
+    /// Owning rank per slot-pattern position, when the spatial partition
+    /// pins each domain to one rank: the slot at index `g` may only touch
+    /// `slot_owner_ranks[g % len]`. `None` disables ownership checking
+    /// (bank-partitioned and unpartitioned variants).
+    pub slot_owner_ranks: Option<Vec<u8>>,
+}
+
+impl CadenceSpec {
+    /// The slot index a command at `cycle` occupies relative to `anchor`,
+    /// if the cycle sits exactly on that anchor's phase.
+    fn slot_at(anchor: Cycle, pitch: Cycle, cycle: Cycle) -> Option<u64> {
+        (cycle >= anchor && (cycle - anchor).is_multiple_of(pitch))
+            .then(|| (cycle - anchor) / pitch)
+    }
+
+    fn owner_ok(&self, slot: u64, rank: u8) -> bool {
+        match &self.slot_owner_ranks {
+            None => true,
+            Some(owners) if owners.is_empty() => true,
+            Some(owners) => owners[(slot % owners.len() as u64) as usize] == rank,
+        }
+    }
+
+    /// Checks one issued command against the cadence. Refresh, precharge
+    /// and power-down commands are exempt: they are wall-clock or
+    /// transition events outside the per-slot pipeline.
+    ///
+    /// # Errors
+    ///
+    /// The name of the violated invariant.
+    pub fn check(&self, tc: &fsmc_dram::command::TimedCommand) -> Result<(), &'static str> {
+        let c = tc.cycle;
+        let rank = tc.cmd.rank.0;
+        match tc.cmd.kind {
+            fsmc_dram::CommandKind::Activate => {
+                // An ACT's direction (read or write slot) is not yet known,
+                // so accept either anchor — and under rank partitioning,
+                // either candidate slot whose owner matches.
+                let slots = [
+                    Self::slot_at(self.read_act_anchor, self.slot_pitch, c),
+                    Self::slot_at(self.write_act_anchor, self.slot_pitch, c),
+                ];
+                if slots.iter().all(Option::is_none) {
+                    return Err("FS cadence: ACT off its slot phase");
+                }
+                if !slots.iter().flatten().any(|&g| self.owner_ok(g, rank)) {
+                    return Err("FS cadence: ACT in another domain's slot");
+                }
+                Ok(())
+            }
+            k if k.is_read() => match Self::slot_at(self.read_cas_anchor, self.slot_pitch, c) {
+                None => Err("FS cadence: read CAS off its slot phase"),
+                Some(g) if !self.owner_ok(g, rank) => {
+                    Err("FS cadence: read CAS in another domain's slot")
+                }
+                Some(_) => Ok(()),
+            },
+            k if k.is_write() => match Self::slot_at(self.write_cas_anchor, self.slot_pitch, c) {
+                None => Err("FS cadence: write CAS off its slot phase"),
+                Some(g) if !self.owner_ok(g, rank) => {
+                    Err("FS cadence: write CAS in another domain's slot")
+                }
+                Some(_) => Ok(()),
+            },
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Identifies a scheduling policy and its configuration (the design
 /// points of Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +215,26 @@ impl SchedulerKind {
             SchedulerKind::FsTripleAlternation => "FS_NP_Optimized".into(),
             SchedulerKind::ChannelPartitioned => "Channel_Partitioned".into(),
             SchedulerKind::FsMultiChannel { channels } => format!("FS_RP_{channels}ch"),
+        }
+    }
+
+    /// The stable `--scheduler` token for this kind, used in printed
+    /// repro command lines. Parameterised kinds (TP turn lengths,
+    /// channel counts) map back to their default parameters on parse.
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Baseline => "baseline",
+            SchedulerKind::BaselinePrefetch => "baseline-prefetch",
+            SchedulerKind::TpBankPartitioned { .. } => "tp-bp",
+            SchedulerKind::TpNoPartition { .. } => "tp-np",
+            SchedulerKind::FsRankPartitioned => "fs-rp",
+            SchedulerKind::FsRankPartitionedPrefetch => "fs-rp-prefetch",
+            SchedulerKind::FsBankPartitioned => "fs-bp",
+            SchedulerKind::FsReorderedBankPartitioned => "fs-reordered-bp",
+            SchedulerKind::FsNoPartitionNaive => "fs-np",
+            SchedulerKind::FsTripleAlternation => "fs-ta",
+            SchedulerKind::ChannelPartitioned => "channel-part",
+            SchedulerKind::FsMultiChannel { .. } => "fs-mc",
         }
     }
 }
@@ -321,6 +430,17 @@ pub trait MemoryController {
     /// (e.g. a stretched tRFC). No-op by default; must be called before
     /// the first tick. Controllers without fault support ignore it.
     fn set_device_timing(&mut self, _t: TimingParams) {}
+
+    /// The fixed issue cadence this controller has committed to, for
+    /// online schedule-integrity monitoring. `None` (the default) means
+    /// the policy has no fixed cadence to enforce — baselines, TP, and FS
+    /// variants whose discipline is interval- rather than slot-shaped.
+    ///
+    /// The spec changes when the controller degrades onto the conservative
+    /// pipeline; callers must re-query it after a degradation transition.
+    fn cadence_spec(&self) -> Option<CadenceSpec> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -7,16 +7,19 @@
 //! per-rank state machines, shared command/data-bus occupancy, refresh and
 //! power-down states.
 //!
-//! Two independent implementations of the JEDEC timing rules are provided:
+//! Three independent implementations of the JEDEC timing rules are provided:
 //!
 //! * [`device::DramDevice`] — an *incremental* model that a memory
-//!   controller drives cycle by cycle (`can_issue` / `issue`), and
+//!   controller drives cycle by cycle (`can_issue` / `issue`),
 //! * [`checker::TimingChecker`] — a *replay* validator that re-derives every
-//!   constraint pairwise from a recorded command stream.
+//!   constraint pairwise from a recorded command stream, and
+//! * [`monitor::StreamMonitor`] — an *online* validator that enforces the
+//!   same rules one command at a time, as the stream is produced.
 //!
-//! The two are deliberately written separately so that property tests can
+//! They are deliberately written separately so that property tests can
 //! cross-check them; the checker is also the executable witness for the
-//! paper's claim that FS pipelines are free of resource conflicts.
+//! paper's claim that FS pipelines are free of resource conflicts, and the
+//! monitor turns that one-shot audit into a continuously-enforced invariant.
 //!
 //! ## Example
 //!
@@ -47,6 +50,7 @@ pub mod counters;
 pub mod device;
 pub mod geometry;
 pub mod mapping;
+pub mod monitor;
 pub mod rank;
 pub mod timing;
 
@@ -56,6 +60,7 @@ pub use counters::ActivityCounters;
 pub use device::DramDevice;
 pub use geometry::{BankId, ChannelId, ColId, Geometry, LineAddr, Location, RankId, RowId};
 pub use mapping::{AddressMapping, MappingScheme};
+pub use monitor::StreamMonitor;
 pub use timing::TimingParams;
 
 /// A simulation timestamp in DRAM bus cycles.

@@ -1,0 +1,200 @@
+//! One deliberately-early (or state-illegal) command per `TimingChecker`
+//! constraint: every rule's *violation* path has an executable witness, not
+//! just its legal-stream path.
+//!
+//! Each witness stream is checked twice — once through the batch
+//! [`TimingChecker`] and once through the online [`StreamMonitor`] — so the
+//! two implementations are pinned to agree on every individual rule.
+
+use fsmc_dram::command::{Command, TimedCommand};
+use fsmc_dram::geometry::{BankId, ColId, RankId, RowId};
+use fsmc_dram::{Cycle, Geometry, StreamMonitor, TimingChecker, TimingParams};
+
+fn tc(cmd: Command, cycle: Cycle) -> TimedCommand {
+    TimedCommand::new(cmd, cycle)
+}
+
+fn act(r: u8, b: u8, row: u32, c: Cycle) -> TimedCommand {
+    tc(Command::activate(RankId(r), BankId(b), RowId(row)), c)
+}
+
+fn rda(r: u8, b: u8, row: u32, c: Cycle) -> TimedCommand {
+    tc(Command::read_ap(RankId(r), BankId(b), RowId(row), ColId(0)), c)
+}
+
+fn rd(r: u8, b: u8, row: u32, c: Cycle) -> TimedCommand {
+    tc(Command::read(RankId(r), BankId(b), RowId(row), ColId(0)), c)
+}
+
+fn wra(r: u8, b: u8, row: u32, c: Cycle) -> TimedCommand {
+    tc(Command::write_ap(RankId(r), BankId(b), RowId(row), ColId(0)), c)
+}
+
+fn wr(r: u8, b: u8, row: u32, c: Cycle) -> TimedCommand {
+    tc(Command::write(RankId(r), BankId(b), RowId(row), ColId(0)), c)
+}
+
+fn pre(r: u8, b: u8, c: Cycle) -> TimedCommand {
+    tc(Command::precharge(RankId(r), BankId(b)), c)
+}
+
+fn refresh(r: u8, c: Cycle) -> TimedCommand {
+    tc(Command::refresh(RankId(r)), c)
+}
+
+fn pde(r: u8, c: Cycle) -> TimedCommand {
+    tc(Command::power_down(RankId(r)), c)
+}
+
+fn pdx(r: u8, c: Cycle) -> TimedCommand {
+    tc(Command::power_up(RankId(r)), c)
+}
+
+/// (constraint name, minimal stream whose check() must flag it).
+///
+/// The name list mirrors every `&'static str` constraint in
+/// `checker.rs` — if a rule is added there without a witness here, the
+/// completeness assertion in `all_constraints_have_a_witness` fails.
+fn witnesses() -> Vec<(&'static str, Vec<TimedCommand>)> {
+    vec![
+        ("command-bus collision", vec![act(0, 0, 1, 10), act(1, 0, 1, 10)]),
+        // CAS 2 apart: bursts (23..27) and (25..29) collide on the data bus.
+        (
+            "data-bus overlap",
+            vec![act(0, 0, 5, 0), act(1, 0, 5, 1), rda(0, 0, 5, 12), rda(1, 0, 5, 14)],
+        ),
+        // CAS 4 apart: contiguous bursts, but the rank switch needs tRTRS=2.
+        (
+            "tRTRS rank-to-rank data gap",
+            vec![act(0, 0, 5, 0), act(1, 0, 5, 1), rda(0, 0, 5, 12), rda(1, 0, 5, 16)],
+        ),
+        // RDA@11 precharges at max(11+tRTP, tRAS)=28; next ACT legal at 39.
+        ("tRP", vec![act(0, 0, 5, 0), rda(0, 0, 5, 11), act(0, 0, 6, 38)]),
+        // tRC = tRAS + tRP = 39 binds at exactly the same cycle.
+        ("tRC", vec![act(0, 0, 5, 0), rda(0, 0, 5, 11), act(0, 0, 6, 38)]),
+        ("tRCD", vec![act(0, 0, 5, 0), rda(0, 0, 5, 10)]),
+        ("activate while a row is open", vec![act(0, 0, 1, 0), act(0, 0, 2, 50)]),
+        ("CAS on a closed bank", vec![rda(0, 0, 5, 10)]),
+        ("CAS to a row that is not open", vec![act(0, 0, 5, 0), rda(0, 0, 6, 11)]),
+        ("tRAS", vec![act(0, 0, 5, 0), pre(0, 0, 27)]),
+        ("tRTP", vec![act(0, 0, 5, 0), rd(0, 0, 5, 11), pre(0, 0, 16)]),
+        // Write recovery: PRE legal at 11 + tCWD + tBURST + tWR = 32.
+        ("write recovery (tWR)", vec![act(0, 0, 5, 0), wr(0, 0, 5, 11), pre(0, 0, 31)]),
+        // Implicit precharge of the RDA completes at 28; REF legal at 39.
+        ("tRP before REF", vec![act(0, 0, 5, 0), rda(0, 0, 5, 11), refresh(0, 38)]),
+        ("refresh with a row open", vec![act(0, 0, 5, 0), refresh(0, 40)]),
+        ("tRRD", vec![act(0, 0, 1, 0), act(0, 1, 1, 4)]),
+        // Five activates 5 apart satisfy tRRD but break the tFAW=24 window.
+        (
+            "tFAW",
+            vec![
+                act(0, 0, 1, 0),
+                act(0, 1, 1, 5),
+                act(0, 2, 1, 10),
+                act(0, 3, 1, 15),
+                act(0, 4, 1, 20),
+            ],
+        ),
+        ("tCCD", vec![act(0, 0, 5, 0), act(0, 1, 5, 5), rda(0, 0, 5, 16), rda(0, 1, 5, 19)]),
+        (
+            "read-to-write turnaround",
+            vec![act(0, 0, 5, 0), act(0, 1, 5, 5), rd(0, 0, 5, 16), wra(0, 1, 5, 25)],
+        ),
+        (
+            "tWTR write-to-read",
+            vec![act(0, 0, 5, 0), act(0, 1, 5, 5), wra(0, 0, 5, 11), rda(0, 1, 5, 25)],
+        ),
+        ("tRFC", vec![refresh(0, 0), refresh(0, 207)]),
+        ("command during tRFC", vec![refresh(0, 0), act(0, 0, 1, 100)]),
+        ("already powered down", vec![pde(0, 0), pde(0, 5)]),
+        ("power-up of an active rank", vec![pdx(0, 5)]),
+        ("command to a powered-down rank", vec![pde(0, 0), act(0, 0, 1, 5)]),
+        ("tXP power-down exit", vec![pde(0, 0), pdx(0, 10), act(0, 0, 1, 15)]),
+    ]
+}
+
+#[test]
+fn every_constraint_violation_path_is_exercised() {
+    let geom = Geometry::paper_default();
+    let t = TimingParams::ddr3_1600();
+    let checker = TimingChecker::new(geom, t);
+    for (name, stream) in witnesses() {
+        let vs = checker.check(&stream);
+        assert!(
+            vs.iter().any(|v| v.constraint == name),
+            "checker missed {name:?}: got {vs:?} for {stream:?}"
+        );
+        // The online monitor must flag the same rule on the same stream.
+        let mut mon = StreamMonitor::new(geom, t);
+        let online: Vec<_> = stream.iter().flat_map(|c| mon.observe(c)).collect();
+        assert!(
+            online.iter().any(|v| v.constraint == name),
+            "monitor missed {name:?}: got {online:?} for {stream:?}"
+        );
+    }
+}
+
+#[test]
+fn all_constraints_have_a_witness() {
+    // Every constraint string the checker can emit, in source order.
+    let expected = [
+        "command-bus collision",
+        "data-bus overlap",
+        "tRTRS rank-to-rank data gap",
+        "activate while a row is open",
+        "tRP",
+        "tRC",
+        "CAS on a closed bank",
+        "CAS to a row that is not open",
+        "tRCD",
+        "tRAS",
+        "tRTP",
+        "write recovery (tWR)",
+        "refresh with a row open",
+        "tRP before REF",
+        "tRRD",
+        "tFAW",
+        "tCCD",
+        "read-to-write turnaround",
+        "tWTR write-to-read",
+        "tRFC",
+        "already powered down",
+        "power-up of an active rank",
+        "command during tRFC",
+        "command to a powered-down rank",
+        "tXP power-down exit",
+    ];
+    let have: Vec<&str> = witnesses().iter().map(|(n, _)| *n).collect();
+    for name in expected {
+        assert!(have.contains(&name), "no violation witness for {name:?}");
+    }
+    assert_eq!(have.len(), expected.len(), "stale witness entries");
+}
+
+/// Each witness becomes legal when its offending command is moved to the
+/// first legal cycle the violation reports — the `earliest` hint is not
+/// just documentation.
+#[test]
+fn earliest_hints_are_actionable() {
+    let geom = Geometry::paper_default();
+    let t = TimingParams::ddr3_1600();
+    let checker = TimingChecker::new(geom, t);
+    for (name, stream) in witnesses() {
+        let vs = checker.check(&stream);
+        let Some(v) = vs.iter().find(|v| v.constraint == name) else { continue };
+        let Some(earliest) = v.earliest else { continue };
+        let fixed: Vec<TimedCommand> = stream
+            .iter()
+            .map(|c| {
+                if c.cmd == v.cmd && c.cycle == v.cycle {
+                    TimedCommand::new(c.cmd, earliest)
+                } else {
+                    *c
+                }
+            })
+            .collect();
+        let still: Vec<_> =
+            checker.check(&fixed).iter().filter(|w| w.constraint == name).cloned().collect();
+        assert!(still.is_empty(), "{name:?}: still flagged after moving to earliest: {still:?}");
+    }
+}

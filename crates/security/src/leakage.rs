@@ -1,5 +1,30 @@
 //! Information-theoretic leakage estimators.
 
+use std::fmt;
+
+/// Invalid input to a leakage estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeakageError {
+    /// Observation and secret slices must pair up one-to-one.
+    MismatchedLengths { observations: usize, secrets: usize },
+    /// A histogram needs at least one bin.
+    ZeroBins,
+}
+
+impl fmt::Display for LeakageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeakageError::MismatchedLengths { observations, secrets } => write!(
+                f,
+                "paired samples required: {observations} observations vs {secrets} secrets"
+            ),
+            LeakageError::ZeroBins => f.write_str("histogram bins must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for LeakageError {}
+
 /// Binary entropy in bits.
 fn h2(p: f64) -> f64 {
     if p <= 0.0 || p >= 1.0 {
@@ -23,12 +48,40 @@ pub fn binary_channel_capacity(ber: f64) -> f64 {
 /// degenerate inputs (empty, constant observations, or single-class
 /// secrets).
 ///
-/// # Panics
-///
-/// Panics if the slices have different lengths or `bins` is zero.
+/// Infallible version of [`try_mutual_information`]: mismatched slice
+/// lengths are truncated to the shorter one and `bins = 0` is treated as
+/// 1, so a degenerate measurement (e.g. from a run cut short by an
+/// injected fault) saturates to a harmless estimate instead of aborting
+/// the suite.
 pub fn mutual_information(observations: &[f64], secret: &[bool], bins: usize) -> f64 {
-    assert_eq!(observations.len(), secret.len(), "paired samples required");
-    assert!(bins > 0, "bins must be non-zero");
+    let n = observations.len().min(secret.len());
+    mi_impl(&observations[..n], &secret[..n], bins.max(1))
+}
+
+/// [`mutual_information`] with strict input validation.
+///
+/// # Errors
+///
+/// [`LeakageError::MismatchedLengths`] when the slices do not pair up,
+/// [`LeakageError::ZeroBins`] when `bins` is zero.
+pub fn try_mutual_information(
+    observations: &[f64],
+    secret: &[bool],
+    bins: usize,
+) -> Result<f64, LeakageError> {
+    if observations.len() != secret.len() {
+        return Err(LeakageError::MismatchedLengths {
+            observations: observations.len(),
+            secrets: secret.len(),
+        });
+    }
+    if bins == 0 {
+        return Err(LeakageError::ZeroBins);
+    }
+    Ok(mi_impl(observations, secret, bins))
+}
+
+fn mi_impl(observations: &[f64], secret: &[bool], bins: usize) -> f64 {
     let n = observations.len();
     if n == 0 {
         return 0.0;
@@ -105,8 +158,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "paired samples")]
-    fn mismatched_lengths_panic() {
-        mutual_information(&[1.0], &[], 8);
+    fn mismatched_lengths_saturate_instead_of_panicking() {
+        // Truncated to the empty prefix: zero information, no abort.
+        assert_eq!(mutual_information(&[1.0], &[], 8), 0.0);
+        let obs = [10.0, 20.0, 10.0, 20.0, 30.0];
+        let secret = [true, false, true, false];
+        let loose = mutual_information(&obs, &secret, 8);
+        let strict = mutual_information(&obs[..4], &secret, 8);
+        assert_eq!(loose, strict, "extra observations are dropped");
+        // Zero bins saturates to one bin (a constant histogram).
+        assert_eq!(mutual_information(&obs, &[true; 5], 0), 0.0);
+    }
+
+    #[test]
+    fn try_variant_rejects_bad_inputs_with_typed_errors() {
+        assert_eq!(
+            try_mutual_information(&[1.0], &[], 8),
+            Err(LeakageError::MismatchedLengths { observations: 1, secrets: 0 })
+        );
+        let err = try_mutual_information(&[1.0], &[true], 0).unwrap_err();
+        assert_eq!(err, LeakageError::ZeroBins);
+        assert!(err.to_string().contains("non-zero"));
+        let ok = try_mutual_information(&[1.0, 2.0], &[true, false], 4).unwrap();
+        assert!(ok >= 0.0);
     }
 }

@@ -21,6 +21,11 @@ pub mod noninterference;
 pub mod profile;
 
 pub use channel::{run_covert_channel, CovertChannelReport};
-pub use leakage::{binary_channel_capacity, mutual_information};
-pub use noninterference::{check_noninterference, execution_profile, NonInterferenceReport};
+pub use leakage::{
+    binary_channel_capacity, mutual_information, try_mutual_information, LeakageError,
+};
+pub use noninterference::{
+    check_noninterference, check_noninterference_faulted, execution_profile,
+    execution_profile_faulted, NonInterferenceReport,
+};
 pub use profile::ExecutionProfile;

@@ -4,7 +4,7 @@
 use crate::profile::ExecutionProfile;
 use fsmc_core::sched::SchedulerKind;
 use fsmc_cpu::trace::TraceSource;
-use fsmc_sim::{System, SystemConfig};
+use fsmc_sim::{FaultPlan, FsmcError, System, SystemConfig};
 use fsmc_workload::{BenchProfile, FloodTrace, IdleTrace, SyntheticTrace};
 
 /// What the attacker thread ran against (Figure 4's two environments).
@@ -59,6 +59,51 @@ pub fn execution_profile(
     ExecutionProfile::new(sys.run_profile(0, bucket_instrs, buckets), bucket_instrs)
 }
 
+/// [`execution_profile`] under an injected [`FaultPlan`], with the
+/// online invariant monitor armed: the attacker's profile is taken while
+/// the controller absorbs (or fails under) the plan's faults, and any
+/// stall, poisoning or invariant breach surfaces as a structured error
+/// carrying the plan's repro provenance.
+///
+/// Timing perturbations, command faults and device faults all apply;
+/// trace-corruption faults do not (the harness owns its traces — the
+/// attacker's instruction stream must stay identical across
+/// environments for profiles to be comparable at all).
+///
+/// # Errors
+///
+/// As for [`fsmc_sim::System::try_run_cycles`], plus construction
+/// failures for infeasible perturbed timing.
+pub fn execution_profile_faulted(
+    scheduler: SchedulerKind,
+    co: CoRunners,
+    bucket_instrs: u64,
+    buckets: usize,
+    plan: &FaultPlan,
+) -> Result<ExecutionProfile, FsmcError> {
+    let mut cfg = SystemConfig::paper_default(scheduler);
+    cfg.monitor = true;
+    plan.perturb_timing(&mut cfg.timing);
+    let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(cfg.cores as usize);
+    traces.push(Box::new(SyntheticTrace::new(BenchProfile::mcf(), 0xA77AC)));
+    for _ in 1..cfg.cores {
+        match co {
+            CoRunners::Idle => traces.push(Box::new(IdleTrace)),
+            CoRunners::MemoryIntensive => traces.push(Box::new(FloodTrace::new())),
+        }
+    }
+    let mut sys = System::try_new(&cfg, traces)?;
+    if let Some(spec) = plan.cmd_fault_spec() {
+        sys.controller_mut().inject_command_faults(spec);
+    }
+    if let Some(t) = plan.device_timing(&cfg.timing) {
+        sys.controller_mut().set_device_timing(t);
+    }
+    let boundaries =
+        sys.try_run_profile(0, bucket_instrs, buckets).map_err(|e| e.with_provenance(plan))?;
+    Ok(ExecutionProfile::new(boundaries, bucket_instrs))
+}
+
 /// Runs the attacker under both environments and reports.
 ///
 /// ```no_run
@@ -85,6 +130,42 @@ pub fn check_noninterference(
     }
 }
 
+/// Security under fault: runs the attacker under both environments with
+/// the same fault plan injected in each, and checks whether the profiles
+/// stay bit-identical. The FS guarantee must survive graceful
+/// degradation — a fault that demotes the controller to the conservative
+/// pipeline demotes it *identically* regardless of co-runner behaviour,
+/// so even a degraded FS system leaks nothing.
+///
+/// # Errors
+///
+/// Whichever environment's run fails first (stall, poisoning, invariant
+/// breach, infeasible perturbed timing), with provenance attached.
+pub fn check_noninterference_faulted(
+    scheduler: SchedulerKind,
+    bucket_instrs: u64,
+    buckets: usize,
+    plan: &FaultPlan,
+) -> Result<NonInterferenceReport, FsmcError> {
+    Ok(NonInterferenceReport {
+        scheduler,
+        idle_profile: execution_profile_faulted(
+            scheduler,
+            CoRunners::Idle,
+            bucket_instrs,
+            buckets,
+            plan,
+        )?,
+        intensive_profile: execution_profile_faulted(
+            scheduler,
+            CoRunners::MemoryIntensive,
+            bucket_instrs,
+            buckets,
+            plan,
+        )?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +180,41 @@ mod tests {
     fn fs_triple_alternation_is_non_interfering() {
         let r = check_noninterference(SchedulerKind::FsTripleAlternation, 1000, 5);
         assert!(r.is_non_interfering(), "divergence {}", r.max_divergence());
+    }
+
+    #[test]
+    fn monitored_profile_matches_unmonitored_on_clean_runs() {
+        // Arming the monitor (via an empty fault plan) observes without
+        // perturbing: the attacker's profile is unchanged and no breach
+        // fires on a healthy FS run.
+        let plain = execution_profile(SchedulerKind::FsRankPartitioned, CoRunners::Idle, 1000, 5);
+        let armed = execution_profile_faulted(
+            SchedulerKind::FsRankPartitioned,
+            CoRunners::Idle,
+            1000,
+            5,
+            &FaultPlan::new(0),
+        )
+        .expect("clean run must not breach the monitor");
+        assert!(plain.identical(&armed), "monitoring changed the profile");
+    }
+
+    #[test]
+    fn fs_stays_bit_identical_under_graceful_degradation() {
+        use fsmc_sim::FaultKind;
+        // A 3x-stretched refresh forces the controller onto the
+        // conservative pipeline mid-run. Degradation is triggered by the
+        // wall-clock refresh cadence, so it happens identically in both
+        // environments — and the degraded pipeline is still FS: the
+        // profiles must remain bit-identical even while degraded.
+        let plan = FaultPlan::new(11).with(FaultKind::StretchRefresh { factor: 3 });
+        let r = check_noninterference_faulted(SchedulerKind::FsRankPartitioned, 1000, 5, &plan)
+            .expect("stretch-refresh must degrade gracefully, not fail");
+        assert!(
+            r.is_non_interfering(),
+            "degraded FS leaked: divergence {} cycles",
+            r.max_divergence()
+        );
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub struct SystemConfig {
     /// aborts with a [`crate::error::FsmcError::Watchdog`] diagnosis.
     /// Zero disables the watchdog.
     pub watchdog_cycles: u64,
+    /// Online invariant monitoring: every issued command is checked
+    /// incrementally against the Table-1 rules plus the controller's
+    /// advertised FS cadence, refresh deadlines and queue bounds.
+    /// Breaches abort [`crate::System::try_run_cycles`] with a
+    /// [`crate::error::FsmcError::Invariant`] the cycle they occur.
+    /// Implies command recording at the device level.
+    pub monitor: bool,
 }
 
 impl SystemConfig {
@@ -44,6 +51,7 @@ impl SystemConfig {
             energy_options: EnergyOptions::default(),
             record_commands: false,
             watchdog_cycles: 20_000,
+            monitor: false,
         }
     }
 

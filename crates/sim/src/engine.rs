@@ -113,6 +113,10 @@ impl ExperimentJob {
     ///
     /// As for [`ExperimentJob::run`].
     pub fn run_with(&self, cache: &TraceCache) -> Result<RunResult, FsmcError> {
+        self.run_inner(cache).map_err(|e| e.with_provenance(&self.faults))
+    }
+
+    fn run_inner(&self, cache: &TraceCache) -> Result<RunResult, FsmcError> {
         let mut cfg = self
             .config
             .unwrap_or_else(|| SystemConfig::with_cores(self.scheduler, self.mix.cores() as u8));

@@ -7,6 +7,7 @@
 //! simulation watchdog. One failing policy run therefore yields a
 //! structured error value instead of killing a whole suite.
 
+use crate::faults::FaultPlan;
 use fsmc_core::error::{ConfigError, CoreError};
 use fsmc_core::sched::SchedulerKind;
 use fsmc_core::solver::SolveError;
@@ -15,26 +16,54 @@ use fsmc_cpu::trace_file::TraceError;
 use fsmc_dram::checker::Violation;
 use std::fmt;
 
+/// The fault plan that was active when a run failed: seed plus the plan's
+/// spec string, enough to rebuild the exact plan from the error text alone
+/// (`fsmc chaos --fault-seed <seed> --faults '<spec>'`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultProvenance {
+    pub seed: u64,
+    /// [`FaultPlan::spec`] rendering of the active fault list.
+    pub spec: String,
+}
+
+impl FaultProvenance {
+    pub fn of(plan: &FaultPlan) -> Self {
+        FaultProvenance { seed: plan.seed, spec: plan.spec() }
+    }
+}
+
+impl fmt::Display for FaultProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "repro: --fault-seed {} --faults '{}'", self.seed, self.spec)
+    }
+}
+
 /// A runtime timing violation that survived the controller's single
 /// repair attempt (the controller is poisoned).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TimingFault {
     /// The policy that was running when the pipeline failed.
     pub scheduler: SchedulerKind,
     /// The command the device rejected.
     pub violation: Violation,
+    /// The fault plan active during the run, when one was injected.
+    pub provenance: Option<FaultProvenance>,
 }
 
 impl fmt::Display for TimingFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} poisoned by timing violation: {}", self.scheduler, self.violation)
+        write!(f, "{} poisoned by timing violation: {}", self.scheduler, self.violation)?;
+        if let Some(p) = &self.provenance {
+            write!(f, "; {p}")?;
+        }
+        Ok(())
     }
 }
 
 /// The watchdog's diagnosis of a starved or deadlocked simulation: which
 /// domain is stuck, where its oldest outstanding read maps, and for how
 /// long nothing has retired.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct WatchdogReport {
     /// DRAM cycle at which the watchdog fired.
     pub cycle: u64,
@@ -49,6 +78,8 @@ pub struct WatchdogReport {
     pub oldest: TxnId,
     /// Total outstanding demand reads.
     pub outstanding: usize,
+    /// The fault plan active during the run, when one was injected.
+    pub provenance: Option<FaultProvenance>,
 }
 
 impl fmt::Display for WatchdogReport {
@@ -64,7 +95,62 @@ impl fmt::Display for WatchdogReport {
             self.rank,
             self.bank,
             self.outstanding
-        )
+        )?;
+        if let Some(p) = &self.provenance {
+            write!(f, "; {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What the online invariant monitor flagged: either a Table-1 timing rule
+/// broken by a specific command, or an FS-level invariant (slot cadence,
+/// refresh deadline, queue bound) with a rendered detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorFinding {
+    /// A per-command DDR3 rule violation from the stream monitor.
+    Command(Violation),
+    /// A schedule-integrity invariant, with context.
+    Invariant { invariant: &'static str, detail: String },
+}
+
+impl fmt::Display for MonitorFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorFinding::Command(v) => write!(f, "{v}"),
+            MonitorFinding::Invariant { invariant, detail } => write!(f, "{invariant}: {detail}"),
+        }
+    }
+}
+
+/// An invariant violation caught *online* by the monitor — the command (or
+/// missed deadline) was flagged on the cycle it happened, not in a post-hoc
+/// replay. Unlike [`TimingFault`], the controller itself may believe the
+/// run is healthy: the monitor exists precisely to catch drift the issue
+/// path does not notice (e.g. a delayed command that is device-legal but
+/// off its solved slot phase).
+#[derive(Debug, Clone)]
+pub struct InvariantBreach {
+    /// The policy that was running.
+    pub scheduler: SchedulerKind,
+    /// DRAM cycle at which the monitor flagged the breach.
+    pub cycle: u64,
+    pub finding: MonitorFinding,
+    /// The fault plan active during the run, when one was injected.
+    pub provenance: Option<FaultProvenance>,
+}
+
+impl fmt::Display for InvariantBreach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant monitor: {} breached at cycle {}: {}",
+            self.scheduler, self.cycle, self.finding
+        )?;
+        if let Some(p) = &self.provenance {
+            write!(f, "; {p}")?;
+        }
+        Ok(())
     }
 }
 
@@ -81,6 +167,40 @@ pub enum FsmcError {
     Trace(TraceError),
     /// The simulation stopped making progress.
     Watchdog(WatchdogReport),
+    /// The online invariant monitor flagged a breach.
+    Invariant(InvariantBreach),
+}
+
+impl FsmcError {
+    /// Attaches fault-plan provenance to the variants that describe a
+    /// runtime failure, so the repro line appears in the error text. A
+    /// plan without faults attaches nothing.
+    #[must_use]
+    pub fn with_provenance(mut self, plan: &FaultPlan) -> Self {
+        if plan.faults.is_empty() {
+            return self;
+        }
+        let p = FaultProvenance::of(plan);
+        match &mut self {
+            FsmcError::Timing(t) => t.provenance = Some(p),
+            FsmcError::Watchdog(w) => w.provenance = Some(p),
+            FsmcError::Invariant(b) => b.provenance = Some(p),
+            // Construction-time failures (solve/config/trace) already name
+            // the bad input; the plan is visible to whoever built it.
+            FsmcError::Solve(_) | FsmcError::Config(_) | FsmcError::Trace(_) => {}
+        }
+        self
+    }
+
+    /// The attached fault-plan provenance, if any.
+    pub fn provenance(&self) -> Option<&FaultProvenance> {
+        match self {
+            FsmcError::Timing(t) => t.provenance.as_ref(),
+            FsmcError::Watchdog(w) => w.provenance.as_ref(),
+            FsmcError::Invariant(b) => b.provenance.as_ref(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FsmcError {
@@ -91,6 +211,7 @@ impl fmt::Display for FsmcError {
             FsmcError::Timing(e) => write!(f, "{e}"),
             FsmcError::Trace(e) => write!(f, "{e}"),
             FsmcError::Watchdog(e) => write!(f, "{e}"),
+            FsmcError::Invariant(e) => write!(f, "{e}"),
         }
     }
 }
@@ -101,7 +222,7 @@ impl std::error::Error for FsmcError {
             FsmcError::Solve(e) => Some(e),
             FsmcError::Config(e) => Some(e),
             FsmcError::Trace(e) => Some(e),
-            FsmcError::Timing(_) | FsmcError::Watchdog(_) => None,
+            FsmcError::Timing(_) | FsmcError::Watchdog(_) | FsmcError::Invariant(_) => None,
         }
     }
 }
@@ -153,9 +274,45 @@ mod tests {
             bank: 0,
             oldest: TxnId(17),
             outstanding: 9,
+            provenance: None,
         });
         let msg = wd.to_string();
         assert!(msg.contains("domain 3") && msg.contains("20001 cycles"), "{msg}");
+    }
+
+    #[test]
+    fn provenance_renders_a_standalone_repro_line() {
+        use crate::faults::FaultKind;
+        let plan = FaultPlan::new(77).with(FaultKind::DropCommand { period: 3, max: 1 });
+        let wd = FsmcError::Watchdog(WatchdogReport {
+            cycle: 1,
+            stalled_for: 2,
+            domain: 0,
+            rank: 0,
+            bank: 0,
+            oldest: TxnId(0),
+            outstanding: 1,
+            provenance: None,
+        })
+        .with_provenance(&plan);
+        let msg = wd.to_string();
+        assert!(msg.contains("repro: --fault-seed 77 --faults 'drop(3,1)'"), "{msg}");
+        // Rebuilding the plan from the error text reproduces it exactly.
+        let p = wd.provenance().unwrap();
+        assert_eq!(FaultPlan::parse_spec(p.seed, &p.spec).unwrap(), plan);
+        // An empty plan attaches nothing.
+        let clean = FsmcError::Watchdog(WatchdogReport {
+            cycle: 1,
+            stalled_for: 2,
+            domain: 0,
+            rank: 0,
+            bank: 0,
+            oldest: TxnId(0),
+            outstanding: 1,
+            provenance: None,
+        })
+        .with_provenance(&FaultPlan::new(5));
+        assert!(clean.provenance().is_none());
     }
 
     #[test]

@@ -34,6 +34,33 @@ pub enum TimingField {
 }
 
 impl TimingField {
+    /// The name used in fault-plan spec strings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TimingField::TRc => "trc",
+            TimingField::TRcd => "trcd",
+            TimingField::TRas => "tras",
+            TimingField::TFaw => "tfaw",
+            TimingField::TRtrs => "trtrs",
+            TimingField::TRfc => "trfc",
+            TimingField::TWtr => "twtr",
+        }
+    }
+
+    /// Parses a spec-string field name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "trc" => TimingField::TRc,
+            "trcd" => TimingField::TRcd,
+            "tras" => TimingField::TRas,
+            "tfaw" => TimingField::TFaw,
+            "trtrs" => TimingField::TRtrs,
+            "trfc" => TimingField::TRfc,
+            "twtr" => TimingField::TWtr,
+            _ => return None,
+        })
+    }
+
     /// Applies `delta` to the field in `t`, saturating at zero.
     pub fn apply(&self, t: &mut TimingParams, delta: i32) {
         let f = match self {
@@ -141,6 +168,83 @@ impl FaultPlan {
         })
     }
 
+    /// Renders the fault list as a compact spec string — the repro format
+    /// printed in error provenance and accepted by `fsmc chaos --faults`.
+    ///
+    /// Round-trips through [`FaultPlan::parse_spec`]:
+    /// `delay(50,5,1)+stretch-refresh(40)` and friends; an empty plan is
+    /// `none`.
+    pub fn spec(&self) -> String {
+        if self.faults.is_empty() {
+            return "none".into();
+        }
+        self.faults
+            .iter()
+            .map(|f| match f {
+                FaultKind::DelayCommand { period, delay, max } => {
+                    format!("delay({period},{delay},{max})")
+                }
+                FaultKind::DropCommand { period, max } => format!("drop({period},{max})"),
+                FaultKind::StretchRefresh { factor } => format!("stretch-refresh({factor})"),
+                FaultKind::PerturbTiming { field, delta } => {
+                    format!("perturb({},{delta})", field.name())
+                }
+                FaultKind::CorruptTrace { core, period } => {
+                    format!("corrupt-trace({core},{period})")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Parses a spec string produced by [`FaultPlan::spec`] back into a
+    /// plan with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed component.
+    pub fn parse_spec(seed: u64, spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(seed);
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(plan);
+        }
+        for part in spec.split('+') {
+            let part = part.trim();
+            let (name, args) = part
+                .strip_suffix(')')
+                .and_then(|p| p.split_once('('))
+                .ok_or_else(|| format!("malformed fault component {part:?}"))?;
+            let args: Vec<&str> = args.split(',').map(str::trim).collect();
+            let num = |i: usize| -> Result<u64, String> {
+                args.get(i)
+                    .and_then(|a| a.parse::<u64>().ok())
+                    .ok_or_else(|| format!("bad numeric argument {} in {part:?}", i + 1))
+            };
+            let fault = match (name, args.len()) {
+                ("delay", 3) => {
+                    FaultKind::DelayCommand { period: num(0)?, delay: num(1)?, max: num(2)? }
+                }
+                ("drop", 2) => FaultKind::DropCommand { period: num(0)?, max: num(1)? },
+                ("stretch-refresh", 1) => FaultKind::StretchRefresh { factor: num(0)? as u32 },
+                ("perturb", 2) => {
+                    let field = TimingField::from_name(args[0])
+                        .ok_or_else(|| format!("unknown timing field {:?} in {part:?}", args[0]))?;
+                    let delta = args[1]
+                        .parse::<i32>()
+                        .map_err(|_| format!("bad delta {:?} in {part:?}", args[1]))?;
+                    FaultKind::PerturbTiming { field, delta }
+                }
+                ("corrupt-trace", 2) => {
+                    FaultKind::CorruptTrace { core: num(0)? as usize, period: num(1)? as usize }
+                }
+                _ => return Err(format!("unknown fault component {part:?}")),
+            };
+            plan = plan.with(fault);
+        }
+        Ok(plan)
+    }
+
     /// Corrupts every `period`-th record line of a text-format trace. The
     /// corruption shape is chosen by the plan's seed: a non-numeric gap, a
     /// bogus direction letter, or a non-hex address.
@@ -207,6 +311,39 @@ mod tests {
         assert_eq!(spec.drop_period, 11);
         assert_eq!(spec.max_faults, 3);
         assert!(FaultPlan::new(0).cmd_fault_spec().is_none());
+    }
+
+    #[test]
+    fn spec_round_trips_every_fault_kind() {
+        let plan = FaultPlan::new(17)
+            .with(FaultKind::DelayCommand { period: 50, delay: 5, max: 1 })
+            .with(FaultKind::DropCommand { period: 400, max: 2 })
+            .with(FaultKind::StretchRefresh { factor: 40 })
+            .with(FaultKind::PerturbTiming { field: TimingField::TRtrs, delta: -2 })
+            .with(FaultKind::CorruptTrace { core: 3, period: 7 });
+        let spec = plan.spec();
+        assert_eq!(
+            spec,
+            "delay(50,5,1)+drop(400,2)+stretch-refresh(40)+perturb(trtrs,-2)+corrupt-trace(3,7)"
+        );
+        assert_eq!(FaultPlan::parse_spec(17, &spec).unwrap(), plan);
+        // The empty plan round-trips through "none".
+        assert_eq!(FaultPlan::new(9).spec(), "none");
+        assert_eq!(FaultPlan::parse_spec(9, "none").unwrap(), FaultPlan::new(9));
+    }
+
+    #[test]
+    fn parse_spec_rejects_garbage_with_context() {
+        for (bad, needle) in [
+            ("delay(1,2)", "unknown fault component"),
+            ("explode(3)", "unknown fault component"),
+            ("delay(1,x,3)", "bad numeric argument"),
+            ("perturb(tzz,1)", "unknown timing field"),
+            ("delay(1,2,3", "malformed fault component"),
+        ] {
+            let err = FaultPlan::parse_spec(0, bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?} -> {err:?}");
+        }
     }
 
     #[test]

@@ -22,22 +22,40 @@
 //!   thread count.
 //! * [`error`] — the typed failure hierarchy ([`error::FsmcError`]):
 //!   solver infeasibility, bad configuration, runtime timing poisoning,
-//!   trace corruption and watchdog-detected starvation.
+//!   trace corruption, watchdog-detected starvation and online invariant
+//!   breaches — failing runs carry fault-plan provenance for one-line
+//!   repro.
 //! * [`faults`] — deterministic, seedable fault injection
 //!   ([`faults::FaultPlan`]) for robustness experiments.
+//! * [`monitor`] — the online invariant monitor
+//!   ([`monitor::InvariantMonitor`]): Table-1 stream legality, FS slot
+//!   cadence, refresh deadlines and queue bounds, checked as commands
+//!   issue.
+//! * [`campaign`] — the chaos campaign: seeded fault-plan populations,
+//!   outcome classification against a fault-free reference, and greedy
+//!   shrinking of failing plans to 1-minimal fault sets.
 
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod faults;
+pub mod monitor;
 pub mod runner;
 pub mod stats;
 pub mod system;
 
+pub use campaign::{
+    classify, generate_population, run_campaign, run_single, CampaignConfig, CampaignReport,
+    CaseReport, Outcome, SplitMix64,
+};
 pub use config::SystemConfig;
 pub use engine::{ControllerFactory, Engine, ExperimentJob, ExperimentPlan};
-pub use error::{FsmcError, TimingFault, WatchdogReport};
+pub use error::{
+    FaultProvenance, FsmcError, InvariantBreach, MonitorFinding, TimingFault, WatchdogReport,
+};
 pub use faults::{FaultKind, FaultPlan, TimingField};
+pub use monitor::InvariantMonitor;
 pub use runner::{
     run_mix, run_mix_faulted, run_mix_suite, run_mix_suite_faulted, RunResult, SuiteResult,
 };

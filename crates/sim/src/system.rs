@@ -1,7 +1,8 @@
 //! The system simulator: cores + MSHRs + controller + DRAM in one loop.
 
 use crate::config::SystemConfig;
-use crate::error::{FsmcError, TimingFault, WatchdogReport};
+use crate::error::{FsmcError, InvariantBreach, TimingFault, WatchdogReport};
+use crate::monitor::InvariantMonitor;
 use crate::stats::SystemStats;
 use fsmc_core::domain::{DomainId, PartitionPolicy};
 use fsmc_core::error::ConfigError;
@@ -83,6 +84,14 @@ pub struct System {
     observe_domain: Option<u8>,
     /// (finish cycle, latency) pairs for the observed domain.
     observations: Vec<(u64, u64)>,
+    /// Online invariant monitor ([`SystemConfig::monitor`]).
+    monitor: Option<InvariantMonitor>,
+    /// Commands already seen by the monitor, retained for
+    /// [`System::take_command_log`] when recording is also on.
+    monitor_log: Vec<TimedCommand>,
+    /// Degradation state at the last monitor drain, to detect schedule
+    /// swaps and re-arm the cadence spec.
+    was_degraded: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -214,9 +223,11 @@ impl System {
     ) -> Self {
         assert_eq!(traces.len(), cfg.cores as usize, "one trace per core required");
         let mut mc = controller;
-        if cfg.record_commands {
+        if cfg.record_commands || cfg.monitor {
             mc.record_commands();
         }
+        let monitor = cfg.monitor.then(|| InvariantMonitor::new(cfg, mc.cadence_spec()));
+        let was_degraded = mc.stats().degraded;
         System {
             cfg: *cfg,
             mc,
@@ -235,6 +246,9 @@ impl System {
             forwarded_reads: 0,
             observe_domain: None,
             observations: Vec::new(),
+            monitor,
+            monitor_log: Vec::new(),
+            was_degraded,
         }
     }
 
@@ -286,8 +300,12 @@ impl System {
     }
 
     /// Takes the recorded command log (empty unless recording enabled).
+    /// With the monitor on, commands it has already drained from the
+    /// device are included ahead of any still in the controller.
     pub fn take_command_log(&mut self) -> Vec<TimedCommand> {
-        self.mc.take_command_log()
+        let mut log = std::mem::take(&mut self.monitor_log);
+        log.extend(self.mc.take_command_log());
+        log
     }
 
     /// Advances one DRAM bus cycle (and the corresponding CPU cycles).
@@ -316,7 +334,43 @@ impl System {
             let cpu_now = c * ratio + sub;
             self.cpu_cycle(cpu_now);
         }
+        // 4. Online invariant monitoring over this cycle's commands.
+        if self.monitor.is_some() {
+            self.drain_monitor(c);
+        }
         self.dram_cycle += 1;
+    }
+
+    /// Feeds the monitor everything the controller issued since the last
+    /// drain and runs the wall-clock invariants for this cycle.
+    fn drain_monitor(&mut self, now: u64) {
+        let cmds = self.mc.take_command_log();
+        let degraded = self.mc.stats().degraded;
+        let transition = degraded != self.was_degraded;
+        self.was_degraded = degraded;
+        // On a degradation transition the drained batch straddles the
+        // schedule swap: commands issued under the old pipeline must not
+        // be judged against the new anchors. Suspend cadence checks for
+        // this batch only, then re-arm on the controller's new spec
+        // (None while degraded — the conservative pipeline has no solved
+        // cadence to enforce).
+        let new_cadence = transition.then(|| self.mc.cadence_spec());
+        let outstanding = self.txn_meta.len();
+        let bound = self.cores.len() * self.cfg.mshr_capacity;
+        let mon = self.monitor.as_mut().expect("drain_monitor requires the monitor");
+        if transition {
+            mon.set_cadence(None);
+        }
+        for tc in &cmds {
+            mon.observe(tc);
+        }
+        if let Some(cadence) = new_cadence {
+            mon.set_cadence(cadence);
+        }
+        mon.on_cycle(now, outstanding, bound);
+        if self.cfg.record_commands {
+            self.monitor_log.extend(cmds);
+        }
     }
 
     fn deliver(&mut self, completion: Completion) {
@@ -442,22 +496,39 @@ impl System {
         let end = self.dram_cycle + cycles;
         while self.dram_cycle < end {
             self.step();
-            if let Some(violation) = self.mc.fault() {
-                return Err(FsmcError::Timing(TimingFault {
-                    scheduler: self.cfg.scheduler,
-                    violation,
-                }));
-            }
-            if self.txn_meta.is_empty() {
-                // Idle pipelines are healthy: restart the stall clock.
-                self.last_progress = self.dram_cycle;
-            } else if self.cfg.watchdog_cycles > 0
-                && self.dram_cycle - self.last_progress > self.cfg.watchdog_cycles
-            {
-                return Err(FsmcError::Watchdog(self.diagnose_stall()));
-            }
+            self.health_check()?;
         }
         Ok(self.stats())
+    }
+
+    /// The per-step health checks shared by [`System::try_run_cycles`]
+    /// and [`System::try_run_profile`]: controller poisoning, monitor
+    /// breaches, then starvation.
+    fn health_check(&mut self) -> Result<(), FsmcError> {
+        if let Some(violation) = self.mc.fault() {
+            return Err(FsmcError::Timing(TimingFault {
+                scheduler: self.cfg.scheduler,
+                violation,
+                provenance: None,
+            }));
+        }
+        if let Some((cycle, finding)) = self.monitor.as_mut().and_then(|m| m.take_breach()) {
+            return Err(FsmcError::Invariant(InvariantBreach {
+                scheduler: self.cfg.scheduler,
+                cycle,
+                finding,
+                provenance: None,
+            }));
+        }
+        if self.txn_meta.is_empty() {
+            // Idle pipelines are healthy: restart the stall clock.
+            self.last_progress = self.dram_cycle;
+        } else if self.cfg.watchdog_cycles > 0
+            && self.dram_cycle - self.last_progress > self.cfg.watchdog_cycles
+        {
+            return Err(FsmcError::Watchdog(self.diagnose_stall()));
+        }
+        Ok(())
     }
 
     /// Builds the watchdog's diagnosis from the oldest outstanding read.
@@ -473,6 +544,7 @@ impl System {
             bank: loc.bank.0,
             oldest,
             outstanding: self.txn_meta.len(),
+            provenance: None,
         }
     }
 
@@ -503,6 +575,36 @@ impl System {
             }
         }
         boundaries
+    }
+
+    /// Fallible [`System::run_profile`] with the same health monitoring
+    /// as [`System::try_run_cycles`]: used to take execution profiles
+    /// under injected faults, where a stall or invariant breach must
+    /// surface as a structured error rather than a short profile.
+    ///
+    /// # Errors
+    ///
+    /// As for [`System::try_run_cycles`].
+    pub fn try_run_profile(
+        &mut self,
+        core_idx: usize,
+        bucket_instrs: u64,
+        buckets: usize,
+    ) -> Result<Vec<u64>, FsmcError> {
+        let mut boundaries = Vec::with_capacity(buckets);
+        let mut next_target = bucket_instrs;
+        let hard_stop = self.dram_cycle + 80_000_000;
+        while boundaries.len() < buckets && self.dram_cycle < hard_stop {
+            self.step();
+            self.health_check()?;
+            while boundaries.len() < buckets
+                && self.cores[core_idx].stats().instructions_retired >= next_target
+            {
+                boundaries.push(self.dram_cycle * self.cfg.timing.cpu_ratio as u64);
+                next_target += bucket_instrs;
+            }
+        }
+        Ok(boundaries)
     }
 
     /// Starts recording (finish, latency) pairs for `domain`'s demand

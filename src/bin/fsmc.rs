@@ -21,7 +21,9 @@ use fsmc::core::solver::{
 use fsmc::cpu::trace_file::record_trace;
 use fsmc::dram::TimingParams;
 use fsmc::security::noninterference::check_noninterference;
-use fsmc::sim::{Engine, ExperimentJob, SystemConfig};
+use fsmc::sim::{
+    run_campaign, run_single, CampaignConfig, Engine, ExperimentJob, FaultPlan, SystemConfig,
+};
 use fsmc::workload::{BenchProfile, SyntheticTrace, WorkloadMix};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "suite" => cmd_suite(&opts),
         "attack" => cmd_attack(&opts),
+        "chaos" => cmd_chaos(&opts),
         "record" => cmd_record(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -74,6 +77,11 @@ USAGE:
   fsmc suite [--schedulers K,K,..] [--cycles N] [--seed S]
                                       weighted-IPC table over the 12-mix suite
   fsmc attack [--scheduler KIND]      measure co-runner interference
+  fsmc chaos [--scheduler KIND] [--workload NAME] [--cycles N] [--cores N]
+             [--population N] [--seed S] [--run-seed S]
+             [--fault-seed S --faults 'SPEC']
+                                      fault-injection campaign with shrinking;
+                                      with --faults, reproduce one case
   fsmc record --workload NAME --ops N --out FILE   export a USIMM trace
 
 SCHEDULERS: baseline, baseline-prefetch, fs-rp, fs-rp-prefetch, fs-bp,
@@ -289,6 +297,41 @@ fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
         "verdict                     {}",
         if report.is_non_interfering() { "NON-INTERFERING (zero leakage)" } else { "LEAKS" }
     );
+    Ok(())
+}
+
+fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = scheduler_kind(opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp"))?;
+    let cores = get_u64(opts, "cores", 4)? as usize;
+    let wl = opts.get("workload").map(String::as_str).unwrap_or("mcf");
+    let mut cfg = CampaignConfig::new(get_u64(opts, "seed", 1)?);
+    cfg.mix = match wl {
+        "mix1" => WorkloadMix::mix1_for(cores),
+        "mix2" => WorkloadMix::mix2_for(cores),
+        name => WorkloadMix::rate(profile(name)?, cores),
+    };
+    cfg.scheduler = kind;
+    cfg.cycles = get_u64(opts, "cycles", 8_000)?;
+    cfg.run_seed = get_u64(opts, "run-seed", 42)?;
+    cfg.population = get_u64(opts, "population", 16)? as usize;
+    if let Some(spec) = opts.get("faults") {
+        // Repro mode: classify exactly one explicit plan.
+        let plan = FaultPlan::parse_spec(get_u64(opts, "fault-seed", 0)?, spec)?;
+        let case = run_single(&cfg, plan).map_err(|e| e.to_string())?;
+        println!("scheduler  {kind}");
+        println!("workload   {} x{} cores, {} cycles", cfg.mix.name, cores, cfg.cycles);
+        println!("faults     {}", case.plan.spec());
+        println!("outcome    {}", case.outcome);
+        if let Some(e) = &case.error {
+            println!("error      {e}");
+        }
+        if let Some(s) = &case.shrunk {
+            println!("shrunk to  {}", s.spec());
+        }
+        return Ok(());
+    }
+    let report = run_campaign(&Engine::from_env(), &cfg).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
     Ok(())
 }
 

@@ -1,0 +1,113 @@
+//! End-to-end chaos-campaign checks: thread-count determinism of the
+//! whole campaign (classification table, errors, shrunk plans), the
+//! online monitor catching silent cadence drift the controller itself
+//! misses, shrinking a seeded multi-fault plan to its minimal culprit,
+//! and provenance repro lines that parse back into the same plan.
+
+use fsmc::core::sched::SchedulerKind as K;
+use fsmc::sim::{
+    run_campaign, CampaignConfig, Engine, ExperimentJob, FaultKind, FaultPlan, FsmcError, Outcome,
+    SystemConfig,
+};
+use fsmc::workload::{BenchProfile, WorkloadMix};
+
+fn small_campaign(scheduler: K) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(1);
+    cfg.population = 6;
+    cfg.cycles = 4_000;
+    cfg.scheduler = scheduler;
+    cfg
+}
+
+#[test]
+fn campaign_is_deterministic_at_any_thread_count() {
+    let cfg = small_campaign(K::FsRankPartitioned);
+    let serial = run_campaign(&Engine::with_threads(1), &cfg).expect("reference run");
+    let parallel = run_campaign(&Engine::with_threads(8), &cfg).expect("reference run");
+    assert_eq!(serial.cases.len(), parallel.cases.len());
+    for (s, p) in serial.cases.iter().zip(&parallel.cases) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(s.plan, p.plan);
+        assert_eq!(s.outcome, p.outcome, "case {} classification", s.index);
+        assert_eq!(s.error, p.error, "case {} error text", s.index);
+        assert_eq!(
+            s.minimal_plan().spec(),
+            p.minimal_plan().spec(),
+            "case {} shrunk plan",
+            s.index
+        );
+    }
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn monitor_catches_silent_cadence_drift_the_controller_misses() {
+    // On the no-partitioning pitch (l = 43) a few cycles of command
+    // delay stay device-legal — every tRC/tRCD bound still holds, the
+    // controller's own checker sees nothing and never degrades — but the
+    // commands have slipped off the solved cadence, silently re-opening
+    // the timing channel. Only the online monitor can flag this.
+    let mix = WorkloadMix::rate(BenchProfile::mcf(), 4);
+    let plan = FaultPlan::new(8).with(FaultKind::DelayCommand { period: 118, delay: 4, max: 3 });
+    let job = |monitor: bool| {
+        let mut cfg = SystemConfig::with_cores(K::FsNoPartitionNaive, 4);
+        cfg.monitor = monitor;
+        ExperimentJob::new(mix.clone(), K::FsNoPartitionNaive, 6_000, 42)
+            .with_config(cfg)
+            .with_faults(plan.clone())
+    };
+    let unmonitored = job(false).run().expect("without the monitor the drift is silent");
+    assert!(!unmonitored.stats.mc.degraded, "controller itself saw nothing");
+    match job(true).run() {
+        Err(FsmcError::Invariant(b)) => {
+            let msg = b.to_string();
+            assert!(msg.contains("off its slot phase"), "{msg}");
+            assert!(msg.contains("--faults 'delay(118,4,3)'"), "provenance: {msg}");
+        }
+        other => panic!("monitor must flag the drift, got {other:?}"),
+    }
+}
+
+#[test]
+fn campaign_shrinks_failures_and_emits_parseable_repro_lines() {
+    let cfg = small_campaign(K::FsRankPartitioned);
+    let report = run_campaign(&Engine::with_threads(4), &cfg).expect("reference run");
+    let failures: Vec<_> = report.failures().collect();
+    assert!(!failures.is_empty(), "seed 1 must surface at least one failure");
+    for case in failures {
+        // Shrinking ran on every multi-fault failure and is 1-minimal.
+        let min = case.minimal_plan();
+        if case.plan.faults.len() > 1 {
+            assert!(case.shrunk.is_some(), "case {} not shrunk", case.index);
+            assert!(min.faults.len() <= case.plan.faults.len());
+        }
+        // Errors carry the provenance of the plan that ran.
+        if let Some(e) = &case.error {
+            assert!(
+                e.contains(&format!("--fault-seed {}", case.plan.seed)),
+                "case {}: {e}",
+                case.index
+            );
+            assert!(e.contains(&format!("--faults '{}'", case.plan.spec())), "{e}");
+        }
+        // The repro line's fault spec parses back into the same plan.
+        let line = report.repro_line(case);
+        let spec = line.split("--faults '").nth(1).and_then(|s| s.strip_suffix('\''));
+        let spec = spec.unwrap_or_else(|| panic!("no fault spec in {line:?}"));
+        let parsed = FaultPlan::parse_spec(min.seed, spec).expect("repro spec parses");
+        assert_eq!(&parsed, min, "repro round-trip for case {}", case.index);
+    }
+}
+
+#[test]
+fn graceful_degradation_is_the_common_response_to_faults() {
+    // The designed behaviour under fault is absorption, not collapse: a
+    // seeded population on the rank-partitioned FS pipeline must show
+    // the system degrading gracefully at least as often as it fails.
+    let cfg = small_campaign(K::FsRankPartitioned);
+    let report = run_campaign(&Engine::with_threads(4), &cfg).expect("reference run");
+    let graceful = report.count(Outcome::GracefulDegrade) + report.count(Outcome::Clean);
+    let failed = report.failures().count();
+    assert!(graceful >= failed, "{graceful} absorbed vs {failed} failed\n{}", report.render());
+    assert_eq!(graceful + failed, cfg.population);
+}
