@@ -1,0 +1,61 @@
+//! Hot-path benchmarks: event-driven fast path vs forced per-cycle
+//! stepping for the throughput scenarios tracked in
+//! `results/bench_throughput.json` (see `fsmc bench-throughput`).
+//!
+//! Each scenario runs twice — once with the fast path armed and once
+//! with [`System::disable_fastpath`] — so a Criterion report shows the
+//! time-skipping speedup directly. `next_event` is also benchmarked in
+//! isolation: it is the fast path's marginal cost (the per-cycle path
+//! never calls it).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fsmc_core::sched::SchedulerKind as K;
+use fsmc_sim::{System, SystemConfig};
+use fsmc_workload::{BenchProfile, WorkloadMix};
+
+const CYCLES: u64 = 5_000;
+
+fn scenarios() -> Vec<(&'static str, K, WorkloadMix)> {
+    vec![
+        ("fs-np-idle-heavy", K::FsNoPartitionNaive, WorkloadMix::rate(BenchProfile::mcf(), 8)),
+        ("fs-rp-mix1", K::FsRankPartitioned, WorkloadMix::mix1_for(8)),
+        ("baseline-memory-intensive", K::Baseline, WorkloadMix::rate(BenchProfile::mcf(), 8)),
+        ("tp-bp-mix2", K::TpBankPartitioned { turn: 60 }, WorkloadMix::mix2_for(8)),
+    ]
+}
+
+fn bench_fast_vs_percycle(c: &mut Criterion) {
+    for (name, kind, mix) in scenarios() {
+        for fast in [true, false] {
+            let path = if fast { "fastpath" } else { "per-cycle" };
+            let mix = mix.clone();
+            c.bench_function(&format!("hot_path/{name}/{path}"), |b| {
+                b.iter(|| {
+                    let cfg = SystemConfig::with_cores(kind, mix.cores() as u8);
+                    let mut sys = System::from_mix(&cfg, &mix, 42);
+                    if !fast {
+                        sys.disable_fastpath();
+                    }
+                    black_box(sys.run_cycles(CYCLES))
+                })
+            });
+        }
+    }
+}
+
+fn bench_next_event(c: &mut Criterion) {
+    for (name, kind, mix) in scenarios() {
+        let cfg = SystemConfig::with_cores(kind, mix.cores() as u8);
+        let mut sys = System::from_mix(&cfg, &mix, 42);
+        // Warm the controller into a loaded steady state, then probe the
+        // scan cost against that queue occupancy.
+        sys.run_cycles(CYCLES);
+        let now = sys.dram_cycle();
+        c.bench_function(&format!("next_event/{name}"), |b| {
+            b.iter(|| black_box(sys.controller().next_event(black_box(now))))
+        });
+    }
+}
+
+criterion_group!(benches, bench_fast_vs_percycle, bench_next_event);
+criterion_main!(benches);

@@ -39,7 +39,7 @@ fn bench_solver(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            black_box(rbp.slot_times(k, (k % 8) as u8, k % 2 == 0))
+            black_box(rbp.slot_times(k, (k % 8) as u8, k.is_multiple_of(2)))
         })
     });
 }

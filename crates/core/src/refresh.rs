@@ -114,6 +114,40 @@ impl RefreshManager {
         }
     }
 
+    /// The next cycle strictly after `now` at which [`Self::command_at`]
+    /// produces a REF command; `Cycle::MAX` if refresh is disabled. Used
+    /// by controllers to advertise their next wall-clock event.
+    pub fn next_command_cycle(&self, now: Cycle) -> Cycle {
+        if !self.enabled {
+            return Cycle::MAX;
+        }
+        let from = (now + 1).max(self.t_refi);
+        if from % self.t_refi < self.ranks as Cycle {
+            from
+        } else {
+            (from / self.t_refi + 1) * self.t_refi
+        }
+    }
+
+    /// The first cycle at or after `from` where
+    /// [`Self::allows_transaction`] is false (quiesce onset or window);
+    /// `Cycle::MAX` if refresh is disabled and nothing ever blocks.
+    pub fn next_blocked_cycle(&self, from: Cycle) -> Cycle {
+        if !self.enabled {
+            return Cycle::MAX;
+        }
+        if !self.allows_transaction(from) {
+            return from;
+        }
+        // `from` passed the check, so it sits outside every window with
+        // `from + lead <= start`: blocking begins once the quiesce margin
+        // before the next window is entered.
+        match self.next_window(from) {
+            Some((start, _)) => start - self.lead + 1,
+            None => Cycle::MAX,
+        }
+    }
+
     /// Fraction of time lost to refresh windows (identical for every
     /// policy and domain).
     pub fn overhead(&self) -> f64 {
@@ -172,6 +206,34 @@ mod tests {
         assert!(!m.in_window(6240));
         assert!(m.command_at(6240).is_none());
         assert_eq!(m.overhead(), 0.0);
+    }
+
+    #[test]
+    fn next_command_cycle_matches_command_at() {
+        let m = mgr();
+        for now in [0, 100, 6239, 6240, 6244, 6247, 6248, 12470] {
+            let next = m.next_command_cycle(now);
+            assert!(m.command_at(next).is_some(), "now={now} next={next}");
+            for c in now + 1..next {
+                assert!(m.command_at(c).is_none(), "now={now} c={c}");
+            }
+        }
+        let off = RefreshManager::disabled(&TimingParams::ddr3_1600(), 8);
+        assert_eq!(off.next_command_cycle(0), Cycle::MAX);
+    }
+
+    #[test]
+    fn next_blocked_cycle_matches_allows_transaction() {
+        let m = mgr();
+        for from in [0, 6000, 6240 - 79, 6240 + 10, 6300] {
+            let next = m.next_blocked_cycle(from);
+            assert!(!m.allows_transaction(next), "from={from} next={next}");
+            for c in from..next {
+                assert!(m.allows_transaction(c), "from={from} c={c}");
+            }
+        }
+        let off = RefreshManager::disabled(&TimingParams::ddr3_1600(), 8);
+        assert_eq!(off.next_blocked_cycle(6240), Cycle::MAX);
     }
 
     #[test]

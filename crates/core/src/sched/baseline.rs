@@ -167,6 +167,22 @@ impl BaselineScheduler {
 
         // Pass 2: oldest transaction whose next command (PRE or ACT) can
         // issue. Never precharge a row some pending transaction still hits.
+        // The guard is answered with one bitmask pass over both queues
+        // (row state is constant until a command issues, and pass 2
+        // returns as soon as it issues); geometries too wide for a u128
+        // fall back to the direct scan.
+        let geom = *self.device.geometry();
+        let bpr = geom.banks_per_rank() as u32;
+        let wide = geom.ranks_per_channel() as u32 * bpr > 128;
+        let mut hit_mask: u128 = 0;
+        if !wide {
+            for q in self.reads.iter().chain(self.writes.iter()) {
+                let l = q.txn.loc;
+                if self.device.open_row(l.rank, l.bank) == Some(l.row) {
+                    hit_mask |= 1u128 << (l.rank.0 as u32 * bpr + l.bank.0 as u32);
+                }
+            }
+        }
         let queue_len = if is_write_queue { self.writes.len() } else { self.reads.len() };
         for i in 0..queue_len {
             let p = if is_write_queue { self.writes[i] } else { self.reads[i] };
@@ -174,11 +190,15 @@ impl BaselineScheduler {
             match self.device.open_row(loc.rank, loc.bank) {
                 Some(r) if r == loc.row => { /* covered by pass 1; bus busy */ }
                 Some(open_row) => {
-                    let someone_hits = self.reads.iter().chain(self.writes.iter()).any(|q| {
-                        q.txn.loc.rank == loc.rank
-                            && q.txn.loc.bank == loc.bank
-                            && q.txn.loc.row == open_row
-                    });
+                    let someone_hits = if wide {
+                        self.reads.iter().chain(self.writes.iter()).any(|q| {
+                            q.txn.loc.rank == loc.rank
+                                && q.txn.loc.bank == loc.bank
+                                && q.txn.loc.row == open_row
+                        })
+                    } else {
+                        hit_mask & (1u128 << (loc.rank.0 as u32 * bpr + loc.bank.0 as u32)) != 0
+                    };
                     if !someone_hits {
                         let pre = Command::precharge(loc.rank, loc.bank);
                         if self.device.can_issue(&pre, now).is_ok() {
@@ -240,20 +260,26 @@ impl MemoryController for BaselineScheduler {
     }
 
     fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        self.tick_into(now, &mut completions);
+        completions
+    }
+
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         // Refresh window handling (identical across policies).
         if let Some(cmd) = self.refresh.command_at(now) {
             self.device.issue(&cmd, now).expect("refresh must be legal after quiesce");
-            return Vec::new();
+            return;
         }
         if self.refresh.in_window(now) {
-            return Vec::new();
+            return;
         }
         let act_allowed = self.refresh.allows_transaction(now);
         if !act_allowed {
             self.quiesce_precharge(now);
             // CAS to already-open rows could run past the window; stop
             // everything except the precharges above.
-            return Vec::new();
+            return;
         }
 
         self.pump_prefetches(now);
@@ -266,19 +292,153 @@ impl MemoryController for BaselineScheduler {
         }
         let drain = self.draining || self.reads.is_empty();
 
-        let mut completions = Vec::new();
         let (issued, c) = self.try_issue(drain, now, act_allowed);
         if let Some(c) = c {
-            completions.push(c);
+            out.push(c);
         }
         if !issued {
             // Opportunistic issue from the other queue.
             let (_, c2) = self.try_issue(!drain, now, act_allowed);
             if let Some(c2) = c2 {
-                completions.push(c2);
+                out.push(c2);
             }
         }
-        completions
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        // The prefetcher can inject new work on any tick with headroom.
+        if self.prefetchers.iter().any(|p| p.has_prefetch()) {
+            return now + 1;
+        }
+        // Wall-clock refresh: the staggered REF commands themselves, and
+        // (outside a window) the quiesce onset where ACTs stop and open
+        // rows get swept closed.
+        let mut next = self.refresh.next_command_cycle(now);
+        if self.refresh.in_window(now + 1) {
+            // Inside the window nothing but REFs issue; the first
+            // transaction command can come no earlier than the window end.
+            if let Some((_, end)) = self.refresh.next_window(now + 1) {
+                next = next.min(end);
+            }
+            return next.max(now + 1);
+        }
+        next = next.min(self.refresh.next_blocked_cycle(now + 1));
+        // FR-FCFS candidates: for each pending transaction, the earliest
+        // cycle its next command (CAS, PRE or ACT per current row state)
+        // could become device-legal *and* pass the scheduler's own
+        // guards. Row state and queue contents only change when a
+        // command issues (the simulator lowers the cached bound via
+        // `enqueue_event_hint` on every enqueue), so no tick before the
+        // minimum over all candidates can issue anything — those cycles
+        // are provable no-ops. A precharge
+        // deferred because pending row hits still target the open row is
+        // excluded: it stays deferred until one of those hits' CAS — a
+        // candidate in its own right — issues first.
+        // Candidate legality is row- and column-independent within each
+        // command class (ACT gates on the bank being closed, CAS on the
+        // row already matching, PRE on the bank being open), so the
+        // per-transaction candidate set dedupes to one representative
+        // command per populated (bank, class): a single classification
+        // pass over both queues builds read-hit / write-hit / conflict /
+        // closed bitmasks — they fit a u128 for any realistic geometry
+        // (the paper's is 8 ranks x 8 banks) — then each set bit costs
+        // one device probe instead of one per queued transaction.
+        let geom = *self.device.geometry();
+        let bpr = geom.banks_per_rank() as u32;
+        if geom.ranks_per_channel() as u32 * bpr > 128 {
+            // Geometry too wide for the bitmasks: per-transaction scan.
+            for p in self.reads.iter().chain(self.writes.iter()) {
+                let loc = p.txn.loc;
+                let cmd = match self.device.open_row(loc.rank, loc.bank) {
+                    Some(r) if r == loc.row => {
+                        if p.txn.is_write {
+                            Command::write(loc.rank, loc.bank, loc.row, loc.col)
+                        } else {
+                            Command::read(loc.rank, loc.bank, loc.row, loc.col)
+                        }
+                    }
+                    Some(open_row) => {
+                        let someone_hits = self.reads.iter().chain(self.writes.iter()).any(|q| {
+                            q.txn.loc.rank == loc.rank
+                                && q.txn.loc.bank == loc.bank
+                                && q.txn.loc.row == open_row
+                        });
+                        if someone_hits {
+                            continue;
+                        }
+                        Command::precharge(loc.rank, loc.bank)
+                    }
+                    None => Command::activate(loc.rank, loc.bank, loc.row),
+                };
+                next = next.min(self.device.next_legal_at(&cmd, now + 1));
+                if next <= now + 1 {
+                    return now + 1;
+                }
+            }
+            return next.max(now + 1);
+        }
+        let (mut read_hit, mut write_hit, mut conflict, mut closed) = (0u128, 0u128, 0u128, 0u128);
+        for q in self.reads.iter().chain(self.writes.iter()) {
+            let l = q.txn.loc;
+            let bit = 1u128 << (l.rank.0 as u32 * bpr + l.bank.0 as u32);
+            match self.device.open_row(l.rank, l.bank) {
+                Some(r) if r == l.row => {
+                    if q.txn.is_write {
+                        write_hit |= bit;
+                    } else {
+                        read_hit |= bit;
+                    }
+                }
+                Some(_) => conflict |= bit,
+                None => closed |= bit,
+            }
+        }
+        // One fused device scan evaluates every candidate: a bank with
+        // any pending row hit never precharges (the FR-FCFS guard), so
+        // conflicted banks only contribute a PRE candidate when no hit
+        // shares the bank.
+        next = next.min(self.device.next_event_bound(
+            now + 1,
+            read_hit,
+            write_hit,
+            conflict & !(read_hit | write_hit),
+            closed,
+        ));
+        next.max(now + 1)
+    }
+
+    fn enqueue_event_hint(&self, txn: &Transaction, now: Cycle) -> Cycle {
+        // A demand read may just have trained the prefetcher (see
+        // `enqueue`); fresh prefetches are pumped on the very next tick.
+        if self.prefetchers.iter().any(|p| p.has_prefetch()) {
+            return now + 1;
+        }
+        // The only *new* issue candidate is this transaction's own next
+        // command: both queues are tried opportunistically every tick,
+        // so existing entries' candidacy is unchanged, and every other
+        // enqueue side effect (row-hit guards on deferred precharges,
+        // drain-priority flips) can only *delay* issues. The precharge
+        // guard is deliberately ignored — a too-early bound merely
+        // costs one no-op tick.
+        let loc = txn.loc;
+        let cmd = match self.device.open_row(loc.rank, loc.bank) {
+            Some(r) if r == loc.row => {
+                if txn.is_write {
+                    Command::write(loc.rank, loc.bank, loc.row, loc.col)
+                } else {
+                    Command::read(loc.rank, loc.bank, loc.row, loc.col)
+                }
+            }
+            Some(_) => Command::precharge(loc.rank, loc.bank),
+            None => Command::activate(loc.rank, loc.bank, loc.row),
+        };
+        let at = self.device.next_legal_at(&cmd, now + 1);
+        if at == Cycle::MAX {
+            // Legality hinges on some other command issuing first; fall
+            // back to a plain re-tick rather than claiming "never".
+            return now + 1;
+        }
+        at.max(now + 1)
     }
 
     fn device(&self) -> &DramDevice {
@@ -303,6 +463,14 @@ impl MemoryController for BaselineScheduler {
 
     fn take_command_log(&mut self) -> Vec<TimedCommand> {
         self.device.take_log()
+    }
+
+    fn has_pending_log(&self) -> bool {
+        self.device.has_log()
+    }
+
+    fn take_command_log_into(&mut self, out: &mut Vec<TimedCommand>) {
+        self.device.take_log_into(out);
     }
 }
 
@@ -409,6 +577,79 @@ mod tests {
         let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
         let violations = checker.check(&log);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn next_event_skips_are_sound_across_idle_refresh_spans() {
+        // A short burst drains, then the controller idles across two
+        // refresh windows; ticking only at next_event cycles must give a
+        // byte-identical command log and stats.
+        let (mut dense, mut sparse) = (mk(), mk());
+        dense.record_commands();
+        sparse.record_commands();
+        for i in 0..8u64 {
+            let t = txn(i, (i % 8) as u8, i * 37, i % 3 == 0);
+            dense.enqueue(t).unwrap();
+            sparse.enqueue(t).unwrap();
+        }
+        let horizon = 14_000u64;
+        let mut dense_done = Vec::new();
+        for c in 0..horizon {
+            dense_done.extend(dense.tick(c));
+        }
+        let mut sparse_done = Vec::new();
+        let mut c = 0u64;
+        while c < horizon {
+            sparse_done.extend(sparse.tick(c));
+            c = sparse.next_event(c);
+        }
+        assert_eq!(dense_done, sparse_done);
+        assert_eq!(dense.take_command_log(), sparse.take_command_log());
+        assert_eq!(dense.stats(), sparse.stats());
+    }
+
+    #[test]
+    fn next_event_skips_are_sound_under_sustained_load() {
+        // A steady mixed read/write stream keeps the queues busy across
+        // refresh windows, write-drain flips, row conflicts and tFAW
+        // pressure — exercising the per-transaction earliest-issue bound
+        // rather than the idle wall-clock one. The sparse loop also wakes
+        // at arrival cycles, mirroring the simulator (which never skips
+        // while any core could enqueue).
+        let (mut dense, mut sparse) = (mk(), mk());
+        dense.record_commands();
+        sparse.record_commands();
+        let arrivals: Vec<(u64, Transaction)> = (0..120u64)
+            .map(|i| (40 * (i / 4), txn(i, (i % 8) as u8, i * 97, i % 4 == 3)))
+            .collect();
+        let horizon = 14_000u64;
+        let mut dense_done = Vec::new();
+        let mut ai = 0;
+        for c in 0..horizon {
+            while ai < arrivals.len() && arrivals[ai].0 <= c {
+                dense.enqueue(arrivals[ai].1).unwrap();
+                ai += 1;
+            }
+            dense_done.extend(dense.tick(c));
+        }
+        let mut sparse_done = Vec::new();
+        let mut ai = 0;
+        let mut c = 0u64;
+        while c < horizon {
+            while ai < arrivals.len() && arrivals[ai].0 <= c {
+                sparse.enqueue(arrivals[ai].1).unwrap();
+                ai += 1;
+            }
+            sparse_done.extend(sparse.tick(c));
+            let mut next = sparse.next_event(c);
+            if ai < arrivals.len() {
+                next = next.min(arrivals[ai].0.max(c + 1));
+            }
+            c = next;
+        }
+        assert_eq!(dense_done, sparse_done);
+        assert_eq!(dense.take_command_log(), sparse.take_command_log());
+        assert_eq!(dense.stats(), sparse.stats());
     }
 
     #[test]

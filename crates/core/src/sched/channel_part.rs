@@ -23,6 +23,8 @@ pub struct ChannelPartitionedController {
     channels: Vec<BaselineScheduler>,
     stats: McStats,
     domains: u8,
+    /// Reusable per-tick completion buffer for the hot path.
+    scratch: Vec<Completion>,
 }
 
 impl ChannelPartitionedController {
@@ -39,6 +41,7 @@ impl ChannelPartitionedController {
             channels: (0..domains).map(|_| BaselineScheduler::new(geom, t, 1, false)).collect(),
             stats: McStats::new(domains as usize),
             domains,
+            scratch: Vec::new(),
         }
     }
 
@@ -78,13 +81,23 @@ impl MemoryController for ChannelPartitionedController {
 
     fn tick(&mut self, now: Cycle) -> Vec<Completion> {
         let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        let scratch = &mut self.scratch;
         for (d, ch) in self.channels.iter_mut().enumerate() {
-            for completion in ch.tick(now) {
+            ch.tick_into(now, scratch);
+            for completion in scratch.drain(..) {
                 let txn = Transaction { domain: DomainId(d as u8), ..completion.txn };
                 out.push(Completion { txn, ..completion });
             }
         }
-        out
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.channels.iter().map(|ch| ch.next_event(now)).min().unwrap_or(now + 1)
     }
 
     fn device(&self) -> &DramDevice {
@@ -125,6 +138,14 @@ impl MemoryController for ChannelPartitionedController {
         // buses would spuriously violate single-channel rules. Use
         // `take_channel_logs` for all of them.
         self.channels[0].take_command_log()
+    }
+
+    fn has_pending_log(&self) -> bool {
+        self.channels[0].has_pending_log()
+    }
+
+    fn take_command_log_into(&mut self, out: &mut Vec<TimedCommand>) {
+        self.channels[0].take_command_log_into(out);
     }
 }
 

@@ -1065,16 +1065,21 @@ impl MemoryController for FsScheduler {
 
     fn tick(&mut self, now: Cycle) -> Vec<Completion> {
         let mut completions = Vec::new();
+        self.tick_into(now, &mut completions);
+        completions
+    }
+
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         if self.fault.is_some() {
             // Poisoned: degradation failed too. Nothing issues; the
             // simulation layer surfaces the stored violation.
-            return completions;
+            return;
         }
         if let Some(cmd) = self.refresh.command_at(now) {
             if let Err(v) = self.device.issue(&cmd, now) {
                 self.on_violation(now, v);
             }
-            return completions;
+            return;
         }
         // Slot/interval decisions.
         if let Some(schedule) = self.schedule {
@@ -1111,8 +1116,27 @@ impl MemoryController for FsScheduler {
                 self.next_interval += 1;
             }
         }
-        self.pump_events(now, &mut completions);
-        completions
+        self.pump_events(now, out);
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        // Everything FS does happens at precomputed cycles: slot/interval
+        // decision points (which also account bubbles), scheduled command
+        // events, and the wall-clock refresh cadence. A poisoned
+        // controller never acts again.
+        if self.fault.is_some() {
+            return Cycle::MAX;
+        }
+        let mut next = self.refresh.next_command_cycle(now);
+        if let Some(s) = &self.schedule {
+            next = next.min(s.plan(self.next_slot).decision_cycle);
+        } else if let Some(r) = &self.reordered {
+            next = next.min(r.decision_cycle(self.next_interval));
+        }
+        for ev in &self.events {
+            next = next.min(ev.cycle);
+        }
+        next.max(now + 1)
     }
 
     fn device(&self) -> &DramDevice {
@@ -1144,6 +1168,14 @@ impl MemoryController for FsScheduler {
 
     fn take_command_log(&mut self) -> Vec<TimedCommand> {
         self.device.take_log()
+    }
+
+    fn has_pending_log(&self) -> bool {
+        self.device.has_log()
+    }
+
+    fn take_command_log_into(&mut self, out: &mut Vec<TimedCommand>) {
+        self.device.take_log_into(out);
     }
 
     fn fault(&self) -> Option<Violation> {
@@ -1322,6 +1354,44 @@ mod tests {
         let checker = TimingChecker::new(Geometry::paper_default(), TimingParams::ddr3_1600());
         let v = checker.check(&mc.take_command_log());
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn next_event_skips_are_sound_for_every_variant() {
+        // Two identical controllers: one ticks every cycle, the other
+        // ticks only at the cycles next_event admits. Completions,
+        // command logs and stats must match exactly.
+        for variant in [
+            FsVariant::RankPartitioned,
+            FsVariant::BankPartitioned,
+            FsVariant::ReorderedBankPartitioned,
+            FsVariant::NoPartitionNaive,
+            FsVariant::TripleAlternation,
+        ] {
+            let policy = variant.partition_policy();
+            let (mut dense, mut sparse) = (mk(variant), mk(variant));
+            dense.record_commands();
+            sparse.record_commands();
+            for i in 0..16u64 {
+                let t = txn(i, (i % 8) as u8, i * 17, i % 3 == 0, policy);
+                dense.enqueue(t).unwrap();
+                sparse.enqueue(t).unwrap();
+            }
+            let horizon = 8000u64;
+            let mut dense_done = Vec::new();
+            for c in 0..horizon {
+                dense_done.extend(dense.tick(c));
+            }
+            let mut sparse_done = Vec::new();
+            let mut c = 0u64;
+            while c < horizon {
+                sparse_done.extend(sparse.tick(c));
+                c = sparse.next_event(c);
+            }
+            assert_eq!(dense_done, sparse_done, "{variant:?}");
+            assert_eq!(dense.take_command_log(), sparse.take_command_log(), "{variant:?}");
+            assert_eq!(dense.stats(), sparse.stats(), "{variant:?}");
+        }
     }
 
     #[test]

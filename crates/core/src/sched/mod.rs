@@ -383,6 +383,43 @@ pub trait MemoryController {
     /// Completions may carry `finish` cycles in the future.
     fn tick(&mut self, now: Cycle) -> Vec<Completion>;
 
+    /// Allocation-free variant of [`MemoryController::tick`]: appends this
+    /// cycle's completions to `out` instead of returning a fresh `Vec`.
+    /// The default delegates to `tick`; hot-path controllers override it.
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        out.extend(self.tick(now));
+    }
+
+    /// A *lower bound* on the next cycle at which `tick` may change any
+    /// observable state (commands issued, completions produced, stats —
+    /// including bubbles — or device counters), given that `tick(now)` has
+    /// already run. The simulator may skip `tick` for every cycle in
+    /// `(now, next_event(now))` without changing results.
+    ///
+    /// Soundness rule: any lower bound is legal. Returning `now + 1`
+    /// (the default) disables skipping; returning a cycle *later* than the
+    /// true next event is a bug. `Cycle::MAX` means "never again" (e.g. a
+    /// poisoned controller).
+    fn next_event(&self, now: Cycle) -> Cycle {
+        now + 1
+    }
+
+    /// Refines a cached [`MemoryController::next_event`] bound after
+    /// `txn` was enqueued at cycle `now`: a *lower bound* on the next
+    /// cycle at which a tick may act *because of `txn`*, assuming the
+    /// rest of the controller state is unchanged. The caller takes
+    /// `min(old_bound, hint)` as the new bound, so a policy whose
+    /// candidate set grows by exactly the new transaction (all other
+    /// enqueue side effects can only *delay* issues) can keep its
+    /// elision span alive across arrivals instead of resetting it.
+    ///
+    /// The default of `now + 1` is always sound: it forces a real tick
+    /// on the next cycle, which recomputes the full bound.
+    fn enqueue_event_hint(&self, txn: &Transaction, now: Cycle) -> Cycle {
+        let _ = txn;
+        now + 1
+    }
+
     /// The device this controller drives (counters, open-row state).
     /// Multi-channel controllers return their first channel here; use
     /// [`MemoryController::aggregate_counters`] for whole-system tallies.
@@ -411,6 +448,20 @@ pub trait MemoryController {
     /// Takes the recorded command log (empty unless recording was enabled
     /// on the device).
     fn take_command_log(&mut self) -> Vec<fsmc_dram::command::TimedCommand>;
+
+    /// Cheap probe: is there anything a [`MemoryController::take_command_log`]
+    /// call would return? Lets per-cycle drains skip the call entirely on
+    /// quiet cycles. The conservative default says "maybe".
+    fn has_pending_log(&self) -> bool {
+        true
+    }
+
+    /// Drains the recorded command log into `out`, reusing the caller's
+    /// buffer instead of allocating. The default delegates to
+    /// [`MemoryController::take_command_log`].
+    fn take_command_log_into(&mut self, out: &mut Vec<fsmc_dram::command::TimedCommand>) {
+        out.extend(self.take_command_log());
+    }
 
     /// The violation that poisoned this controller, if a timing fault was
     /// observed after the one permitted degradation. A poisoned

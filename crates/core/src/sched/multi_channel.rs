@@ -26,6 +26,8 @@ pub struct MultiChannelFs {
     dpc: u8,
     stats: McStats,
     domains: u8,
+    /// Reusable per-tick completion buffer for the hot path.
+    scratch: Vec<Completion>,
 }
 
 impl MultiChannelFs {
@@ -57,6 +59,7 @@ impl MultiChannelFs {
             dpc,
             stats: McStats::new(domains as usize),
             domains,
+            scratch: Vec::new(),
         }
     }
 
@@ -110,15 +113,25 @@ impl MemoryController for MultiChannelFs {
 
     fn tick(&mut self, now: Cycle) -> Vec<Completion> {
         let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         let dpc = self.dpc;
+        let scratch = &mut self.scratch;
         for (c, ch) in self.channels.iter_mut().enumerate() {
-            for completion in ch.tick(now) {
+            ch.tick_into(now, scratch);
+            for completion in scratch.drain(..) {
                 let global = DomainId(c as u8 * dpc + completion.txn.domain.0);
                 let txn = Transaction { domain: global, ..completion.txn };
                 out.push(Completion { txn, ..completion });
             }
         }
-        out
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.channels.iter().map(|ch| ch.next_event(now)).min().unwrap_or(now + 1)
     }
 
     fn device(&self) -> &DramDevice {
@@ -156,6 +169,14 @@ impl MemoryController for MultiChannelFs {
 
     fn take_command_log(&mut self) -> Vec<TimedCommand> {
         self.channels[0].take_command_log()
+    }
+
+    fn has_pending_log(&self) -> bool {
+        self.channels[0].has_pending_log()
+    }
+
+    fn take_command_log_into(&mut self, out: &mut Vec<TimedCommand>) {
+        self.channels[0].take_command_log_into(out);
     }
 }
 

@@ -316,27 +316,32 @@ impl MemoryController for TpScheduler {
 
     fn tick(&mut self, now: Cycle) -> Vec<Completion> {
         let mut completions = Vec::new();
+        self.tick_into(now, &mut completions);
+        completions
+    }
+
+    fn tick_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         if let Some(cmd) = self.refresh.command_at(now) {
             self.device.issue(&cmd, now).expect("refresh must be legal after quiesce");
-            return completions;
+            return;
         }
         if self.refresh.in_window(now) {
-            return completions;
+            return;
         }
         // Finish work already started (part of the owner's footprint,
         // covered by the dead-time accounting). CAS tails are bounded, so
         // they are safe even inside the pre-refresh quiesce.
-        if self.pump_in_flight(now, &mut completions) {
-            return completions;
+        if self.pump_in_flight(now, out) {
+            return;
         }
         let act_ok = self.refresh.allows_transaction(now);
         if act_ok && self.pump_acts(now) {
-            return completions;
+            return;
         }
         if !act_ok {
             // Pre-refresh quiesce: close banks so REF is legal.
             self.dead_time_close(now);
-            return completions;
+            return;
         }
         let pos = self.turn_pos(now);
         if pos >= self.turn - self.dead {
@@ -345,11 +350,51 @@ impl MemoryController for TpScheduler {
             if !self.bank_partitioned && self.in_flight.is_empty() {
                 self.dead_time_close(now);
             }
-            return completions;
+            return;
         }
         let owner = self.owner_at(now);
         self.start_owner_transaction(owner, now);
-        completions
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        // In-flight transactions poll the device for CAS/ACT readiness
+        // every cycle, so the bound is trivial while any work is mid-
+        // sequence. Otherwise the next possible activity is the earliest
+        // of: a queued domain's next usable owned-turn cycle, the
+        // wall-clock refresh cadence, and (with open rows) the quiesce
+        // sweep or the NP dead-zone close.
+        if !self.in_flight.is_empty() {
+            return now + 1;
+        }
+        let mut next = self.refresh.next_command_cycle(now);
+        let turn = self.turn as Cycle;
+        let dead = self.dead as Cycle;
+        let domains = self.domains as Cycle;
+        let from = now + 1;
+        for q in &self.queues {
+            if q.is_empty() {
+                continue;
+            }
+            let d = q.domain().0 as Cycle;
+            let k = from / turn;
+            let candidate = if k % domains == d && from % turn < turn - dead {
+                from
+            } else {
+                // Start of domain d's next turn after `k`.
+                let k2 = k + 1;
+                (k2 + (d + domains - (k2 % domains)) % domains) * turn
+            };
+            next = next.min(candidate);
+        }
+        if self.device.any_open_row() {
+            next = next.min(self.refresh.next_blocked_cycle(from));
+            if !self.bank_partitioned {
+                let pos = from % turn;
+                let dz = if pos >= turn - dead { from } else { from - pos + (turn - dead) };
+                next = next.min(dz);
+            }
+        }
+        next.max(from)
     }
 
     fn device(&self) -> &DramDevice {
@@ -374,6 +419,14 @@ impl MemoryController for TpScheduler {
 
     fn take_command_log(&mut self) -> Vec<TimedCommand> {
         self.device.take_log()
+    }
+
+    fn has_pending_log(&self) -> bool {
+        self.device.has_log()
+    }
+
+    fn take_command_log_into(&mut self, out: &mut Vec<TimedCommand>) {
+        self.device.take_log_into(out);
     }
 }
 
@@ -533,5 +586,38 @@ mod tests {
     #[should_panic(expected = "no usable issue window")]
     fn rejects_turn_shorter_than_dead_time() {
         mk(false, 40);
+    }
+
+    #[test]
+    fn next_event_skips_are_sound_for_bp_and_np() {
+        // Sparse ticking (only at next_event cycles) must reproduce the
+        // dense per-cycle run exactly, across idle turns and two refresh
+        // windows, for both TP variants.
+        for (bp, turn, policy) in
+            [(true, 60, PartitionPolicy::BankStriped), (false, 172, PartitionPolicy::None)]
+        {
+            let (mut dense, mut sparse) = (mk(bp, turn), mk(bp, turn));
+            dense.record_commands();
+            sparse.record_commands();
+            for i in 0..12u64 {
+                let t = txn(i, (i % 8) as u8, i * 29, i % 4 == 0, policy);
+                dense.enqueue(t).unwrap();
+                sparse.enqueue(t).unwrap();
+            }
+            let horizon = 14_000u64;
+            let mut dense_done = Vec::new();
+            for c in 0..horizon {
+                dense_done.extend(dense.tick(c));
+            }
+            let mut sparse_done = Vec::new();
+            let mut c = 0u64;
+            while c < horizon {
+                sparse_done.extend(sparse.tick(c));
+                c = sparse.next_event(c);
+            }
+            assert_eq!(dense_done, sparse_done, "bp={bp}");
+            assert_eq!(dense.take_command_log(), sparse.take_command_log(), "bp={bp}");
+            assert_eq!(dense.stats(), sparse.stats(), "bp={bp}");
+        }
     }
 }

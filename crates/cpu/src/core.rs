@@ -23,6 +23,21 @@ pub enum SubmitResult {
     Hit,
 }
 
+/// What the core can do before some external event, as classified by
+/// [`OooCore::idle_until`] after a call to [`OooCore::cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreIdle {
+    /// The next cycle performs real work (retire, fetch, or a memory
+    /// submit) — it must be executed normally.
+    Active,
+    /// ROB full behind an outstanding read: every cycle until
+    /// [`OooCore::complete_read`] is called is provably stall-only.
+    BlockedOnMemory,
+    /// ROB full behind a non-memory instruction: every CPU cycle strictly
+    /// before this one is provably stall-only.
+    WakeAt(u64),
+}
+
 /// Core microarchitecture parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
@@ -120,6 +135,39 @@ impl OooCore {
     /// Data for the read tagged `tag` has arrived.
     pub fn complete_read(&mut self, tag: u64) {
         self.completed_tags.push(tag);
+    }
+
+    /// Classifies what the *next* cycles would do, so a simulator can
+    /// skip provably stall-only spans in bulk via
+    /// [`OooCore::skip_stalled`]. Sound only when queried after
+    /// [`OooCore::cycle`] has run for the current cycle and no completion
+    /// has been delivered since.
+    ///
+    /// A stall-only cycle touches exactly two stats (`cpu_cycles`,
+    /// `stall_cycles`) and nothing else: that requires a full ROB (no
+    /// fetch, so the trace is never consulted), no pending completions,
+    /// and a head entry that cannot retire.
+    pub fn idle_until(&self) -> CoreIdle {
+        if !self.completed_tags.is_empty() || self.rob.len() < self.cfg.rob_size {
+            return CoreIdle::Active;
+        }
+        match self.rob.front() {
+            Some(e) => match e.waiting_on {
+                Some(_) => CoreIdle::BlockedOnMemory,
+                None => CoreIdle::WakeAt(e.retire_at),
+            },
+            // Unreachable for rob_size > 0, but an empty ROB fetches.
+            None => CoreIdle::Active,
+        }
+    }
+
+    /// Accounts `skipped` stall-only CPU cycles in bulk, advancing the
+    /// clock to `next_cpu_cycle` (the first cycle that will run normally
+    /// again). Bit-identical to executing each skipped cycle, *provided*
+    /// [`OooCore::idle_until`] proved the whole span stall-only.
+    pub fn skip_stalled(&mut self, skipped: u64, next_cpu_cycle: u64) {
+        self.stats.stall_cycles += skipped;
+        self.stats.cpu_cycles = self.stats.cpu_cycles.max(next_cpu_cycle);
     }
 
     /// Advances one CPU cycle. `submit` offers memory operations to the
@@ -313,6 +361,40 @@ mod tests {
         }
         // All reads served as hits: the core never waits on memory.
         assert!(core.stats().ipc() > 3.0, "ipc = {}", core.stats().ipc());
+    }
+
+    #[test]
+    fn skip_stalled_matches_per_cycle_execution() {
+        // Two identical cores blocked on the same never-completing read:
+        // one steps every cycle, the other accounts the stall span in
+        // bulk. Stats must match exactly.
+        let mk = || {
+            let trace =
+                VecTrace::new(vec![TraceOp::with_mem(0, MemOp::read(5)), TraceOp::compute(500)]);
+            OooCore::new(CoreConfig::paper_default(), Box::new(trace))
+        };
+        let (mut stepped, mut skipped) = (mk(), mk());
+        let warmup = 40u64; // enough to fill the 64-entry ROB
+        for c in 0..warmup {
+            stepped.cycle(c, |_, tag| SubmitResult::Accepted { tag });
+            skipped.cycle(c, |_, tag| SubmitResult::Accepted { tag });
+        }
+        assert_eq!(stepped.idle_until(), CoreIdle::BlockedOnMemory);
+        assert_eq!(skipped.idle_until(), CoreIdle::BlockedOnMemory);
+        let span = 10_000u64;
+        for c in warmup..warmup + span {
+            stepped.cycle(c, |_, _| unreachable!("full ROB never fetches"));
+        }
+        skipped.skip_stalled(span, warmup + span);
+        assert_eq!(stepped.stats(), skipped.stats());
+        // Both resume identically once the read completes.
+        stepped.complete_read(0);
+        skipped.complete_read(0);
+        for c in warmup + span..warmup + span + 200 {
+            stepped.cycle(c, |_, tag| SubmitResult::Accepted { tag });
+            skipped.cycle(c, |_, tag| SubmitResult::Accepted { tag });
+        }
+        assert_eq!(stepped.stats(), skipped.stats());
     }
 
     #[test]

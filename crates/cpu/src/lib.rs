@@ -27,7 +27,7 @@ pub mod prefetch_buffer;
 pub mod trace;
 pub mod trace_file;
 
-pub use crate::core::{CoreConfig, CoreStats, OooCore, SubmitResult};
+pub use crate::core::{CoreConfig, CoreIdle, CoreStats, OooCore, SubmitResult};
 pub use cache::{Cache, CacheConfig};
 pub use mshr::{MshrFile, MshrOutcome};
 pub use prefetch_buffer::PrefetchBuffer;

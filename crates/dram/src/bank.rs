@@ -147,6 +147,34 @@ impl BankState {
         }
     }
 
+    /// Earliest cycle at which `cmd` could pass [`BankState::can_issue`],
+    /// assuming no further commands touch this bank in the meantime.
+    /// `Cycle::MAX` when the row-buffer state rules the command out
+    /// entirely (CAS on a closed bank or the wrong row, ACT/REF with a
+    /// row open) — only another command can change that.
+    pub fn next_legal_at(&self, cmd: &Command) -> Cycle {
+        match cmd.kind {
+            CommandKind::Activate | CommandKind::Refresh | CommandKind::PowerDownEnter => {
+                if self.open_row.is_some() {
+                    return Cycle::MAX;
+                }
+                self.next_activate
+            }
+            k if k.is_cas() => match self.open_row {
+                Some(r) if r == cmd.row => self.next_cas,
+                _ => Cycle::MAX,
+            },
+            CommandKind::Precharge | CommandKind::PrechargeAll => {
+                if self.open_row.is_none() {
+                    0 // legal NOP at any cycle
+                } else {
+                    self.next_precharge
+                }
+            }
+            _ => 0,
+        }
+    }
+
     /// Internal precharge triggered by a `ReadAp`/`WriteAp`: the DRAM closes
     /// the row as soon as tRAS and the CAS recovery window both allow.
     fn auto_precharge(&mut self, t: &TimingParams) {

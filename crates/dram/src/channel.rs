@@ -73,6 +73,48 @@ impl ChannelState {
         Ok(())
     }
 
+    /// Earliest cycle `>= from` at which `cmd`'s implied data burst fits
+    /// the data bus, given the currently scheduled transfers (exact
+    /// against [`ChannelState::can_issue`]'s overlap and tRTRS rules).
+    /// Non-CAS commands carry no data and return `from` unchanged.
+    pub fn next_data_slot_at(&self, cmd: &Command, from: Cycle, t: &TimingParams) -> Cycle {
+        if !cmd.kind.is_cas() {
+            return from;
+        }
+        self.next_data_slot_for(cmd.kind.is_read(), cmd.rank, from, t)
+    }
+
+    /// [`ChannelState::next_data_slot_at`] for a CAS identified only by
+    /// its direction and rank — burst timing depends on nothing else.
+    pub fn next_data_slot_for(
+        &self,
+        is_read: bool,
+        rank: RankId,
+        from: Cycle,
+        t: &TimingParams,
+    ) -> Cycle {
+        let lat = if is_read { t.t_cas } else { t.t_cwd } as Cycle;
+        let burst = t.t_burst as Cycle;
+        let mut at = from;
+        // Each bump slides the burst past one conflicting transfer; the
+        // list is short (pruned to the active horizon) and every bump
+        // strictly increases `at`, so this settles in a few rounds.
+        loop {
+            let (start, end) = (at + lat, at + lat + burst);
+            let mut next_at = at;
+            for tr in &self.transfers {
+                let gap = if tr.rank == rank { 0 } else { t.t_rtrs as Cycle };
+                if start < tr.end + gap && tr.start < end + gap {
+                    next_at = next_at.max((tr.end + gap).saturating_sub(lat)).max(at + 1);
+                }
+            }
+            if next_at == at {
+                return at;
+            }
+            at = next_at;
+        }
+    }
+
     /// Records `cmd` at `cycle`. Caller must have validated legality.
     pub fn apply(&mut self, cmd: &Command, cycle: Cycle, t: &TimingParams) {
         self.last_cmd_cycle = Some(cycle);
@@ -81,8 +123,14 @@ impl ChannelState {
             self.transfers.push(Transfer { start, end, rank: cmd.rank });
             self.busy_cycles += end - start;
             // Prune bursts that can no longer interact with new CAS
-            // commands (anything ending well before the current cycle).
-            let horizon = cycle.saturating_sub(4 * t.t_cas as Cycle);
+            // commands. Any later query is for a command at `cycle + 1`
+            // or after (the command bus admits one command per cycle and
+            // rejects out-of-order issues before reaching the data-bus
+            // check), so its burst starts at `cycle + 1 + min(tCAS,
+            // tCWD)` at the earliest; a transfer whose window — widened
+            // by the cross-rank tRTRS gap — ends before that can never
+            // conflict again.
+            let horizon = cycle + 1 + t.t_cas.min(t.t_cwd) as Cycle;
             self.transfers.retain(|tr| tr.end + t.t_rtrs as Cycle >= horizon);
         }
     }

@@ -74,6 +74,19 @@ impl DramDevice {
         }
     }
 
+    /// Whether [`DramDevice::take_log`] would currently return anything.
+    pub fn has_log(&self) -> bool {
+        self.log.as_ref().is_some_and(|l| !l.is_empty())
+    }
+
+    /// Drains the recorded command stream into `out`, reusing the
+    /// caller's buffer instead of allocating a fresh `Vec` per drain.
+    pub fn take_log_into(&mut self, out: &mut Vec<TimedCommand>) {
+        if let Some(l) = &mut self.log {
+            out.append(l);
+        }
+    }
+
     pub fn geometry(&self) -> &Geometry {
         &self.geom
     }
@@ -99,6 +112,15 @@ impl DramDevice {
     /// The row currently open in `rank`/`bank`, if any.
     pub fn open_row(&self, rank: RankId, bank: BankId) -> Option<RowId> {
         self.ranks[rank.0 as usize].bank(bank.0 as usize).open_row()
+    }
+
+    /// True if any bank on any rank holds an open row. Schedulers use
+    /// this to decide whether a future refresh quiesce will have work
+    /// (a precharge-all sweep) to do.
+    pub fn any_open_row(&self) -> bool {
+        self.ranks.iter().any(|rank| {
+            (0..self.geom.banks_per_rank() as usize).any(|b| rank.bank(b).open_row().is_some())
+        })
     }
 
     /// Whether `rank` is currently powered down.
@@ -229,6 +251,139 @@ impl DramDevice {
     /// planning; FS never needs it because its schedule is precomputed).
     pub fn earliest_issue(&self, cmd: &Command, from: Cycle, limit: Cycle) -> Option<Cycle> {
         (from..from + limit).find(|&c| self.can_issue(cmd, c).is_ok())
+    }
+
+    /// The cycle of the most recent command on this channel, if any
+    /// (simulators use this to detect no-op controller ticks).
+    pub fn last_issue_at(&self) -> Option<Cycle> {
+        self.last_issue
+    }
+
+    /// Constant-time *lower bound* on the first cycle `>= from` at which
+    /// `cmd` could pass [`DramDevice::can_issue`], assuming no further
+    /// commands issue in the meantime: the maximum of every bank- and
+    /// rank-level window (tRC, tRCD, tRAS, tRRD, tFAW, CAS turnarounds,
+    /// refresh recovery, power-down) and, for CAS commands, the first
+    /// data-bus slot clearing the scheduled bursts and tRTRS gaps.
+    /// `Cycle::MAX` when only another command could ever make `cmd`
+    /// legal (wrong row open, rank powered down). Event-driven
+    /// schedulers use this to advertise their next possible issue cycle
+    /// without scanning.
+    pub fn next_legal_at(&self, cmd: &Command, from: Cycle) -> Cycle {
+        self.channel_legal_at(cmd, self.rank_level_next_legal_at(cmd, from))
+    }
+
+    /// The rank- and bank-level component of
+    /// [`DramDevice::next_legal_at`]: the same lower bound *before*
+    /// channel (data-bus, command-bus) constraints apply. Cheap — a
+    /// handful of window comparisons, no data-bus scan.
+    ///
+    /// For a fixed rank and CAS direction, [`DramDevice::channel_legal_at`]
+    /// is one shared monotone function of this value, so a scheduler
+    /// minimising over many same-class candidates can take the minimum
+    /// of this bound across them and pay for a single channel scan:
+    /// the candidate with the smallest pre-channel bound also achieves
+    /// the smallest full legality cycle.
+    pub fn rank_level_next_legal_at(&self, cmd: &Command, from: Cycle) -> Cycle {
+        self.ranks[cmd.rank.0 as usize].next_legal_at(cmd, &self.t).max(from)
+    }
+
+    /// Fused candidate scan for event-driven schedulers: a lower bound
+    /// on the first cycle `>= from` at which *any* command in the given
+    /// candidate classes could pass [`DramDevice::can_issue`], assuming
+    /// no further commands issue in the meantime. Equivalent to taking
+    /// the minimum of [`DramDevice::next_legal_at`] over one
+    /// representative command per set bit, but with direct state access
+    /// and a single data-bus scan per populated (rank, direction) —
+    /// within a class the bank-level term is the only one that varies,
+    /// and the channel completion is one shared monotone function per
+    /// (rank, direction), so each minimum is achieved by the bank with
+    /// the smallest pre-channel bound.
+    ///
+    /// Masks are rank-major per-bank bitmasks
+    /// (`bit = rank * banks_per_rank + bank`; geometries wider than 128
+    /// banks must fall back to per-command [`DramDevice::next_legal_at`])
+    /// and each set bit's class must match the bank's row-buffer state:
+    /// `read_cas`/`write_cas` bits require the target row to be open,
+    /// `pre` bits an open bank, `act` bits a closed bank.
+    pub fn next_event_bound(
+        &self,
+        from: Cycle,
+        read_cas: u128,
+        write_cas: u128,
+        pre: u128,
+        act: u128,
+    ) -> Cycle {
+        let bpr = self.geometry().banks_per_rank() as u32;
+        let width = if bpr >= 128 { u128::MAX } else { (1u128 << bpr) - 1 };
+        let bump = |at: Cycle| if self.last_issue == Some(at) { at + 1 } else { at };
+        let min_over = |mask: u128, f: &dyn Fn(usize) -> Cycle| {
+            let (mut best, mut m) = (Cycle::MAX, mask);
+            while m != 0 {
+                best = best.min(f(m.trailing_zeros() as usize));
+                m &= m - 1;
+            }
+            best
+        };
+        let mut next = Cycle::MAX;
+        for (r, rank) in self.ranks.iter().enumerate() {
+            let shift = r as u32 * bpr;
+            let rd = (read_cas >> shift) & width;
+            let wr = (write_cas >> shift) & width;
+            let pr = (pre >> shift) & width;
+            let ac = (act >> shift) & width;
+            if rd | wr | pr | ac == 0 {
+                continue;
+            }
+            let Some((quiet, act_floor, next_read, next_write)) = rank.event_bound_parts(&self.t)
+            else {
+                continue; // powered down: no candidate class applies
+            };
+            for (mask, is_read) in [(rd, true), (wr, false)] {
+                if mask == 0 {
+                    continue;
+                }
+                let best = min_over(mask, &|b| rank.bank(b).next_cas_at());
+                let turn = if is_read { next_read } else { next_write };
+                let at = quiet.max(turn).max(best).max(from);
+                if at != Cycle::MAX {
+                    let slot =
+                        self.channel.next_data_slot_for(is_read, RankId(r as u8), at, &self.t);
+                    next = next.min(bump(slot));
+                }
+            }
+            if pr != 0 {
+                let best = min_over(pr, &|b| rank.bank(b).next_precharge_at());
+                next = next.min(bump(quiet.max(best).max(from)));
+            }
+            if ac != 0 {
+                let best = min_over(ac, &|b| rank.bank(b).next_activate_at());
+                next = next.min(bump(quiet.max(act_floor).max(best).max(from)));
+            }
+            if next <= from {
+                return from;
+            }
+        }
+        next
+    }
+
+    /// Channel-level completion of
+    /// [`DramDevice::rank_level_next_legal_at`]: for every `cmd` and
+    /// `from`, `next_legal_at(cmd, from)` equals
+    /// `channel_legal_at(cmd, rank_level_next_legal_at(cmd, from))`.
+    /// Monotone non-decreasing in `at`; depends on `cmd` only through
+    /// its rank and CAS direction.
+    pub fn channel_legal_at(&self, cmd: &Command, at: Cycle) -> Cycle {
+        if at == Cycle::MAX {
+            return at;
+        }
+        let at = self.channel.next_data_slot_at(cmd, at, &self.t);
+        // Command bus: one command per cycle.
+        if self.last_issue == Some(at) {
+            at + 1
+        } else {
+            at
+        }
     }
 }
 

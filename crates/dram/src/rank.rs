@@ -194,6 +194,68 @@ impl RankState {
         }
     }
 
+    /// Earliest cycle at which `cmd` could pass both [`RankState::can_issue`]
+    /// and the addressed bank's rules, assuming no further commands reach
+    /// this rank in the meantime. `Cycle::MAX` when only another command
+    /// could ever make it legal (wrong row open, rank powered down).
+    pub fn next_legal_at(&self, cmd: &Command, t: &TimingParams) -> Cycle {
+        if let PowerState::PoweredDown { .. } = self.power {
+            return if cmd.kind == CommandKind::PowerDownExit { 0 } else { Cycle::MAX };
+        }
+        let mut at = self.refresh_until.max(self.wake_at);
+        match cmd.kind {
+            CommandKind::Activate => {
+                at = at.max(self.next_activate);
+                if self.act_window.len() == 4 {
+                    at = at.max(self.act_window[0] + t.t_faw as Cycle);
+                }
+                at = at.max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+            }
+            k if k.is_read() => {
+                at = at.max(self.next_read).max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+            }
+            k if k.is_write() => {
+                at =
+                    at.max(self.next_write).max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+            }
+            CommandKind::Precharge => {
+                at = at.max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+            }
+            CommandKind::PrechargeAll | CommandKind::Refresh | CommandKind::PowerDownEnter => {
+                for b in &self.banks {
+                    // Refresh and power-down need every bank idle; an open
+                    // row makes the bank report `Cycle::MAX` as required.
+                    if cmd.kind != CommandKind::PrechargeAll && b.open_row().is_some() {
+                        return Cycle::MAX;
+                    }
+                    at = at.max(b.next_legal_at(cmd));
+                }
+            }
+            CommandKind::PowerDownExit => return Cycle::MAX,
+            _ => {}
+        }
+        at
+    }
+
+    /// Rank-common pieces of the fused event-bound scan (see
+    /// [`crate::DramDevice::next_event_bound`]): `(quiet, act_floor,
+    /// next_read, next_write)`, where `quiet` is the refresh/power-wake
+    /// floor every command shares and `act_floor` additionally folds in
+    /// tRRD and the tFAW rolling window. `None` while powered down —
+    /// only a `PowerDownExit` could change that, and it is never an
+    /// event-scan candidate.
+    pub fn event_bound_parts(&self, t: &TimingParams) -> Option<(Cycle, Cycle, Cycle, Cycle)> {
+        if let PowerState::PoweredDown { .. } = self.power {
+            return None;
+        }
+        let quiet = self.refresh_until.max(self.wake_at);
+        let mut act_floor = self.next_activate;
+        if self.act_window.len() == 4 {
+            act_floor = act_floor.max(self.act_window[0] + t.t_faw as Cycle);
+        }
+        Some((quiet, act_floor, self.next_read, self.next_write))
+    }
+
     /// Earliest cycle at which *some* CAS of the given direction is legal
     /// at rank level (used by schedulers for planning).
     pub fn next_cas_at(&self, is_read: bool) -> Cycle {

@@ -136,6 +136,13 @@ impl ExperimentJob {
             Some(factory) => System::with_controller(&cfg, traces, factory(&cfg)?),
             None => System::try_new(&cfg, traces)?,
         };
+        if !self.faults.faults.is_empty() {
+            // Injected faults deliberately violate the controllers'
+            // `next_event` contract (delayed commands, stretched
+            // refresh, perturbed timing), so faulted jobs always run
+            // per-cycle; the fast path is for clean measurement runs.
+            sys.disable_fastpath();
+        }
         if let Some(spec) = self.faults.cmd_fault_spec() {
             sys.controller_mut().inject_command_faults(spec);
         }
@@ -212,6 +219,30 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
             Ok(v) => v,
             Err(_) => {
                 eprintln!("warning: {name}={s:?} is not a valid integer; using default {default}");
+                default
+            }
+        },
+    }
+}
+
+/// Reads a boolean environment knob (`1`/`true`/`yes`/`on` vs
+/// `0`/`false`/`no`/`off`), warning (rather than silently defaulting)
+/// when the variable is set but malformed.
+pub fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            eprintln!("warning: {name}={v:?} is not valid unicode; using default {default}");
+            default
+        }
+        Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+            "" => default,
+            "1" | "true" | "yes" | "on" => true,
+            "0" | "false" | "no" | "off" => false,
+            other => {
+                eprintln!(
+                    "warning: {name}={other:?} is not a boolean flag; using default {default}"
+                );
                 default
             }
         },

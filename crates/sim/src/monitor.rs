@@ -121,6 +121,27 @@ impl InvariantMonitor {
         }
     }
 
+    /// The next cycle strictly after `now` at which [`Self::on_cycle`]
+    /// could latch a *new* wall-clock breach — the earliest poll cycle
+    /// on which some rank will have exceeded its refresh budget. The
+    /// simulator's time-skipping fast path must not jump past this, or
+    /// a breach would be latched at a later cycle than per-cycle
+    /// stepping reports. `Cycle::MAX` once a breach is already latched
+    /// (further flags are no-ops).
+    pub fn next_wall_deadline(&self, now: Cycle) -> Cycle {
+        if self.breach.is_some() {
+            return Cycle::MAX;
+        }
+        let mut next = Cycle::MAX;
+        for r in 0..self.ranks {
+            let stale = self.stream.last_refresh(RankId(r)) + self.refresh_deadline;
+            // First poll cycle strictly past both the budget and `now`.
+            let poll = (stale.max(now) / POLL_PERIOD + 1) * POLL_PERIOD;
+            next = next.min(poll);
+        }
+        next
+    }
+
     fn flag(&mut self, cycle: Cycle, finding: MonitorFinding) {
         if self.breach.is_none() {
             self.breach = Some((cycle, finding));
@@ -188,6 +209,25 @@ mod tests {
         mon.on_cycle(late, 0, 64);
         let (_, finding) = mon.take_breach().expect("stale rank must be flagged");
         assert!(finding.to_string().contains("refresh deadline"), "{finding}");
+    }
+
+    #[test]
+    fn next_wall_deadline_is_exactly_the_first_flagging_poll() {
+        let c = cfg();
+        let mut mon = InvariantMonitor::new(&c, None);
+        let deadline = mon.next_wall_deadline(0);
+        assert!(deadline.is_multiple_of(POLL_PERIOD));
+        // Every poll before the predicted deadline is clean; the
+        // deadline poll itself latches the breach.
+        for p in (0..deadline).step_by(POLL_PERIOD as usize) {
+            mon.on_cycle(p, 0, 64);
+        }
+        assert!(mon.take_breach().is_none(), "flagged before the predicted deadline");
+        mon.on_cycle(deadline, 0, 64);
+        assert!(mon.take_breach().is_some(), "deadline poll must flag");
+        // With a breach latched, no further wall-clock deadline exists.
+        mon.on_cycle(deadline + POLL_PERIOD, 0, 64);
+        assert_eq!(mon.next_wall_deadline(deadline), Cycle::MAX);
     }
 
     #[test]

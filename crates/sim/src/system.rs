@@ -12,13 +12,13 @@ use fsmc_core::sched::tp::TpScheduler;
 use fsmc_core::sched::{Completion, MemoryController, SchedulerKind};
 use fsmc_core::txn::{Transaction, TxnId, TxnKind};
 use fsmc_cpu::trace::TraceSource;
-use fsmc_cpu::{MshrFile, MshrOutcome, OooCore, PrefetchBuffer, SubmitResult};
+use fsmc_cpu::{CoreIdle, MshrFile, MshrOutcome, OooCore, PrefetchBuffer, SubmitResult};
 use fsmc_dram::command::TimedCommand;
 use fsmc_dram::geometry::LineAddr;
 use fsmc_energy::{EnergyModel, PowerParams};
 use fsmc_workload::{BenchProfile, SyntheticTrace, WorkloadMix};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A completion waiting for its delivery cycle, ordered by finish time.
 #[derive(Debug, Clone, Copy)]
@@ -63,8 +63,11 @@ pub struct System {
     cores: Vec<OooCore>,
     mshrs: Vec<MshrFile>,
     pf_buffers: Vec<PrefetchBuffer>,
-    /// Metadata for in-flight demand reads: core index and local line.
-    txn_meta: HashMap<TxnId, (usize, LineAddr)>,
+    /// Metadata for in-flight demand reads: `(id, core index, local
+    /// line)`. A flat vector, not a map — the population is bounded by
+    /// `cores * mshr_capacity`, so linear scans beat hashing and the
+    /// hot path never allocates.
+    txn_meta: Vec<(TxnId, u32, LineAddr)>,
     deliveries: BinaryHeap<Reverse<PendingDelivery>>,
     dram_cycle: u64,
     next_txn_seq: u64,
@@ -76,8 +79,9 @@ pub struct System {
     last_progress: u64,
     /// Per-core lines with writes still queued in the controller: demand
     /// reads to these lines forward from the store (Section 5.1's
-    /// "bypassing from stores to loads").
-    pending_writes: Vec<HashMap<LineAddr, u32>>,
+    /// "bypassing from stores to loads"). Flat `(line, count)` lists for
+    /// the same reason as `txn_meta`.
+    pending_writes: Vec<Vec<(LineAddr, u32)>>,
     /// Reads served by store-to-load forwarding.
     forwarded_reads: u64,
     /// Domain whose demand-read completions are being recorded.
@@ -92,6 +96,37 @@ pub struct System {
     /// Degradation state at the last monitor drain, to detect schedule
     /// swaps and re-arm the cadence spec.
     was_degraded: bool,
+    /// Event-driven time skipping enabled? Cleared by
+    /// [`System::disable_fastpath`], by `FSMC_NO_FASTPATH=1`, and by any
+    /// [`System::controller_mut`] access (external mutation may
+    /// invalidate the controllers' `next_event` contract).
+    fastpath: bool,
+    /// Reusable per-step completion buffer (hot path, no allocation).
+    completion_buf: Vec<Completion>,
+    /// Reusable buffer for draining the command log into the monitor.
+    monitor_buf: Vec<TimedCommand>,
+    /// Per-core scratch: does core `i` execute this DRAM cycle's CPU
+    /// sub-cycles, or is it provably stalled throughout (bulk-charged)?
+    core_active: Vec<bool>,
+    /// Cached [`MemoryController::next_event`] bound: on the fast path,
+    /// ticks strictly before this cycle are provable no-ops and are
+    /// elided even when cores stay busy. Every `enqueue` lowers it by
+    /// the policy's [`MemoryController::enqueue_event_hint`] for the new
+    /// transaction (conservative default: re-tick next cycle).
+    mc_next_tick: u64,
+    /// Scan hysteresis: is a quiet tick allowed to pay for a
+    /// [`MemoryController::next_event`] scan? Re-armed by every issuing
+    /// tick, disarmed by a scan that finds no gap — in a dense burst a
+    /// gap all but requires another issue first, so re-scanning sooner
+    /// is almost always wasted work. Purely an effort gate: scans
+    /// are pure and elision only drops proven no-op ticks, so results
+    /// are bit-identical at any scan frequency.
+    elide_armed: bool,
+    /// Telemetry: DRAM cycles handled without per-cycle stepping — jumped
+    /// outright or batch-ticked by [`System::skip_ahead`].
+    fp_skipped: u64,
+    /// Telemetry: controller ticks elided inside stepped cycles.
+    fp_elided: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -234,7 +269,7 @@ impl System {
             cores: traces.into_iter().map(|t| OooCore::new(cfg.core, t)).collect(),
             mshrs: (0..cfg.cores).map(|_| MshrFile::new(cfg.mshr_capacity)).collect(),
             pf_buffers: (0..cfg.cores).map(|_| PrefetchBuffer::new(cfg.prefetch_buffer)).collect(),
-            txn_meta: HashMap::new(),
+            txn_meta: Vec::new(),
             deliveries: BinaryHeap::new(),
             dram_cycle: 0,
             next_txn_seq: 1,
@@ -242,13 +277,21 @@ impl System {
             policy: cfg.scheduler.partition_policy(),
             reads_completed: 0,
             last_progress: 0,
-            pending_writes: (0..cfg.cores).map(|_| HashMap::new()).collect(),
+            pending_writes: (0..cfg.cores).map(|_| Vec::new()).collect(),
             forwarded_reads: 0,
             observe_domain: None,
             observations: Vec::new(),
             monitor,
             monitor_log: Vec::new(),
             was_degraded,
+            fastpath: !crate::engine::env_flag("FSMC_NO_FASTPATH", false),
+            completion_buf: Vec::new(),
+            monitor_buf: Vec::new(),
+            core_active: vec![true; cfg.cores as usize],
+            mc_next_tick: 0,
+            elide_armed: true,
+            fp_skipped: 0,
+            fp_elided: 0,
         }
     }
 
@@ -295,8 +338,34 @@ impl System {
     /// Mutable controller access, e.g. to arm fault injection
     /// ([`MemoryController::inject_command_faults`]) or model slow
     /// silicon ([`MemoryController::set_device_timing`]) before a run.
+    ///
+    /// Also disables the event-driven fast path: an externally mutated
+    /// controller (delayed commands, stretched refresh, swapped device
+    /// timing) may no longer honour the [`MemoryController::next_event`]
+    /// lower-bound contract, so the run falls back to per-cycle stepping.
     pub fn controller_mut(&mut self) -> &mut dyn MemoryController {
+        self.fastpath = false;
         self.mc.as_mut()
+    }
+
+    /// Forces per-cycle stepping for the rest of this system's life.
+    /// Equivalent to running under `FSMC_NO_FASTPATH=1`; results are
+    /// bit-identical either way, only wall-clock time changes.
+    pub fn disable_fastpath(&mut self) {
+        self.fastpath = false;
+    }
+
+    /// Whether event-driven time skipping is still armed.
+    pub fn fastpath_enabled(&self) -> bool {
+        self.fastpath
+    }
+
+    /// Fast-path effectiveness telemetry: `(skipped, elided)` — DRAM
+    /// cycles handled without per-cycle stepping (jumped or
+    /// batch-ticked), and controller ticks elided as proven no-ops.
+    /// Both are zero with the fast path off.
+    pub fn fastpath_counters(&self) -> (u64, u64) {
+        (self.fp_skipped, self.fp_elided)
     }
 
     /// Takes the recorded command log (empty unless recording enabled).
@@ -311,16 +380,20 @@ impl System {
     /// Advances one DRAM bus cycle (and the corresponding CPU cycles).
     pub fn step(&mut self) {
         let c = self.dram_cycle;
-        // 1. Controller tick; stage completions.
-        for completion in self.mc.tick(c) {
-            self.delivery_seq += 1;
-            self.deliveries.push(Reverse(PendingDelivery {
-                finish: completion.finish.max(c),
-                seq: self.delivery_seq,
-                completion,
-            }));
-        }
-        // 2. Deliver data whose time has come.
+        // 1. Controller tick into the reusable buffer (no allocation).
+        // On the fast path the call itself is elided while the
+        // controller's own `next_event` bound proves it a no-op and no
+        // enqueue has touched the controller since the bound was taken —
+        // this is what makes busy-but-gapped schedules (tRCD/tRP waits,
+        // refresh windows) cheap even while cores keep executing.
+        let ticked = !self.fastpath || c >= self.mc_next_tick;
+        self.fp_elided += !ticked as u64;
+        // 2. Deliver previously staged data whose time has come. Staged
+        // entries carry lower sequence numbers than anything produced
+        // this tick, so draining them first preserves the historical
+        // (finish, seq) delivery order. The tick never reads core or
+        // delivery state, so draining before it is observationally
+        // identical and keeps the elided-tick path free of buffer work.
         while let Some(Reverse(d)) = self.deliveries.peek().copied() {
             if d.finish > c {
                 break;
@@ -328,23 +401,240 @@ impl System {
             self.deliveries.pop();
             self.deliver(d.completion);
         }
-        // 3. CPU cycles.
-        let ratio = self.cfg.timing.cpu_ratio as u64;
-        for sub in 0..ratio {
-            let cpu_now = c * ratio + sub;
-            self.cpu_cycle(cpu_now);
+        // 3. This tick's completions: deliver due data directly (the
+        // common case — no heap traffic at all), stage only the future.
+        if ticked {
+            let mut buf = std::mem::take(&mut self.completion_buf);
+            buf.clear();
+            self.mc.tick_into(c, &mut buf);
+            if self.fastpath && self.mc.device().last_issue_at() != Some(c) {
+                // Quiet tick: pay for one next_event call to start (or
+                // extend) an elision span — but only while armed, so a
+                // dense burst costs one failed scan per issue rather
+                // than one per quiet tick. Issuing ticks skip the call —
+                // a busy controller would return `c + 1` anyway.
+                if self.elide_armed {
+                    self.mc_next_tick = self.mc.next_event(c);
+                    self.elide_armed = self.mc_next_tick > c + 1;
+                }
+            } else {
+                self.elide_armed = true;
+            }
+            for completion in buf.drain(..) {
+                if completion.finish <= c {
+                    self.deliver(completion);
+                } else {
+                    self.delivery_seq += 1;
+                    self.deliveries.push(Reverse(PendingDelivery {
+                        finish: completion.finish,
+                        seq: self.delivery_seq,
+                        completion,
+                    }));
+                }
+            }
+            self.completion_buf = buf;
         }
-        // 4. Online invariant monitoring over this cycle's commands.
+        // 4. CPU cycles. Cores provably stalled for the whole DRAM cycle
+        // (full ROB, nothing delivered above, head not retirable before
+        // the cycle ends) are bulk-charged instead of stepped — they
+        // could not fetch, submit, or retire anyway.
+        let ratio = self.cfg.timing.cpu_ratio as u64;
+        let end_cpu = (c + 1) * ratio;
+        let fastpath = self.fastpath;
+        let mut all_stalled = true;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let stalled = fastpath
+                && match core.idle_until() {
+                    CoreIdle::Active => false,
+                    CoreIdle::BlockedOnMemory => true,
+                    CoreIdle::WakeAt(wake) => wake >= end_cpu,
+                };
+            self.core_active[i] = !stalled;
+            all_stalled &= stalled;
+            if stalled {
+                core.skip_stalled(ratio, end_cpu);
+            }
+        }
+        if !all_stalled {
+            for sub in 0..ratio {
+                let cpu_now = c * ratio + sub;
+                self.cpu_cycle(cpu_now);
+            }
+        }
+        // 5. Online invariant monitoring over this cycle's commands.
         if self.monitor.is_some() {
             self.drain_monitor(c);
         }
         self.dram_cycle += 1;
     }
 
+    /// Event-driven time skipping: jumps `dram_cycle` forward over a
+    /// span in which *nothing observable can happen*, charging each core
+    /// the stall cycles it would have accumulated stepping through it.
+    ///
+    /// Called after [`System::step`]; `limit` is the run loop's own
+    /// bound (never skip past the end of the run), `health_checked`
+    /// says whether the caller runs [`System::health_check`] per step
+    /// (and therefore whether the watchdog clock is live).
+    ///
+    /// The jump target is the minimum of every source of future events:
+    ///
+    /// * the controller's [`MemoryController::next_event`] lower bound
+    ///   (sound by contract: `tick` is a no-op before it);
+    /// * the earliest staged delivery (nothing can retire before it);
+    /// * each core's wake-up cycle — any core still executing
+    ///   ([`CoreIdle::Active`]) vetoes the skip entirely, a core
+    ///   blocked on memory imposes no bound, and a core draining a
+    ///   fixed-latency instruction wakes at its retire cycle;
+    /// * the monitor's next wall-clock deadline poll (a skipped poll
+    ///   would latch a breach at a different cycle);
+    /// * the watchdog's trigger point, so a starved run still aborts at
+    ///   the exact per-cycle-identical cycle.
+    ///
+    /// Skipped DRAM cycles are provably stall-only for every core, so
+    /// bulk-charging `stall_cycles`/`cpu_cycles` reproduces per-cycle
+    /// statistics bit for bit ([`OooCore::skip_stalled`]).
+    ///
+    /// When every core is stalled but the controller is hot (no cached
+    /// no-op bound), the span is handed to [`System::batch_ticks`]
+    /// instead: the ticks still run, only the per-step core and delivery
+    /// machinery is dropped.
+    fn skip_ahead(&mut self, limit: u64, health_checked: bool) {
+        if !self.fastpath {
+            return;
+        }
+
+        let now = self.dram_cycle;
+        debug_assert!(now > 0, "skip_ahead runs only after a step");
+        let ratio = self.cfg.timing.cpu_ratio as u64;
+        // Cheapest veto first: a core doing real work next cycle, or
+        // waking before any skip could start, ends the attempt before
+        // the controller scan is even paid for.
+        let mut target = limit;
+        for core in &self.cores {
+            match core.idle_until() {
+                CoreIdle::Active => return,
+                CoreIdle::BlockedOnMemory => {}
+                CoreIdle::WakeAt(retire_at) => target = target.min(retire_at / ratio),
+            }
+        }
+        if target <= now {
+            return;
+        }
+        if let Some(Reverse(d)) = self.deliveries.peek() {
+            target = target.min(d.finish);
+        }
+        if target <= now {
+            return;
+        }
+        if let Some(mon) = &self.monitor {
+            target = target.min(mon.next_wall_deadline(now - 1));
+        }
+        if health_checked && !self.txn_meta.is_empty() && self.cfg.watchdog_cycles > 0 {
+            target = target.min(self.last_progress + self.cfg.watchdog_cycles);
+        }
+        if target <= now {
+            return;
+        }
+        // Controller side. With a cached no-op bound on file (from the
+        // last quiet tick, lowered by enqueue hints since), jump the
+        // clock outright. With none — the last tick issued a command,
+        // so the controller is hot and a fresh `next_event` scan would
+        // bound the skip at about one cycle, costing as much as the
+        // tick it saves — grind the controller alone instead: the cores
+        // are provably stalled to `target`, so their per-cycle stepping
+        // machinery can be dropped even though the ticks cannot.
+        if self.mc_next_tick > now {
+            let target = target.min(self.mc_next_tick);
+            if target <= now {
+                return;
+            }
+            for core in &mut self.cores {
+                core.skip_stalled((target - now) * ratio, target * ratio);
+            }
+            self.fp_skipped += target - now;
+            self.dram_cycle = target;
+        } else {
+            self.batch_ticks(target);
+        }
+        if health_checked && self.txn_meta.is_empty() {
+            // health_check would have restarted the stall clock at every
+            // skipped cycle; land it where per-cycle stepping would.
+            self.last_progress = self.dram_cycle;
+        }
+    }
+
+    /// Controller-only execution over a span in which every core is
+    /// provably stalled but the controller itself is mid-burst: runs
+    /// the same ticks per-cycle stepping would (eliding proven no-op
+    /// ticks along the way) without the per-step core-classification
+    /// and delivery machinery, then bulk-charges the cores once, like a
+    /// skip. Stops at `until`, or earlier as soon as a tick produces a
+    /// completion due inside the span (its delivery could wake a core).
+    /// Observationally identical to stepping: the same ticks run at the
+    /// same cycles, completions are staged with the same sequence
+    /// numbers, and the monitor drains after every real tick.
+    fn batch_ticks(&mut self, mut until: u64) {
+        let start = self.dram_cycle;
+        let mut c = start;
+        let mut buf = std::mem::take(&mut self.completion_buf);
+        while c < until {
+            buf.clear();
+            self.mc.tick_into(c, &mut buf);
+            let quiet = self.mc.device().last_issue_at() != Some(c);
+            for completion in buf.drain(..) {
+                if completion.finish <= c {
+                    // Same-cycle data (impossible for real CAS timing,
+                    // but mirror `step` exactly): deliver now and stop —
+                    // a core may have woken.
+                    self.deliver(completion);
+                    until = c + 1;
+                } else {
+                    until = until.min(completion.finish);
+                    self.delivery_seq += 1;
+                    self.deliveries.push(Reverse(PendingDelivery {
+                        finish: completion.finish,
+                        seq: self.delivery_seq,
+                        completion,
+                    }));
+                }
+            }
+            if self.monitor.is_some() {
+                self.drain_monitor(c);
+            }
+            if quiet {
+                if self.elide_armed {
+                    self.mc_next_tick = self.mc.next_event(c);
+                    self.elide_armed = self.mc_next_tick > c + 1;
+                    let jump = self.mc_next_tick.min(until);
+                    if jump > c + 1 {
+                        self.fp_elided += jump - c - 1;
+                        c = jump;
+                        continue;
+                    }
+                }
+            } else {
+                self.elide_armed = true;
+            }
+            c += 1;
+        }
+        self.completion_buf = buf;
+        let ratio = self.cfg.timing.cpu_ratio as u64;
+        for core in &mut self.cores {
+            core.skip_stalled((c - start) * ratio, c * ratio);
+        }
+        self.fp_skipped += c - start;
+        self.dram_cycle = c;
+    }
+
     /// Feeds the monitor everything the controller issued since the last
     /// drain and runs the wall-clock invariants for this cycle.
     fn drain_monitor(&mut self, now: u64) {
-        let cmds = self.mc.take_command_log();
+        let mut cmds = std::mem::take(&mut self.monitor_buf);
+        cmds.clear();
+        if self.mc.has_pending_log() {
+            self.mc.take_command_log_into(&mut cmds);
+        }
         let degraded = self.mc.stats().degraded;
         let transition = degraded != self.was_degraded;
         self.was_degraded = degraded;
@@ -369,19 +659,20 @@ impl System {
         }
         mon.on_cycle(now, outstanding, bound);
         if self.cfg.record_commands {
-            self.monitor_log.extend(cmds);
+            self.monitor_log.extend(cmds.iter().copied());
         }
+        self.monitor_buf = cmds;
     }
 
     fn deliver(&mut self, completion: Completion) {
         let txn = completion.txn;
         if txn.is_write {
             // The write has been transmitted: close its forwarding window.
-            let core_idx = txn.domain.0 as usize;
-            if let Some(count) = self.pending_writes[core_idx].get_mut(&txn.local_addr) {
-                *count -= 1;
-                if *count == 0 {
-                    self.pending_writes[core_idx].remove(&txn.local_addr);
+            let pending = &mut self.pending_writes[txn.domain.0 as usize];
+            if let Some(pos) = pending.iter().position(|&(line, _)| line == txn.local_addr) {
+                pending[pos].1 -= 1;
+                if pending[pos].1 == 0 {
+                    pending.swap_remove(pos);
                 }
             }
             return;
@@ -392,7 +683,9 @@ impl System {
                     self.observations
                         .push((completion.finish, completion.finish.saturating_sub(txn.arrival)));
                 }
-                if let Some((core_idx, local)) = self.txn_meta.remove(&txn.id) {
+                if let Some(pos) = self.txn_meta.iter().position(|&(id, _, _)| id == txn.id) {
+                    let (_, core, local) = self.txn_meta.swap_remove(pos);
+                    let core_idx = core as usize;
                     for tag in self.mshrs[core_idx].complete(local) {
                         self.cores[core_idx].complete_read(tag);
                     }
@@ -421,10 +714,15 @@ impl System {
             policy,
             pending_writes,
             forwarded_reads,
+            core_active,
+            mc_next_tick,
             ..
         } = self;
         let geom = cfg.geometry;
         for (i, core) in cores.iter_mut().enumerate() {
+            if !core_active[i] {
+                continue;
+            }
             let domain = DomainId(i as u8);
             let mshr = &mut mshrs[i];
             let pf = &mut pf_buffers[i];
@@ -440,12 +738,16 @@ impl System {
                     let txn =
                         Transaction::write(id, domain, loc, *dram_cycle).with_local_addr(op.addr);
                     mc.enqueue(txn).expect("can_accept was checked");
-                    *pending.entry(op.addr).or_insert(0) += 1;
+                    *mc_next_tick = (*mc_next_tick).min(mc.enqueue_event_hint(&txn, *dram_cycle));
+                    match pending.iter_mut().find(|(line, _)| *line == op.addr) {
+                        Some((_, count)) => *count += 1,
+                        None => pending.push((op.addr, 1)),
+                    }
                     return SubmitResult::Accepted { tag };
                 }
                 // Reads: store-to-load forwarding, then the prefetch
                 // buffer, then MSHR merge, then a new memory transaction.
-                if pending.contains_key(&op.addr) {
+                if pending.iter().any(|&(line, _)| line == op.addr) {
                     *forwarded_reads += 1;
                     return SubmitResult::Hit;
                 }
@@ -465,7 +767,9 @@ impl System {
                         let txn = Transaction::read(id, domain, loc, *dram_cycle)
                             .with_local_addr(op.addr);
                         mc.enqueue(txn).expect("can_accept was checked");
-                        txn_meta.insert(id, (i, op.addr));
+                        *mc_next_tick =
+                            (*mc_next_tick).min(mc.enqueue_event_hint(&txn, *dram_cycle));
+                        txn_meta.push((id, i as u32, op.addr));
                         SubmitResult::Accepted { tag }
                     }
                 }
@@ -475,8 +779,10 @@ impl System {
 
     /// Runs for `cycles` DRAM cycles.
     pub fn run_cycles(&mut self, cycles: u64) -> SystemStats {
-        for _ in 0..cycles {
+        let end = self.dram_cycle + cycles;
+        while self.dram_cycle < end {
             self.step();
+            self.skip_ahead(end, false);
         }
         self.stats()
     }
@@ -497,6 +803,7 @@ impl System {
         while self.dram_cycle < end {
             self.step();
             self.health_check()?;
+            self.skip_ahead(end, true);
         }
         Ok(self.stats())
     }
@@ -533,8 +840,8 @@ impl System {
 
     /// Builds the watchdog's diagnosis from the oldest outstanding read.
     fn diagnose_stall(&self) -> WatchdogReport {
-        let (&oldest, &(core, local)) =
-            self.txn_meta.iter().min_by_key(|(id, _)| *id).expect("stall implies outstanding");
+        let &(oldest, core, local) =
+            self.txn_meta.iter().min_by_key(|(id, _, _)| *id).expect("stall implies outstanding");
         let loc = self.policy.map(&self.cfg.geometry, DomainId(core as u8), local);
         WatchdogReport {
             cycle: self.dram_cycle,
@@ -554,6 +861,9 @@ impl System {
         let max_cycles = self.dram_cycle + 400 * reads + 100_000;
         while self.reads_completed < reads && self.dram_cycle < max_cycles {
             self.step();
+            if self.reads_completed < reads {
+                self.skip_ahead(max_cycles, false);
+            }
         }
         self.stats()
     }
@@ -572,6 +882,11 @@ impl System {
             {
                 boundaries.push(self.dram_cycle * self.cfg.timing.cpu_ratio as u64);
                 next_target += bucket_instrs;
+            }
+            if boundaries.len() < buckets {
+                // Skips retire nothing (every core is stalled), so no
+                // bucket boundary can fall inside a skipped span.
+                self.skip_ahead(hard_stop, false);
             }
         }
         boundaries
@@ -602,6 +917,9 @@ impl System {
             {
                 boundaries.push(self.dram_cycle * self.cfg.timing.cpu_ratio as u64);
                 next_target += bucket_instrs;
+            }
+            if boundaries.len() < buckets {
+                self.skip_ahead(hard_stop, true);
             }
         }
         Ok(boundaries)

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(&opts),
         "attack" => cmd_attack(&opts),
         "chaos" => cmd_chaos(&opts),
+        "bench-throughput" => cmd_bench_throughput(&opts),
         "record" => cmd_record(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -82,6 +83,12 @@ USAGE:
              [--fault-seed S --faults 'SPEC']
                                       fault-injection campaign with shrinking;
                                       with --faults, reproduce one case
+  fsmc bench-throughput [--cycles N] [--seed S] [--out FILE]
+             [--check BASELINE.json]
+                                      measure simulated cycles/sec with and
+                                      without the event-driven fast path;
+                                      with --check, fail on a >20% regression
+                                      versus a recorded snapshot
   fsmc record --workload NAME --ops N --out FILE   export a USIMM trace
 
 SCHEDULERS: baseline, baseline-prefetch, fs-rp, fs-rp-prefetch, fs-bp,
@@ -91,7 +98,9 @@ WORKLOADS:  mix1 mix2 CG SP astar lbm libquantum mcf milc zeusmp
 ENV:        FSMC_THREADS   worker threads for suite runs (default: all cores;
                            results are identical at any thread count)
             FSMC_CYCLES / FSMC_SEED   defaults for the figure binaries
-            FSMC_RESULTS_DIR          where figure binaries write CSVs";
+            FSMC_RESULTS_DIR          where figure binaries write CSVs
+            FSMC_NO_FASTPATH=1        force per-cycle stepping (debugging;
+                                      results are bit-identical either way)";
 
 /// Parses `--key value` pairs.
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -332,6 +341,188 @@ fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let report = run_campaign(&Engine::from_env(), &cfg).map_err(|e| e.to_string())?;
     print!("{}", report.render());
+    Ok(())
+}
+
+/// One throughput scenario: a scheduler under a mix, timed twice.
+struct ThroughputRow {
+    name: &'static str,
+    scheduler: SchedulerKind,
+    workload: &'static str,
+    per_cycle_cps: f64,
+    fastpath_cps: f64,
+}
+
+impl ThroughputRow {
+    fn speedup(&self) -> f64 {
+        self.fastpath_cps / self.per_cycle_cps
+    }
+}
+
+/// Times one scenario on both paths, interleaving repeats so that
+/// wall-clock noise epochs (co-tenants, frequency scaling) hit the
+/// per-cycle and fast-path samples alike instead of biasing the ratio.
+/// Noise only ever slows a run down, so the fastest repeat per path is
+/// the best estimate of true throughput, and every repeat of either
+/// path must reproduce the same stats fingerprint — a free determinism
+/// and fast-path-equivalence check. Returns (per-cycle, fast-path)
+/// simulated cycles per second.
+fn time_pair(
+    kind: SchedulerKind,
+    mix: &WorkloadMix,
+    cycles: u64,
+    seed: u64,
+) -> Result<(f64, f64), String> {
+    use fsmc::sim::System;
+    let cfg = SystemConfig::with_cores(kind, mix.cores() as u8);
+    let mut best = [f64::MAX; 2];
+    let mut fingerprint: Option<String> = None;
+    for _rep in 0..3 {
+        for (slot, fast) in [(0, false), (1, true)] {
+            let mut sys = System::try_from_mix(&cfg, mix, seed).map_err(|e| e.to_string())?;
+            if !fast {
+                sys.disable_fastpath();
+            }
+            // Untimed warmup past the cold-start transient (empty queues,
+            // closed rows) so the figure reflects steady-state throughput.
+            sys.run_cycles(cycles / 5);
+            let t0 = std::time::Instant::now();
+            let stats = sys.run_cycles(cycles);
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            best[slot] = best[slot].min(secs);
+            let fp = format!(
+                "{:.9}/{}/{}/{}",
+                stats.ipc_sum(),
+                stats.reads_completed,
+                stats.mc.row_hits + stats.mc.row_misses,
+                stats.cores.iter().map(|c| c.stall_cycles).sum::<u64>()
+            );
+            match &fingerprint {
+                None => fingerprint = Some(fp),
+                Some(first) if *first != fp => {
+                    return Err(format!("fast path diverged from per-cycle run: {fp} vs {first}"));
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok((cycles as f64 / best[0], cycles as f64 / best[1]))
+}
+
+/// Extracts `"key": value` from a scenario line of the snapshot JSON
+/// (one scenario per line — see `cmd_bench_throughput`'s writer).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn cmd_bench_throughput(opts: &HashMap<String, String>) -> Result<(), String> {
+    let cycles = get_u64(opts, "cycles", 500_000)?;
+    let seed = get_u64(opts, "seed", 42)?;
+    let out = opts.get("out").map(String::as_str).unwrap_or("results/bench_throughput.json");
+    // The acceptance scenarios: the l=43 no-partitioning schedule leaves
+    // the controller idle for most of each slot (every core blocks on
+    // its distant turn), the baseline under a memory-intensive mix skips
+    // only the short data-return gaps, and the two middle rows track the
+    // paper's main configurations.
+    let scenarios: [(&str, SchedulerKind, &str, WorkloadMix); 4] = [
+        (
+            "fs-np-idle-heavy",
+            SchedulerKind::FsNoPartitionNaive,
+            "mcf",
+            WorkloadMix::rate(BenchProfile::mcf(), 8),
+        ),
+        ("fs-rp-mix1", SchedulerKind::FsRankPartitioned, "mix1", WorkloadMix::mix1_for(8)),
+        (
+            "baseline-memory-intensive",
+            SchedulerKind::Baseline,
+            "mcf",
+            WorkloadMix::rate(BenchProfile::mcf(), 8),
+        ),
+        (
+            "tp-bp-mix2",
+            SchedulerKind::TpBankPartitioned { turn: 60 },
+            "mix2",
+            WorkloadMix::mix2_for(8),
+        ),
+    ];
+    let mut rows = Vec::new();
+    println!("{:<28} {:>14} {:>14} {:>8}", "scenario", "per-cycle c/s", "fast-path c/s", "speedup");
+    for (name, kind, workload, mix) in scenarios {
+        let (slow_cps, fast_cps) =
+            time_pair(kind, &mix, cycles, seed).map_err(|e| format!("{name}: {e}"))?;
+        let row = ThroughputRow {
+            name,
+            scheduler: kind,
+            workload,
+            per_cycle_cps: slow_cps,
+            fastpath_cps: fast_cps,
+        };
+        println!(
+            "{:<28} {:>14.0} {:>14.0} {:>7.2}x",
+            row.name,
+            row.per_cycle_cps,
+            row.fastpath_cps,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    // One scenario object per line, so the regression check (and human
+    // diffs) can scan the snapshot without a JSON parser.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"cycles\": {cycles},\n  \"seed\": {seed},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"workload\": \"{}\", \
+             \"per_cycle_cps\": {:.0}, \"fastpath_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.scheduler.cli_name(),
+            r.workload,
+            r.per_cycle_cps,
+            r.fastpath_cps,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(out, &json).map_err(|e| e.to_string())?;
+    println!("\nwrote {out}");
+    // Regression gate: fresh fast-path throughput must stay within 20%
+    // of the recorded snapshot for every scenario.
+    if let Some(baseline) = opts.get("check") {
+        let text =
+            std::fs::read_to_string(baseline).map_err(|e| format!("--check {baseline}: {e}"))?;
+        let mut checked = 0;
+        for line in text.lines() {
+            let Some(name) = json_field(line, "name") else { continue };
+            let Some(cps) = json_field(line, "fastpath_cps").and_then(|v| v.parse::<f64>().ok())
+            else {
+                continue;
+            };
+            let Some(row) = rows.iter().find(|r| r.name == name) else {
+                return Err(format!("--check: snapshot scenario {name:?} not measured"));
+            };
+            checked += 1;
+            if row.fastpath_cps < 0.8 * cps {
+                return Err(format!(
+                    "{name}: fast-path throughput regressed {:.0} -> {:.0} cycles/sec (>20%)",
+                    cps, row.fastpath_cps
+                ));
+            }
+        }
+        if checked == 0 {
+            return Err(format!("--check {baseline}: no scenarios found in snapshot"));
+        }
+        println!("throughput within 20% of {baseline} for {checked} scenarios");
+    }
     Ok(())
 }
 

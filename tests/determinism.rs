@@ -1,9 +1,15 @@
 //! Determinism: simulations are exactly reproducible given a seed — the
 //! property that makes the non-interference comparisons meaningful.
+//!
+//! This includes the event-driven fast path: time-skipping must produce
+//! *bit-identical* statistics, command logs and execution profiles to
+//! per-cycle stepping for every scheduler, or it is not an optimisation
+//! but a different simulator.
 
 use fsmc::bench::weighted_ipc_suite_with;
 use fsmc::core::sched::SchedulerKind as K;
-use fsmc::sim::{Engine, System, SystemConfig};
+use fsmc::dram::command::TimedCommand;
+use fsmc::sim::{Engine, ExperimentJob, FaultPlan, System, SystemConfig};
 use fsmc::workload::WorkloadMix;
 
 fn fingerprint(kind: K, seed: u64) -> (Vec<f64>, u64, u64) {
@@ -34,6 +40,109 @@ fn different_seeds_differ() {
     let a = fingerprint(K::Baseline, 3);
     let b = fingerprint(K::Baseline, 4);
     assert_ne!(a, b, "seeds should change the workload");
+}
+
+/// Every scheduler kind the simulator can build.
+fn all_kinds() -> [K; 12] {
+    [
+        K::Baseline,
+        K::BaselinePrefetch,
+        K::FsRankPartitioned,
+        K::FsRankPartitionedPrefetch,
+        K::FsBankPartitioned,
+        K::FsReorderedBankPartitioned,
+        K::FsNoPartitionNaive,
+        K::FsTripleAlternation,
+        K::TpBankPartitioned { turn: 60 },
+        K::TpNoPartition { turn: 172 },
+        K::ChannelPartitioned,
+        K::FsMultiChannel { channels: 4 },
+    ]
+}
+
+/// Runs `cycles` DRAM cycles of mix2 under `kind` with command
+/// recording and the online monitor armed, with or without the
+/// event-driven fast path, and returns everything observable: the full
+/// statistics snapshot and the command log.
+fn run_both_ways(kind: K, seed: u64, cycles: u64, fast: bool) -> (String, Vec<TimedCommand>) {
+    let mut cfg = SystemConfig::paper_default(kind);
+    cfg.record_commands = true;
+    cfg.monitor = true;
+    let mix = WorkloadMix::mix2();
+    let mut sys = System::from_mix(&cfg, &mix, seed);
+    if !fast {
+        sys.disable_fastpath();
+    }
+    let stats = sys.try_run_cycles(cycles).expect("clean run");
+    (format!("{stats:?}"), sys.take_command_log())
+}
+
+/// The fast path's contract: skipping time changes nothing observable.
+/// Statistics (per-core cycle and stall counts included) and the full
+/// command log must be bit-identical for every policy and seed.
+#[test]
+fn fast_path_is_bit_identical_for_every_policy() {
+    for kind in all_kinds() {
+        for seed in [3, 7, 11] {
+            let fast = run_both_ways(kind, seed, 8_000, true);
+            let slow = run_both_ways(kind, seed, 8_000, false);
+            assert_eq!(fast.0, slow.0, "{kind} seed {seed}: stats diverge");
+            assert_eq!(fast.1, slow.1, "{kind} seed {seed}: command logs diverge");
+        }
+    }
+}
+
+/// Execution profiles — the paper's attacker observable — must also be
+/// unaffected: a bucket boundary landing one cycle off would fabricate
+/// or mask leakage.
+#[test]
+fn fast_path_preserves_execution_profiles_and_read_runs() {
+    for kind in [K::FsRankPartitioned, K::Baseline, K::TpBankPartitioned { turn: 60 }] {
+        let cfg = SystemConfig::paper_default(kind);
+        let mix = WorkloadMix::mix1();
+        let mut fast = System::from_mix(&cfg, &mix, 5);
+        let mut slow = System::from_mix(&cfg, &mix, 5);
+        slow.disable_fastpath();
+        assert_eq!(
+            fast.run_profile(0, 500, 12),
+            slow.run_profile(0, 500, 12),
+            "{kind}: profiles diverge"
+        );
+        let mut fast = System::from_mix(&cfg, &mix, 6);
+        let mut slow = System::from_mix(&cfg, &mix, 6);
+        slow.disable_fastpath();
+        fast.observe(0);
+        slow.observe(0);
+        let sf = fast.run_reads(600);
+        let ss = slow.run_reads(600);
+        assert_eq!(format!("{sf:?}"), format!("{ss:?}"), "{kind}: read-run stats diverge");
+        assert_eq!(fast.take_observations(), slow.take_observations(), "{kind}: observations");
+        assert_eq!(fast.dram_cycle(), slow.dram_cycle(), "{kind}: end cycles diverge");
+    }
+}
+
+/// `FSMC_NO_FASTPATH=1` is the escape hatch; mutable controller access
+/// and armed fault plans drop to per-cycle stepping automatically.
+#[test]
+fn fast_path_disarms_on_env_mutation_and_faults() {
+    let cfg = SystemConfig::paper_default(K::FsRankPartitioned);
+    let mix = WorkloadMix::mix1();
+    std::env::set_var("FSMC_NO_FASTPATH", "1");
+    let sys = System::from_mix(&cfg, &mix, 1);
+    std::env::remove_var("FSMC_NO_FASTPATH");
+    assert!(!sys.fastpath_enabled(), "FSMC_NO_FASTPATH=1 must force per-cycle stepping");
+
+    let mut sys = System::from_mix(&cfg, &mix, 1);
+    assert!(sys.fastpath_enabled(), "fast path is the default");
+    let _ = sys.controller_mut();
+    assert!(!sys.fastpath_enabled(), "controller mutation must disarm the fast path");
+
+    // A faulted job runs per-cycle, and stays deterministic.
+    let plan = FaultPlan::parse_spec(9, "delay(50,5,1)").expect("valid spec");
+    let job = ExperimentJob::new(mix, K::FsRankPartitioned, 6_000, 3).with_faults(plan);
+    let a = job.run();
+    let b = job.run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "faulted runs must be reproducible");
 }
 
 /// The tentpole guarantee: the parallel experiment engine produces
