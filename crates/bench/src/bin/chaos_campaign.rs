@@ -26,7 +26,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let engine = Engine::from_env();
     let population = env_u64("FSMC_CHAOS_POPULATION", 12) as usize;
-    let cycles = env_u64("FSMC_CYCLES", 8_000);
+    let cycles = fsmc_sim::env::cycles(8_000);
     let master = env_u64("FSMC_CHAOS_SEED", 1);
     let mut csv = String::from("scheduler,case,outcome,fault_seed,faults,shrunk\n");
     let mut ok = true;

@@ -51,8 +51,12 @@ fn main() -> ExitCode {
         print!(" {:>18.3}", s / (*n).max(1) as f64);
     }
     println!();
-    diagnostics.sort();
-    diagnostics.dedup();
+    // Dedup (a failed baseline repeats across its row's columns) without
+    // re-sorting: diagnostics print in slot order — row by row, column by
+    // column, as declared — not alphabetically, so the footer is stable
+    // and matches the table layout at any FSMC_THREADS.
+    let mut seen = std::collections::HashSet::new();
+    diagnostics.retain(|d| seen.insert(d.clone()));
     for d in &diagnostics {
         println!("  diagnostic: {d}");
     }

@@ -14,22 +14,25 @@
 //! or `$FSMC_RESULTS_DIR`.
 
 use fsmc_core::sched::SchedulerKind;
-use fsmc_sim::engine::{env_u64, Engine, ExperimentJob, ExperimentPlan};
+use fsmc_obs::MetricsReport;
+use fsmc_sim::engine::{Engine, ExperimentJob, ExperimentPlan};
 use fsmc_sim::runner::{RunResult, SuiteResult};
 use fsmc_sim::FaultPlan;
 use fsmc_workload::WorkloadMix;
 use std::process::ExitCode;
 
+pub mod throughput;
+
 /// Simulation length in DRAM cycles, from `FSMC_CYCLES` (default 60 000).
 /// A malformed value is reported and replaced by the default.
 pub fn run_cycles() -> u64 {
-    env_u64("FSMC_CYCLES", 60_000)
+    fsmc_sim::env::cycles(60_000)
 }
 
 /// Workload seed, from `FSMC_SEED` (default 42). A malformed value is
 /// reported and replaced by the default.
 pub fn seed() -> u64 {
-    env_u64("FSMC_SEED", 42)
+    fsmc_sim::env::seed(42)
 }
 
 /// One table cell: the metric, or the diagnostic of the run that failed
@@ -231,6 +234,68 @@ pub fn weighted_ipc_suite_with(
     weighted_table(kinds, mixes, engine.run(&plan))
 }
 
+/// One `--metrics` row: the observability report of a single
+/// `(workload, scheduler)` run, including the baseline runs.
+#[derive(Debug, Clone)]
+pub struct MetricsRow {
+    pub mix: &'static str,
+    pub scheduler: SchedulerKind,
+    pub report: MetricsReport,
+}
+
+/// Renders `--metrics` rows as CSV: identity columns plus the
+/// [`MetricsReport`] histogram columns appended per
+/// [`MetricsReport::csv_header`].
+pub fn metrics_csv(rows: &[MetricsRow], domains: usize) -> String {
+    let mut out = format!("workload,scheduler,{}\n", MetricsReport::csv_header(domains));
+    for r in rows {
+        out.push_str(&format!("{},{},{}\n", r.mix, r.scheduler.label(), r.report.csv_cells()));
+    }
+    out
+}
+
+/// [`weighted_ipc_suite_with`] with per-run observability metrics
+/// armed: every job (baselines included) collects per-domain latency
+/// histograms and row-locality counters, returned as one
+/// [`MetricsRow`] per completed run in declaration (slot) order — so
+/// the rows, like the table, are byte-identical at any `FSMC_THREADS`.
+pub fn weighted_ipc_suite_metrics(
+    engine: &Engine,
+    mixes: &[WorkloadMix],
+    kinds: &[SchedulerKind],
+    cycles: u64,
+    seed: u64,
+) -> (SuiteTable, Vec<MetricsRow>) {
+    let mut plan = ExperimentPlan::new();
+    for mix in mixes {
+        plan.push(
+            ExperimentJob::new(mix.clone(), SchedulerKind::Baseline, cycles, seed).with_metrics(),
+        );
+        for &k in kinds {
+            plan.push(ExperimentJob::new(mix.clone(), k, cycles, seed).with_metrics());
+        }
+    }
+    let results = engine.run(&plan);
+    let mut rows = Vec::new();
+    {
+        let mut slots = results.iter();
+        for mix in mixes {
+            let mut take = |scheduler: SchedulerKind| {
+                if let Some(Ok(r)) = slots.next() {
+                    if let Some(report) = &r.metrics {
+                        rows.push(MetricsRow { mix: mix.name, scheduler, report: report.clone() });
+                    }
+                }
+            };
+            take(SchedulerKind::Baseline);
+            for &k in kinds {
+                take(k);
+            }
+        }
+    }
+    (weighted_table(kinds, mixes, results), rows)
+}
+
 /// Runs the 12-workload suite under each scheduler on the experiment
 /// engine (`FSMC_THREADS` workers, one memoized trace per stream),
 /// reporting the paper's sum-of-weighted-IPC metric (normalised per
@@ -289,9 +354,7 @@ pub fn single(mix: &WorkloadMix, kind: SchedulerKind, cycles: u64, seed: u64) ->
 /// binaries never interleave partial contents. Failures are reported
 /// but not fatal — the console output is the primary artefact.
 pub fn save_result(name: &str, contents: &str) {
-    let dir = std::env::var_os("FSMC_RESULTS_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+    let dir = fsmc_sim::env::results_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;

@@ -1,0 +1,344 @@
+//! Throughput-benchmark snapshots: the `results/bench_throughput.json`
+//! format, parsed strictly with typed errors.
+//!
+//! `fsmc bench-throughput` writes one scenario object per line so the
+//! regression gate (and human diffs) can scan the snapshot without a
+//! JSON parser. This module owns both directions of that contract:
+//! [`ThroughputSnapshot::to_json`] renders it and
+//! [`ThroughputSnapshot::parse`] validates it line by line, so a
+//! malformed or truncated snapshot surfaces as a [`SnapshotError`]
+//! naming the offending line instead of a panic or a silently skipped
+//! scenario.
+
+use std::fmt;
+use std::path::Path;
+
+/// Everything that can go wrong loading or checking a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The snapshot file could not be read.
+    Io { path: String, detail: String },
+    /// The file ended before the closing `]` / `}` — a truncated write.
+    Truncated { expected: &'static str },
+    /// A line that should carry a field or scenario does not parse.
+    Malformed { line: usize, detail: String },
+    /// A structurally valid snapshot with zero scenarios.
+    Empty,
+    /// The snapshot names a scenario the fresh run did not measure.
+    MissingScenario { name: String },
+    /// A scenario's fresh throughput fell below the tolerance band.
+    Regression { name: String, baseline_cps: f64, measured_cps: f64 },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, detail } => write!(f, "cannot read {path}: {detail}"),
+            SnapshotError::Truncated { expected } => {
+                write!(f, "snapshot truncated: file ended before {expected}")
+            }
+            SnapshotError::Malformed { line, detail } => {
+                write!(f, "snapshot line {line}: {detail}")
+            }
+            SnapshotError::Empty => write!(f, "snapshot contains no scenarios"),
+            SnapshotError::MissingScenario { name } => {
+                write!(f, "snapshot scenario {name:?} not measured by this run")
+            }
+            SnapshotError::Regression { name, baseline_cps, measured_cps } => write!(
+                f,
+                "{name}: fast-path throughput regressed {baseline_cps:.0} -> \
+                 {measured_cps:.0} cycles/sec (beyond tolerance)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One recorded scenario: identity plus both throughput measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotScenario {
+    pub name: String,
+    pub scheduler: String,
+    pub workload: String,
+    pub per_cycle_cps: f64,
+    pub fastpath_cps: f64,
+    pub speedup: f64,
+}
+
+/// A parsed `bench_throughput.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSnapshot {
+    pub cycles: u64,
+    pub seed: u64,
+    pub scenarios: Vec<SnapshotScenario>,
+}
+
+/// Extracts `"key": value` from a one-line scenario object.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn field_req<'a>(line: &'a str, n: usize, key: &str) -> Result<&'a str, SnapshotError> {
+    field(line, key)
+        .ok_or_else(|| SnapshotError::Malformed { line: n, detail: format!("missing {key:?}") })
+}
+
+fn num_req<T: std::str::FromStr>(line: &str, n: usize, key: &str) -> Result<T, SnapshotError> {
+    let raw = field_req(line, n, key)?;
+    raw.parse().map_err(|_| SnapshotError::Malformed {
+        line: n,
+        detail: format!("{key:?} is not a number: {raw:?}"),
+    })
+}
+
+impl ThroughputSnapshot {
+    /// Reads and parses a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on read failure, otherwise as [`Self::parse`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| SnapshotError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Parses the one-scenario-per-line snapshot format strictly: the
+    /// header fields, every scenario line, and the closing brackets all
+    /// have to be present and well formed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] names the first bad line;
+    /// [`SnapshotError::Truncated`] fires when the file ends early;
+    /// [`SnapshotError::Empty`] when no scenario was recorded.
+    pub fn parse(text: &str) -> Result<Self, SnapshotError> {
+        // 1-based line numbers for every diagnostic.
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+        let mut next =
+            |expected: &'static str| lines.next().ok_or(SnapshotError::Truncated { expected });
+
+        let (n, l) = next("opening '{'")?;
+        if l != "{" {
+            return Err(SnapshotError::Malformed {
+                line: n,
+                detail: format!("expected {{, got {l:?}"),
+            });
+        }
+        let (n, l) = next("\"cycles\" field")?;
+        let cycles: u64 = num_req(l, n, "cycles")?;
+        let (n, l) = next("\"seed\" field")?;
+        let seed: u64 = num_req(l, n, "seed")?;
+        let (n, l) = next("\"scenarios\" array")?;
+        if !l.starts_with("\"scenarios\":") {
+            return Err(SnapshotError::Malformed {
+                line: n,
+                detail: format!("expected \"scenarios\": [, got {l:?}"),
+            });
+        }
+        let mut scenarios = Vec::new();
+        loop {
+            let (n, l) = next("closing ']' of scenarios")?;
+            if l == "]" {
+                break;
+            }
+            if !l.starts_with('{') {
+                return Err(SnapshotError::Malformed {
+                    line: n,
+                    detail: format!("expected a scenario object, got {l:?}"),
+                });
+            }
+            scenarios.push(SnapshotScenario {
+                name: field_req(l, n, "name")?.to_string(),
+                scheduler: field_req(l, n, "scheduler")?.to_string(),
+                workload: field_req(l, n, "workload")?.to_string(),
+                per_cycle_cps: num_req(l, n, "per_cycle_cps")?,
+                fastpath_cps: num_req(l, n, "fastpath_cps")?,
+                speedup: num_req(l, n, "speedup")?,
+            });
+        }
+        let (n, l) = next("closing '}'")?;
+        if l != "}" {
+            return Err(SnapshotError::Malformed {
+                line: n,
+                detail: format!("expected }}, got {l:?}"),
+            });
+        }
+        if scenarios.is_empty() {
+            return Err(SnapshotError::Empty);
+        }
+        Ok(ThroughputSnapshot { cycles, seed, scenarios })
+    }
+
+    /// Renders the snapshot in the committed one-scenario-per-line
+    /// format; `parse` round-trips it.
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"cycles\": {},\n  \"seed\": {},\n", self.cycles, self.seed));
+        json.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"workload\": \"{}\", \
+                 \"per_cycle_cps\": {:.0}, \"fastpath_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+                s.name,
+                s.scheduler,
+                s.workload,
+                s.per_cycle_cps,
+                s.fastpath_cps,
+                s.speedup,
+                if i + 1 == self.scenarios.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// The regression gate: every recorded scenario must have been
+    /// measured afresh at no less than `1 - tolerance` of its recorded
+    /// fast-path throughput. `measured` is `(name, fastpath_cps)` pairs.
+    /// Returns the number of scenarios checked.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::MissingScenario`] or [`SnapshotError::Regression`].
+    pub fn check(&self, measured: &[(&str, f64)], tolerance: f64) -> Result<usize, SnapshotError> {
+        for s in &self.scenarios {
+            let Some((_, cps)) = measured.iter().find(|(name, _)| *name == s.name) else {
+                return Err(SnapshotError::MissingScenario { name: s.name.clone() });
+            };
+            if *cps < (1.0 - tolerance) * s.fastpath_cps {
+                return Err(SnapshotError::Regression {
+                    name: s.name.clone(),
+                    baseline_cps: s.fastpath_cps,
+                    measured_cps: *cps,
+                });
+            }
+        }
+        Ok(self.scenarios.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ThroughputSnapshot {
+        ThroughputSnapshot {
+            cycles: 500_000,
+            seed: 42,
+            scenarios: vec![
+                SnapshotScenario {
+                    name: "fs-rp-mix1".into(),
+                    scheduler: "fs-rp".into(),
+                    workload: "mix1".into(),
+                    per_cycle_cps: 200_000.0,
+                    fastpath_cps: 450_000.0,
+                    speedup: 2.25,
+                },
+                SnapshotScenario {
+                    name: "baseline-memory-intensive".into(),
+                    scheduler: "baseline".into(),
+                    workload: "mcf".into(),
+                    per_cycle_cps: 300_000.0,
+                    fastpath_cps: 450_000.0,
+                    speedup: 1.50,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let parsed = ThroughputSnapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_a_typed_error_not_a_panic() {
+        let json = sample().to_json();
+        // Cutting the file at any line boundary must yield Truncated or
+        // Malformed — never a panic, never an Ok.
+        let lines: Vec<&str> = json.lines().collect();
+        for keep in 0..lines.len() {
+            let cut = lines[..keep].join("\n");
+            let err = ThroughputSnapshot::parse(&cut).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. } | SnapshotError::Malformed { .. }),
+                "cut after {keep} lines: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_values_name_the_line() {
+        let json = sample().to_json().replace("\"per_cycle_cps\": 200000", "\"per_cycle_cps\": x");
+        match ThroughputSnapshot::parse(&json).unwrap_err() {
+            SnapshotError::Malformed { line, detail } => {
+                assert_eq!(line, 5, "{detail}");
+                assert!(detail.contains("per_cycle_cps"), "{detail}");
+            }
+            other => panic!("expected Malformed, got {other}"),
+        }
+        // A scenario line missing a required key is also malformed.
+        let json = sample().to_json().replace("\"workload\": \"mix1\", ", "");
+        assert!(matches!(
+            ThroughputSnapshot::parse(&json),
+            Err(SnapshotError::Malformed { line: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_scenarios_are_rejected() {
+        let json = "{\n  \"cycles\": 1,\n  \"seed\": 2,\n  \"scenarios\": [\n  ]\n}\n";
+        assert_eq!(ThroughputSnapshot::parse(json), Err(SnapshotError::Empty));
+    }
+
+    #[test]
+    fn check_flags_regressions_and_missing_scenarios() {
+        let snap = sample();
+        let ok = [("fs-rp-mix1", 400_000.0), ("baseline-memory-intensive", 460_000.0)];
+        assert_eq!(snap.check(&ok, 0.20), Ok(2));
+        // 300k < 0.8 * 450k: a regression, attributed to its scenario.
+        let slow = [("fs-rp-mix1", 300_000.0), ("baseline-memory-intensive", 460_000.0)];
+        assert!(matches!(
+            snap.check(&slow, 0.20),
+            Err(SnapshotError::Regression { ref name, .. }) if name == "fs-rp-mix1"
+        ));
+        let missing = [("fs-rp-mix1", 400_000.0)];
+        assert!(matches!(
+            snap.check(&missing, 0.20),
+            Err(SnapshotError::MissingScenario { ref name, .. })
+                if name == "baseline-memory-intensive"
+        ));
+    }
+
+    #[test]
+    fn load_reports_io_errors_typed() {
+        match ThroughputSnapshot::load("/nonexistent/bench_throughput.json") {
+            Err(SnapshotError::Io { path, .. }) => assert!(path.contains("nonexistent")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    /// The committed snapshot format (as written by `fsmc
+    /// bench-throughput`) parses, scenario for scenario.
+    #[test]
+    fn committed_format_parses() {
+        let json = "{\n  \"cycles\": 500000,\n  \"seed\": 42,\n  \"scenarios\": [\n    \
+            {\"name\": \"fs-np-idle-heavy\", \"scheduler\": \"fs-np\", \"workload\": \"mcf\", \
+            \"per_cycle_cps\": 1465870, \"fastpath_cps\": 35544041, \"speedup\": 24.25}\n  ]\n}\n";
+        let snap = ThroughputSnapshot::parse(json).unwrap();
+        assert_eq!(snap.scenarios.len(), 1);
+        assert_eq!(snap.scenarios[0].name, "fs-np-idle-heavy");
+        assert_eq!(snap.scenarios[0].fastpath_cps, 35_544_041.0);
+    }
+}

@@ -45,5 +45,7 @@ pub mod txn;
 
 pub use domain::{DomainConfig, DomainId, PartitionPolicy};
 pub use error::{ConfigError, CoreError};
-pub use sched::{CadenceSpec, Completion, MemoryController, SchedulerKind};
+pub use sched::{
+    CadenceSpec, Completion, MemoryController, SchedEvent, SchedulerKind, SlotGrantKind,
+};
 pub use txn::{Transaction, TxnId, TxnKind};

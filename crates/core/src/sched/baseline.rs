@@ -472,6 +472,18 @@ impl MemoryController for BaselineScheduler {
     fn take_command_log_into(&mut self, out: &mut Vec<TimedCommand>) {
         self.device.take_log_into(out);
     }
+
+    fn record_obs(&mut self) {
+        self.device.record_obs();
+    }
+
+    fn has_obs(&self) -> bool {
+        self.device.has_obs()
+    }
+
+    fn take_obs_into(&mut self, out: &mut Vec<fsmc_dram::ObsCommand>) {
+        self.device.take_obs_into(out);
+    }
 }
 
 /// Convenience: map a domain-local address for this controller's

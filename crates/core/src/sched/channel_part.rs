@@ -147,6 +147,28 @@ impl MemoryController for ChannelPartitionedController {
     fn take_command_log_into(&mut self, out: &mut Vec<TimedCommand>) {
         self.channels[0].take_command_log_into(out);
     }
+
+    fn record_obs(&mut self) {
+        for ch in &mut self.channels {
+            ch.record_obs();
+        }
+    }
+
+    fn has_obs(&self) -> bool {
+        self.channels[0].has_obs()
+    }
+
+    fn take_obs_into(&mut self, out: &mut Vec<fsmc_dram::ObsCommand>) {
+        self.channels[0].take_obs_into(out);
+    }
+
+    fn has_sched_events(&self) -> bool {
+        self.channels[0].has_sched_events()
+    }
+
+    fn take_sched_events_into(&mut self, out: &mut Vec<crate::sched::SchedEvent>) {
+        self.channels[0].take_sched_events_into(out);
+    }
 }
 
 #[cfg(test)]

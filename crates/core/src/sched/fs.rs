@@ -21,7 +21,8 @@ use crate::prefetch::SandboxPrefetcher;
 use crate::queues::{QueueFull, TransactionQueue};
 use crate::refresh::RefreshManager;
 use crate::sched::{
-    CadenceSpec, CmdFaultSpec, Completion, McStats, MemoryController, SchedulerKind,
+    CadenceSpec, CmdFaultSpec, Completion, McStats, MemoryController, SchedEvent, SchedulerKind,
+    SlotGrantKind,
 };
 use crate::solver::{
     conservative_pipeline, solve, solve_for_threads, Anchor, PartitionLevel, PipelineSolution,
@@ -213,6 +214,9 @@ pub struct FsScheduler {
     fault: Option<Violation>,
     /// Deterministic command-fault injector, if armed.
     cmd_faults: Option<CmdFaultTracker>,
+    /// Scheduler-level observability events (slot grants, degradations),
+    /// recorded only when [`MemoryController::record_obs`] armed them.
+    obs_events: Option<Vec<SchedEvent>>,
 }
 
 /// What the fault injector decides for one committed transaction.
@@ -470,10 +474,11 @@ impl FsScheduler {
             degraded: fell_back,
             fault: None,
             cmd_faults: None,
+            obs_events: None,
         })
     }
 
-    /// Creates an FS controller from per-domain [`DomainConfig`]s (the
+    /// Creates an FS controller from per-domain [`crate::domain::DomainConfig`]s (the
     /// OS/SLA view of Section 5.1): slot weights and queue depths are
     /// taken from the configs.
     ///
@@ -748,24 +753,36 @@ impl FsScheduler {
         });
         if let Some(txn) = picked {
             self.commit_uniform(txn, &plan);
+            self.note_slot(now, plan.slot, domain, SlotGrantKind::Demand);
             return true;
         }
         if let Some(pf) = self.make_prefetch(domain, plan.read_act, class, now) {
             self.commit_uniform(pf, &plan);
+            self.note_slot(now, plan.slot, domain, SlotGrantKind::Prefetch);
             return true;
         }
         if self.energy.power_down
             && self.variant == FsVariant::RankPartitioned
             && self.try_power_down(domain, &plan, now)
         {
+            self.note_slot(now, plan.slot, domain, SlotGrantKind::PowerDown);
             return true;
         }
         if let Some(dummy) = self.make_dummy(domain, plan.read_act, class, now) {
             self.commit_uniform(dummy, &plan);
+            self.note_slot(now, plan.slot, domain, SlotGrantKind::Dummy);
             return true;
         }
         self.stats.bubbles += 1;
+        self.note_slot(now, plan.slot, domain, SlotGrantKind::Bubble);
         false
+    }
+
+    /// Records a slot decision when observability is armed.
+    fn note_slot(&mut self, cycle: Cycle, slot: u64, domain: DomainId, kind: SlotGrantKind) {
+        if let Some(evs) = &mut self.obs_events {
+            evs.push(SchedEvent::SlotGrant { cycle, slot, domain, kind });
+        }
     }
 
     /// Energy optimisation 3: if the domain's rank is idle for the whole
@@ -848,11 +865,18 @@ impl FsScheduler {
             let picked = self.queues[d as usize]
                 .take_first(|t| device.rank_bank_ready(t.loc.rank, t.loc.bank, ready_by));
             let txn = match picked {
-                Some(t) => t,
+                Some(t) => {
+                    self.note_slot(now, k, domain, SlotGrantKind::Demand);
+                    t
+                }
                 None => match self.make_dummy(domain, ready_by, None, now) {
-                    Some(dummy) => dummy,
+                    Some(dummy) => {
+                        self.note_slot(now, k, domain, SlotGrantKind::Dummy);
+                        dummy
+                    }
                     None => {
                         self.stats.bubbles += 1;
+                        self.note_slot(now, k, domain, SlotGrantKind::Bubble);
                         continue;
                     }
                 },
@@ -942,6 +966,9 @@ impl FsScheduler {
         self.degraded = true;
         self.stats.degraded = true;
         self.stats.solver_fallbacks += 1;
+        if let Some(evs) = &mut self.obs_events {
+            evs.push(SchedEvent::Degraded { cycle: now });
+        }
         // Requeue in-flight demand transactions so their completions are
         // not silently lost; anything that no longer fits is dropped.
         let events = std::mem::take(&mut self.events);
@@ -1096,6 +1123,7 @@ impl MemoryController for FsScheduler {
                     self.fill_slot(plan, now);
                 } else if plan.decision_cycle == now {
                     self.stats.bubbles += 1;
+                    self.note_slot(now, plan.slot, plan.domain, SlotGrantKind::Bubble);
                 }
                 self.next_slot += 1;
             }
@@ -1112,6 +1140,9 @@ impl MemoryController for FsScheduler {
                     self.fill_interval(self.next_interval, now);
                 } else if dec == now {
                     self.stats.bubbles += self.domains as u64;
+                    for d in 0..self.domains {
+                        self.note_slot(now, self.next_interval, DomainId(d), SlotGrantKind::Bubble);
+                    }
                 }
                 self.next_interval += 1;
             }
@@ -1178,6 +1209,31 @@ impl MemoryController for FsScheduler {
         self.device.take_log_into(out);
     }
 
+    fn record_obs(&mut self) {
+        self.device.record_obs();
+        if self.obs_events.is_none() {
+            self.obs_events = Some(Vec::new());
+        }
+    }
+
+    fn has_obs(&self) -> bool {
+        self.device.has_obs()
+    }
+
+    fn take_obs_into(&mut self, out: &mut Vec<fsmc_dram::ObsCommand>) {
+        self.device.take_obs_into(out);
+    }
+
+    fn has_sched_events(&self) -> bool {
+        self.obs_events.as_ref().is_some_and(|e| !e.is_empty())
+    }
+
+    fn take_sched_events_into(&mut self, out: &mut Vec<SchedEvent>) {
+        if let Some(evs) = &mut self.obs_events {
+            out.append(evs);
+        }
+    }
+
     fn fault(&self) -> Option<Violation> {
         self.fault
     }
@@ -1192,9 +1248,13 @@ impl MemoryController for FsScheduler {
         // slower than the pipeline was certified for. Mismatches surface
         // as runtime violations and drive the degradation machinery.
         let recording = self.device.is_recording();
+        let obs = self.obs_events.is_some();
         self.device = DramDevice::new(*self.device.geometry(), t);
         if recording {
             self.device.record_commands();
+        }
+        if obs {
+            self.device.record_obs();
         }
     }
 

@@ -363,6 +363,34 @@ impl McStats {
     }
 }
 
+/// What filled an FS slot (or why it stayed empty), for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotGrantKind {
+    /// A queued demand transaction.
+    Demand,
+    /// A sandbox prefetch.
+    Prefetch,
+    /// A dummy access (traffic shaping).
+    Dummy,
+    /// A power-down pair replacing the dummy.
+    PowerDown,
+    /// Nothing issued.
+    Bubble,
+}
+
+/// A scheduler-level observability event. Command-bus activity is
+/// captured by the device's [`fsmc_dram::ObsCommand`] side log; these
+/// events carry what the command stream alone cannot show — slot
+/// ownership decisions and degradation transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A slot (or, for reordered BP, interval) decision: which domain
+    /// owned it and what filled it.
+    SlotGrant { cycle: Cycle, slot: u64, domain: DomainId, kind: SlotGrantKind },
+    /// The controller degraded onto the conservative pipeline.
+    Degraded { cycle: Cycle },
+}
+
 /// The interface every scheduling policy implements.
 ///
 /// A controller owns one channel's [`DramDevice`]; the system simulator
@@ -462,6 +490,32 @@ pub trait MemoryController {
     fn take_command_log_into(&mut self, out: &mut Vec<fsmc_dram::command::TimedCommand>) {
         out.extend(self.take_command_log());
     }
+
+    /// Enables observability recording: the device's [`fsmc_dram::ObsCommand`]
+    /// side log plus (for schedulers with a slot cadence) scheduler-level
+    /// [`SchedEvent`]s. Controllers without observability support ignore
+    /// it (the default) — the tracing layer simply sees no events.
+    fn record_obs(&mut self) {}
+
+    /// Cheap probe: would [`MemoryController::take_obs_into`] return
+    /// anything? Default: nothing ever.
+    fn has_obs(&self) -> bool {
+        false
+    }
+
+    /// Drains the device observability log into `out`, reusing the
+    /// caller's buffer. No-op by default.
+    fn take_obs_into(&mut self, _out: &mut Vec<fsmc_dram::ObsCommand>) {}
+
+    /// Cheap probe: would [`MemoryController::take_sched_events_into`]
+    /// return anything? Default: nothing ever.
+    fn has_sched_events(&self) -> bool {
+        false
+    }
+
+    /// Drains scheduler-level observability events into `out`, reusing
+    /// the caller's buffer. No-op by default.
+    fn take_sched_events_into(&mut self, _out: &mut Vec<SchedEvent>) {}
 
     /// The violation that poisoned this controller, if a timing fault was
     /// observed after the one permitted degradation. A poisoned

@@ -10,7 +10,7 @@ use std::fmt;
 /// constraint set is inconsistent (no real DDR3 pipeline needs more).
 const MAX_PITCH: u32 = 512;
 
-/// No feasible pitch was found below [`MAX_PITCH`].
+/// No feasible pitch was found below `MAX_PITCH` (512).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolveError {
     pub anchor: Anchor,

@@ -19,13 +19,28 @@ pub struct IssueOutcome {
     pub data_done: Option<Cycle>,
 }
 
+/// An observability record of one applied command: the command, its
+/// issue cycle, whether it was a suppressed dummy, and (for CAS) the
+/// cycle its data burst completes. Richer than [`TimedCommand`] so the
+/// tracing layer can size timeline slices without knowing device timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsCommand {
+    pub cmd: Command,
+    pub cycle: Cycle,
+    pub suppressed: bool,
+    pub data_done: Option<Cycle>,
+}
+
 /// Cycle-accurate model of one DDR3 channel and its ranks/banks.
 ///
 /// Every command must be validated with [`DramDevice::can_issue`] (or
 /// issued through [`DramDevice::issue`], which validates internally and
 /// returns an error on illegal issue). Issued commands are optionally
 /// recorded so a [`crate::checker::TimingChecker`] can re-validate the
-/// whole stream independently.
+/// whole stream independently, and — independently — optionally mirrored
+/// into an observability side log ([`ObsCommand`]) that the tracing
+/// layer drains. Both logs are `Option`-gated: disabled, the hooks are a
+/// branch on `None` with no allocation.
 #[derive(Debug, Clone)]
 pub struct DramDevice {
     geom: Geometry,
@@ -34,6 +49,7 @@ pub struct DramDevice {
     channel: ChannelState,
     counters: ActivityCounters,
     log: Option<Vec<TimedCommand>>,
+    obs_log: Option<Vec<ObsCommand>>,
     last_issue: Option<Cycle>,
 }
 
@@ -49,6 +65,7 @@ impl DramDevice {
             channel: ChannelState::new(),
             counters: ActivityCounters::new(geom.ranks_per_channel() as usize),
             log: None,
+            obs_log: None,
             last_issue: None,
         }
     }
@@ -83,6 +100,26 @@ impl DramDevice {
     /// caller's buffer instead of allocating a fresh `Vec` per drain.
     pub fn take_log_into(&mut self, out: &mut Vec<TimedCommand>) {
         if let Some(l) = &mut self.log {
+            out.append(l);
+        }
+    }
+
+    /// Enables the observability side log ([`ObsCommand`] per applied
+    /// command). Independent of [`DramDevice::record_commands`].
+    pub fn record_obs(&mut self) {
+        if self.obs_log.is_none() {
+            self.obs_log = Some(Vec::new());
+        }
+    }
+
+    /// Whether [`DramDevice::take_obs_into`] would return anything.
+    pub fn has_obs(&self) -> bool {
+        self.obs_log.as_ref().is_some_and(|l| !l.is_empty())
+    }
+
+    /// Drains the observability log into `out`, reusing the buffer.
+    pub fn take_obs_into(&mut self, out: &mut Vec<ObsCommand>) {
+        if let Some(l) = &mut self.obs_log {
             out.append(l);
         }
     }
@@ -212,7 +249,11 @@ impl DramDevice {
         if cmd.kind.is_cas() {
             self.counters.rank_mut(rank_idx).suppressed += 1;
         }
-        Ok(self.outcome(cmd, cycle))
+        let out = self.outcome(cmd, cycle);
+        if let Some(l) = &mut self.obs_log {
+            l.push(ObsCommand { cmd: *cmd, cycle, suppressed: true, data_done: out.data_done });
+        }
+        Ok(out)
     }
 
     fn apply_unchecked(&mut self, cmd: &Command, cycle: Cycle) -> Result<IssueOutcome, Violation> {
@@ -232,7 +273,11 @@ impl DramDevice {
         if let Some(l) = &mut self.log {
             l.push(TimedCommand::new(*cmd, cycle));
         }
-        Ok(self.outcome(cmd, cycle))
+        let out = self.outcome(cmd, cycle);
+        if let Some(l) = &mut self.obs_log {
+            l.push(ObsCommand { cmd: *cmd, cycle, suppressed: false, data_done: out.data_done });
+        }
+        Ok(out)
     }
 
     fn outcome(&self, cmd: &Command, cycle: Cycle) -> IssueOutcome {
@@ -456,6 +501,34 @@ mod tests {
         // Timing state advanced: the bank is auto-precharging, so an
         // activate at cycle 12 is illegal exactly as for a real read.
         assert!(d.can_issue(&Command::activate(RankId(0), BankId(0), RowId(2)), 12).is_err());
+    }
+
+    #[test]
+    fn obs_log_mirrors_issues_with_outcomes() {
+        let mut d = dev();
+        assert!(!d.has_obs());
+        d.record_obs();
+        d.issue(&Command::activate(RankId(0), BankId(0), RowId(1)), 0).unwrap();
+        d.issue(&Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0)), 11).unwrap();
+        d.issue(&Command::activate(RankId(1), BankId(0), RowId(2)), 12).unwrap();
+        d.issue_suppressed(&Command::read_ap(RankId(1), BankId(0), RowId(2), ColId(0)), 23)
+            .unwrap();
+        assert!(d.has_obs());
+        let mut obs = Vec::new();
+        d.take_obs_into(&mut obs);
+        assert_eq!(obs.len(), 4);
+        assert_eq!(obs[0].cycle, 0);
+        assert_eq!(obs[0].data_done, None);
+        assert_eq!(obs[1].data_done, Some(11 + 11 + 4));
+        assert!(!obs[1].suppressed);
+        assert!(obs[3].suppressed);
+        assert_eq!(obs[3].data_done, Some(23 + 11 + 4));
+        // Drained; recording stays on.
+        assert!(!d.has_obs());
+        d.issue(&Command::precharge(RankId(0), BankId(0)), 40).unwrap();
+        assert!(d.has_obs());
+        // The regular checker log is untouched by obs recording.
+        assert!(!d.is_recording());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod timing;
 pub use checker::{TimingChecker, Violation};
 pub use command::{Command, CommandKind};
 pub use counters::ActivityCounters;
-pub use device::DramDevice;
+pub use device::{DramDevice, ObsCommand};
 pub use geometry::{BankId, ChannelId, ColId, Geometry, LineAddr, Location, RankId, RowId};
 pub use mapping::{AddressMapping, MappingScheme};
 pub use monitor::StreamMonitor;

@@ -1,0 +1,444 @@
+//! Per-domain metrics: log-bucketed latency histograms, row-locality
+//! counters, queue-occupancy sampling.
+//!
+//! Everything here is integer-based and event-driven, so a report is a
+//! pure function of the (deterministic) event stream: byte-identical
+//! across `FSMC_THREADS`, and across the fast-path and per-cycle
+//! simulation paths.
+
+use crate::event::{CmdClass, TraceEvent};
+
+/// Number of log2 buckets. Bucket `i` (for `i < 63`) holds latencies in
+/// `[2^(i-1), 2^i)`; bucket 0 holds exactly 0; bucket 63 absorbs the
+/// tail.
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed latency histogram with exact count/sum/max.
+///
+/// Percentiles are reported as the upper bound of the bucket containing
+/// the requested rank (clamped to the observed maximum) — coarse, but
+/// integer-exact and therefore deterministic to the byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencyHistogram {
+    pub fn record(&mut self, latency: u64) {
+        self.buckets[bucket_index(latency)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(latency);
+        self.max = self.max.max(latency);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at percentile `p` (0..=100): the upper bound of the
+    /// bucket containing the `ceil(count*p/100)`-th smallest sample,
+    /// clamped to the observed maximum. 0 when empty.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count * p).div_ceil(100).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (engine-slot aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Fixed summary quantiles for reports.
+    pub fn summary(&self) -> DomainLatency {
+        DomainLatency {
+            count: self.count,
+            sum: self.sum,
+            p50: self.percentile(50),
+            p95: self.percentile(95),
+            p99: self.percentile(99),
+            max: self.max,
+        }
+    }
+}
+
+/// Summary quantiles of one domain's read-latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DomainLatency {
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// Per-bank row-buffer tracking state for locality classification.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankTrack {
+    open_row: Option<u32>,
+    /// A CAS already touched the open row (the next CAS is a hit).
+    cas_since_act: bool,
+    /// An explicit precharge closed a row since the last access — the
+    /// next access paid a conflict (PRE + ACT), not just a miss.
+    pre_since_access: bool,
+}
+
+/// Consumes [`TraceEvent`]s and accumulates per-domain metrics.
+///
+/// Row locality is classified from the command stream alone: a CAS to a
+/// row already used since its ACT is a *hit*; the first CAS after an ACT
+/// is a *conflict* if an explicit precharge closed the bank since its
+/// last access (the FR-FCFS close-on-conflict pattern), otherwise a
+/// *miss*. Auto-precharge closes the row as part of the access itself
+/// and does not mark a conflict — FS pipelines therefore read as
+/// all-miss by construction, which is exactly their shape.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    latency: Vec<LatencyHistogram>,
+    banks: Vec<BankTrack>,
+    banks_per_rank: u8,
+    row_hits: u64,
+    row_misses: u64,
+    row_conflicts: u64,
+    queue_sum: u64,
+    queue_samples: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl MetricsCollector {
+    pub fn new(domains: u8, ranks: u8, banks_per_rank: u8) -> Self {
+        MetricsCollector {
+            latency: vec![LatencyHistogram::default(); domains.max(1) as usize],
+            banks: vec![BankTrack::default(); ranks as usize * banks_per_rank as usize],
+            banks_per_rank,
+            row_hits: 0,
+            row_misses: 0,
+            row_conflicts: 0,
+            queue_sum: 0,
+            queue_samples: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    pub fn on_event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Command { class, rank, bank, row, .. } => {
+                self.on_command(class, rank, bank, row)
+            }
+            TraceEvent::TxnArrival { is_write, queue_depth, .. } => {
+                self.queue_sum += queue_depth as u64;
+                self.queue_samples += 1;
+                if is_write {
+                    self.writes += 1;
+                } else {
+                    self.reads += 1;
+                }
+            }
+            TraceEvent::TxnRetire { arrival, finish, domain } => {
+                if let Some(h) = self.latency.get_mut(domain as usize) {
+                    h.record(finish.saturating_sub(arrival));
+                }
+            }
+            // Refresh requires all banks precharged and leaves them
+            // closed; mirror that on the tracking state.
+            TraceEvent::Refresh { rank, .. } => self.on_command(CmdClass::Refresh, rank, 0, 0),
+            _ => {}
+        }
+    }
+
+    fn on_command(&mut self, class: CmdClass, rank: u8, bank: u8, row: u32) {
+        let close_all = |banks: &mut [BankTrack], rank: u8, per: u8| {
+            let base = rank as usize * per as usize;
+            for t in banks.iter_mut().skip(base).take(per as usize) {
+                t.open_row = None;
+                t.cas_since_act = false;
+            }
+        };
+        let idx = rank as usize * self.banks_per_rank as usize + bank as usize;
+        match class {
+            CmdClass::Activate => {
+                if let Some(t) = self.banks.get_mut(idx) {
+                    t.open_row = Some(row);
+                    t.cas_since_act = false;
+                }
+            }
+            c if c.is_cas() => {
+                let Some(t) = self.banks.get_mut(idx) else { return };
+                if t.cas_since_act {
+                    self.row_hits += 1;
+                } else {
+                    if t.pre_since_access {
+                        self.row_conflicts += 1;
+                    } else {
+                        self.row_misses += 1;
+                    }
+                    t.cas_since_act = true;
+                    t.pre_since_access = false;
+                }
+                if c.has_auto_precharge() {
+                    t.open_row = None;
+                    t.cas_since_act = false;
+                }
+            }
+            CmdClass::Precharge => {
+                if let Some(t) = self.banks.get_mut(idx) {
+                    if t.open_row.take().is_some() {
+                        t.pre_since_access = true;
+                    }
+                    t.cas_since_act = false;
+                }
+            }
+            CmdClass::PrechargeAll | CmdClass::Refresh => {
+                close_all(&mut self.banks, rank, self.banks_per_rank);
+            }
+            _ => {}
+        }
+    }
+
+    /// Freezes the collector into a report. `bus_utilization` comes from
+    /// the device counters at end of run (itself event-derived).
+    pub fn finish(&self, bus_utilization: f64) -> MetricsReport {
+        MetricsReport {
+            domains: self.latency.iter().map(|h| h.summary()).collect(),
+            row_hits: self.row_hits,
+            row_misses: self.row_misses,
+            row_conflicts: self.row_conflicts,
+            queue_sum: self.queue_sum,
+            queue_samples: self.queue_samples,
+            reads: self.reads,
+            writes: self.writes,
+            bus_utilization,
+        }
+    }
+}
+
+/// A frozen metrics report for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Read-latency summary per security domain.
+    pub domains: Vec<DomainLatency>,
+    pub row_hits: u64,
+    pub row_misses: u64,
+    pub row_conflicts: u64,
+    pub queue_sum: u64,
+    pub queue_samples: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub bus_utilization: f64,
+}
+
+impl MetricsReport {
+    /// Mean outstanding-transaction count sampled at arrivals, in
+    /// thousandths (integer, for byte-stable rendering).
+    pub fn mean_queue_depth_milli(&self) -> u64 {
+        (self.queue_sum * 1000).checked_div(self.queue_samples).unwrap_or(0)
+    }
+
+    /// Multi-line human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "row locality: {} hits, {} misses, {} conflicts\n",
+            self.row_hits, self.row_misses, self.row_conflicts
+        ));
+        let q = self.mean_queue_depth_milli();
+        out.push_str(&format!(
+            "arrivals: {} reads, {} writes; mean queue depth {}.{:03}\n",
+            self.reads,
+            self.writes,
+            q / 1000,
+            q % 1000
+        ));
+        out.push_str(&format!("data-bus utilization: {:.4}\n", self.bus_utilization));
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>8} {:>8} {:>8} {:>8}\n",
+            "domain", "reads", "p50", "p95", "p99", "max"
+        ));
+        for (d, s) in self.domains.iter().enumerate() {
+            out.push_str(&format!(
+                "{d:<8} {:>10} {:>8} {:>8} {:>8} {:>8}\n",
+                s.count, s.p50, s.p95, s.p99, s.max
+            ));
+        }
+        out
+    }
+
+    /// Header cells appended to CSV outputs under `--metrics`.
+    pub fn csv_header(domains: usize) -> String {
+        let mut out = String::from("row_hits,row_misses,row_conflicts,queue_milli");
+        for d in 0..domains {
+            out.push_str(&format!(",d{d}_reads,d{d}_p50,d{d}_p95,d{d}_p99,d{d}_max"));
+        }
+        out
+    }
+
+    /// Value cells matching [`MetricsReport::csv_header`].
+    pub fn csv_cells(&self) -> String {
+        let mut out = format!(
+            "{},{},{},{}",
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.mean_queue_depth_milli()
+        );
+        for s in &self.domains {
+            out.push_str(&format!(",{},{},{},{},{}", s.count, s.p50, s.p95, s.p99, s.max));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_bucket_bounds() {
+        let mut h = LatencyHistogram::default();
+        for v in [3u64, 5, 9, 17, 33, 100, 100, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 100);
+        // p50 rank = 4th smallest (17) → bucket [16,32) upper bound 31.
+        assert_eq!(h.percentile(50), 31);
+        // p99 rank = 8th → bucket [64,128) upper bound 127, clamped to max.
+        assert_eq!(h.percentile(99), 100);
+        assert_eq!(h.percentile(100), 100);
+    }
+
+    #[test]
+    fn histogram_edge_values() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile(50), 0);
+        h.record(0);
+        assert_eq!(h.percentile(50), 0);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(100), u64::MAX);
+        // The sum saturates instead of wrapping.
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let (mut a, mut b, mut both) =
+            (LatencyHistogram::default(), LatencyHistogram::default(), LatencyHistogram::default());
+        for v in [1u64, 4, 9] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 8, 300] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn row_locality_classification() {
+        let mut m = MetricsCollector::new(2, 2, 8);
+        let cmd = |class, rank, bank, row| TraceEvent::Command {
+            cycle: 0,
+            class,
+            rank,
+            bank,
+            row,
+            suppressed: false,
+            data_done: None,
+        };
+        // FR-FCFS shape: ACT, CAS (miss), CAS same row (hit), explicit
+        // PRE + ACT other row, CAS (conflict).
+        m.on_event(&cmd(CmdClass::Activate, 0, 0, 10));
+        m.on_event(&cmd(CmdClass::Read, 0, 0, 10));
+        m.on_event(&cmd(CmdClass::Read, 0, 0, 10));
+        m.on_event(&cmd(CmdClass::Precharge, 0, 0, 0));
+        m.on_event(&cmd(CmdClass::Activate, 0, 0, 11));
+        m.on_event(&cmd(CmdClass::Read, 0, 0, 11));
+        // FS shape on another bank: ACT + CASap twice — two misses, no
+        // conflicts (auto-precharge is part of the access).
+        m.on_event(&cmd(CmdClass::Activate, 1, 3, 7));
+        m.on_event(&cmd(CmdClass::ReadAp, 1, 3, 7));
+        m.on_event(&cmd(CmdClass::Activate, 1, 3, 8));
+        m.on_event(&cmd(CmdClass::WriteAp, 1, 3, 8));
+        let r = m.finish(0.5);
+        assert_eq!((r.row_hits, r.row_misses, r.row_conflicts), (1, 3, 1));
+    }
+
+    #[test]
+    fn latency_and_queue_sampling_roll_up() {
+        let mut m = MetricsCollector::new(2, 1, 8);
+        m.on_event(&TraceEvent::TxnArrival {
+            cycle: 0,
+            domain: 0,
+            is_write: false,
+            queue_depth: 1,
+        });
+        m.on_event(&TraceEvent::TxnArrival { cycle: 1, domain: 1, is_write: true, queue_depth: 2 });
+        m.on_event(&TraceEvent::TxnRetire { arrival: 0, finish: 40, domain: 0 });
+        m.on_event(&TraceEvent::TxnRetire { arrival: 0, finish: 44, domain: 0 });
+        m.on_event(&TraceEvent::TxnRetire { arrival: 1, finish: 100, domain: 1 });
+        let r = m.finish(0.25);
+        assert_eq!(r.domains[0].count, 2);
+        assert_eq!(r.domains[0].max, 44);
+        assert_eq!(r.domains[1].count, 1);
+        assert_eq!((r.reads, r.writes), (1, 1));
+        assert_eq!(r.mean_queue_depth_milli(), 1500);
+        let text = r.render();
+        assert!(text.contains("mean queue depth 1.500"), "{text}");
+        let cells = r.csv_cells();
+        assert_eq!(cells.split(',').count(), MetricsReport::csv_header(2).split(',').count());
+    }
+}

@@ -1,0 +1,75 @@
+//! The event recorder.
+
+use crate::event::TraceEvent;
+
+/// An append-only buffer of [`TraceEvent`]s.
+///
+/// Producers hold an `Option<TraceSink>`; when tracing is disabled the
+/// option is `None` and the hook site is a branch, nothing more. Events
+/// are recorded in drain order, which the simulation layer keeps
+/// deterministic (commands in issue order, simulator events interleaved
+/// at their step boundaries).
+#[derive(Debug, Default, Clone)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink {
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// With room for `cap` events up front (long traced runs).
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceSink { events: Vec::with_capacity(cap) }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    pub fn extend(&mut self, evs: impl IntoIterator<Item = TraceEvent>) {
+        self.events.extend(evs);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CmdClass, TraceEvent};
+
+    #[test]
+    fn records_in_order() {
+        let mut sink = TraceSink::with_capacity(4);
+        assert!(sink.is_empty());
+        sink.push(TraceEvent::TxnArrival { cycle: 1, domain: 0, is_write: false, queue_depth: 1 });
+        sink.push(TraceEvent::Command {
+            cycle: 5,
+            class: CmdClass::Activate,
+            rank: 0,
+            bank: 3,
+            row: 17,
+            suppressed: false,
+            data_done: None,
+        });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[0].cycle(), 1);
+        assert_eq!(sink.into_events().len(), 2);
+    }
+}

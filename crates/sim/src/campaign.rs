@@ -121,6 +121,11 @@ pub struct CampaignConfig {
     pub max_faults: usize,
     /// Shrink failing plans to a 1-minimal fault set.
     pub shrink: bool,
+    /// Collect per-domain observability metrics on every run; the
+    /// fault-free reference's report lands in
+    /// [`CampaignReport::reference_metrics`] and each successful faulted
+    /// run's in [`CaseReport::metrics`].
+    pub metrics: bool,
 }
 
 impl CampaignConfig {
@@ -134,6 +139,7 @@ impl CampaignConfig {
             scheduler: SchedulerKind::FsRankPartitioned,
             max_faults: 4,
             shrink: true,
+            metrics: false,
         }
     }
 
@@ -147,9 +153,14 @@ impl CampaignConfig {
 
     /// The job for one fault plan.
     fn job(&self, plan: FaultPlan) -> ExperimentJob {
-        ExperimentJob::new(self.mix.clone(), self.scheduler, self.cycles, self.run_seed)
+        let job = ExperimentJob::new(self.mix.clone(), self.scheduler, self.cycles, self.run_seed)
             .with_config(self.system_config())
-            .with_faults(plan)
+            .with_faults(plan);
+        if self.metrics {
+            job.with_metrics()
+        } else {
+            job
+        }
     }
 }
 
@@ -238,6 +249,9 @@ pub struct CaseReport {
     pub error: Option<String>,
     /// 1-minimal plan preserving the classification, when shrinking ran.
     pub shrunk: Option<FaultPlan>,
+    /// Observability metrics of the faulted run, when the campaign ran
+    /// with [`CampaignConfig::metrics`] and the run completed.
+    pub metrics: Option<fsmc_obs::MetricsReport>,
 }
 
 impl CaseReport {
@@ -257,6 +271,9 @@ pub struct CampaignReport {
     pub run_seed: u64,
     pub seed: u64,
     pub cases: Vec<CaseReport>,
+    /// Metrics of the fault-free reference run, when the campaign ran
+    /// with [`CampaignConfig::metrics`].
+    pub reference_metrics: Option<fsmc_obs::MetricsReport>,
 }
 
 impl CampaignReport {
@@ -312,6 +329,12 @@ impl CampaignReport {
             }
             let _ = writeln!(out, "          {}", self.repro_line(case));
         }
+        if let Some(m) = &self.reference_metrics {
+            let _ = writeln!(out, "reference-run metrics (fault-free):");
+            for line in m.render().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
         out
     }
 }
@@ -365,7 +388,8 @@ pub fn run_campaign(engine: &Engine, cfg: &CampaignConfig) -> Result<CampaignRep
         let error = result.as_ref().err().map(|e| e.to_string());
         let shrunk = (cfg.shrink && outcome.is_failure() && plan.faults.len() > 1)
             .then(|| shrink_plan(cfg, plan, outcome, &reference, &cache));
-        CaseReport { index, plan: plan.clone(), outcome, error, shrunk }
+        let metrics = result.ok().and_then(|r| r.metrics);
+        CaseReport { index, plan: plan.clone(), outcome, error, shrunk, metrics }
     });
     Ok(CampaignReport {
         scheduler: cfg.scheduler,
@@ -374,6 +398,7 @@ pub fn run_campaign(engine: &Engine, cfg: &CampaignConfig) -> Result<CampaignRep
         run_seed: cfg.run_seed,
         seed: cfg.seed,
         cases,
+        reference_metrics: reference.metrics,
     })
 }
 
@@ -390,7 +415,8 @@ pub fn run_single(cfg: &CampaignConfig, plan: FaultPlan) -> Result<CaseReport, F
     let error = result.as_ref().err().map(|e| e.to_string());
     let shrunk = (cfg.shrink && outcome.is_failure() && plan.faults.len() > 1)
         .then(|| shrink_plan(cfg, &plan, outcome, &reference, &cache));
-    Ok(CaseReport { index: 0, plan, outcome, error, shrunk })
+    let metrics = result.ok().and_then(|r| r.metrics);
+    Ok(CaseReport { index: 0, plan, outcome, error, shrunk, metrics })
 }
 
 #[cfg(test)]

@@ -34,6 +34,11 @@ pub struct SystemConfig {
     /// [`crate::error::FsmcError::Invariant`] the cycle they occur.
     /// Implies command recording at the device level.
     pub monitor: bool,
+    /// Arm per-domain observability metrics from construction
+    /// ([`crate::System::enable_metrics`]): log-bucketed latency
+    /// histograms, row-locality counters and queue-occupancy sampling.
+    /// Off by default — the disabled hooks are a branch on `None`.
+    pub collect_metrics: bool,
 }
 
 impl SystemConfig {
@@ -52,6 +57,7 @@ impl SystemConfig {
             record_commands: false,
             watchdog_cycles: 20_000,
             monitor: false,
+            collect_metrics: false,
         }
     }
 

@@ -46,6 +46,9 @@ pub struct ExperimentJob {
     pub cycles: u64,
     pub seed: u64,
     pub faults: FaultPlan,
+    /// Collect per-domain observability metrics (latency histograms, row
+    /// locality, queue occupancy) into [`RunResult::metrics`].
+    pub metrics: bool,
     /// Overrides the derived `SystemConfig::with_cores(scheduler, mix
     /// cores)` — for geometry/energy-option/core-count experiments. The
     /// job's `scheduler` is written into the override before use.
@@ -75,6 +78,7 @@ impl ExperimentJob {
             cycles,
             seed,
             faults: FaultPlan::default(),
+            metrics: false,
             config: None,
             controller: None,
         }
@@ -82,6 +86,12 @@ impl ExperimentJob {
 
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Collect per-domain observability metrics during the run.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
         self
     }
 
@@ -136,6 +146,9 @@ impl ExperimentJob {
             Some(factory) => System::with_controller(&cfg, traces, factory(&cfg)?),
             None => System::try_new(&cfg, traces)?,
         };
+        if self.metrics {
+            sys.enable_metrics();
+        }
         if !self.faults.faults.is_empty() {
             // Injected faults deliberately violate the controllers'
             // `next_event` contract (delayed commands, stretched
@@ -150,11 +163,13 @@ impl ExperimentJob {
             sys.controller_mut().set_device_timing(t);
         }
         let stats = sys.try_run_cycles(self.cycles)?;
+        let metrics = if self.metrics { sys.metrics_report() } else { None };
         Ok(RunResult {
             mix_name: self.mix.name,
             scheduler: self.scheduler,
             ipcs: stats.ipcs(),
             stats,
+            metrics,
         })
     }
 }
@@ -206,48 +221,10 @@ impl ExperimentPlan {
     }
 }
 
-/// Reads an integer environment knob, warning (rather than silently
-/// defaulting) when the variable is set but malformed.
-pub fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Err(std::env::VarError::NotPresent) => default,
-        Err(std::env::VarError::NotUnicode(v)) => {
-            eprintln!("warning: {name}={v:?} is not valid unicode; using default {default}");
-            default
-        }
-        Ok(s) => match s.trim().parse() {
-            Ok(v) => v,
-            Err(_) => {
-                eprintln!("warning: {name}={s:?} is not a valid integer; using default {default}");
-                default
-            }
-        },
-    }
-}
-
-/// Reads a boolean environment knob (`1`/`true`/`yes`/`on` vs
-/// `0`/`false`/`no`/`off`), warning (rather than silently defaulting)
-/// when the variable is set but malformed.
-pub fn env_flag(name: &str, default: bool) -> bool {
-    match std::env::var(name) {
-        Err(std::env::VarError::NotPresent) => default,
-        Err(std::env::VarError::NotUnicode(v)) => {
-            eprintln!("warning: {name}={v:?} is not valid unicode; using default {default}");
-            default
-        }
-        Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
-            "" => default,
-            "1" | "true" | "yes" | "on" => true,
-            "0" | "false" | "no" | "off" => false,
-            other => {
-                eprintln!(
-                    "warning: {name}={other:?} is not a boolean flag; using default {default}"
-                );
-                default
-            }
-        },
-    }
-}
+// Environment parsing lives in [`crate::env`]; re-exported here because
+// the helpers were born in this module and callers still import them
+// from it.
+pub use crate::env::{env_flag, env_u64};
 
 /// The deterministic parallel executor.
 ///
@@ -266,17 +243,11 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Sized by `FSMC_THREADS`, defaulting to the machine's available
-    /// parallelism. A malformed or zero value is reported and replaced
-    /// by the default.
+    /// Sized by `FSMC_THREADS` ([`crate::env::threads`]), defaulting to
+    /// the machine's available parallelism. A malformed or zero value is
+    /// reported and replaced by the default.
     pub fn from_env() -> Self {
-        let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let threads = env_u64("FSMC_THREADS", default as u64);
-        if threads == 0 {
-            eprintln!("warning: FSMC_THREADS=0 is not a valid thread count; using {default}");
-            return Engine { threads: default };
-        }
-        Engine { threads: threads as usize }
+        Engine { threads: crate::env::threads() }
     }
 
     pub fn with_threads(threads: usize) -> Self {

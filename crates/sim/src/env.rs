@@ -1,0 +1,165 @@
+//! Environment knobs, parsed in one place.
+//!
+//! Every `FSMC_*` variable the workspace honours goes through this
+//! module, so malformed values produce one uniform warning (never a
+//! silent fallback, never a panic) and the set of knobs is documented by
+//! the accessor list below:
+//!
+//! * [`cycles`] — `FSMC_CYCLES`, cycle budget for figure binaries.
+//! * [`seed`] — `FSMC_SEED`, workload seed for figure binaries.
+//! * [`threads`] — `FSMC_THREADS`, worker-pool width (results are
+//!   byte-identical at any value; only wall-clock time changes).
+//! * [`no_fastpath`] — `FSMC_NO_FASTPATH`, force per-cycle stepping.
+//! * [`results_dir`] — `FSMC_RESULTS_DIR`, where experiment binaries
+//!   write their CSV/JSON outputs.
+
+use std::path::PathBuf;
+
+/// Reads an integer environment knob, warning (rather than silently
+/// defaulting) when the variable is set but malformed.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            eprintln!("warning: {name}={v:?} is not valid unicode; using default {default}");
+            default
+        }
+        Ok(s) => match s.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: {name}={s:?} is not a valid integer; using default {default}");
+                default
+            }
+        },
+    }
+}
+
+/// Reads a boolean environment knob (`1`/`true`/`yes`/`on` vs
+/// `0`/`false`/`no`/`off`), warning (rather than silently defaulting)
+/// when the variable is set but malformed.
+pub fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            eprintln!("warning: {name}={v:?} is not valid unicode; using default {default}");
+            default
+        }
+        Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+            "" => default,
+            "1" | "true" | "yes" | "on" => true,
+            "0" | "false" | "no" | "off" => false,
+            other => {
+                eprintln!(
+                    "warning: {name}={other:?} is not a boolean flag; using default {default}"
+                );
+                default
+            }
+        },
+    }
+}
+
+/// `FSMC_CYCLES`: DRAM-cycle budget for experiment binaries.
+pub fn cycles(default: u64) -> u64 {
+    env_u64("FSMC_CYCLES", default)
+}
+
+/// `FSMC_SEED`: workload seed for experiment binaries.
+pub fn seed(default: u64) -> u64 {
+    env_u64("FSMC_SEED", default)
+}
+
+/// `FSMC_THREADS`: worker-pool width for the experiment engine,
+/// defaulting to the machine's available parallelism. Zero (like any
+/// malformed value) is reported and replaced by the default.
+pub fn threads() -> usize {
+    let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = env_u64("FSMC_THREADS", default as u64);
+    if threads == 0 {
+        eprintln!("warning: FSMC_THREADS=0 is not a valid thread count; using {default}");
+        return default;
+    }
+    threads as usize
+}
+
+/// `FSMC_NO_FASTPATH`: force per-cycle stepping (results are
+/// bit-identical either way; only wall-clock time changes).
+pub fn no_fastpath() -> bool {
+    env_flag("FSMC_NO_FASTPATH", false)
+}
+
+/// `FSMC_RESULTS_DIR`: where experiment binaries write their outputs.
+/// `None` when unset; an empty value is reported and treated as unset.
+pub fn results_dir() -> Option<PathBuf> {
+    let v = std::env::var_os("FSMC_RESULTS_DIR")?;
+    if v.is_empty() {
+        eprintln!("warning: FSMC_RESULTS_DIR is set but empty; ignoring it");
+        return None;
+    }
+    Some(PathBuf::from(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns its real variable name. Concurrent tests in this
+    // binary may observe the temporary values, but every knob here is
+    // results-neutral by design (thread count, fast path) or unread by
+    // the test suite (cycles, seed, results dir), so cross-test races
+    // cannot change any assertion.
+
+    #[test]
+    fn fsmc_cycles_parses_and_rejects_garbage() {
+        std::env::set_var("FSMC_CYCLES", "120000");
+        assert_eq!(cycles(7), 120_000);
+        std::env::set_var("FSMC_CYCLES", "a-lot");
+        assert_eq!(cycles(7), 7);
+        std::env::remove_var("FSMC_CYCLES");
+        assert_eq!(cycles(7), 7);
+    }
+
+    #[test]
+    fn fsmc_seed_parses_with_whitespace() {
+        std::env::set_var("FSMC_SEED", " 99 ");
+        assert_eq!(seed(42), 99);
+        std::env::set_var("FSMC_SEED", "");
+        assert_eq!(seed(42), 42);
+        std::env::remove_var("FSMC_SEED");
+        assert_eq!(seed(42), 42);
+    }
+
+    #[test]
+    fn fsmc_threads_rejects_zero_and_garbage() {
+        let fallback = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        std::env::set_var("FSMC_THREADS", "3");
+        assert_eq!(threads(), 3);
+        std::env::set_var("FSMC_THREADS", "0");
+        assert_eq!(threads(), fallback);
+        std::env::set_var("FSMC_THREADS", "many");
+        assert_eq!(threads(), fallback);
+        std::env::remove_var("FSMC_THREADS");
+        assert_eq!(threads(), fallback);
+    }
+
+    #[test]
+    fn fsmc_no_fastpath_accepts_boolean_spellings() {
+        for (v, expect) in [("1", true), ("yes", true), ("ON", true), ("0", false), ("no", false)] {
+            std::env::set_var("FSMC_NO_FASTPATH", v);
+            assert_eq!(no_fastpath(), expect, "FSMC_NO_FASTPATH={v}");
+        }
+        std::env::set_var("FSMC_NO_FASTPATH", "maybe");
+        assert!(!no_fastpath(), "malformed value falls back to the default");
+        std::env::remove_var("FSMC_NO_FASTPATH");
+        assert!(!no_fastpath());
+    }
+
+    #[test]
+    fn fsmc_results_dir_ignores_empty() {
+        std::env::set_var("FSMC_RESULTS_DIR", "/tmp/fsmc-results");
+        assert_eq!(results_dir(), Some(PathBuf::from("/tmp/fsmc-results")));
+        std::env::set_var("FSMC_RESULTS_DIR", "");
+        assert_eq!(results_dir(), None);
+        std::env::remove_var("FSMC_RESULTS_DIR");
+        assert_eq!(results_dir(), None);
+    }
+}

@@ -34,10 +34,18 @@
 //! * [`campaign`] — the chaos campaign: seeded fault-plan populations,
 //!   outcome classification against a fault-free reference, and greedy
 //!   shrinking of failing plans to 1-minimal fault sets.
+//! * [`mod@env`] — every `FSMC_*` environment knob, parsed in one place
+//!   with uniform malformed-value warnings.
+//!
+//! Observability ([`fsmc_obs`]) hooks into [`system::System`] via
+//! [`system::System::enable_tracing`] /
+//! [`system::System::enable_metrics`]: both are `Option`-gated, so a
+//! system with neither armed runs the exact pre-observability hot path.
 
 pub mod campaign;
 pub mod config;
 pub mod engine;
+pub mod env;
 pub mod error;
 pub mod faults;
 pub mod monitor;

@@ -30,6 +30,9 @@ pub struct RunResult {
     pub stats: SystemStats,
     /// Per-core IPCs of this run.
     pub ipcs: Vec<f64>,
+    /// Observability metrics, present when the job ran with
+    /// [`crate::engine::ExperimentJob::with_metrics`].
+    pub metrics: Option<fsmc_obs::MetricsReport>,
 }
 
 impl RunResult {

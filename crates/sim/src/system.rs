@@ -9,13 +9,18 @@ use fsmc_core::error::ConfigError;
 use fsmc_core::sched::baseline::BaselineScheduler;
 use fsmc_core::sched::fs::{FsScheduler, FsVariant};
 use fsmc_core::sched::tp::TpScheduler;
-use fsmc_core::sched::{Completion, MemoryController, SchedulerKind};
+use fsmc_core::sched::{Completion, MemoryController, SchedEvent, SchedulerKind, SlotGrantKind};
 use fsmc_core::txn::{Transaction, TxnId, TxnKind};
 use fsmc_cpu::trace::TraceSource;
 use fsmc_cpu::{CoreIdle, MshrFile, MshrOutcome, OooCore, PrefetchBuffer, SubmitResult};
 use fsmc_dram::command::TimedCommand;
 use fsmc_dram::geometry::LineAddr;
+use fsmc_dram::{CommandKind, ObsCommand};
 use fsmc_energy::{EnergyModel, PowerParams};
+use fsmc_obs::{
+    CmdClass, LaneLayout, LanePartition, MetricsCollector, MetricsReport, SlotKind, TraceEvent,
+    TraceSink,
+};
 use fsmc_workload::{BenchProfile, SyntheticTrace, WorkloadMix};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -127,6 +132,17 @@ pub struct System {
     fp_skipped: u64,
     /// Telemetry: controller ticks elided inside stepped cycles.
     fp_elided: u64,
+    /// Observability: trace-event recorder ([`System::enable_tracing`]).
+    /// `None` keeps every hook a single branch — nothing is built,
+    /// nothing allocates, results are bit-identical to a build without
+    /// the hooks.
+    trace: Option<TraceSink>,
+    /// Observability: per-domain metrics ([`System::enable_metrics`]).
+    obs_metrics: Option<MetricsCollector>,
+    /// Reusable drain buffer for the device-level obs command log.
+    obs_cmd_buf: Vec<ObsCommand>,
+    /// Reusable drain buffer for scheduler slot/degradation events.
+    obs_sched_buf: Vec<SchedEvent>,
 }
 
 impl std::fmt::Debug for System {
@@ -263,7 +279,7 @@ impl System {
         }
         let monitor = cfg.monitor.then(|| InvariantMonitor::new(cfg, mc.cadence_spec()));
         let was_degraded = mc.stats().degraded;
-        System {
+        let mut sys = System {
             cfg: *cfg,
             mc,
             cores: traces.into_iter().map(|t| OooCore::new(cfg.core, t)).collect(),
@@ -284,7 +300,7 @@ impl System {
             monitor,
             monitor_log: Vec::new(),
             was_degraded,
-            fastpath: !crate::engine::env_flag("FSMC_NO_FASTPATH", false),
+            fastpath: !crate::env::no_fastpath(),
             completion_buf: Vec::new(),
             monitor_buf: Vec::new(),
             core_active: vec![true; cfg.cores as usize],
@@ -292,7 +308,15 @@ impl System {
             elide_armed: true,
             fp_skipped: 0,
             fp_elided: 0,
+            trace: None,
+            obs_metrics: None,
+            obs_cmd_buf: Vec::new(),
+            obs_sched_buf: Vec::new(),
+        };
+        if cfg.collect_metrics {
+            sys.enable_metrics();
         }
+        sys
     }
 
     /// `cores` copies of one benchmark (the paper's rate mode).
@@ -377,6 +401,158 @@ impl System {
         log
     }
 
+    /// Arms trace-event recording: every command issue, transaction
+    /// arrival/retire, FS slot grant, refresh, degradation and fast-path
+    /// skip lands in the sink, for [`System::take_trace`]. Call before
+    /// running; it does not disable the fast path (skips are themselves
+    /// events).
+    pub fn enable_tracing(&mut self) {
+        self.mc.record_obs();
+        if self.trace.is_none() {
+            self.trace = Some(TraceSink::new());
+        }
+    }
+
+    /// Arms per-domain metrics collection (latency histograms, row
+    /// locality, queue occupancy), for [`System::metrics_report`].
+    pub fn enable_metrics(&mut self) {
+        self.mc.record_obs();
+        if self.obs_metrics.is_none() {
+            let g = self.cfg.geometry;
+            self.obs_metrics = Some(MetricsCollector::new(
+                self.cfg.cores,
+                g.ranks_per_channel(),
+                g.banks_per_rank(),
+            ));
+        }
+    }
+
+    /// Whether any observability consumer is armed.
+    fn obs_on(&self) -> bool {
+        self.trace.is_some() || self.obs_metrics.is_some()
+    }
+
+    /// Takes the recorded trace events (empty unless
+    /// [`System::enable_tracing`] ran), draining anything still buffered
+    /// controller-side first. Recording continues afterwards.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        if self.obs_on() {
+            self.drain_obs();
+        }
+        match &mut self.trace {
+            Some(sink) => std::mem::take(sink).into_events(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Freezes the armed metrics into a report (`None` unless
+    /// [`System::enable_metrics`] ran). The report is a pure function of
+    /// the deterministic event stream: byte-identical at any
+    /// `FSMC_THREADS` value and on either simulation path.
+    pub fn metrics_report(&mut self) -> Option<MetricsReport> {
+        self.obs_metrics.as_ref()?;
+        self.drain_obs();
+        self.mc.finish(self.dram_cycle);
+        let util = self.mc.aggregate_counters().data_bus_utilization();
+        self.obs_metrics.as_ref().map(|m| m.finish(util))
+    }
+
+    /// The lane layout (geometry + partition policy) the Chrome trace
+    /// exporter needs to color command lanes by owning domain.
+    pub fn lane_layout(&self) -> LaneLayout {
+        let partition = match self.policy {
+            PartitionPolicy::Rank => LanePartition::Rank,
+            PartitionPolicy::BankStriped => LanePartition::BankStriped,
+            PartitionPolicy::None => LanePartition::None,
+        };
+        LaneLayout {
+            domains: self.cfg.cores,
+            ranks: self.cfg.geometry.ranks_per_channel(),
+            banks_per_rank: self.cfg.geometry.banks_per_rank(),
+            partition,
+        }
+    }
+
+    /// Converts a drained device command into its trace event. Refresh
+    /// gets its own event kind; everything else keeps its command class.
+    fn obs_command_event(oc: &ObsCommand) -> TraceEvent {
+        let class = match oc.cmd.kind {
+            CommandKind::Refresh => {
+                return TraceEvent::Refresh { cycle: oc.cycle, rank: oc.cmd.rank.0 }
+            }
+            CommandKind::Activate => CmdClass::Activate,
+            CommandKind::Read => CmdClass::Read,
+            CommandKind::ReadAp => CmdClass::ReadAp,
+            CommandKind::Write => CmdClass::Write,
+            CommandKind::WriteAp => CmdClass::WriteAp,
+            CommandKind::Precharge => CmdClass::Precharge,
+            CommandKind::PrechargeAll => CmdClass::PrechargeAll,
+            CommandKind::PowerDownEnter => CmdClass::PowerDownEnter,
+            CommandKind::PowerDownExit => CmdClass::PowerDownExit,
+        };
+        TraceEvent::Command {
+            cycle: oc.cycle,
+            class,
+            rank: oc.cmd.rank.0,
+            bank: oc.cmd.bank.0,
+            row: oc.cmd.row.0,
+            suppressed: oc.suppressed,
+            data_done: oc.data_done,
+        }
+    }
+
+    fn obs_sched_event(ev: &SchedEvent) -> TraceEvent {
+        match *ev {
+            SchedEvent::SlotGrant { cycle, slot, domain, kind } => {
+                let kind = match kind {
+                    SlotGrantKind::Demand => SlotKind::Demand,
+                    SlotGrantKind::Prefetch => SlotKind::Prefetch,
+                    SlotGrantKind::Dummy => SlotKind::Dummy,
+                    SlotGrantKind::PowerDown => SlotKind::PowerDown,
+                    SlotGrantKind::Bubble => SlotKind::Bubble,
+                };
+                TraceEvent::SlotGrant { cycle, slot, domain: domain.0, kind }
+            }
+            SchedEvent::Degraded { cycle } => TraceEvent::Degraded { cycle },
+        }
+    }
+
+    /// Drains controller-side observability logs into the armed
+    /// consumers. Commands arrive in issue order, so downstream
+    /// classification (row locality) sees exactly the bus stream.
+    fn drain_obs(&mut self) {
+        if self.mc.has_obs() {
+            let mut cmds = std::mem::take(&mut self.obs_cmd_buf);
+            cmds.clear();
+            self.mc.take_obs_into(&mut cmds);
+            for oc in &cmds {
+                let ev = Self::obs_command_event(oc);
+                if let Some(m) = &mut self.obs_metrics {
+                    m.on_event(&ev);
+                }
+                if let Some(t) = &mut self.trace {
+                    t.push(ev);
+                }
+            }
+            self.obs_cmd_buf = cmds;
+        }
+        if self.mc.has_sched_events() {
+            let mut evs = std::mem::take(&mut self.obs_sched_buf);
+            evs.clear();
+            self.mc.take_sched_events_into(&mut evs);
+            for se in &evs {
+                let ev = Self::obs_sched_event(se);
+                if let Some(m) = &mut self.obs_metrics {
+                    m.on_event(&ev);
+                }
+                if let Some(t) = &mut self.trace {
+                    t.push(ev);
+                }
+            }
+            self.obs_sched_buf = evs;
+        }
+    }
+
     /// Advances one DRAM bus cycle (and the corresponding CPU cycles).
     pub fn step(&mut self) {
         let c = self.dram_cycle;
@@ -433,6 +609,9 @@ impl System {
                 }
             }
             self.completion_buf = buf;
+            if self.obs_on() {
+                self.drain_obs();
+            }
         }
         // 4. CPU cycles. Cores provably stalled for the whole DRAM cycle
         // (full ROB, nothing delivered above, head not retirable before
@@ -554,6 +733,9 @@ impl System {
             }
             self.fp_skipped += target - now;
             self.dram_cycle = target;
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::FastPath { from: now, to: target, batched: false });
+            }
         } else {
             self.batch_ticks(target);
         }
@@ -602,6 +784,9 @@ impl System {
             if self.monitor.is_some() {
                 self.drain_monitor(c);
             }
+            if self.obs_on() {
+                self.drain_obs();
+            }
             if quiet {
                 if self.elide_armed {
                     self.mc_next_tick = self.mc.next_event(c);
@@ -625,6 +810,11 @@ impl System {
         }
         self.fp_skipped += c - start;
         self.dram_cycle = c;
+        if c > start {
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::FastPath { from: start, to: c, batched: true });
+            }
+        }
     }
 
     /// Feeds the monitor everything the controller issued since the last
@@ -683,6 +873,19 @@ impl System {
                     self.observations
                         .push((completion.finish, completion.finish.saturating_sub(txn.arrival)));
                 }
+                if self.obs_on() {
+                    let ev = TraceEvent::TxnRetire {
+                        arrival: txn.arrival,
+                        finish: completion.finish,
+                        domain: txn.domain.0,
+                    };
+                    if let Some(m) = &mut self.obs_metrics {
+                        m.on_event(&ev);
+                    }
+                    if let Some(t) = &mut self.trace {
+                        t.push(ev);
+                    }
+                }
                 if let Some(pos) = self.txn_meta.iter().position(|&(id, _, _)| id == txn.id) {
                     let (_, core, local) = self.txn_meta.swap_remove(pos);
                     let core_idx = core as usize;
@@ -716,8 +919,11 @@ impl System {
             forwarded_reads,
             core_active,
             mc_next_tick,
+            trace,
+            obs_metrics,
             ..
         } = self;
+        let obs_on = trace.is_some() || obs_metrics.is_some();
         let geom = cfg.geometry;
         for (i, core) in cores.iter_mut().enumerate() {
             if !core_active[i] {
@@ -742,6 +948,20 @@ impl System {
                     match pending.iter_mut().find(|(line, _)| *line == op.addr) {
                         Some((_, count)) => *count += 1,
                         None => pending.push((op.addr, 1)),
+                    }
+                    if obs_on {
+                        let ev = TraceEvent::TxnArrival {
+                            cycle: *dram_cycle,
+                            domain: domain.0,
+                            is_write: true,
+                            queue_depth: txn_meta.len() as u32,
+                        };
+                        if let Some(m) = obs_metrics.as_mut() {
+                            m.on_event(&ev);
+                        }
+                        if let Some(t) = trace.as_mut() {
+                            t.push(ev);
+                        }
                     }
                     return SubmitResult::Accepted { tag };
                 }
@@ -770,6 +990,22 @@ impl System {
                         *mc_next_tick =
                             (*mc_next_tick).min(mc.enqueue_event_hint(&txn, *dram_cycle));
                         txn_meta.push((id, i as u32, op.addr));
+                        if obs_on {
+                            // Depth counts outstanding demand reads
+                            // including the one that just arrived.
+                            let ev = TraceEvent::TxnArrival {
+                                cycle: *dram_cycle,
+                                domain: domain.0,
+                                is_write: false,
+                                queue_depth: txn_meta.len() as u32,
+                            };
+                            if let Some(m) = obs_metrics.as_mut() {
+                                m.on_event(&ev);
+                            }
+                            if let Some(t) = trace.as_mut() {
+                                t.push(ev);
+                            }
+                        }
                         SubmitResult::Accepted { tag }
                     }
                 }

@@ -6,12 +6,14 @@
 //! fsmc diagram [--mix RRRWWRRR]      render the Figure-1 pipeline
 //! fsmc simulate [--scheduler K] [--workload NAME] [--cycles N]
 //!               [--cores N] [--seed S]
-//! fsmc suite    [--schedulers K,K,..] [--cycles N] [--seed S]
+//! fsmc suite    [--schedulers K,K,..] [--cycles N] [--seed S] [--metrics]
 //! fsmc attack [--scheduler K]        non-interference measurement
+//! fsmc trace  [--scheduler K] [--out FILE]   Chrome-trace timeline export
 //! fsmc record --workload NAME --ops N --out FILE
 //! ```
 
-use fsmc::bench::weighted_ipc_suite_with;
+use fsmc::bench::throughput::{SnapshotScenario, ThroughputSnapshot};
+use fsmc::bench::{metrics_csv, weighted_ipc_suite_metrics, weighted_ipc_suite_with};
 use fsmc::core::sched::SchedulerKind;
 use fsmc::core::solver::diagram::render_uniform;
 use fsmc::core::solver::{
@@ -20,9 +22,11 @@ use fsmc::core::solver::{
 };
 use fsmc::cpu::trace_file::record_trace;
 use fsmc::dram::TimingParams;
+use fsmc::obs::ChromeTraceBuilder;
 use fsmc::security::noninterference::check_noninterference;
 use fsmc::sim::{
-    run_campaign, run_single, CampaignConfig, Engine, ExperimentJob, FaultPlan, SystemConfig,
+    run_campaign, run_single, CampaignConfig, Engine, ExperimentJob, FaultPlan, System,
+    SystemConfig,
 };
 use fsmc::workload::{BenchProfile, SyntheticTrace, WorkloadMix};
 use std::collections::HashMap;
@@ -48,6 +52,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "suite" => cmd_suite(&opts),
         "attack" => cmd_attack(&opts),
+        "trace" => cmd_trace(&opts),
         "chaos" => cmd_chaos(&opts),
         "bench-throughput" => cmd_bench_throughput(&opts),
         "record" => cmd_record(&opts),
@@ -75,14 +80,22 @@ USAGE:
   fsmc diagram [--mix RRRRRWWR]       render the pipeline timing diagram
   fsmc simulate [--scheduler KIND] [--workload NAME] [--cycles N]
                 [--cores N] [--seed S]
-  fsmc suite [--schedulers K,K,..] [--cycles N] [--seed S]
-                                      weighted-IPC table over the 12-mix suite
+  fsmc suite [--schedulers K,K,..] [--cycles N] [--seed S] [--metrics]
+                                      weighted-IPC table over the 12-mix suite;
+                                      --metrics appends per-domain latency
+                                      histogram columns as CSV
   fsmc attack [--scheduler KIND]      measure co-runner interference
+  fsmc trace [--scheduler KIND] [--workload NAME] [--cycles N] [--cores N]
+             [--seed S] [--out FILE]
+                                      export a Chrome-trace-event command
+                                      timeline (Perfetto / chrome://tracing)
+                                      with per-domain lanes, plus metrics
   fsmc chaos [--scheduler KIND] [--workload NAME] [--cycles N] [--cores N]
-             [--population N] [--seed S] [--run-seed S]
+             [--population N] [--seed S] [--run-seed S] [--metrics]
              [--fault-seed S --faults 'SPEC']
                                       fault-injection campaign with shrinking;
-                                      with --faults, reproduce one case
+                                      with --faults, reproduce one case;
+                                      --metrics adds observability reports
   fsmc bench-throughput [--cycles N] [--seed S] [--out FILE]
              [--check BASELINE.json]
                                       measure simulated cycles/sec with and
@@ -102,16 +115,30 @@ ENV:        FSMC_THREADS   worker threads for suite runs (default: all cores;
             FSMC_NO_FASTPATH=1        force per-cycle stepping (debugging;
                                       results are bit-identical either way)";
 
-/// Parses `--key value` pairs.
+/// Parses `--key value` pairs; a `--key` followed by another option (or
+/// nothing) is a bare flag and records the value `"true"`.
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(k) = it.next() {
         let key = k.strip_prefix("--").ok_or_else(|| format!("expected --option, got {k:?}"))?;
-        let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        out.insert(key.to_string(), v.clone());
+        let v = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => String::from("true"),
+        };
+        out.insert(key.to_string(), v);
     }
     Ok(out)
+}
+
+/// A boolean flag: present (bare or with a truthy value) unless spelled
+/// `false`/`0`/`no`/`off`.
+fn get_flag(opts: &HashMap<String, String>, key: &str) -> bool {
+    match opts.get(key).map(String::as_str) {
+        None => false,
+        Some("false") | Some("0") | Some("no") | Some("off") => false,
+        Some(_) => true,
+    }
 }
 
 fn scheduler_kind(name: &str) -> Result<SchedulerKind, String> {
@@ -273,16 +300,22 @@ fn cmd_suite(opts: &HashMap<String, String>) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let cycles = get_u64(opts, "cycles", 60_000)?;
     let seed = get_u64(opts, "seed", 42)?;
-    let table = weighted_ipc_suite_with(
-        &Engine::from_env(),
-        &WorkloadMix::suite(8),
-        &kinds,
-        cycles,
-        seed,
-        &[],
-    );
-    println!("Sum of weighted IPCs vs the non-secure baseline ({cycles} DRAM cycles)\n");
-    print!("{}", table.render("weighted IPC"));
+    let mixes = WorkloadMix::suite(8);
+    let table = if get_flag(opts, "metrics") {
+        let (table, rows) =
+            weighted_ipc_suite_metrics(&Engine::from_env(), &mixes, &kinds, cycles, seed);
+        println!("Sum of weighted IPCs vs the non-secure baseline ({cycles} DRAM cycles)\n");
+        print!("{}", table.render("weighted IPC"));
+        let domains = rows.first().map(|r| r.report.domains.len()).unwrap_or(0);
+        println!("\nper-run metrics (CSV, histogram columns appended):");
+        print!("{}", metrics_csv(&rows, domains));
+        table
+    } else {
+        let table = weighted_ipc_suite_with(&Engine::from_env(), &mixes, &kinds, cycles, seed, &[]);
+        println!("Sum of weighted IPCs vs the non-secure baseline ({cycles} DRAM cycles)\n");
+        print!("{}", table.render("weighted IPC"));
+        table
+    };
     if table.all_failed() {
         return Err("every run in the suite failed".into());
     }
@@ -323,6 +356,7 @@ fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
     cfg.cycles = get_u64(opts, "cycles", 8_000)?;
     cfg.run_seed = get_u64(opts, "run-seed", 42)?;
     cfg.population = get_u64(opts, "population", 16)? as usize;
+    cfg.metrics = get_flag(opts, "metrics");
     if let Some(spec) = opts.get("faults") {
         // Repro mode: classify exactly one explicit plan.
         let plan = FaultPlan::parse_spec(get_u64(opts, "fault-seed", 0)?, spec)?;
@@ -337,10 +371,47 @@ fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
         if let Some(s) = &case.shrunk {
             println!("shrunk to  {}", s.spec());
         }
+        if let Some(m) = &case.metrics {
+            print!("{}", m.render());
+        }
         return Ok(());
     }
     let report = run_campaign(&Engine::from_env(), &cfg).map_err(|e| e.to_string())?;
     print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = scheduler_kind(opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp"))?;
+    let cycles = get_u64(opts, "cycles", 4_000)?;
+    let seed = get_u64(opts, "seed", 42)?;
+    let cores = get_u64(opts, "cores", 8)? as usize;
+    let wl = opts.get("workload").map(String::as_str).unwrap_or("mix1");
+    let mix = match wl {
+        "mix1" => WorkloadMix::mix1_for(cores),
+        "mix2" => WorkloadMix::mix2_for(cores),
+        name => WorkloadMix::rate(profile(name)?, cores),
+    };
+    let out = opts.get("out").map(String::as_str).unwrap_or("results/trace.json");
+    let cfg = SystemConfig::with_cores(kind, cores as u8);
+    let mut sys = System::try_from_mix(&cfg, &mix, seed).map_err(|e| e.to_string())?;
+    sys.enable_tracing();
+    sys.enable_metrics();
+    sys.try_run_cycles(cycles).map_err(|e| e.to_string())?;
+    let events = sys.take_trace();
+    let title = format!("{kind} / {} x{cores} / {cycles} DRAM cycles", mix.name);
+    let json = ChromeTraceBuilder::new(sys.lane_layout(), &title).export(&events);
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(out, &json).map_err(|e| e.to_string())?;
+    println!("scheduler  {kind}");
+    println!("workload   {} x{cores} cores, {cycles} DRAM cycles", mix.name);
+    println!("events     {}", events.len());
+    println!("wrote      {out}  (load in Perfetto or chrome://tracing)");
+    if let Some(m) = sys.metrics_report() {
+        print!("{}", m.render());
+    }
     Ok(())
 }
 
@@ -409,16 +480,6 @@ fn time_pair(
     Ok((cycles as f64 / best[0], cycles as f64 / best[1]))
 }
 
-/// Extracts `"key": value` from a scenario line of the snapshot JSON
-/// (one scenario per line — see `cmd_bench_throughput`'s writer).
-fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let tag = format!("\"{key}\": ");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    Some(rest[..end].trim().trim_matches('"'))
-}
-
 fn cmd_bench_throughput(opts: &HashMap<String, String>) -> Result<(), String> {
     let cycles = get_u64(opts, "cycles", 500_000)?;
     let seed = get_u64(opts, "seed", 42)?;
@@ -470,57 +531,35 @@ fn cmd_bench_throughput(opts: &HashMap<String, String>) -> Result<(), String> {
         );
         rows.push(row);
     }
-    // One scenario object per line, so the regression check (and human
-    // diffs) can scan the snapshot without a JSON parser.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"cycles\": {cycles},\n  \"seed\": {seed},\n"));
-    json.push_str("  \"scenarios\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"workload\": \"{}\", \
-             \"per_cycle_cps\": {:.0}, \"fastpath_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
-            r.name,
-            r.scheduler.cli_name(),
-            r.workload,
-            r.per_cycle_cps,
-            r.fastpath_cps,
-            r.speedup(),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
+    // The snapshot format (and its strict parser) live in
+    // `fsmc::bench::throughput`, so writer and checker can't drift.
+    let snapshot = ThroughputSnapshot {
+        cycles,
+        seed,
+        scenarios: rows
+            .iter()
+            .map(|r| SnapshotScenario {
+                name: r.name.to_string(),
+                scheduler: r.scheduler.cli_name().to_string(),
+                workload: r.workload.to_string(),
+                per_cycle_cps: r.per_cycle_cps,
+                fastpath_cps: r.fastpath_cps,
+                speedup: r.speedup(),
+            })
+            .collect(),
+    };
     if let Some(dir) = std::path::Path::new(out).parent() {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     }
-    std::fs::write(out, &json).map_err(|e| e.to_string())?;
+    std::fs::write(out, snapshot.to_json()).map_err(|e| e.to_string())?;
     println!("\nwrote {out}");
     // Regression gate: fresh fast-path throughput must stay within 20%
-    // of the recorded snapshot for every scenario.
+    // of the recorded snapshot for every scenario. A malformed or
+    // truncated snapshot is a typed SnapshotError naming the bad line.
     if let Some(baseline) = opts.get("check") {
-        let text =
-            std::fs::read_to_string(baseline).map_err(|e| format!("--check {baseline}: {e}"))?;
-        let mut checked = 0;
-        for line in text.lines() {
-            let Some(name) = json_field(line, "name") else { continue };
-            let Some(cps) = json_field(line, "fastpath_cps").and_then(|v| v.parse::<f64>().ok())
-            else {
-                continue;
-            };
-            let Some(row) = rows.iter().find(|r| r.name == name) else {
-                return Err(format!("--check: snapshot scenario {name:?} not measured"));
-            };
-            checked += 1;
-            if row.fastpath_cps < 0.8 * cps {
-                return Err(format!(
-                    "{name}: fast-path throughput regressed {:.0} -> {:.0} cycles/sec (>20%)",
-                    cps, row.fastpath_cps
-                ));
-            }
-        }
-        if checked == 0 {
-            return Err(format!("--check {baseline}: no scenarios found in snapshot"));
-        }
+        let recorded = ThroughputSnapshot::load(baseline).map_err(|e| format!("--check: {e}"))?;
+        let measured: Vec<(&str, f64)> = rows.iter().map(|r| (r.name, r.fastpath_cps)).collect();
+        let checked = recorded.check(&measured, 0.20).map_err(|e| e.to_string())?;
         println!("throughput within 20% of {baseline} for {checked} scenarios");
     }
     Ok(())

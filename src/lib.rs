@@ -12,10 +12,12 @@
 //! * [`cpu`] — trace-driven out-of-order core model
 //! * [`workload`] — synthetic SPEC-like workload generators
 //! * [`energy`] — Micron-style DDR3 power model
+//! * [`obs`] — observability: trace events, per-domain metrics, Chrome
+//!   trace export
 //! * [`sim`] — full-system simulator, statistics and the deterministic
 //!   parallel experiment engine
 //! * [`security`] — leakage measurement and non-interference harness
-//! * [`bench`] — figure/table suites built on the engine
+//! * [`mod@bench`] — figure/table suites built on the engine
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,7 @@ pub use fsmc_core as core;
 pub use fsmc_cpu as cpu;
 pub use fsmc_dram as dram;
 pub use fsmc_energy as energy;
+pub use fsmc_obs as obs;
 pub use fsmc_security as security;
 pub use fsmc_sim as sim;
 pub use fsmc_workload as workload;
