@@ -13,13 +13,16 @@
 //!
 //! Knobs: `FSMC_CHAOS_SEED` (population seed, default 1),
 //! `FSMC_CHAOS_POPULATION` (plans per scheduler, default 12),
-//! `FSMC_CYCLES` (default 8 000 for this binary), `FSMC_SEED` (workload
-//! seed), `FSMC_THREADS`. Output is byte-identical at any thread count.
+//! `FSMC_CHAOS_CHURN=1` (add persistent-fault and domain join/leave
+//! kinds to the pool, enabling the `reconfigured` / `reconfig-leak`
+//! outcomes), `FSMC_CYCLES` (default 8 000 for this binary), `FSMC_SEED`
+//! (workload seed), `FSMC_THREADS`. Output is byte-identical at any
+//! thread count.
 
 use fsmc_bench::{save_result, seed};
 use fsmc_core::sched::SchedulerKind;
 use fsmc_security::check_noninterference_faulted;
-use fsmc_sim::engine::env_u64;
+use fsmc_sim::engine::{env_flag, env_u64};
 use fsmc_sim::{run_campaign, CampaignConfig, Engine, Outcome};
 use std::process::ExitCode;
 
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
         cfg.cycles = cycles;
         cfg.run_seed = seed();
         cfg.scheduler = kind;
+        cfg.churn = env_flag("FSMC_CHAOS_CHURN", false);
         let report = match run_campaign(&engine, &cfg) {
             Ok(r) => r,
             Err(e) => {

@@ -55,6 +55,25 @@ impl RefreshManager {
         self.enabled
     }
 
+    /// A copy of this manager refreshing `factor` times more often
+    /// (thermal alarm: retention drops, so tREFI is divided by `factor`).
+    /// The interval is clamped so a window plus the quiesce lead always
+    /// fits — beyond that the schedule could never issue a transaction.
+    /// Refresh stays a fixed function of wall-clock time, so the scaled
+    /// cadence is still identical for every domain.
+    #[must_use]
+    pub fn with_interval_scaled_down(&self, factor: u8) -> Self {
+        let factor = (factor.max(1)) as Cycle;
+        let floor = self.window_duration() + self.lead + 1;
+        RefreshManager { t_refi: (self.t_refi / factor).max(floor), ..*self }
+    }
+
+    /// The refresh interval currently in force (nominal tREFI, or the
+    /// scaled-down interval after a thermal reconfiguration).
+    pub fn interval(&self) -> Cycle {
+        self.t_refi
+    }
+
     /// Duration of one window: staggered REF issue plus tRFC.
     pub fn window_duration(&self) -> Cycle {
         self.ranks as Cycle + self.t_rfc
@@ -234,6 +253,21 @@ mod tests {
         }
         let off = RefreshManager::disabled(&TimingParams::ddr3_1600(), 8);
         assert_eq!(off.next_blocked_cycle(6240), Cycle::MAX);
+    }
+
+    #[test]
+    fn thermal_scaling_tightens_the_interval_and_stays_feasible() {
+        let m = mgr().with_interval_scaled_down(2);
+        assert_eq!(m.interval(), 3120);
+        assert!(m.in_window(3120));
+        assert!(m.allows_transaction(3120 + m.window_duration()));
+        // Pathological factors clamp to a feasible interval instead of
+        // wedging the schedule.
+        let tiny = mgr().with_interval_scaled_down(255);
+        assert!(tiny.interval() > tiny.window_duration());
+        assert!(tiny.allows_transaction(tiny.interval() + tiny.window_duration()));
+        // Factor 0 is treated as 1 (no change).
+        assert_eq!(mgr().with_interval_scaled_down(0).interval(), mgr().interval());
     }
 
     #[test]

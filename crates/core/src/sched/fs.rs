@@ -21,12 +21,12 @@ use crate::prefetch::SandboxPrefetcher;
 use crate::queues::{QueueFull, TransactionQueue};
 use crate::refresh::RefreshManager;
 use crate::sched::{
-    CadenceSpec, CmdFaultSpec, Completion, McStats, MemoryController, SchedEvent, SchedulerKind,
-    SlotGrantKind,
+    CadenceSpec, CmdFaultSpec, Completion, McStats, MemoryController, ReconfigEvent, SchedEvent,
+    SchedulerKind, SlotGrantKind,
 };
 use crate::solver::{
-    conservative_pipeline, solve, solve_for_threads, Anchor, PartitionLevel, PipelineSolution,
-    ReorderedBpSchedule, SlotSchedule, SolveError,
+    certify_reordered, certify_uniform, conservative_pipeline, solve, solve_for_threads, Anchor,
+    PartitionLevel, PipelineSolution, ReorderedBpSchedule, SlotSchedule, SolveError,
 };
 use crate::txn::{Transaction, TxnId, TxnKind};
 use fsmc_dram::checker::Violation;
@@ -217,6 +217,15 @@ pub struct FsScheduler {
     /// Scheduler-level observability events (slot grants, degradations),
     /// recorded only when [`MemoryController::record_obs`] armed them.
     obs_events: Option<Vec<SchedEvent>>,
+    /// Configuration epoch: 0 until the first adopted reconfiguration.
+    epoch: u64,
+    /// Banks masked out by [`ReconfigEvent::StuckBank`]: never a dummy
+    /// target; demand aimed at one is remapped onto the next healthy
+    /// bank the same domain owns.
+    stuck_banks: Vec<(RankId, BankId)>,
+    /// Ranks masked out by [`ReconfigEvent::DeadRank`]: no dummy, demand
+    /// or power-down may target them, so their slots become bubbles.
+    dead_ranks: Vec<bool>,
 }
 
 /// What the fault injector decides for one committed transaction.
@@ -475,6 +484,9 @@ impl FsScheduler {
             fault: None,
             cmd_faults: None,
             obs_events: None,
+            epoch: 0,
+            stuck_banks: Vec::new(),
+            dead_ranks: vec![false; geom.ranks_per_channel() as usize],
         })
     }
 
@@ -576,6 +588,9 @@ impl FsScheduler {
         let start = self.dummy_rotor[domain.0 as usize];
         for i in 0..n {
             let (rank, bank) = banks[((start + i) % n) as usize];
+            if self.dead_ranks[rank.0 as usize] || self.stuck_banks.contains(&(rank, bank)) {
+                continue;
+            }
             if let Some(c) = class {
                 if bank.0 % 3 != c {
                     continue;
@@ -624,7 +639,10 @@ impl FsScheduler {
             }
             p.next_prefetch()?
         };
-        let loc = self.policy.map(&geom, domain, local);
+        let loc = self.remap_unhealthy(domain, self.policy.map(&geom, domain, local));
+        if self.dead_ranks[loc.rank.0 as usize] {
+            return None;
+        }
         if let Some(c) = class {
             if loc.bank.0 % 3 != c {
                 return None;
@@ -801,7 +819,7 @@ impl FsScheduler {
         }
         let geom = *self.device.geometry();
         let rank = RankId(domain.0 % geom.ranks_per_channel());
-        if self.rank_powered_down[rank.0 as usize] {
+        if self.rank_powered_down[rank.0 as usize] || self.dead_ranks[rank.0 as usize] {
             return false;
         }
         if !self.device.rank_idle(rank, plan.read_act) {
@@ -1023,6 +1041,110 @@ impl FsScheduler {
     pub fn is_degraded(&self) -> bool {
         self.degraded
     }
+
+    /// Redirects a demand location off masked silicon: a stuck bank maps
+    /// onto the next healthy bank in the owning domain's bank list
+    /// (same-rank under rank partitioning, same bank index of another
+    /// rank under bank striping — ownership is preserved either way).
+    /// A location on healthy silicon is returned unchanged, and if every
+    /// owned bank is masked the original stands (service over silence:
+    /// the slot timing is identical either way).
+    fn remap_unhealthy(&self, domain: DomainId, loc: Location) -> Location {
+        if self.stuck_banks.is_empty() || !self.stuck_banks.contains(&(loc.rank, loc.bank)) {
+            return loc;
+        }
+        let geom = *self.device.geometry();
+        let banks = self.policy.banks_of(&geom, domain);
+        let Some(pos) = banks.iter().position(|&(r, b)| r == loc.rank && b == loc.bank) else {
+            return loc;
+        };
+        let n = banks.len();
+        for i in 1..n {
+            let (rank, bank) = banks[(pos + i) % n];
+            if !self.dead_ranks[rank.0 as usize] && !self.stuck_banks.contains(&(rank, bank)) {
+                return Location { rank, bank, ..loc };
+            }
+        }
+        loc
+    }
+
+    /// Re-solves the committed pipeline for the (masked) topology and
+    /// re-certifies it against Table 1. The FS reconfiguration contract
+    /// requires the re-solve to reproduce the committed slot pitch —
+    /// masks change *which* banks slots may touch, never *when* slots
+    /// fire — so any pitch divergence or certification failure rejects
+    /// the reconfiguration.
+    fn recertify(&self) -> Result<(), ConfigError> {
+        if let Some(r) = &self.reordered {
+            if !certify_reordered(r, &self.t, 3).certified() {
+                return Err(ConfigError::new(
+                    "reconfigured reordered-BP schedule failed Table-1 re-certification",
+                ));
+            }
+            return Ok(());
+        }
+        let Some(s) = &self.schedule else { return Ok(()) };
+        // The conservative fallback is certified by construction and is
+        // already the widest pitch available — nothing to re-solve.
+        if self.degraded {
+            return Ok(());
+        }
+        let total_slots = self.slot_pattern.len() as u8;
+        let (level, span, solved) = match self.variant {
+            FsVariant::RankPartitioned => (
+                PartitionLevel::Rank,
+                4,
+                Some(solve(&self.t, Anchor::FixedPeriodicData, PartitionLevel::Rank)),
+            ),
+            FsVariant::BankPartitioned => (
+                PartitionLevel::Bank,
+                4,
+                Some(solve_for_threads(
+                    &self.t,
+                    Anchor::FixedPeriodicRas,
+                    PartitionLevel::Bank,
+                    total_slots,
+                )),
+            ),
+            FsVariant::NoPartitionNaive => (
+                PartitionLevel::None,
+                4,
+                Some(solve_for_threads(
+                    &self.t,
+                    Anchor::FixedPeriodicRas,
+                    PartitionLevel::None,
+                    total_slots,
+                )),
+            ),
+            // Triple alternation's schedule is built (not solved); only
+            // the certification step applies.
+            FsVariant::TripleAlternation => (PartitionLevel::None, 3, None),
+            FsVariant::ReorderedBankPartitioned => unreachable!("handled above"),
+        };
+        if let Some(sol) = solved {
+            match sol {
+                Ok(sol) if sol.l as u64 == s.slot_pitch() as u64 => {}
+                Ok(sol) => {
+                    return Err(ConfigError::new(format!(
+                        "reconfigured pitch {} diverged from committed pitch {}",
+                        sol.l,
+                        s.slot_pitch()
+                    )));
+                }
+                Err(_) => {
+                    return Err(ConfigError::new(
+                        "degraded topology admits no pipeline at the committed anchors",
+                    ));
+                }
+            }
+        }
+        if !certify_uniform(s, level, &self.t, span).certified() {
+            return Err(ConfigError::new(
+                "degraded-topology schedule failed Table-1 re-certification",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// First cycle >= `from` congruent to `phase` (mod `l`).
@@ -1087,6 +1209,8 @@ impl MemoryController for FsScheduler {
                 p[txn.domain.0 as usize].on_access(txn.local_addr);
             }
         }
+        let mut txn = txn;
+        txn.loc = self.remap_unhealthy(txn.domain, txn.loc);
         self.queues[txn.domain.0 as usize].push(txn)
     }
 
@@ -1278,6 +1402,103 @@ impl MemoryController for FsScheduler {
             write_cas_anchor: p0.write_cas,
             slot_owner_ranks: owners,
         })
+    }
+
+    fn reconfig_boundary(&self, now: Cycle) -> Cycle {
+        // The same quiesce margin the degradation path uses: long enough
+        // for any in-flight refresh, bank cycle or turnaround of the old
+        // epoch to drain. The boundary itself is the first *interval*
+        // start past the margin, so every domain's slot position relative
+        // to the epoch edge is identical — the transition cannot favour
+        // (or reveal) anyone.
+        let margin = (self.t.t_rfc + self.t.t_rc + 64) as Cycle;
+        let target = now + margin;
+        if let Some(s) = &self.schedule {
+            let len = self.slot_pattern.len() as u64;
+            let mut slot = s.first_slot_from(target).max(self.next_slot);
+            while !slot.is_multiple_of(len) {
+                slot += 1;
+            }
+            s.plan(slot).decision_cycle
+        } else if let Some(r) = &self.reordered {
+            let mut k = self.next_interval;
+            while r.decision_cycle(k) < target {
+                k += 1;
+            }
+            r.decision_cycle(k)
+        } else {
+            target
+        }
+    }
+
+    fn reconfigure(
+        &mut self,
+        events: &[ReconfigEvent],
+        now: Cycle,
+    ) -> Result<(), crate::error::CoreError> {
+        if self.fault.is_some() || events.is_empty() {
+            return Ok(());
+        }
+        let geom = *self.device.geometry();
+        let ranks = geom.ranks_per_channel();
+        let banks = geom.banks_per_rank();
+        for ev in events {
+            match *ev {
+                ReconfigEvent::StuckBank { rank, bank } => {
+                    let key = (RankId(rank % ranks), BankId(bank % banks));
+                    if !self.stuck_banks.contains(&key) {
+                        self.stuck_banks.push(key);
+                    }
+                }
+                ReconfigEvent::DeadRank { rank } => {
+                    self.dead_ranks[(rank % ranks) as usize] = true;
+                }
+                ReconfigEvent::ThermalRefresh { factor } => {
+                    self.refresh = self.refresh.with_interval_scaled_down(factor);
+                }
+                // Membership is the system's concern (cores detach or
+                // attach there); the leaving domain's queued demand is
+                // drained below so no completion outlives its producer.
+                ReconfigEvent::DomainLeave { .. } | ReconfigEvent::DomainJoin { .. } => {}
+            }
+        }
+        // Drain doomed work: a leaving domain's queue, demand aimed at a
+        // dead rank, and queued demand remapped off freshly stuck banks.
+        let mut queues = std::mem::take(&mut self.queues);
+        let mut dropped = 0u64;
+        for q in queues.iter_mut() {
+            let d = q.domain();
+            let leaving = events
+                .iter()
+                .any(|e| matches!(*e, ReconfigEvent::DomainLeave { domain } if domain == d.0));
+            let mut kept = Vec::with_capacity(q.len());
+            while let Some(mut txn) = q.pop() {
+                if leaving || self.dead_ranks[txn.loc.rank.0 as usize] {
+                    dropped += 1;
+                    continue;
+                }
+                txn.loc = self.remap_unhealthy(d, txn.loc);
+                kept.push(txn);
+            }
+            for t in kept {
+                q.push(t).expect("rebuilt queue cannot grow");
+            }
+        }
+        self.queues = queues;
+        self.stats.dropped_txns += dropped;
+        // The masked topology must still certify at the committed
+        // cadence before the new epoch is adopted.
+        self.recertify()?;
+        self.epoch += 1;
+        self.stats.reconfigs += 1;
+        if let Some(evs) = &mut self.obs_events {
+            evs.push(SchedEvent::Reconfigured { cycle: now, epoch: self.epoch });
+        }
+        Ok(())
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -1937,6 +2158,93 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reconfigure_keeps_the_cadence_and_bumps_the_epoch() {
+        let mut mc = mk(FsVariant::RankPartitioned);
+        mc.record_commands();
+        let before = MemoryController::cadence_spec(&mc).unwrap();
+        for c in 0..200u64 {
+            mc.tick(c);
+        }
+        let boundary = mc.reconfig_boundary(200);
+        assert!(boundary >= 200 + (mc.t.t_rfc + mc.t.t_rc + 64) as Cycle);
+        let events = [
+            ReconfigEvent::StuckBank { rank: 3, bank: 2 },
+            ReconfigEvent::DomainLeave { domain: 5 },
+        ];
+        mc.reconfigure(&events, boundary).expect("unchanged timing must re-certify");
+        assert_eq!(MemoryController::epoch(&mc), 1);
+        assert_eq!(mc.stats().reconfigs, 1);
+        // The committed cadence is invariant across the epoch edge.
+        assert_eq!(MemoryController::cadence_spec(&mc).unwrap(), before);
+        // Post-adoption commands still satisfy it, and dummies never
+        // touch the stuck bank.
+        for c in 200..boundary + 600 {
+            mc.tick(c);
+        }
+        assert!(mc.fault().is_none());
+        let log = MemoryController::take_command_log(&mut mc);
+        for tc in log.iter().filter(|tc| tc.cycle >= boundary) {
+            assert!(before.check(tc).is_ok(), "{tc} off cadence after reconfig");
+            if tc.cmd.kind == fsmc_dram::CommandKind::Activate {
+                assert!(
+                    !(tc.cmd.rank == RankId(3) && tc.cmd.bank == BankId(2)),
+                    "stuck bank activated after reconfig: {tc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_rank_slots_become_bubbles_and_demand_is_dropped() {
+        let mut mc = mk(FsVariant::RankPartitioned);
+        // Queue demand for domain 2 (rank 2 under rank partitioning).
+        for i in 0..4u64 {
+            mc.enqueue(txn(i, 2, i * 5, false, PartitionPolicy::Rank)).unwrap();
+        }
+        mc.reconfigure(&[ReconfigEvent::DeadRank { rank: 2 }], 0).unwrap();
+        assert_eq!(mc.stats().dropped_txns, 4, "queued demand to the dead rank is dropped");
+        let bubbles_before = mc.stats().bubbles;
+        let done = run(&mut mc, 56 * 4);
+        assert!(done.is_empty(), "nothing can complete on a dead rank");
+        // Domain 2's slots go empty (its rank is masked even for dummies).
+        assert!(mc.stats().bubbles >= bubbles_before + 4);
+        assert_eq!(mc.stats().domain(DomainId(2)).dummies, 0);
+    }
+
+    #[test]
+    fn stuck_bank_demand_is_remapped_within_the_partition() {
+        let mut mc = mk(FsVariant::RankPartitioned);
+        mc.reconfigure(&[ReconfigEvent::StuckBank { rank: 0, bank: 1 }], 0).unwrap();
+        // A read mapping onto the stuck bank lands on a healthy bank of
+        // the same rank instead.
+        let geom = Geometry::paper_default();
+        let loc = PartitionPolicy::Rank.map(&geom, DomainId(0), LineAddr(0));
+        let stuck = Location { bank: BankId(1), ..loc };
+        let t = Transaction::read(TxnId(9), DomainId(0), stuck, 0);
+        mc.enqueue(t).unwrap();
+        let done = run(&mut mc, 300);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].txn.loc.rank, RankId(0), "remap must stay in the owned rank");
+        assert_ne!(done[0].txn.loc.bank, BankId(1), "remap must leave the stuck bank");
+    }
+
+    #[test]
+    fn thermal_refresh_reconfig_refreshes_more_often() {
+        let (mut nominal, mut hot) =
+            (mk(FsVariant::RankPartitioned), mk(FsVariant::RankPartitioned));
+        hot.reconfigure(&[ReconfigEvent::ThermalRefresh { factor: 2 }], 0).unwrap();
+        assert_eq!(MemoryController::epoch(&hot), 1);
+        for c in 0..14_000u64 {
+            nominal.tick(c);
+            hot.tick(c);
+        }
+        let n = nominal.device().counters().total_refreshes();
+        let h = hot.device().counters().total_refreshes();
+        assert!(h >= 2 * n - 8, "hot {h} vs nominal {n}: doubling must show");
+        assert!(hot.fault().is_none());
     }
 
     #[test]

@@ -140,6 +140,58 @@ impl CadenceSpec {
     }
 }
 
+/// A persistent topology or membership change a controller is asked to
+/// absorb at an epoch boundary. Unlike the transient injection faults in
+/// [`CmdFaultSpec`], these do not go away: the controller must keep its
+/// service guarantees on the degraded topology (or new domain set) for
+/// the rest of the run.
+///
+/// The reconfiguration contract for Fixed-Service policies is that the
+/// solved slot cadence (pitch, anchors, rank ownership) is *invariant*
+/// across the transition: events may change which domains are attached,
+/// which banks/ranks are eligible targets, and how often refresh runs,
+/// but never when slots fire. That invariance is what keeps a surviving
+/// domain's timing bit-identical whether or not a co-tenant churned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigEvent {
+    /// One bank stopped retaining data: mask it out of dummy generation
+    /// and remap its demand traffic onto a healthy bank in the same rank.
+    StuckBank { rank: u8, bank: u8 },
+    /// A whole rank died. Its tenant domain (under rank partitioning) is
+    /// force-detached; the dead rank's slots become bubbles, since even a
+    /// dummy cannot target dead silicon.
+    DeadRank { rank: u8 },
+    /// Thermal alarm: retention halves, so refresh must run `factor`
+    /// times more often (tREFI divided by `factor`).
+    ThermalRefresh { factor: u8 },
+    /// A tenant domain left the host; its slots revert to dummies.
+    DomainLeave { domain: u8 },
+    /// A new tenant domain joined; it starts being served at the epoch
+    /// boundary (its slots carried dummies until then).
+    DomainJoin { domain: u8 },
+}
+
+impl ReconfigEvent {
+    /// The domain whose service this event changes, when the event is
+    /// about one specific domain under the given rank-partitioned
+    /// domain-to-rank mapping (`domain d owns rank d % ranks`). Survivor
+    /// non-interference claims exclude exactly these domains.
+    pub fn touched_domain(&self, domains: u8, ranks: u8) -> Option<u8> {
+        match *self {
+            ReconfigEvent::DomainLeave { domain } | ReconfigEvent::DomainJoin { domain } => {
+                Some(domain)
+            }
+            // Under rank partitioning the rank's tenant loses service;
+            // with more domains than ranks this is conservative (first
+            // tenant named, all sharers are really affected).
+            ReconfigEvent::DeadRank { rank } => (rank < domains.min(ranks)).then_some(rank),
+            ReconfigEvent::StuckBank { rank, .. } => (rank < domains.min(ranks)).then_some(rank),
+            // Refresh cadence changes hit every domain identically.
+            ReconfigEvent::ThermalRefresh { .. } => None,
+        }
+    }
+}
+
 /// Identifies a scheduling policy and its configuration (the design
 /// points of Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -304,6 +356,8 @@ pub struct McStats {
     pub dropped_txns: u64,
     /// Faults injected by an active [`CmdFaultSpec`].
     pub injected_faults: u64,
+    /// Successful epoch reconfigurations adopted at a drained boundary.
+    pub reconfigs: u64,
     /// True once the controller is running the conservative fallback
     /// pipeline instead of the variant it was built for.
     pub degraded: bool,
@@ -389,6 +443,10 @@ pub enum SchedEvent {
     SlotGrant { cycle: Cycle, slot: u64, domain: DomainId, kind: SlotGrantKind },
     /// The controller degraded onto the conservative pipeline.
     Degraded { cycle: Cycle },
+    /// The controller adopted a reconfigured epoch at a drained slot
+    /// boundary (topology masks, domain membership or refresh cadence
+    /// changed; the slot cadence did not).
+    Reconfigured { cycle: Cycle, epoch: u64 },
 }
 
 /// The interface every scheduling policy implements.
@@ -545,6 +603,43 @@ pub trait MemoryController {
     /// pipeline; callers must re-query it after a degradation transition.
     fn cadence_spec(&self) -> Option<CadenceSpec> {
         None
+    }
+
+    /// The earliest *safe adoption boundary* at or after `now` for a
+    /// pending reconfiguration: a cycle at which every in-flight command
+    /// of the old epoch has drained and the new epoch's first decision
+    /// falls exactly on the fixed cadence. Policies without epochs adopt
+    /// immediately (the default).
+    fn reconfig_boundary(&self, now: Cycle) -> Cycle {
+        now
+    }
+
+    /// Atomically applies a batch of [`ReconfigEvent`]s at `now`, which
+    /// the caller has aligned to [`MemoryController::reconfig_boundary`].
+    /// Policies with a solved pipeline re-solve for the masked topology
+    /// and re-certify against Table 1 before adopting; the default (for
+    /// policies without fixed service guarantees) absorbs the events as
+    /// a no-op — membership changes are handled by the system detaching
+    /// or attaching cores.
+    ///
+    /// # Errors
+    ///
+    /// The degraded topology admits no certified schedule compatible
+    /// with the committed cadence.
+    fn reconfigure(
+        &mut self,
+        events: &[ReconfigEvent],
+        now: Cycle,
+    ) -> Result<(), crate::error::CoreError> {
+        let _ = (events, now);
+        Ok(())
+    }
+
+    /// The configuration epoch this controller is serving: 0 until the
+    /// first successful [`MemoryController::reconfigure`], bumped by one
+    /// per adopted reconfiguration.
+    fn epoch(&self) -> u64 {
+        0
     }
 }
 

@@ -171,6 +171,132 @@ fn all_constraints_have_a_witness() {
     assert_eq!(have.len(), expected.len(), "stale witness entries");
 }
 
+// ---------------------------------------------------------------------
+// Degraded-topology re-certification replay
+// ---------------------------------------------------------------------
+//
+// The FS reconfiguration contract says masks change *which* banks slots
+// may touch, never *when* slots fire. The property test below drives the
+// real re-certifier (`FsScheduler::reconfigure` on random stuck-bank /
+// dead-rank / thermal-refresh sets) and, for every topology it accepts,
+// replays a worst-case command stream on the surviving silicon through
+// the online `StreamMonitor`. The per-rule witnesses above pin the
+// monitor's detection power for every Table-1 constraint, so a clean
+// replay here means the accepted schedule genuinely satisfies them all.
+
+use fsmc_core::sched::fs::{EnergyOptions, FsScheduler, FsVariant};
+use fsmc_core::sched::{MemoryController, ReconfigEvent};
+use proptest::prelude::*;
+
+/// Worst-case ACT/CAS stream for `schedule` on the masked topology:
+/// four intervals of slots, alternating directions and rows, with each
+/// slot's rank/bank drawn from the owning domain's *healthy* silicon
+/// (mirroring `remap_unhealthy`). Slots whose domain has no healthy
+/// silicon left — a dead rank under rank partitioning — decay to
+/// bubbles, which can never add a violation.
+fn degraded_stream(
+    schedule: &fsmc_core::solver::SlotSchedule,
+    variant: FsVariant,
+    stuck: &[(u8, u8)],
+    dead: &[u8],
+) -> Vec<TimedCommand> {
+    let n = schedule.threads() as u64;
+    let mut out = Vec::new();
+    for i in 0..n * 4 {
+        let p = schedule.plan(i);
+        let owner = (i % n) as u8;
+        let interval = i / n;
+        let spot = match variant {
+            FsVariant::RankPartitioned => {
+                // Domain owns rank `owner`; banks rotate over the rank's
+                // healthy banks so consecutive own-slots avoid stuck ones.
+                let rank = owner % 8;
+                if dead.contains(&rank) {
+                    None
+                } else {
+                    let healthy: Vec<u8> =
+                        (0..8).filter(|&b| !stuck.contains(&(rank, b))).collect();
+                    (!healthy.is_empty())
+                        .then(|| (rank, healthy[interval as usize % healthy.len()]))
+                }
+            }
+            _ => {
+                // Bank striping: the domain keeps its bank index and
+                // remaps off dead/stuck ranks (worst case: everyone who
+                // can piles onto the first healthy rank).
+                let bank = owner % 8;
+                (0..8)
+                    .find(|&r| !dead.contains(&r) && !stuck.contains(&(r, bank)))
+                    .map(|r| (r, bank))
+            }
+        };
+        let Some((rank, bank)) = spot else { continue };
+        let row = if interval.is_multiple_of(2) { 11 } else { 29 };
+        if i % 2 == 0 {
+            out.push(act(rank, bank, row, p.read_act));
+            out.push(rda(rank, bank, row, p.read_cas));
+        } else {
+            out.push(act(rank, bank, row, p.write_act));
+            out.push(wra(rank, bank, row, p.write_cas));
+        }
+    }
+    out.sort_by_key(|c| c.cycle);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accepted_degraded_solves_replay_cleanly_through_the_monitor(
+        (stuck, dead, factor, domains) in (
+            proptest::collection::vec((0u8..8, 0u8..8), 0..3),
+            proptest::collection::vec(0u8..8, 0..2),
+            1u8..4,
+            2u8..9,
+        )
+    ) {
+        let geom = Geometry::paper_default();
+        let t = TimingParams::ddr3_1600();
+        let mut events: Vec<ReconfigEvent> = stuck
+            .iter()
+            .map(|&(rank, bank)| ReconfigEvent::StuckBank { rank, bank })
+            .collect();
+        events.extend(dead.iter().map(|&rank| ReconfigEvent::DeadRank { rank }));
+        if factor > 1 {
+            events.push(ReconfigEvent::ThermalRefresh { factor });
+        }
+        if events.is_empty() {
+            return;
+        }
+        for variant in [FsVariant::RankPartitioned, FsVariant::BankPartitioned] {
+            let mut fs = FsScheduler::try_new(
+                geom,
+                t,
+                domains,
+                variant,
+                false,
+                EnergyOptions::default(),
+            )
+            .expect("paper-default topology must solve");
+            if fs.reconfigure(&events, 0).is_err() {
+                // The re-certifier rejected this topology: nothing to replay.
+                continue;
+            }
+            prop_assert!(fs.epoch() >= 1, "accepted reconfiguration must advance the epoch");
+            let Some(s) = fs.schedule() else { continue };
+            let stream = degraded_stream(s, variant, &stuck, &dead);
+            let mut mon = StreamMonitor::new(geom, t);
+            let vs: Vec<_> = stream.iter().flat_map(|c| mon.observe(c)).collect();
+            prop_assert!(
+                vs.is_empty(),
+                "accepted degraded solve ({variant:?}, stuck {stuck:?}, dead {dead:?}) \
+                 violated Table-1: {vs:?}"
+            );
+        }
+    }
+}
+
 /// Each witness becomes legal when its offending command is moved to the
 /// first legal cycle the violation reports — the `earliest` hint is not
 /// just documentation.

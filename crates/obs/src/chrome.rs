@@ -257,6 +257,12 @@ impl ChromeTraceBuilder {
                      \"pid\":{PID_SCHED},\"tid\":1,\"s\":\"p\"}}"
                 ));
             }
+            TraceEvent::Reconfigured { cycle, epoch } => {
+                out.push(format!(
+                    "{{\"name\":\"reconfigured (epoch {epoch})\",\"cat\":\"fsmc\",\"ph\":\"i\",\
+                     \"ts\":{cycle},\"pid\":{PID_SCHED},\"tid\":1,\"s\":\"p\"}}"
+                ));
+            }
             TraceEvent::FastPath { from, to, batched } => {
                 let name = if batched { "batch" } else { "skip" };
                 Self::complete(

@@ -104,6 +104,9 @@ pub enum TraceEvent {
     Refresh { cycle: Cycle, rank: u8 },
     /// The controller degraded onto the conservative pipeline.
     Degraded { cycle: Cycle },
+    /// The controller adopted a re-solved, re-certified schedule at a
+    /// drained epoch boundary (persistent fault or domain churn).
+    Reconfigured { cycle: Cycle, epoch: u64 },
     /// The simulation fast path skipped or batch-ticked a span.
     FastPath { from: Cycle, to: Cycle, batched: bool },
 }
@@ -116,7 +119,8 @@ impl TraceEvent {
             | TraceEvent::TxnArrival { cycle, .. }
             | TraceEvent::SlotGrant { cycle, .. }
             | TraceEvent::Refresh { cycle, .. }
-            | TraceEvent::Degraded { cycle } => cycle,
+            | TraceEvent::Degraded { cycle }
+            | TraceEvent::Reconfigured { cycle, .. } => cycle,
             TraceEvent::TxnRetire { arrival, .. } => arrival,
             TraceEvent::FastPath { from, .. } => from,
         }
@@ -153,6 +157,7 @@ mod tests {
     #[test]
     fn anchor_cycles() {
         assert_eq!(TraceEvent::Degraded { cycle: 7 }.cycle(), 7);
+        assert_eq!(TraceEvent::Reconfigured { cycle: 12, epoch: 2 }.cycle(), 12);
         assert_eq!(TraceEvent::TxnRetire { arrival: 3, finish: 9, domain: 0 }.cycle(), 3);
         assert_eq!(TraceEvent::FastPath { from: 10, to: 20, batched: false }.cycle(), 10);
     }

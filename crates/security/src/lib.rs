@@ -25,7 +25,8 @@ pub use leakage::{
     binary_channel_capacity, mutual_information, try_mutual_information, LeakageError,
 };
 pub use noninterference::{
-    check_noninterference, check_noninterference_faulted, execution_profile,
-    execution_profile_faulted, NonInterferenceReport,
+    check_churn_noninterference, check_noninterference, check_noninterference_faulted,
+    execution_profile, execution_profile_churned, execution_profile_faulted, ChurnEnv, ChurnReport,
+    NonInterferenceReport,
 };
 pub use profile::ExecutionProfile;

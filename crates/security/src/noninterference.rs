@@ -4,7 +4,7 @@
 use crate::profile::ExecutionProfile;
 use fsmc_core::sched::SchedulerKind;
 use fsmc_cpu::trace::TraceSource;
-use fsmc_sim::{FaultPlan, FsmcError, System, SystemConfig};
+use fsmc_sim::{FaultKind, FaultPlan, FsmcError, System, SystemConfig};
 use fsmc_workload::{BenchProfile, FloodTrace, IdleTrace, SyntheticTrace};
 
 /// What the attacker thread ran against (Figure 4's two environments).
@@ -102,6 +102,152 @@ pub fn execution_profile_faulted(
     let boundaries =
         sys.try_run_profile(0, bucket_instrs, buckets).map_err(|e| e.with_provenance(plan))?;
     Ok(ExecutionProfile::new(boundaries, bucket_instrs))
+}
+
+/// What churns around the observer mid-run (the reconfiguration probe).
+///
+/// The observer is always domain 0; each environment differs only in a
+/// reconfiguration event pinned to the same absolute DRAM cycle, so any
+/// difference in the observer's profile is attributable to the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEnv {
+    /// Nothing churns: the reference environment.
+    Static,
+    /// Co-domain 1 leaves mid-run (its slots decay to dummies).
+    CoLeave,
+    /// Co-domain 1 is absent from the start and joins mid-run.
+    CoJoin,
+    /// A persistent stuck-bank fault lands in domain 7's rank, forcing
+    /// a re-solved, re-certified schedule adoption the observer is not
+    /// party to.
+    ForeignBankFault,
+}
+
+impl ChurnEnv {
+    pub const ALL: [ChurnEnv; 4] =
+        [ChurnEnv::Static, ChurnEnv::CoLeave, ChurnEnv::CoJoin, ChurnEnv::ForeignBankFault];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnEnv::Static => "static",
+            ChurnEnv::CoLeave => "co-leave",
+            ChurnEnv::CoJoin => "co-join",
+            ChurnEnv::ForeignBankFault => "foreign-bank-fault",
+        }
+    }
+
+    /// The fault plan realising this environment, churning at `at`.
+    fn plan(self, at: u64) -> FaultPlan {
+        let plan = FaultPlan::new(0);
+        match self {
+            ChurnEnv::Static => plan,
+            ChurnEnv::CoLeave => plan.with(FaultKind::DomainLeave { domain: 1, at }),
+            ChurnEnv::CoJoin => plan.with(FaultKind::DomainJoin { domain: 1, at }),
+            ChurnEnv::ForeignBankFault => plan.with(FaultKind::StuckBank { rank: 7, bank: 0, at }),
+        }
+    }
+}
+
+/// [`execution_profile`] with a reconfiguration event scheduled at DRAM
+/// cycle `churn_at` and the invariant monitor armed across the epoch
+/// boundary. The observer on core 0 keeps its usual trace; `env` decides
+/// what churns around it.
+///
+/// # Errors
+///
+/// As for [`fsmc_sim::System::try_run_profile`]: a stall, timing
+/// poisoning, cadence breach on either side of the transition, or a
+/// failed re-certification all surface as structured errors with the
+/// plan's repro provenance attached.
+pub fn execution_profile_churned(
+    scheduler: SchedulerKind,
+    co: CoRunners,
+    env: ChurnEnv,
+    churn_at: u64,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> Result<ExecutionProfile, FsmcError> {
+    let plan = env.plan(churn_at);
+    let mut cfg = SystemConfig::paper_default(scheduler);
+    cfg.monitor = true;
+    let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(cfg.cores as usize);
+    traces.push(Box::new(SyntheticTrace::new(BenchProfile::mcf(), 0xA77AC)));
+    for _ in 1..cfg.cores {
+        match co {
+            CoRunners::Idle => traces.push(Box::new(IdleTrace)),
+            CoRunners::MemoryIntensive => traces.push(Box::new(FloodTrace::new())),
+        }
+    }
+    let mut sys = System::try_new(&cfg, traces)?;
+    for (at, ev) in plan.reconfig_events() {
+        sys.schedule_reconfig(at, ev);
+    }
+    let boundaries =
+        sys.try_run_profile(0, bucket_instrs, buckets).map_err(|e| e.with_provenance(&plan))?;
+    Ok(ExecutionProfile::new(boundaries, bucket_instrs))
+}
+
+/// Outcome of a churn non-interference check: the observer's profile in
+/// every [`ChurnEnv`], first entry the [`ChurnEnv::Static`] reference.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    pub scheduler: SchedulerKind,
+    pub profiles: Vec<(ChurnEnv, ExecutionProfile)>,
+}
+
+impl ChurnReport {
+    /// Zero leakage: the survivor's profile is bit-identical whether or
+    /// not anything churned.
+    pub fn is_non_interfering(&self) -> bool {
+        self.divergent_envs().is_empty()
+    }
+
+    /// Environments whose profile differs from the static reference.
+    pub fn divergent_envs(&self) -> Vec<ChurnEnv> {
+        let reference = &self.profiles[0].1;
+        self.profiles
+            .iter()
+            .skip(1)
+            .filter(|(_, p)| !reference.identical(p))
+            .map(|&(env, _)| env)
+            .collect()
+    }
+
+    /// Worst-case divergence from the static reference, in CPU cycles.
+    pub fn max_divergence(&self) -> u64 {
+        let reference = &self.profiles[0].1;
+        self.profiles.iter().skip(1).map(|(_, p)| reference.max_divergence(p)).max().unwrap_or(0)
+    }
+}
+
+/// Runs the observer through every [`ChurnEnv`] (memory-intensive
+/// co-runners throughout) and reports whether its execution profile is
+/// independent of domain churn and foreign persistent faults.
+///
+/// # Errors
+///
+/// Whichever environment's run fails first, with provenance attached.
+pub fn check_churn_noninterference(
+    scheduler: SchedulerKind,
+    churn_at: u64,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> Result<ChurnReport, FsmcError> {
+    let mut profiles = Vec::with_capacity(ChurnEnv::ALL.len());
+    for env in ChurnEnv::ALL {
+        profiles.push((
+            env,
+            execution_profile_churned(
+                scheduler,
+                CoRunners::MemoryIntensive,
+                env,
+                churn_at,
+                bucket_instrs,
+                buckets,
+            )?,
+        ));
+    }
+    Ok(ChurnReport { scheduler, profiles })
 }
 
 /// Runs the attacker under both environments and reports.
@@ -215,6 +361,28 @@ mod tests {
             "degraded FS leaked: divergence {} cycles",
             r.max_divergence()
         );
+    }
+
+    #[test]
+    fn fs_survivor_profile_is_churn_independent() {
+        let r = check_churn_noninterference(SchedulerKind::FsRankPartitioned, 800, 1000, 5)
+            .expect("churn must reconfigure cleanly under FS");
+        assert!(
+            r.is_non_interfering(),
+            "FS survivor diverged under {:?}: {} cycles",
+            r.divergent_envs(),
+            r.max_divergence()
+        );
+    }
+
+    #[test]
+    fn baseline_survivor_profile_leaks_churn() {
+        // The negative control that keeps the FS test honest: under
+        // FR-FCFS the same probe sees co-domain churn, because a flooder
+        // leaving (or being absent until it joins) frees real bandwidth.
+        let r = check_churn_noninterference(SchedulerKind::Baseline, 800, 2000, 10)
+            .expect("baseline churn runs must complete");
+        assert!(!r.is_non_interfering(), "baseline unexpectedly churn-independent");
     }
 
     #[test]

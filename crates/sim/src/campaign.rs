@@ -17,6 +17,13 @@
 //! * [`Outcome::Stall`] — the starvation watchdog fired.
 //! * [`Outcome::Diverged`] — the run finished "healthy" but its results
 //!   differ from the reference: a silent wrong-answer, the worst class.
+//! * [`Outcome::Reconfigured`] — the plan scheduled persistent-fault or
+//!   churn events, the controller adopted a re-certified schedule at an
+//!   epoch boundary, and every *surviving* domain's statistics are
+//!   bit-identical to the fault-free reference.
+//! * [`Outcome::ReconfigLeak`] — a reconfiguration happened but some
+//!   survivor's execution changed: the transition leaked. A failure,
+//!   shrunk like the others.
 //!
 //! Failing plans (violation / stall / diverged) are then **shrunk**:
 //! faults are removed one at a time to a fixpoint, keeping only those
@@ -33,7 +40,8 @@ use crate::engine::{Engine, ExperimentJob};
 use crate::error::FsmcError;
 use crate::faults::{FaultKind, FaultPlan, TimingField};
 use crate::runner::RunResult;
-use fsmc_core::sched::SchedulerKind;
+use fsmc_core::domain::PartitionPolicy;
+use fsmc_core::sched::{ReconfigEvent, SchedulerKind};
 use fsmc_workload::{BenchProfile, TraceCache, WorkloadMix};
 use std::fmt;
 
@@ -69,21 +77,29 @@ pub enum Outcome {
     Violation,
     Stall,
     Diverged,
+    Reconfigured,
+    ReconfigLeak,
 }
 
 impl Outcome {
-    pub const ALL: [Outcome; 5] = [
+    pub const ALL: [Outcome; 7] = [
         Outcome::Clean,
         Outcome::GracefulDegrade,
         Outcome::Violation,
         Outcome::Stall,
         Outcome::Diverged,
+        Outcome::Reconfigured,
+        Outcome::ReconfigLeak,
     ];
 
-    /// Failures worth shrinking and reproducing; graceful degradation is
-    /// the *designed* response to a fault, not a failure.
+    /// Failures worth shrinking and reproducing; graceful degradation
+    /// and a clean reconfiguration are *designed* responses to a fault,
+    /// not failures.
     pub fn is_failure(&self) -> bool {
-        matches!(self, Outcome::Violation | Outcome::Stall | Outcome::Diverged)
+        matches!(
+            self,
+            Outcome::Violation | Outcome::Stall | Outcome::Diverged | Outcome::ReconfigLeak
+        )
     }
 
     pub fn name(&self) -> &'static str {
@@ -93,6 +109,8 @@ impl Outcome {
             Outcome::Violation => "violation",
             Outcome::Stall => "stall",
             Outcome::Diverged => "diverged",
+            Outcome::Reconfigured => "reconfigured",
+            Outcome::ReconfigLeak => "reconfig-leak",
         }
     }
 }
@@ -119,6 +137,11 @@ pub struct CampaignConfig {
     pub scheduler: SchedulerKind,
     /// Faults per generated plan: 1..=max_faults, chosen per plan.
     pub max_faults: usize,
+    /// Include persistent-fault and domain-churn event kinds (stuck
+    /// bank, dead rank, thermal refresh, leave, join) in the generated
+    /// population. Off by default so legacy campaign seeds keep their
+    /// exact populations and classification tables.
+    pub churn: bool,
     /// Shrink failing plans to a 1-minimal fault set.
     pub shrink: bool,
     /// Collect per-domain observability metrics on every run; the
@@ -138,6 +161,7 @@ impl CampaignConfig {
             mix: WorkloadMix::rate(BenchProfile::mcf(), 4),
             scheduler: SchedulerKind::FsRankPartitioned,
             max_faults: 4,
+            churn: false,
             shrink: true,
             metrics: false,
         }
@@ -167,8 +191,10 @@ impl CampaignConfig {
 /// One random fault, drawn from ranges wide enough to cover silent
 /// drift (small delays), lost work (drops), retention hazards
 /// (stretched refresh), mis-certified silicon (perturbed timing) and
-/// bad input (corrupt traces).
-fn random_fault(rng: &mut SplitMix64, cores: u64) -> FaultKind {
+/// bad input (corrupt traces). With `churn` on, the persistent-fault
+/// and domain-churn kinds join the pool, their fire cycles drawn from
+/// the middle of the run so the reconfiguration actually adopts.
+fn random_fault(rng: &mut SplitMix64, cores: u64, cycles: u64, churn: bool) -> FaultKind {
     const FIELDS: [TimingField; 7] = [
         TimingField::TRc,
         TimingField::TRcd,
@@ -178,7 +204,8 @@ fn random_fault(rng: &mut SplitMix64, cores: u64) -> FaultKind {
         TimingField::TRfc,
         TimingField::TWtr,
     ];
-    match rng.below(5) {
+    let at = |rng: &mut SplitMix64| 200 + rng.below(cycles.saturating_sub(1_200).max(1));
+    match rng.below(if churn { 10 } else { 5 }) {
         0 => FaultKind::DelayCommand {
             period: 20 + rng.below(180),
             delay: 1 + rng.below(8),
@@ -190,10 +217,17 @@ fn random_fault(rng: &mut SplitMix64, cores: u64) -> FaultKind {
             field: FIELDS[rng.below(FIELDS.len() as u64) as usize],
             delta: rng.below(8) as i32 - 2,
         },
-        _ => FaultKind::CorruptTrace {
+        4 => FaultKind::CorruptTrace {
             core: rng.below(cores) as usize,
             period: (2 + rng.below(8)) as usize,
         },
+        5 => {
+            FaultKind::StuckBank { rank: rng.below(8) as u8, bank: rng.below(8) as u8, at: at(rng) }
+        }
+        6 => FaultKind::DeadRank { rank: rng.below(8) as u8, at: at(rng) },
+        7 => FaultKind::ThermalRefresh { factor: (2 + rng.below(3)) as u8, at: at(rng) },
+        8 => FaultKind::DomainLeave { domain: rng.below(cores) as u8, at: at(rng) },
+        _ => FaultKind::DomainJoin { domain: rng.below(cores) as u8, at: at(rng) },
     }
 }
 
@@ -206,15 +240,65 @@ pub fn generate_population(cfg: &CampaignConfig) -> Vec<FaultPlan> {
             let mut plan = FaultPlan::new(cfg.seed.wrapping_add(i as u64));
             let count = 1 + rng.below(cfg.max_faults.max(1) as u64);
             for _ in 0..count {
-                plan = plan.with(random_fault(&mut rng, cores));
+                plan = plan.with(random_fault(&mut rng, cores, cfg.cycles, cfg.churn));
             }
             plan
         })
         .collect()
 }
 
+/// Survivor non-interference check for a run whose plan scheduled
+/// reconfiguration events: every domain *not* touched by the events
+/// must end the run with core statistics and per-domain scheduling
+/// statistics bit-identical to the fault-free reference — the paper's
+/// isolation property carried across the epoch boundary.
+fn survivors_intact(
+    cfg: &CampaignConfig,
+    r: &RunResult,
+    reference: &RunResult,
+    events: &[(u64, ReconfigEvent)],
+) -> bool {
+    let cores = cfg.mix.cores() as u8;
+    let ranks = cfg.system_config().geometry.ranks_per_channel();
+    let policy = cfg.scheduler.partition_policy();
+    let mut touched = vec![false; cores as usize];
+    for (_, ev) in events {
+        match ev {
+            // A thermal alarm retimes refresh for *everyone* — identical
+            // across domains, but not identical to the no-event baseline,
+            // so no domain is held to bit-identity.
+            ReconfigEvent::ThermalRefresh { .. } => return true,
+            // A spatial fault under bank-striped or unpartitioned mapping
+            // touches every domain's address space: there is no survivor
+            // to hold to bit-identity.
+            ReconfigEvent::StuckBank { .. } | ReconfigEvent::DeadRank { .. }
+                if !matches!(policy, PartitionPolicy::Rank) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        if let Some(d) = ev.touched_domain(cores, ranks) {
+            if (d as usize) < touched.len() {
+                touched[d as usize] = true;
+            }
+        }
+    }
+    (0..cores as usize).filter(|&i| !touched[i]).all(|i| {
+        r.stats.cores[i] == reference.stats.cores[i]
+            && r.stats.mc.domains().get(i) == reference.stats.mc.domains().get(i)
+    })
+}
+
 /// Classifies one faulted result against the fault-free reference.
-pub fn classify(result: &Result<RunResult, FsmcError>, reference: &RunResult) -> Outcome {
+/// `plan` is the fault plan the run executed — reconfiguration outcomes
+/// depend on which domains its events touched.
+pub fn classify(
+    cfg: &CampaignConfig,
+    result: &Result<RunResult, FsmcError>,
+    reference: &RunResult,
+    plan: &FaultPlan,
+) -> Outcome {
     match result {
         Err(FsmcError::Watchdog(_)) => Outcome::Stall,
         Err(FsmcError::Timing(_)) | Err(FsmcError::Invariant(_)) => Outcome::Violation,
@@ -225,8 +309,20 @@ pub fn classify(result: &Result<RunResult, FsmcError>, reference: &RunResult) ->
             Outcome::GracefulDegrade
         }
         Ok(r) => {
+            let fired: Vec<_> =
+                plan.reconfig_events().into_iter().filter(|&(at, _)| at < cfg.cycles).collect();
             if r.stats.mc.degraded {
                 Outcome::GracefulDegrade
+            } else if !fired.is_empty() {
+                // Schedulers without a reconfiguration protocol (the
+                // FR-FCFS baseline, TP) still see the churn at the
+                // system level; their survivors legitimately diverge
+                // and the plan classifies as a reconfig leak.
+                if survivors_intact(cfg, r, reference, &fired) {
+                    Outcome::Reconfigured
+                } else {
+                    Outcome::ReconfigLeak
+                }
             } else if r.ipcs == reference.ipcs
                 && r.stats.reads_completed == reference.stats.reads_completed
             {
@@ -359,7 +455,7 @@ fn shrink_plan(
             let mut candidate = current.clone();
             candidate.faults.remove(i);
             let result = cfg.job(candidate.clone()).run_with(cache);
-            if classify(&result, reference) == outcome {
+            if classify(cfg, &result, reference, &candidate) == outcome {
                 current = candidate;
                 changed = true;
                 // Same index now names the next fault; don't advance.
@@ -384,7 +480,7 @@ pub fn run_campaign(engine: &Engine, cfg: &CampaignConfig) -> Result<CampaignRep
     let population = generate_population(cfg);
     let cases = engine.map(&population, |index, plan| {
         let result = cfg.job(plan.clone()).run_with(&cache);
-        let outcome = classify(&result, &reference);
+        let outcome = classify(cfg, &result, &reference, plan);
         let error = result.as_ref().err().map(|e| e.to_string());
         let shrunk = (cfg.shrink && outcome.is_failure() && plan.faults.len() > 1)
             .then(|| shrink_plan(cfg, plan, outcome, &reference, &cache));
@@ -411,7 +507,7 @@ pub fn run_single(cfg: &CampaignConfig, plan: FaultPlan) -> Result<CaseReport, F
     let cache = TraceCache::new();
     let reference = cfg.job(FaultPlan::default()).run_with(&cache)?;
     let result = cfg.job(plan.clone()).run_with(&cache);
-    let outcome = classify(&result, &reference);
+    let outcome = classify(cfg, &result, &reference, &plan);
     let error = result.as_ref().err().map(|e| e.to_string());
     let shrunk = (cfg.shrink && outcome.is_failure() && plan.faults.len() > 1)
         .then(|| shrink_plan(cfg, &plan, outcome, &reference, &cache));
@@ -467,6 +563,36 @@ mod tests {
         assert!(case.outcome.is_failure(), "outcome {}", case.outcome);
         let min = case.minimal_plan();
         assert_eq!(min.faults, vec![lethal], "shrunk to {}", min.spec());
+    }
+
+    #[test]
+    fn churn_population_is_deterministic_and_adds_reconfig_kinds() {
+        let mut cfg = CampaignConfig::new(7);
+        cfg.churn = true;
+        let a = generate_population(&cfg);
+        let b = generate_population(&cfg);
+        assert_eq!(a, b);
+        // The widened draw space must actually surface reconfiguration
+        // events somewhere in a 16-plan population.
+        assert!(
+            a.iter().any(|p| !p.reconfig_events().is_empty()),
+            "no churn kinds drawn across {} plans",
+            a.len()
+        );
+        // The legacy (churn-off) population is untouched by the flag's
+        // existence: same seed, same plans as before.
+        let legacy = generate_population(&CampaignConfig::new(7));
+        assert!(legacy.iter().all(|p| p.reconfig_events().is_empty()));
+    }
+
+    #[test]
+    fn pure_reconfig_churn_classifies_as_reconfigured_under_fs() {
+        let mut cfg = CampaignConfig::new(3);
+        cfg.population = 0;
+        cfg.cycles = 6_000;
+        let plan = FaultPlan::new(5).with(FaultKind::DomainLeave { domain: 1, at: 2_000 });
+        let case = run_single(&cfg, plan).expect("reference run is clean");
+        assert_eq!(case.outcome, Outcome::Reconfigured, "error: {:?}", case.error);
     }
 
     #[test]

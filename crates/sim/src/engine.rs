@@ -149,12 +149,18 @@ impl ExperimentJob {
         if self.metrics {
             sys.enable_metrics();
         }
-        if !self.faults.faults.is_empty() {
+        if !self.faults.faults.is_empty() && !self.faults.is_pure_reconfig() {
             // Injected faults deliberately violate the controllers'
             // `next_event` contract (delayed commands, stretched
             // refresh, perturbed timing), so faulted jobs always run
             // per-cycle; the fast path is for clean measurement runs.
+            // Pure-reconfiguration plans keep it: the reconfig protocol
+            // runs inside `System::step`, and skips clamp at the next
+            // queued event / adoption cycle.
             sys.disable_fastpath();
+        }
+        for (at, ev) in self.faults.reconfig_events() {
+            sys.schedule_reconfig(at, ev);
         }
         if let Some(spec) = self.faults.cmd_fault_spec() {
             sys.controller_mut().inject_command_faults(spec);

@@ -78,6 +78,13 @@ pub struct WatchdogReport {
     pub oldest: TxnId,
     /// Total outstanding demand reads.
     pub outstanding: usize,
+    /// The controller's reconfiguration epoch when the watchdog fired
+    /// (0 if the topology never changed).
+    pub epoch: u64,
+    /// When a reconfiguration was quiescing toward its boundary, the
+    /// adoption cycle it was waiting for — a hang *during quiesce* is
+    /// thereby distinguishable from an ordinary scheduler stall.
+    pub reconfig_pending_at: Option<u64>,
     /// The fault plan active during the run, when one was injected.
     pub provenance: Option<FaultProvenance>,
 }
@@ -87,15 +94,20 @@ impl fmt::Display for WatchdogReport {
         write!(
             f,
             "watchdog: no read retired for {} cycles (now {}); oldest txn {:?} of domain {} \
-             (rank {}, bank {}), {} outstanding",
+             (rank {}, bank {}), {} outstanding; epoch {}",
             self.stalled_for,
             self.cycle,
             self.oldest,
             self.domain,
             self.rank,
             self.bank,
-            self.outstanding
+            self.outstanding,
+            self.epoch
         )?;
+        match self.reconfig_pending_at {
+            Some(at) => write!(f, ", reconfiguration quiescing toward cycle {at}")?,
+            None => write!(f, ", no reconfiguration pending")?,
+        }
         if let Some(p) = &self.provenance {
             write!(f, "; {p}")?;
         }
@@ -274,10 +286,32 @@ mod tests {
             bank: 0,
             oldest: TxnId(17),
             outstanding: 9,
+            epoch: 0,
+            reconfig_pending_at: None,
             provenance: None,
         });
         let msg = wd.to_string();
         assert!(msg.contains("domain 3") && msg.contains("20001 cycles"), "{msg}");
+        assert!(msg.contains("epoch 0") && msg.contains("no reconfiguration pending"), "{msg}");
+        // A hang during quiesce names the boundary it was waiting for.
+        let quiesce = FsmcError::Watchdog(WatchdogReport {
+            cycle: 50_000,
+            stalled_for: 20_001,
+            domain: 3,
+            rank: 3,
+            bank: 0,
+            oldest: TxnId(17),
+            outstanding: 9,
+            epoch: 2,
+            reconfig_pending_at: Some(50_400),
+            provenance: None,
+        })
+        .to_string();
+        assert!(
+            quiesce.contains("epoch 2")
+                && quiesce.contains("reconfiguration quiescing toward cycle 50400"),
+            "{quiesce}"
+        );
     }
 
     #[test]
@@ -292,6 +326,8 @@ mod tests {
             bank: 0,
             oldest: TxnId(0),
             outstanding: 1,
+            epoch: 0,
+            reconfig_pending_at: None,
             provenance: None,
         })
         .with_provenance(&plan);
@@ -309,6 +345,8 @@ mod tests {
             bank: 0,
             oldest: TxnId(0),
             outstanding: 1,
+            epoch: 0,
+            reconfig_pending_at: None,
             provenance: None,
         })
         .with_provenance(&FaultPlan::new(5));

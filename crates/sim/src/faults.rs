@@ -17,9 +17,14 @@
 //!   controller's command-fault injector ([`CmdFaultSpec`]).
 //! * [`FaultKind::CorruptTrace`] mangles trace records, exercising the
 //!   typed trace-error path.
+//! * The *persistent* kinds ([`FaultKind::StuckBank`],
+//!   [`FaultKind::DeadRank`], [`FaultKind::ThermalRefresh`]) and the churn
+//!   events ([`FaultKind::DomainLeave`], [`FaultKind::DomainJoin`]) fire
+//!   once at a scheduled cycle and trigger the epoch-based
+//!   reconfiguration protocol instead of the transient injectors.
 
-use fsmc_core::sched::CmdFaultSpec;
-use fsmc_dram::TimingParams;
+use fsmc_core::sched::{CmdFaultSpec, ReconfigEvent};
+use fsmc_dram::{Cycle, TimingParams};
 
 /// A DRAM timing parameter a fault can perturb.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +99,40 @@ pub enum FaultKind {
     PerturbTiming { field: TimingField, delta: i32 },
     /// Corrupts every `period`-th record of `core`'s input trace.
     CorruptTrace { core: usize, period: usize },
+    /// At cycle `at`, bank `bank` of rank `rank` becomes permanently
+    /// unusable; the controller reconfigures to mask it and remap demand.
+    StuckBank { rank: u8, bank: u8, at: Cycle },
+    /// At cycle `at`, rank `rank` dies entirely; its tenant is detached
+    /// and the rank's slots become bubbles.
+    DeadRank { rank: u8, at: Cycle },
+    /// At cycle `at`, a thermal alarm multiplies the refresh rate by
+    /// `factor` (tREFI divided by `factor`) for the rest of the run.
+    ThermalRefresh { factor: u8, at: Cycle },
+    /// At cycle `at`, domain `domain`'s tenant leaves; its slots carry
+    /// dummies from the epoch boundary on.
+    DomainLeave { domain: u8, at: Cycle },
+    /// At cycle `at`, a tenant joins as domain `domain` (the core starts
+    /// the run detached and attaches at the epoch boundary).
+    DomainJoin { domain: u8, at: Cycle },
+}
+
+impl FaultKind {
+    /// The reconfiguration event this fault schedules, if it is one of
+    /// the persistent/churn kinds, as `(cycle, event)`.
+    pub fn reconfig_event(&self) -> Option<(Cycle, ReconfigEvent)> {
+        Some(match *self {
+            FaultKind::StuckBank { rank, bank, at } => {
+                (at, ReconfigEvent::StuckBank { rank, bank })
+            }
+            FaultKind::DeadRank { rank, at } => (at, ReconfigEvent::DeadRank { rank }),
+            FaultKind::ThermalRefresh { factor, at } => {
+                (at, ReconfigEvent::ThermalRefresh { factor })
+            }
+            FaultKind::DomainLeave { domain, at } => (at, ReconfigEvent::DomainLeave { domain }),
+            FaultKind::DomainJoin { domain, at } => (at, ReconfigEvent::DomainJoin { domain }),
+            _ => return None,
+        })
+    }
 }
 
 /// A deterministic, seedable set of faults for one run.
@@ -168,6 +207,20 @@ impl FaultPlan {
         })
     }
 
+    /// The reconfiguration events this plan schedules, sorted by cycle
+    /// (stable, so same-cycle events keep their plan order).
+    pub fn reconfig_events(&self) -> Vec<(Cycle, ReconfigEvent)> {
+        let mut events: Vec<_> = self.faults.iter().filter_map(FaultKind::reconfig_event).collect();
+        events.sort_by_key(|(at, _)| *at);
+        events
+    }
+
+    /// True if the plan consists solely of reconfiguration events (no
+    /// transient command/device/trace faults).
+    pub fn is_pure_reconfig(&self) -> bool {
+        !self.faults.is_empty() && self.faults.iter().all(|f| f.reconfig_event().is_some())
+    }
+
     /// Renders the fault list as a compact spec string — the repro format
     /// printed in error provenance and accepted by `fsmc chaos --faults`.
     ///
@@ -192,6 +245,15 @@ impl FaultPlan {
                 FaultKind::CorruptTrace { core, period } => {
                     format!("corrupt-trace({core},{period})")
                 }
+                FaultKind::StuckBank { rank, bank, at } => {
+                    format!("stuck-bank({rank},{bank},{at})")
+                }
+                FaultKind::DeadRank { rank, at } => format!("dead-rank({rank},{at})"),
+                FaultKind::ThermalRefresh { factor, at } => {
+                    format!("thermal-refresh({factor},{at})")
+                }
+                FaultKind::DomainLeave { domain, at } => format!("leave({domain},{at})"),
+                FaultKind::DomainJoin { domain, at } => format!("join({domain},{at})"),
             })
             .collect::<Vec<_>>()
             .join("+")
@@ -238,6 +300,15 @@ impl FaultPlan {
                 ("corrupt-trace", 2) => {
                     FaultKind::CorruptTrace { core: num(0)? as usize, period: num(1)? as usize }
                 }
+                ("stuck-bank", 3) => {
+                    FaultKind::StuckBank { rank: num(0)? as u8, bank: num(1)? as u8, at: num(2)? }
+                }
+                ("dead-rank", 2) => FaultKind::DeadRank { rank: num(0)? as u8, at: num(1)? },
+                ("thermal-refresh", 2) => {
+                    FaultKind::ThermalRefresh { factor: num(0)? as u8, at: num(1)? }
+                }
+                ("leave", 2) => FaultKind::DomainLeave { domain: num(0)? as u8, at: num(1)? },
+                ("join", 2) => FaultKind::DomainJoin { domain: num(0)? as u8, at: num(1)? },
                 _ => return Err(format!("unknown fault component {part:?}")),
             };
             plan = plan.with(fault);
@@ -330,6 +401,38 @@ mod tests {
         // The empty plan round-trips through "none".
         assert_eq!(FaultPlan::new(9).spec(), "none");
         assert_eq!(FaultPlan::parse_spec(9, "none").unwrap(), FaultPlan::new(9));
+    }
+
+    #[test]
+    fn reconfig_spec_round_trips_and_events_sort_by_cycle() {
+        let plan = FaultPlan::new(3)
+            .with(FaultKind::DomainJoin { domain: 5, at: 900 })
+            .with(FaultKind::StuckBank { rank: 1, bank: 4, at: 2_000 })
+            .with(FaultKind::DeadRank { rank: 2, at: 500 })
+            .with(FaultKind::ThermalRefresh { factor: 2, at: 1_500 })
+            .with(FaultKind::DomainLeave { domain: 3, at: 500 });
+        let spec = plan.spec();
+        assert_eq!(
+            spec,
+            "join(5,900)+stuck-bank(1,4,2000)+dead-rank(2,500)+thermal-refresh(2,1500)+leave(3,500)"
+        );
+        assert_eq!(FaultPlan::parse_spec(3, &spec).unwrap(), plan);
+        assert!(plan.is_pure_reconfig());
+        assert!(!plan
+            .clone()
+            .with(FaultKind::DropCommand { period: 9, max: 1 })
+            .is_pure_reconfig());
+        // Events come out cycle-sorted, same-cycle events in plan order.
+        let cycles: Vec<u64> = plan.reconfig_events().iter().map(|(at, _)| *at).collect();
+        assert_eq!(cycles, vec![500, 500, 900, 1_500, 2_000]);
+        use fsmc_core::sched::ReconfigEvent as E;
+        assert_eq!(plan.reconfig_events()[0].1, E::DeadRank { rank: 2 });
+        assert_eq!(plan.reconfig_events()[1].1, E::DomainLeave { domain: 3 });
+        // Legacy kinds schedule nothing.
+        assert!(FaultPlan::new(0)
+            .with(FaultKind::StretchRefresh { factor: 4 })
+            .reconfig_events()
+            .is_empty());
     }
 
     #[test]

@@ -39,6 +39,11 @@ const POLL_PERIOD: Cycle = 64;
 pub struct InvariantMonitor {
     stream: StreamMonitor,
     cadence: Option<CadenceSpec>,
+    /// A cadence armed to take over at an epoch boundary: commands at or
+    /// past the cycle promote it into `cadence`, so the old schedule is
+    /// enforced strictly up to the boundary and the new one from it —
+    /// the transition window itself is never unchecked.
+    pending_cadence: Option<(Cycle, Option<CadenceSpec>)>,
     /// First breach, latched with the cycle it was observed.
     breach: Option<(Cycle, MonitorFinding)>,
     /// A rank breaching this many cycles without a REF is flagged. The
@@ -57,6 +62,7 @@ impl InvariantMonitor {
         InvariantMonitor {
             stream: StreamMonitor::new(cfg.geometry, cfg.timing),
             cadence,
+            pending_cadence: None,
             breach: None,
             refresh_deadline,
             ranks: cfg.geometry.ranks_per_channel(),
@@ -70,6 +76,17 @@ impl InvariantMonitor {
     /// judged against the new pipeline's anchors.
     pub fn set_cadence(&mut self, cadence: Option<CadenceSpec>) {
         self.cadence = cadence;
+        self.pending_cadence = None;
+    }
+
+    /// Arms `cadence` to take effect for commands issued at or after
+    /// `boundary` — the epoch-based reconfiguration handshake. Unlike
+    /// [`Self::set_cadence`] this never suspends checking: commands
+    /// before the boundary are still judged against the old cadence,
+    /// commands from the boundary on against the new one, covering the
+    /// exact transition window on both sides.
+    pub fn set_cadence_at(&mut self, cadence: Option<CadenceSpec>, boundary: Cycle) {
+        self.pending_cadence = Some((boundary, cadence));
     }
 
     /// Checks one issued command against the stream rules and the
@@ -77,6 +94,12 @@ impl InvariantMonitor {
     /// commands are still judged in context.
     pub fn observe(&mut self, tc: &TimedCommand) {
         self.commands_seen += 1;
+        if let Some((boundary, _)) = self.pending_cadence {
+            if tc.cycle >= boundary {
+                let (_, cadence) = self.pending_cadence.take().expect("just checked");
+                self.cadence = cadence;
+            }
+        }
         if let Some(spec) = &self.cadence {
             if let Err(invariant) = spec.check(tc) {
                 let detail = format!("{tc}");
@@ -194,6 +217,35 @@ mod tests {
         let (cycle, finding) = mon.take_breach().expect("drift must be flagged");
         assert_eq!(cycle, 703);
         assert!(finding.to_string().contains("off its slot phase"), "{finding}");
+    }
+
+    #[test]
+    fn boundary_cadence_checks_both_sides_of_the_transition() {
+        let spec = |pitch| CadenceSpec {
+            slot_pitch: pitch,
+            read_act_anchor: 0,
+            write_act_anchor: 6,
+            read_cas_anchor: 11,
+            write_cas_anchor: 17,
+            slot_owner_ranks: None,
+        };
+        let mut mon = InvariantMonitor::new(&cfg(), Some(spec(7)));
+        // Arm a different pitch from cycle 710 on.
+        mon.set_cadence_at(Some(spec(5)), 710);
+        // Before the boundary the *old* cadence is still enforced: 705
+        // is on-phase for pitch 5 (705 % 5 == 0) but off both pitch-7
+        // ACT phases (705 % 7 == 5, 699 % 7 == 6).
+        mon.observe(&act(1, 0, 1, 705));
+        let (cycle, finding) = mon.take_breach().expect("pre-boundary drift must be flagged");
+        assert_eq!(cycle, 705);
+        assert!(finding.to_string().contains("off its slot phase"), "{finding}");
+        // From the boundary on the *new* cadence judges: 710 is a
+        // multiple of 5 (on-phase) but 710 % 7 == 3 (off the old phase).
+        mon.observe(&act(0, 1, 1, 710));
+        assert!(mon.take_breach().is_none(), "on the new phase at the boundary");
+        mon.observe(&act(1, 1, 1, 714));
+        let (cycle, _) = mon.take_breach().expect("post-boundary drift must be flagged");
+        assert_eq!(cycle, 714);
     }
 
     #[test]

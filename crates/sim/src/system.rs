@@ -9,7 +9,9 @@ use fsmc_core::error::ConfigError;
 use fsmc_core::sched::baseline::BaselineScheduler;
 use fsmc_core::sched::fs::{FsScheduler, FsVariant};
 use fsmc_core::sched::tp::TpScheduler;
-use fsmc_core::sched::{Completion, MemoryController, SchedEvent, SchedulerKind, SlotGrantKind};
+use fsmc_core::sched::{
+    Completion, MemoryController, ReconfigEvent, SchedEvent, SchedulerKind, SlotGrantKind,
+};
 use fsmc_core::txn::{Transaction, TxnId, TxnKind};
 use fsmc_cpu::trace::TraceSource;
 use fsmc_cpu::{CoreIdle, MshrFile, MshrOutcome, OooCore, PrefetchBuffer, SubmitResult};
@@ -48,6 +50,21 @@ impl Ord for PendingDelivery {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.finish, self.seq).cmp(&(other.finish, other.seq))
     }
+}
+
+/// A reconfiguration waiting for its drained epoch boundary.
+///
+/// Between `requested_at` and `adopt_at` the old schedule keeps running
+/// unchanged (the quiesce window); at `adopt_at` — an interval-start
+/// decision cycle chosen by [`MemoryController::reconfig_boundary`] — the
+/// accumulated events are applied atomically: churned cores detach or
+/// attach, the controller re-solves and re-certifies, the monitor arms
+/// the new cadence from exactly that cycle.
+#[derive(Debug, Clone)]
+struct PendingReconfig {
+    requested_at: u64,
+    adopt_at: u64,
+    events: Vec<ReconfigEvent>,
 }
 
 /// A complete simulated machine: one memory channel and its cores.
@@ -143,6 +160,20 @@ pub struct System {
     obs_cmd_buf: Vec<ObsCommand>,
     /// Reusable drain buffer for scheduler slot/degradation events.
     obs_sched_buf: Vec<SchedEvent>,
+    /// Is core `i` an active tenant? Distinct from the per-step
+    /// `core_active` scratch: a detached core (left, killed by a dead
+    /// rank, or not yet joined) is bulk-charged as stalled every cycle
+    /// and never vetoes a skip, while its domain's slots carry dummies.
+    attached: Vec<bool>,
+    /// Scheduled reconfiguration events, sorted by fire cycle (stable
+    /// for same-cycle events). [`System::step`] promotes due events into
+    /// `pending_reconfig`.
+    reconfig_queue: Vec<(u64, ReconfigEvent)>,
+    /// The reconfiguration currently quiescing toward its boundary.
+    pending_reconfig: Option<PendingReconfig>,
+    /// A re-certification failure at adoption, surfaced by the next
+    /// health check as a typed error.
+    reconfig_error: Option<FsmcError>,
 }
 
 impl std::fmt::Debug for System {
@@ -312,6 +343,10 @@ impl System {
             obs_metrics: None,
             obs_cmd_buf: Vec::new(),
             obs_sched_buf: Vec::new(),
+            attached: vec![true; cfg.cores as usize],
+            reconfig_queue: Vec::new(),
+            pending_reconfig: None,
+            reconfig_error: None,
         };
         if cfg.collect_metrics {
             sys.enable_metrics();
@@ -382,6 +417,124 @@ impl System {
     /// Whether event-driven time skipping is still armed.
     pub fn fastpath_enabled(&self) -> bool {
         self.fastpath
+    }
+
+    /// Schedules a reconfiguration event to fire at DRAM cycle `at`.
+    ///
+    /// The event does not take effect at `at`: it is promoted into a
+    /// pending reconfiguration whose adoption waits for the controller's
+    /// next drained epoch boundary ([`MemoryController::reconfig_boundary`]),
+    /// so the slot cadence is never disturbed mid-interval. A
+    /// [`ReconfigEvent::DomainJoin`] detaches its core *now* — the tenant
+    /// does not exist until the boundary at which it joins.
+    pub fn schedule_reconfig(&mut self, at: u64, event: ReconfigEvent) {
+        if let ReconfigEvent::DomainJoin { domain } = event {
+            self.detach_core(domain as usize);
+        }
+        let pos = self
+            .reconfig_queue
+            .iter()
+            .position(|&(a, _)| a > at)
+            .unwrap_or(self.reconfig_queue.len());
+        self.reconfig_queue.insert(pos, (at, event));
+    }
+
+    /// The adoption cycle of the in-flight reconfiguration, if one is
+    /// quiescing toward its boundary.
+    pub fn reconfig_pending_at(&self) -> Option<u64> {
+        self.pending_reconfig.as_ref().map(|p| p.adopt_at)
+    }
+
+    /// Whether core `i` is currently an attached tenant.
+    pub fn is_attached(&self, core: usize) -> bool {
+        self.attached.get(core).copied().unwrap_or(false)
+    }
+
+    /// Detaches a tenant: its outstanding reads are forgotten (late
+    /// deliveries are discarded) and from now on it is bulk-charged as
+    /// stalled. Controller-side queue drops happen in
+    /// [`MemoryController::reconfigure`].
+    fn detach_core(&mut self, i: usize) {
+        if i >= self.attached.len() || !self.attached[i] {
+            return;
+        }
+        self.attached[i] = false;
+        self.txn_meta.retain(|&(_, core, _)| core as usize != i);
+    }
+
+    /// Promotes due events into the pending reconfiguration and adopts
+    /// it once the boundary arrives. Runs at the top of [`System::step`],
+    /// so adoption lands *before* the boundary cycle's controller tick.
+    fn process_reconfig(&mut self, c: u64) {
+        while let Some(&(at, ev)) = self.reconfig_queue.first() {
+            if at > c {
+                break;
+            }
+            self.reconfig_queue.remove(0);
+            let boundary = self.mc.reconfig_boundary(c);
+            match &mut self.pending_reconfig {
+                Some(p) => {
+                    // Events landing mid-quiesce join the pending epoch
+                    // switch; the boundary only ever moves later, so
+                    // every merged event still gets its full margin.
+                    p.adopt_at = p.adopt_at.max(boundary);
+                    p.events.push(ev);
+                }
+                None => {
+                    self.pending_reconfig = Some(PendingReconfig {
+                        requested_at: c,
+                        adopt_at: boundary,
+                        events: vec![ev],
+                    });
+                }
+            }
+        }
+        if self.pending_reconfig.as_ref().is_some_and(|p| c >= p.adopt_at) {
+            self.adopt_reconfig(c);
+        }
+    }
+
+    /// Atomically adopts the pending reconfiguration at its boundary:
+    /// churned cores detach/attach, the controller re-solves and
+    /// re-certifies for the degraded topology, and the monitor arms the
+    /// post-boundary cadence from exactly this cycle.
+    fn adopt_reconfig(&mut self, c: u64) {
+        let pending =
+            self.pending_reconfig.take().expect("adoption requires a pending reconfiguration");
+        debug_assert!(pending.requested_at <= c);
+        let (domains, ranks) = (self.attached.len() as u8, self.cfg.geometry.ranks_per_channel());
+        for ev in &pending.events {
+            match *ev {
+                ReconfigEvent::DomainLeave { domain } => self.detach_core(domain as usize),
+                ReconfigEvent::DomainJoin { domain } => {
+                    let i = domain as usize;
+                    if i < self.attached.len() {
+                        self.attached[i] = true;
+                    }
+                }
+                ReconfigEvent::DeadRank { .. } if matches!(self.policy, PartitionPolicy::Rank) => {
+                    // Under rank partitioning the dead rank's tenant has
+                    // nowhere left to live: force-detach it.
+                    if let Some(d) = ev.touched_domain(domains, ranks) {
+                        self.detach_core(d as usize);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Err(e) = self.mc.reconfigure(&pending.events, c) {
+            self.reconfig_error = Some(e.into());
+        }
+        if let Some(mon) = &mut self.monitor {
+            // Commands issued before the boundary are judged against the
+            // old cadence, commands from the boundary on against the new
+            // one — the transition window itself is fully covered.
+            mon.set_cadence_at(self.mc.cadence_spec(), c);
+        }
+        // The controller's event bound predates the reconfiguration:
+        // force a re-tick and a fresh scan.
+        self.mc_next_tick = c;
+        self.elide_armed = true;
     }
 
     /// Fast-path effectiveness telemetry: `(skipped, elided)` — DRAM
@@ -514,6 +667,7 @@ impl System {
                 TraceEvent::SlotGrant { cycle, slot, domain: domain.0, kind }
             }
             SchedEvent::Degraded { cycle } => TraceEvent::Degraded { cycle },
+            SchedEvent::Reconfigured { cycle, epoch } => TraceEvent::Reconfigured { cycle, epoch },
         }
     }
 
@@ -556,6 +710,11 @@ impl System {
     /// Advances one DRAM bus cycle (and the corresponding CPU cycles).
     pub fn step(&mut self) {
         let c = self.dram_cycle;
+        // 0. Reconfiguration protocol: promote due events, adopt at the
+        // boundary. A single branch on the common (no reconfig) path.
+        if !self.reconfig_queue.is_empty() || self.pending_reconfig.is_some() {
+            self.process_reconfig(c);
+        }
         // 1. Controller tick into the reusable buffer (no allocation).
         // On the fast path the call itself is elided while the
         // controller's own `next_event` bound proves it a no-op and no
@@ -622,12 +781,13 @@ impl System {
         let fastpath = self.fastpath;
         let mut all_stalled = true;
         for (i, core) in self.cores.iter_mut().enumerate() {
-            let stalled = fastpath
-                && match core.idle_until() {
-                    CoreIdle::Active => false,
-                    CoreIdle::BlockedOnMemory => true,
-                    CoreIdle::WakeAt(wake) => wake >= end_cpu,
-                };
+            let stalled = !self.attached[i]
+                || (fastpath
+                    && match core.idle_until() {
+                        CoreIdle::Active => false,
+                        CoreIdle::BlockedOnMemory => true,
+                        CoreIdle::WakeAt(wake) => wake >= end_cpu,
+                    });
             self.core_active[i] = !stalled;
             all_stalled &= stalled;
             if stalled {
@@ -686,11 +846,27 @@ impl System {
         let now = self.dram_cycle;
         debug_assert!(now > 0, "skip_ahead runs only after a step");
         let ratio = self.cfg.timing.cpu_ratio as u64;
-        // Cheapest veto first: a core doing real work next cycle, or
-        // waking before any skip could start, ends the attempt before
-        // the controller scan is even paid for.
         let mut target = limit;
-        for core in &self.cores {
+        // A skipped span must not cross a reconfiguration point: event
+        // promotion and boundary adoption happen in `step`, so both the
+        // jump and the batch-tick path stop exactly there.
+        if let Some(&(at, _)) = self.reconfig_queue.first() {
+            target = target.min(at);
+        }
+        if let Some(p) = &self.pending_reconfig {
+            target = target.min(p.adopt_at);
+        }
+        if target <= now {
+            return;
+        }
+        // Cheapest veto next: an attached core doing real work next
+        // cycle, or waking before any skip could start, ends the attempt
+        // before the controller scan is even paid for. Detached cores
+        // are bulk-charged like stalled ones and never veto.
+        for (i, core) in self.cores.iter().enumerate() {
+            if !self.attached[i] {
+                continue;
+            }
             match core.idle_until() {
                 CoreIdle::Active => return,
                 CoreIdle::BlockedOnMemory => {}
@@ -1048,6 +1224,9 @@ impl System {
     /// and [`System::try_run_profile`]: controller poisoning, monitor
     /// breaches, then starvation.
     fn health_check(&mut self) -> Result<(), FsmcError> {
+        if let Some(e) = self.reconfig_error.take() {
+            return Err(e);
+        }
         if let Some(violation) = self.mc.fault() {
             return Err(FsmcError::Timing(TimingFault {
                 scheduler: self.cfg.scheduler,
@@ -1087,6 +1266,8 @@ impl System {
             bank: loc.bank.0,
             oldest,
             outstanding: self.txn_meta.len(),
+            epoch: self.mc.epoch(),
+            reconfig_pending_at: self.reconfig_pending_at(),
             provenance: None,
         }
     }

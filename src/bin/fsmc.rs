@@ -86,15 +86,22 @@ USAGE:
                                       histogram columns as CSV
   fsmc attack [--scheduler KIND]      measure co-runner interference
   fsmc trace [--scheduler KIND] [--workload NAME] [--cycles N] [--cores N]
-             [--seed S] [--out FILE]
+             [--seed S] [--out FILE] [--faults 'SPEC']
                                       export a Chrome-trace-event command
                                       timeline (Perfetto / chrome://tracing)
-                                      with per-domain lanes, plus metrics
+                                      with per-domain lanes, plus metrics;
+                                      --faults takes reconfiguration events
+                                      only (leave/join/stuck-bank/dead-rank/
+                                      thermal-refresh) and marks adoptions
   fsmc chaos [--scheduler KIND] [--workload NAME] [--cycles N] [--cores N]
-             [--population N] [--seed S] [--run-seed S] [--metrics]
+             [--population N] [--seed S] [--run-seed S] [--metrics] [--churn]
              [--fault-seed S --faults 'SPEC']
                                       fault-injection campaign with shrinking;
-                                      with --faults, reproduce one case;
+                                      with --faults, reproduce one case
+                                      (FSMC_NO_FASTPATH applies identically
+                                      to repro and campaign modes);
+                                      --churn adds persistent faults and
+                                      domain join/leave to the fault pool;
                                       --metrics adds observability reports
   fsmc bench-throughput [--cycles N] [--seed S] [--out FILE]
              [--check BASELINE.json]
@@ -357,6 +364,7 @@ fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
     cfg.run_seed = get_u64(opts, "run-seed", 42)?;
     cfg.population = get_u64(opts, "population", 16)? as usize;
     cfg.metrics = get_flag(opts, "metrics");
+    cfg.churn = get_flag(opts, "churn");
     if let Some(spec) = opts.get("faults") {
         // Repro mode: classify exactly one explicit plan.
         let plan = FaultPlan::parse_spec(get_u64(opts, "fault-seed", 0)?, spec)?;
@@ -395,6 +403,17 @@ fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
     let out = opts.get("out").map(String::as_str).unwrap_or("results/trace.json");
     let cfg = SystemConfig::with_cores(kind, cores as u8);
     let mut sys = System::try_from_mix(&cfg, &mix, seed).map_err(|e| e.to_string())?;
+    if let Some(spec) = opts.get("faults") {
+        let plan = FaultPlan::parse_spec(get_u64(opts, "fault-seed", 0)?, spec)?;
+        if !plan.is_pure_reconfig() {
+            return Err("fsmc trace accepts only reconfiguration events in --faults \
+                 (stuck-bank/dead-rank/thermal-refresh/leave/join)"
+                .into());
+        }
+        for (at, ev) in plan.reconfig_events() {
+            sys.schedule_reconfig(at, ev);
+        }
+    }
     sys.enable_tracing();
     sys.enable_metrics();
     sys.try_run_cycles(cycles).map_err(|e| e.to_string())?;

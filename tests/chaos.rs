@@ -100,6 +100,39 @@ fn campaign_shrinks_failures_and_emits_parseable_repro_lines() {
 }
 
 #[test]
+fn churn_campaign_is_deterministic_and_repro_lines_round_trip() {
+    // With churn on, the fault pool adds persistent faults (stuck bank,
+    // dead rank, thermal refresh) and domain join/leave; the campaign
+    // must stay bit-identical at any thread count, actually exercise
+    // the reconfiguration outcomes, and every repro line — including
+    // the new event syntax — must parse back into the plan it names.
+    let mut cfg = small_campaign(K::FsRankPartitioned);
+    cfg.churn = true;
+    cfg.population = 10;
+    cfg.cycles = 6_000;
+    let serial = run_campaign(&Engine::with_threads(1), &cfg).expect("reference run");
+    let parallel = run_campaign(&Engine::with_threads(8), &cfg).expect("reference run");
+    assert_eq!(serial.render(), parallel.render());
+    assert!(
+        serial.count(Outcome::Reconfigured) + serial.count(Outcome::ReconfigLeak) > 0,
+        "churn pool never reconfigured:\n{}",
+        serial.render()
+    );
+    assert!(
+        serial.cases.iter().any(|c| !c.plan.reconfig_events().is_empty()),
+        "no plan drew a reconfiguration event"
+    );
+    for case in &serial.cases {
+        let min = case.minimal_plan();
+        let line = serial.repro_line(case);
+        let spec = line.split("--faults '").nth(1).and_then(|s| s.strip_suffix('\''));
+        let spec = spec.unwrap_or_else(|| panic!("no fault spec in {line:?}"));
+        let parsed = FaultPlan::parse_spec(min.seed, spec).expect("repro spec parses");
+        assert_eq!(&parsed, min, "repro round-trip for case {}", case.index);
+    }
+}
+
+#[test]
 fn graceful_degradation_is_the_common_response_to_faults() {
     // The designed behaviour under fault is absorption, not collapse: a
     // seeded population on the rank-partitioned FS pipeline must show
