@@ -118,12 +118,19 @@ impl RankHazardTracker {
 
     /// Would a CAS at `cas` violate tCCD or a read/write turnaround
     /// against the last committed CAS to this rank?
+    ///
+    /// Same-type spacing uses the conservative tCCD_L (equal to tCCD_S
+    /// on parts without bank groups): the solver guarantees tCCD_L at
+    /// every same-rank slot distance, and admitting a slot based on the
+    /// *bank group* a previous domain happened to hit would make one
+    /// domain's admission observable to another — exactly the leak FS
+    /// exists to prevent.
     fn cas_ok(&self, rank: RankId, cas: Cycle, is_write: bool, t: &TimingParams) -> bool {
         match self.last_cas[rank.0 as usize] {
             None => true,
             Some((prev, prev_write)) => {
                 let gap = match (prev_write, is_write) {
-                    (false, false) | (true, true) => t.t_ccd,
+                    (false, false) | (true, true) => t.t_ccd_l,
                     (false, true) => t.rd_to_wr_same_rank(),
                     (true, false) => t.wr_to_rd_same_rank(),
                 };
@@ -1076,7 +1083,7 @@ impl FsScheduler {
     /// the reconfiguration.
     fn recertify(&self) -> Result<(), ConfigError> {
         if let Some(r) = &self.reordered {
-            if !certify_reordered(r, &self.t, 3).certified() {
+            if !certify_reordered(r, &self.t, self.device.geometry(), 3).certified() {
                 return Err(ConfigError::new(
                     "reconfigured reordered-BP schedule failed Table-1 re-certification",
                 ));
@@ -1138,7 +1145,7 @@ impl FsScheduler {
                 }
             }
         }
-        if !certify_uniform(s, level, &self.t, span).certified() {
+        if !certify_uniform(s, level, &self.t, self.device.geometry(), span).certified() {
             return Err(ConfigError::new(
                 "degraded-topology schedule failed Table-1 re-certification",
             ));
@@ -1990,11 +1997,10 @@ mod tests {
     }
 
     #[test]
-    fn unsolvable_variant_falls_back_to_conservative_pipeline() {
-        // A huge tRC breaks triple alternation's distance-3 same-bank
-        // argument (3l >= tRC fails at the bank-partitioned pitch), but
-        // the conservative pipeline just widens its pitch past tRC.
-        // Construction must fall back, not fail.
+    fn stretched_trc_widens_triple_alternation_instead_of_falling_back() {
+        // A huge tRC used to break triple alternation's distance-3
+        // same-bank argument outright; the schedule now widens its own
+        // pitch to ceil(tRC / 3) = 67 and stays on the variant.
         let mut t = TimingParams::ddr3_1600();
         t.t_rc = 200;
         let mc = FsScheduler::try_new(
@@ -2005,11 +2011,31 @@ mod tests {
             false,
             EnergyOptions::default(),
         )
-        .expect("conservative fallback should solve for a stretched tRC");
-        assert!(mc.is_degraded());
-        assert_eq!(mc.stats().solver_fallbacks, 1);
-        assert!(mc.stats().degraded);
-        assert!(mc.schedule().unwrap().slot_pitch() >= 200);
+        .expect("widened triple alternation should solve for a stretched tRC");
+        assert!(!mc.is_degraded());
+        assert_eq!(mc.stats().solver_fallbacks, 0);
+        assert_eq!(mc.schedule().unwrap().slot_pitch(), 67);
+    }
+
+    #[test]
+    fn unsolvable_variant_tries_the_fallback_and_reports_the_error() {
+        // An absurd tRTRS pushes the rank-partitioned data pipeline past
+        // the solver's search bound. The conservative fallback assumes
+        // every turnaround at once — cross-rank included — so it cannot
+        // solve either; construction must surface a solve error, not
+        // panic or hand back an uncertified schedule.
+        let mut t = TimingParams::ddr3_1600();
+        t.t_rtrs = 600;
+        let e = FsScheduler::try_new(
+            Geometry::paper_default(),
+            t,
+            8,
+            FsVariant::RankPartitioned,
+            false,
+            EnergyOptions::default(),
+        )
+        .expect_err("no pipeline solves with a 600-cycle tRTRS");
+        assert!(matches!(e, CoreError::Solve(_)), "{e}");
     }
 
     #[test]

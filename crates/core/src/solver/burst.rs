@@ -76,7 +76,10 @@ fn feasible(t: &TimingParams, o: &SlotOffsets, n: u32, l_intra: u32, l_inter: u3
         // CAS-to-CAS same rank: worst direction pair.
         let wr_rd = t.wr_to_rd_same_rank() as i64 + o.write_cas - o.read_cas;
         let rd_wr = t.rd_to_wr_same_rank() as i64 + o.read_cas - o.write_cas;
-        let ccd = t.t_ccd as i64;
+        // Consecutive same-rank slots may land in one bank group, so the
+        // burst solver assumes the long spacing tCCD_L (== tCCD_S on
+        // parts without bank groups).
+        let ccd = t.t_ccd_l as i64;
         if gap < wr_rd.max(rd_wr).max(ccd) {
             return false;
         }

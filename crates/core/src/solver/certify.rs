@@ -68,30 +68,44 @@ fn two_transaction_case(
 ///
 /// ```
 /// use fsmc_core::solver::{certify_uniform, solve, Anchor, PartitionLevel, SlotSchedule};
-/// use fsmc_dram::TimingParams;
+/// use fsmc_dram::{Geometry, TimingParams};
 ///
 /// let t = TimingParams::ddr3_1600();
 /// let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
 /// let schedule = SlotSchedule::uniform(sol, 8);
-/// let report = certify_uniform(&schedule, PartitionLevel::Rank, &t, 2);
+/// let report = certify_uniform(&schedule, PartitionLevel::Rank, &t, &Geometry::paper_default(), 2);
 /// assert!(report.certified());
 /// ```
 ///
 /// * `Rank`: slots of different threads sit on different ranks; a
 ///   thread's own slots share its rank but use different banks (the
-///   scheduler's bank selection guarantees this).
+///   scheduler's bank selection guarantees this). On bank-grouped
+///   geometries those banks may share a bank group, so the worst case
+///   places them in one group (tCCD_L applies).
 /// * `Bank`: all slots may share one rank; a thread's own slots reuse
-///   its *own bank* (bank striping), others' banks differ.
+///   its *own bank* (bank striping), others' banks differ — the stripe
+///   wraps over `banks_per_rank`, so group collisions appear exactly as
+///   the scheduler can produce them.
 /// * `None`: any two slots may target the same bank of the same rank —
 ///   except under triple alternation, where slots of different bank
-///   groups provably differ and only same-group slots share a bank.
+///   classes provably differ and only same-class slots share a bank.
 pub fn certify_uniform(
     schedule: &SlotSchedule,
     level: PartitionLevel,
     t: &TimingParams,
+    geom: &Geometry,
     span_intervals: u64,
 ) -> CertifyReport {
-    let checker = TimingChecker::new(Geometry::paper_default(), *t);
+    let checker = TimingChecker::new(*geom, *t);
+    let banks_per_rank = geom.banks_per_rank();
+    // A thread's second bank on its own rank: the worst case shares the
+    // first bank's group when groups exist (bank `bank_groups` is the
+    // next bank of group 0), and is simply the next bank otherwise.
+    let same_group_other_bank = if geom.bank_groups() > 1 && geom.bank_groups() < banks_per_rank {
+        BankId(geom.bank_groups())
+    } else {
+        BankId(1 % banks_per_rank)
+    };
     let n = schedule.threads() as u64;
     let slots_per_span = match schedule.variant() {
         super::schedule::ScheduleVariant::Uniform => n,
@@ -109,15 +123,19 @@ pub fn certify_uniform(
                 PartitionLevel::Rank => {
                     let ri = RankId((i % n) as u8 % 8);
                     let rj = RankId((j % n) as u8 % 8);
-                    // Same thread: same rank, scheduler picks distinct banks.
-                    let (bi, bj) =
-                        if same_thread { (BankId(0), BankId(1)) } else { (BankId(0), BankId(0)) };
+                    // Same thread: same rank, scheduler picks distinct banks
+                    // — in the worst case from the same bank group.
+                    let (bi, bj) = if same_thread {
+                        (BankId(0), same_group_other_bank)
+                    } else {
+                        (BankId(0), BankId(0))
+                    };
                     (ri, rj, bi, bj, true)
                 }
                 PartitionLevel::Bank => {
                     // Everyone piles onto rank 0; banks are striped by thread.
-                    let bi = BankId((i % n) as u8 % 8);
-                    let bj = BankId((j % n) as u8 % 8);
+                    let bi = BankId((i % n) as u8 % banks_per_rank);
+                    let bj = BankId((j % n) as u8 % banks_per_rank);
                     (RankId(0), RankId(0), bi, bj, true)
                 }
                 PartitionLevel::None => match (pi.bank_class, pj.bank_class) {
@@ -164,9 +182,18 @@ pub fn certify_uniform(
 pub fn certify_reordered(
     schedule: &ReorderedBpSchedule,
     t: &TimingParams,
+    geom: &Geometry,
     span_intervals: u64,
 ) -> CertifyReport {
-    let checker = TimingChecker::new(Geometry::paper_default(), *t);
+    let checker = TimingChecker::new(*geom, *t);
+    // Distinct-bank worst case: on bank-grouped parts the two banks may
+    // share a group (tCCD_L applies); flat parts keep the original pair.
+    let distinct_other = if geom.bank_groups() > 1 && 1 + geom.bank_groups() < geom.banks_per_rank()
+    {
+        BankId(1 + geom.bank_groups())
+    } else {
+        BankId(2)
+    };
     let n = schedule.threads();
     let mut report = CertifyReport { cases: 0, violations: Vec::new() };
     // For every pair of intervals and read-counts, check every slot pair.
@@ -194,7 +221,7 @@ pub fn certify_reordered(
                             let (b1, b2) = if same_bank {
                                 (BankId(2), BankId(2))
                             } else {
-                                (BankId(1), BankId(2))
+                                (BankId(1), distinct_other)
                             };
                             two_transaction_case(
                                 &checker,
@@ -224,7 +251,7 @@ mod tests {
     fn rank_partitioned_schedule_certifies() {
         let sol = solve(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
         let s = SlotSchedule::uniform(sol, 8);
-        let r = certify_uniform(&s, PartitionLevel::Rank, &t(), 3);
+        let r = certify_uniform(&s, PartitionLevel::Rank, &t(), &Geometry::paper_default(), 3);
         assert!(r.certified(), "{:?}", r.violations.first());
         assert!(r.cases > 1000);
     }
@@ -234,23 +261,75 @@ mod tests {
         let sol =
             solve_for_threads(&t(), Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8).unwrap();
         let s = SlotSchedule::uniform(sol, 8);
-        let r = certify_uniform(&s, PartitionLevel::Bank, &t(), 3);
+        let r = certify_uniform(&s, PartitionLevel::Bank, &t(), &Geometry::paper_default(), 3);
         assert!(r.certified(), "{:?}", r.violations.first());
     }
 
     #[test]
     fn triple_alternation_schedule_certifies() {
         let s = SlotSchedule::triple_alternation(&t(), 8).unwrap();
-        let r = certify_uniform(&s, PartitionLevel::None, &t(), 2);
+        let r = certify_uniform(&s, PartitionLevel::None, &t(), &Geometry::paper_default(), 2);
         assert!(r.certified(), "{:?}", r.violations.first());
     }
 
     #[test]
     fn reordered_bp_schedule_certifies() {
         let s = ReorderedBpSchedule::new(&t(), 8);
-        let r = certify_reordered(&s, &t(), 2);
+        let r = certify_reordered(&s, &t(), &Geometry::paper_default(), 2);
         assert!(r.certified(), "{:?}", r.violations.first());
         assert!(r.cases > 4_000, "only {} cases", r.cases);
+    }
+
+    #[test]
+    fn every_device_profile_certifies_all_variants() {
+        use fsmc_dram::DeviceGeneration;
+        for g in DeviceGeneration::all() {
+            let p = g.profile();
+            let (t, geom) = (p.timing, p.geometry);
+            let sol = solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank)
+                .unwrap_or_else(|e| panic!("{g}: rank solve failed: {e}"));
+            let r =
+                certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Rank, &t, &geom, 2);
+            assert!(r.certified(), "{g} rank: {:?}", r.violations.first());
+            let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8)
+                .unwrap_or_else(|e| panic!("{g}: bank solve failed: {e}"));
+            let r =
+                certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Bank, &t, &geom, 2);
+            assert!(r.certified(), "{g} bank: {:?}", r.violations.first());
+            let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8)
+                .unwrap_or_else(|e| panic!("{g}: np solve failed: {e}"));
+            let r =
+                certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::None, &t, &geom, 2);
+            assert!(r.certified(), "{g} np: {:?}", r.violations.first());
+            let s = SlotSchedule::triple_alternation(&t, 8)
+                .unwrap_or_else(|e| panic!("{g}: triple alternation failed: {e}"));
+            let r = certify_uniform(&s, PartitionLevel::None, &t, &geom, 2);
+            assert!(r.certified(), "{g} ta: {:?}", r.violations.first());
+            let s = ReorderedBpSchedule::new(&t, 8);
+            let r = certify_reordered(&s, &t, &geom, 2);
+            assert!(r.certified(), "{g} reordered: {:?}", r.violations.first());
+        }
+    }
+
+    #[test]
+    fn ddr4_solver_pitch_respects_ccd_l_and_rejects_undersized() {
+        // The solver's same-rank constraint now uses tCCD_L, so every
+        // DDR4 pitch clears the long spacing; a hand-forced pitch of
+        // tCCD_S still fails certification on the DDR4 geometry.
+        use crate::solver::PipelineSolution;
+        use fsmc_dram::DeviceGeneration;
+        let p = DeviceGeneration::Ddr4_2400.profile();
+        let sol = solve(&p.timing, Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
+        assert!(
+            sol.l >= p.timing.t_ccd_l,
+            "solver pitch {} must respect tCCD_L {}",
+            sol.l,
+            p.timing.t_ccd_l
+        );
+        let bad = PipelineSolution { l: p.timing.t_ccd, ..sol };
+        let s = SlotSchedule::uniform(bad, 8);
+        let r = certify_uniform(&s, PartitionLevel::Rank, &p.timing, &p.geometry, 2);
+        assert!(!r.certified(), "pitch tCCD_S must not certify on DDR4");
     }
 
     #[test]
@@ -261,7 +340,7 @@ mod tests {
         let sol = solve(&t(), Anchor::FixedPeriodicData, PartitionLevel::Rank).unwrap();
         let bad = PipelineSolution { l: 6, ..sol };
         let s = SlotSchedule::uniform(bad, 8);
-        let r = certify_uniform(&s, PartitionLevel::Rank, &t(), 2);
+        let r = certify_uniform(&s, PartitionLevel::Rank, &t(), &Geometry::paper_default(), 2);
         assert!(!r.certified(), "l = 6 must not certify");
     }
 
@@ -270,7 +349,7 @@ mod tests {
         let sol =
             solve_for_threads(&t(), Anchor::FixedPeriodicRas, PartitionLevel::None, 8).unwrap();
         let s = SlotSchedule::uniform(sol, 8);
-        let r = certify_uniform(&s, PartitionLevel::None, &t(), 2);
+        let r = certify_uniform(&s, PartitionLevel::None, &t(), &Geometry::paper_default(), 2);
         assert!(r.certified(), "{:?}", r.violations.first());
     }
 }

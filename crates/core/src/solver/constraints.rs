@@ -143,11 +143,17 @@ pub fn build_constraints(
                     why: "tRRD (Eq. 2)",
                 });
             }
-            // CAS-to-CAS spacing, enumerated by direction pair.
+            // CAS-to-CAS spacing, enumerated by direction pair. Same-rank
+            // slots may land in one bank group, so the solver takes the
+            // long spacing tCCD_L as the worst case (equal to tCCD_S on
+            // parts without bank groups). The runtime hazard tracker uses
+            // the same conservative floor, so cross-domain slot admission
+            // never depends on which bank group a domain happened to hit —
+            // a prerequisite for the non-interference argument.
             cs.push(Constraint::MinGap {
                 slots_apart: s,
-                min: t.t_ccd as i64,
-                why: "tCCD same-type CAS",
+                min: t.t_ccd_l as i64,
+                why: "tCCD_L same-type CAS",
             });
             cs.push(Constraint::MinGap {
                 slots_apart: s,

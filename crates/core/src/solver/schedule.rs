@@ -68,27 +68,29 @@ impl SlotSchedule {
         SlotSchedule { solution, threads, variant: ScheduleVariant::Uniform, base }
     }
 
-    /// The triple-alternation schedule for no partitioning: bank-group
-    /// rotation lets slots sit only `l_bank = 15` cycles apart while
-    /// same-bank reuse stays `3 * l >= 45 >= 43` cycles apart.
+    /// The triple-alternation schedule for no partitioning: bank-class
+    /// rotation lets slots sit only `l_bank` cycles apart (15 on the
+    /// paper's DDR3 part) while same-bank reuse stays `3 * l` cycles
+    /// apart — at least the same-bank write turnaround and tRC.
+    ///
+    /// On generations whose write recovery is long relative to the bank
+    /// pitch (HBM2: turnaround 53 > 3 x 15) the pitch is widened to
+    /// `ceil(turnaround / 3)`; a uniform pitch increase only relaxes
+    /// every other pairwise constraint, so the bank-level solve stays
+    /// valid and the rotation guarantee holds on every profile.
     ///
     /// # Errors
     ///
     /// Propagates a [`SolveError`] if the bank-level pipeline cannot be
-    /// solved for these timing parameters, or if the timing parameters
-    /// break the `3 * l >= same-bank turnaround` guarantee that makes the
-    /// rotation safe.
+    /// solved for these timing parameters.
     pub fn triple_alternation(t: &TimingParams, threads: u8) -> Result<Self, SolveError> {
         assert!(threads > 0, "threads must be non-zero");
         let sol = solve(t, Anchor::FixedPeriodicRas, PartitionLevel::Bank)?;
         // Safety argument of Section 4.3: slots that may share a bank are
-        // at least 3 slots apart (same class appears every 3 slot groups).
-        if 3 * sol.l < t.same_bank_wr_turnaround().max(t.t_rc) {
-            return Err(SolveError {
-                anchor: Anchor::FixedPeriodicRas,
-                level: PartitionLevel::None,
-            });
-        }
+        // at least 3 slots apart (same class appears every 3 slot groups),
+        // so 3 * l must cover the same-bank turnaround.
+        let need = t.same_bank_wr_turnaround().max(t.t_rc);
+        let sol = PipelineSolution { l: sol.l.max(need.div_ceil(3)), ..sol };
         let base = (-sol.offsets.min_offset()).max(0) as Cycle;
         Ok(SlotSchedule {
             solution: PipelineSolution { level: PartitionLevel::None, ..sol },
@@ -168,9 +170,11 @@ impl SlotSchedule {
 
 /// The reordered bank-partitioned schedule (Section 4.2): within each
 /// `Q`-cycle interval all reads go first, then all writes, with data
-/// transfers every `tBURST + tRTRS = 6` cycles and one write-to-read tail
-/// gap before the next interval. Read results are released *en masse* at
-/// interval end so co-runners' read/write ratios stay hidden.
+/// transfers every `data_pitch` cycles (`tBURST + tRTRS = 6` on the
+/// paper's DDR3-1600, wider on parts where tRRD/tFAW/tCCD_L dominate)
+/// and one write-to-read tail gap before the next interval. Read results
+/// are released *en masse* at interval end so co-runners' read/write
+/// ratios stay hidden.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReorderedBpSchedule {
     threads: u8,
@@ -192,14 +196,38 @@ impl ReorderedBpSchedule {
     pub fn new(t: &TimingParams, threads: u8) -> Self {
         assert!(threads > 0, "threads must be non-zero");
         let offsets = SlotOffsets::for_anchor(Anchor::FixedPeriodicData, t);
-        let data_pitch = t.t_burst + t.t_rtrs;
+        let o = &offsets;
+        // (ACT, CAS, data) offsets per direction. Within an interval reads
+        // are ordered before writes, so consecutive slots only ever pair as
+        // read-read, read-write, or write-write; write-then-read occurs
+        // solely across the interval boundary and is covered by the tail.
+        let r = (o.read_act, o.read_cas, o.read_data);
+        let w = (o.write_act, o.write_cas, o.write_data);
+        let mut pitch = 0i64;
+        for (prev, next) in [(r, r), (r, w), (w, w)] {
+            // Data bus: no overlap, plus the cross-rank tRTRS switch gap
+            // (bank partitioning lets neighbouring slots share a rank or
+            // not, so both the same-rank and cross-rank rules apply).
+            pitch = pitch.max(t.t_burst as i64 + t.t_rtrs as i64 + prev.2 - next.2);
+            // tRRD between activates of same-rank neighbouring slots.
+            pitch = pitch.max(t.t_rrd as i64 + prev.0 - next.0);
+            // tFAW across any four consecutive same-rank activates.
+            pitch = pitch.max((t.t_faw as i64 + prev.0 - next.0 + 3) / 4);
+        }
+        // Same-type CAS spacing: neighbouring slots may land in one bank
+        // group, so the long spacing applies (== tCCD_S on ungrouped
+        // parts).
+        pitch = pitch.max(t.t_ccd_l as i64);
+        // Read-to-write CAS turnaround at the in-interval direction switch.
+        pitch = pitch.max(t.rd_to_wr_same_rank() as i64 + o.read_cas - o.write_cas);
+        let data_pitch = pitch as u32;
         // The write-to-read CAS turnaround must hold from the last write
-        // CAS of interval k (data at Q - tail - data_pitch, CAS 5 earlier)
-        // to the first read CAS of interval k+1 (data at Q, CAS 11
-        // earlier): gap = tail + data_pitch - 6 >= wr2rd = 15, so with
-        // data_pitch = 6 the tail is exactly wr2rd. Q = 6n + 15 = 63 for
-        // the paper's 8-thread system.
-        let tail = t.wr_to_rd_same_rank();
+        // CAS of interval k (data at Q - tail - data_pitch) to the first
+        // read CAS of interval k+1 (data at Q): the CAS gap is
+        // tail + data_pitch + read_cas - write_cas >= wr2rd. On DDR3-1600
+        // the offset shift cancels the pitch exactly, so tail = wr2rd = 15
+        // and Q = 6n + 15 = 63 for the paper's 8-thread system.
+        let tail = (t.wr_to_rd_same_rank() as i64 + o.write_cas - o.read_cas - pitch).max(0) as u32;
         let base = (-offsets.min_offset()).max(0) as Cycle;
         ReorderedBpSchedule { threads, offsets, data_pitch, tail, base }
     }

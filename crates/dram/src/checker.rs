@@ -345,11 +345,18 @@ impl TimingChecker {
         }
     }
 
-    /// Rules: same-rank CAS-to-CAS spacing — tCCD for same-type pairs, the
-    /// read-to-write and write-to-read turnarounds otherwise. Cross-rank
-    /// spacing is covered by the data-bus rule.
+    /// Rules: same-rank CAS-to-CAS spacing — tCCD (tCCD_S) for same-type
+    /// pairs, the read-to-write and write-to-read turnarounds otherwise,
+    /// and — on bank-grouped parts — tCCD_L for same-type pairs landing
+    /// in the same bank group. Cross-rank spacing is covered by the
+    /// data-bus rule.
     fn check_cas_turnarounds(&self, cmds: &[TimedCommand], out: &mut Vec<Violation>) {
         let mut last_cas: HashMap<RankId, TimedCommand> = HashMap::new();
+        // Last same-type CAS per (rank, bank group, direction); only
+        // consulted on parts that actually have bank groups so flat
+        // (DDR3/LPDDR4) streams keep identical violation lists.
+        let mut last_group_cas: HashMap<(RankId, u8, bool), TimedCommand> = HashMap::new();
+        let grouped = self.geom.bank_groups() > 1;
         for tc in cmds.iter().filter(|tc| tc.cmd.kind.is_cas()) {
             if let Some(prev) = last_cas.get(&tc.cmd.rank) {
                 let (min_gap, name): (u32, &'static str) =
@@ -368,6 +375,21 @@ impl TimingChecker {
                 }
             }
             last_cas.insert(tc.cmd.rank, *tc);
+            if grouped {
+                let is_read = tc.cmd.kind.is_read();
+                let key = (tc.cmd.rank, self.geom.bank_group_of(tc.cmd.bank), is_read);
+                if let Some(prev) = last_group_cas.get(&key) {
+                    if tc.cycle < prev.cycle + self.t.t_ccd_l as Cycle {
+                        out.push(Violation::too_early(
+                            tc.cmd,
+                            tc.cycle,
+                            prev.cycle + self.t.t_ccd_l as Cycle,
+                            "tCCD_L same bank group",
+                        ));
+                    }
+                }
+                last_group_cas.insert(key, *tc);
+            }
         }
     }
 
@@ -523,6 +545,44 @@ mod tests {
         ];
         let vs = checker().check(&cmds);
         assert!(vs.iter().any(|v| v.constraint == "tWTR write-to-read"));
+    }
+
+    #[test]
+    fn same_group_cas_pair_needs_ccd_l() {
+        // DDR4 geometry: banks 0 and 4 share group 0; bank 1 is group 1.
+        let ddr4 = TimingChecker::new(
+            Geometry::with_bank_groups(1, 8, 16, 4, 32768, 128),
+            TimingParams::ddr4_2400(),
+        );
+        let t = TimingParams::ddr4_2400();
+        let base = [
+            tc(Command::activate(RankId(0), BankId(0), RowId(5)), 0),
+            tc(Command::activate(RankId(0), BankId(4), RowId(5)), t.t_rrd as Cycle),
+            tc(Command::activate(RankId(0), BankId(1), RowId(5)), 2 * t.t_rrd as Cycle),
+        ];
+        let rd0 = tc(Command::read_ap(RankId(0), BankId(0), RowId(5), ColId(0)), 60);
+        // Same group at tCCD_S: flagged as a tCCD_L violation.
+        let same =
+            tc(Command::read_ap(RankId(0), BankId(4), RowId(5), ColId(0)), 60 + t.t_ccd as Cycle);
+        let mut cmds: Vec<TimedCommand> = base.to_vec();
+        cmds.push(rd0);
+        cmds.push(same);
+        let vs = ddr4.check(&cmds);
+        assert!(vs.iter().any(|v| v.constraint == "tCCD_L same bank group"), "{vs:?}");
+        // Different group at tCCD_S: legal.
+        let other =
+            tc(Command::read_ap(RankId(0), BankId(1), RowId(5), ColId(0)), 60 + t.t_ccd as Cycle);
+        let mut cmds_ok: Vec<TimedCommand> = base.to_vec();
+        cmds_ok.push(rd0);
+        cmds_ok.push(other);
+        assert!(ddr4.verify(&cmds_ok).is_ok(), "{:?}", ddr4.check(&cmds_ok));
+        // Same group at tCCD_L: legal.
+        let same_ok =
+            tc(Command::read_ap(RankId(0), BankId(4), RowId(5), ColId(0)), 60 + t.t_ccd_l as Cycle);
+        let mut cmds_ok2: Vec<TimedCommand> = base.to_vec();
+        cmds_ok2.push(rd0);
+        cmds_ok2.push(same_ok);
+        assert!(ddr4.verify(&cmds_ok2).is_ok(), "{:?}", ddr4.check(&cmds_ok2));
     }
 
     #[test]

@@ -56,8 +56,9 @@ pub struct DramDevice {
 impl DramDevice {
     /// A fresh device for one channel of `geom`.
     pub fn new(geom: Geometry, t: TimingParams) -> Self {
-        let ranks =
-            (0..geom.ranks_per_channel()).map(|_| RankState::new(geom.banks_per_rank())).collect();
+        let ranks = (0..geom.ranks_per_channel())
+            .map(|_| RankState::with_bank_groups(geom.banks_per_rank(), geom.bank_groups()))
+            .collect();
         DramDevice {
             geom,
             t,
@@ -388,7 +389,13 @@ impl DramDevice {
                 if mask == 0 {
                     continue;
                 }
-                let best = min_over(mask, &|b| rank.bank(b).next_cas_at());
+                // Per-bank CAS readiness must fold in the bank group's
+                // tCCD_L floor, or grouped parts (DDR4/HBM) would report
+                // a bound below the first legal cycle and the fast path
+                // would diverge from per-cycle stepping.
+                let best = min_over(mask, &|b| {
+                    rank.bank(b).next_cas_at().max(rank.cas_group_floor(b, is_read))
+                });
                 let turn = if is_read { next_read } else { next_write };
                 let at = quiet.max(turn).max(best).max(from);
                 if at != Cycle::MAX {

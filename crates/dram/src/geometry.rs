@@ -86,13 +86,18 @@ pub struct Geometry {
     channels: u8,
     ranks_per_channel: u8,
     banks_per_rank: u8,
+    /// Bank groups per rank; 1 for generations without bank groups
+    /// (DDR3, LPDDR4). Bank `b` belongs to group `b % bank_groups`, so
+    /// consecutive bank ids interleave across groups — the arrangement
+    /// DDR4 controllers exploit to stay on the short tCCD_S spacing.
+    bank_groups: u8,
     rows_per_bank: u32,
     cols_per_row: u16,
 }
 
 impl Geometry {
-    /// Creates a geometry, validating that every dimension is a non-zero
-    /// power of two.
+    /// Creates a geometry without bank groups, validating that every
+    /// dimension is a non-zero power of two.
     ///
     /// # Panics
     ///
@@ -104,15 +109,53 @@ impl Geometry {
         rows_per_bank: u32,
         cols_per_row: u16,
     ) -> Self {
+        Geometry::with_bank_groups(
+            channels,
+            ranks_per_channel,
+            banks_per_rank,
+            1,
+            rows_per_bank,
+            cols_per_row,
+        )
+    }
+
+    /// Creates a geometry with `bank_groups` bank groups per rank
+    /// (DDR4/HBM). `bank_groups` must be a power of two no larger than
+    /// `banks_per_rank`; pass 1 for generations without bank groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, not a power of two, or
+    /// `bank_groups > banks_per_rank`.
+    pub fn with_bank_groups(
+        channels: u8,
+        ranks_per_channel: u8,
+        banks_per_rank: u8,
+        bank_groups: u8,
+        rows_per_bank: u32,
+        cols_per_row: u16,
+    ) -> Self {
         fn check(v: u64, name: &str) {
             assert!(v > 0 && v.is_power_of_two(), "{name} must be a power of two, got {v}");
         }
         check(channels as u64, "channels");
         check(ranks_per_channel as u64, "ranks_per_channel");
         check(banks_per_rank as u64, "banks_per_rank");
+        check(bank_groups as u64, "bank_groups");
         check(rows_per_bank as u64, "rows_per_bank");
         check(cols_per_row as u64, "cols_per_row");
-        Geometry { channels, ranks_per_channel, banks_per_rank, rows_per_bank, cols_per_row }
+        assert!(
+            bank_groups <= banks_per_rank,
+            "bank_groups ({bank_groups}) must not exceed banks_per_rank ({banks_per_rank})"
+        );
+        Geometry {
+            channels,
+            ranks_per_channel,
+            banks_per_rank,
+            bank_groups,
+            rows_per_bank,
+            cols_per_row,
+        }
     }
 
     /// The single-channel configuration used for most experiments in the
@@ -143,6 +186,15 @@ impl Geometry {
     }
     pub fn banks_per_rank(&self) -> u8 {
         self.banks_per_rank
+    }
+    /// Bank groups per rank (1 when the generation has none).
+    pub fn bank_groups(&self) -> u8 {
+        self.bank_groups
+    }
+    /// The bank group `bank` belongs to: `bank % bank_groups`, so
+    /// consecutive bank ids land in different groups.
+    pub fn bank_group_of(&self, bank: BankId) -> u8 {
+        bank.0 % self.bank_groups
     }
     pub fn rows_per_bank(&self) -> u32 {
         self.rows_per_bank

@@ -51,6 +51,7 @@ pub mod device;
 pub mod geometry;
 pub mod mapping;
 pub mod monitor;
+pub mod profile;
 pub mod rank;
 pub mod timing;
 
@@ -61,6 +62,7 @@ pub use device::{DramDevice, ObsCommand};
 pub use geometry::{BankId, ChannelId, ColId, Geometry, LineAddr, Location, RankId, RowId};
 pub use mapping::{AddressMapping, MappingScheme};
 pub use monitor::StreamMonitor;
+pub use profile::{DeviceGeneration, DeviceProfile};
 pub use timing::TimingParams;
 
 /// A simulation timestamp in DRAM bus cycles.

@@ -52,13 +52,22 @@ pub struct StreamMonitor {
     t: TimingParams,
     /// Cycle of the most recently observed command (command-bus rule).
     last_cmd_cycle: Option<Cycle>,
-    /// Latest-ending data-bus burst: (start, end, rank).
-    last_transfer: Option<(Cycle, Cycle, RankId)>,
+    /// Upcoming data-bus bursts within the interaction horizon:
+    /// (start, end, rank). A list, not just the latest burst — data
+    /// transfers are scheduled into the future at CAS time, and on parts
+    /// with a deep read latency (LPDDR4, HBM2) a later write CAS can
+    /// legally place its burst entirely *before* a pending read burst,
+    /// which a latest-only model would misreport as an overlap.
+    transfers: Vec<(Cycle, Cycle, RankId)>,
     banks: HashMap<(RankId, BankId), BankTrack>,
     /// Per-rank cycles of the last four activates (tRRD / tFAW window).
     acts: HashMap<RankId, VecDeque<Cycle>>,
     /// Per-rank last CAS: (cycle, is_read).
     last_cas: HashMap<RankId, (Cycle, bool)>,
+    /// Last same-type CAS per (rank, bank group, is_read) for tCCD_L;
+    /// only populated on bank-grouped geometries so flat parts keep
+    /// identical violation streams.
+    last_group_cas: HashMap<(RankId, u8, bool), Cycle>,
     ranks: HashMap<RankId, RankTrack>,
     /// Per-rank cycle of the last observed refresh (index = rank id).
     /// Cycle 0 counts as refreshed: a device starts from a clean array.
@@ -74,10 +83,11 @@ impl StreamMonitor {
             geom,
             t,
             last_cmd_cycle: None,
-            last_transfer: None,
+            transfers: Vec::new(),
             banks: HashMap::new(),
             acts: HashMap::new(),
             last_cas: HashMap::new(),
+            last_group_cas: HashMap::new(),
             ranks: HashMap::new(),
             last_refresh: vec![0; ranks],
             observed: 0,
@@ -253,26 +263,47 @@ impl StreamMonitor {
                 }
                 self.last_cas.insert(cmd.rank, (c, k.is_read()));
 
+                // Same-bank-group same-type spacing (tCCD_L), only on
+                // grouped parts — mirrors the batch checker exactly.
+                if self.geom.bank_groups() > 1 {
+                    let key = (cmd.rank, self.geom.bank_group_of(cmd.bank), k.is_read());
+                    if let Some(&prev) = self.last_group_cas.get(&key) {
+                        if c < prev + self.t.t_ccd_l as Cycle {
+                            out.push(Violation::too_early(
+                                cmd,
+                                c,
+                                prev + self.t.t_ccd_l as Cycle,
+                                "tCCD_L same bank group",
+                            ));
+                        }
+                    }
+                    self.last_group_cas.insert(key, c);
+                }
+
                 // Data-bus occupancy: bursts never overlap, and cross-rank
-                // bursts keep a tRTRS gap.
+                // bursts keep a tRTRS gap — against *every* burst still in
+                // the interaction horizon, mirroring the channel model.
                 let lat = if k.is_read() { self.t.t_cas } else { self.t.t_cwd };
                 let start = c + lat as Cycle;
                 let end = start + self.t.t_burst as Cycle;
-                if let Some((_, prev_end, prev_rank)) = self.last_transfer {
-                    if start < prev_end {
+                for &(tr_start, tr_end, tr_rank) in &self.transfers {
+                    if start < tr_end && tr_start < end {
                         out.push(Violation::state(cmd, c, "data-bus overlap"));
-                    } else if prev_rank != cmd.rank && start < prev_end + self.t.t_rtrs as Cycle {
-                        out.push(Violation::too_early(
-                            cmd,
-                            c,
-                            c + (prev_end + self.t.t_rtrs as Cycle - start),
-                            "tRTRS rank-to-rank data gap",
-                        ));
+                    } else if tr_rank != cmd.rank {
+                        let gap = self.t.t_rtrs as Cycle;
+                        if start < tr_end + gap && tr_start < end + gap {
+                            out.push(Violation::state(cmd, c, "tRTRS rank-to-rank data gap"));
+                        }
                     }
                 }
-                if self.last_transfer.is_none_or(|(_, prev_end, _)| end >= prev_end) {
-                    self.last_transfer = Some((start, end, cmd.rank));
-                }
+                self.transfers.push((start, end, cmd.rank));
+                // Any later CAS arrives at `c + 1` or after, so its burst
+                // starts at `c + 1 + min(tCAS, tCWD)` at the earliest;
+                // bursts whose tRTRS-widened window ends before that can
+                // never conflict again (same pruning as `ChannelState`).
+                let horizon = c + 1 + self.t.t_cas.min(self.t.t_cwd) as Cycle;
+                let gap = self.t.t_rtrs as Cycle;
+                self.transfers.retain(|&(_, tr_end, _)| tr_end + gap >= horizon);
             }
             CommandKind::Precharge | CommandKind::PrechargeAll => {
                 let bank_ids: Vec<BankId> = if cmd.kind == CommandKind::PrechargeAll {
@@ -482,6 +513,52 @@ mod tests {
         // The generator must actually exercise both sides of the predicate.
         assert!(illegal > 30, "only {illegal} illegal streams generated");
         assert!(illegal < 270, "only {} legal streams generated", 300 - illegal);
+    }
+
+    #[test]
+    fn same_group_cas_flagged_online_on_ddr4() {
+        let geom = Geometry::with_bank_groups(1, 8, 16, 4, 32768, 128);
+        let t = TimingParams::ddr4_2400();
+        let mut mon = StreamMonitor::new(geom, t);
+        mon.observe(&tc(Command::activate(RankId(0), BankId(0), RowId(5)), 0));
+        mon.observe(&tc(Command::activate(RankId(0), BankId(4), RowId(5)), t.t_rrd as Cycle));
+        mon.observe(&tc(Command::activate(RankId(0), BankId(1), RowId(5)), 2 * t.t_rrd as Cycle));
+        assert_eq!(mon.flagged(), 0);
+        // Cross-group read at tCCD_S after the bank-1 read is clean.
+        let vs = mon.observe(&tc(Command::read_ap(RankId(0), BankId(1), RowId(5), ColId(0)), 56));
+        assert!(vs.is_empty(), "{vs:?}");
+        let vs = mon.observe(&tc(
+            Command::read_ap(RankId(0), BankId(0), RowId(5), ColId(0)),
+            56 + t.t_ccd as Cycle,
+        ));
+        assert!(vs.is_empty(), "{vs:?}");
+        // Same-group read only tCCD_S after the bank-0 read: flagged.
+        let vs = mon.observe(&tc(
+            Command::read_ap(RankId(0), BankId(4), RowId(5), ColId(0)),
+            56 + 2 * t.t_ccd as Cycle,
+        ));
+        assert!(vs.iter().any(|v| v.constraint == "tCCD_L same bank group"), "{vs:?}");
+    }
+
+    /// The monitor/checker legality agreement also holds on a
+    /// bank-grouped (DDR4) geometry, where both enforce tCCD_L.
+    #[test]
+    fn differential_agreement_on_ddr4_geometry() {
+        let geom = Geometry::with_bank_groups(1, 8, 16, 4, 32768, 128);
+        let t = TimingParams::ddr4_2400();
+        let chk = TimingChecker::new(geom, t);
+        let mut rng = Lcg(0xDD44_2400);
+        for case in 0..200 {
+            let stream = random_stream(&mut rng, 24);
+            let batch = chk.check(&stream);
+            let mut mon = StreamMonitor::new(geom, t);
+            let online = feed(&mut mon, &stream);
+            assert_eq!(
+                batch.is_empty(),
+                online.is_empty(),
+                "case {case}: checker={batch:?} monitor={online:?} stream={stream:?}"
+            );
+        }
     }
 
     /// On streams that are legal per the batch checker, the monitor agrees

@@ -25,10 +25,18 @@ pub struct RankState {
     act_window: Vec<Cycle>,
     /// Earliest next activate due to tRRD.
     next_activate: Cycle,
-    /// Earliest next column read due to tCCD / write-to-read turnaround.
+    /// Earliest next column read due to tCCD_S / write-to-read turnaround.
     next_read: Cycle,
-    /// Earliest next column write due to tCCD / read-to-write turnaround.
+    /// Earliest next column write due to tCCD_S / read-to-write turnaround.
     next_write: Cycle,
+    /// Bank groups in this rank (1 for generations without bank groups;
+    /// bank `b` is in group `b % bank_groups`).
+    bank_groups: u8,
+    /// Per-group earliest next read due to tCCD_L (same-group CAS pairs
+    /// must keep the long spacing; different groups only owe tCCD_S).
+    group_next_read: Vec<Cycle>,
+    /// Per-group earliest next write due to tCCD_L.
+    group_next_write: Vec<Cycle>,
     /// Rank unusable until this cycle (refresh in progress).
     refresh_until: Cycle,
     /// Earliest cycle a command is accepted after a power-down exit.
@@ -39,18 +47,46 @@ pub struct RankState {
 }
 
 impl RankState {
-    /// A fresh rank with `banks` closed banks.
+    /// A fresh rank with `banks` closed banks and no bank groups.
     pub fn new(banks: u8) -> Self {
+        RankState::with_bank_groups(banks, 1)
+    }
+
+    /// A fresh rank with `banks` closed banks split across `bank_groups`
+    /// bank groups (bank `b` belongs to group `b % bank_groups`).
+    pub fn with_bank_groups(banks: u8, bank_groups: u8) -> Self {
+        assert!(bank_groups >= 1 && bank_groups <= banks, "bank_groups must be in 1..=banks");
         RankState {
             banks: vec![BankState::new(); banks as usize],
             act_window: Vec::with_capacity(4),
             next_activate: 0,
             next_read: 0,
             next_write: 0,
+            bank_groups,
+            group_next_read: vec![0; bank_groups as usize],
+            group_next_write: vec![0; bank_groups as usize],
             refresh_until: 0,
             wake_at: 0,
             power: PowerState::Active,
             powered_down_cycles: 0,
+        }
+    }
+
+    /// The bank group of `bank` in this rank.
+    fn group_of(&self, bank: usize) -> usize {
+        bank % self.bank_groups as usize
+    }
+
+    /// The tCCD_L floor a CAS of the given direction to `bank` owes its
+    /// own bank group (0 when nothing has been issued there yet). With a
+    /// single group and a flat part (tCCD_L == tCCD_S) this coincides
+    /// with the rank-global CAS floor.
+    pub fn cas_group_floor(&self, bank: usize, is_read: bool) -> Cycle {
+        let g = self.group_of(bank);
+        if is_read {
+            self.group_next_read[g]
+        } else {
+            self.group_next_write[g]
         }
     }
 
@@ -120,10 +156,22 @@ impl RankState {
                 Ok(())
             }
             k if k.is_read() => {
-                Violation::check_earliest(*cmd, cycle, self.next_read, "CAS gap (read)")
+                Violation::check_earliest(*cmd, cycle, self.next_read, "CAS gap (read)")?;
+                Violation::check_earliest(
+                    *cmd,
+                    cycle,
+                    self.cas_group_floor(cmd.bank.0 as usize, true),
+                    "tCCD_L bank-group CAS gap (read)",
+                )
             }
             k if k.is_write() => {
-                Violation::check_earliest(*cmd, cycle, self.next_write, "CAS gap (write)")
+                Violation::check_earliest(*cmd, cycle, self.next_write, "CAS gap (write)")?;
+                Violation::check_earliest(
+                    *cmd,
+                    cycle,
+                    self.cas_group_floor(cmd.bank.0 as usize, false),
+                    "tCCD_L bank-group CAS gap (write)",
+                )
             }
             CommandKind::Refresh => {
                 if !self.all_banks_idle(cycle) {
@@ -159,11 +207,15 @@ impl RankState {
             k if k.is_read() => {
                 self.next_read = self.next_read.max(cycle + t.t_ccd as Cycle);
                 self.next_write = self.next_write.max(cycle + t.rd_to_wr_same_rank() as Cycle);
+                let g = self.group_of(cmd.bank.0 as usize);
+                self.group_next_read[g] = self.group_next_read[g].max(cycle + t.t_ccd_l as Cycle);
                 self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
             }
             k if k.is_write() => {
                 self.next_write = self.next_write.max(cycle + t.t_ccd as Cycle);
                 self.next_read = self.next_read.max(cycle + t.wr_to_rd_same_rank() as Cycle);
+                let g = self.group_of(cmd.bank.0 as usize);
+                self.group_next_write[g] = self.group_next_write[g].max(cycle + t.t_ccd_l as Cycle);
                 self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
             }
             CommandKind::Precharge => {
@@ -212,11 +264,16 @@ impl RankState {
                 at = at.max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
             }
             k if k.is_read() => {
-                at = at.max(self.next_read).max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+                at = at
+                    .max(self.next_read)
+                    .max(self.cas_group_floor(cmd.bank.0 as usize, true))
+                    .max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
             }
             k if k.is_write() => {
-                at =
-                    at.max(self.next_write).max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+                at = at
+                    .max(self.next_write)
+                    .max(self.cas_group_floor(cmd.bank.0 as usize, false))
+                    .max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
             }
             CommandKind::Precharge => {
                 at = at.max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
@@ -315,6 +372,44 @@ mod tests {
         // Wr2Rd = 15 cycles after the write CAS.
         assert!(r.can_issue(&rd, 30, &timing).is_err());
         assert!(r.can_issue(&rd, 31, &timing).is_ok());
+    }
+
+    #[test]
+    fn bank_group_ccd_l_spacing() {
+        let timing = TimingParams::ddr4_2400();
+        // 16 banks in 4 groups: banks 0 and 4 share group 0, bank 1 is
+        // in group 1.
+        let mut r = RankState::with_bank_groups(16, 4);
+        r.apply(&act(0), 0, &timing);
+        r.apply(&act(4), timing.t_rrd as Cycle, &timing);
+        r.apply(&act(1), 2 * timing.t_rrd as Cycle, &timing);
+        let rd0 = Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0));
+        r.apply(&rd0, 50, &timing);
+        // Different group: legal after tCCD_S.
+        let rd_other = Command::read_ap(RankId(0), BankId(1), RowId(1), ColId(0));
+        assert!(r.can_issue(&rd_other, 50 + timing.t_ccd as Cycle, &timing).is_ok());
+        // Same group: tCCD_S is not enough, tCCD_L is required.
+        let rd_same = Command::read_ap(RankId(0), BankId(4), RowId(1), ColId(0));
+        let v = r.can_issue(&rd_same, 50 + timing.t_ccd as Cycle, &timing).unwrap_err();
+        assert!(v.to_string().contains("tCCD_L"), "{v}");
+        assert!(r.can_issue(&rd_same, 50 + timing.t_ccd_l as Cycle, &timing).is_ok());
+        // next_legal_at agrees with can_issue on both banks.
+        assert_eq!(r.next_legal_at(&rd_same, &timing), 50 + timing.t_ccd_l as Cycle);
+        assert_eq!(r.next_legal_at(&rd_other, &timing), 50 + timing.t_ccd as Cycle);
+    }
+
+    #[test]
+    fn single_group_floor_matches_rank_floor_on_flat_parts() {
+        // DDR3 (one group, tCCD_L == tCCD_S): the group floor must
+        // coincide with the rank-global CAS floor so grouped code paths
+        // reduce bit-identically to the original behaviour.
+        let timing = t();
+        let mut r = RankState::new(8);
+        r.apply(&act(0), 0, &timing);
+        let rd = Command::read_ap(RankId(0), BankId(0), RowId(1), ColId(0));
+        r.apply(&rd, 20, &timing);
+        assert_eq!(r.cas_group_floor(3, true), r.next_cas_at(true));
+        assert_eq!(r.cas_group_floor(5, false), 0);
     }
 
     #[test]

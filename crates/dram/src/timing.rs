@@ -1,16 +1,28 @@
-//! DDR3 timing parameters (the paper's Table 1) and derived delays.
+//! Device timing parameters (the paper's Table 1 plus later generations)
+//! and derived delays.
 //!
-//! All values are in DRAM bus cycles (800 MHz bus for DDR3-1600). The
-//! derived read/write turnaround helpers reproduce the exact constants the
-//! paper plugs into its pipeline equations:
+//! All values are in DRAM bus cycles of the part's own command clock
+//! (800 MHz for DDR3-1600, 1200 MHz for DDR4-2400, 1600 MHz for
+//! LPDDR4-3200, 1 GHz for HBM2). The derived read/write turnaround
+//! helpers reproduce the exact constants the paper plugs into its
+//! pipeline equations for DDR3-1600:
 //!
 //! * `Rd2Wr delay = tCAS + tBURST - tCWD = 10` (CAS-to-CAS, same rank)
 //! * `Wr2Rd delay = tCWD + tBURST + tWTR = 15` (CAS-to-CAS, same rank)
+//!
+//! Generations with bank groups (DDR4, HBM2) carry a *pair* of same-type
+//! CAS-to-CAS spacings: [`TimingParams::t_ccd`] (tCCD_S, different bank
+//! groups) and [`TimingParams::t_ccd_l`] (tCCD_L, same bank group). For
+//! parts without bank groups the two are equal, which reduces every
+//! group-aware rule in this crate to the flat DDR3 behaviour.
 
-/// The full DDR3 timing-parameter set used by the device model, the
+/// The full timing-parameter set used by the device model, the
 /// constraint solver and the legality checker.
 ///
 /// Field names follow the JEDEC convention with a `t_` prefix.
+/// Construct one via the per-generation constructors (or a
+/// [`crate::profile::DeviceProfile`]) — there is deliberately no
+/// `Default`, so no layer can silently assume DDR3-1600.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimingParams {
     /// ACT-to-ACT, same bank (row cycle time).
@@ -35,8 +47,13 @@ pub struct TimingParams {
     pub t_rtp: u32,
     /// Data burst length on the bus (cycles for one 64 B line).
     pub t_burst: u32,
-    /// CAS-to-CAS, same rank.
+    /// CAS-to-CAS, same rank, *different* bank groups (tCCD_S; the only
+    /// spacing on parts without bank groups).
     pub t_ccd: u32,
+    /// CAS-to-CAS, same rank, *same* bank group (tCCD_L). Equals
+    /// [`TimingParams::t_ccd`] on parts without bank groups; never
+    /// smaller than it.
+    pub t_ccd_l: u32,
     /// Write-to-read turnaround: end of write data to column read, same rank.
     pub t_wtr: u32,
     /// ACT-to-ACT, different banks of the same rank.
@@ -70,6 +87,7 @@ impl TimingParams {
             t_rtp: 6,
             t_burst: 4,
             t_ccd: 4,
+            t_ccd_l: 4,
             t_wtr: 6,
             t_rrd: 5,
             t_refi: 6240,
@@ -82,9 +100,9 @@ impl TimingParams {
     /// A DDR4-2400 parameter set (JESD79-4, the standard the paper's
     /// Table 1 cites), in 1200 MHz bus cycles: tRCD/tCAS/tRP = 16,
     /// tRAS = 39, tRC = 55, tCWD = 12, tRRD_L = 6, tFAW = 26, tWTR_L = 9,
-    /// tWR = 18, tRTP = 9, tCCD_L = 6, tREFI = 7.8 us, tRFC = 350 ns.
-    /// The CPU ratio stays at 4 (a ~4.8 GHz core clock) so cross-part
-    /// comparisons keep the same core.
+    /// tWR = 18, tRTP = 9, tCCD_S = 4 / tCCD_L = 6 (the bank-group pair),
+    /// tREFI = 7.8 us, tRFC = 350 ns. The CPU ratio stays at 4 (a
+    /// ~4.8 GHz core clock) so cross-part comparisons keep the same core.
     pub fn ddr4_2400() -> Self {
         TimingParams {
             t_rc: 55,
@@ -98,13 +116,87 @@ impl TimingParams {
             t_cwd: 12,
             t_rtp: 9,
             t_burst: 4,
-            t_ccd: 6,
+            t_ccd: 4,
+            t_ccd_l: 6,
             t_wtr: 9,
             t_rrd: 6,
             t_refi: 9360,
             t_rfc: 420,
             t_xp: 8,
             cpu_ratio: 4,
+        }
+    }
+
+    /// An LPDDR4-3200 parameter set (JESD209-4) in 1600 MHz command-clock
+    /// cycles. The mobile part's signature costs are the long core
+    /// timings — tRCD = 18 ns, tRP = 21 ns, tWR = 18 ns — and the long
+    /// all-bank refresh (tRFCab = 280 ns for an 8 Gb die); burst length
+    /// 16 makes one 64 B line an 8-cycle burst. LPDDR4 has no bank
+    /// groups, so tCCD_L = tCCD = BL/2 = 8. CPU ratio 2 keeps the
+    /// paper's 3.2 GHz core against the 1600 MHz command clock.
+    pub fn lpddr4_3200() -> Self {
+        TimingParams {
+            t_rc: 102,
+            t_rcd: 29,
+            t_ras: 68,
+            t_faw: 64,
+            t_wr: 29,
+            t_rp: 34,
+            t_rtrs: 2,
+            t_cas: 28,
+            t_cwd: 14,
+            t_rtp: 12,
+            t_burst: 8,
+            t_ccd: 8,
+            t_ccd_l: 8,
+            t_wtr: 16,
+            t_rrd: 16,
+            t_refi: 6240,
+            t_rfc: 448,
+            t_xp: 12,
+            cpu_ratio: 2,
+        }
+    }
+
+    /// An HBM2-style parameter set (JESD235) in 1 GHz command-clock
+    /// cycles, modelling one legacy-mode 128-bit channel: a 64 B line is
+    /// a BL4 burst (2 cycles), core timings are short (tRCD/tRP = 14,
+    /// tRC = 47), and the bank-group pair is tCCD_S = 2 / tCCD_L = 4.
+    /// The geometry side of the HBM profile carries the generation's
+    /// real parallelism: many narrow channels (see
+    /// [`crate::profile::DeviceProfile`]). CPU ratio 3 models a
+    /// 3 GHz core against the 1 GHz command clock.
+    pub fn hbm2() -> Self {
+        TimingParams {
+            t_rc: 47,
+            t_rcd: 14,
+            t_ras: 33,
+            t_faw: 16,
+            t_wr: 16,
+            t_rp: 14,
+            t_rtrs: 1,
+            t_cas: 14,
+            t_cwd: 7,
+            t_rtp: 3,
+            t_burst: 2,
+            t_ccd: 2,
+            t_ccd_l: 4,
+            t_wtr: 6,
+            t_rrd: 4,
+            t_refi: 3900,
+            t_rfc: 260,
+            t_xp: 8,
+            cpu_ratio: 3,
+        }
+    }
+
+    /// The same-type CAS-to-CAS minimum for a given bank-group relation:
+    /// tCCD_L when the two CAS share a bank group, tCCD_S otherwise.
+    pub fn ccd(&self, same_bank_group: bool) -> u32 {
+        if same_bank_group {
+            self.t_ccd_l
+        } else {
+            self.t_ccd
         }
     }
 
@@ -167,12 +259,6 @@ impl TimingParams {
     }
 }
 
-impl Default for TimingParams {
-    fn default() -> Self {
-        TimingParams::ddr3_1600()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +292,36 @@ mod tests {
         assert!(t.t_cas > t.t_cwd - 8);
         assert!(t.wr_to_rd_same_rank() > t.rd_to_wr_same_rank());
         assert!(t.same_bank_wr_turnaround() > t.t_rc);
+        // The DDR4 signature: a strict tCCD_S < tCCD_L bank-group pair.
+        assert!(t.t_ccd < t.t_ccd_l);
+        assert_eq!(t.ccd(false), 4);
+        assert_eq!(t.ccd(true), 6);
+    }
+
+    #[test]
+    fn every_generation_is_self_consistent() {
+        for (name, t) in [
+            ("ddr3-1600", TimingParams::ddr3_1600()),
+            ("ddr4-2400", TimingParams::ddr4_2400()),
+            ("lpddr4-3200", TimingParams::lpddr4_3200()),
+            ("hbm2", TimingParams::hbm2()),
+        ] {
+            assert!(t.t_rc >= t.t_ras + t.t_rp, "{name}: tRC < tRAS + tRP");
+            assert!(t.t_ccd_l >= t.t_ccd, "{name}: tCCD_L < tCCD_S");
+            assert!(t.t_cas + t.t_burst > t.t_cwd, "{name}: Rd2Wr underflows");
+            assert!(t.t_ras >= t.t_rcd, "{name}: tRAS < tRCD");
+            assert!(t.t_faw >= t.t_rrd, "{name}: tFAW < tRRD");
+            assert!(t.t_refi > t.t_rfc, "{name}: refresh cannot keep up");
+            assert!(t.cpu_ratio > 0, "{name}: zero CPU ratio");
+        }
+    }
+
+    #[test]
+    fn flat_parts_have_equal_ccd_pair() {
+        for t in [TimingParams::ddr3_1600(), TimingParams::lpddr4_3200()] {
+            assert_eq!(t.t_ccd, t.t_ccd_l);
+            assert_eq!(t.ccd(true), t.ccd(false));
+        }
     }
 
     #[test]

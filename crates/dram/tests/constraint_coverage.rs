@@ -8,7 +8,7 @@
 
 use fsmc_dram::command::{Command, TimedCommand};
 use fsmc_dram::geometry::{BankId, ColId, RankId, RowId};
-use fsmc_dram::{Cycle, Geometry, StreamMonitor, TimingChecker, TimingParams};
+use fsmc_dram::{Cycle, DeviceGeneration, Geometry, StreamMonitor, TimingChecker, TimingParams};
 
 fn tc(cmd: Command, cycle: Cycle) -> TimedCommand {
     TimedCommand::new(cmd, cycle)
@@ -171,6 +171,63 @@ fn all_constraints_have_a_witness() {
     assert_eq!(have.len(), expected.len(), "stale witness entries");
 }
 
+/// The bank-group rule needs per-generation witnesses: the witness table
+/// above runs on the paper's flat DDR3 part, where `tCCD_L same bank
+/// group` can never fire. On every grouped generation a same-group CAS
+/// pair spaced at exactly tCCD_S — a gap the *cross*-group rule permits
+/// — must be flagged by both the batch checker and the online monitor,
+/// and the identically-spaced cross-group pair must stay legal. Flat
+/// generations must never emit the constraint at all.
+#[test]
+fn same_group_cas_pair_is_flagged_on_every_grouped_generation() {
+    for gen in DeviceGeneration::all() {
+        let p = gen.profile();
+        let (t, geom) = (p.timing, p.geometry);
+        let groups = geom.bank_groups();
+        // Group = bank % groups: bank 0 and bank `groups` share group 0,
+        // bank 0 and bank 1 never do (on grouped parts).
+        let cas0 = (t.t_rcd + t.t_rrd) as Cycle;
+        let stream = |other: u8| {
+            vec![
+                act(0, 0, 5, 0),
+                act(0, other, 5, t.t_rrd as Cycle),
+                rda(0, 0, 5, cas0),
+                rda(0, other, 5, cas0 + t.t_ccd as Cycle),
+            ]
+        };
+        let check_both = |stream: &[TimedCommand]| {
+            let batch = TimingChecker::new(geom, t).check(stream);
+            let mut mon = StreamMonitor::new(geom, t);
+            let online: Vec<_> = stream.iter().flat_map(|c| mon.observe(c)).collect();
+            (batch, online)
+        };
+        if groups > 1 {
+            let (batch, online) = check_both(&stream(groups));
+            assert!(
+                batch.iter().any(|v| v.constraint == "tCCD_L same bank group"),
+                "{gen}: checker missed the same-group tCCD_S pair: {batch:?}"
+            );
+            assert!(
+                online.iter().any(|v| v.constraint == "tCCD_L same bank group"),
+                "{gen}: monitor missed the same-group tCCD_S pair: {online:?}"
+            );
+            let (batch, online) = check_both(&stream(1));
+            assert!(batch.is_empty(), "{gen}: cross-group pair at tCCD_S is legal: {batch:?}");
+            assert!(
+                online.is_empty(),
+                "{gen}: monitor flagged a legal cross-group pair: {online:?}"
+            );
+        } else {
+            let (batch, online) = check_both(&stream(1));
+            assert!(batch.is_empty(), "{gen}: flat part flagged a tCCD_S pair: {batch:?}");
+            assert!(
+                online.is_empty(),
+                "{gen}: flat-part monitor flagged a tCCD_S pair: {online:?}"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Degraded-topology re-certification replay
 // ---------------------------------------------------------------------
@@ -196,11 +253,14 @@ use proptest::prelude::*;
 /// bubbles, which can never add a violation.
 fn degraded_stream(
     schedule: &fsmc_core::solver::SlotSchedule,
+    geom: &Geometry,
     variant: FsVariant,
     stuck: &[(u8, u8)],
     dead: &[u8],
 ) -> Vec<TimedCommand> {
     let n = schedule.threads() as u64;
+    let ranks = geom.ranks_per_channel();
+    let banks = geom.banks_per_rank();
     let mut out = Vec::new();
     for i in 0..n * 4 {
         let p = schedule.plan(i);
@@ -210,12 +270,12 @@ fn degraded_stream(
             FsVariant::RankPartitioned => {
                 // Domain owns rank `owner`; banks rotate over the rank's
                 // healthy banks so consecutive own-slots avoid stuck ones.
-                let rank = owner % 8;
+                let rank = owner % ranks;
                 if dead.contains(&rank) {
                     None
                 } else {
                     let healthy: Vec<u8> =
-                        (0..8).filter(|&b| !stuck.contains(&(rank, b))).collect();
+                        (0..banks).filter(|&b| !stuck.contains(&(rank, b))).collect();
                     (!healthy.is_empty())
                         .then(|| (rank, healthy[interval as usize % healthy.len()]))
                 }
@@ -224,8 +284,8 @@ fn degraded_stream(
                 // Bank striping: the domain keeps its bank index and
                 // remaps off dead/stuck ranks (worst case: everyone who
                 // can piles onto the first healthy rank).
-                let bank = owner % 8;
-                (0..8)
+                let bank = owner % banks;
+                (0..ranks)
                     .find(|&r| !dead.contains(&r) && !stuck.contains(&(r, bank)))
                     .map(|r| (r, bank))
             }
@@ -249,15 +309,24 @@ proptest! {
 
     #[test]
     fn accepted_degraded_solves_replay_cleanly_through_the_monitor(
-        (stuck, dead, factor, domains) in (
-            proptest::collection::vec((0u8..8, 0u8..8), 0..3),
+        (stuck, dead, factor, domains, device_idx) in (
+            proptest::collection::vec((0u8..8, 0u8..16), 0..3),
             proptest::collection::vec(0u8..8, 0..2),
             1u8..4,
             2u8..9,
+            0usize..4,
         )
     ) {
-        let geom = Geometry::paper_default();
-        let t = TimingParams::ddr3_1600();
+        // Every generation's re-certifier gets replayed, not just the
+        // paper's DDR3 part: fault sites are drawn over the widest
+        // geometry and folded onto the profile's actual rank/bank count.
+        let p = DeviceGeneration::all()[device_idx].profile();
+        let (geom, t) = (p.geometry, p.timing);
+        let ranks = geom.ranks_per_channel();
+        let banks = geom.banks_per_rank();
+        let stuck: Vec<(u8, u8)> =
+            stuck.iter().map(|&(r, b)| (r % ranks, b % banks)).collect();
+        let dead: Vec<u8> = dead.iter().map(|&r| r % ranks).collect();
         let mut events: Vec<ReconfigEvent> = stuck
             .iter()
             .map(|&(rank, bank)| ReconfigEvent::StuckBank { rank, bank })
@@ -278,20 +347,21 @@ proptest! {
                 false,
                 EnergyOptions::default(),
             )
-            .expect("paper-default topology must solve");
+            .expect("every profile's undegraded topology must solve");
             if fs.reconfigure(&events, 0).is_err() {
                 // The re-certifier rejected this topology: nothing to replay.
                 continue;
             }
             prop_assert!(fs.epoch() >= 1, "accepted reconfiguration must advance the epoch");
             let Some(s) = fs.schedule() else { continue };
-            let stream = degraded_stream(s, variant, &stuck, &dead);
+            let stream = degraded_stream(s, &geom, variant, &stuck, &dead);
             let mut mon = StreamMonitor::new(geom, t);
             let vs: Vec<_> = stream.iter().flat_map(|c| mon.observe(c)).collect();
             prop_assert!(
                 vs.is_empty(),
-                "accepted degraded solve ({variant:?}, stuck {stuck:?}, dead {dead:?}) \
-                 violated Table-1: {vs:?}"
+                "accepted degraded solve ({} {variant:?}, stuck {stuck:?}, dead {dead:?}) \
+                 violated Table-1: {vs:?}",
+                p.generation
             );
         }
     }

@@ -4,6 +4,7 @@
 use crate::profile::ExecutionProfile;
 use fsmc_core::sched::SchedulerKind;
 use fsmc_cpu::trace::TraceSource;
+use fsmc_dram::DeviceGeneration;
 use fsmc_sim::{FaultKind, FaultPlan, FsmcError, System, SystemConfig};
 use fsmc_workload::{BenchProfile, FloodTrace, IdleTrace, SyntheticTrace};
 
@@ -44,7 +45,20 @@ pub fn execution_profile(
     bucket_instrs: u64,
     buckets: usize,
 ) -> ExecutionProfile {
-    let cfg = SystemConfig::paper_default(scheduler);
+    execution_profile_on(DeviceGeneration::Ddr3_1600, scheduler, co, bucket_instrs, buckets)
+}
+
+/// [`execution_profile`] on a specific device generation: the FS
+/// guarantee is a property of the scheduling discipline, not of one
+/// part's datasheet, so the harness must be able to probe every profile.
+pub fn execution_profile_on(
+    device: DeviceGeneration,
+    scheduler: SchedulerKind,
+    co: CoRunners,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> ExecutionProfile {
+    let cfg = SystemConfig::for_device(device, scheduler, 8);
     let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(cfg.cores as usize);
     // The attacker (the paper uses mcf) always uses the same seed, so its
     // own instruction stream is identical across environments.
@@ -167,8 +181,30 @@ pub fn execution_profile_churned(
     bucket_instrs: u64,
     buckets: usize,
 ) -> Result<ExecutionProfile, FsmcError> {
+    execution_profile_churned_on(
+        DeviceGeneration::Ddr3_1600,
+        scheduler,
+        co,
+        env,
+        churn_at,
+        bucket_instrs,
+        buckets,
+    )
+}
+
+/// [`execution_profile_churned`] on a specific device generation.
+#[allow(clippy::too_many_arguments)]
+pub fn execution_profile_churned_on(
+    device: DeviceGeneration,
+    scheduler: SchedulerKind,
+    co: CoRunners,
+    env: ChurnEnv,
+    churn_at: u64,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> Result<ExecutionProfile, FsmcError> {
     let plan = env.plan(churn_at);
-    let mut cfg = SystemConfig::paper_default(scheduler);
+    let mut cfg = SystemConfig::for_device(device, scheduler, 8);
     cfg.monitor = true;
     let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(cfg.cores as usize);
     traces.push(Box::new(SyntheticTrace::new(BenchProfile::mcf(), 0xA77AC)));
@@ -233,11 +269,29 @@ pub fn check_churn_noninterference(
     bucket_instrs: u64,
     buckets: usize,
 ) -> Result<ChurnReport, FsmcError> {
+    check_churn_noninterference_on(
+        DeviceGeneration::Ddr3_1600,
+        scheduler,
+        churn_at,
+        bucket_instrs,
+        buckets,
+    )
+}
+
+/// [`check_churn_noninterference`] on a specific device generation.
+pub fn check_churn_noninterference_on(
+    device: DeviceGeneration,
+    scheduler: SchedulerKind,
+    churn_at: u64,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> Result<ChurnReport, FsmcError> {
     let mut profiles = Vec::with_capacity(ChurnEnv::ALL.len());
     for env in ChurnEnv::ALL {
         profiles.push((
             env,
-            execution_profile_churned(
+            execution_profile_churned_on(
+                device,
                 scheduler,
                 CoRunners::MemoryIntensive,
                 env,
@@ -264,10 +318,28 @@ pub fn check_noninterference(
     bucket_instrs: u64,
     buckets: usize,
 ) -> NonInterferenceReport {
+    check_noninterference_on(DeviceGeneration::Ddr3_1600, scheduler, bucket_instrs, buckets)
+}
+
+/// [`check_noninterference`] on a specific device generation: the same
+/// idle-vs-flooding probe with the geometry and timing of `device`.
+pub fn check_noninterference_on(
+    device: DeviceGeneration,
+    scheduler: SchedulerKind,
+    bucket_instrs: u64,
+    buckets: usize,
+) -> NonInterferenceReport {
     NonInterferenceReport {
         scheduler,
-        idle_profile: execution_profile(scheduler, CoRunners::Idle, bucket_instrs, buckets),
-        intensive_profile: execution_profile(
+        idle_profile: execution_profile_on(
+            device,
+            scheduler,
+            CoRunners::Idle,
+            bucket_instrs,
+            buckets,
+        ),
+        intensive_profile: execution_profile_on(
+            device,
             scheduler,
             CoRunners::MemoryIntensive,
             bucket_instrs,
@@ -326,6 +398,56 @@ mod tests {
     fn fs_triple_alternation_is_non_interfering() {
         let r = check_noninterference(SchedulerKind::FsTripleAlternation, 1000, 5);
         assert!(r.is_non_interfering(), "divergence {}", r.max_divergence());
+    }
+
+    #[test]
+    fn fs_is_non_interfering_on_every_device_generation() {
+        // The FS guarantee must not be an artifact of DDR3-1600's
+        // parameters: the bit-identity holds on grouped DDR4, slow-core
+        // LPDDR4 and wide HBM2 alike.
+        for device in DeviceGeneration::all() {
+            let r = check_noninterference_on(device, SchedulerKind::FsRankPartitioned, 1000, 5);
+            assert!(
+                r.is_non_interfering(),
+                "FS leaked on {device}: divergence {} cycles",
+                r.max_divergence()
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_leaks_on_ddr4_too() {
+        // Negative control off-DDR3: bank-grouped FR-FCFS still leaks
+        // co-runner intensity, so the per-device FS assertion above is
+        // not vacuous.
+        let r = check_noninterference_on(
+            DeviceGeneration::Ddr4_2400,
+            SchedulerKind::Baseline,
+            2000,
+            10,
+        );
+        assert!(!r.is_non_interfering(), "ddr4 baseline unexpectedly non-interfering");
+    }
+
+    #[test]
+    fn fs_survivor_profile_is_churn_independent_on_ddr4() {
+        // The PR-6 reconfiguration story must survive the device swap:
+        // joins, leaves and foreign persistent faults on a bank-grouped
+        // part reconfigure without perturbing the observer.
+        let r = check_churn_noninterference_on(
+            DeviceGeneration::Ddr4_2400,
+            SchedulerKind::FsRankPartitioned,
+            800,
+            1000,
+            5,
+        )
+        .expect("churn must reconfigure cleanly under FS on ddr4");
+        assert!(
+            r.is_non_interfering(),
+            "FS survivor diverged on ddr4 under {:?}: {} cycles",
+            r.divergent_envs(),
+            r.max_divergence()
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::faults::{FaultKind, FaultPlan, TimingField};
 use crate::runner::RunResult;
 use fsmc_core::domain::PartitionPolicy;
 use fsmc_core::sched::{ReconfigEvent, SchedulerKind};
+use fsmc_dram::DeviceGeneration;
 use fsmc_workload::{BenchProfile, TraceCache, WorkloadMix};
 use std::fmt;
 
@@ -135,6 +136,8 @@ pub struct CampaignConfig {
     pub run_seed: u64,
     pub mix: WorkloadMix,
     pub scheduler: SchedulerKind,
+    /// Device generation every campaign run simulates.
+    pub device: DeviceGeneration,
     /// Faults per generated plan: 1..=max_faults, chosen per plan.
     pub max_faults: usize,
     /// Include persistent-fault and domain-churn event kinds (stuck
@@ -160,6 +163,7 @@ impl CampaignConfig {
             run_seed: 42,
             mix: WorkloadMix::rate(BenchProfile::mcf(), 4),
             scheduler: SchedulerKind::FsRankPartitioned,
+            device: DeviceGeneration::Ddr3_1600,
             max_faults: 4,
             churn: false,
             shrink: true,
@@ -170,7 +174,7 @@ impl CampaignConfig {
     /// The system configuration every campaign run uses: the derived
     /// per-mix config with the online invariant monitor armed.
     fn system_config(&self) -> SystemConfig {
-        let mut cfg = SystemConfig::with_cores(self.scheduler, self.mix.cores() as u8);
+        let mut cfg = SystemConfig::for_device(self.device, self.scheduler, self.mix.cores() as u8);
         cfg.monitor = true;
         cfg
     }

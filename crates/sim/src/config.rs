@@ -3,11 +3,15 @@
 use fsmc_core::sched::fs::EnergyOptions;
 use fsmc_core::sched::SchedulerKind;
 use fsmc_cpu::CoreConfig;
-use fsmc_dram::{Geometry, TimingParams};
+use fsmc_dram::{DeviceGeneration, Geometry, TimingParams};
 
 /// Everything needed to build a [`crate::System`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemConfig {
+    /// The device generation `geometry`/`timing` were derived from.
+    /// Kept alongside the expanded parameters so reports and result
+    /// files can name the part without re-deriving it.
+    pub device: DeviceGeneration,
     pub geometry: Geometry,
     pub timing: TimingParams,
     pub core: CoreConfig,
@@ -45,12 +49,26 @@ impl SystemConfig {
     /// Table 1: 8 cores at 3.2 GHz, one DDR3-1600 channel with 8 ranks of
     /// 8 banks.
     pub fn paper_default(scheduler: SchedulerKind) -> Self {
+        SystemConfig::for_device(DeviceGeneration::Ddr3_1600, scheduler, 8)
+    }
+
+    /// The paper-default system resized to `cores` domains (Figure 10).
+    pub fn with_cores(scheduler: SchedulerKind, cores: u8) -> Self {
+        SystemConfig { cores, ..SystemConfig::paper_default(scheduler) }
+    }
+
+    /// A Table-1 system on a different device generation: the geometry
+    /// and timing come from the generation's [`fsmc_dram::DeviceProfile`],
+    /// everything else keeps the paper's values.
+    pub fn for_device(device: DeviceGeneration, scheduler: SchedulerKind, cores: u8) -> Self {
+        let profile = device.profile();
         SystemConfig {
-            geometry: Geometry::paper_default(),
-            timing: TimingParams::ddr3_1600(),
+            device,
+            geometry: profile.geometry,
+            timing: profile.timing,
             core: CoreConfig::paper_default(),
             scheduler,
-            cores: 8,
+            cores,
             mshr_capacity: 32,
             prefetch_buffer: 32,
             energy_options: EnergyOptions::default(),
@@ -59,11 +77,6 @@ impl SystemConfig {
             monitor: false,
             collect_metrics: false,
         }
-    }
-
-    /// The paper-default system resized to `cores` domains (Figure 10).
-    pub fn with_cores(scheduler: SchedulerKind, cores: u8) -> Self {
-        SystemConfig { cores, ..SystemConfig::paper_default(scheduler) }
     }
 }
 
@@ -86,5 +99,25 @@ mod tests {
     fn with_cores_resizes() {
         let c = SystemConfig::with_cores(SchedulerKind::FsRankPartitioned, 2);
         assert_eq!(c.cores, 2);
+        assert_eq!(c.device, DeviceGeneration::Ddr3_1600);
+    }
+
+    #[test]
+    fn for_device_expands_the_profile() {
+        for device in DeviceGeneration::all() {
+            let profile = device.profile();
+            let c = SystemConfig::for_device(device, SchedulerKind::FsRankPartitioned, 8);
+            assert_eq!(c.device, device);
+            assert_eq!(c.geometry, profile.geometry);
+            assert_eq!(c.timing, profile.timing);
+            assert_eq!(c.cores, 8);
+        }
+        // The DDR3 profile IS the paper default, field for field.
+        let ddr3 = SystemConfig::for_device(
+            DeviceGeneration::Ddr3_1600,
+            SchedulerKind::FsRankPartitioned,
+            8,
+        );
+        assert_eq!(ddr3, SystemConfig::paper_default(SchedulerKind::FsRankPartitioned));
     }
 }

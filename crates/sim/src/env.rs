@@ -12,7 +12,10 @@
 //! * [`no_fastpath`] — `FSMC_NO_FASTPATH`, force per-cycle stepping.
 //! * [`results_dir`] — `FSMC_RESULTS_DIR`, where experiment binaries
 //!   write their CSV/JSON outputs.
+//! * [`device`] — `FSMC_DEVICE`, the device generation to simulate
+//!   (`ddr3-1600`, `ddr4-2400`, `lpddr4-3200`, `hbm2`).
 
+use fsmc_dram::DeviceGeneration;
 use std::path::PathBuf;
 
 /// Reads an integer environment knob, warning (rather than silently
@@ -87,6 +90,31 @@ pub fn no_fastpath() -> bool {
     env_flag("FSMC_NO_FASTPATH", false)
 }
 
+/// `FSMC_DEVICE`: the device generation experiment binaries simulate.
+/// Accepts any [`DeviceGeneration::parse`] spelling (case-insensitive,
+/// `_` or `-`); a malformed value is reported and replaced by the
+/// default.
+pub fn device(default: DeviceGeneration) -> DeviceGeneration {
+    match std::env::var("FSMC_DEVICE") {
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            eprintln!("warning: FSMC_DEVICE={v:?} is not valid unicode; using default {default}");
+            default
+        }
+        Ok(s) => match DeviceGeneration::parse(s.trim()) {
+            Some(d) => d,
+            None => {
+                eprintln!(
+                    "warning: FSMC_DEVICE={s:?} is not a known device generation \
+                     (expected one of ddr3-1600, ddr4-2400, lpddr4-3200, hbm2); \
+                     using default {default}"
+                );
+                default
+            }
+        },
+    }
+}
+
 /// `FSMC_RESULTS_DIR`: where experiment binaries write their outputs.
 /// `None` when unset; an empty value is reported and treated as unset.
 pub fn results_dir() -> Option<PathBuf> {
@@ -151,6 +179,18 @@ mod tests {
         assert!(!no_fastpath(), "malformed value falls back to the default");
         std::env::remove_var("FSMC_NO_FASTPATH");
         assert!(!no_fastpath());
+    }
+
+    #[test]
+    fn fsmc_device_parses_and_rejects_garbage() {
+        std::env::set_var("FSMC_DEVICE", "lpddr4-3200");
+        assert_eq!(device(DeviceGeneration::Ddr3_1600), DeviceGeneration::Lpddr4_3200);
+        std::env::set_var("FSMC_DEVICE", " HBM2 ");
+        assert_eq!(device(DeviceGeneration::Ddr3_1600), DeviceGeneration::Hbm2);
+        std::env::set_var("FSMC_DEVICE", "ddr5-9999");
+        assert_eq!(device(DeviceGeneration::Ddr4_2400), DeviceGeneration::Ddr4_2400);
+        std::env::remove_var("FSMC_DEVICE");
+        assert_eq!(device(DeviceGeneration::Ddr3_1600), DeviceGeneration::Ddr3_1600);
     }
 
     #[test]

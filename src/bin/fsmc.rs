@@ -21,9 +21,9 @@ use fsmc::core::solver::{
     PartitionLevel, ReorderedBpSchedule, SlotSchedule,
 };
 use fsmc::cpu::trace_file::record_trace;
-use fsmc::dram::TimingParams;
+use fsmc::dram::DeviceGeneration;
 use fsmc::obs::ChromeTraceBuilder;
-use fsmc::security::noninterference::check_noninterference;
+use fsmc::security::noninterference::check_noninterference_on;
 use fsmc::sim::{
     run_campaign, run_single, CampaignConfig, Engine, ExperimentJob, FaultPlan, System,
     SystemConfig,
@@ -46,8 +46,8 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "solve" => cmd_solve(),
-        "certify" => cmd_certify(),
+        "solve" => cmd_solve(&opts),
+        "certify" => cmd_certify(&opts),
         "diagram" => cmd_diagram(&opts),
         "simulate" => cmd_simulate(&opts),
         "suite" => cmd_suite(&opts),
@@ -74,7 +74,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 fsmc — Fixed-Service memory controllers (MICRO'15 reproduction)
 
-USAGE:
+USAGE (every command also takes --device GEN):
   fsmc solve                          minimum-pitch table (Sec. 3.1/4.2/4.3)
   fsmc certify                        certify every FS pipeline conflict-free
   fsmc diagram [--mix RRRRRWWR]       render the pipeline timing diagram
@@ -113,9 +113,12 @@ USAGE:
 
 SCHEDULERS: baseline, baseline-prefetch, fs-rp, fs-rp-prefetch, fs-bp,
             fs-reordered-bp, fs-np, fs-ta, tp-bp, tp-np, channel-part
+DEVICES:    ddr3-1600 (default), ddr4-2400, lpddr4-3200, hbm2
 WORKLOADS:  mix1 mix2 CG SP astar lbm libquantum mcf milc zeusmp
             GemsFDTD xalancbmk
-ENV:        FSMC_THREADS   worker threads for suite runs (default: all cores;
+ENV:        FSMC_DEVICE    default device generation for fsmc and the
+                           figure binaries (--device overrides it)
+            FSMC_THREADS   worker threads for suite runs (default: all cores;
                            results are identical at any thread count)
             FSMC_CYCLES / FSMC_SEED   defaults for the figure binaries
             FSMC_RESULTS_DIR          where figure binaries write CSVs
@@ -165,6 +168,17 @@ fn scheduler_kind(name: &str) -> Result<SchedulerKind, String> {
     })
 }
 
+/// `--device` wins over `FSMC_DEVICE`; both default to DDR3-1600. An
+/// unknown `--device` is a hard CLI error (the env knob only warns).
+fn device_gen(opts: &HashMap<String, String>) -> Result<DeviceGeneration, String> {
+    match opts.get("device") {
+        None => Ok(fsmc::sim::env::device(DeviceGeneration::Ddr3_1600)),
+        Some(v) => DeviceGeneration::parse(v).ok_or_else(|| {
+            format!("--device: unknown device generation {v:?} (expected ddr3-1600, ddr4-2400, lpddr4-3200, hbm2)")
+        }),
+    }
+}
+
 fn profile(name: &str) -> Result<BenchProfile, String> {
     Ok(match name {
         "libquantum" => BenchProfile::libquantum(),
@@ -190,8 +204,10 @@ fn get_u64(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<u6
     }
 }
 
-fn cmd_solve() -> Result<(), String> {
-    let t = TimingParams::ddr3_1600();
+fn cmd_solve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let p = device_gen(opts)?.profile();
+    let t = p.timing;
+    println!("device: {}", p.generation);
     println!("{:<8} {:<22} {:>4} {:>8} {:>10}", "part.", "anchor", "l", "Q(8thr)", "peak util");
     for level in [PartitionLevel::Rank, PartitionLevel::Bank, PartitionLevel::None] {
         for anchor in Anchor::all() {
@@ -209,8 +225,10 @@ fn cmd_solve() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_certify() -> Result<(), String> {
-    let t = TimingParams::ddr3_1600();
+fn cmd_certify(opts: &HashMap<String, String>) -> Result<(), String> {
+    let p = device_gen(opts)?.profile();
+    let (t, geom) = (p.timing, p.geometry);
+    println!("device: {}", p.generation);
     let mut all_ok = true;
     let mut show = |name: &str, r: &fsmc::core::solver::CertifyReport| {
         println!(
@@ -223,26 +241,27 @@ fn cmd_certify() -> Result<(), String> {
     let sol =
         solve(&t, Anchor::FixedPeriodicData, PartitionLevel::Rank).map_err(|e| e.to_string())?;
     show(
-        "rank-partitioned (l=7)",
-        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Rank, &t, 4),
+        &format!("rank-partitioned (l={})", sol.l),
+        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Rank, &t, &geom, 4),
     );
     let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::Bank, 8)
         .map_err(|e| e.to_string())?;
     show(
-        "bank-partitioned (l=15)",
-        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Bank, &t, 4),
+        &format!("bank-partitioned (l={})", sol.l),
+        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::Bank, &t, &geom, 4),
     );
     let sol = solve_for_threads(&t, Anchor::FixedPeriodicRas, PartitionLevel::None, 8)
         .map_err(|e| e.to_string())?;
     show(
-        "no-partitioning naive (l=43)",
-        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::None, &t, 4),
+        &format!("no-partitioning naive (l={})", sol.l),
+        &certify_uniform(&SlotSchedule::uniform(sol, 8), PartitionLevel::None, &t, &geom, 4),
     );
     let ta = SlotSchedule::triple_alternation(&t, 8).map_err(|e| e.to_string())?;
-    show("triple alternation", &certify_uniform(&ta, PartitionLevel::None, &t, 3));
+    show("triple alternation", &certify_uniform(&ta, PartitionLevel::None, &t, &geom, 3));
+    let reordered = ReorderedBpSchedule::new(&t, 8);
     show(
-        "reordered bank-partitioned (Q=63)",
-        &certify_reordered(&ReorderedBpSchedule::new(&t, 8), &t, 3),
+        &format!("reordered bank-partitioned (Q={})", reordered.q()),
+        &certify_reordered(&reordered, &t, &geom, 3),
     );
     if all_ok {
         Ok(())
@@ -252,7 +271,8 @@ fn cmd_certify() -> Result<(), String> {
 }
 
 fn cmd_diagram(opts: &HashMap<String, String>) -> Result<(), String> {
-    let t = TimingParams::ddr3_1600();
+    let p = device_gen(opts)?.profile();
+    let t = p.timing;
     let mix_str = opts.get("mix").map(String::as_str).unwrap_or("RRRRRWWR");
     let mix: Vec<bool> = mix_str
         .chars()
@@ -264,7 +284,12 @@ fn cmd_diagram(opts: &HashMap<String, String>) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let sol = solve_best(&t, PartitionLevel::Rank).map_err(|e| e.to_string())?;
     let s = SlotSchedule::uniform(sol, 8);
-    println!("rank-partitioned pipeline, l = {}, Q = {}, mix = {mix_str}\n", sol.l, s.q());
+    println!(
+        "{} rank-partitioned pipeline, l = {}, Q = {}, mix = {mix_str}\n",
+        p.generation,
+        sol.l,
+        s.q()
+    );
     print!("{}", render_uniform(&s, &t, &mix, 16));
     Ok(())
 }
@@ -280,10 +305,12 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
         "mix2" => WorkloadMix::mix2_for(cores),
         name => WorkloadMix::rate(profile(name)?, cores),
     };
-    let cfg = SystemConfig::with_cores(kind, cores as u8);
+    let device = device_gen(opts)?;
+    let cfg = SystemConfig::for_device(device, kind, cores as u8);
     let job = ExperimentJob::new(mix.clone(), kind, cycles, seed).with_config(cfg);
     let stats = job.run().map_err(|e| e.to_string())?.stats;
     println!("scheduler        {kind}");
+    println!("device           {device}");
     println!("workload         {} x{} cores", mix.name, cores);
     println!("DRAM cycles      {cycles}");
     println!("IPC sum          {:.3}", stats.ipc_sum());
@@ -331,8 +358,10 @@ fn cmd_suite(opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
     let kind = scheduler_kind(opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp"))?;
-    let report = check_noninterference(kind, 2_000, 10);
+    let device = device_gen(opts)?;
+    let report = check_noninterference_on(device, kind, 2_000, 10);
     println!("scheduler                   {kind}");
+    println!("device                      {device}");
     println!(
         "attacker with idle peers    {:>12} CPU cycles",
         report.idle_profile.boundaries.last().copied().unwrap_or(0)
@@ -360,6 +389,7 @@ fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
         name => WorkloadMix::rate(profile(name)?, cores),
     };
     cfg.scheduler = kind;
+    cfg.device = device_gen(opts)?;
     cfg.cycles = get_u64(opts, "cycles", 8_000)?;
     cfg.run_seed = get_u64(opts, "run-seed", 42)?;
     cfg.population = get_u64(opts, "population", 16)? as usize;
@@ -370,6 +400,7 @@ fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
         let plan = FaultPlan::parse_spec(get_u64(opts, "fault-seed", 0)?, spec)?;
         let case = run_single(&cfg, plan).map_err(|e| e.to_string())?;
         println!("scheduler  {kind}");
+        println!("device     {}", cfg.device);
         println!("workload   {} x{} cores, {} cycles", cfg.mix.name, cores, cfg.cycles);
         println!("faults     {}", case.plan.spec());
         println!("outcome    {}", case.outcome);
@@ -401,7 +432,8 @@ fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
         name => WorkloadMix::rate(profile(name)?, cores),
     };
     let out = opts.get("out").map(String::as_str).unwrap_or("results/trace.json");
-    let cfg = SystemConfig::with_cores(kind, cores as u8);
+    let device = device_gen(opts)?;
+    let cfg = SystemConfig::for_device(device, kind, cores as u8);
     let mut sys = System::try_from_mix(&cfg, &mix, seed).map_err(|e| e.to_string())?;
     if let Some(spec) = opts.get("faults") {
         let plan = FaultPlan::parse_spec(get_u64(opts, "fault-seed", 0)?, spec)?;
@@ -418,7 +450,7 @@ fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
     sys.enable_metrics();
     sys.try_run_cycles(cycles).map_err(|e| e.to_string())?;
     let events = sys.take_trace();
-    let title = format!("{kind} / {} x{cores} / {cycles} DRAM cycles", mix.name);
+    let title = format!("{kind} / {device} / {} x{cores} / {cycles} DRAM cycles", mix.name);
     let json = ChromeTraceBuilder::new(sys.lane_layout(), &title).export(&events);
     if let Some(dir) = std::path::Path::new(out).parent() {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -458,13 +490,14 @@ impl ThroughputRow {
 /// and fast-path-equivalence check. Returns (per-cycle, fast-path)
 /// simulated cycles per second.
 fn time_pair(
+    device: DeviceGeneration,
     kind: SchedulerKind,
     mix: &WorkloadMix,
     cycles: u64,
     seed: u64,
 ) -> Result<(f64, f64), String> {
     use fsmc::sim::System;
-    let cfg = SystemConfig::with_cores(kind, mix.cores() as u8);
+    let cfg = SystemConfig::for_device(device, kind, mix.cores() as u8);
     let mut best = [f64::MAX; 2];
     let mut fingerprint: Option<String> = None;
     for _rep in 0..3 {
@@ -502,6 +535,7 @@ fn time_pair(
 fn cmd_bench_throughput(opts: &HashMap<String, String>) -> Result<(), String> {
     let cycles = get_u64(opts, "cycles", 500_000)?;
     let seed = get_u64(opts, "seed", 42)?;
+    let device = device_gen(opts)?;
     let out = opts.get("out").map(String::as_str).unwrap_or("results/bench_throughput.json");
     // The acceptance scenarios: the l=43 no-partitioning schedule leaves
     // the controller idle for most of each slot (every core blocks on
@@ -533,7 +567,7 @@ fn cmd_bench_throughput(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("{:<28} {:>14} {:>14} {:>8}", "scenario", "per-cycle c/s", "fast-path c/s", "speedup");
     for (name, kind, workload, mix) in scenarios {
         let (slow_cps, fast_cps) =
-            time_pair(kind, &mix, cycles, seed).map_err(|e| format!("{name}: {e}"))?;
+            time_pair(device, kind, &mix, cycles, seed).map_err(|e| format!("{name}: {e}"))?;
         let row = ThroughputRow {
             name,
             scheduler: kind,

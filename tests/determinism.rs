@@ -9,6 +9,7 @@
 use fsmc::bench::weighted_ipc_suite_with;
 use fsmc::core::sched::SchedulerKind as K;
 use fsmc::dram::command::TimedCommand;
+use fsmc::dram::DeviceGeneration;
 use fsmc::sim::{Engine, ExperimentJob, FaultPlan, System, SystemConfig};
 use fsmc::workload::WorkloadMix;
 
@@ -65,7 +66,17 @@ fn all_kinds() -> [K; 12] {
 /// event-driven fast path, and returns everything observable: the full
 /// statistics snapshot and the command log.
 fn run_both_ways(kind: K, seed: u64, cycles: u64, fast: bool) -> (String, Vec<TimedCommand>) {
-    let mut cfg = SystemConfig::paper_default(kind);
+    run_both_ways_on(DeviceGeneration::Ddr3_1600, kind, seed, cycles, fast)
+}
+
+fn run_both_ways_on(
+    device: DeviceGeneration,
+    kind: K,
+    seed: u64,
+    cycles: u64,
+    fast: bool,
+) -> (String, Vec<TimedCommand>) {
+    let mut cfg = SystemConfig::for_device(device, kind, 8);
     cfg.record_commands = true;
     cfg.monitor = true;
     let mix = WorkloadMix::mix2();
@@ -88,6 +99,28 @@ fn fast_path_is_bit_identical_for_every_policy() {
             let slow = run_both_ways(kind, seed, 8_000, false);
             assert_eq!(fast.0, slow.0, "{kind} seed {seed}: stats diverge");
             assert_eq!(fast.1, slow.1, "{kind} seed {seed}: command logs diverge");
+        }
+    }
+}
+
+/// The same contract on every device generation: the fast path's
+/// `next_event_bound` folds the bank-group CAS floors and the LPDDR4/HBM
+/// timing extremes into its skip bounds, so a single missed wake-up on
+/// any profile would surface here as a stats or command-log diff.
+#[test]
+fn fast_path_is_bit_identical_on_every_device_generation() {
+    for device in DeviceGeneration::all() {
+        for kind in [
+            K::Baseline,
+            K::FsRankPartitioned,
+            K::FsBankPartitioned,
+            K::FsReorderedBankPartitioned,
+            K::TpBankPartitioned { turn: 60 },
+        ] {
+            let fast = run_both_ways_on(device, kind, 3, 8_000, true);
+            let slow = run_both_ways_on(device, kind, 3, 8_000, false);
+            assert_eq!(fast.0, slow.0, "{device} {kind}: stats diverge");
+            assert_eq!(fast.1, slow.1, "{device} {kind}: command logs diverge");
         }
     }
 }
