@@ -15,12 +15,14 @@
 //! `FSMC_CHAOS_POPULATION` (plans per scheduler, default 12),
 //! `FSMC_CHAOS_CHURN=1` (add persistent-fault and domain join/leave
 //! kinds to the pool, enabling the `reconfigured` / `reconfig-leak`
-//! outcomes), `FSMC_CYCLES` (default 8 000 for this binary), `FSMC_SEED`
-//! (workload seed), `FSMC_THREADS`. Output is byte-identical at any
-//! thread count.
+//! outcomes), `FSMC_DEVICE` (device generation under chaos, default
+//! ddr3-1600 — the nightly soak sweeps all four), `FSMC_CYCLES`
+//! (default 8 000 for this binary), `FSMC_SEED` (workload seed),
+//! `FSMC_THREADS`. Output is byte-identical at any thread count.
 
-use fsmc_bench::{save_result, seed};
+use fsmc_bench::{save_result_or_warn, seed};
 use fsmc_core::sched::SchedulerKind;
+use fsmc_dram::DeviceGeneration;
 use fsmc_security::check_noninterference_faulted;
 use fsmc_sim::engine::{env_flag, env_u64};
 use fsmc_sim::{run_campaign, CampaignConfig, Engine, Outcome};
@@ -31,7 +33,9 @@ fn main() -> ExitCode {
     let population = env_u64("FSMC_CHAOS_POPULATION", 12) as usize;
     let cycles = fsmc_sim::env::cycles(8_000);
     let master = env_u64("FSMC_CHAOS_SEED", 1);
-    let mut csv = String::from("scheduler,case,outcome,fault_seed,faults,shrunk\n");
+    let device = fsmc_sim::env::device(DeviceGeneration::Ddr3_1600);
+    println!("device: {device}\n");
+    let mut csv = String::from("device,scheduler,case,outcome,fault_seed,faults,shrunk\n");
     let mut ok = true;
     for kind in [SchedulerKind::FsRankPartitioned, SchedulerKind::FsNoPartitionNaive] {
         let mut cfg = CampaignConfig::new(master);
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
         cfg.cycles = cycles;
         cfg.run_seed = seed();
         cfg.scheduler = kind;
+        cfg.device = device;
         cfg.churn = env_flag("FSMC_CHAOS_CHURN", false);
         let report = match run_campaign(&engine, &cfg) {
             Ok(r) => r,
@@ -51,7 +56,8 @@ fn main() -> ExitCode {
         print!("{}", report.render());
         for case in &report.cases {
             csv.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{}\n",
+                device,
                 kind.label(),
                 case.index,
                 case.outcome,
@@ -88,7 +94,7 @@ fn main() -> ExitCode {
         }
         println!();
     }
-    save_result("chaos_campaign.csv", &csv);
+    save_result_or_warn("chaos_campaign.csv", &csv);
     if ok {
         ExitCode::SUCCESS
     } else {

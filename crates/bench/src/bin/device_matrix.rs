@@ -18,7 +18,7 @@
 //! and `results/device_matrix.csv`) is byte-identical at any
 //! `FSMC_THREADS`, which CI exploits as a determinism gate.
 
-use fsmc_bench::{run_cycles, save_result, seed};
+use fsmc_bench::{run_cycles, save_result_or_warn, seed};
 use fsmc_core::sched::SchedulerKind;
 use fsmc_dram::DeviceGeneration;
 use fsmc_sim::engine::{Engine, ExperimentJob, ExperimentPlan};
@@ -168,7 +168,7 @@ fn main() -> ExitCode {
         eprintln!("diagnostic: {slot}");
     }
 
-    save_result("device_matrix.csv", &csv);
+    save_result_or_warn("device_matrix.csv", &csv);
     println!("\nFS stays certified and leak-free on every generation; what moves is");
     println!("only the performance gap to the insecure policies.");
     if any_ok {

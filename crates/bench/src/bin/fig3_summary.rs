@@ -15,7 +15,7 @@ fn main() -> ExitCode {
         K::TpNoPartition { turn: 172 },
     ];
     let table = weighted_ipc_suite(&kinds, run_cycles(), seed());
-    fsmc_bench::save_result("fig3_summary.csv", &table.to_csv());
+    fsmc_bench::save_result_or_warn("fig3_summary.csv", &table.to_csv());
     let means = table.arithmetic_means();
     println!("Figure 3: design-point summary (throughput normalised to baseline = 1.0)\n");
     println!("{:<28} {:>10} {:>10}", "design point", "measured", "paper");

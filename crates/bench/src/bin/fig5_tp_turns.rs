@@ -15,7 +15,7 @@ fn main() -> ExitCode {
         K::TpNoPartition { turn: 268 },
     ];
     let table = weighted_ipc_suite(&kinds, run_cycles(), seed());
-    fsmc_bench::save_result("fig5_tp_turns.csv", &table.to_csv());
+    fsmc_bench::save_result_or_warn("fig5_tp_turns.csv", &table.to_csv());
     println!("Figure 5: TP with varying turn lengths, 8 threads");
     println!("(non-secure baseline scores 8.0 on this metric)\n");
     print!("{}", table.render("sum of weighted IPCs"));

@@ -14,7 +14,7 @@ fn main() -> ExitCode {
         K::TpNoPartition { turn: 172 },
     ];
     let table = weighted_ipc_suite(&kinds, run_cycles(), seed());
-    fsmc_bench::save_result("fig6_fs_tp.csv", &table.to_csv());
+    fsmc_bench::save_result_or_warn("fig6_fs_tp.csv", &table.to_csv());
     println!("Figure 6: performance for 8-core FS and TP\n");
     print!("{}", table.render("sum of weighted IPCs; baseline = 8"));
     let m = table.arithmetic_means();

@@ -41,7 +41,7 @@ fn main() -> ExitCode {
             })
             .collect(),
     };
-    fsmc_bench::save_result("fig8_energy.csv", &table.to_csv());
+    fsmc_bench::save_result_or_warn("fig8_energy.csv", &table.to_csv());
     println!("Figure 8: memory energy normalised to the non-secure baseline (per access)\n");
     print!("{}", table.render("normalised memory energy"));
     let m = table.arithmetic_means();

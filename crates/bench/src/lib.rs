@@ -19,9 +19,27 @@ use fsmc_sim::engine::{Engine, ExperimentJob, ExperimentPlan};
 use fsmc_sim::runner::{RunResult, SuiteResult};
 use fsmc_sim::FaultPlan;
 use fsmc_workload::WorkloadMix;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 pub mod throughput;
+
+/// Runs a plan on the in-process engine — or, when `FSMC_SERVE` names a
+/// live experiment-service socket, through the daemon's worker-process
+/// pool and content-addressed result cache
+/// ([`fsmc_serve::run_plan_remote`]). Slot order and result bytes are
+/// identical either way; jobs the service cannot express (faults,
+/// metrics, custom controllers) and every job when the daemon is down
+/// run locally.
+pub fn run_plan(
+    engine: &Engine,
+    plan: &ExperimentPlan,
+) -> Vec<Result<RunResult, fsmc_sim::FsmcError>> {
+    match fsmc_sim::env::serve_socket() {
+        Some(socket) => fsmc_serve::run_plan_remote(&socket, plan),
+        None => engine.run(plan),
+    }
+}
 
 /// Simulation length in DRAM cycles, from `FSMC_CYCLES` (default 60 000).
 /// A malformed value is reported and replaced by the default.
@@ -231,7 +249,7 @@ pub fn weighted_ipc_suite_with(
             plan.push(ExperimentJob::new(mix.clone(), k, cycles, seed).with_faults(plan_for(k)));
         }
     }
-    weighted_table(kinds, mixes, engine.run(&plan))
+    weighted_table(kinds, mixes, run_plan(engine, &plan))
 }
 
 /// One `--metrics` row: the observability report of a single
@@ -349,28 +367,27 @@ pub fn single(mix: &WorkloadMix, kind: SchedulerKind, cycles: u64, seed: u64) ->
 }
 
 /// Writes an experiment artefact into `results/<name>` — or
-/// `$FSMC_RESULTS_DIR/<name>` — creating the directory. The write goes
-/// through a unique temp file plus rename, so concurrent figure
-/// binaries never interleave partial contents. Failures are reported
-/// but not fatal — the console output is the primary artefact.
-pub fn save_result(name: &str, contents: &str) {
-    let dir = fsmc_sim::env::results_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
+/// `$FSMC_RESULTS_DIR/<name>` — creating the directory. The write is
+/// durable and atomic ([`fsmc_serve::write_durable`]: unique temp file,
+/// fsync, rename, fsync of the directory), so concurrent figure
+/// binaries never interleave partial contents and a crash mid-write
+/// never leaves a torn CSV. Returns the final path, or a typed
+/// [`fsmc_serve::WriteError`] naming the path and the stage that failed
+/// (e.g. an unwritable `FSMC_RESULTS_DIR`); callers treat that as a
+/// warning — the console output is the primary artefact.
+pub fn save_result(name: &str, contents: &str) -> Result<PathBuf, fsmc_serve::WriteError> {
+    let dir = fsmc_sim::env::results_dir().unwrap_or_else(|| PathBuf::from("results"));
     let path = dir.join(name);
-    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
-    if let Err(e) = std::fs::write(&tmp, contents) {
-        eprintln!("warning: cannot write {}: {e}", tmp.display());
-        return;
-    }
-    match std::fs::rename(&tmp, &path) {
-        Ok(()) => eprintln!("(wrote {})", path.display()),
-        Err(e) => {
-            eprintln!("warning: cannot rename {} to {}: {e}", tmp.display(), path.display());
-            let _ = std::fs::remove_file(&tmp);
-        }
+    fsmc_serve::write_durable(&path, contents.as_bytes())?;
+    Ok(path)
+}
+
+/// [`save_result`], reporting the outcome on stderr instead of
+/// returning it — the figure binaries' one-liner.
+pub fn save_result_or_warn(name: &str, contents: &str) {
+    match save_result(name, contents) {
+        Ok(path) => eprintln!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: {e}"),
     }
 }
 

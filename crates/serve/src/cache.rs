@@ -1,0 +1,219 @@
+//! The crash-safe, content-addressed result cache.
+//!
+//! Every completed job's result payload is stored under its spec's
+//! SHA-256 cache key ([`fsmc_sim::spec::JobSpec::cache_key`]), fanned
+//! into `ab/abcd....entry` subdirectories. Entries are written with the
+//! durable protocol of [`crate::fsio`] and carry their own integrity
+//! envelope — key, payload length, and a payload checksum — verified on
+//! every read. An entry that fails any check (truncated by a crash,
+//! bit-rotted, hand-edited) is **quarantined** — renamed into
+//! `quarantine/` for post-mortem — and reported as a miss, so the job is
+//! recomputed rather than a corrupt result served.
+
+use crate::fsio::{write_durable, WriteError};
+use fsmc_sim::spec::sha256_hex;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// First line of every cache entry; bumping it invalidates (quarantines)
+/// all older entries rather than misreading them.
+const ENTRY_MAGIC: &str = "fsmc-cache-v1";
+
+/// Why a read returned no payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Miss {
+    /// No entry for this key.
+    Absent,
+    /// An entry existed but failed integrity checks; it has been moved
+    /// to the quarantine directory named here.
+    Quarantined { reason: String, moved_to: PathBuf },
+}
+
+/// The on-disk cache, rooted at a directory (see
+/// [`fsmc_sim::env::cache_dir`]).
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    pub fn new(root: PathBuf) -> Self {
+        ResultCache { root }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the entry for `key` (two-character fan-out, like git).
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        let (shard, _) = key.split_at(2.min(key.len()));
+        self.root.join(shard).join(format!("{key}.entry"))
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Stores `payload` under `key`, durably and atomically.
+    ///
+    /// # Errors
+    ///
+    /// The [`WriteError`] of the failed durable-write stage.
+    pub fn put(&self, key: &str, payload: &str) -> Result<(), WriteError> {
+        let sum = sha256_hex(payload.as_bytes());
+        let entry =
+            format!("{ENTRY_MAGIC}\nkey={key}\nlen={}\nsum={sum}\n--\n{payload}", payload.len());
+        write_durable(&self.entry_path(key), entry.as_bytes())
+    }
+
+    /// Looks `key` up, verifying the entry's integrity envelope. Returns
+    /// the payload on a clean hit, or a [`Miss`] saying whether the key
+    /// was absent or its entry was corrupt (and therefore quarantined).
+    pub fn get(&self, key: &str) -> Result<String, Miss> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return Err(Miss::Absent),
+        };
+        match Self::verify(key, &bytes) {
+            Ok(payload) => Ok(payload),
+            Err(reason) => Err(self.quarantine(key, &path, reason)),
+        }
+    }
+
+    /// Checks a raw entry against its envelope; returns the payload.
+    fn verify(key: &str, bytes: &[u8]) -> Result<String, String> {
+        let text = std::str::from_utf8(bytes).map_err(|_| "entry is not UTF-8".to_string())?;
+        let body = text
+            .strip_prefix(&format!("{ENTRY_MAGIC}\n"))
+            .ok_or_else(|| format!("missing {ENTRY_MAGIC} header"))?;
+        let (envelope, payload) =
+            body.split_once("\n--\n").ok_or_else(|| "missing envelope separator".to_string())?;
+        let mut stored_key = None;
+        let mut stored_len = None;
+        let mut stored_sum = None;
+        for line in envelope.lines() {
+            match line.split_once('=') {
+                Some(("key", v)) => stored_key = Some(v),
+                Some(("len", v)) => {
+                    stored_len = Some(v.parse::<usize>().map_err(|e| format!("len: {e}"))?)
+                }
+                Some(("sum", v)) => stored_sum = Some(v),
+                _ => return Err(format!("unknown envelope line {line:?}")),
+            }
+        }
+        let stored_key = stored_key.ok_or("envelope missing key")?;
+        let stored_len = stored_len.ok_or("envelope missing len")?;
+        let stored_sum = stored_sum.ok_or("envelope missing sum")?;
+        if stored_key != key {
+            return Err(format!("entry is for key {stored_key}, looked up as {key}"));
+        }
+        if stored_len != payload.len() {
+            return Err(format!("payload is {} bytes, envelope says {stored_len}", payload.len()));
+        }
+        let sum = sha256_hex(payload.as_bytes());
+        if sum != stored_sum {
+            return Err(format!("payload checksum {sum} != envelope {stored_sum}"));
+        }
+        Ok(payload.to_string())
+    }
+
+    /// Moves a corrupt entry aside (never deletes — the bytes are
+    /// evidence) and reports the miss.
+    fn quarantine(&self, key: &str, path: &Path, reason: String) -> Miss {
+        let qdir = self.quarantine_dir();
+        let _ = fs::create_dir_all(&qdir);
+        // Suffix with the pid so repeated corruption of one key keeps
+        // distinct evidence files.
+        let dest = qdir.join(format!("{key}.{}.corrupt", std::process::id()));
+        match fs::rename(path, &dest) {
+            Ok(()) => Miss::Quarantined { reason, moved_to: dest },
+            Err(_) => {
+                // Rename failed (e.g. raced with another quarantine);
+                // remove so the recompute can land cleanly.
+                let _ = fs::remove_file(path);
+                Miss::Quarantined { reason, moved_to: qdir }
+            }
+        }
+    }
+
+    /// Number of quarantined entries on disk.
+    pub fn quarantined_count(&self) -> usize {
+        fs::read_dir(self.quarantine_dir()).map(|d| d.count()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("fsmc-cache-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::new(dir)
+    }
+
+    const KEY: &str = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+
+    #[test]
+    fn put_get_round_trips() {
+        let cache = scratch("roundtrip");
+        assert_eq!(cache.get(KEY), Err(Miss::Absent));
+        cache.put(KEY, "payload line 1\npayload line 2\n").unwrap();
+        assert_eq!(cache.get(KEY).unwrap(), "payload line 1\npayload line 2\n");
+        // Entries fan out under a two-character shard directory.
+        assert!(cache.entry_path(KEY).starts_with(cache.root().join("01")));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn truncated_entries_are_quarantined_not_served() {
+        let cache = scratch("truncate");
+        cache.put(KEY, "the payload\n").unwrap();
+        let path = cache.entry_path(KEY);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match cache.get(KEY) {
+            Err(Miss::Quarantined { reason, moved_to }) => {
+                assert!(moved_to.exists(), "evidence file kept");
+                assert!(!reason.is_empty());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The slot is now free: a recompute lands and reads cleanly.
+        assert!(!path.exists());
+        cache.put(KEY, "the payload\n").unwrap();
+        assert_eq!(cache.get(KEY).unwrap(), "the payload\n");
+        assert_eq!(cache.quarantined_count(), 1);
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn flipped_payload_bits_fail_the_checksum() {
+        let cache = scratch("bitrot");
+        cache.put(KEY, "reads_completed=12345\n").unwrap();
+        let path = cache.entry_path(KEY);
+        let tampered = fs::read_to_string(&path).unwrap().replace("12345", "12346");
+        fs::write(&path, tampered).unwrap();
+        assert!(matches!(cache.get(KEY), Err(Miss::Quarantined { .. })));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn entry_for_the_wrong_key_is_rejected() {
+        let cache = scratch("wrongkey");
+        cache.put(KEY, "data\n").unwrap();
+        let other = KEY.replace('0', "f");
+        let moved = fs::read(cache.entry_path(KEY)).unwrap();
+        fs::create_dir_all(cache.entry_path(&other).parent().unwrap()).unwrap();
+        fs::write(cache.entry_path(&other), moved).unwrap();
+        match cache.get(&other) {
+            Err(Miss::Quarantined { reason, .. }) => {
+                assert!(reason.contains("looked up as"), "{reason}")
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(cache.root());
+    }
+}

@@ -1,0 +1,207 @@
+//! Client side of the experiment service, including the drop-in plan
+//! router [`run_plan_remote`] the bench layer uses when `FSMC_SERVE` is
+//! set.
+
+use fsmc_sim::spec::{FailureRecord, JobSpec, ResultPayload};
+use fsmc_sim::{Engine, ExperimentPlan, FsmcError, RunResult, ServiceFailure};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Reply to a successful `SUBMIT`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReply {
+    pub id: u64,
+    pub key: String,
+    /// Served straight from the result cache (no simulation will run).
+    pub cached: bool,
+}
+
+/// A connection-per-request client for the `fsmc serve` daemon.
+#[derive(Debug, Clone)]
+pub struct Client {
+    socket: PathBuf,
+}
+
+impl Client {
+    pub fn new(socket: PathBuf) -> Self {
+        Client { socket }
+    }
+
+    /// Sends one request line and returns the full reply (the daemon
+    /// answers and closes; multi-line replies read to EOF).
+    pub fn raw_request(&self, request: &str) -> std::io::Result<String> {
+        let mut stream = UnixStream::connect(&self.socket)?;
+        stream.write_all(request.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.shutdown(std::net::Shutdown::Write)?;
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply)?;
+        Ok(reply)
+    }
+
+    /// True when a daemon answers on the socket.
+    pub fn ping(&self) -> bool {
+        matches!(self.raw_request("PING"), Ok(r) if r.trim() == "PONG")
+    }
+
+    /// Submits a spec, honouring `BUSY <retry-after>` backpressure by
+    /// sleeping and retrying (bounded; a persistently full daemon
+    /// surfaces as an error, not an infinite loop).
+    ///
+    /// # Errors
+    ///
+    /// A rendered description of a transport failure, a daemon `ERR`, or
+    /// exhausted backpressure retries.
+    pub fn submit(&self, priority: u8, spec: &JobSpec) -> Result<SubmitReply, String> {
+        let request = format!("SUBMIT {priority} {}", spec.canonical_line());
+        for _ in 0..600 {
+            let reply = self.raw_request(&request).map_err(|e| format!("submit: {e}"))?;
+            let mut words = reply.split_whitespace();
+            match words.next() {
+                Some("CACHED") | Some("QUEUED") | Some("COALESCED") => {
+                    let cached = reply.starts_with("CACHED");
+                    let id = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("malformed reply {reply:?}"))?;
+                    let key = words
+                        .next()
+                        .ok_or_else(|| format!("malformed reply {reply:?}"))?
+                        .to_string();
+                    return Ok(SubmitReply { id, key, cached });
+                }
+                Some("BUSY") => {
+                    let ms = words.next().and_then(|w| w.parse().ok()).unwrap_or(50);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                _ => return Err(format!("daemon rejected submit: {}", reply.trim_end())),
+            }
+        }
+        Err("daemon stayed busy through 600 backpressure retries".to_string())
+    }
+
+    /// Blocks until job `id` is terminal: `Ok(Ok(payload))` for a
+    /// result, `Ok(Err(record))` for a poisoned/shed job.
+    ///
+    /// # Errors
+    ///
+    /// A rendered description of a transport or protocol failure.
+    pub fn wait(&self, id: u64) -> Result<Result<String, FailureRecord>, String> {
+        let reply = self.raw_request(&format!("WAIT {id}")).map_err(|e| format!("wait: {e}"))?;
+        let (head, body) =
+            reply.split_once('\n').ok_or_else(|| format!("malformed reply {reply:?}"))?;
+        match head.split_whitespace().next() {
+            Some("DONE") => Ok(Ok(body.to_string())),
+            Some("FAILED") => Ok(Err(FailureRecord::decode(body)
+                .map_err(|e| format!("malformed failure record: {e}"))?)),
+            _ => Err(format!("daemon rejected wait: {head}")),
+        }
+    }
+
+    /// The daemon's one-line machine-readable counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`std::io::Error`].
+    pub fn stats(&self) -> std::io::Result<String> {
+        self.raw_request("STATS")
+    }
+
+    /// The daemon's human-readable status page.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`std::io::Error`].
+    pub fn status(&self) -> std::io::Result<String> {
+        self.raw_request("STATUS")
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&self) {
+        let _ = self.raw_request("SHUTDOWN");
+    }
+}
+
+/// Executes a plan through the experiment service, falling back to the
+/// in-process [`Engine`] for jobs the service cannot express (injected
+/// faults, custom controllers, metrics collection, bespoke configs) or
+/// when no daemon answers on `socket`. Slot `i` of the output is job
+/// `i`'s outcome either way, byte-identical to [`Engine::run`] on the
+/// same plan.
+pub fn run_plan_remote(
+    socket: &std::path::Path,
+    plan: &ExperimentPlan,
+) -> Vec<Result<RunResult, FsmcError>> {
+    let client = Client::new(socket.to_path_buf());
+    if !client.ping() {
+        eprintln!(
+            "fsmc serve: no daemon on {} (is `fsmc serve` running?); simulating in-process",
+            socket.display()
+        );
+        return Engine::from_env().run(plan);
+    }
+    // Split servable from local-only jobs, preserving slots.
+    let mut slots: Vec<Option<Result<RunResult, FsmcError>>> = Vec::new();
+    let mut submitted: Vec<(usize, JobSpec, Result<SubmitReply, String>)> = Vec::new();
+    let mut local = ExperimentPlan::new();
+    let mut local_slots = Vec::new();
+    for (i, job) in plan.jobs().iter().enumerate() {
+        slots.push(None);
+        match JobSpec::try_from_job(job) {
+            Some(spec) => {
+                let reply = client.submit(0, &spec);
+                submitted.push((i, spec, reply));
+            }
+            None => {
+                local_slots.push(i);
+                local.push(job.clone());
+            }
+        }
+    }
+    if !local.is_empty() {
+        for (slot, result) in local_slots.into_iter().zip(Engine::from_env().run(&local)) {
+            slots[slot] = Some(result);
+        }
+    }
+    for (slot, spec, reply) in submitted {
+        let job = &plan.jobs()[slot];
+        let outcome = resolve(&client, &spec, reply, job);
+        slots[slot] = Some(outcome);
+    }
+    slots.into_iter().map(|s| s.expect("every slot resolved")).collect()
+}
+
+/// Turns one submit reply into the job's final result.
+fn resolve(
+    client: &Client,
+    spec: &JobSpec,
+    reply: Result<SubmitReply, String>,
+    job: &fsmc_sim::ExperimentJob,
+) -> Result<RunResult, FsmcError> {
+    let service_err = |attempts, reason: &str, error: String| {
+        FsmcError::Service(ServiceFailure {
+            spec: spec.canonical_line(),
+            attempts,
+            reason: reason.to_string(),
+            error,
+        })
+    };
+    let submit = reply.map_err(|e| service_err(0, "transport", e))?;
+    match client.wait(submit.id).map_err(|e| service_err(0, "transport", e))? {
+        Ok(payload) => {
+            let decoded = ResultPayload::decode(&payload)
+                .map_err(|e| service_err(1, "decode", format!("bad result payload: {e}")))?;
+            decoded
+                .into_run_result(job)
+                .map_err(|e| service_err(1, "decode", format!("payload mismatch: {e}")))
+        }
+        Err(record) => Err(FsmcError::Service(ServiceFailure {
+            spec: spec.canonical_line(),
+            attempts: record.attempts,
+            reason: record.reason,
+            error: record.error,
+        })),
+    }
+}

@@ -1,0 +1,149 @@
+//! Durable, atomic file writes.
+//!
+//! Every artifact the service persists — cache entries, result CSVs —
+//! goes through [`write_durable`]: the bytes land in a temporary file in
+//! the destination directory, the file is fsynced, renamed over the
+//! destination, and the *parent directory* is fsynced too, so the entry
+//! either exists completely or not at all, even across power loss.
+//! Failures are typed [`WriteError`]s naming the stage that failed — an
+//! unwritable results directory is an error the caller must handle, not
+//! a warning scrolled past.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Which step of the durable-write protocol failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStage {
+    /// Creating the destination's parent directory.
+    CreateDir,
+    /// Creating or writing the temporary file.
+    Write,
+    /// Fsyncing the temporary file.
+    SyncFile,
+    /// Renaming the temporary file over the destination.
+    Rename,
+    /// Opening or fsyncing the parent directory.
+    SyncDir,
+}
+
+impl WriteStage {
+    fn what(self) -> &'static str {
+        match self {
+            WriteStage::CreateDir => "create parent directory for",
+            WriteStage::Write => "write temporary file for",
+            WriteStage::SyncFile => "fsync temporary file for",
+            WriteStage::Rename => "rename temporary file over",
+            WriteStage::SyncDir => "fsync parent directory of",
+        }
+    }
+}
+
+/// A failed durable write: the destination, the protocol stage that
+/// failed, and the OS error.
+#[derive(Debug)]
+pub struct WriteError {
+    pub path: PathBuf,
+    pub stage: WriteStage,
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "could not {} {}: {}", self.stage.what(), self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for WriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Writes `bytes` to `path` durably and atomically: tmp file in the same
+/// directory → fsync(file) → rename → fsync(parent dir). The parent
+/// directory is created if missing. Concurrent writers of the same path
+/// are safe: each uses a distinct temporary name and rename is atomic.
+///
+/// # Errors
+///
+/// A [`WriteError`] naming the failed stage; on failure the destination
+/// is untouched (a leftover `.tmp.*` file is removed best-effort).
+pub fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), WriteError> {
+    let err = |stage, source| WriteError { path: path.to_path_buf(), stage, source };
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    fs::create_dir_all(&parent).map_err(|e| err(WriteStage::CreateDir, e))?;
+    let file_name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = parent.join(format!(".{}.tmp.{}", file_name, std::process::id()));
+    let write_tmp = |tmp: &Path| -> Result<(), WriteError> {
+        let mut f = fs::File::create(tmp).map_err(|e| err(WriteStage::Write, e))?;
+        f.write_all(bytes).map_err(|e| err(WriteStage::Write, e))?;
+        f.sync_all().map_err(|e| err(WriteStage::SyncFile, e))?;
+        Ok(())
+    };
+    if let Err(e) = write_tmp(&tmp) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(err(WriteStage::Rename, e));
+    }
+    // Make the rename itself durable: fsync the directory entry.
+    fs::File::open(&parent).and_then(|d| d.sync_all()).map_err(|e| err(WriteStage::SyncDir, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fsmc-fsio-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_create_parents_and_leave_no_temp_files() {
+        let dir = scratch("basic");
+        let path = dir.join("a/b/out.txt");
+        write_durable(&path, b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        let entries: Vec<_> =
+            fs::read_dir(path.parent().unwrap()).unwrap().map(|e| e.unwrap().file_name()).collect();
+        assert_eq!(entries.len(), 1, "no temp files left behind: {entries:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrites_are_atomic_replacements() {
+        let dir = scratch("overwrite");
+        let path = dir.join("out.txt");
+        write_durable(&path, b"first").unwrap();
+        write_durable(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_destination_is_a_typed_error() {
+        // The destination's parent is a *file*, so the directory cannot
+        // be created — the unwritable-results-dir case.
+        let dir = scratch("unwritable");
+        fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        fs::write(&blocker, b"x").unwrap();
+        let e = write_durable(&blocker.join("out.txt"), b"data").unwrap_err();
+        assert_eq!(e.stage, WriteStage::CreateDir);
+        let msg = e.to_string();
+        assert!(msg.contains("create parent directory"), "{msg}");
+        assert!(msg.contains("out.txt"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

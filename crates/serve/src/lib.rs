@@ -1,0 +1,49 @@
+//! # fsmc-serve — the crash-tolerant experiment service
+//!
+//! The fixed-service policies make every simulation a *pure function*
+//! of its job spec `(mix × scheduler × device × cycles × seed)`:
+//! deterministic, bit-reproducible, and therefore safe to cache, retry,
+//! and re-run after any crash. This crate exploits that property as a
+//! long-running daemon (`fsmc serve`) that large experiment campaigns
+//! submit to instead of simulating in-process:
+//!
+//! * [`queue`] — bounded admission with explicit backpressure: a full
+//!   queue answers `BUSY <retry-after>`, and sustained overload sheds
+//!   the lowest-priority queued work (with a typed failure record) in
+//!   favour of more urgent arrivals.
+//! * [`pool`] — a pool of **worker processes** (one simulation per
+//!   child, sidestepping the single-process `FSMC_THREADS` ceiling):
+//!   per-job deadlines enforced by a watchdog, crash/timeout/typed-error
+//!   retries with capped exponential backoff, poisoning after K
+//!   attempts, and graceful degradation (the pool narrows when workers
+//!   die faster than they finish). Includes the deterministic chaos
+//!   harness ([`pool::ChaosSpec`]) used by the robustness CI.
+//! * [`cache`] — the crash-safe content-addressed result cache: entries
+//!   keyed by the spec's SHA-256, written tmp-file → fsync → rename →
+//!   fsync(dir), integrity-checked on read, and quarantined (never
+//!   served) when corrupt.
+//! * [`fsio`] — the durable atomic write primitive shared by the cache
+//!   and the bench layer's `save_result`.
+//! * [`server`] — the daemon: Unix-socket protocol, job registry,
+//!   coalescing of identical in-flight specs, and dispatcher threads.
+//! * [`client`] — the connection-per-request client plus
+//!   [`client::run_plan_remote`], the drop-in
+//!   [`fsmc_sim::Engine`]-compatible router the bench layer calls when
+//!   `FSMC_SERVE` is set.
+//!
+//! Job specs, cache keys, and the bit-exact result payloads live in
+//! [`fsmc_sim::spec`], next to the engine they describe.
+
+pub mod cache;
+pub mod client;
+pub mod fsio;
+pub mod pool;
+pub mod queue;
+pub mod server;
+
+pub use cache::{Miss, ResultCache};
+pub use client::{run_plan_remote, Client, SubmitReply};
+pub use fsio::{write_durable, WriteError, WriteStage};
+pub use pool::{ChaosSpec, PoolOptions, WorkerPool};
+pub use queue::{Admit, JobQueue};
+pub use server::{serve, ServeOptions};

@@ -1,0 +1,204 @@
+//! The bounded admission queue with explicit backpressure.
+//!
+//! Jobs wait here between the socket and the worker pool. The queue has
+//! a hard capacity: a full queue **rejects** new work with a
+//! retry-after hint that grows with the rejection streak (callers are
+//! told to back off harder the longer overload lasts) rather than
+//! buffering without bound. Under *sustained* overload — a streak of
+//! consecutive full rejections — a higher-priority arrival may instead
+//! **shed** the lowest-priority queued entry and take its place; the
+//! shed entry is returned to the caller so its submitter gets a typed
+//! answer, never silence. Dequeue order is priority-first (higher value
+//! first), FIFO within a priority.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Admission verdict for a push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admit<T> {
+    /// Enqueued normally.
+    Queued,
+    /// Enqueued by shedding this lower-priority entry.
+    Shed(T),
+    /// Queue full: try again after roughly this many milliseconds.
+    Busy { retry_after_ms: u64 },
+}
+
+struct State<T> {
+    entries: VecDeque<(u8, u64, T)>,
+    /// Consecutive pushes that found the queue full; resets on any
+    /// successful admit or pop. This is the "sustained overload" signal.
+    full_streak: u32,
+    seq: u64,
+    closed: bool,
+}
+
+/// A bounded, priority-ordered, shedding job queue.
+pub struct JobQueue<T> {
+    capacity: usize,
+    /// Full-rejection streak length at which shedding turns on.
+    shed_after: u32,
+    retry_base_ms: u64,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    pub fn new(capacity: usize, shed_after: u32, retry_base_ms: u64) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            shed_after: shed_after.max(1),
+            retry_base_ms: retry_base_ms.max(1),
+            state: Mutex::new(State {
+                entries: VecDeque::new(),
+                full_streak: 0,
+                seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Offers an entry at `priority` (higher = more urgent).
+    pub fn push(&self, priority: u8, item: T) -> Admit<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.entries.len() < self.capacity {
+            s.full_streak = 0;
+            let seq = s.seq;
+            s.seq += 1;
+            s.entries.push_back((priority, seq, item));
+            drop(s);
+            self.ready.notify_one();
+            return Admit::Queued;
+        }
+        s.full_streak += 1;
+        // Sustained overload: make room for strictly more urgent work by
+        // shedding the least urgent, most recent entry.
+        if s.full_streak >= self.shed_after {
+            if let Some(victim_idx) = s
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (p, _, _))| *p < priority)
+                .min_by_key(|(_, (p, seq, _))| (*p, std::cmp::Reverse(*seq)))
+                .map(|(i, _)| i)
+            {
+                let (_, _, shed) = s.entries.remove(victim_idx).expect("victim index in range");
+                let seq = s.seq;
+                s.seq += 1;
+                s.entries.push_back((priority, seq, item));
+                drop(s);
+                self.ready.notify_one();
+                return Admit::Shed(shed);
+            }
+        }
+        // Back off harder the longer the overload has lasted.
+        let factor = u64::from(s.full_streak.min(16));
+        Admit::Busy { retry_after_ms: (self.retry_base_ms * factor).min(10_000) }
+    }
+
+    /// Takes the most urgent entry, blocking until one arrives; `None`
+    /// once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(best) = s
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (p, seq, _))| (*p, std::cmp::Reverse(*seq)))
+                .map(|(i, _)| i)
+            {
+                s.full_streak = 0;
+                let (_, _, item) = s.entries.remove(best).expect("best index in range");
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: current entries still drain, blocked `pop`s
+    /// wake, and future pushes report busy forever.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(8, 3, 5);
+        assert_eq!(q.push(1, "low-a"), Admit::Queued);
+        assert_eq!(q.push(5, "high-a"), Admit::Queued);
+        assert_eq!(q.push(1, "low-b"), Admit::Queued);
+        assert_eq!(q.push(5, "high-b"), Admit::Queued);
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["high-a", "high-b", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_growing_retry_after() {
+        let q = JobQueue::new(2, 100, 5);
+        assert_eq!(q.push(0, 1), Admit::Queued);
+        assert_eq!(q.push(0, 2), Admit::Queued);
+        let Admit::Busy { retry_after_ms: first } = q.push(0, 3) else {
+            panic!("expected busy");
+        };
+        let Admit::Busy { retry_after_ms: second } = q.push(0, 4) else {
+            panic!("expected busy");
+        };
+        assert!(second > first, "{second} > {first}: backoff grows with the streak");
+        // A pop relieves the pressure and resets the streak.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(0, 5), Admit::Queued);
+        let Admit::Busy { retry_after_ms: reset } = q.push(0, 6) else {
+            panic!("expected busy");
+        };
+        assert_eq!(reset, first);
+    }
+
+    #[test]
+    fn sustained_overload_sheds_lowest_priority_for_higher() {
+        let q = JobQueue::new(2, 3, 5);
+        assert_eq!(q.push(1, "victim"), Admit::Queued);
+        assert_eq!(q.push(2, "keeper"), Admit::Queued);
+        // Not yet sustained: equal/lower priority just bounces.
+        assert!(matches!(q.push(9, "early"), Admit::Busy { .. }));
+        assert!(matches!(q.push(1, "peer"), Admit::Busy { .. }));
+        // Third consecutive full rejection crosses the threshold; the
+        // urgent push evicts the lowest-priority entry.
+        assert_eq!(q.push(9, "urgent"), Admit::Shed("victim"));
+        // Equal priority never sheds, even under sustained overload.
+        assert!(matches!(q.push(2, "peer2"), Admit::Busy { .. }));
+        q.close();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["urgent", "keeper"]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_pop() {
+        let q = std::sync::Arc::new(JobQueue::<u32>::new(4, 3, 5));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+}

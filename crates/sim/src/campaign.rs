@@ -308,10 +308,12 @@ pub fn classify(
         Err(FsmcError::Timing(_)) | Err(FsmcError::Invariant(_)) => Outcome::Violation,
         // Construction-time rejection (bad trace, infeasible perturbed
         // timing, bad config) is the structured-error path working as
-        // designed.
-        Err(FsmcError::Trace(_)) | Err(FsmcError::Solve(_)) | Err(FsmcError::Config(_)) => {
-            Outcome::GracefulDegrade
-        }
+        // designed; a service poisoning already exhausted its retries,
+        // so it counts the same way.
+        Err(FsmcError::Trace(_))
+        | Err(FsmcError::Solve(_))
+        | Err(FsmcError::Config(_))
+        | Err(FsmcError::Service(_)) => Outcome::GracefulDegrade,
         Ok(r) => {
             let fired: Vec<_> =
                 plan.reconfig_events().into_iter().filter(|&(at, _)| at < cfg.cycles).collect();

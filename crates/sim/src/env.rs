@@ -14,6 +14,14 @@
 //!   write their CSV/JSON outputs.
 //! * [`device`] — `FSMC_DEVICE`, the device generation to simulate
 //!   (`ddr3-1600`, `ddr4-2400`, `lpddr4-3200`, `hbm2`).
+//! * [`serve_socket`] — `FSMC_SERVE`, path of the experiment-service
+//!   socket; when set, suite/figure runs submit through the daemon.
+//! * [`serve_workers`] — `FSMC_SERVE_WORKERS`, worker-process pool size
+//!   for `fsmc serve`.
+//! * [`job_timeout_ms`] — `FSMC_JOB_TIMEOUT`, per-job deadline in
+//!   milliseconds enforced by the service watchdog.
+//! * [`cache_dir`] — `FSMC_CACHE_DIR`, root of the content-addressed
+//!   result cache.
 
 use fsmc_dram::DeviceGeneration;
 use std::path::PathBuf;
@@ -126,6 +134,61 @@ pub fn results_dir() -> Option<PathBuf> {
     Some(PathBuf::from(v))
 }
 
+/// `FSMC_SERVE`: path of the experiment-service Unix socket. `None`
+/// when unset; an empty value is reported and treated as unset. When
+/// this returns `Some`, suite and figure runs submit their jobs through
+/// the daemon instead of simulating in-process.
+pub fn serve_socket() -> Option<PathBuf> {
+    let v = std::env::var_os("FSMC_SERVE")?;
+    if v.is_empty() {
+        eprintln!("warning: FSMC_SERVE is set but empty; ignoring it");
+        return None;
+    }
+    Some(PathBuf::from(v))
+}
+
+/// `FSMC_SERVE_WORKERS`: worker-process pool size for `fsmc serve`,
+/// defaulting to the machine's available parallelism. Zero (like any
+/// malformed value) is reported and replaced by the default.
+pub fn serve_workers() -> usize {
+    let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = env_u64("FSMC_SERVE_WORKERS", default as u64);
+    if workers == 0 {
+        eprintln!("warning: FSMC_SERVE_WORKERS=0 is not a valid pool size; using {default}");
+        return default;
+    }
+    workers as usize
+}
+
+/// `FSMC_JOB_TIMEOUT`: per-job deadline in milliseconds enforced by the
+/// experiment-service watchdog; a worker past its deadline is killed and
+/// its job retried. Zero (like any malformed value) is reported and
+/// replaced by the default (120 s).
+pub fn job_timeout_ms() -> u64 {
+    const DEFAULT: u64 = 120_000;
+    let ms = env_u64("FSMC_JOB_TIMEOUT", DEFAULT);
+    if ms == 0 {
+        eprintln!("warning: FSMC_JOB_TIMEOUT=0 is not a valid deadline; using {DEFAULT} ms");
+        return DEFAULT;
+    }
+    ms
+}
+
+/// `FSMC_CACHE_DIR`: root of the content-addressed result cache,
+/// defaulting to `results/cache`. An empty value is reported and
+/// replaced by the default.
+pub fn cache_dir() -> PathBuf {
+    const DEFAULT: &str = "results/cache";
+    match std::env::var_os("FSMC_CACHE_DIR") {
+        None => PathBuf::from(DEFAULT),
+        Some(v) if v.is_empty() => {
+            eprintln!("warning: FSMC_CACHE_DIR is set but empty; using default {DEFAULT}");
+            PathBuf::from(DEFAULT)
+        }
+        Some(v) => PathBuf::from(v),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +254,51 @@ mod tests {
         assert_eq!(device(DeviceGeneration::Ddr4_2400), DeviceGeneration::Ddr4_2400);
         std::env::remove_var("FSMC_DEVICE");
         assert_eq!(device(DeviceGeneration::Ddr3_1600), DeviceGeneration::Ddr3_1600);
+    }
+
+    #[test]
+    fn fsmc_serve_ignores_empty() {
+        std::env::set_var("FSMC_SERVE", "/tmp/fsmc.sock");
+        assert_eq!(serve_socket(), Some(PathBuf::from("/tmp/fsmc.sock")));
+        std::env::set_var("FSMC_SERVE", "");
+        assert_eq!(serve_socket(), None);
+        std::env::remove_var("FSMC_SERVE");
+        assert_eq!(serve_socket(), None);
+    }
+
+    #[test]
+    fn fsmc_serve_workers_rejects_zero_and_garbage() {
+        let fallback = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        std::env::set_var("FSMC_SERVE_WORKERS", "5");
+        assert_eq!(serve_workers(), 5);
+        std::env::set_var("FSMC_SERVE_WORKERS", "0");
+        assert_eq!(serve_workers(), fallback);
+        std::env::set_var("FSMC_SERVE_WORKERS", "a-few");
+        assert_eq!(serve_workers(), fallback);
+        std::env::remove_var("FSMC_SERVE_WORKERS");
+        assert_eq!(serve_workers(), fallback);
+    }
+
+    #[test]
+    fn fsmc_job_timeout_rejects_zero_and_garbage() {
+        std::env::set_var("FSMC_JOB_TIMEOUT", "2500");
+        assert_eq!(job_timeout_ms(), 2500);
+        std::env::set_var("FSMC_JOB_TIMEOUT", "0");
+        assert_eq!(job_timeout_ms(), 120_000);
+        std::env::set_var("FSMC_JOB_TIMEOUT", "soon");
+        assert_eq!(job_timeout_ms(), 120_000);
+        std::env::remove_var("FSMC_JOB_TIMEOUT");
+        assert_eq!(job_timeout_ms(), 120_000);
+    }
+
+    #[test]
+    fn fsmc_cache_dir_defaults_and_ignores_empty() {
+        std::env::set_var("FSMC_CACHE_DIR", "/tmp/fsmc-cache");
+        assert_eq!(cache_dir(), PathBuf::from("/tmp/fsmc-cache"));
+        std::env::set_var("FSMC_CACHE_DIR", "");
+        assert_eq!(cache_dir(), PathBuf::from("results/cache"));
+        std::env::remove_var("FSMC_CACHE_DIR");
+        assert_eq!(cache_dir(), PathBuf::from("results/cache"));
     }
 
     #[test]

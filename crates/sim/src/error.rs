@@ -166,6 +166,37 @@ impl fmt::Display for InvariantBreach {
     }
 }
 
+/// A job the experiment service gave up on: the canonical spec of the
+/// experiment, how many attempts were made, and why the last one died.
+/// Whatever fault provenance the worker's typed error carried is inside
+/// `error` verbatim — the record is enough to re-run the job by hand
+/// (`fsmc submit --spec '<spec>'`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceFailure {
+    /// The job's canonical spec line.
+    pub spec: String,
+    /// Attempts the service made before poisoning the job.
+    pub attempts: u32,
+    /// `timeout`, `crash`, or `error` (a typed simulation error).
+    pub reason: String,
+    /// The last attempt's rendered error.
+    pub error: String,
+}
+
+impl fmt::Display for ServiceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "experiment service poisoned job after {} attempt{} ({}): {}; spec: {}",
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.reason,
+            self.error,
+            self.spec
+        )
+    }
+}
+
 /// Any failure a simulation run can surface.
 #[derive(Debug)]
 pub enum FsmcError {
@@ -181,6 +212,8 @@ pub enum FsmcError {
     Watchdog(WatchdogReport),
     /// The online invariant monitor flagged a breach.
     Invariant(InvariantBreach),
+    /// The experiment service poisoned the job after exhausting retries.
+    Service(ServiceFailure),
 }
 
 impl FsmcError {
@@ -198,8 +231,13 @@ impl FsmcError {
             FsmcError::Watchdog(w) => w.provenance = Some(p),
             FsmcError::Invariant(b) => b.provenance = Some(p),
             // Construction-time failures (solve/config/trace) already name
-            // the bad input; the plan is visible to whoever built it.
-            FsmcError::Solve(_) | FsmcError::Config(_) | FsmcError::Trace(_) => {}
+            // the bad input; the plan is visible to whoever built it. A
+            // service failure carries the worker's rendered error, which
+            // already embeds any provenance the run attached.
+            FsmcError::Solve(_)
+            | FsmcError::Config(_)
+            | FsmcError::Trace(_)
+            | FsmcError::Service(_) => {}
         }
         self
     }
@@ -224,6 +262,7 @@ impl fmt::Display for FsmcError {
             FsmcError::Trace(e) => write!(f, "{e}"),
             FsmcError::Watchdog(e) => write!(f, "{e}"),
             FsmcError::Invariant(e) => write!(f, "{e}"),
+            FsmcError::Service(e) => write!(f, "{e}"),
         }
     }
 }
@@ -234,7 +273,10 @@ impl std::error::Error for FsmcError {
             FsmcError::Solve(e) => Some(e),
             FsmcError::Config(e) => Some(e),
             FsmcError::Trace(e) => Some(e),
-            FsmcError::Timing(_) | FsmcError::Watchdog(_) | FsmcError::Invariant(_) => None,
+            FsmcError::Timing(_)
+            | FsmcError::Watchdog(_)
+            | FsmcError::Invariant(_)
+            | FsmcError::Service(_) => None,
         }
     }
 }
@@ -351,6 +393,20 @@ mod tests {
         })
         .with_provenance(&FaultPlan::new(5));
         assert!(clean.provenance().is_none());
+    }
+
+    #[test]
+    fn service_failures_render_spec_and_attempts() {
+        let e = FsmcError::Service(ServiceFailure {
+            spec: "cores=8 cycles=1000 device=ddr3-1600 mix=mix1 scheduler=fs-rp seed=1".into(),
+            attempts: 3,
+            reason: "timeout".into(),
+            error: "worker exceeded 50ms deadline".into(),
+        });
+        let msg = e.to_string();
+        assert!(msg.contains("after 3 attempts (timeout)"), "{msg}");
+        assert!(msg.contains("mix=mix1"), "{msg}");
+        assert!(e.provenance().is_none());
     }
 
     #[test]

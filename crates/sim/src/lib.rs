@@ -34,6 +34,10 @@
 //! * [`campaign`] — the chaos campaign: seeded fault-plan populations,
 //!   outcome classification against a fault-free reference, and greedy
 //!   shrinking of failing plans to 1-minimal fault sets.
+//! * [`spec`] — serializable job specs for the experiment service
+//!   ([`spec::JobSpec`]): canonical text encoding, a stable SHA-256
+//!   cache key, and bit-exact result/failure payloads for transport
+//!   between worker processes and the result cache.
 //! * [`mod@env`] — every `FSMC_*` environment knob, parsed in one place
 //!   with uniform malformed-value warnings.
 //!
@@ -50,6 +54,7 @@ pub mod error;
 pub mod faults;
 pub mod monitor;
 pub mod runner;
+pub mod spec;
 pub mod stats;
 pub mod system;
 
@@ -60,12 +65,14 @@ pub use campaign::{
 pub use config::SystemConfig;
 pub use engine::{ControllerFactory, Engine, ExperimentJob, ExperimentPlan};
 pub use error::{
-    FaultProvenance, FsmcError, InvariantBreach, MonitorFinding, TimingFault, WatchdogReport,
+    FaultProvenance, FsmcError, InvariantBreach, MonitorFinding, ServiceFailure, TimingFault,
+    WatchdogReport,
 };
 pub use faults::{FaultKind, FaultPlan, TimingField};
 pub use monitor::InvariantMonitor;
 pub use runner::{
     run_mix, run_mix_faulted, run_mix_suite, run_mix_suite_faulted, RunResult, SuiteResult,
 };
+pub use spec::JobSpec;
 pub use stats::SystemStats;
 pub use system::System;

@@ -1,0 +1,152 @@
+//! Job-spec hashing is the experiment service's correctness anchor: the
+//! content-addressed cache key must be stable across process restarts
+//! and field orderings, must change when any field changes, and must
+//! never depend on ambient environment (thread count, fast-path mode)
+//! that does not affect simulation results.
+
+use fsmc_dram::DeviceGeneration;
+use fsmc_sim::spec::parse_scheduler;
+use fsmc_sim::JobSpec;
+use proptest::prelude::*;
+
+fn spec(mix: &str, cores: u32, sched: &str, dev: &str, cycles: u64, seed: u64) -> JobSpec {
+    JobSpec {
+        mix: mix.to_string(),
+        cores,
+        scheduler: parse_scheduler(sched).expect("scheduler"),
+        device: DeviceGeneration::parse(dev).expect("device"),
+        cycles,
+        seed,
+    }
+}
+
+fn default_spec() -> JobSpec {
+    spec("mix1", 8, "fs-rp", "ddr3-1600", 60_000, 42)
+}
+
+/// The golden key: recorded once, asserted forever. A daemon restart —
+/// or a new build — must hash the same spec to the same cache entry, or
+/// every warm cache in existence silently dies.
+#[test]
+fn golden_key_is_stable_across_restarts() {
+    let s = default_spec();
+    assert_eq!(
+        s.canonical_line(),
+        "cores=8 cycles=60000 device=ddr3-1600 mix=mix1 scheduler=fs-rp seed=42"
+    );
+    assert_eq!(s.cache_key(), "76cea13ffbed80b1f323d771f04999ecc3dc4f93cc381308397c158f55ef6956");
+}
+
+#[test]
+fn key_changes_when_any_field_changes() {
+    let base = default_spec();
+    let variants = [
+        spec("mix2", 8, "fs-rp", "ddr3-1600", 60_000, 42),
+        spec("mix1", 4, "fs-rp", "ddr3-1600", 60_000, 42),
+        spec("mix1", 8, "tp-bp:60", "ddr3-1600", 60_000, 42),
+        spec("mix1", 8, "fs-rp", "hbm2", 60_000, 42),
+        spec("mix1", 8, "fs-rp", "ddr3-1600", 60_001, 42),
+        spec("mix1", 8, "fs-rp", "ddr3-1600", 60_000, 43),
+    ];
+    let mut keys: Vec<String> = variants.iter().map(JobSpec::cache_key).collect();
+    keys.push(base.cache_key());
+    let distinct: std::collections::HashSet<&String> = keys.iter().collect();
+    assert_eq!(distinct.len(), keys.len(), "two different specs share a cache key");
+}
+
+/// A spec line is a set of `key=value` fields, not a sequence: any
+/// ordering parses to the same spec and therefore the same hash.
+#[test]
+fn field_order_does_not_change_the_key() {
+    let s = default_spec();
+    let line = s.canonical_line();
+    let mut fields: Vec<&str> = line.split(' ').collect();
+    for _ in 0..fields.len() {
+        fields.rotate_left(1);
+        let parsed = JobSpec::parse_line(&fields.join(" ")).expect("rotated line parses");
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.cache_key(), s.cache_key());
+    }
+    fields.reverse();
+    let parsed = JobSpec::parse_line(&fields.join(" ")).expect("reversed line parses");
+    assert_eq!(parsed.cache_key(), s.cache_key());
+}
+
+/// Simulation results are byte-identical at any `FSMC_THREADS` and with
+/// the fast path disabled, so neither may reach the hash — a cache
+/// populated on a 64-core box must hit on a laptop.
+#[test]
+fn ambient_environment_does_not_reach_the_key() {
+    let before = default_spec().cache_key();
+    std::env::set_var("FSMC_THREADS", "3");
+    std::env::set_var("FSMC_NO_FASTPATH", "1");
+    let during = default_spec().cache_key();
+    std::env::remove_var("FSMC_THREADS");
+    std::env::remove_var("FSMC_NO_FASTPATH");
+    assert_eq!(before, during);
+}
+
+#[test]
+fn malformed_lines_are_rejected() {
+    let line = default_spec().canonical_line();
+    // Duplicate field.
+    assert!(JobSpec::parse_line(&format!("{line} seed=7")).is_err());
+    // Unknown field.
+    assert!(JobSpec::parse_line(&format!("{line} turbo=1")).is_err());
+    // Missing field.
+    assert!(JobSpec::parse_line(line.strip_prefix("cores=8 ").unwrap()).is_err());
+    // Degenerate values.
+    assert!(JobSpec::parse_line(&line.replace("cores=8", "cores=0")).is_err());
+    assert!(JobSpec::parse_line(&line.replace("cycles=60000", "cycles=0")).is_err());
+}
+
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    (
+        prop::sample::select(vec!["mix1", "mix2", "mcf", "lbm", "CG", "libquantum"]),
+        1u32..=16,
+        prop::sample::select(vec![
+            "baseline",
+            "fs-rp",
+            "fs-bp",
+            "fs-reordered-bp",
+            "fs-np",
+            "fs-ta",
+            "tp-bp:60",
+            "tp-np:172",
+            "channel-part",
+        ]),
+        prop::sample::select(vec!["ddr3-1600", "ddr4-2400", "lpddr4-3200", "hbm2"]),
+        1u64..=10_000_000,
+        any::<u64>(),
+    )
+        .prop_map(|(m, cores, s, d, cycles, seed)| spec(m, cores, s, d, cycles, seed))
+}
+
+proptest! {
+    /// Encode → parse round-trips exactly, for every representable spec.
+    #[test]
+    fn canonical_line_round_trips(s in arb_spec()) {
+        let parsed = JobSpec::parse_line(&s.canonical_line()).expect("canonical line parses");
+        prop_assert_eq!(&parsed, &s);
+        prop_assert_eq!(parsed.cache_key(), s.cache_key());
+    }
+
+    /// The key is a pure function of the field *set*: any rotation of
+    /// the fields hashes identically.
+    #[test]
+    fn hashing_ignores_field_order(s in arb_spec(), rot in 0usize..6) {
+        let line = s.canonical_line();
+        let mut fields: Vec<&str> = line.split(' ').collect();
+        let len = fields.len();
+        fields.rotate_left(rot % len);
+        let parsed = JobSpec::parse_line(&fields.join(" ")).expect("rotated line parses");
+        prop_assert_eq!(parsed.cache_key(), s.cache_key());
+    }
+
+    /// Two specs collide only if they are the same spec (the canonical
+    /// encoding is injective, and SHA-256 does the rest).
+    #[test]
+    fn distinct_specs_get_distinct_keys(a in arb_spec(), b in arb_spec()) {
+        prop_assert_eq!(a.cache_key() == b.cache_key(), a == b);
+    }
+}

@@ -86,6 +86,19 @@ impl WorkloadMix {
     pub fn cores(&self) -> usize {
         self.profiles.len()
     }
+
+    /// Builds the mix a name denotes at a given core count: `mix1` /
+    /// `mix2` resize the paper's blended mixes, any other name is a
+    /// rate-mode mix of that [`BenchProfile`] (case-insensitive). This
+    /// is the inverse of [`WorkloadMix::name`] for every mix the suite
+    /// and the experiment service's job specs use.
+    pub fn by_name(name: &str, cores: usize) -> Option<WorkloadMix> {
+        match name {
+            "mix1" => Some(WorkloadMix::mix1_for(cores)),
+            "mix2" => Some(WorkloadMix::mix2_for(cores)),
+            other => BenchProfile::by_name(other).map(|p| WorkloadMix::rate(p, cores)),
+        }
+    }
 }
 
 #[cfg(test)]

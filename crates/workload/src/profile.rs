@@ -197,13 +197,9 @@ impl BenchProfile {
     pub fn instrs_per_read(&self) -> f64 {
         1000.0 / self.read_mpki
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn all() -> Vec<BenchProfile> {
+    /// Every shipped profile, in the paper's presentation order.
+    pub fn all() -> Vec<BenchProfile> {
         vec![
             BenchProfile::libquantum(),
             BenchProfile::mcf(),
@@ -218,6 +214,32 @@ mod tests {
             BenchProfile::cg(),
             BenchProfile::sp(),
         ]
+    }
+
+    /// Looks a profile up by its canonical name, case-insensitively —
+    /// the single name→profile mapping the CLI and the experiment
+    /// service's job specs share, so a spec round-trips through its
+    /// textual form without inventing a second spelling.
+    pub fn by_name(name: &str) -> Option<BenchProfile> {
+        BenchProfile::all().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all() -> Vec<BenchProfile> {
+        BenchProfile::all()
+    }
+
+    #[test]
+    fn by_name_round_trips_every_profile() {
+        for p in BenchProfile::all() {
+            assert_eq!(BenchProfile::by_name(p.name), Some(p), "{}", p.name);
+            assert_eq!(BenchProfile::by_name(&p.name.to_lowercase()), Some(p), "{}", p.name);
+        }
+        assert_eq!(BenchProfile::by_name("no-such-bench"), None);
     }
 
     #[test]

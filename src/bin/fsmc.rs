@@ -24,12 +24,15 @@ use fsmc::cpu::trace_file::record_trace;
 use fsmc::dram::DeviceGeneration;
 use fsmc::obs::ChromeTraceBuilder;
 use fsmc::security::noninterference::check_noninterference_on;
+use fsmc::serve::pool::HANG_ENV;
+use fsmc::serve::{serve, ChaosSpec, Client, ServeOptions};
 use fsmc::sim::{
-    run_campaign, run_single, CampaignConfig, Engine, ExperimentJob, FaultPlan, System,
+    run_campaign, run_single, CampaignConfig, Engine, ExperimentJob, FaultPlan, JobSpec, System,
     SystemConfig,
 };
 use fsmc::workload::{BenchProfile, SyntheticTrace, WorkloadMix};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -56,6 +59,13 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(&opts),
         "bench-throughput" => cmd_bench_throughput(&opts),
         "record" => cmd_record(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "status" => cmd_status(&opts),
+        // Hidden: the worker-process entry point `fsmc serve` spawns.
+        // Reads one spec line from stdin; exits 0 with the result
+        // payload on stdout, 3 with the rendered typed error.
+        "job-exec" => return cmd_job_exec(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -110,6 +120,22 @@ USAGE (every command also takes --device GEN):
                                       with --check, fail on a >20% regression
                                       versus a recorded snapshot
   fsmc record --workload NAME --ops N --out FILE   export a USIMM trace
+  fsmc serve [--socket PATH] [--workers N] [--timeout MS] [--max-attempts K]
+             [--queue N]
+                                      run the crash-tolerant experiment
+                                      service: a worker-process pool with
+                                      retry/backoff and a content-addressed
+                                      result cache; suite/chaos and the
+                                      figure binaries submit to it whenever
+                                      FSMC_SERVE names its socket
+  fsmc submit [--workload NAME] [--scheduler KIND] [--cycles N] [--cores N]
+              [--seed S] [--priority P] [--spec 'LINE'] [--socket PATH]
+                                      run one experiment through the service
+                                      and print its bit-exact result payload
+  fsmc status [--socket PATH] [--stats] [--shutdown]
+                                      daemon status page; --stats prints the
+                                      machine-readable counters line and
+                                      --shutdown stops the daemon
 
 SCHEDULERS: baseline, baseline-prefetch, fs-rp, fs-rp-prefetch, fs-bp,
             fs-reordered-bp, fs-np, fs-ta, tp-bp, tp-np, channel-part
@@ -123,7 +149,14 @@ ENV:        FSMC_DEVICE    default device generation for fsmc and the
             FSMC_CYCLES / FSMC_SEED   defaults for the figure binaries
             FSMC_RESULTS_DIR          where figure binaries write CSVs
             FSMC_NO_FASTPATH=1        force per-cycle stepping (debugging;
-                                      results are bit-identical either way)";
+                                      results are bit-identical either way)
+            FSMC_SERVE     experiment-service socket path; when set, suite
+                           and chaos campaigns route through the daemon
+            FSMC_SERVE_WORKERS        service worker processes (default:
+                                      all cores)
+            FSMC_JOB_TIMEOUT          per-attempt deadline in ms
+                                      (default 120000)
+            FSMC_CACHE_DIR result cache directory (default results/cache)";
 
 /// Parses `--key value` pairs; a `--key` followed by another option (or
 /// nothing) is a bare flag and records the value `"true"`.
@@ -180,21 +213,7 @@ fn device_gen(opts: &HashMap<String, String>) -> Result<DeviceGeneration, String
 }
 
 fn profile(name: &str) -> Result<BenchProfile, String> {
-    Ok(match name {
-        "libquantum" => BenchProfile::libquantum(),
-        "mcf" => BenchProfile::mcf(),
-        "milc" => BenchProfile::milc(),
-        "lbm" => BenchProfile::lbm(),
-        "GemsFDTD" | "gemsfdtd" => BenchProfile::gems_fdtd(),
-        "astar" => BenchProfile::astar(),
-        "zeusmp" => BenchProfile::zeusmp(),
-        "xalancbmk" => BenchProfile::xalancbmk(),
-        "soplex" => BenchProfile::soplex(),
-        "omnetpp" => BenchProfile::omnetpp(),
-        "CG" | "cg" => BenchProfile::cg(),
-        "SP" | "sp" => BenchProfile::sp(),
-        other => return Err(format!("unknown workload {other:?}")),
-    })
+    BenchProfile::by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))
 }
 
 fn get_u64(opts: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
@@ -300,11 +319,7 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     let seed = get_u64(opts, "seed", 42)?;
     let cores = get_u64(opts, "cores", 8)? as usize;
     let wl = opts.get("workload").map(String::as_str).unwrap_or("mix1");
-    let mix = match wl {
-        "mix1" => WorkloadMix::mix1_for(cores),
-        "mix2" => WorkloadMix::mix2_for(cores),
-        name => WorkloadMix::rate(profile(name)?, cores),
-    };
+    let mix = WorkloadMix::by_name(wl, cores).ok_or_else(|| format!("unknown workload {wl:?}"))?;
     let device = device_gen(opts)?;
     let cfg = SystemConfig::for_device(device, kind, cores as u8);
     let job = ExperimentJob::new(mix.clone(), kind, cycles, seed).with_config(cfg);
@@ -383,11 +398,7 @@ fn cmd_chaos(opts: &HashMap<String, String>) -> Result<(), String> {
     let cores = get_u64(opts, "cores", 4)? as usize;
     let wl = opts.get("workload").map(String::as_str).unwrap_or("mcf");
     let mut cfg = CampaignConfig::new(get_u64(opts, "seed", 1)?);
-    cfg.mix = match wl {
-        "mix1" => WorkloadMix::mix1_for(cores),
-        "mix2" => WorkloadMix::mix2_for(cores),
-        name => WorkloadMix::rate(profile(name)?, cores),
-    };
+    cfg.mix = WorkloadMix::by_name(wl, cores).ok_or_else(|| format!("unknown workload {wl:?}"))?;
     cfg.scheduler = kind;
     cfg.device = device_gen(opts)?;
     cfg.cycles = get_u64(opts, "cycles", 8_000)?;
@@ -426,11 +437,7 @@ fn cmd_trace(opts: &HashMap<String, String>) -> Result<(), String> {
     let seed = get_u64(opts, "seed", 42)?;
     let cores = get_u64(opts, "cores", 8)? as usize;
     let wl = opts.get("workload").map(String::as_str).unwrap_or("mix1");
-    let mix = match wl {
-        "mix1" => WorkloadMix::mix1_for(cores),
-        "mix2" => WorkloadMix::mix2_for(cores),
-        name => WorkloadMix::rate(profile(name)?, cores),
-    };
+    let mix = WorkloadMix::by_name(wl, cores).ok_or_else(|| format!("unknown workload {wl:?}"))?;
     let out = opts.get("out").map(String::as_str).unwrap_or("results/trace.json");
     let device = device_gen(opts)?;
     let cfg = SystemConfig::for_device(device, kind, cores as u8);
@@ -616,6 +623,161 @@ fn cmd_bench_throughput(opts: &HashMap<String, String>) -> Result<(), String> {
         println!("throughput within 20% of {baseline} for {checked} scenarios");
     }
     Ok(())
+}
+
+/// `--socket` wins over `FSMC_SERVE`; the daemon and its clients must
+/// agree on one of them.
+fn serve_socket_path(opts: &HashMap<String, String>) -> Result<PathBuf, String> {
+    match opts.get("socket") {
+        Some(p) => Ok(PathBuf::from(p)),
+        None => fsmc::sim::env::serve_socket()
+            .ok_or_else(|| "pass --socket PATH or set FSMC_SERVE".to_string()),
+    }
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let socket = serve_socket_path(opts)?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut so = ServeOptions::from_env(socket, vec![exe.display().to_string(), "job-exec".into()]);
+    if let Some(w) = opts.get("workers") {
+        so.workers = w.parse().map_err(|e| format!("--workers: {e}"))?;
+        if so.workers == 0 {
+            return Err("--workers: must be at least 1".into());
+        }
+    }
+    so.timeout_ms = get_u64(opts, "timeout", so.timeout_ms)?;
+    let attempts = get_u64(opts, "max-attempts", u64::from(so.max_attempts))?;
+    so.max_attempts = u32::try_from(attempts)
+        .ok()
+        .filter(|a| *a >= 1)
+        .ok_or("--max-attempts: must be 1..=2^32")?;
+    so.queue_capacity = get_u64(opts, "queue", so.queue_capacity as u64)? as usize;
+    // Hidden chaos knobs for the robustness CI: deterministically kill /
+    // hang a percentage of worker attempts (never a job's final one).
+    let kill = get_u64(opts, "chaos-kill", 0)?;
+    let hang = get_u64(opts, "chaos-hang", 0)?;
+    if kill > 0 || hang > 0 {
+        if kill + hang > 100 {
+            return Err("--chaos-kill + --chaos-hang must not exceed 100".into());
+        }
+        so.chaos = Some(ChaosSpec {
+            kill_pct: kill as u8,
+            hang_pct: hang as u8,
+            seed: get_u64(opts, "chaos-seed", 0)?,
+        });
+    }
+    println!(
+        "fsmc serve: listening on {} ({} workers, {}ms deadline, cache {})",
+        so.socket.display(),
+        so.workers,
+        so.timeout_ms,
+        so.cache_dir.display()
+    );
+    serve(so).map_err(|e| e.to_string())
+}
+
+fn cmd_submit(opts: &HashMap<String, String>) -> Result<(), String> {
+    let socket = serve_socket_path(opts)?;
+    let spec = match opts.get("spec") {
+        // Raw canonical spec line, exactly as the daemon hashes it.
+        Some(raw) => JobSpec::parse_line(raw)?,
+        None => {
+            let sched = opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp");
+            let scheduler = fsmc::sim::spec::parse_scheduler(sched)
+                .ok_or_else(|| format!("unknown scheduler {sched:?}"))?;
+            let cores = u32::try_from(get_u64(opts, "cores", 8)?)
+                .map_err(|_| "--cores: too large".to_string())?;
+            let wl = opts.get("workload").map(String::as_str).unwrap_or("mix1");
+            // Catch typos locally instead of as a remote failure record.
+            WorkloadMix::by_name(wl, cores as usize)
+                .ok_or_else(|| format!("unknown workload {wl:?}"))?;
+            JobSpec {
+                mix: wl.to_string(),
+                cores,
+                scheduler,
+                device: device_gen(opts)?,
+                cycles: get_u64(opts, "cycles", 60_000)?,
+                seed: get_u64(opts, "seed", 42)?,
+            }
+        }
+    };
+    let priority = u8::try_from(get_u64(opts, "priority", 1)?)
+        .map_err(|_| "--priority: must be 0..=255".to_string())?;
+    let client = Client::new(socket.clone());
+    if !client.ping() {
+        return Err(format!("no experiment service at {} (start `fsmc serve`)", socket.display()));
+    }
+    let reply = client.submit(priority, &spec)?;
+    eprintln!(
+        "job {} key {} ({})",
+        reply.id,
+        &reply.key[..16],
+        if reply.cached { "cache hit" } else { "submitted" }
+    );
+    match client.wait(reply.id)? {
+        Ok(payload) => {
+            print!("{payload}");
+            Ok(())
+        }
+        Err(record) => Err(format!(
+            "job poisoned after {} attempt(s) ({}): {}",
+            record.attempts, record.reason, record.error
+        )),
+    }
+}
+
+fn cmd_status(opts: &HashMap<String, String>) -> Result<(), String> {
+    let socket = serve_socket_path(opts)?;
+    let client = Client::new(socket.clone());
+    let nope = |e: std::io::Error| format!("no experiment service at {}: {e}", socket.display());
+    if get_flag(opts, "shutdown") {
+        client.shutdown();
+        println!("sent SHUTDOWN to {}", socket.display());
+        return Ok(());
+    }
+    if get_flag(opts, "stats") {
+        print!("{}", client.stats().map_err(nope)?);
+    } else {
+        print!("{}", client.status().map_err(nope)?);
+    }
+    Ok(())
+}
+
+/// The worker-process entry point (`fsmc job-exec`): reads one spec line
+/// from stdin, runs it, and reports through the pool's process protocol
+/// — payload on stdout / exit 0, rendered typed error on stdout /
+/// exit 3. Anything else (signal, other exit) the pool counts a crash.
+fn cmd_job_exec() -> ExitCode {
+    use std::io::Read as _;
+    // The chaos harness wedges a worker by setting this; honouring it
+    // here exercises the daemon's deadline watchdog end to end.
+    if std::env::var_os(HANG_ENV).is_some() {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    let mut line = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut line) {
+        println!("job-exec: reading spec from stdin: {e}");
+        return ExitCode::from(3);
+    }
+    let spec = match JobSpec::parse_line(line.trim()) {
+        Ok(spec) => spec,
+        Err(e) => {
+            println!("job-exec: bad spec: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    match spec.run() {
+        Ok(payload) => {
+            print!("{payload}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("{e}");
+            ExitCode::from(3)
+        }
+    }
 }
 
 fn cmd_record(opts: &HashMap<String, String>) -> Result<(), String> {

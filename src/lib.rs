@@ -17,6 +17,8 @@
 //! * [`sim`] — full-system simulator, statistics and the deterministic
 //!   parallel experiment engine
 //! * [`security`] — leakage measurement and non-interference harness
+//! * [`serve`] — the crash-tolerant experiment service: `fsmc serve`
+//!   daemon, worker-process pool, content-addressed result cache
 //! * [`mod@bench`] — figure/table suites built on the engine
 //!
 //! ## Quickstart
@@ -40,5 +42,6 @@ pub use fsmc_dram as dram;
 pub use fsmc_energy as energy;
 pub use fsmc_obs as obs;
 pub use fsmc_security as security;
+pub use fsmc_serve as serve;
 pub use fsmc_sim as sim;
 pub use fsmc_workload as workload;

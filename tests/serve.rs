@@ -1,0 +1,176 @@
+//! End-to-end robustness proof for the experiment service: the daemon
+//! drives the *real* `fsmc job-exec` worker binary, and every result
+//! that comes back over the socket must be bit-identical to running the
+//! same plan on the in-process engine — with chaos killing and hanging
+//! workers, with a warm cache, and with deadlines poisoning jobs that
+//! can never finish.
+
+use fsmc::core::sched::SchedulerKind as K;
+use fsmc::serve::{run_plan_remote, serve, ChaosSpec, Client, ServeOptions};
+use fsmc::sim::{Engine, ExperimentPlan, FsmcError, JobSpec};
+use fsmc::workload::WorkloadMix;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const CYCLES: u64 = 3_000;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsmc-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The real worker: the compiled `fsmc` binary's hidden `job-exec`
+/// subcommand, exactly as `fsmc serve` spawns it in production.
+fn real_worker() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_fsmc").to_string(), "job-exec".into()]
+}
+
+fn options(dir: &Path, worker: Vec<String>) -> ServeOptions {
+    ServeOptions {
+        socket: dir.join("fsmc.sock"),
+        cache_dir: dir.join("cache"),
+        workers: 2,
+        timeout_ms: 60_000,
+        max_attempts: 3,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 8,
+        queue_capacity: 64,
+        worker_cmd: worker,
+        chaos: None,
+    }
+}
+
+fn start(opts: ServeOptions) -> (Client, std::thread::JoinHandle<()>) {
+    let socket = opts.socket.clone();
+    let h = std::thread::spawn(move || serve(opts).expect("daemon runs"));
+    let client = Client::new(socket);
+    for _ in 0..300 {
+        if client.ping() {
+            return (client, h);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up");
+}
+
+fn small_plan() -> ExperimentPlan {
+    let mixes = [WorkloadMix::mix1_for(2), WorkloadMix::mix2_for(2)];
+    let kinds = [K::Baseline, K::FsRankPartitioned, K::TpBankPartitioned { turn: 60 }];
+    ExperimentPlan::grid(&mixes, &kinds, CYCLES, 7)
+}
+
+/// Every slot the service fills must match the in-process engine on the
+/// fields the payload transports (per-core stats, read counts, bus
+/// utilization — bit-for-bit via `f64::to_bits`).
+fn assert_slots_identical(
+    direct: &[Result<fsmc::sim::runner::RunResult, FsmcError>],
+    served: &[Result<fsmc::sim::runner::RunResult, FsmcError>],
+) {
+    assert_eq!(direct.len(), served.len());
+    for (i, (d, s)) in direct.iter().zip(served).enumerate() {
+        let d = d.as_ref().expect("direct slot ok");
+        let s = s.as_ref().expect("served slot ok");
+        assert_eq!(d.stats.cores, s.stats.cores, "slot {i}: core stats diverged");
+        assert_eq!(d.stats.reads_completed, s.stats.reads_completed, "slot {i}");
+        assert_eq!(
+            d.stats.bus_utilization.to_bits(),
+            s.stats.bus_utilization.to_bits(),
+            "slot {i}: bus utilization diverged"
+        );
+    }
+}
+
+#[test]
+fn served_plan_is_bit_identical_and_warm_cache_resubmits_run_nothing() {
+    let dir = scratch("identity");
+    let (client, h) = start(options(&dir, real_worker()));
+    let plan = small_plan();
+    let direct = Engine::with_threads(2).run(&plan);
+    let served = run_plan_remote(&dir.join("fsmc.sock"), &plan);
+    assert_slots_identical(&direct, &served);
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("simulations=6"), "{stats}");
+    // Resubmitting the identical plan must be answered entirely from
+    // the content-addressed cache: zero new simulations.
+    let warm = run_plan_remote(&dir.join("fsmc.sock"), &plan);
+    assert_slots_identical(&direct, &warm);
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("simulations=6"), "resubmit ran new work: {stats}");
+    assert!(stats.contains("cache_hits=6"), "{stats}");
+    client.shutdown();
+    h.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_killed_and_hung_workers_retry_to_the_same_bytes() {
+    let dir = scratch("chaos");
+    let mut opts = options(&dir, real_worker());
+    // Kill a third of attempts outright, wedge some more until the
+    // deadline; the retry ladder must still converge on every job, and
+    // on exactly the clean run's bytes.
+    opts.chaos = Some(ChaosSpec { kill_pct: 35, hang_pct: 15, seed: 9 });
+    opts.timeout_ms = 4_000;
+    opts.max_attempts = 4;
+    let (client, h) = start(opts);
+    let plan = small_plan();
+    let direct = Engine::with_threads(2).run(&plan);
+    let served = run_plan_remote(&dir.join("fsmc.sock"), &plan);
+    assert_slots_identical(&direct, &served);
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("poisoned=0"), "{stats}");
+    let retries: u64 = stats
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("retries="))
+        .and_then(|v| v.parse().ok())
+        .expect("stats line carries retries=");
+    assert!(retries > 0, "chaos injected no faults — spec/seed drifted: {stats}");
+    client.shutdown();
+    h.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_overrun_retries_then_poisons_with_structured_record() {
+    let dir = scratch("deadline");
+    // A worker that reads its spec and then never answers: every
+    // attempt must be killed at the deadline and retried with backoff,
+    // and after `max_attempts` the job poisons.
+    let hung = vec!["/bin/sh".into(), "-c".into(), "read line; sleep 30".into()];
+    let mut opts = options(&dir, hung);
+    opts.timeout_ms = 120;
+    opts.max_attempts = 2;
+    opts.backoff_base_ms = 40;
+    opts.backoff_cap_ms = 80;
+    let (client, h) = start(opts);
+    let spec =
+        JobSpec::parse_line("cores=2 cycles=1000 device=ddr3-1600 mix=mix1 scheduler=fs-rp seed=1")
+            .unwrap();
+    let t0 = std::time::Instant::now();
+    let sub = client.submit(0, &spec).unwrap();
+    let record = client.wait(sub.id).unwrap().expect_err("job must poison");
+    assert_eq!(record.attempts, 2);
+    assert_eq!(record.reason, "timeout");
+    // Two 120ms deadlines plus one 40ms backoff must have elapsed.
+    assert!(t0.elapsed() >= Duration::from_millis(280), "retry ladder ran too fast");
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("poisoned=1"), "{stats}");
+    // The same failure surfaces through the engine-compatible router as
+    // a typed `FsmcError::Service` carrying the spec and attempt count.
+    let mut plan = ExperimentPlan::new();
+    plan.push(spec.to_job().unwrap());
+    let slots = run_plan_remote(&dir.join("fsmc.sock"), &plan);
+    match &slots[0] {
+        Err(FsmcError::Service(f)) => {
+            assert_eq!(f.attempts, 2);
+            assert_eq!(f.reason, "timeout");
+            assert!(f.spec.contains("mix=mix1"), "{}", f.spec);
+        }
+        other => panic!("expected FsmcError::Service, got {other:?}"),
+    }
+    client.shutdown();
+    h.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -162,6 +162,7 @@ impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
 
 /// Types with a canonical strategy (subset of upstream `Arbitrary`).
 pub trait Arbitrary: Sized {
@@ -173,6 +174,18 @@ impl Arbitrary for bool {
         rng.next_u64() & 1 == 1
     }
 }
+
+macro_rules! impl_int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_arbitrary!(u8, u16, u32, u64, usize);
 
 /// Strategy form of [`Arbitrary`]; build with [`any`].
 pub struct Any<A>(PhantomData<A>);
@@ -213,6 +226,26 @@ pub mod sample {
         fn arbitrary(rng: &mut TestRng) -> Self {
             Index(rng.next_u64())
         }
+    }
+
+    /// Uniform choice among a fixed set of options (upstream
+    /// `prop::sample::select` over a `Vec`).
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> super::Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select over empty options");
+            self.options[(rng.next_u64() % self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// A strategy that picks one of `options` uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
     }
 }
 
