@@ -10,7 +10,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fsmc_core::sched::SchedulerKind as K;
-use fsmc_sim::{System, SystemConfig};
+use fsmc_dram::geometry::{BankId, ColId, RankId, RowId};
+use fsmc_dram::{Command, DramDevice, Geometry, TimingParams};
+use fsmc_sim::{Engine, ExperimentJob, ExperimentPlan, System, SystemConfig};
 use fsmc_workload::{BenchProfile, WorkloadMix};
 
 const CYCLES: u64 = 5_000;
@@ -57,5 +59,90 @@ fn bench_next_event(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_fast_vs_percycle, bench_next_event);
+/// A device warmed into a loaded steady state — open rows on every
+/// rank and in-flight read bursts — so the SoA probes below scan
+/// realistic ready-cycle tables rather than the all-zero reset state.
+fn warmed_device() -> (DramDevice, u64) {
+    let mut dev = DramDevice::new(Geometry::paper_default(), TimingParams::ddr3_1600());
+    let mut cycle = 0;
+    // Each (rank, bank) pair is activated exactly once — a second ACT
+    // on an open bank would be illegal for good.
+    for i in 0..32u64 {
+        let rank = RankId((i % 8) as u8);
+        let bank = BankId((i / 8) as u8);
+        let row = RowId((i % 512) as u32);
+        let act = Command::activate(rank, bank, row);
+        cycle = dev.earliest_issue(&act, cycle, 50_000).expect("warmup fits");
+        dev.issue(&act, cycle).unwrap();
+        let rd = Command::read(rank, bank, row, ColId(0));
+        let at = dev.earliest_issue(&rd, cycle, 50_000).expect("warmup fits");
+        dev.issue(&rd, at).unwrap();
+    }
+    (dev, cycle)
+}
+
+/// The two SoA hot paths in isolation: the flat-table event-bound scan
+/// (the fast path's marginal cost per elided span) and a CAS apply
+/// (the dominant mutation on saturated runs — rank/bank ready-cycle
+/// stores plus the data-bus window push).
+fn bench_soa_device(c: &mut Criterion) {
+    let (dev, now) = warmed_device();
+    let bpr = dev.geometry().banks_per_rank() as u32;
+    // Masks mirror what the baseline scheduler builds: CAS and PRE bits
+    // on every open bank, ACT bits on the closed ones.
+    let (mut cas, mut pre, mut act) = (0u128, 0u128, 0u128);
+    for r in 0..dev.geometry().ranks_per_channel() {
+        for b in 0..dev.geometry().banks_per_rank() {
+            let bit = 1u128 << (r as u32 * bpr + b as u32);
+            if dev.open_row(RankId(r), BankId(b)).is_some() {
+                cas |= bit;
+                pre |= bit;
+            } else {
+                act |= bit;
+            }
+        }
+    }
+    c.bench_function("soa/next_event_bound", |b| {
+        b.iter(|| black_box(dev.next_event_bound(black_box(now), cas, cas, pre, act)))
+    });
+    let target = RankId(1);
+    let row = dev.open_row(target, BankId(0)).expect("warmup opened rank 1 bank 0");
+    let cmd = Command::read(target, BankId(0), row, ColId(0));
+    let at = dev.earliest_issue(&cmd, now, 500_000).expect("CAS issues");
+    // `issue` mutates, so each sample replays onto a fresh copy; the
+    // clone of the flat SoA tables is part of the measured cost (and a
+    // useful canary against the state ever growing pointer-chasing
+    // members again).
+    c.bench_function("soa/cas_apply", |b| {
+        b.iter(|| {
+            let mut d = dev.clone();
+            black_box(d.issue(&cmd, at).unwrap())
+        })
+    });
+}
+
+/// Eight same-tape jobs run back to back versus interleaved as one
+/// K=8 batch on a single worker: identical simulation work, so the
+/// report shows the cost (or win) of the batching machinery itself.
+fn bench_batched_replay(c: &mut Criterion) {
+    let mut plan = ExperimentPlan::new();
+    for _ in 0..8 {
+        plan.push(ExperimentJob::new(WorkloadMix::mix1(), K::FsRankPartitioned, CYCLES, 42));
+    }
+    for (label, engine) in
+        [("k1", Engine::with_threads(1)), ("k8", Engine::with_threads(1).with_batch(8))]
+    {
+        c.bench_function(&format!("batched_replay/{label}"), |b| {
+            b.iter(|| black_box(engine.run(&plan)))
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_fast_vs_percycle,
+    bench_next_event,
+    bench_soa_device,
+    bench_batched_replay
+);
 criterion_main!(benches);

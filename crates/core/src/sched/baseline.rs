@@ -14,7 +14,41 @@ use crate::sched::{Completion, McStats, MemoryController, SchedulerKind};
 use crate::txn::{Transaction, TxnId, TxnKind};
 use fsmc_dram::command::{Command, TimedCommand};
 use fsmc_dram::geometry::{BankId, Geometry, LineAddr, RankId};
-use fsmc_dram::{Cycle, DramDevice, TimingParams};
+use fsmc_dram::{Cycle, DramDevice, TimingParams, NO_ROW};
+
+/// Immutable per-tick view of the device and queue state shared by the
+/// (up to) two [`BaselineScheduler::try_issue`] attempts of one tick:
+/// a flat open-row table, rank-level legality floors, and the
+/// pending-row-hit bank mask for the FR-FCFS precharge guard. Nothing
+/// it caches can change between the attempts — the second runs only
+/// when the first issued no command — so one build serves both, and
+/// every queue entry is classified with plain array loads instead of
+/// per-entry device accessor calls.
+///
+/// `rows`/`hit_mask` are valid only when `!wide` (geometry fits 128
+/// banks; the paper's is 64); wide geometries keep the direct scans.
+struct IssueSnapshot {
+    rows: [u32; 128],
+    /// Per-bank command floors (`BankArrays` ready cycles), flat-indexed
+    /// like `rows`: the passes touch them once per candidate entry, so
+    /// one indexed load beats the accessor chain through the device.
+    cas_bank_f: [Cycle; 128],
+    act_bank_f: [Cycle; 128],
+    pre_bank_f: [Cycle; 128],
+    pre_f: [Cycle; 16],
+    act_f: [Cycle; 16],
+    /// Rank CAS floors by direction, indexed `[is_write][rank]` so the
+    /// branchless classification sweeps select without a branch.
+    cas_dir_f: [[Cycle; 16]; 2],
+    /// Lazily-built FR-FCFS precharge guard: banks with a pending row
+    /// hit. Only pass 2 reads it, and ticks that issue a CAS in pass 1
+    /// never reach pass 2 — so the two-queue sweep is deferred until
+    /// first use (`None` = not built yet).
+    hit_mask: std::cell::Cell<Option<u128>>,
+    bpr: u32,
+    prefilter: bool,
+    wide: bool,
+}
 
 /// One queued transaction and its command progress.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +75,14 @@ pub struct BaselineScheduler {
     prefetchers: Vec<SandboxPrefetcher>,
     next_prefetch_id: u64,
     domains: u8,
+    /// Cached provable-no-op bound: every tick at a cycle strictly below
+    /// this issues nothing and mutates nothing. Taken from `next_event`
+    /// after a tick that issued no command; cleared (0) by anything that
+    /// could create a new issue candidate — an enqueue, or any tick that
+    /// touched the device. Queue contents and row state are constant
+    /// while it holds, so both `tick_into` and `next_event` answer in
+    /// O(1) instead of rescanning two 64-entry queues per idle cycle.
+    idle_until: Cycle,
 }
 
 impl BaselineScheduler {
@@ -65,6 +107,7 @@ impl BaselineScheduler {
             prefetchers: (0..domains).map(|_| SandboxPrefetcher::new()).collect(),
             next_prefetch_id: 1 << 62,
             domains,
+            idle_until: 0,
         }
     }
 
@@ -121,28 +164,146 @@ impl BaselineScheduler {
         }
     }
 
+    /// Builds the per-tick issue snapshot (see [`IssueSnapshot`]).
+    fn snapshot(&self) -> IssueSnapshot {
+        let geom = self.device.geometry();
+        let nranks = geom.ranks_per_channel() as usize;
+        let bpr = geom.banks_per_rank() as u32;
+        let wide = nranks as u32 * bpr > 128;
+        let mut s = IssueSnapshot {
+            rows: [NO_ROW; 128],
+            cas_bank_f: [0; 128],
+            act_bank_f: [0; 128],
+            pre_bank_f: [0; 128],
+            pre_f: [0; 16],
+            act_f: [0; 16],
+            cas_dir_f: [[0; 16]; 2],
+            hit_mask: std::cell::Cell::new(None),
+            bpr,
+            prefilter: nranks <= 16,
+            wide,
+        };
+        if s.prefilter {
+            for r in 0..nranks {
+                let (p, a, rd, wr) = self.device.rank_floor_parts(RankId(r as u8));
+                s.pre_f[r] = p;
+                s.act_f[r] = a;
+                s.cas_dir_f[0][r] = rd;
+                s.cas_dir_f[1][r] = wr;
+            }
+        }
+        if !wide {
+            for r in 0..nranks {
+                let banks = self.device.banks_of(RankId(r as u8));
+                let rows = banks.open_rows_slice();
+                let base = r * bpr as usize;
+                s.rows[base..][..rows.len()].copy_from_slice(rows);
+                s.cas_bank_f[base..][..rows.len()].copy_from_slice(banks.next_cas_slice());
+                s.act_bank_f[base..][..rows.len()].copy_from_slice(banks.next_activate_slice());
+                s.pre_bank_f[base..][..rows.len()].copy_from_slice(banks.next_precharge_slice());
+            }
+        }
+        s
+    }
+
+    /// The deferred pending-row-hit mask of `snap` (see
+    /// [`IssueSnapshot::hit_mask`]), building it on first use.
+    fn hit_mask_of(&self, snap: &IssueSnapshot) -> u128 {
+        if let Some(m) = snap.hit_mask.get() {
+            return m;
+        }
+        let mut m = 0u128;
+        for q in self.reads.iter().chain(self.writes.iter()) {
+            let l = q.txn.loc;
+            let gbi = l.rank.0 as u32 * snap.bpr + l.bank.0 as u32;
+            if snap.rows[gbi as usize] == l.row.0 {
+                m |= 1u128 << gbi;
+            }
+        }
+        snap.hit_mask.set(Some(m));
+        m
+    }
+
     /// Attempts FR-FCFS issue from `queue`; returns a completion if a CAS
     /// retired a transaction. At most one command is issued.
+    ///
+    /// The rank-level floors in `snap` reject candidates blocked by a
+    /// rank-wide constraint (tCCD between row hits, tRRD/tFAW between
+    /// ACTs, refresh recovery) with one compare instead of a full
+    /// `can_issue` validation. Sound because a floor past `now` makes
+    /// `can_issue` fail for that class — the same candidates are
+    /// attempted, in the same order, with identical outcomes.
     fn try_issue(
         &mut self,
         is_write_queue: bool,
         now: Cycle,
         act_allowed: bool,
+        snap: &IssueSnapshot,
     ) -> (bool, Option<Completion>) {
-        // Pass 1: row hits, oldest first.
+        // Pass 1: row hits, oldest first. On table-backed geometries the
+        // sweep is branchless — every entry contributes one candidate
+        // bit computed from indexed loads (no per-entry branch to
+        // mispredict on the irregular hit pattern) — and only the few
+        // floor-ready hits pay a `can_issue`, oldest first.
         let queue = if is_write_queue { &self.writes } else { &self.reads };
         let mut cas_idx = None;
-        for (i, p) in queue.iter().enumerate() {
-            let open = self.device.open_row(p.txn.loc.rank, p.txn.loc.bank);
-            if open == Some(p.txn.loc.row) {
+        if !snap.wide && snap.prefilter && queue.len() <= 64 {
+            let mut cand = 0u64;
+            for (i, p) in queue.iter().enumerate() {
+                let l = p.txn.loc;
+                let gbi = (l.rank.0 as u32 * snap.bpr + l.bank.0 as u32) as usize;
+                let hit = (snap.rows[gbi] == l.row.0) as u64;
+                let rank_floor = snap.cas_dir_f[p.txn.is_write as usize][l.rank.0 as usize];
+                let ready = (rank_floor.max(snap.cas_bank_f[gbi]) <= now) as u64;
+                cand |= (hit & ready) << i;
+            }
+            // Candidates that clear the rank/bank floors mostly fail on
+            // the data bus (cross-rank tRTRS gaps around in-flight
+            // bursts). That verdict depends only on (direction, rank,
+            // cycle), so probe it once per pair and skip the full
+            // validation for every candidate behind a blocked bus.
+            let mut bus = [[0u8; 16]; 2]; // 0 unknown, 1 admits, 2 blocked
+            while cand != 0 {
+                let i = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let p = &queue[i];
+                let l = p.txn.loc;
+                let d = p.txn.is_write as usize;
+                let r = l.rank.0 as usize;
+                let admits = match bus[d][r] {
+                    0 => {
+                        let a = self.device.data_bus_admits(!p.txn.is_write, l.rank, now);
+                        bus[d][r] = if a { 1 } else { 2 };
+                        a
+                    }
+                    m => m == 1,
+                };
+                if !admits {
+                    continue;
+                }
                 let cas = if p.txn.is_write {
-                    Command::write(p.txn.loc.rank, p.txn.loc.bank, p.txn.loc.row, p.txn.loc.col)
+                    Command::write(l.rank, l.bank, l.row, l.col)
                 } else {
-                    Command::read(p.txn.loc.rank, p.txn.loc.bank, p.txn.loc.row, p.txn.loc.col)
+                    Command::read(l.rank, l.bank, l.row, l.col)
                 };
                 if self.device.can_issue(&cas, now).is_ok() {
                     cas_idx = Some((i, cas));
                     break;
+                }
+            }
+        } else {
+            for (i, p) in queue.iter().enumerate() {
+                let l = p.txn.loc;
+                if self.device.open_row(l.rank, l.bank) == Some(l.row) {
+                    let cas = if p.txn.is_write {
+                        Command::write(l.rank, l.bank, l.row, l.col)
+                    } else {
+                        Command::read(l.rank, l.bank, l.row, l.col)
+                    };
+                    if self.device.can_issue(&cas, now).is_ok() {
+                        cas_idx = Some((i, cas));
+                        break;
+                    }
                 }
             }
         }
@@ -167,38 +328,71 @@ impl BaselineScheduler {
 
         // Pass 2: oldest transaction whose next command (PRE or ACT) can
         // issue. Never precharge a row some pending transaction still hits.
-        // The guard is answered with one bitmask pass over both queues
-        // (row state is constant until a command issues, and pass 2
-        // returns as soon as it issues); geometries too wide for a u128
-        // fall back to the direct scan.
-        let geom = *self.device.geometry();
-        let bpr = geom.banks_per_rank() as u32;
-        let wide = geom.ranks_per_channel() as u32 * bpr > 128;
-        let mut hit_mask: u128 = 0;
-        if !wide {
-            for q in self.reads.iter().chain(self.writes.iter()) {
-                let l = q.txn.loc;
-                if self.device.open_row(l.rank, l.bank) == Some(l.row) {
-                    hit_mask |= 1u128 << (l.rank.0 as u32 * bpr + l.bank.0 as u32);
+        // The guard is answered with the snapshot's bitmask (row state
+        // is constant until a command issues, and pass 2 returns as
+        // soon as it issues); geometries too wide for a u128 fall back
+        // to the direct scan.
+        let queue_len = if is_write_queue { self.writes.len() } else { self.reads.len() };
+        if !snap.wide && snap.prefilter && queue_len <= 64 {
+            // Branchless class sweep: one candidate bit per entry whose
+            // PRE (conflict) or ACT (closed bank) clears its floors.
+            // The FR-FCFS precharge guard and the full validation run
+            // only per candidate, oldest first.
+            let mut cand = 0u64;
+            {
+                let queue = if is_write_queue { &self.writes } else { &self.reads };
+                for (i, p) in queue.iter().enumerate() {
+                    let l = p.txn.loc;
+                    let r = l.rank.0 as usize;
+                    let gbi = (l.rank.0 as u32 * snap.bpr + l.bank.0 as u32) as usize;
+                    let open = snap.rows[gbi];
+                    let closed = open == NO_ROW;
+                    let conflict = !closed & (open != l.row.0);
+                    let act_ready = act_allowed & (snap.act_f[r].max(snap.act_bank_f[gbi]) <= now);
+                    let pre_ready = snap.pre_f[r].max(snap.pre_bank_f[gbi]) <= now;
+                    cand |= (((closed & act_ready) | (conflict & pre_ready)) as u64) << i;
                 }
             }
+            while cand != 0 {
+                let i = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let loc =
+                    if is_write_queue { self.writes[i].txn.loc } else { self.reads[i].txn.loc };
+                let gbi = (loc.rank.0 as u32 * snap.bpr + loc.bank.0 as u32) as usize;
+                if snap.rows[gbi] == NO_ROW {
+                    let act = Command::activate(loc.rank, loc.bank, loc.row);
+                    if self.device.can_issue(&act, now).is_ok() {
+                        self.device.issue(&act, now).expect("validated activate");
+                        if is_write_queue {
+                            self.writes[i].issued_act = true;
+                        } else {
+                            self.reads[i].issued_act = true;
+                        }
+                        return (true, None);
+                    }
+                } else {
+                    if self.hit_mask_of(snap) & (1u128 << gbi) != 0 {
+                        continue; // deferred: some pending txn still hits
+                    }
+                    let pre = Command::precharge(loc.rank, loc.bank);
+                    if self.device.can_issue(&pre, now).is_ok() {
+                        self.device.issue(&pre, now).expect("validated precharge");
+                        return (true, None);
+                    }
+                }
+            }
+            return (false, None);
         }
-        let queue_len = if is_write_queue { self.writes.len() } else { self.reads.len() };
         for i in 0..queue_len {
-            let p = if is_write_queue { self.writes[i] } else { self.reads[i] };
-            let loc = p.txn.loc;
+            let loc = if is_write_queue { self.writes[i].txn.loc } else { self.reads[i].txn.loc };
             match self.device.open_row(loc.rank, loc.bank) {
                 Some(r) if r == loc.row => { /* covered by pass 1; bus busy */ }
                 Some(open_row) => {
-                    let someone_hits = if wide {
-                        self.reads.iter().chain(self.writes.iter()).any(|q| {
-                            q.txn.loc.rank == loc.rank
-                                && q.txn.loc.bank == loc.bank
-                                && q.txn.loc.row == open_row
-                        })
-                    } else {
-                        hit_mask & (1u128 << (loc.rank.0 as u32 * bpr + loc.bank.0 as u32)) != 0
-                    };
+                    let someone_hits = self.reads.iter().chain(self.writes.iter()).any(|q| {
+                        q.txn.loc.rank == loc.rank
+                            && q.txn.loc.bank == loc.bank
+                            && q.txn.loc.row == open_row
+                    });
                     if !someone_hits {
                         let pre = Command::precharge(loc.rank, loc.bank);
                         if self.device.can_issue(&pre, now).is_ok() {
@@ -256,6 +450,7 @@ impl MemoryController for BaselineScheduler {
         } else {
             self.reads.push(pending);
         }
+        self.idle_until = 0;
         Ok(())
     }
 
@@ -266,9 +461,18 @@ impl MemoryController for BaselineScheduler {
     }
 
     fn tick_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        // Provably-idle tick: the cached bound was a full `next_event`
+        // scan of this exact state (every mutation since would have
+        // cleared it), and that scan folded in the refresh command
+        // cycles, the quiesce onset, and every FR-FCFS candidate — so
+        // nothing below could fire either. Skip the queue scans.
+        if now < self.idle_until {
+            return;
+        }
         // Refresh window handling (identical across policies).
         if let Some(cmd) = self.refresh.command_at(now) {
             self.device.issue(&cmd, now).expect("refresh must be legal after quiesce");
+            self.idle_until = 0;
             return;
         }
         if self.refresh.in_window(now) {
@@ -278,7 +482,9 @@ impl MemoryController for BaselineScheduler {
         if !act_allowed {
             self.quiesce_precharge(now);
             // CAS to already-open rows could run past the window; stop
-            // everything except the precharges above.
+            // everything except the precharges above. The quiesce may
+            // have touched the device, so drop any cached bound.
+            self.idle_until = 0;
             return;
         }
 
@@ -292,20 +498,39 @@ impl MemoryController for BaselineScheduler {
         }
         let drain = self.draining || self.reads.is_empty();
 
-        let (issued, c) = self.try_issue(drain, now, act_allowed);
+        let snap = self.snapshot();
+        let (issued, c) = self.try_issue(drain, now, act_allowed, &snap);
         if let Some(c) = c {
             out.push(c);
         }
+        let mut any = issued;
         if !issued {
-            // Opportunistic issue from the other queue.
-            let (_, c2) = self.try_issue(!drain, now, act_allowed);
+            // Opportunistic issue from the other queue (device and
+            // queue state unchanged — the first attempt issued
+            // nothing — so the snapshot is still exact).
+            let (issued2, c2) = self.try_issue(!drain, now, act_allowed, &snap);
+            any = issued2;
             if let Some(c2) = c2 {
                 out.push(c2);
             }
         }
+        self.idle_until = if any {
+            0
+        } else {
+            // Nothing issued and nothing mutated: the state this tick
+            // scanned stays exactly as-is until the bound (or an
+            // enqueue clears it), so the scans need not repeat.
+            self.next_event(now)
+        };
     }
 
     fn next_event(&self, now: Cycle) -> Cycle {
+        // Same reasoning as in `tick_into`: the cached bound is the
+        // result of scanning this exact (unchanged) state, so a fresh
+        // scan could only return the same cycle.
+        if now < self.idle_until {
+            return self.idle_until;
+        }
         // The prefetcher can inject new work on any tick with headroom.
         if self.prefetchers.iter().any(|p| p.has_prefetch()) {
             return now + 1;
@@ -377,20 +602,29 @@ impl MemoryController for BaselineScheduler {
             }
             return next.max(now + 1);
         }
+        // Flat open-row table once, then one indexed load per entry —
+        // the classification sweep touches up to 128 queue entries.
+        let nranks = geom.ranks_per_channel() as usize;
+        let mut rows = [NO_ROW; 128];
+        for r in 0..nranks {
+            let src = self.device.banks_of(RankId(r as u8)).open_rows_slice();
+            rows[r * bpr as usize..][..src.len()].copy_from_slice(src);
+        }
         let (mut read_hit, mut write_hit, mut conflict, mut closed) = (0u128, 0u128, 0u128, 0u128);
         for q in self.reads.iter().chain(self.writes.iter()) {
             let l = q.txn.loc;
-            let bit = 1u128 << (l.rank.0 as u32 * bpr + l.bank.0 as u32);
-            match self.device.open_row(l.rank, l.bank) {
-                Some(r) if r == l.row => {
+            let gbi = l.rank.0 as u32 * bpr + l.bank.0 as u32;
+            let bit = 1u128 << gbi;
+            match rows[gbi as usize] {
+                r if r == l.row.0 => {
                     if q.txn.is_write {
                         write_hit |= bit;
                     } else {
                         read_hit |= bit;
                     }
                 }
-                Some(_) => conflict |= bit,
-                None => closed |= bit,
+                NO_ROW => closed |= bit,
+                _ => conflict |= bit,
             }
         }
         // One fused device scan evaluates every candidate: a bank with

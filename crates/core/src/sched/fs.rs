@@ -1301,6 +1301,34 @@ impl MemoryController for FsScheduler {
         next.max(now + 1)
     }
 
+    fn fast_forward(&mut self, from: Cycle, until: Cycle, out: &mut Vec<Completion>) -> Cycle {
+        // Everything FS does is anchored to precomputed cycles, so the
+        // whole span can be replayed here as one event-hopping loop:
+        // run the *same* `tick_into` per-cycle stepping would run, at
+        // exactly the cycles its own `next_event` bound (slot/interval
+        // decisions, scheduled command events, wall-clock refresh)
+        // admits — bit-identical by construction, refresh windows and
+        // all. Decline when per-command observers are armed: the
+        // simulation layer drains logs/observations tick by tick, and
+        // hopping would batch those drains at different cycles.
+        if self.device.is_recording() || self.device.has_obs() || self.obs_events.is_some() {
+            return from;
+        }
+        let mut c = from;
+        while c < until {
+            self.tick_into(c, out);
+            if !out.is_empty() || self.fault.is_some() {
+                // The tick at `c` completed a transaction (its delivery
+                // may wake a core) or poisoned the controller: hand
+                // control back with the span cut right after it.
+                return c + 1;
+            }
+            // Sound hop: `tick` is a no-op strictly before the bound.
+            c = self.next_event(c);
+        }
+        until
+    }
+
     fn device(&self) -> &DramDevice {
         &self.device
     }

@@ -490,6 +490,26 @@ pub trait MemoryController {
         now + 1
     }
 
+    /// Bulk-advances the controller from `from` toward `until`
+    /// (exclusive) in one call, for simulation layers that have proven
+    /// the span externally quiet (no core can run, no delivery can
+    /// land, no reconfiguration point or monitor deadline inside it).
+    /// A supporting controller executes exactly the ticks per-cycle
+    /// stepping would — hopping its own [`MemoryController::next_event`]
+    /// bounds between them — and stops *after* the first tick that
+    /// produces a completion or poisons the controller, appending that
+    /// tick's completions to `out`.
+    ///
+    /// Returns the first cycle *not* processed: `until` when the span
+    /// completed cleanly (`out` untouched), `t + 1` when the tick at
+    /// `t` ended the span early, or `from` when the controller does not
+    /// support bulk advancement here (the default; `out` untouched, no
+    /// side effects) and the caller must step per-cycle.
+    fn fast_forward(&mut self, from: Cycle, until: Cycle, out: &mut Vec<Completion>) -> Cycle {
+        let _ = (until, out);
+        from
+    }
+
     /// Refines a cached [`MemoryController::next_event`] bound after
     /// `txn` was enqueued at cycle `now`: a *lower bound* on the next
     /// cycle at which a tick may act *because of `txn`*, assuming the

@@ -27,11 +27,23 @@ pub struct ChannelState {
     last_cmd_cycle: Option<Cycle>,
     transfers: Vec<Transfer>,
     busy_cycles: Cycle,
+    /// Pruning floor `min(tCAS, tCWD)`, hoisted from the device profile
+    /// at construction instead of being recomputed on every CAS apply.
+    /// `Default` leaves it 0, which only shrinks the pruning horizon —
+    /// a superset of transfers is retained and every legality answer is
+    /// unchanged — so timing-less construction stays safe.
+    min_cas_lat: Cycle,
 }
 
 impl ChannelState {
     pub fn new() -> Self {
         ChannelState::default()
+    }
+
+    /// Channel state bound to one device profile, with the transfer
+    /// pruning horizon fixed up front.
+    pub fn for_timing(t: &TimingParams) -> Self {
+        ChannelState { min_cas_lat: t.t_cas.min(t.t_cwd) as Cycle, ..ChannelState::default() }
     }
 
     /// Total data-bus busy cycles so far (for utilization statistics).
@@ -130,7 +142,7 @@ impl ChannelState {
             // tCWD)` at the earliest; a transfer whose window — widened
             // by the cross-rank tRTRS gap — ends before that can never
             // conflict again.
-            let horizon = cycle + 1 + t.t_cas.min(t.t_cwd) as Cycle;
+            let horizon = cycle + 1 + self.min_cas_lat;
             self.transfers.retain(|tr| tr.end + t.t_rtrs as Cycle >= horizon);
         }
     }
@@ -199,6 +211,90 @@ mod tests {
         // A write CAS at cycle 10 puts data at [15,19): same rank, legal
         // at bus level.
         assert!(ch.can_issue(&wr(0), 10, &timing).is_ok());
+    }
+
+    /// Reference data-slot search over the *unpruned* transfer history.
+    fn unpruned_slot(
+        history: &[(Cycle, Cycle, RankId)],
+        is_read: bool,
+        rank: RankId,
+        from: Cycle,
+        t: &TimingParams,
+    ) -> Cycle {
+        let lat = if is_read { t.t_cas } else { t.t_cwd } as Cycle;
+        let burst = t.t_burst as Cycle;
+        let mut at = from;
+        loop {
+            let (start, end) = (at + lat, at + lat + burst);
+            let mut next_at = at;
+            for &(ts, te, tr) in history {
+                let gap = if tr == rank { 0 } else { t.t_rtrs as Cycle };
+                if start < te + gap && ts < end + gap {
+                    next_at = next_at.max((te + gap).saturating_sub(lat)).max(at + 1);
+                }
+            }
+            if next_at == at {
+                return at;
+            }
+            at = next_at;
+        }
+    }
+
+    #[test]
+    fn pruning_never_drops_a_needed_transfer_on_any_generation() {
+        // Drive a packed CAS stream through the pruned channel while a
+        // shadow list keeps every burst ever scheduled; after each apply
+        // the pruned list must answer every future data-slot query (any
+        // rank, either direction — exactly what `StreamMonitor` and the
+        // schedulers still need) identically to the full history.
+        for timing in [
+            TimingParams::ddr3_1600(),
+            TimingParams::ddr4_2400(),
+            TimingParams::lpddr4_3200(),
+            TimingParams::hbm2(),
+        ] {
+            let mut ch = ChannelState::for_timing(&timing);
+            let mut shadow: Vec<(Cycle, Cycle, RankId)> = Vec::new();
+            let mut cycle: Cycle = 0;
+            let mut state = 0x243f_6a88_85a3_08d3u64;
+            for _ in 0..200 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let rank = RankId(((state >> 33) % 4) as u8);
+                let is_read = state >> 62 & 1 == 0;
+                let jitter = ((state >> 40) % 7) as Cycle;
+                let at = ch.next_data_slot_for(is_read, rank, cycle + 1 + jitter, &timing);
+                let cmd = if is_read { rd(rank.0) } else { wr(rank.0) };
+                assert!(ch.can_issue(&cmd, at, &timing).is_ok());
+                ch.apply(&cmd, at, &timing);
+                let lat = if is_read { timing.t_cas } else { timing.t_cwd } as Cycle;
+                shadow.push((at + lat, at + lat + timing.t_burst as Cycle, rank));
+                cycle = at;
+                for probe_rank in 0..4u8 {
+                    for probe_read in [false, true] {
+                        for from in cycle + 1..cycle + 2 + 2 * timing.t_burst as Cycle {
+                            let got = ch.next_data_slot_for(
+                                probe_read,
+                                RankId(probe_rank),
+                                from,
+                                &timing,
+                            );
+                            let want = unpruned_slot(
+                                &shadow,
+                                probe_read,
+                                RankId(probe_rank),
+                                from,
+                                &timing,
+                            );
+                            assert_eq!(
+                                got, want,
+                                "pruned channel diverged (rank {probe_rank}, read \
+                                 {probe_read}, from {from})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

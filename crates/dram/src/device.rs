@@ -63,7 +63,7 @@ impl DramDevice {
             geom,
             t,
             ranks,
-            channel: ChannelState::new(),
+            channel: ChannelState::for_timing(&t),
             counters: ActivityCounters::new(geom.ranks_per_channel() as usize),
             log: None,
             obs_log: None,
@@ -149,16 +149,50 @@ impl DramDevice {
 
     /// The row currently open in `rank`/`bank`, if any.
     pub fn open_row(&self, rank: RankId, bank: BankId) -> Option<RowId> {
-        self.ranks[rank.0 as usize].bank(bank.0 as usize).open_row()
+        self.ranks[rank.0 as usize].open_row(bank.0 as usize)
+    }
+
+    /// The struct-of-arrays bank state of `rank`, read-only. Queue-scan
+    /// heavy schedulers classify pending transactions against the raw
+    /// open-row and ready-cycle slices (one array load per entry) and
+    /// use the ready cycles as sound *prefilters*: a bank whose own
+    /// floor is still in the future cannot pass [`DramDevice::can_issue`]
+    /// for that command class, so the full rank/channel validation can
+    /// be skipped without changing any scheduling decision.
+    pub fn banks_of(&self, rank: RankId) -> &crate::bank::BankArrays {
+        self.ranks[rank.0 as usize].banks()
+    }
+
+    /// Rank-level legality floors `(precharge, activate, cas_read,
+    /// cas_write)` for scheduler prefilters, each folding the rank's
+    /// quiet floor (refresh recovery / power-up). All `Cycle::MAX`
+    /// while the rank is powered down. Sound as *necessary* conditions
+    /// only: a command whose floor is past `cycle` cannot pass
+    /// [`DramDevice::can_issue`] there, but passing a floor does not
+    /// imply legality (bank state, bank-group CCD, bus and same-cycle
+    /// conflicts still apply).
+    pub fn rank_floor_parts(&self, rank: RankId) -> (Cycle, Cycle, Cycle, Cycle) {
+        match self.ranks[rank.0 as usize].event_bound_parts(&self.t) {
+            Some((quiet, act, rd, wr)) => (quiet, quiet.max(act), quiet.max(rd), quiet.max(wr)),
+            None => (Cycle::MAX, Cycle::MAX, Cycle::MAX, Cycle::MAX),
+        }
+    }
+
+    /// True if the data bus admits a CAS of the given direction on
+    /// `rank` issued at `cycle` — exact against [`DramDevice::can_issue`]'s
+    /// burst-overlap and tRTRS rules (command-bus and rank/bank windows
+    /// are *not* checked). The answer depends on the command only
+    /// through its rank and direction, so schedulers can memoize one
+    /// probe per (rank, direction) across a whole candidate scan.
+    pub fn data_bus_admits(&self, is_read: bool, rank: RankId, cycle: Cycle) -> bool {
+        self.channel.next_data_slot_for(is_read, rank, cycle, &self.t) == cycle
     }
 
     /// True if any bank on any rank holds an open row. Schedulers use
     /// this to decide whether a future refresh quiesce will have work
     /// (a precharge-all sweep) to do.
     pub fn any_open_row(&self) -> bool {
-        self.ranks.iter().any(|rank| {
-            (0..self.geom.banks_per_rank() as usize).any(|b| rank.bank(b).open_row().is_some())
-        })
+        self.ranks.iter().any(|rank| rank.banks().any_open())
     }
 
     /// Whether `rank` is currently powered down.
@@ -204,10 +238,10 @@ impl DramDevice {
         let rank = &self.ranks[cmd.rank.0 as usize];
         rank.can_issue(cmd, cycle, &self.t)?;
         if cmd.kind.is_cas() || matches!(cmd.kind, CommandKind::Activate | CommandKind::Precharge) {
-            rank.bank(cmd.bank.0 as usize).can_issue(cmd, cycle, &self.t)?;
+            rank.banks().can_issue(cmd.bank.0 as usize, cmd, cycle, &self.t)?;
         } else if matches!(cmd.kind, CommandKind::PrechargeAll | CommandKind::Refresh) {
-            for b in rank.banks() {
-                b.can_issue(cmd, cycle, &self.t)?;
+            for b in 0..rank.banks().len() {
+                rank.banks().can_issue(b, cmd, cycle, &self.t)?;
             }
         }
         self.channel.can_issue(cmd, cycle, &self.t)
@@ -385,6 +419,7 @@ impl DramDevice {
             else {
                 continue; // powered down: no candidate class applies
             };
+            let banks = rank.banks();
             for (mask, is_read) in [(rd, true), (wr, false)] {
                 if mask == 0 {
                     continue;
@@ -392,10 +427,11 @@ impl DramDevice {
                 // Per-bank CAS readiness must fold in the bank group's
                 // tCCD_L floor, or grouped parts (DDR4/HBM) would report
                 // a bound below the first legal cycle and the fast path
-                // would diverge from per-cycle stepping.
-                let best = min_over(mask, &|b| {
-                    rank.bank(b).next_cas_at().max(rank.cas_group_floor(b, is_read))
-                });
+                // would diverge from per-cycle stepping. The readiness
+                // array is contiguous (SoA), so this walk stays within
+                // one or two cache lines per rank.
+                let cas = banks.next_cas_slice();
+                let best = min_over(mask, &|b| cas[b].max(rank.cas_group_floor(b, is_read)));
                 let turn = if is_read { next_read } else { next_write };
                 let at = quiet.max(turn).max(best).max(from);
                 if at != Cycle::MAX {
@@ -405,11 +441,13 @@ impl DramDevice {
                 }
             }
             if pr != 0 {
-                let best = min_over(pr, &|b| rank.bank(b).next_precharge_at());
+                let pre_ready = banks.next_precharge_slice();
+                let best = min_over(pr, &|b| pre_ready[b]);
                 next = next.min(bump(quiet.max(best).max(from)));
             }
             if ac != 0 {
-                let best = min_over(ac, &|b| rank.bank(b).next_activate_at());
+                let act_ready = banks.next_activate_slice();
+                let best = min_over(ac, &|b| act_ready[b]);
                 next = next.min(bump(quiet.max(act_floor).max(best).max(from)));
             }
             if next <= from {

@@ -55,6 +55,7 @@ pub mod profile;
 pub mod rank;
 pub mod timing;
 
+pub use bank::{BankArrays, NO_ROW};
 pub use checker::{TimingChecker, Violation};
 pub use command::{Command, CommandKind};
 pub use counters::ActivityCounters;

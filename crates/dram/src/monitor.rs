@@ -72,6 +72,9 @@ pub struct StreamMonitor {
     /// Per-rank cycle of the last observed refresh (index = rank id).
     /// Cycle 0 counts as refreshed: a device starts from a clean array.
     last_refresh: Vec<Cycle>,
+    /// Pruning floor `min(tCAS, tCWD)`, hoisted from the profile at
+    /// construction (mirrors [`crate::channel::ChannelState`]).
+    min_cas_lat: Cycle,
     observed: u64,
     flagged: u64,
 }
@@ -90,6 +93,7 @@ impl StreamMonitor {
             last_group_cas: HashMap::new(),
             ranks: HashMap::new(),
             last_refresh: vec![0; ranks],
+            min_cas_lat: t.t_cas.min(t.t_cwd) as Cycle,
             observed: 0,
             flagged: 0,
         }
@@ -301,7 +305,7 @@ impl StreamMonitor {
                 // starts at `c + 1 + min(tCAS, tCWD)` at the earliest;
                 // bursts whose tRTRS-widened window ends before that can
                 // never conflict again (same pruning as `ChannelState`).
-                let horizon = c + 1 + self.t.t_cas.min(self.t.t_cwd) as Cycle;
+                let horizon = c + 1 + self.min_cas_lat;
                 let gap = self.t.t_rtrs as Cycle;
                 self.transfers.retain(|&(_, tr_end, _)| tr_end + gap >= horizon);
             }

@@ -1,7 +1,7 @@
 //! Per-rank DRAM state: activation windows, CAS turnarounds, refresh and
 //! power-down, plus the rank's banks.
 
-use crate::bank::BankState;
+use crate::bank::BankArrays;
 use crate::checker::Violation;
 use crate::command::{Command, CommandKind};
 use crate::timing::TimingParams;
@@ -20,9 +20,12 @@ pub enum PowerState {
 /// (tRRD, tFAW, CAS-to-CAS turnarounds, refresh, power-down).
 #[derive(Debug, Clone)]
 pub struct RankState {
-    banks: Vec<BankState>,
-    /// The last four activate cycles, oldest first, for tFAW.
-    act_window: Vec<Cycle>,
+    banks: BankArrays,
+    /// The last four activate cycles, oldest first, for tFAW (a fixed
+    /// ring so the apply path never touches the allocator).
+    act_window: [Cycle; 4],
+    /// Valid entries in `act_window`.
+    act_len: u8,
     /// Earliest next activate due to tRRD.
     next_activate: Cycle,
     /// Earliest next column read due to tCCD_S / write-to-read turnaround.
@@ -57,8 +60,9 @@ impl RankState {
     pub fn with_bank_groups(banks: u8, bank_groups: u8) -> Self {
         assert!(bank_groups >= 1 && bank_groups <= banks, "bank_groups must be in 1..=banks");
         RankState {
-            banks: vec![BankState::new(); banks as usize],
-            act_window: Vec::with_capacity(4),
+            banks: BankArrays::new(banks as usize),
+            act_window: [0; 4],
+            act_len: 0,
             next_activate: 0,
             next_read: 0,
             next_write: 0,
@@ -90,12 +94,17 @@ impl RankState {
         }
     }
 
-    pub fn bank(&self, bank: usize) -> &BankState {
-        &self.banks[bank]
+    /// The rank's banks in struct-of-arrays layout — flat ready-cycle
+    /// and open-row arrays for the device's fused scans.
+    #[inline]
+    pub fn banks(&self) -> &BankArrays {
+        &self.banks
     }
 
-    pub fn banks(&self) -> &[BankState] {
-        &self.banks
+    /// The row open in `bank`, if any.
+    #[inline]
+    pub fn open_row(&self, bank: usize) -> Option<crate::geometry::RowId> {
+        self.banks.open_row(bank)
     }
 
     pub fn power_state(&self) -> PowerState {
@@ -116,7 +125,7 @@ impl RankState {
 
     /// True if every bank is precharged and past recovery at `cycle`.
     pub fn all_banks_idle(&self, cycle: Cycle) -> bool {
-        self.banks.iter().all(|b| b.idle_at(cycle))
+        self.banks.all_idle(cycle)
     }
 
     /// True if `bank` could accept an `Activate` at `cycle` as far as
@@ -127,7 +136,7 @@ impl RankState {
         matches!(self.power, PowerState::Active)
             && cycle >= self.wake_at
             && cycle >= self.refresh_until
-            && self.banks[bank].idle_at(cycle)
+            && self.banks.idle_at(bank, cycle)
     }
 
     /// Checks rank-level legality of `cmd` at `cycle` (bank-level checks
@@ -149,7 +158,7 @@ impl RankState {
         match cmd.kind {
             CommandKind::Activate => {
                 Violation::check_earliest(*cmd, cycle, self.next_activate, "tRRD")?;
-                if self.act_window.len() == 4 {
+                if self.act_len == 4 {
                     let faw_end = self.act_window[0] + t.t_faw as Cycle;
                     Violation::check_earliest(*cmd, cycle, faw_end, "tFAW")?;
                 }
@@ -198,38 +207,41 @@ impl RankState {
         match cmd.kind {
             CommandKind::Activate => {
                 self.next_activate = cycle + t.t_rrd as Cycle;
-                if self.act_window.len() == 4 {
-                    self.act_window.remove(0);
+                if self.act_len == 4 {
+                    self.act_window.copy_within(1..4, 0);
+                    self.act_window[3] = cycle;
+                } else {
+                    self.act_window[self.act_len as usize] = cycle;
+                    self.act_len += 1;
                 }
-                self.act_window.push(cycle);
-                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+                self.banks.apply(cmd.bank.0 as usize, cmd, cycle, t);
             }
             k if k.is_read() => {
                 self.next_read = self.next_read.max(cycle + t.t_ccd as Cycle);
                 self.next_write = self.next_write.max(cycle + t.rd_to_wr_same_rank() as Cycle);
                 let g = self.group_of(cmd.bank.0 as usize);
                 self.group_next_read[g] = self.group_next_read[g].max(cycle + t.t_ccd_l as Cycle);
-                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+                self.banks.apply(cmd.bank.0 as usize, cmd, cycle, t);
             }
             k if k.is_write() => {
                 self.next_write = self.next_write.max(cycle + t.t_ccd as Cycle);
                 self.next_read = self.next_read.max(cycle + t.wr_to_rd_same_rank() as Cycle);
                 let g = self.group_of(cmd.bank.0 as usize);
                 self.group_next_write[g] = self.group_next_write[g].max(cycle + t.t_ccd_l as Cycle);
-                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+                self.banks.apply(cmd.bank.0 as usize, cmd, cycle, t);
             }
             CommandKind::Precharge => {
-                self.banks[cmd.bank.0 as usize].apply(cmd, cycle, t);
+                self.banks.apply(cmd.bank.0 as usize, cmd, cycle, t);
             }
             CommandKind::PrechargeAll => {
-                for b in &mut self.banks {
-                    b.apply(cmd, cycle, t);
+                for b in 0..self.banks.len() {
+                    self.banks.apply(b, cmd, cycle, t);
                 }
             }
             CommandKind::Refresh => {
                 self.refresh_until = cycle + t.t_rfc as Cycle;
-                for b in &mut self.banks {
-                    b.apply(cmd, cycle, t);
+                for b in 0..self.banks.len() {
+                    self.banks.apply(b, cmd, cycle, t);
                 }
             }
             CommandKind::PowerDownEnter => {
@@ -258,34 +270,34 @@ impl RankState {
         match cmd.kind {
             CommandKind::Activate => {
                 at = at.max(self.next_activate);
-                if self.act_window.len() == 4 {
+                if self.act_len == 4 {
                     at = at.max(self.act_window[0] + t.t_faw as Cycle);
                 }
-                at = at.max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+                at = at.max(self.banks.next_legal_at(cmd.bank.0 as usize, cmd));
             }
             k if k.is_read() => {
                 at = at
                     .max(self.next_read)
                     .max(self.cas_group_floor(cmd.bank.0 as usize, true))
-                    .max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+                    .max(self.banks.next_legal_at(cmd.bank.0 as usize, cmd));
             }
             k if k.is_write() => {
                 at = at
                     .max(self.next_write)
                     .max(self.cas_group_floor(cmd.bank.0 as usize, false))
-                    .max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+                    .max(self.banks.next_legal_at(cmd.bank.0 as usize, cmd));
             }
             CommandKind::Precharge => {
-                at = at.max(self.banks[cmd.bank.0 as usize].next_legal_at(cmd));
+                at = at.max(self.banks.next_legal_at(cmd.bank.0 as usize, cmd));
             }
             CommandKind::PrechargeAll | CommandKind::Refresh | CommandKind::PowerDownEnter => {
-                for b in &self.banks {
+                for b in 0..self.banks.len() {
                     // Refresh and power-down need every bank idle; an open
                     // row makes the bank report `Cycle::MAX` as required.
-                    if cmd.kind != CommandKind::PrechargeAll && b.open_row().is_some() {
+                    if cmd.kind != CommandKind::PrechargeAll && self.banks.open_row(b).is_some() {
                         return Cycle::MAX;
                     }
-                    at = at.max(b.next_legal_at(cmd));
+                    at = at.max(self.banks.next_legal_at(b, cmd));
                 }
             }
             CommandKind::PowerDownExit => return Cycle::MAX,
@@ -307,7 +319,7 @@ impl RankState {
         }
         let quiet = self.refresh_until.max(self.wake_at);
         let mut act_floor = self.next_activate;
-        if self.act_window.len() == 4 {
+        if self.act_len == 4 {
             act_floor = act_floor.max(self.act_window[0] + t.t_faw as Cycle);
         }
         Some((quiet, act_floor, self.next_read, self.next_write))

@@ -932,13 +932,41 @@ impl System {
     /// Observationally identical to stepping: the same ticks run at the
     /// same cycles, completions are staged with the same sequence
     /// numbers, and the monitor drains after every real tick.
+    ///
+    /// When no per-tick observer is armed (monitor, command/obs
+    /// recording), the span is first offered to the controller's own
+    /// [`MemoryController::fast_forward`]: a supporting controller
+    /// (the pure-FS family) replays its event loop in one call —
+    /// stopping right after the first completion-producing tick, whose
+    /// completions then flow through the staging below unchanged —
+    /// while the default declines and the per-cycle grind proceeds.
     fn batch_ticks(&mut self, mut until: u64) {
         let start = self.dram_cycle;
         let mut c = start;
         let mut buf = std::mem::take(&mut self.completion_buf);
+        let opaque = self.monitor.is_none() && !self.obs_on();
         while c < until {
             buf.clear();
-            self.mc.tick_into(c, &mut buf);
+            if opaque {
+                let r = self.mc.fast_forward(c, until, &mut buf);
+                if r == until && buf.is_empty() {
+                    // Clean hop to the span end: every tick in the span
+                    // ran (or was provably a no-op) without completing
+                    // anything. Re-arm the elision scan and finish.
+                    c = until;
+                    self.elide_armed = true;
+                    break;
+                }
+                if r > c {
+                    // The tick at `r - 1` produced completions (or a
+                    // fault); resume the per-tick bookkeeping there.
+                    c = r - 1;
+                } else {
+                    self.mc.tick_into(c, &mut buf);
+                }
+            } else {
+                self.mc.tick_into(c, &mut buf);
+            }
             let quiet = self.mc.device().last_issue_at() != Some(c);
             for completion in buf.drain(..) {
                 if completion.finish <= c {

@@ -1,0 +1,132 @@
+//! Batched replay and FS fast-forward: byte-identity gates.
+//!
+//! The engine's batched mode (`FSMC_BATCH` / `Engine::with_batch`)
+//! interleaves K systems over one decoded tape, and the pure-FS
+//! schedulers bulk-advance their event loop through
+//! `MemoryController::fast_forward`. Both are *optimizations of the
+//! schedule of work, not of the work itself*: every observable — IPCs,
+//! statistics, metrics histograms, end cycles — must be byte-identical
+//! to the independent per-job, per-cycle runs, at any thread count.
+
+use fsmc::core::sched::{ReconfigEvent, SchedulerKind as K};
+use fsmc::sim::{Engine, ExperimentJob, ExperimentPlan, System, SystemConfig};
+use fsmc::workload::{BenchProfile, WorkloadMix};
+
+/// A plan mixing two replay groups (mix1 and mix2 under four policies
+/// each) with metrics on, so histograms are part of the fingerprint.
+fn grouped_plan() -> ExperimentPlan {
+    let kinds = [
+        K::Baseline,
+        K::FsRankPartitioned,
+        K::FsBankPartitioned,
+        K::TpBankPartitioned { turn: 60 },
+    ];
+    let mut plan = ExperimentPlan::new();
+    for mix in [WorkloadMix::mix1(), WorkloadMix::mix2()] {
+        for &k in &kinds {
+            plan.push(ExperimentJob::new(mix.clone(), k, 6_000, 11).with_metrics());
+        }
+    }
+    plan
+}
+
+/// K-batched replay returns the same slots, bytes and failures as K
+/// independent jobs, at any `(threads, batch)` combination.
+#[test]
+fn batched_replay_is_byte_identical_to_independent_jobs() {
+    let plan = grouped_plan();
+    let reference = format!("{:?}", Engine::with_threads(1).run(&plan));
+    for (threads, batch) in [(1, 4), (8, 4), (8, 8), (2, 3)] {
+        let out = Engine::with_threads(threads).with_batch(batch).run(&plan);
+        assert_eq!(reference, format!("{out:?}"), "diverged at threads={threads} batch={batch}");
+    }
+}
+
+/// Jobs coalesce only when they share the whole replay tuple — mix,
+/// per-core profiles, seed and cycle budget — and groups never exceed
+/// the requested width.
+#[test]
+fn batches_group_only_matching_replay_tuples() {
+    let mix = WorkloadMix::rate(BenchProfile::mcf(), 2);
+    let other = WorkloadMix::rate(BenchProfile::milc(), 2);
+    let mut plan = ExperimentPlan::new();
+    plan.push(ExperimentJob::new(mix.clone(), K::Baseline, 1_000, 1)); // 0
+    plan.push(ExperimentJob::new(mix.clone(), K::FsRankPartitioned, 1_000, 1)); // 1
+    plan.push(ExperimentJob::new(mix.clone(), K::FsBankPartitioned, 1_000, 2)); // 2: seed differs
+    plan.push(ExperimentJob::new(mix.clone(), K::FsBankPartitioned, 2_000, 1)); // 3: cycles differ
+    plan.push(ExperimentJob::new(other, K::Baseline, 1_000, 1)); // 4: mix differs
+    plan.push(ExperimentJob::new(mix.clone(), K::TpNoPartition { turn: 172 }, 1_000, 1)); // 5
+    plan.push(ExperimentJob::new(mix, K::ChannelPartitioned, 1_000, 1)); // 6: overflows width 3
+    assert_eq!(plan.batches(3), vec![vec![0, 1, 5], vec![2], vec![3], vec![4], vec![6]]);
+    assert_eq!(plan.batches(1).len(), 7, "width 1 never coalesces");
+}
+
+/// A failing member of a batch keeps its error in its own slot; the
+/// rest of the group completes with byte-identical results.
+#[test]
+fn batch_member_failure_stays_in_its_slot() {
+    let mix = WorkloadMix::rate(BenchProfile::mcf(), 4);
+    let mut plan = ExperimentPlan::new();
+    plan.push(ExperimentJob::new(mix.clone(), K::Baseline, 4_000, 3));
+    // Same replay tuple, but a config demanding more cores than the mix
+    // supplies traces for: fails at preparation, inside the batch.
+    plan.push(
+        ExperimentJob::new(mix.clone(), K::FsRankPartitioned, 4_000, 3)
+            .with_config(SystemConfig::with_cores(K::FsRankPartitioned, 6)),
+    );
+    plan.push(ExperimentJob::new(mix, K::FsRankPartitioned, 4_000, 3));
+    let solo = Engine::with_threads(1).run(&plan);
+    let batched = Engine::with_threads(1).with_batch(3).run(&plan);
+    assert!(batched[1].is_err(), "misconfigured member must fail");
+    assert_eq!(format!("{solo:?}"), format!("{batched:?}"));
+}
+
+/// FS fast-forward straddles wall-clock refresh windows bit-identically:
+/// with no monitor armed the span is replayed inside the controller,
+/// and 30k cycles cross many tREFI boundaries (quiesce, refresh
+/// commands, recovery) for every FS variant.
+#[test]
+fn fs_fast_forward_is_bit_identical_across_refresh_windows() {
+    for kind in [
+        K::FsRankPartitioned,
+        K::FsRankPartitionedPrefetch,
+        K::FsBankPartitioned,
+        K::FsReorderedBankPartitioned,
+        K::FsNoPartitionNaive,
+        K::FsTripleAlternation,
+    ] {
+        let cfg = SystemConfig::paper_default(kind);
+        let mix = WorkloadMix::mix1();
+        let mut fast = System::from_mix(&cfg, &mix, 7);
+        let mut slow = System::from_mix(&cfg, &mix, 7);
+        slow.disable_fastpath();
+        let sf = fast.run_cycles(30_000);
+        let ss = slow.run_cycles(30_000);
+        assert_eq!(format!("{sf:?}"), format!("{ss:?}"), "{kind}: stats diverge");
+        assert_eq!(fast.dram_cycle(), slow.dram_cycle(), "{kind}: end cycles diverge");
+    }
+}
+
+/// FS fast-forward around a reconfiguration epoch boundary: the skip
+/// clamps at the event promotion and adoption cycles, so a domain
+/// leaving and a bank dying mid-run reproduce per-cycle stepping
+/// exactly.
+#[test]
+fn fs_fast_forward_is_bit_identical_across_reconfig_epochs() {
+    for kind in [K::FsRankPartitioned, K::FsBankPartitioned] {
+        let cfg = SystemConfig::paper_default(kind);
+        let mix = WorkloadMix::mix1();
+        let mut fast = System::from_mix(&cfg, &mix, 9);
+        let mut slow = System::from_mix(&cfg, &mix, 9);
+        slow.disable_fastpath();
+        for sys in [&mut fast, &mut slow] {
+            sys.schedule_reconfig(4_000, ReconfigEvent::DomainLeave { domain: 2 });
+            sys.schedule_reconfig(9_000, ReconfigEvent::StuckBank { rank: 1, bank: 3 });
+            sys.schedule_reconfig(14_000, ReconfigEvent::DomainJoin { domain: 2 });
+        }
+        let sf = fast.try_run_cycles(20_000).expect("clean fast run");
+        let ss = slow.try_run_cycles(20_000).expect("clean slow run");
+        assert_eq!(format!("{sf:?}"), format!("{ss:?}"), "{kind}: stats diverge");
+        assert_eq!(fast.dram_cycle(), slow.dram_cycle(), "{kind}: end cycles diverge");
+    }
+}

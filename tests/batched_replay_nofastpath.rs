@@ -1,0 +1,32 @@
+//! Batched replay under `FSMC_NO_FASTPATH=1`: the batch interleave and
+//! the per-cycle escape hatch compose — forcing per-cycle stepping
+//! changes wall-clock time and nothing else, batched or not.
+//!
+//! This lives in its own test binary on purpose: the env var is
+//! process-global, and the single `#[test]` here is the only code in
+//! its process, so setting it cannot race another test's `System`
+//! construction.
+
+use fsmc::core::sched::SchedulerKind as K;
+use fsmc::sim::{Engine, ExperimentJob, ExperimentPlan};
+use fsmc::workload::WorkloadMix;
+
+#[test]
+fn batched_replay_is_byte_identical_with_fastpath_disabled() {
+    let kinds = [K::Baseline, K::FsRankPartitioned, K::FsReorderedBankPartitioned];
+    let mut plan = ExperimentPlan::new();
+    for &k in &kinds {
+        plan.push(ExperimentJob::new(WorkloadMix::mix1(), k, 6_000, 11));
+    }
+    let fast = format!("{:?}", Engine::with_threads(1).run(&plan));
+    let fast_batched = format!("{:?}", Engine::with_threads(1).with_batch(3).run(&plan));
+
+    std::env::set_var("FSMC_NO_FASTPATH", "1");
+    let slow = format!("{:?}", Engine::with_threads(1).run(&plan));
+    let slow_batched = format!("{:?}", Engine::with_threads(8).with_batch(3).run(&plan));
+    std::env::remove_var("FSMC_NO_FASTPATH");
+
+    assert_eq!(fast, fast_batched, "batching changed fast-path results");
+    assert_eq!(slow, slow_batched, "batching changed per-cycle results");
+    assert_eq!(fast, slow, "fast path diverged from per-cycle stepping");
+}
