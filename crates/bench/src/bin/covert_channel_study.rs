@@ -18,8 +18,9 @@ fn main() {
         K::FsRankPartitioned,
         K::FsTripleAlternation,
     ];
-    let results =
-        Engine::from_env().map(&kinds, |_, &kind| run_covert_channel(kind, &bits, 2500, 100));
+    let results = Engine::from_env().map(&kinds, |_, &kind| {
+        run_covert_channel(kind, &bits, 2500, 100).expect("well-posed estimate")
+    });
     for (kind, r) in kinds.iter().zip(&results) {
         println!(
             "{:<28} {:>8.3} {:>12.3} {:>11.0} bps",

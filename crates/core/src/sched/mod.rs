@@ -15,6 +15,7 @@
 
 pub mod baseline;
 pub mod channel_part;
+pub mod fence;
 pub mod fs;
 pub mod multi_channel;
 pub mod tp;
@@ -204,6 +205,9 @@ pub enum SchedulerKind {
     TpBankPartitioned { turn: u32 },
     /// TP with no spatial partitioning at the given turn length (cycles).
     TpNoPartition { turn: u32 },
+    /// Flush-based TP (fence.t-style): open-page turns over shared banks,
+    /// with every row buffer flushed at the end of each fixed period.
+    TpFence { period: u32 },
     /// FS with rank partitioning (fixed periodic data, l = 7).
     FsRankPartitioned,
     /// FS rank partitioning with the sandbox prefetcher in dummy slots.
@@ -231,6 +235,8 @@ impl SchedulerKind {
             SchedulerKind::Baseline | SchedulerKind::BaselinePrefetch => PartitionPolicy::None,
             SchedulerKind::TpBankPartitioned { .. } => PartitionPolicy::BankStriped,
             SchedulerKind::TpNoPartition { .. } => PartitionPolicy::None,
+            // Fence turns share banks; the flush is what isolates them.
+            SchedulerKind::TpFence { .. } => PartitionPolicy::None,
             SchedulerKind::FsRankPartitioned | SchedulerKind::FsRankPartitionedPrefetch => {
                 PartitionPolicy::Rank
             }
@@ -259,6 +265,7 @@ impl SchedulerKind {
             SchedulerKind::BaselinePrefetch => "Baseline_Prefetch".into(),
             SchedulerKind::TpBankPartitioned { turn } => format!("TP_BP_{turn}"),
             SchedulerKind::TpNoPartition { turn } => format!("TP_NP_{turn}"),
+            SchedulerKind::TpFence { period } => format!("TP_Fence_{period}"),
             SchedulerKind::FsRankPartitioned => "FS_RP".into(),
             SchedulerKind::FsRankPartitionedPrefetch => "FS_RP-Prefetch".into(),
             SchedulerKind::FsBankPartitioned => "FS_BP".into(),
@@ -279,6 +286,7 @@ impl SchedulerKind {
             SchedulerKind::BaselinePrefetch => "baseline-prefetch",
             SchedulerKind::TpBankPartitioned { .. } => "tp-bp",
             SchedulerKind::TpNoPartition { .. } => "tp-np",
+            SchedulerKind::TpFence { .. } => "tp-fence",
             SchedulerKind::FsRankPartitioned => "fs-rp",
             SchedulerKind::FsRankPartitionedPrefetch => "fs-rp-prefetch",
             SchedulerKind::FsBankPartitioned => "fs-bp",
@@ -672,6 +680,7 @@ mod tests {
         assert_eq!(SchedulerKind::FsRankPartitioned.label(), "FS_RP");
         assert_eq!(SchedulerKind::FsTripleAlternation.label(), "FS_NP_Optimized");
         assert_eq!(SchedulerKind::TpBankPartitioned { turn: 60 }.label(), "TP_BP_60");
+        assert_eq!(SchedulerKind::TpFence { period: 300 }.label(), "TP_Fence_300");
     }
 
     #[test]
@@ -680,6 +689,7 @@ mod tests {
         assert!(!SchedulerKind::BaselinePrefetch.is_secure());
         assert!(SchedulerKind::FsRankPartitioned.is_secure());
         assert!(SchedulerKind::TpNoPartition { turn: 172 }.is_secure());
+        assert!(SchedulerKind::TpFence { period: 300 }.is_secure());
     }
 
     #[test]
@@ -690,6 +700,10 @@ mod tests {
             PartitionPolicy::BankStriped
         );
         assert_eq!(SchedulerKind::FsTripleAlternation.partition_policy(), PartitionPolicy::None);
+        assert_eq!(
+            SchedulerKind::TpFence { period: 300 }.partition_policy(),
+            PartitionPolicy::None
+        );
     }
 
     #[test]

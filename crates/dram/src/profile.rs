@@ -62,6 +62,25 @@ impl DeviceGeneration {
     pub fn profile(self) -> DeviceProfile {
         DeviceProfile::of(self)
     }
+
+    /// The memory-clock frequency in MHz — the rate DRAM cycles tick at
+    /// (half the MT/s of the double-data-rate parts; HBM2 runs 2 Gbps
+    /// pins off a 1 GHz clock).
+    pub fn bus_mhz(self) -> u32 {
+        match self {
+            DeviceGeneration::Ddr3_1600 => 800,
+            DeviceGeneration::Ddr4_2400 => 1200,
+            DeviceGeneration::Lpddr4_3200 => 1600,
+            DeviceGeneration::Hbm2 => 1000,
+        }
+    }
+
+    /// The wall-clock length of one DRAM cycle in seconds (e.g. 1.25 ns
+    /// for DDR3-1600) — what converts measured per-cycle capacities into
+    /// bits per second.
+    pub fn seconds_per_cycle(self) -> f64 {
+        1.0e-6 / self.bus_mhz() as f64
+    }
 }
 
 impl fmt::Display for DeviceGeneration {
@@ -142,6 +161,17 @@ mod tests {
             assert_eq!(grouped, split, "{g}: bank-group geometry must match tCCD split");
             // 8 ranks everywhere keeps 8-domain rank partitioning viable.
             assert_eq!(p.geometry.ranks_per_channel(), 8, "{g}");
+        }
+    }
+
+    #[test]
+    fn cycle_lengths_match_the_clock() {
+        assert_eq!(DeviceGeneration::Ddr3_1600.bus_mhz(), 800);
+        let ns = DeviceGeneration::Ddr3_1600.seconds_per_cycle() * 1e9;
+        assert!((ns - 1.25).abs() < 1e-12, "DDR3-1600 cycle should be 1.25 ns, got {ns}");
+        for g in DeviceGeneration::all() {
+            let s = g.seconds_per_cycle();
+            assert!(s > 0.0 && s < 2e-9, "{g}: implausible cycle length {s}");
         }
     }
 

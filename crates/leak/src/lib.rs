@@ -1,0 +1,42 @@
+//! # fsmc-leak — the active-adversary covert-channel harness
+//!
+//! The rest of the workspace *builds* memory controllers that promise
+//! isolation; this crate *attacks* them and measures what gets through.
+//! Three layers:
+//!
+//! 1. **Protocols** ([`Protocol`]): sender traces that modulate memory
+//!    behaviour with a secret bit string — intensity (on-off keying),
+//!    bank-conflict spread, and row-buffer state — paired with the
+//!    ground-truth [`fsmc_workload::Modulator`] a synchronised receiver
+//!    decodes against.
+//! 2. **Capacity estimation** ([`capacity_matrix`]): empirical BER,
+//!    mutual information and statistically gated bits/sec for every
+//!    protocol × scheduler × device-generation cell, byte-identical at
+//!    any thread count. [`AdaptiveDecoder`] is the online-calibrating
+//!    receiver of the active-adversary model.
+//! 3. **Online detection** ([`OnlineLeakEstimator`], [`run_leak_campaign`]):
+//!    a streaming MI estimator over fixed log2 latency buckets feeds
+//!    leak-hunting chaos campaigns that classify
+//!    [`fsmc_sim::Outcome::LeakDetected`] and shrink each leak to a
+//!    1-minimal fault repro.
+//!
+//! The headline result reproduces the paper's motivation table: FR-FCFS
+//! carries tens of kilobits per second, temporal partitioning leaves at
+//! most a residual trickle, and every Fixed Service variant measures
+//! zero on every device generation.
+
+pub mod campaign;
+pub mod estimator;
+pub mod online;
+pub mod protocol;
+
+pub use campaign::{
+    generate_leak_population, repro_line, run_leak_campaign, run_leak_case, shrink_leak,
+    LeakCampaignConfig, LeakCampaignReport, LeakCaseReport,
+};
+pub use estimator::{
+    adaptive_ber, capacity_matrix, chance_band, csv_header, csv_row, decodes_above_chance,
+    measure_cell, mi_floor, render_csv, AdaptiveDecoder, CapacityCell,
+};
+pub use online::OnlineLeakEstimator;
+pub use protocol::{default_secret, run_protocol, Protocol};

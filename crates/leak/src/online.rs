@@ -1,0 +1,121 @@
+//! Online leakage estimation from streaming drain-time observations.
+//!
+//! The offline capacity estimator replays a whole experiment and bins
+//! latencies over their observed range; a *monitor* cannot do that — it
+//! sees one latency at a time and must answer "is this run leaking?"
+//! at any point. [`OnlineLeakEstimator`] keeps one
+//! [`fsmc_obs::LatencyHistogram`] (64 fixed log2 buckets, integer-exact)
+//! per symbol class and computes the mutual information of the joint
+//! (bucket, symbol) distribution on demand. Fixed bucket edges make the
+//! estimate order-independent: any interleaving of the same samples
+//! yields the same MI, which is what lets threaded campaign replicas
+//! agree byte-for-byte.
+
+use fsmc_obs::metrics::LatencyHistogram;
+
+/// Streaming estimator of the information a latency series carries about
+/// a binary symbol.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineLeakEstimator {
+    class: [LatencyHistogram; 2],
+}
+
+impl OnlineLeakEstimator {
+    pub fn new() -> Self {
+        OnlineLeakEstimator::default()
+    }
+
+    /// Feeds one observation: the sender's current `symbol` and the
+    /// receiver's measured drain `latency` (cycles).
+    pub fn record(&mut self, symbol: bool, latency: u64) {
+        self.class[symbol as usize].record(latency);
+    }
+
+    /// Total observations across both classes.
+    pub fn samples(&self) -> u64 {
+        self.class[0].count() + self.class[1].count()
+    }
+
+    /// Mutual information (bits) between the latency bucket and the
+    /// symbol, from the joint histogram. Zero when either class is empty
+    /// or the distributions coincide.
+    pub fn mi_bits(&self) -> f64 {
+        let n = self.samples();
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        let a = self.class[0].bucket_counts();
+        let b = self.class[1].bucket_counts();
+        let p_s = [self.class[0].count() as f64 / n, self.class[1].count() as f64 / n];
+        let mut mi = 0.0;
+        for (&c0, &c1) in a.iter().zip(b) {
+            let p_x = (c0 + c1) as f64 / n;
+            if p_x == 0.0 {
+                continue;
+            }
+            for (count, p_s) in [(c0, p_s[0]), (c1, p_s[1])] {
+                let p_xs = count as f64 / n;
+                if p_xs > 0.0 && p_s > 0.0 {
+                    mi += p_xs * (p_xs / (p_x * p_s)).log2();
+                }
+            }
+        }
+        mi.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        assert_eq!(OnlineLeakEstimator::new().mi_bits(), 0.0);
+    }
+
+    #[test]
+    fn separable_classes_approach_one_bit() {
+        let mut est = OnlineLeakEstimator::new();
+        for i in 0..500 {
+            est.record(false, 20 + (i % 3)); // bucket ~5
+            est.record(true, 700 + (i % 50)); // bucket ~10
+        }
+        assert_eq!(est.samples(), 1000);
+        assert!(est.mi_bits() > 0.99, "mi = {}", est.mi_bits());
+    }
+
+    #[test]
+    fn identical_distributions_carry_nothing() {
+        let mut est = OnlineLeakEstimator::new();
+        for i in 0..500u64 {
+            est.record(false, 40 + (i % 7));
+            est.record(true, 40 + (i % 7));
+        }
+        assert!(est.mi_bits() < 1e-12, "mi = {}", est.mi_bits());
+    }
+
+    #[test]
+    fn estimate_is_order_independent() {
+        let samples: Vec<(bool, u64)> =
+            (0..400u64).map(|i| (i % 3 == 0, 10 + (i * i) % 900)).collect();
+        let mut fwd = OnlineLeakEstimator::new();
+        let mut rev = OnlineLeakEstimator::new();
+        for &(s, l) in &samples {
+            fwd.record(s, l);
+        }
+        for &(s, l) in samples.iter().rev() {
+            rev.record(s, l);
+        }
+        assert_eq!(fwd.mi_bits().to_bits(), rev.mi_bits().to_bits());
+    }
+
+    #[test]
+    fn single_class_is_zero() {
+        let mut est = OnlineLeakEstimator::new();
+        for i in 0..100 {
+            est.record(true, 10 + i);
+        }
+        assert_eq!(est.mi_bits(), 0.0);
+    }
+}

@@ -86,6 +86,14 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// The raw per-bucket counts (log2 buckets, see [`LatencyHistogram`]).
+    /// Joint-histogram consumers — e.g. the online leakage estimator in
+    /// `fsmc-leak` — build per-symbol-class histograms and compute mutual
+    /// information over these counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Merges another histogram into this one (engine-slot aggregation).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {

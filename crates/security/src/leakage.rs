@@ -98,8 +98,11 @@ fn mi_impl(observations: &[f64], secret: &[bool], bins: usize) -> f64 {
         let b = (((x - lo) / width) as usize).min(bins - 1);
         joint[b][s as usize] += 1;
     }
-    let p_s1 = secret.iter().filter(|&&s| s).count() as f64 / n as f64;
-    let p_s = [1.0 - p_s1, p_s1];
+    // Both marginals from counts (not `1.0 - p`), so a degenerate joint
+    // (e.g. a single occupied bin) yields an *exact* zero rather than a
+    // rounding-residue positive.
+    let ones = secret.iter().filter(|&&s| s).count();
+    let p_s = [(n - ones) as f64 / n as f64, ones as f64 / n as f64];
     let mut mi = 0.0;
     for row in &joint {
         let p_x = (row[0] + row[1]) as f64 / n as f64;

@@ -20,7 +20,10 @@ pub mod leakage;
 pub mod noninterference;
 pub mod profile;
 
-pub use channel::{run_covert_channel, CovertChannelReport};
+pub use channel::{
+    intensity_sender, run_covert_channel, run_covert_channel_on, run_covert_protocol,
+    ChannelParams, CovertChannelReport,
+};
 pub use leakage::{
     binary_channel_capacity, mutual_information, try_mutual_information, LeakageError,
 };

@@ -1,0 +1,104 @@
+//! Property tests for the leakage estimators: the strict and the
+//! saturating mutual-information variants must agree on well-formed
+//! input, and every edge case (constant observations, single-bin
+//! histograms, mismatched lengths, empty series) must be handled
+//! without panics, NaNs, or impossible values.
+
+use fsmc_security::leakage::{
+    binary_channel_capacity, mutual_information, try_mutual_information, LeakageError,
+};
+use proptest::prelude::*;
+
+fn paired_series() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    prop::collection::vec((0.0f64..1e6, any::<bool>()), 0..200)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    /// MI is a well-defined quantity: finite, non-negative, and at most
+    /// one bit for a binary secret — for any observations and bin count.
+    #[test]
+    fn mi_is_finite_nonnegative_and_at_most_one_bit(
+        (obs, secret) in paired_series(),
+        bins in 1usize..64,
+    ) {
+        let mi = try_mutual_information(&obs, &secret, bins).unwrap();
+        prop_assert!(mi.is_finite());
+        prop_assert!(mi >= 0.0);
+        // Histogram MI against a binary secret cannot exceed H(S) <= 1,
+        // modulo float rounding.
+        prop_assert!(mi <= 1.0 + 1e-9, "mi = {mi}");
+    }
+
+    /// On well-formed input the strict and saturating estimators are the
+    /// same function.
+    #[test]
+    fn strict_and_saturating_agree_on_valid_input(
+        (obs, secret) in paired_series(),
+        bins in 1usize..64,
+    ) {
+        let strict = try_mutual_information(&obs, &secret, bins).unwrap();
+        let loose = mutual_information(&obs, &secret, bins);
+        prop_assert_eq!(strict, loose);
+    }
+
+    /// Constant observations carry no information, whatever the secret
+    /// or bin count.
+    #[test]
+    fn constant_observations_have_zero_mi(
+        value in -1e9f64..1e9,
+        secret in prop::collection::vec(any::<bool>(), 1..100),
+        bins in 1usize..64,
+    ) {
+        let obs = vec![value; secret.len()];
+        prop_assert_eq!(try_mutual_information(&obs, &secret, bins).unwrap(), 0.0);
+    }
+
+    /// A single bin makes every observation indistinguishable: zero MI.
+    #[test]
+    fn single_bin_histograms_have_zero_mi((obs, secret) in paired_series()) {
+        prop_assert_eq!(try_mutual_information(&obs, &secret, 1).unwrap(), 0.0);
+    }
+
+    /// Mismatched lengths: the strict variant reports exactly the
+    /// offending lengths; the saturating variant equals the strict
+    /// estimate on the truncated prefix.
+    #[test]
+    fn mismatched_lengths_error_strictly_and_truncate_loosely(
+        (obs, secret) in paired_series(),
+        extra in 1usize..10,
+        bins in 1usize..64,
+    ) {
+        let mut padded = obs.clone();
+        padded.extend(std::iter::repeat_n(0.0, extra));
+        prop_assert_eq!(
+            try_mutual_information(&padded, &secret, bins),
+            Err(LeakageError::MismatchedLengths {
+                observations: obs.len() + extra,
+                secrets: secret.len(),
+            })
+        );
+        let loose = mutual_information(&padded, &secret, bins);
+        let strict = try_mutual_information(&padded[..obs.len()], &secret, bins).unwrap();
+        prop_assert_eq!(loose, strict);
+    }
+
+    /// Zero bins is a typed error, never a panic or a division by zero.
+    #[test]
+    fn zero_bins_is_a_typed_error((obs, secret) in paired_series()) {
+        prop_assert_eq!(
+            try_mutual_information(&obs, &secret, 0),
+            Err(LeakageError::ZeroBins)
+        );
+    }
+
+    /// BSC capacity stays in [0, 1] and is symmetric around BER 0.5
+    /// (an inverted decoder is as good as a correct one).
+    #[test]
+    fn bsc_capacity_is_bounded_and_symmetric(ber in 0.0f64..=1.0) {
+        let c = binary_channel_capacity(ber);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let mirrored = binary_channel_capacity(1.0 - ber);
+        prop_assert!((c - mirrored).abs() < 1e-9);
+    }
+}

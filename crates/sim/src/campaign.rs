@@ -80,10 +80,14 @@ pub enum Outcome {
     Diverged,
     Reconfigured,
     ReconfigLeak,
+    /// The online leakage estimator measured information flow between
+    /// domains on a configuration that claims to be secure (`fsmc leak
+    /// --campaign`; the classic cause is [`crate::FaultKind::SharedArbiter`]).
+    LeakDetected,
 }
 
 impl Outcome {
-    pub const ALL: [Outcome; 7] = [
+    pub const ALL: [Outcome; 8] = [
         Outcome::Clean,
         Outcome::GracefulDegrade,
         Outcome::Violation,
@@ -91,6 +95,7 @@ impl Outcome {
         Outcome::Diverged,
         Outcome::Reconfigured,
         Outcome::ReconfigLeak,
+        Outcome::LeakDetected,
     ];
 
     /// Failures worth shrinking and reproducing; graceful degradation
@@ -99,7 +104,11 @@ impl Outcome {
     pub fn is_failure(&self) -> bool {
         matches!(
             self,
-            Outcome::Violation | Outcome::Stall | Outcome::Diverged | Outcome::ReconfigLeak
+            Outcome::Violation
+                | Outcome::Stall
+                | Outcome::Diverged
+                | Outcome::ReconfigLeak
+                | Outcome::LeakDetected
         )
     }
 
@@ -112,6 +121,7 @@ impl Outcome {
             Outcome::Diverged => "diverged",
             Outcome::Reconfigured => "reconfigured",
             Outcome::ReconfigLeak => "reconfig-leak",
+            Outcome::LeakDetected => "leak-detected",
         }
     }
 }

@@ -148,6 +148,13 @@ impl ExperimentJob {
             .config
             .unwrap_or_else(|| SystemConfig::with_cores(self.scheduler, self.mix.cores() as u8));
         cfg.scheduler = self.scheduler;
+        if self.faults.has_shared_arbiter() {
+            // The misconfiguration fault: whatever secure policy the job
+            // asked for, the machine actually runs the shared FR-FCFS
+            // arbiter. Nothing else about the run changes — the leak is
+            // the only symptom.
+            cfg.scheduler = SchedulerKind::Baseline;
+        }
         self.faults.perturb_timing(&mut cfg.timing);
         let traces = build_traces(&self.mix, self.seed, &self.faults, Some(cache))?;
         if traces.len() != cfg.cores as usize {

@@ -114,6 +114,11 @@ pub enum FaultKind {
     /// At cycle `at`, a tenant joins as domain `domain` (the core starts
     /// the run detached and attaches at the epoch boundary).
     DomainJoin { domain: u8, at: Cycle },
+    /// A misconfiguration, not a silicon fault: the secure scheduler the
+    /// config asks for is silently replaced by the shared FR-FCFS
+    /// arbiter (a deployment wiring the wrong policy). The run is
+    /// functionally healthy — only the leakage estimator can tell.
+    SharedArbiter,
 }
 
 impl FaultKind {
@@ -207,6 +212,12 @@ impl FaultPlan {
         })
     }
 
+    /// True if the plan swaps the configured scheduler for the shared
+    /// FR-FCFS arbiter (the leaky-misconfiguration fault).
+    pub fn has_shared_arbiter(&self) -> bool {
+        self.faults.contains(&FaultKind::SharedArbiter)
+    }
+
     /// The reconfiguration events this plan schedules, sorted by cycle
     /// (stable, so same-cycle events keep their plan order).
     pub fn reconfig_events(&self) -> Vec<(Cycle, ReconfigEvent)> {
@@ -254,6 +265,7 @@ impl FaultPlan {
                 }
                 FaultKind::DomainLeave { domain, at } => format!("leave({domain},{at})"),
                 FaultKind::DomainJoin { domain, at } => format!("join({domain},{at})"),
+                FaultKind::SharedArbiter => "shared-arbiter()".to_string(),
             })
             .collect::<Vec<_>>()
             .join("+")
@@ -309,6 +321,8 @@ impl FaultPlan {
                 }
                 ("leave", 2) => FaultKind::DomainLeave { domain: num(0)? as u8, at: num(1)? },
                 ("join", 2) => FaultKind::DomainJoin { domain: num(0)? as u8, at: num(1)? },
+                // "shared-arbiter()" splits into one empty argument.
+                ("shared-arbiter", 1) if args[0].is_empty() => FaultKind::SharedArbiter,
                 _ => return Err(format!("unknown fault component {part:?}")),
             };
             plan = plan.with(fault);
@@ -391,13 +405,16 @@ mod tests {
             .with(FaultKind::DropCommand { period: 400, max: 2 })
             .with(FaultKind::StretchRefresh { factor: 40 })
             .with(FaultKind::PerturbTiming { field: TimingField::TRtrs, delta: -2 })
-            .with(FaultKind::CorruptTrace { core: 3, period: 7 });
+            .with(FaultKind::CorruptTrace { core: 3, period: 7 })
+            .with(FaultKind::SharedArbiter);
         let spec = plan.spec();
         assert_eq!(
             spec,
-            "delay(50,5,1)+drop(400,2)+stretch-refresh(40)+perturb(trtrs,-2)+corrupt-trace(3,7)"
+            "delay(50,5,1)+drop(400,2)+stretch-refresh(40)+perturb(trtrs,-2)+corrupt-trace(3,7)+shared-arbiter()"
         );
         assert_eq!(FaultPlan::parse_spec(17, &spec).unwrap(), plan);
+        assert!(plan.has_shared_arbiter());
+        assert!(!FaultPlan::new(0).has_shared_arbiter());
         // The empty plan round-trips through "none".
         assert_eq!(FaultPlan::new(9).spec(), "none");
         assert_eq!(FaultPlan::parse_spec(9, "none").unwrap(), FaultPlan::new(9));

@@ -66,6 +66,7 @@ pub fn scheduler_spec(kind: SchedulerKind) -> String {
     match kind {
         SchedulerKind::TpBankPartitioned { turn } => format!("tp-bp:{turn}"),
         SchedulerKind::TpNoPartition { turn } => format!("tp-np:{turn}"),
+        SchedulerKind::TpFence { period } => format!("tp-fence:{period}"),
         SchedulerKind::FsMultiChannel { channels } => format!("fs-mc:{channels}"),
         other => other.cli_name().to_string(),
     }
@@ -96,6 +97,7 @@ pub fn parse_scheduler(s: &str) -> Option<SchedulerKind> {
         "channel-part" => SchedulerKind::ChannelPartitioned,
         "tp-bp" => SchedulerKind::TpBankPartitioned { turn: parsed_param(60)? },
         "tp-np" => SchedulerKind::TpNoPartition { turn: parsed_param(172)? },
+        "tp-fence" => SchedulerKind::TpFence { period: parsed_param(300)? },
         "fs-mc" => SchedulerKind::FsMultiChannel { channels: parsed_param(2)?.try_into().ok()? },
         _ => return None,
     };
@@ -106,6 +108,7 @@ pub fn parse_scheduler(s: &str) -> Option<SchedulerKind> {
             kind,
             SchedulerKind::TpBankPartitioned { .. }
                 | SchedulerKind::TpNoPartition { .. }
+                | SchedulerKind::TpFence { .. }
                 | SchedulerKind::FsMultiChannel { .. }
         )
     {
@@ -643,12 +646,15 @@ mod tests {
             SchedulerKind::TpBankPartitioned { turn: 60 },
             SchedulerKind::TpBankPartitioned { turn: 90 },
             SchedulerKind::TpNoPartition { turn: 172 },
+            SchedulerKind::TpFence { period: 300 },
+            SchedulerKind::TpFence { period: 450 },
             SchedulerKind::FsMultiChannel { channels: 4 },
         ] {
             assert_eq!(parse_scheduler(&scheduler_spec(kind)), Some(kind));
         }
         // Bare CLI names get the CLI defaults.
         assert_eq!(parse_scheduler("tp-bp"), Some(SchedulerKind::TpBankPartitioned { turn: 60 }));
+        assert_eq!(parse_scheduler("tp-fence"), Some(SchedulerKind::TpFence { period: 300 }));
         assert_eq!(parse_scheduler("baseline:3"), None);
         assert_eq!(parse_scheduler("tp-bp:x"), None);
     }

@@ -204,6 +204,9 @@ pub fn try_build_controller(cfg: &SystemConfig) -> Result<Box<dyn MemoryControll
             Box::new(TpScheduler::new(g, t, n, true, turn))
         }
         SchedulerKind::TpNoPartition { turn } => Box::new(TpScheduler::new(g, t, n, false, turn)),
+        SchedulerKind::TpFence { period } => {
+            Box::new(fsmc_core::sched::fence::FenceScheduler::new(g, t, n, period))
+        }
         SchedulerKind::FsRankPartitioned => fs(FsVariant::RankPartitioned, false)?,
         SchedulerKind::FsRankPartitionedPrefetch => fs(FsVariant::RankPartitioned, true)?,
         SchedulerKind::FsBankPartitioned => fs(FsVariant::BankPartitioned, false)?,

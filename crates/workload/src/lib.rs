@@ -27,7 +27,9 @@ pub mod generator;
 pub mod mix;
 pub mod profile;
 
-pub use attacker::{FloodTrace, IdleTrace, ModulatedTrace, ProbeTrace};
+pub use attacker::{
+    BankConflictTrace, FloodTrace, IdleTrace, ModulatedTrace, Modulator, ProbeTrace, RowBufferTrace,
+};
 pub use cache::TraceCache;
 pub use generator::SyntheticTrace;
 pub use mix::WorkloadMix;

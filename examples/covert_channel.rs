@@ -13,7 +13,7 @@ fn main() {
     println!("Sender (domain 1) modulates memory intensity with the secret bits;");
     println!("receiver (domain 0) watches its own read latencies.\n");
     for kind in [SchedulerKind::Baseline, SchedulerKind::FsRankPartitioned] {
-        let r = run_covert_channel(kind, &secret, 2_500, 100);
+        let r = run_covert_channel(kind, &secret, 2_500, 100).expect("well-posed estimate");
         println!("--- {kind} ---");
         println!("  usable windows          {}", r.windows.len());
         println!("  bit error rate          {:.3}", r.ber);

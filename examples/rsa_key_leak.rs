@@ -19,7 +19,7 @@ fn main() {
     for kind in [SchedulerKind::Baseline, SchedulerKind::FsRankPartitioned] {
         // The "covert channel" machinery doubles as the side channel: the
         // victim is an unwitting sender, modulated by its own key.
-        let r = run_covert_channel(kind, &key, 2_500, 260);
+        let r = run_covert_channel(kind, &key, 2_500, 260).expect("well-posed estimate");
         let recovered = 1.0 - r.ber;
         println!("--- {kind} ---");
         println!("  key bits recovered      {:.1}%", 100.0 * recovered);

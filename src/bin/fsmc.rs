@@ -22,8 +22,12 @@ use fsmc::core::solver::{
 };
 use fsmc::cpu::trace_file::record_trace;
 use fsmc::dram::DeviceGeneration;
+use fsmc::leak::{
+    measure_cell, run_leak_campaign, run_leak_case, shrink_leak, LeakCampaignConfig, Protocol,
+};
 use fsmc::obs::ChromeTraceBuilder;
 use fsmc::security::noninterference::check_noninterference_on;
+use fsmc::security::run_covert_channel_on;
 use fsmc::serve::pool::HANG_ENV;
 use fsmc::serve::{serve, ChaosSpec, Client, ServeOptions};
 use fsmc::sim::{
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "suite" => cmd_suite(&opts),
         "attack" => cmd_attack(&opts),
+        "leak" => cmd_leak(&opts),
         "trace" => cmd_trace(&opts),
         "chaos" => cmd_chaos(&opts),
         "bench-throughput" => cmd_bench_throughput(&opts),
@@ -95,6 +100,19 @@ USAGE (every command also takes --device GEN):
                                       --metrics appends per-domain latency
                                       histogram columns as CSV
   fsmc attack [--scheduler KIND]      measure co-runner interference
+  fsmc leak [--scheduler KIND] [--protocol P] [--window N] [--windows N]
+                                      covert-channel capacity study: BER, MI
+                                      and gated bits/sec per protocol (P one
+                                      of intensity, bank-conflict, row-buffer,
+                                      or all) on this device generation
+  fsmc leak --campaign [--population N] [--seed S] [--scheduler KIND]
+            [--protocol P]            leak-hunting chaos campaign: injects
+                                      faults (incl. the shared-arbiter
+                                      misconfiguration), watches the online
+                                      estimator, shrinks each leak-detected
+                                      case to a 1-minimal repro
+  fsmc leak --faults 'SPEC' [--fault-seed S] [--scheduler KIND] [--protocol P]
+                                      reproduce one leak case from its spec
   fsmc trace [--scheduler KIND] [--workload NAME] [--cycles N] [--cores N]
              [--seed S] [--out FILE] [--faults 'SPEC']
                                       export a Chrome-trace-event command
@@ -138,7 +156,8 @@ USAGE (every command also takes --device GEN):
                                       --shutdown stops the daemon
 
 SCHEDULERS: baseline, baseline-prefetch, fs-rp, fs-rp-prefetch, fs-bp,
-            fs-reordered-bp, fs-np, fs-ta, tp-bp, tp-np, channel-part
+            fs-reordered-bp, fs-np, fs-ta, tp-bp, tp-np, tp-fence,
+            channel-part
 DEVICES:    ddr3-1600 (default), ddr4-2400, lpddr4-3200, hbm2
 WORKLOADS:  mix1 mix2 CG SP astar lbm libquantum mcf milc zeusmp
             GemsFDTD xalancbmk
@@ -200,6 +219,7 @@ fn scheduler_kind(name: &str) -> Result<SchedulerKind, String> {
         "fs-ta" => SchedulerKind::FsTripleAlternation,
         "tp-bp" => SchedulerKind::TpBankPartitioned { turn: 60 },
         "tp-np" => SchedulerKind::TpNoPartition { turn: 172 },
+        "tp-fence" => SchedulerKind::TpFence { period: 300 },
         "channel-part" => SchedulerKind::ChannelPartitioned,
         other => return Err(format!("unknown scheduler {other:?}")),
     })
@@ -394,6 +414,107 @@ fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
         "verdict                     {}",
         if report.is_non_interfering() { "NON-INTERFERING (zero leakage)" } else { "LEAKS" }
     );
+    // The active-adversary view of the same question: an intensity-keyed
+    // covert channel measured on this device generation.
+    let secret = vec![true, false, true, true, false, false, true, false];
+    let covert = run_covert_channel_on(device, kind, &secret, 2_500, 100)
+        .map_err(|e| format!("covert-channel estimate: {e}"))?;
+    println!("covert-channel BER          {:>12.3}", covert.ber);
+    println!("covert-channel MI           {:>12.3} bits/window", covert.mutual_information_bits);
+    println!("covert-channel capacity     {:>12.0} bits/second", covert.capacity_bps);
+    Ok(())
+}
+
+fn cmd_leak(opts: &HashMap<String, String>) -> Result<(), String> {
+    let device = device_gen(opts)?;
+    let window_cycles = get_u64(opts, "window", 2_500)?;
+    let windows = get_u64(opts, "windows", 80)? as usize;
+    let proto_arg = opts.get("protocol").map(String::as_str).unwrap_or("all");
+    let parse_protocol = |name: &str| {
+        Protocol::parse(name).ok_or_else(|| {
+            format!("--protocol: unknown protocol {name:?} (expected intensity, bank-conflict, row-buffer, or all)")
+        })
+    };
+
+    if get_flag(opts, "campaign") || opts.contains_key("faults") {
+        let kind = scheduler_kind(opts.get("scheduler").map(String::as_str).unwrap_or("fs-rp"))?;
+        let mut cfg = LeakCampaignConfig::new(get_u64(opts, "seed", 1)?);
+        cfg.device = device;
+        cfg.scheduler = kind;
+        cfg.protocol =
+            if proto_arg == "all" { Protocol::Intensity } else { parse_protocol(proto_arg)? };
+        cfg.window_cycles = window_cycles;
+        cfg.windows = windows;
+        cfg.population = get_u64(opts, "population", 12)? as usize;
+        if let Some(spec) = opts.get("faults") {
+            // Repro mode: classify exactly one explicit plan.
+            let plan = FaultPlan::parse_spec(get_u64(opts, "fault-seed", 0)?, spec)?;
+            let (outcome, mi, samples) = run_leak_case(&cfg, &plan);
+            println!("scheduler  {kind}");
+            println!("device     {device}");
+            println!("protocol   {}", cfg.protocol);
+            println!("faults     {}", plan.spec());
+            println!("online MI  {mi:.4} bits ({samples} samples)");
+            println!("outcome    {}", outcome.name());
+            if outcome == fsmc::sim::Outcome::LeakDetected {
+                let minimal = shrink_leak(&cfg, &plan);
+                if minimal != plan {
+                    println!("shrunk to  {}", minimal.spec());
+                }
+            }
+            return Ok(());
+        }
+        let report = run_leak_campaign(&Engine::from_env(), &cfg);
+        print!("{}", report.render());
+        return Ok(());
+    }
+
+    // Study mode: the capacity table for this device generation.
+    let schedulers: Vec<SchedulerKind> = match opts.get("scheduler") {
+        Some(name) => vec![scheduler_kind(name)?],
+        None => vec![
+            SchedulerKind::Baseline,
+            SchedulerKind::TpBankPartitioned { turn: 60 },
+            SchedulerKind::TpFence { period: 300 },
+            SchedulerKind::FsRankPartitioned,
+            SchedulerKind::FsBankPartitioned,
+            SchedulerKind::FsNoPartitionNaive,
+            SchedulerKind::FsTripleAlternation,
+        ],
+    };
+    let protocols: Vec<Protocol> = if proto_arg == "all" {
+        Protocol::all().to_vec()
+    } else {
+        vec![parse_protocol(proto_arg)?]
+    };
+    let secret = fsmc::leak::default_secret();
+    let mut jobs = Vec::new();
+    for &kind in &schedulers {
+        for &protocol in &protocols {
+            jobs.push((kind, protocol));
+        }
+    }
+    let cells = Engine::from_env().map(&jobs, |_, &(kind, protocol)| {
+        measure_cell(device, kind, protocol, &secret, window_cycles, windows, false)
+    });
+    println!("device: {device}  ({} windows x {window_cycles} cycles)", windows);
+    println!(
+        "{:<24} {:<14} {:>7} {:>7} {:>9} {:>7} {:>12}",
+        "scheduler", "protocol", "windows", "BER", "adaptBER", "MI", "bits/sec"
+    );
+    for cell in cells {
+        let c = cell.map_err(|e| format!("capacity estimate: {e}"))?;
+        println!(
+            "{:<24} {:<14} {:>7} {:>7.3} {:>9.3} {:>7.3} {:>12.0}",
+            c.scheduler.label(),
+            c.protocol.name(),
+            c.windows_used,
+            c.ber,
+            c.adaptive_ber,
+            c.mi_bits,
+            c.capacity_bps
+        );
+    }
     Ok(())
 }
 

@@ -17,6 +17,9 @@
 //! * [`sim`] — full-system simulator, statistics and the deterministic
 //!   parallel experiment engine
 //! * [`security`] — leakage measurement and non-interference harness
+//! * [`leak`] — active-adversary covert-channel harness: protocol
+//!   senders, adaptive receivers, capacity matrices and online leak
+//!   detection for chaos campaigns
 //! * [`serve`] — the crash-tolerant experiment service: `fsmc serve`
 //!   daemon, worker-process pool, content-addressed result cache
 //! * [`mod@bench`] — figure/table suites built on the engine
@@ -40,6 +43,7 @@ pub use fsmc_core as core;
 pub use fsmc_cpu as cpu;
 pub use fsmc_dram as dram;
 pub use fsmc_energy as energy;
+pub use fsmc_leak as leak;
 pub use fsmc_obs as obs;
 pub use fsmc_security as security;
 pub use fsmc_serve as serve;

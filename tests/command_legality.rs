@@ -77,6 +77,11 @@ fn tp_no_partition_stream_is_legal() {
 }
 
 #[test]
+fn tp_fence_stream_is_legal() {
+    assert_legal(K::TpFence { period: 300 }, 15_000);
+}
+
+#[test]
 fn fs_with_all_energy_options_is_legal_across_refresh_windows() {
     use fsmc::core::sched::fs::EnergyOptions;
     let mut cfg = SystemConfig::paper_default(K::FsRankPartitioned);

@@ -44,7 +44,7 @@ fn different_seeds_differ() {
 }
 
 /// Every scheduler kind the simulator can build.
-fn all_kinds() -> [K; 12] {
+fn all_kinds() -> [K; 13] {
     [
         K::Baseline,
         K::BaselinePrefetch,
@@ -56,6 +56,7 @@ fn all_kinds() -> [K; 12] {
         K::FsTripleAlternation,
         K::TpBankPartitioned { turn: 60 },
         K::TpNoPartition { turn: 172 },
+        K::TpFence { period: 300 },
         K::ChannelPartitioned,
         K::FsMultiChannel { channels: 4 },
     ]

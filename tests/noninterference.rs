@@ -83,6 +83,15 @@ fn tp_no_partition_is_non_interfering() {
 }
 
 #[test]
+fn tp_fence_is_non_interfering() {
+    // Flush-based TP: new starts stop a timing-derived fence before every
+    // period boundary, in-flight work drains, and a precharge-all sweep
+    // leaves the next owner the same all-banks-closed state regardless of
+    // what the previous owner did.
+    assert_non_interfering(K::TpFence { period: 300 });
+}
+
+#[test]
 fn tp_bank_partitioned_leak_is_bounded_while_fs_is_exact() {
     // Bank-partitioned TP with the paper's ~12ns dead time retains a
     // small cross-turn rank-level coupling (tFAW/tRRD windows span the

@@ -4,7 +4,8 @@
 //! the slice of the proptest 1.x API its property tests use:
 //!
 //! * [`Strategy`] with [`Strategy::prop_map`], implemented for integer
-//!   ranges, tuples (up to 4 elements) and [`collection::vec`];
+//!   and float ranges, tuples (up to 6 elements) and
+//!   [`collection::vec`];
 //! * [`any`] over [`Arbitrary`] types (`bool`, [`sample::Index`]);
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
@@ -143,6 +144,31 @@ macro_rules! impl_int_strategy {
 }
 
 impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // 53 uniform mantissa bits in [0, 1).
+                let u = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let u = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
@@ -390,6 +416,13 @@ mod tests {
         #[test]
         fn sample_index_in_range(ix in any::<prop::sample::Index>(), len in 1usize..50) {
             prop_assert!(ix.index(len) < len);
+        }
+
+        #[test]
+        fn float_ranges_stay_in_bounds(x in -2.5f64..7.0, y in 0.0f64..=1.0, z in 1.0f32..4.0) {
+            prop_assert!((-2.5..7.0).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!((1.0..4.0).contains(&z));
         }
     }
 
